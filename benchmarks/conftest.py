@@ -1,0 +1,28 @@
+"""Benchmark-suite configuration.
+
+Every bench regenerates one figure or claim of the paper (see DESIGN.md's
+per-experiment index), writes its artifact under ``artifacts/``, prints the
+paper-style table, and asserts the *shape* of the paper's result.  Run with
+
+    pytest benchmarks/ --benchmark-only -s
+
+to see the tables.  ``REPRO_SWEEP=full`` switches the Figs. 8-10 sweeps from
+the smoke grid to the full grid.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_sweep() -> bool:
+    return os.environ.get("REPRO_SWEEP", "").lower() == "full"
+
+
+@pytest.fixture(scope="session")
+def sweep_nts():
+    from repro.experiments import SMOKE_SWEEP_NTS, SWEEP_NTS
+
+    return SWEEP_NTS if full_sweep() else SMOKE_SWEEP_NTS

@@ -1,0 +1,73 @@
+"""ABL-LOADMODEL: the §VII "improved kernel model", quantified.
+
+The paper: "It may be possible to improve the accuracy of the simulations
+by improving that kernel model" — and its largest errors sit at small
+problem sizes, where the machine is *less loaded* than during calibration.
+The load-aware model (duration conditioned on active-core count) attacks
+exactly that: this bench compares the flat lognormal model against the
+load-aware one across problem sizes and checks the error reduction where it
+matters.
+"""
+
+import numpy as np
+
+from repro.algorithms import qr_program
+from repro.core.simulator import run_real, simulate
+from repro.experiments import format_table, write_artifact
+from repro.kernels.loadmodel import LoadAwareModelSet, LoadAwareSimulationBackend
+from repro.kernels.timing import KernelModelSet
+from repro.machine import calibration_run, collect_samples, get_machine
+from repro.schedulers import QuarkScheduler
+from repro.trace.compare import makespan_error
+
+NTS = (6, 8, 10, 14, 22)
+
+
+def test_ablation_load_aware_model(benchmark):
+    machine = get_machine("magny_cours_48")
+
+    def run_all():
+        cal = calibration_run(qr_program(16, 180), QuarkScheduler(48), machine, seed=0)
+        flat = KernelModelSet.from_samples(collect_samples(cal), family="lognormal")
+        aware = LoadAwareModelSet.from_trace(cal)
+        rows = []
+        for nt in NTS:
+            real = run_real(qr_program(nt, 180), QuarkScheduler(48), machine, seed=1)
+            sim_flat = simulate(
+                qr_program(nt, 180), QuarkScheduler(48), flat, seed=2,
+                warmup_penalty=machine.warmup_penalty,
+            )
+            sim_aware = QuarkScheduler(48).run(
+                qr_program(nt, 180),
+                LoadAwareSimulationBackend(
+                    aware, warmup_penalty=machine.warmup_penalty
+                ),
+                seed=2,
+            )
+            rows.append(
+                (
+                    nt * 180,
+                    abs(makespan_error(real, sim_flat)) * 100,
+                    abs(makespan_error(real, sim_aware)) * 100,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    flat_small = np.mean([e for n, e, _ in rows if n <= 1800])
+    aware_small = np.mean([a for n, _, a in rows if n <= 1800])
+    # The load-aware model at least halves the small-problem error.
+    assert aware_small < 0.6 * flat_small
+    # And never makes the large problems materially worse.
+    flat_all = np.mean([e for _, e, _ in rows])
+    aware_all = np.mean([a for _, _, a in rows])
+    assert aware_all < flat_all
+
+    table = format_table(
+        ("n", "flat model err %", "load-aware err %"),
+        rows,
+        title="ABL-LOADMODEL: flat vs load-conditioned kernel models (QR, QUARK)",
+    )
+    write_artifact("ablation_loadmodel.txt", table + "\n", "ablations")
+    print("\n" + table)

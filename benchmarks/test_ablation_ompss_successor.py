@@ -1,0 +1,28 @@
+"""ABL-SUCCESSOR: OmpSs immediate-successor locality heuristic (paper §IV-A1).
+
+Nanos++'s successor bypass hands a just-released task to the worker that
+released it, improving cache locality.  The bench checks the real effect on
+the machine model and that the simulation remains accurate for both
+configurations — scheduler-internal heuristics are exactly what the paper's
+portable simulator must absorb without modification.
+"""
+
+from repro.experiments import write_artifact
+from repro.experiments.ablations import ablation_ompss_successor
+
+
+def test_ablation_ompss_successor(benchmark):
+    data, table = benchmark.pedantic(ablation_ompss_successor, rounds=1, iterations=1)
+
+    assert set(data) == {"successor-bypass", "central-queue"}
+    for label, row in data.items():
+        assert row["error_percent"] < 10.0, (label, row)
+
+    # Locality bypass should not hurt on the cache-sensitive machine model.
+    assert (
+        data["successor-bypass"]["gflops_real"]
+        >= 0.97 * data["central-queue"]["gflops_real"]
+    )
+
+    write_artifact("ablation_ompss_successor.txt", table + "\n", "ablations")
+    print("\n" + table)

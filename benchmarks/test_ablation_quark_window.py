@@ -1,0 +1,28 @@
+"""ABL-WINDOW: QUARK task-window size (paper §IV-A3 / §VI-B).
+
+The window throttles in-flight tasks: too small strangles parallelism.
+The simulator must track the real effect across the sweep — the property
+that makes it usable for tuning runtime parameters.
+"""
+
+from repro.experiments import ablation_quark_window, write_artifact
+
+
+def test_ablation_quark_window(benchmark):
+    data, table = benchmark.pedantic(ablation_quark_window, rounds=1, iterations=1)
+
+    windows = sorted(data)
+    real = [data[w]["gflops_real"] for w in windows]
+    sim = [data[w]["gflops_sim"] for w in windows]
+
+    # Tiny windows hurt, large windows saturate (real and simulated agree).
+    assert real[0] < 0.8 * real[-1]
+    assert sim[0] < 0.8 * sim[-1]
+    # Broadly monotone recovery with window size.
+    assert real[-1] >= real[1]
+
+    for w in windows:
+        assert data[w]["error_percent"] < 12.0, (w, data[w])
+
+    write_artifact("ablation_quark_window.txt", table + "\n", "ablations")
+    print("\n" + table)

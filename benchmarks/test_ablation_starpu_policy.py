@@ -1,0 +1,26 @@
+"""ABL-POLICY: StarPU scheduling policies, real vs simulated (paper §IV-A2,
+§VI-B autotuning use case).
+
+StarPU ships "several scheduling policies"; the simulator's value for
+autotuning is that it predicts each policy's performance — in particular
+the *ranking* of policies — without running the real workload.
+"""
+
+from repro.experiments import ablation_starpu_policy, write_artifact
+
+
+def test_ablation_starpu_policy(benchmark):
+    data, table = benchmark.pedantic(ablation_starpu_policy, rounds=1, iterations=1)
+
+    assert set(data) == {"eager", "prio", "ws", "dmda"}
+    for policy, row in data.items():
+        assert row["error_percent"] < 10.0, (policy, row)
+
+    # Ranking preservation: order policies by real and by simulated GFLOP/s;
+    # the top policy must match and the rank correlation must be positive.
+    real_rank = sorted(data, key=lambda p: data[p]["gflops_real"], reverse=True)
+    sim_rank = sorted(data, key=lambda p: data[p]["gflops_sim"], reverse=True)
+    assert real_rank[0] == sim_rank[0]
+
+    write_artifact("ablation_starpu_policy.txt", table + "\n", "ablations")
+    print("\n" + table)

@@ -1,0 +1,22 @@
+"""ABL-WARMUP: calibration warm-up outlier handling (paper §V-B1).
+
+"The first kernel on each thread will take significantly longer to execute
+... These extreme outliers can drastically affect the model fitting."  The
+bench calibrates from a deliberately small run (so the 48 per-thread
+warm-up penalties are a large sample fraction) with and without the paper's
+mitigation and compares prediction error.
+"""
+
+from repro.experiments import ablation_warmup, write_artifact
+
+
+def test_ablation_warmup_outliers(benchmark):
+    errors, table = benchmark.pedantic(ablation_warmup, rounds=1, iterations=1)
+
+    # Handling the outliers must not be worse, and ignoring them should
+    # visibly inflate prediction error on this small calibration run.
+    assert errors["handled"] <= errors["ignored"]
+    assert errors["ignored"] > 1.5 * errors["handled"] or errors["ignored"] > 5.0
+
+    write_artifact("ablation_warmup.txt", table + "\n", "ablations")
+    print("\n" + table)

@@ -1,0 +1,28 @@
+"""FIG1: the dependence DAG of a 4x4-tile QR factorization (paper Fig. 1).
+
+Paper: 30 vertices (4 GEQRT, 6 UNMQR, 6 TSQRT, 14 TSMQR); "some vertices
+have multiple edges from a parent node indicating that there is more than
+one data dependence".  The bench regenerates the DAG, checks those counts,
+writes the DOT artifact, and times DAG construction.
+"""
+
+from repro.experiments import fig1_dag, write_artifact
+
+
+def test_fig1_qr_dag(benchmark):
+    result = benchmark.pedantic(fig1_dag, kwargs={"nt": 4}, rounds=3, iterations=1)
+
+    assert result.stats.n_tasks == 30
+    assert result.kernel_counts == {
+        "DGEQRT": 4,
+        "DORMQR": 6,
+        "DTSQRT": 6,
+        "DTSMQR": 14,
+    }
+    assert result.multi_edge_pairs > 0  # the Fig. 1 parallel-edge feature
+    assert result.stats.depth >= 10  # long critical chain relative to 30 tasks
+    assert result.dot_path is not None and result.dot_path.exists()
+
+    report = result.report()
+    write_artifact("fig01_report.txt", report + "\n", "fig01")
+    print("\n" + report)

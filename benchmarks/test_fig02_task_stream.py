@@ -1,0 +1,18 @@
+"""FIG2: the serial task stream of a 3x3-tile QR (paper Fig. 2, F0..F13).
+
+The generated stream must match the paper's listing task for task,
+including the read/write decorations on every data parameter.
+"""
+
+from repro.experiments import FIG2_EXPECTED, fig2_stream, write_artifact
+
+
+def test_fig2_task_stream(benchmark):
+    listing, described = benchmark.pedantic(fig2_stream, rounds=5, iterations=1)
+
+    assert listing == FIG2_EXPECTED
+    assert len(listing) == 14
+    assert described.startswith("F0 ")
+
+    write_artifact("fig02_stream.txt", described + "\n", "fig02")
+    print("\n" + described)

@@ -1,0 +1,37 @@
+"""FIG3: DTSMQR kernel-time density with normal/gamma/lognormal fits
+(paper Fig. 3).
+
+Paper: the three distributions "appear to fit equally well" for DTSMQR.
+The bench harvests DTSMQR samples from a QR calibration run, fits all three
+families, writes the density table, and asserts the fits are close to each
+other and to the empirical distribution.
+"""
+
+import numpy as np
+
+from repro.experiments import distribution_figure, write_artifact
+
+
+def test_fig3_dtsmqr_distribution(benchmark):
+    fig = benchmark.pedantic(
+        distribution_figure, args=("fig3",), rounds=1, iterations=1
+    )
+
+    assert fig.kernel == "DTSMQR"
+    assert fig.samples.size > 200
+
+    # All three families fit: small KS distance to the sample...
+    ks = {f.family: f.ks for f in fig.fits.values()}
+    assert all(v < 0.12 for v in ks.values()), ks
+    # ...and "nearly identical" to each other (paper's wording).
+    assert max(ks.values()) - min(ks.values()) < 0.05
+
+    # Fitted means agree with the empirical mean within 1 %.
+    emp_mean = float(np.mean(fig.samples))
+    for f in fig.fits.values():
+        assert abs(f.mean - emp_mean) / emp_mean < 0.01
+
+    table = fig.table()
+    write_artifact("fig03_fits.txt", table + "\n", "fig03")
+    write_artifact("fig03_density.txt", fig.density_table() + "\n", "fig03")
+    print("\n" + table + f"\nbest by AIC: {fig.best_family}")

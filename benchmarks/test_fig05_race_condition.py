@@ -1,0 +1,44 @@
+"""FIG5: the Task Execution Queue scheduling race condition (paper Fig. 5).
+
+Two cores, tasks A (10), B (12), C (1) with C dependent on A.  Correct
+simulation: C starts at t=10, makespan 12.  The bench runs the scenario on
+the threaded runtime under each guard strategy with an injected dispatch
+delay opening the race window, and checks:
+
+* QUARK-style quiesce guard        -> correct trace;
+* sleep guard with adequate pause  -> correct trace (paper's portable fix);
+* sleep guard with inadequate pause-> C lands after B (the Fig. 5 error);
+* no guard                         -> inflated makespan.
+"""
+
+from repro.experiments import race_experiment, write_artifact
+from repro.experiments.race import CORRECT_C_START, CORRECT_MAKESPAN, run_scenario
+
+
+def test_fig5_race_condition(benchmark):
+    outcomes, table = benchmark.pedantic(
+        race_experiment, kwargs={"repeats": 3}, rounds=1, iterations=1
+    )
+
+    by_config = {}
+    for o in outcomes:
+        by_config.setdefault((o.guard, o.sleep_time), []).append(o)
+
+    for o in by_config[("quiesce", 200e-6)]:
+        assert o.correct, o
+    for o in by_config[("sleep", 10e-3)]:
+        assert o.correct, o
+    for o in by_config[("sleep", 100e-6)]:
+        assert o.c_start >= CORRECT_MAKESPAN - 1e-9  # C displaced behind B
+        assert o.makespan > CORRECT_MAKESPAN
+    for o in by_config[("none", 0.0)]:
+        assert o.makespan > CORRECT_MAKESPAN
+
+    write_artifact("fig05_race.txt", table + "\n", "fig05")
+    print("\n" + table)
+
+
+def test_fig5_guarded_scenario_benchmark(benchmark):
+    """Wall-clock of one guarded scenario run (the overhead of the guard)."""
+    out = benchmark(lambda: run_scenario("quiesce"))
+    assert out.c_start == CORRECT_C_START

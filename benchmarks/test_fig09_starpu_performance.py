@@ -1,0 +1,23 @@
+"""FIG9: StarPU performance — QR + Cholesky, real vs simulated vs % error
+(paper Fig. 9).  Same shape checks as FIG8, under the StarPU-like runtime.
+"""
+
+from repro.experiments import figure_table, performance_figure, write_artifact
+from repro.experiments.performance import accuracy_summary
+from test_fig08_ompss_performance import _check_figure_shape
+
+
+def test_fig9_starpu_performance(benchmark, sweep_nts):
+    data = benchmark.pedantic(
+        performance_figure,
+        args=("starpu",),
+        kwargs={"nts": sweep_nts},
+        rounds=1,
+        iterations=1,
+    )
+    _check_figure_shape(data)
+    table = figure_table("starpu", data)
+    summary = accuracy_summary({"starpu": data})
+    write_artifact("fig09_starpu.txt", table + f"\n{summary}\n", "fig08_10")
+    print("\n" + table)
+    print(summary)

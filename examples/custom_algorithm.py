@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Simulating a user-defined algorithm with the OmpSs-style front-end.
+
+The simulator is not tied to the built-in factorizations: any serial
+program with read/write-annotated tasks can be scheduled and simulated.
+This example expresses a red-black Gauss-Seidel-flavoured 5-point stencil
+sweep over a tiled 2-D grid using the ``@task`` decorator (the stand-in for
+OmpSs ``#pragma omp task`` annotations, §IV-A1), then:
+
+* inspects the resulting dependence DAG,
+* simulates it under all three runtimes with a synthetic kernel model,
+* shows how the DAG lower bound explains the observed makespans.
+
+Run:  python examples/custom_algorithm.py
+"""
+
+import numpy as np
+
+from repro import OmpSsScheduler, QuarkScheduler, SimulationBackend, StarPUScheduler
+from repro.dag import build_dag, dag_stats, makespan_lower_bound
+from repro.kernels.distributions import LognormalModel
+from repro.kernels.timing import KernelModelSet
+from repro.schedulers.ompss import TaskContext, task
+
+GRID = 8  # tiles per side
+SWEEPS = 4
+TILE_BYTES = 128 * 128 * 8
+
+
+@task(inout=("center",), in_=("north", "south", "east", "west"))
+def stencil(center, north, south, east, west, flops=0.0):
+    """One 5-point stencil update of a tile (dependences only)."""
+
+
+ctx = TaskContext("stencil-sweeps", meta={"grid": GRID, "sweeps": SWEEPS})
+reg = ctx.program.registry
+tiles = {
+    (i, j): reg.alloc(f"U[{i},{j}]", TILE_BYTES, key=("U", i, j))
+    for i in range(GRID)
+    for j in range(GRID)
+}
+
+with ctx:
+    for sweep in range(SWEEPS):
+        for parity in (0, 1):  # red-black ordering exposes parallelism
+            for i in range(GRID):
+                for j in range(GRID):
+                    if (i + j) % 2 != parity:
+                        continue
+                    stencil(
+                        tiles[(i, j)],
+                        tiles[((i - 1) % GRID, j)],
+                        tiles[((i + 1) % GRID, j)],
+                        tiles[(i, (j - 1) % GRID)],
+                        tiles[(i, (j + 1) % GRID)],
+                        flops=5.0 * 128 * 128,
+                    )
+
+program = ctx.program
+print(f"program: {len(program)} stencil tasks over a {GRID}x{GRID} grid, "
+      f"{SWEEPS} sweeps")
+
+dag = build_dag(program)
+stats = dag_stats(dag, weights={"STENCIL": 1e-3})
+print(f"DAG: depth {stats.depth}, max width {stats.max_width}, "
+      f"average parallelism {stats.average_parallelism:.1f}")
+
+# A synthetic kernel model: ~1 ms per stencil task, 5 % spread.
+models = KernelModelSet(
+    models={"STENCIL": LognormalModel(mu_log=float(np.log(1e-3)), sigma_log=0.05)}
+)
+
+workers = 16
+bound = makespan_lower_bound(dag, workers, {"STENCIL": 1e-3})
+print(f"\n{workers}-worker makespan lower bound: {bound * 1e3:.2f} ms")
+print(f"{'runtime':<14} {'makespan ms':>12} {'vs bound':>9}")
+for name, sched in [
+    ("quark", QuarkScheduler(workers)),
+    ("starpu ws", StarPUScheduler(workers, policy="ws")),
+    ("ompss", OmpSsScheduler(workers)),
+]:
+    trace = sched.run(program, SimulationBackend(models), seed=0)
+    trace.validate()
+    print(f"{name:<14} {trace.makespan * 1e3:>12.2f} {trace.makespan / bound:>9.2f}x")
+
+print("\nAll three runtimes schedule the same user-defined DAG — the "
+      "portability property of the paper's simulator.")

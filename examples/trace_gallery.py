@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Trace gallery: regenerate the paper's visual artifacts.
+
+Produces, under ``artifacts/gallery/``:
+
+* ``qr_dag_4x4.dot``        — the Fig. 1 DAG (render with Graphviz);
+* ``fig2_stream.txt``       — the Fig. 2 serial task listing;
+* ``qr_real_vs_sim.svg``    — a Figs. 6-7 style stacked real/simulated QR
+                              trace pair on one shared time axis;
+* ``cholesky_real.svg``     — a Cholesky trace for comparison.
+
+Run:  python examples/trace_gallery.py
+"""
+
+from pathlib import Path
+
+from repro import (
+    QuarkScheduler,
+    calibrate,
+    cholesky_program,
+    get_machine,
+    qr_program,
+    run_real,
+    simulate,
+    write_svg,
+)
+from repro.dag import write_dot
+from repro.trace import compare_traces, write_comparison_svg
+
+OUT = Path("artifacts/gallery")
+OUT.mkdir(parents=True, exist_ok=True)
+machine = get_machine("magny_cours_48")
+
+# -- Fig. 1: the 4x4 tile QR DAG --------------------------------------------
+dot = write_dot(qr_program(4, 180), OUT / "qr_dag_4x4.dot")
+print(f"wrote {dot}  (dot -Tpdf {dot} -o dag.pdf)")
+
+# -- Fig. 2: the serial task stream ------------------------------------------
+listing = qr_program(3, 180).describe()
+(OUT / "fig2_stream.txt").write_text(listing + "\n")
+print(f"wrote {OUT / 'fig2_stream.txt'}")
+
+# -- Figs. 6-7: real vs simulated QR trace -----------------------------------
+nt, nb = 22, 180
+models, _ = calibrate(qr_program(16, nb), QuarkScheduler(48), machine, seed=0)
+real = run_real(qr_program(nt, nb), QuarkScheduler(48), machine, seed=1)
+sim = simulate(
+    qr_program(nt, nb),
+    QuarkScheduler(48),
+    models,
+    seed=2,
+    warmup_penalty=machine.warmup_penalty,
+)
+pair = write_comparison_svg(
+    real,
+    sim,
+    OUT / "qr_real_vs_sim.svg",
+    titles=(
+        f"real QR trace (n={nt * nb}, nb={nb}, QUARK, 48 cores)",
+        "simulated QR trace (same scale)",
+    ),
+)
+print(f"wrote {pair}")
+print(compare_traces(real, sim).report())
+
+# -- Bonus: a Cholesky machine trace -----------------------------------------
+chol = run_real(cholesky_program(22, 200), QuarkScheduler(48), machine, seed=3)
+print(f"wrote {write_svg(chol, OUT / 'cholesky_real.svg', title='Cholesky, QUARK, 48 cores')}")

@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables editable installs where the `wheel` package
+(needed by the PEP 660 path) is unavailable."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,100 @@
+"""repro — Parallel Simulation of Superscalar Scheduling.
+
+A reproduction of Haugen, Luszczek, Kurzak, YarKhan, Dongarra,
+"Parallel Simulation of Superscalar Scheduling", ICPP 2014.
+
+The package provides:
+
+* :mod:`repro.core` — the paper's contribution: a discrete-event simulation
+  of superscalar scheduling (clock, Task Execution Queue, simulated kernels,
+  race-condition guards, real-vs-simulated validation API);
+* :mod:`repro.schedulers` — from-scratch QUARK-, StarPU-, and OmpSs-like
+  runtimes with genuine hazard analysis and per-runtime policies;
+* :mod:`repro.machine` — the synthetic multicore testbed (topology, caches,
+  contention, jitter, warm-up) standing in for the paper's 48-core AMD box;
+* :mod:`repro.kernels` — numeric tile kernels plus timing-distribution
+  fitting (normal / gamma / log-normal / empirical);
+* :mod:`repro.algorithms` — tile Cholesky, QR, and LU task streams and their
+  numeric execution;
+* :mod:`repro.dag` / :mod:`repro.trace` — DAG and trace tooling;
+* :mod:`repro.experiments` — drivers regenerating every figure of the paper.
+"""
+
+from .algorithms import (
+    TiledMatrix,
+    TileStore,
+    cholesky_program,
+    execute_cholesky,
+    execute_lu,
+    execute_qr,
+    lu_program,
+    qr_program,
+)
+from .core import (
+    Access,
+    AccessMode,
+    DataRef,
+    DataRegistry,
+    Program,
+    SimClock,
+    SimulationBackend,
+    TaskExecutionQueue,
+    TaskSpec,
+    ValidationResult,
+    run_real,
+    simulate,
+    validate,
+)
+from .kernels import KernelModelSet, fit_all_families, fit_family
+from .machine import MACHINE_PRESETS, Machine, MachineBackend, calibrate, get_machine
+from .schedulers import (
+    OmpSsScheduler,
+    QuarkScheduler,
+    StarPUScheduler,
+    make_scheduler,
+)
+from .trace import Trace, TraceEvent, compare_traces, save_trace, write_svg
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TiledMatrix",
+    "TileStore",
+    "cholesky_program",
+    "execute_cholesky",
+    "execute_lu",
+    "execute_qr",
+    "lu_program",
+    "qr_program",
+    "Access",
+    "AccessMode",
+    "DataRef",
+    "DataRegistry",
+    "Program",
+    "SimClock",
+    "SimulationBackend",
+    "TaskExecutionQueue",
+    "TaskSpec",
+    "ValidationResult",
+    "run_real",
+    "simulate",
+    "validate",
+    "KernelModelSet",
+    "fit_all_families",
+    "fit_family",
+    "MACHINE_PRESETS",
+    "Machine",
+    "MachineBackend",
+    "calibrate",
+    "get_machine",
+    "OmpSsScheduler",
+    "QuarkScheduler",
+    "StarPUScheduler",
+    "make_scheduler",
+    "Trace",
+    "TraceEvent",
+    "compare_traces",
+    "save_trace",
+    "write_svg",
+    "__version__",
+]

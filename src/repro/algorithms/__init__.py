@@ -1,0 +1,28 @@
+"""Tile linear-algebra algorithms: task-stream generators and numeric execution."""
+
+from .cholesky import CHOLESKY_KERNELS, cholesky_program, execute_cholesky
+from .lu import LU_KERNELS, execute_lu, lu_program
+from .numeric import NUMERIC_BODIES, run_program_serial, run_task
+from .qr import QR_KERNELS, execute_qr, extract_r, qr_program
+from .tiled_matrix import TiledMatrix, TileStore, random_diagdom, random_general, random_spd
+
+__all__ = [
+    "CHOLESKY_KERNELS",
+    "cholesky_program",
+    "execute_cholesky",
+    "LU_KERNELS",
+    "execute_lu",
+    "lu_program",
+    "NUMERIC_BODIES",
+    "run_program_serial",
+    "run_task",
+    "QR_KERNELS",
+    "execute_qr",
+    "extract_r",
+    "qr_program",
+    "TiledMatrix",
+    "TileStore",
+    "random_diagdom",
+    "random_general",
+    "random_spd",
+]

@@ -1,0 +1,146 @@
+"""Tile Cholesky factorization (paper Algorithm 1).
+
+:func:`cholesky_program` elaborates the serial task stream of the tile
+Cholesky factorization of an ``nt x nt`` tile matrix — exactly the loop nest
+of Algorithm 1 with read/write-annotated data parameters.  The stream is what
+gets submitted to a superscalar scheduler; hazard analysis of the annotations
+yields the Cholesky DAG.
+
+:func:`execute_cholesky` runs the same stream numerically (serially, in
+submission order) against a :class:`~repro.algorithms.tiled_matrix.TiledMatrix`
+— the reference the threaded parallel runtime is tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.task import DataRegistry, Program
+from ..kernels import blas
+from ..kernels.flops import kernel_flops
+from .tiled_matrix import TiledMatrix
+
+__all__ = ["cholesky_program", "execute_cholesky", "CHOLESKY_KERNELS"]
+
+#: Kernel classes emitted by the generator, in panel-to-update order.
+CHOLESKY_KERNELS = ("DPOTRF", "DTRSM", "DSYRK", "DGEMM")
+
+
+def cholesky_program(
+    nt: int,
+    nb: int,
+    *,
+    registry: Optional[DataRegistry] = None,
+    name: str = "A",
+    panel_width: int = 1,
+) -> Program:
+    """Serial task stream of the tile Cholesky factorization.
+
+    Parameters
+    ----------
+    nt:
+        Number of tile rows/columns (``NT`` in Algorithm 1).
+    nb:
+        Tile order, used for flop counts and data sizes.
+    registry:
+        Optional shared :class:`DataRegistry`; a fresh one is created when
+        omitted.
+    name:
+        Logical matrix name for the tile refs.
+
+    panel_width:
+        Width (in cores) of the DPOTRF panel tasks — the multi-threaded
+        task extension the paper lists as future work (§VII).  Default 1
+        reproduces the paper's single-threaded tasks.
+
+    Panel tasks receive higher priority than trailing updates (decreasing
+    with the iteration ``k``), matching the priority hints PLASMA passes to
+    QUARK to keep the critical path moving.
+    """
+    if nt <= 0:
+        raise ValueError("nt must be positive")
+    if nb <= 0:
+        raise ValueError("nb must be positive")
+    if panel_width < 1:
+        raise ValueError("panel_width must be at least 1")
+    prog = Program(
+        f"cholesky[nt={nt},nb={nb}]",
+        registry=registry,
+        meta={"algorithm": "cholesky", "nt": nt, "nb": nb, "n": nt * nb},
+    )
+    reg = prog.registry
+    tile_bytes = nb * nb * 8
+
+    def a(i: int, j: int):
+        return reg.alloc(f"{name}[{i},{j}]", tile_bytes, key=(name, i, j))
+
+    for k in range(nt):
+        potrf = prog.add_task(
+            "DPOTRF",
+            [a(k, k).rw()],
+            flops=kernel_flops("DPOTRF", nb),
+            priority=3 * (nt - k),
+            label=f"potrf k={k}",
+            k=k,
+        )
+        potrf.width = panel_width
+        for i in range(k + 1, nt):
+            prog.add_task(
+                "DTRSM",
+                [a(k, k).read(), a(i, k).rw()],
+                flops=kernel_flops("DTRSM", nb),
+                priority=2 * (nt - k),
+                label=f"trsm k={k} i={i}",
+                k=k,
+                i=i,
+            )
+            prog.add_task(
+                "DSYRK",
+                [a(i, i).rw(), a(i, k).read()],
+                flops=kernel_flops("DSYRK", nb),
+                priority=nt - k,
+                label=f"syrk k={k} i={i}",
+                k=k,
+                i=i,
+            )
+        for i in range(k + 2, nt):
+            for j in range(k + 1, i):
+                prog.add_task(
+                    "DGEMM",
+                    [a(i, j).rw(), a(i, k).read(), a(j, k).read()],
+                    flops=kernel_flops("DGEMM", nb),
+                    priority=0,
+                    label=f"gemm k={k} i={i} j={j}",
+                    k=k,
+                    i=i,
+                    j=j,
+                )
+    return prog
+
+
+def execute_cholesky(matrix: TiledMatrix) -> TiledMatrix:
+    """Factorize ``matrix`` in place, serially, tile by tile.
+
+    After the call the lower-triangular tiles hold ``L`` with
+    ``A = L L^T``.  Strictly upper tiles are left untouched (LAPACK
+    convention: only the lower triangle is referenced).
+    """
+    nt = matrix.nt
+    for k in range(nt):
+        blas.potrf(matrix.tile(k, k))
+        for i in range(k + 1, nt):
+            blas.trsm_rlt(matrix.tile(k, k), matrix.tile(i, k))
+            blas.syrk(matrix.tile(i, i), matrix.tile(i, k))
+        for i in range(k + 2, nt):
+            for j in range(k + 1, i):
+                blas.gemm_nt(matrix.tile(i, j), matrix.tile(i, k), matrix.tile(j, k))
+    return matrix
+
+
+def expected_task_count(nt: int) -> int:
+    """Closed-form task count of the tile Cholesky stream.
+
+    ``nt`` POTRF, ``nt(nt-1)/2`` each of TRSM and SYRK, and
+    ``nt(nt-1)(nt-2)/6`` GEMM.
+    """
+    return nt + nt * (nt - 1) + nt * (nt - 1) * (nt - 2) // 6

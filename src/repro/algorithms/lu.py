@@ -1,0 +1,126 @@
+"""Tile LU factorization without pivoting (extension algorithm).
+
+The paper validates on Cholesky and QR; LU with partial pivoting is cited as
+further QUARK work [27].  We include the unpivoted tile LU — the standard
+third member of the PLASMA one-sided factorization family — both as an extra
+workload for the simulator and as a demonstration that the task-stream /
+scheduler / simulator pipeline is algorithm-agnostic.
+
+The loop nest mirrors Algorithm 1's structure with a full (square) trailing
+update:
+
+.. code-block:: none
+
+    for k = 0 .. NT-1
+        getrf_nopiv(A[k][k]^rw)
+        for j = k+1 .. NT-1:  trsm_lln(A[k][k]^r, A[k][j]^rw)   # row panel
+        for i = k+1 .. NT-1:  trsm_run(A[k][k]^r, A[i][k]^rw)   # column panel
+        for i,j = k+1 .. NT-1: gemm_nn(A[i][j]^rw, A[i][k]^r, A[k][j]^r)
+
+Unpivoted LU requires a matrix for which all leading principal minors are
+nonsingular; tests use diagonally dominant matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.task import DataRegistry, Program
+from ..kernels import blas
+from ..kernels.flops import kernel_flops
+from .tiled_matrix import TiledMatrix
+
+__all__ = ["lu_program", "execute_lu", "LU_KERNELS"]
+
+#: Kernel classes emitted by the generator.  The two TRSM flavours are kept
+#: distinct because their memory-access patterns (and hence timing models)
+#: differ.
+LU_KERNELS = ("DGETRF_NOPIV", "DTRSM_LLN", "DTRSM_RUN", "DGEMM_NN")
+
+
+def lu_program(
+    nt: int,
+    nb: int,
+    *,
+    registry: Optional[DataRegistry] = None,
+    name: str = "A",
+) -> Program:
+    """Serial task stream of the unpivoted tile LU factorization."""
+    if nt <= 0:
+        raise ValueError("nt must be positive")
+    if nb <= 0:
+        raise ValueError("nb must be positive")
+    prog = Program(
+        f"lu[nt={nt},nb={nb}]",
+        registry=registry,
+        meta={"algorithm": "lu", "nt": nt, "nb": nb, "n": nt * nb},
+    )
+    reg = prog.registry
+    tile_bytes = nb * nb * 8
+
+    def a(i: int, j: int):
+        return reg.alloc(f"{name}[{i},{j}]", tile_bytes, key=(name, i, j))
+
+    for k in range(nt):
+        prog.add_task(
+            "DGETRF_NOPIV",
+            [a(k, k).rw()],
+            flops=kernel_flops("DGETRF_NOPIV", nb),
+            priority=3 * (nt - k),
+            label=f"getrf k={k}",
+            k=k,
+        )
+        for j in range(k + 1, nt):
+            prog.add_task(
+                "DTRSM_LLN",
+                [a(k, k).read(), a(k, j).rw()],
+                flops=kernel_flops("DTRSM", nb),
+                priority=2 * (nt - k),
+                label=f"trsm_l k={k} j={j}",
+                k=k,
+                j=j,
+            )
+        for i in range(k + 1, nt):
+            prog.add_task(
+                "DTRSM_RUN",
+                [a(k, k).read(), a(i, k).rw()],
+                flops=kernel_flops("DTRSM", nb),
+                priority=2 * (nt - k),
+                label=f"trsm_r k={k} i={i}",
+                k=k,
+                i=i,
+            )
+        for i in range(k + 1, nt):
+            for j in range(k + 1, nt):
+                prog.add_task(
+                    "DGEMM_NN",
+                    [a(i, j).rw(), a(i, k).read(), a(k, j).read()],
+                    flops=kernel_flops("DGEMM", nb),
+                    priority=0,
+                    label=f"gemm k={k} i={i} j={j}",
+                    k=k,
+                    i=i,
+                    j=j,
+                )
+    return prog
+
+
+def execute_lu(matrix: TiledMatrix) -> TiledMatrix:
+    """Factorize ``matrix`` in place: tiles end up holding packed ``L\\U``."""
+    nt = matrix.nt
+    for k in range(nt):
+        blas.getrf_nopiv(matrix.tile(k, k))
+        for j in range(k + 1, nt):
+            blas.trsm_lln_unit(matrix.tile(k, k), matrix.tile(k, j))
+        for i in range(k + 1, nt):
+            blas.trsm_run(matrix.tile(k, k), matrix.tile(i, k))
+        for i in range(k + 1, nt):
+            for j in range(k + 1, nt):
+                blas.gemm_nn(matrix.tile(i, j), matrix.tile(i, k), matrix.tile(k, j))
+    return matrix
+
+
+def expected_task_count(nt: int) -> int:
+    """``nt`` GETRF, ``nt(nt-1)`` TRSMs, ``sum_k (nt-1-k)^2`` GEMMs."""
+    gemm = sum((nt - 1 - k) ** 2 for k in range(nt))
+    return nt + nt * (nt - 1) + gemm

@@ -1,0 +1,174 @@
+"""Tile QR factorization (paper Algorithm 2, Fig. 2).
+
+:func:`qr_program` elaborates the serial task stream of the tile QR
+factorization — the exact loop nest and access annotations of the paper's
+Fig. 2 pseudocode:
+
+.. code-block:: none
+
+    for k = 0 .. NT-1
+        geqrt(A[k][k]^rw, T[k][k]^w)
+        for n = k+1 .. NT-1
+            unmqr(A[k][k]^r, T[k][k]^r, A[k][n]^rw)
+        for m = k+1 .. NT-1
+            tsqrt(A[k][k]^rw, A[m][k]^rw, T[m][k]^w)
+            for n = k+1 .. NT-1
+                tsmqr(A[k][n]^rw, A[m][n]^rw, A[m][k]^r, T[m][k]^r)
+
+As in the real runtimes, each tile is a single dependence unit (the paper's
+``low``/``up`` half-tile annotations are carried in the task labels but do
+not split the hazard).  For ``NT = 3`` the stream is precisely the fourteen
+tasks F0..F13 listed in Fig. 2 — a unit test pins that correspondence.
+
+:func:`execute_qr` performs the factorization numerically in serial order;
+after it returns, the upper tiles of ``A`` hold ``R``, the lower tiles hold
+the structured Householder blocks ``V2``, and the ``T`` store holds the
+compact-WY factors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.task import DataRegistry, Program
+from ..kernels import qr as qrk
+from ..kernels.flops import kernel_flops
+from .tiled_matrix import TiledMatrix, TileStore
+
+__all__ = ["qr_program", "execute_qr", "extract_r", "QR_KERNELS"]
+
+#: Kernel classes emitted by the generator.
+QR_KERNELS = ("DGEQRT", "DORMQR", "DTSQRT", "DTSMQR")
+
+
+def qr_program(
+    nt: int,
+    nb: int,
+    *,
+    registry: Optional[DataRegistry] = None,
+    name: str = "A",
+    panel_width: int = 1,
+) -> Program:
+    """Serial task stream of the tile QR factorization of ``nt x nt`` tiles.
+
+    ``panel_width`` gives the DGEQRT/DTSQRT panel kernels a multi-threaded
+    width (§VII future-work extension); default 1 matches the paper.
+    """
+    if nt <= 0:
+        raise ValueError("nt must be positive")
+    if nb <= 0:
+        raise ValueError("nb must be positive")
+    if panel_width < 1:
+        raise ValueError("panel_width must be at least 1")
+    prog = Program(
+        f"qr[nt={nt},nb={nb}]",
+        registry=registry,
+        meta={"algorithm": "qr", "nt": nt, "nb": nb, "n": nt * nb},
+    )
+    reg = prog.registry
+    tile_bytes = nb * nb * 8
+
+    def a(i: int, j: int):
+        return reg.alloc(f"{name}[{i},{j}]", tile_bytes, key=(name, i, j))
+
+    def t(i: int, j: int):
+        return reg.alloc(f"T[{i},{j}]", tile_bytes, key=("T", i, j))
+
+    for k in range(nt):
+        geqrt = prog.add_task(
+            "DGEQRT",
+            [a(k, k).rw(), t(k, k).write()],
+            flops=kernel_flops("DGEQRT", nb),
+            priority=4 * (nt - k),
+            label=f"geqrt k={k}",
+            k=k,
+        )
+        geqrt.width = panel_width
+        for n in range(k + 1, nt):
+            prog.add_task(
+                "DORMQR",
+                [a(k, k).read(), t(k, k).read(), a(k, n).rw()],
+                flops=kernel_flops("DORMQR", nb),
+                priority=2 * (nt - k),
+                label=f"unmqr k={k} n={n}",
+                k=k,
+                n=n,
+            )
+        for m in range(k + 1, nt):
+            tsqrt = prog.add_task(
+                "DTSQRT",
+                [a(k, k).rw(), a(m, k).rw(), t(m, k).write()],
+                flops=kernel_flops("DTSQRT", nb),
+                priority=3 * (nt - k),
+                label=f"tsqrt k={k} m={m}",
+                k=k,
+                m=m,
+            )
+            tsqrt.width = panel_width
+            for n in range(k + 1, nt):
+                prog.add_task(
+                    "DTSMQR",
+                    [a(k, n).rw(), a(m, n).rw(), a(m, k).read(), t(m, k).read()],
+                    flops=kernel_flops("DTSMQR", nb),
+                    priority=0,
+                    label=f"tsmqr k={k} m={m} n={n}",
+                    k=k,
+                    m=m,
+                    n=n,
+                )
+    return prog
+
+
+def _t_store(matrix: TiledMatrix) -> TileStore:
+    """The tile store of ``matrix``, with ``T`` workspace tiles on demand."""
+    return matrix.store
+
+
+def execute_qr(matrix: TiledMatrix) -> TiledMatrix:
+    """Factorize ``matrix`` in place, serially, tile by tile."""
+    nt, nb = matrix.nt, matrix.nb
+    store = _t_store(matrix)
+    for k in range(nt):
+        tkk = store.ensure(("T", k, k), (nb, nb))
+        qrk.geqrt(matrix.tile(k, k), tkk)
+        for n in range(k + 1, nt):
+            qrk.ormqr(matrix.tile(k, k), tkk, matrix.tile(k, n))
+        for m in range(k + 1, nt):
+            tmk = store.ensure(("T", m, k), (nb, nb))
+            qrk.tsqrt(matrix.tile(k, k), matrix.tile(m, k), tmk)
+            for n in range(k + 1, nt):
+                qrk.tsmqr(
+                    matrix.tile(k, n),
+                    matrix.tile(m, n),
+                    matrix.tile(m, k),
+                    tmk,
+                )
+    return matrix
+
+
+def extract_r(matrix: TiledMatrix) -> np.ndarray:
+    """Dense upper-triangular ``R`` from a factorized :class:`TiledMatrix`.
+
+    Off-diagonal upper tiles are taken whole; diagonal tiles contribute their
+    upper triangle (the part not occupied by reflector vectors); lower tiles
+    are zero in ``R``.
+    """
+    n, nb, nt = matrix.n, matrix.nb, matrix.nt
+    out = np.zeros((n, n))
+    for i in range(nt):
+        out[i * nb : (i + 1) * nb, i * nb : (i + 1) * nb] = np.triu(matrix.tile(i, i))
+        for j in range(i + 1, nt):
+            out[i * nb : (i + 1) * nb, j * nb : (j + 1) * nb] = matrix.tile(i, j)
+    return out
+
+
+def expected_task_count(nt: int) -> int:
+    """Closed-form task count of the tile QR stream.
+
+    ``nt`` GEQRT, ``nt(nt-1)/2`` each of ORMQR and TSQRT, and
+    ``sum_k (nt-1-k)^2`` TSMQR.
+    """
+    tsmqr = sum((nt - 1 - k) ** 2 for k in range(nt))
+    return nt + nt * (nt - 1) + tsmqr

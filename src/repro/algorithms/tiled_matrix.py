@@ -1,0 +1,129 @@
+"""Tile layout for dense matrices (paper Section IV-B).
+
+A :class:`TiledMatrix` stores an ``n x n`` matrix as ``nt x nt`` contiguous
+``nb x nb`` NumPy tiles, the data layout the tile algorithms operate on.  The
+class also doubles as the *tile store* used by numeric execution: tiles are
+addressed by structured keys ``(name, i, j)`` that match the ``key`` field of
+the :class:`~repro.core.task.DataRef` handles an algorithm generator
+allocates, so a task's access list can be resolved to NumPy arrays directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["TiledMatrix", "TileStore", "random_spd", "random_general", "random_diagdom"]
+
+Key = Tuple[object, ...]
+
+
+class TileStore:
+    """Mapping from structured tile keys to NumPy tiles.
+
+    Holds the tiles of one or more logical matrices (e.g. ``A`` and the ``T``
+    factors of tile QR).  Numeric task bodies index it with
+    ``store[ref.key]``.
+    """
+
+    def __init__(self) -> None:
+        self._tiles: Dict[Key, np.ndarray] = {}
+
+    def put(self, key: Key, tile: np.ndarray) -> None:
+        if tile.ndim != 2:
+            raise ValueError("tiles must be 2-D arrays")
+        self._tiles[key] = tile
+
+    def __getitem__(self, key: Key) -> np.ndarray:
+        return self._tiles[key]
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._tiles
+
+    def __len__(self) -> int:
+        return len(self._tiles)
+
+    def keys(self) -> Iterator[Key]:
+        return iter(self._tiles)
+
+    def ensure(self, key: Key, shape: Tuple[int, int]) -> np.ndarray:
+        """Return the tile at ``key``, creating a zero tile if absent.
+
+        Used for workspace matrices such as the ``T`` factors of tile QR.
+        """
+        tile = self._tiles.get(key)
+        if tile is None:
+            tile = np.zeros(shape)
+            self._tiles[key] = tile
+        return tile
+
+
+class TiledMatrix:
+    """A square matrix partitioned into ``nt x nt`` square tiles of order ``nb``."""
+
+    def __init__(self, dense: np.ndarray, nb: int, name: str = "A") -> None:
+        dense = np.asarray(dense, dtype=float)
+        if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+            raise ValueError("TiledMatrix requires a square matrix")
+        n = dense.shape[0]
+        if nb <= 0 or n % nb != 0:
+            raise ValueError(f"matrix order {n} must be a positive multiple of nb={nb}")
+        self.n = n
+        self.nb = nb
+        self.nt = n // nb
+        self.name = name
+        self.store = TileStore()
+        for i in range(self.nt):
+            for j in range(self.nt):
+                self.store.put(
+                    (name, i, j),
+                    dense[i * nb : (i + 1) * nb, j * nb : (j + 1) * nb].copy(),
+                )
+
+    def tile(self, i: int, j: int) -> np.ndarray:
+        """The ``(i, j)`` tile (zero-based)."""
+        if not (0 <= i < self.nt and 0 <= j < self.nt):
+            raise IndexError(f"tile ({i},{j}) out of range for nt={self.nt}")
+        return self.store[(self.name, i, j)]
+
+    def to_dense(self) -> np.ndarray:
+        """Reassemble the dense matrix from the tiles."""
+        out = np.empty((self.n, self.n))
+        nb = self.nb
+        for i in range(self.nt):
+            for j in range(self.nt):
+                out[i * nb : (i + 1) * nb, j * nb : (j + 1) * nb] = self.tile(i, j)
+        return out
+
+    def lower_tiles_dense(self) -> np.ndarray:
+        """Dense matrix with strictly-upper *tiles* zeroed (Cholesky output)."""
+        out = self.to_dense()
+        nb = self.nb
+        for i in range(self.nt):
+            for j in range(i + 1, self.nt):
+                out[i * nb : (i + 1) * nb, j * nb : (j + 1) * nb] = 0.0
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TiledMatrix({self.name}: n={self.n}, nb={self.nb}, nt={self.nt})"
+
+
+def random_spd(n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """A random symmetric positive-definite matrix (for Cholesky tests)."""
+    rng = rng or np.random.default_rng()
+    m = rng.standard_normal((n, n))
+    return m @ m.T + n * np.eye(n)
+
+
+def random_general(n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """A random dense square matrix (for QR tests)."""
+    rng = rng or np.random.default_rng()
+    return rng.standard_normal((n, n))
+
+
+def random_diagdom(n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """A random diagonally-dominant matrix (safe for unpivoted LU)."""
+    rng = rng or np.random.default_rng()
+    m = rng.standard_normal((n, n))
+    return m + n * np.eye(n)

@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``simulate``
+    Full paper pipeline for one problem: calibrate on a small run, simulate,
+    validate against a real run, report (optionally SVG / ASCII Gantt).
+``run``
+    One real run on the machine model; prints trace statistics.
+``dag``
+    Build a factorization DAG; print statistics, optionally write DOT.
+``stream``
+    Print the serial task stream (the paper's Fig. 2 view).
+``figure``
+    Regenerate one of the paper's figures by experiment id.
+
+Every command is pure offline computation on the bundled machine models.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .algorithms import cholesky_program, lu_program, qr_program
+from .core.simulator import run_real, validate
+from .dag import build_dag, dag_stats, write_dot
+from .experiments import (
+    SMOKE_SWEEP_NTS,
+    SWEEP_NTS,
+    distribution_figure,
+    fig1_dag,
+    fig2_stream,
+    figure_table,
+    performance_figure,
+    race_experiment,
+    speedup_experiment,
+    trace_experiment,
+)
+from .machine import calibrate, get_machine
+from .schedulers import make_scheduler
+from .trace.ascii import ascii_gantt
+from .trace.stats import trace_statistics
+from .trace.svg import write_comparison_svg, write_svg
+
+__all__ = ["main"]
+
+_GENERATORS: Dict[str, Callable] = {
+    "cholesky": cholesky_program,
+    "qr": qr_program,
+    "lu": lu_program,
+}
+
+
+def _program(args, nt: Optional[int] = None):
+    gen = _GENERATORS[args.algorithm]
+    kwargs = {}
+    if getattr(args, "panel_width", 1) != 1:
+        kwargs["panel_width"] = args.panel_width
+    return gen(nt if nt is not None else args.nt, args.nb, **kwargs)
+
+
+def _scheduler(args):
+    kwargs = {}
+    if args.scheduler == "starpu" and getattr(args, "policy", None):
+        kwargs["policy"] = args.policy
+    if getattr(args, "window", None):
+        kwargs["window"] = args.window
+    return make_scheduler(args.scheduler, args.workers, **kwargs)
+
+
+def _add_problem_args(p: argparse.ArgumentParser, *, with_sched: bool = True) -> None:
+    p.add_argument("--algorithm", choices=sorted(_GENERATORS), default="cholesky")
+    p.add_argument("--nt", type=int, default=16, help="tiles per matrix side")
+    p.add_argument("--nb", type=int, default=200, help="tile order")
+    p.add_argument("--panel-width", type=int, default=1, dest="panel_width",
+                   help="cores per panel task (multi-threaded tasks)")
+    if with_sched:
+        p.add_argument("--scheduler", choices=("quark", "starpu", "ompss"),
+                       default="quark")
+        p.add_argument("--policy", default=None,
+                       help="StarPU policy (eager/prio/ws/dmda)")
+        p.add_argument("--workers", type=int, default=48)
+        p.add_argument("--window", type=int, default=None)
+        p.add_argument("--machine", default="magny_cours_48")
+        p.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_simulate(args) -> int:
+    machine = get_machine(args.machine)
+    models, _ = calibrate(
+        _program(args, nt=args.cal_nt), _scheduler(args), machine,
+        family=args.family, seed=args.seed,
+    )
+    result = validate(
+        _program(args), _scheduler(args), machine, models,
+        seed_real=args.seed + 1, seed_sim=args.seed + 2,
+        warmup_penalty=machine.warmup_penalty,
+    )
+    print(result.report())
+    if args.svg:
+        path = write_comparison_svg(result.real, result.simulated, args.svg)
+        print(f"wrote {path}")
+    if args.gantt:
+        print("\nreal run:")
+        print(ascii_gantt(result.real, width=args.gantt_width))
+        print("\nsimulated run:")
+        print(ascii_gantt(result.simulated, width=args.gantt_width))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    machine = get_machine(args.machine)
+    trace = run_real(_program(args), _scheduler(args), machine, seed=args.seed)
+    trace.validate()
+    stats = trace_statistics(trace)
+    print(stats.report())
+    print(f"achieved {trace.gflops(_program(args).total_flops):.2f} GFLOP/s "
+          f"(machine peak {machine.peak_gflops:.0f})")
+    if args.svg:
+        print(f"wrote {write_svg(trace, args.svg)}")
+    if args.gantt:
+        print(ascii_gantt(trace, width=args.gantt_width))
+    return 0
+
+
+def _cmd_dag(args) -> int:
+    program = _program(args)
+    dag = build_dag(program)
+    stats = dag_stats(dag)
+    print(f"{program.name}: {stats.n_tasks} tasks, {dag.number_of_edges()} hazard "
+          f"edges over {stats.n_edges} parent/child pairs")
+    print(f"depth {stats.depth}, max width {stats.max_width}, "
+          f"average parallelism {stats.average_parallelism:.2f}")
+    if args.dot:
+        print(f"wrote {write_dot(dag, args.dot)}")
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    print(_program(args).describe(limit=args.limit))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    name = args.id
+    if name == "fig1":
+        print(fig1_dag().report())
+    elif name == "fig2":
+        _, described = fig2_stream()
+        print(described)
+    elif name in ("fig3", "fig4"):
+        fig = distribution_figure(name)
+        print(fig.table())
+        print(f"best by AIC: {fig.best_family}")
+    elif name == "fig5":
+        _, table = race_experiment()
+        print(table)
+    elif name in ("fig6", "fig7", "fig6_7"):
+        print(trace_experiment().report())
+    elif name in ("fig8", "fig9", "fig10"):
+        scheduler = {"fig8": "ompss", "fig9": "starpu", "fig10": "quark"}[name]
+        nts = SWEEP_NTS if args.full else SMOKE_SWEEP_NTS
+        data = performance_figure(scheduler, nts=nts)
+        print(figure_table(scheduler, data))
+    elif name == "speedup":
+        print(speedup_experiment().report())
+    else:
+        print(f"unknown figure id {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel Simulation of Superscalar Scheduling "
+        "(ICPP 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="calibrate, simulate, and validate")
+    _add_problem_args(p)
+    p.add_argument("--cal-nt", type=int, default=16, dest="cal_nt")
+    p.add_argument("--family", default="lognormal")
+    p.add_argument("--svg", default=None, help="write real/sim comparison SVG")
+    p.add_argument("--gantt", action="store_true", help="print ASCII Gantt charts")
+    p.add_argument("--gantt-width", type=int, default=100, dest="gantt_width")
+    p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser("run", help="one real run on the machine model")
+    _add_problem_args(p)
+    p.add_argument("--svg", default=None)
+    p.add_argument("--gantt", action="store_true")
+    p.add_argument("--gantt-width", type=int, default=100, dest="gantt_width")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("dag", help="build and analyse a dependence DAG")
+    _add_problem_args(p, with_sched=False)
+    p.add_argument("--dot", default=None, help="write Graphviz DOT file")
+    p.set_defaults(fn=_cmd_dag)
+
+    p = sub.add_parser("stream", help="print the serial task stream (Fig. 2 view)")
+    _add_problem_args(p, with_sched=False)
+    p.add_argument("--limit", type=int, default=None)
+    p.set_defaults(fn=_cmd_stream)
+
+    p = sub.add_parser("figure", help="regenerate one paper figure")
+    p.add_argument("id", help="fig1..fig10, fig6_7, speedup")
+    p.add_argument("--full", action="store_true", help="full-size sweeps")
+    p.set_defaults(fn=_cmd_figure)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

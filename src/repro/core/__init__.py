@@ -1,0 +1,27 @@
+"""Simulator core: task model, clock, TEQ, backends, and the high-level API."""
+
+from .clock import SimClock
+from .simbackend import HeterogeneousSimulationBackend, SimulationBackend
+from .simulator import ValidationResult, run_real, simulate, validate
+from .task import READ, RW, WRITE, Access, AccessMode, DataRef, DataRegistry, Program, TaskSpec
+from .teq import TaskExecutionQueue
+
+__all__ = [
+    "SimClock",
+    "HeterogeneousSimulationBackend",
+    "SimulationBackend",
+    "ValidationResult",
+    "run_real",
+    "simulate",
+    "validate",
+    "READ",
+    "RW",
+    "WRITE",
+    "Access",
+    "AccessMode",
+    "DataRef",
+    "DataRegistry",
+    "Program",
+    "TaskSpec",
+    "TaskExecutionQueue",
+]

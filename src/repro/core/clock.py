@@ -1,0 +1,45 @@
+"""The simulation clock (paper §V, first crucial element).
+
+"The simulation clock ... keeps track of the simulation time.  The clock is
+stored as a double precision floating point number which is of sufficient
+resolution for the tasks we deal with that operate at the micro-second
+resolution."
+
+The clock is monotone: it can only advance.  The threaded runtime shares one
+clock between worker threads behind a lock; the event-driven engine keeps
+its own notion of time and does not need this class.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Monotone virtual-time clock shared by simulated kernels."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Advance the clock to ``t`` (no-op if ``t`` is in the past).
+
+        Returns the clock value after the call.  Simulated kernels advance
+        the clock to their own completion time just before returning
+        (paper §V-D).
+        """
+        with self._lock:
+            if t > self._now:
+                self._now = t
+            return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        with self._lock:
+            self._now = float(start)

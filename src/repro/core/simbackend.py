@@ -1,0 +1,96 @@
+"""SimulationBackend: the paper's simulator as a duration source.
+
+This is the event-driven realisation of the paper's method: the scheduler
+runs *for real* — it performs its hazard analysis, applies its policies and
+pays its overheads — but each task's body is replaced by a draw from the
+fitted per-kernel timing model ("an approximate execution time such as the
+distribution-based estimator", §V-D).  The discrete-event engine processes
+completions in virtual-time order, so the ordering guarantee that the
+threaded implementation obtains from the Task Execution Queue holds by
+construction here; the mechanical TEQ protocol lives in
+:mod:`repro.core.threaded`.
+
+Optionally the backend adds the warm-up penalty to each worker's first task,
+mirroring the real machine's MKL initialisation so that simulated traces
+reproduce the long leading kernels visible in the paper's Fig. 6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set
+
+import numpy as np
+
+from ..kernels.timing import KernelModelSet
+from ..schedulers.base import TaskNode
+
+__all__ = ["SimulationBackend", "HeterogeneousSimulationBackend"]
+
+
+class SimulationBackend:
+    """Duration source drawing from fitted kernel timing models."""
+
+    def __init__(
+        self,
+        models: KernelModelSet,
+        *,
+        warmup_penalty: float = 0.0,
+    ) -> None:
+        if warmup_penalty < 0:
+            raise ValueError("warmup_penalty must be non-negative")
+        self.models = models
+        self.warmup_penalty = warmup_penalty
+        self._rng: Optional[np.random.Generator] = None
+        self._warmed: Set[int] = set()
+
+    def reset(self, rng: np.random.Generator, n_workers: int) -> None:
+        self._rng = rng
+        self._warmed = set()
+
+    def duration(self, node: TaskNode, worker: int, now: float, active_workers: int) -> float:
+        if self._rng is None:
+            raise RuntimeError("SimulationBackend.duration called before reset()")
+        d = self.models.duration(node.kernel, self._rng)
+        if self.warmup_penalty > 0.0 and worker not in self._warmed:
+            self._warmed.add(worker)
+            d += self.warmup_penalty
+        return d
+
+
+class HeterogeneousSimulationBackend:
+    """Simulation backend for heterogeneous machines (paper §VII extension).
+
+    Kernel timing models are fitted *per worker kind*: on a CPU+GPU machine
+    a DGEMM drawn for a GPU worker comes from the GPU-calibrated
+    distribution.  ``worker_kinds`` maps worker index to its kind label;
+    ``models`` maps each kind to its :class:`KernelModelSet` (see
+    :func:`repro.machine.calibration.collect_samples_by_kind`).
+    """
+
+    def __init__(
+        self,
+        models: Dict[str, KernelModelSet],
+        worker_kinds: Sequence[str],
+    ) -> None:
+        missing = set(worker_kinds) - set(models)
+        if missing:
+            raise ValueError(f"no models for worker kinds: {sorted(missing)}")
+        self.models = dict(models)
+        self.worker_kinds = tuple(worker_kinds)
+        self._rng: Optional[np.random.Generator] = None
+
+    def reset(self, rng: np.random.Generator, n_workers: int) -> None:
+        if n_workers != len(self.worker_kinds):
+            raise ValueError(
+                f"scheduler has {n_workers} workers, worker_kinds describes "
+                f"{len(self.worker_kinds)}"
+            )
+        self._rng = rng
+
+    def duration(self, node: TaskNode, worker: int, now: float, active_workers: int) -> float:
+        if self._rng is None:
+            raise RuntimeError(
+                "HeterogeneousSimulationBackend.duration called before reset()"
+            )
+        kind = self.worker_kinds[worker]
+        return self.models[kind].duration(node.kernel, self._rng)

@@ -1,0 +1,91 @@
+"""The Task Execution Queue (paper §V-C, "the key element of the simulation
+environment").
+
+A priority queue ordered by *simulated completion time*.  Simulated tasks
+enter the queue when they compute their completion time and may only return
+control to the scheduler when they reach the front — guaranteeing that the
+scheduler observes task completions in simulated-time order even though the
+worker threads hosting those tasks run in arbitrary real-time order.
+
+The queue is thread-safe and supports the two operations the protocol needs:
+``insert`` and ``wait_until_front`` / ``pop_front``.  A condition variable
+wakes blocked tasks whenever the front changes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import List, Optional, Tuple
+
+__all__ = ["TaskExecutionQueue"]
+
+
+class TaskExecutionQueue:
+    """Thread-safe priority queue keyed by simulated completion time."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int]] = []  # (end_time, seq, task_id)
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._seq = itertools.count()
+
+    def insert(self, task_id: int, end_time: float) -> None:
+        """Add a task with its simulated completion time."""
+        with self._cond:
+            heapq.heappush(self._heap, (end_time, next(self._seq), task_id))
+            self._cond.notify_all()
+
+    def front(self) -> Optional[int]:
+        """Task id currently at the front (soonest completion), or ``None``."""
+        with self._lock:
+            return self._heap[0][2] if self._heap else None
+
+    def front_end_time(self) -> Optional[float]:
+        with self._lock:
+            return self._heap[0][0] if self._heap else None
+
+    def pop_front(self, task_id: int) -> float:
+        """Remove ``task_id`` from the front; returns its completion time.
+
+        Raises ``RuntimeError`` if ``task_id`` is not at the front — the
+        protocol requires tasks to wait their turn.
+        """
+        with self._cond:
+            if not self._heap or self._heap[0][2] != task_id:
+                raise RuntimeError(
+                    f"task {task_id} attempted to pop while not at the front"
+                )
+            end, _, _ = heapq.heappop(self._heap)
+            self._cond.notify_all()
+            return end
+
+    def wait_until_front(
+        self,
+        task_id: int,
+        *,
+        timeout: Optional[float] = None,
+        predicate=None,
+    ) -> bool:
+        """Block until ``task_id`` is at the front (and ``predicate()`` holds).
+
+        ``predicate`` is the race-condition guard hook: when supplied, the
+        task additionally waits until it returns ``True`` (e.g. QUARK's
+        bookkeeping-complete query).  Returns ``False`` on timeout.
+        """
+        with self._cond:
+            def ok() -> bool:
+                at_front = bool(self._heap) and self._heap[0][2] == task_id
+                return at_front and (predicate() if predicate is not None else True)
+
+            return self._cond.wait_for(ok, timeout=timeout)
+
+    def notify(self) -> None:
+        """Wake waiters to re-evaluate (used when external guard state changes)."""
+        with self._cond:
+            self._cond.notify_all()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)

@@ -1,0 +1,358 @@
+"""Threaded superscalar runtime: the paper's simulator, with real threads.
+
+This module is the mechanical twin of the implementation described in paper
+Section V.  A master thread inserts tasks serially (hazard analysis, window
+throttling) and ``n_workers`` OS threads execute task bodies.  Two modes:
+
+``execute``
+    Task bodies run the real NumPy tile kernels against a
+    :class:`~repro.algorithms.tiled_matrix.TileStore` and the trace records
+    wall-clock times.  Because NumPy's BLAS releases the GIL, this is a true
+    parallel execution — the "real run" of the speed-up experiment.
+
+``simulate``
+    Task bodies perform the paper's simulated-kernel protocol (§V-D):
+
+    1. read the shared :class:`~repro.core.clock.SimClock` — the kernel's
+       virtual start time;
+    2. draw the duration from the kernel's fitted timing model; compute the
+       virtual end time;
+    3. insert ``(task, end)`` into the :class:`TaskExecutionQueue` and add
+       the event to the simulated trace;
+    4. **wait until the task is at the front of the queue** (and the race
+       guard admits it), so control returns to the scheduler in simulated
+       completion order;
+    5. advance the clock to the end time, pop, and return — only now does
+       the runtime release the task's dependents ("from the scheduler's
+       perspective, the task is still executing until the function
+       returns").
+
+**Race guards** (§V-E).  When a front task returns, the runtime may release
+a dependent whose simulated start would *precede* the next queued task's
+end; if that next task returns first, the dependent reads an
+already-advanced clock and lands too late in the trace.  Guards:
+
+* ``"quiesce"`` — the QUARK-extension approach: the front task may only
+  return when no released task is still on its way into the queue
+  (``limbo == 0``) and no idle worker has queued work it could start now;
+* ``"sleep"`` / ``"yield"`` — the portable approach: sleep a fraction of a
+  second (or yield the OS scheduler) after reaching the front, giving the
+  runtime time to finish its bookkeeping, then re-check;
+* ``"none"`` — no guard: reproduces the race (used by the Fig. 5
+  experiment, usually together with ``dispatch_delay``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..algorithms.numeric import run_task
+from ..algorithms.tiled_matrix import TileStore
+from ..kernels.timing import KernelModelSet
+from ..schedulers.policies import PriorityQueue
+from ..schedulers.taskdep import HazardTracker
+from ..trace.events import Trace
+from .clock import SimClock
+from .task import Program, TaskSpec
+from .teq import TaskExecutionQueue
+
+__all__ = ["ThreadedRuntime", "RACE_GUARDS"]
+
+RACE_GUARDS = ("quiesce", "sleep", "yield", "none")
+
+
+class _Node:
+    __slots__ = ("spec", "n_deps", "successors", "done", "ready_clock")
+
+    def __init__(self, spec: TaskSpec) -> None:
+        self.spec = spec
+        self.n_deps = 0
+        self.successors: List["_Node"] = []
+        self.done = False
+        self.ready_clock = 0.0
+
+    @property
+    def priority(self) -> int:
+        return self.spec.priority
+
+    @property
+    def kernel(self) -> str:
+        return self.spec.kernel
+
+    @property
+    def task_id(self) -> int:
+        return self.spec.task_id
+
+
+class ThreadedRuntime:
+    """QUARK-style threaded runtime with ``execute`` and ``simulate`` modes."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        *,
+        mode: str = "simulate",
+        guard: str = "quiesce",
+        sleep_time: float = 200e-6,
+        window: int = 4096,
+        dispatch_delay: float = 0.0,
+        delay_kernels: Optional[Tuple[str, ...]] = None,
+    ) -> None:
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        if mode not in ("execute", "simulate"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if guard not in RACE_GUARDS:
+            raise ValueError(f"unknown race guard {guard!r}; choose from {RACE_GUARDS}")
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.n_workers = n_workers
+        self.mode = mode
+        self.guard = guard
+        self.sleep_time = sleep_time
+        self.window = window
+        #: artificial real-time delay between a worker claiming a task and
+        #: the task body starting — widens the §V-E race window for tests.
+        #: ``delay_kernels`` restricts the injection to specific kernel
+        #: classes so a test can target one dispatch (e.g. Fig. 5's task C).
+        self.dispatch_delay = dispatch_delay
+        self.delay_kernels = delay_kernels
+
+    # -- public entry -------------------------------------------------------
+    def run(
+        self,
+        program: Program,
+        *,
+        models: Optional[KernelModelSet] = None,
+        store: Optional[TileStore] = None,
+        seed: int = 0,
+    ) -> Trace:
+        """Execute or simulate ``program``; returns the trace.
+
+        ``simulate`` mode requires ``models``; ``execute`` mode requires
+        ``store`` holding the input tiles (``program.meta['nb']`` gives the
+        tile order).
+        """
+        if self.mode == "simulate" and models is None:
+            raise ValueError("simulate mode requires kernel timing models")
+        if self.mode == "execute" and store is None:
+            raise ValueError("execute mode requires a TileStore")
+        if any(spec.width > 1 for spec in program):
+            raise NotImplementedError(
+                "multi-threaded tasks are supported by the event-driven "
+                "engine only (schedulers.engine), not the threaded runtime"
+            )
+
+        trace = Trace(
+            self.n_workers,
+            meta={
+                "scheduler": "threaded-quark",
+                "mode": self.mode,
+                "guard": self.guard,
+                "program": program.name,
+                "seed": seed,
+            },
+        )
+        state = _RunState(self, program, trace, models, store, seed)
+        state.run()
+        return trace
+
+
+class _RunState:
+    """All shared state of one threaded run, behind one monitor lock."""
+
+    def __init__(
+        self,
+        rt: ThreadedRuntime,
+        program: Program,
+        trace: Trace,
+        models: Optional[KernelModelSet],
+        store: Optional[TileStore],
+        seed: int,
+    ) -> None:
+        self.rt = rt
+        self.program = program
+        self.trace = trace
+        self.models = models
+        self.store = store
+        self.nb = int(program.meta.get("nb", 0))
+        self.rng = np.random.default_rng(seed)
+        self.rng_lock = threading.Lock()
+        self.trace_lock = threading.Lock()
+
+        self.nodes = [_Node(spec) for spec in program]
+        self.tracker = HazardTracker()
+
+        # Monitor protecting ready queue, counters, and dependence state.
+        self.lock = threading.Lock()
+        self.cond = threading.Condition(self.lock)
+        self.ready = PriorityQueue()
+        self.n_ready = 0
+        self.idle = 0  # workers blocked waiting for work
+        self.limbo = 0  # claimed tasks not yet registered in the TEQ
+        self.done_count = 0
+        self.in_flight = 0
+        self.shutdown = False
+
+        self.clock = SimClock()
+        self.teq = TaskExecutionQueue()
+        self.t0_real = 0.0
+
+    # -- guard predicate (quiesce) --------------------------------------------
+    def _quiesce_ok(self) -> bool:
+        """May the TEQ-front task return?  See module docstring.
+
+        Reads counters without the monitor lock: the TEQ re-evaluates on
+        every ``notify`` and all transitions notify, so stale reads only
+        cause an extra wait/wakeup, never a missed condition.
+        """
+        if self.limbo > 0:
+            return False
+        return self.n_ready == 0 or self.idle == 0
+
+    def _notify_teq(self) -> None:
+        self.teq.notify()
+
+    # -- dependence bookkeeping ----------------------------------------------
+    def _insert_task(self, node: _Node) -> None:
+        """Master-side hazard analysis of one task (holds the monitor)."""
+        self.tracker.add_task(node.spec)
+        preds = self.tracker.predecessors(node.task_id)
+        outstanding = 0
+        for pid in preds:
+            pred = self.nodes[pid]
+            if not pred.done:
+                pred.successors.append(node)
+                outstanding += 1
+        node.n_deps = outstanding
+        self.in_flight += 1
+        if outstanding == 0:
+            self._enqueue_ready(node)
+
+    def _enqueue_ready(self, node: _Node) -> None:
+        node.ready_clock = self.clock.now()
+        self.ready.push(node)
+        self.n_ready += 1
+        self.cond.notify_all()
+        self._notify_teq()
+
+    def _complete(self, node: _Node) -> None:
+        """Release dependents after the task function has returned."""
+        with self.cond:
+            node.done = True
+            self.done_count += 1
+            self.in_flight -= 1
+            for succ in node.successors:
+                succ.n_deps -= 1
+                if succ.n_deps == 0:
+                    self._enqueue_ready(succ)
+            if self.done_count == len(self.nodes):
+                self.shutdown = True
+            self.cond.notify_all()
+        self._notify_teq()
+
+    # -- task bodies ------------------------------------------------------------
+    def _body_execute(self, node: _Node, worker: int) -> None:
+        start = time.perf_counter() - self.t0_real
+        run_task(node.spec, self.store, self.nb)
+        end = time.perf_counter() - self.t0_real
+        with self.trace_lock:
+            self.trace.record(
+                worker, node.task_id, node.kernel, start, end, node.spec.label
+            )
+
+    def _body_simulate(self, node: _Node, worker: int) -> None:
+        # 1. virtual start time: the current simulation clock.
+        start = self.clock.now()
+        # 2. duration from the kernel's fitted model.
+        with self.rng_lock:
+            duration = self.models.duration(node.kernel, self.rng)
+        end = start + duration
+        # 3. register in the Task Execution Queue and the simulated trace.
+        self.teq.insert(node.task_id, end)
+        with self.cond:
+            self.limbo -= 1  # now visible to the scheduler via the TEQ
+            self.cond.notify_all()
+        self._notify_teq()
+        with self.trace_lock:
+            self.trace.record(worker, node.task_id, node.kernel, start, end, node.spec.label)
+        # 4. wait for our turn to "complete".
+        self._wait_for_front(node)
+        # 5. advance the clock and return to the scheduler.
+        self.clock.advance_to(end)
+        self.teq.pop_front(node.task_id)
+
+    def _wait_for_front(self, node: _Node) -> None:
+        guard = self.rt.guard
+        if guard == "quiesce":
+            self.teq.wait_until_front(node.task_id, predicate=self._quiesce_ok)
+            return
+        if guard in ("sleep", "yield"):
+            # Portable guard: reach the front, pause to let the runtime
+            # finish bookkeeping, confirm we are still at the front.
+            while True:
+                self.teq.wait_until_front(node.task_id)
+                if guard == "sleep":
+                    time.sleep(self.rt.sleep_time)
+                else:
+                    time.sleep(0)  # sched_yield equivalent
+                if self.teq.front() == node.task_id:
+                    return
+            # unreachable
+        # guard == "none": return as soon as we reach the front.
+        self.teq.wait_until_front(node.task_id)
+
+    # -- threads -------------------------------------------------------------
+    def _worker_loop(self, worker: int) -> None:
+        body = self._body_execute if self.rt.mode == "execute" else self._body_simulate
+        while True:
+            with self.cond:
+                self.idle += 1
+                self._notify_teq()
+                while self.n_ready == 0 and not self.shutdown:
+                    self.cond.wait()
+                if self.n_ready == 0 and self.shutdown:
+                    self.idle -= 1
+                    self._notify_teq()
+                    return
+                node = self.ready.pop()
+                self.n_ready -= 1
+                self.idle -= 1
+                if self.rt.mode == "simulate":
+                    self.limbo += 1
+                self._notify_teq()
+            if self.rt.dispatch_delay > 0.0 and (
+                self.rt.delay_kernels is None or node.kernel in self.rt.delay_kernels
+            ):
+                time.sleep(self.rt.dispatch_delay)  # race-window injection
+            body(node, worker)
+            self._complete(node)
+
+    def _master_loop(self) -> None:
+        for node in self.nodes:
+            with self.cond:
+                while self.in_flight >= self.rt.window and not self.shutdown:
+                    self.cond.wait()
+                self._insert_task(node)
+
+    def run(self) -> None:
+        if not self.nodes:
+            return
+        self.t0_real = time.perf_counter()
+        workers = [
+            threading.Thread(target=self._worker_loop, args=(w,), daemon=True)
+            for w in range(self.rt.n_workers)
+        ]
+        for t in workers:
+            t.start()
+        self._master_loop()
+        for t in workers:
+            t.join()
+        if self.done_count != len(self.nodes):
+            raise RuntimeError(
+                f"threaded run finished with {self.done_count}/{len(self.nodes)} tasks"
+            )

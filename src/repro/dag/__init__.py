@@ -1,0 +1,30 @@
+"""Dependence-DAG construction, analysis, and export."""
+
+from .analysis import (
+    DagStats,
+    critical_path,
+    dag_stats,
+    depth_levels,
+    makespan_lower_bound,
+    parallelism_profile,
+)
+from .build import build_dag, simple_dag
+from .listsched import ListSchedule, list_schedule, upward_ranks
+from .export import KERNEL_COLORS, to_dot, write_dot
+
+__all__ = [
+    "DagStats",
+    "critical_path",
+    "dag_stats",
+    "depth_levels",
+    "makespan_lower_bound",
+    "parallelism_profile",
+    "build_dag",
+    "simple_dag",
+    "ListSchedule",
+    "list_schedule",
+    "upward_ranks",
+    "KERNEL_COLORS",
+    "to_dot",
+    "write_dot",
+]

@@ -1,0 +1,143 @@
+"""DAG analysis: critical path, parallelism profile, lower bounds.
+
+These quantities explain *why* a schedule performs the way it does: the
+weighted critical path is the absolute makespan floor on any number of cores,
+``total_work / p`` is the floor on ``p`` cores, and the level-by-level width
+profile shows where a factorization starves for parallelism (the tail of a
+tile factorization narrows to the final diagonal task).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from .build import simple_dag
+
+__all__ = [
+    "critical_path",
+    "depth_levels",
+    "parallelism_profile",
+    "DagStats",
+    "dag_stats",
+    "makespan_lower_bound",
+]
+
+WeightFn = Callable[[int, dict], float]
+
+
+def _weight_fn(weights: Optional[Mapping[str, float]]) -> WeightFn:
+    """Node-weight function: per-kernel mean times, falling back to flops."""
+
+    def fn(node: int, data: dict) -> float:
+        if weights is not None:
+            try:
+                return float(weights[data.get("kernel", "")])
+            except KeyError:
+                pass
+        return float(data.get("flops", 1.0)) or 1.0
+
+    return fn
+
+
+def critical_path(
+    dag: nx.DiGraph,
+    weights: Optional[Mapping[str, float]] = None,
+) -> Tuple[float, List[int]]:
+    """Weighted critical path: ``(length, node list)``.
+
+    ``weights`` maps kernel name to a per-task cost (e.g. the mean of its
+    fitted timing model); without it, flop counts are used.  Node weights sit
+    on the vertices, so the path length includes both endpoints.
+    """
+    g = simple_dag(dag) if dag.is_multigraph() else dag
+    wf = _weight_fn(weights)
+    dist: Dict[int, float] = {}
+    pred: Dict[int, int] = {}
+    for node in nx.topological_sort(g):
+        w = wf(node, g.nodes[node])
+        best, best_pred = 0.0, -1
+        for p in g.predecessors(node):
+            if dist[p] > best:
+                best, best_pred = dist[p], p
+        dist[node] = best + w
+        if best_pred >= 0:
+            pred[node] = best_pred
+    if not dist:
+        return 0.0, []
+    end = max(dist, key=dist.get)  # type: ignore[arg-type]
+    path = [end]
+    while path[-1] in pred:
+        path.append(pred[path[-1]])
+    path.reverse()
+    return dist[end], path
+
+
+def depth_levels(dag: nx.DiGraph) -> Dict[int, int]:
+    """Unweighted longest-path depth of every node (root depth 0)."""
+    g = simple_dag(dag) if dag.is_multigraph() else dag
+    depth: Dict[int, int] = {}
+    for node in nx.topological_sort(g):
+        depth[node] = max((depth[p] + 1 for p in g.predecessors(node)), default=0)
+    return depth
+
+
+def parallelism_profile(dag: nx.DiGraph) -> List[int]:
+    """Number of tasks at each depth level — the DAG's width profile.
+
+    Level widths bound how many cores the algorithm can keep busy if tasks
+    proceeded in lock-step levels; superscalar execution does better by
+    overlapping levels, which is exactly the paper's motivation (§IV-B).
+    """
+    depth = depth_levels(dag)
+    if not depth:
+        return []
+    widths = [0] * (max(depth.values()) + 1)
+    for d in depth.values():
+        widths[d] += 1
+    return widths
+
+
+@dataclass(frozen=True)
+class DagStats:
+    """Summary statistics of a dependence DAG."""
+
+    n_tasks: int
+    n_edges: int
+    depth: int
+    max_width: int
+    total_work: float
+    critical_path_length: float
+    average_parallelism: float
+
+
+def dag_stats(dag: nx.DiGraph, weights: Optional[Mapping[str, float]] = None) -> DagStats:
+    """Compute :class:`DagStats` for ``dag`` under per-kernel ``weights``."""
+    g = simple_dag(dag) if dag.is_multigraph() else dag
+    wf = _weight_fn(weights)
+    total = sum(wf(n, g.nodes[n]) for n in g.nodes)
+    cp, _ = critical_path(g, weights)
+    widths = parallelism_profile(g)
+    return DagStats(
+        n_tasks=g.number_of_nodes(),
+        n_edges=g.number_of_edges(),
+        depth=len(widths),
+        max_width=max(widths) if widths else 0,
+        total_work=total,
+        critical_path_length=cp,
+        average_parallelism=(total / cp) if cp > 0 else 0.0,
+    )
+
+
+def makespan_lower_bound(
+    dag: nx.DiGraph,
+    n_workers: int,
+    weights: Optional[Mapping[str, float]] = None,
+) -> float:
+    """``max(critical path, total_work / p)`` — the classic schedule bound."""
+    if n_workers <= 0:
+        raise ValueError("n_workers must be positive")
+    stats = dag_stats(dag, weights)
+    return max(stats.critical_path_length, stats.total_work / n_workers)

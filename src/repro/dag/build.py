@@ -1,0 +1,57 @@
+"""Build dependence DAGs from serial task streams (paper Fig. 1).
+
+The DAG has one vertex per task and one edge per *data hazard*.  Because a
+task pair can be linked by several hazards (Fig. 1: "some vertices have
+multiple edges from a parent node"), the primary representation is a
+:class:`networkx.MultiDiGraph`; :func:`simple_dag` collapses multiplicity for
+graph-algorithmic work.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..core.task import Program
+from ..schedulers.taskdep import HazardTracker
+
+__all__ = ["build_dag", "simple_dag"]
+
+
+def build_dag(program: Program) -> nx.MultiDiGraph:
+    """Hazard-analyse ``program`` and return its dependence multigraph.
+
+    Node attributes: ``kernel``, ``label``, ``flops``, ``priority``.
+    Edge attributes: ``kind`` (``"RaW"``/``"WaR"``/``"WaW"``) and ``ref``
+    (the data name carrying the hazard).
+    """
+    tracker = HazardTracker()
+    dag = nx.MultiDiGraph(name=program.name)
+    for task in program:
+        dag.add_node(
+            task.task_id,
+            kernel=task.kernel,
+            label=task.label or task.describe(),
+            flops=task.flops,
+            priority=task.priority,
+        )
+        for dep in tracker.add_task(task):
+            dag.add_edge(dep.src, dep.dst, kind=dep.kind.value, ref=dep.ref.name)
+    return dag
+
+
+def simple_dag(program_or_dag) -> nx.DiGraph:
+    """A :class:`networkx.DiGraph` view with hazard multiplicity collapsed.
+
+    Accepts either a :class:`~repro.core.task.Program` or an already-built
+    multigraph.  Edge attribute ``multiplicity`` records how many hazards the
+    collapsed edge represents.
+    """
+    if isinstance(program_or_dag, Program):
+        multi = build_dag(program_or_dag)
+    else:
+        multi = program_or_dag
+    simple = nx.DiGraph(name=multi.name)
+    simple.add_nodes_from(multi.nodes(data=True))
+    for src, dst in set(multi.edges()):
+        simple.add_edge(src, dst, multiplicity=multi.number_of_edges(src, dst))
+    return simple

@@ -1,0 +1,129 @@
+"""Static list scheduling — the classic baseline the paper contrasts with.
+
+The paper's related work (§II) points at the static-scheduling literature
+(Kwok & Ahmad's survey [6]) and argues that *dynamic* superscalar runtimes
+need simulation because static analysis cannot capture their behaviour.
+This module supplies that baseline so the claim can be measured: a
+critical-path-priority list scheduler (HEFT specialised to homogeneous
+workers) that maps a dependence DAG onto ``n_workers`` using fixed
+per-kernel costs, producing both a schedule (as a :class:`Trace`) and a
+static makespan prediction.
+
+Two uses:
+
+* a *lower-fidelity predictor*: how well does a static schedule of mean
+  kernel times predict the real dynamic runtime?  (Answer, per the
+  BASE-STATIC bench: noticeably worse than the paper's simulator, because
+  it ignores scheduler policy, insertion, window, and stochastic timing.)
+* a *quality yardstick*: how close do the dynamic runtimes come to a
+  carefully planned static schedule?
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from ..core.task import Program
+from ..trace.events import Trace
+from .build import build_dag, simple_dag
+
+__all__ = ["ListSchedule", "list_schedule", "upward_ranks"]
+
+
+def upward_ranks(
+    dag: nx.DiGraph, costs: Mapping[int, float]
+) -> Dict[int, float]:
+    """HEFT upward rank: longest cost-weighted path from each node to exit."""
+    g = simple_dag(dag) if dag.is_multigraph() else dag
+    rank: Dict[int, float] = {}
+    for node in reversed(list(nx.topological_sort(g))):
+        succ_rank = max((rank[s] for s in g.successors(node)), default=0.0)
+        rank[node] = costs[node] + succ_rank
+    return rank
+
+
+@dataclass
+class ListSchedule:
+    """Outcome of a static list-scheduling pass."""
+
+    trace: Trace
+    makespan: float
+    ranks: Dict[int, float]
+
+
+def list_schedule(
+    program: Program,
+    n_workers: int,
+    kernel_costs: Mapping[str, float],
+    *,
+    meta: Optional[Dict[str, object]] = None,
+) -> ListSchedule:
+    """Critical-path list scheduling of ``program`` onto ``n_workers``.
+
+    Tasks are prioritised by HEFT upward rank and greedily placed on the
+    earliest-available worker (insertion-free, overhead-free, deterministic).
+    ``kernel_costs`` supplies the fixed per-kernel duration (typically the
+    mean of a calibrated timing model).
+    """
+    if n_workers <= 0:
+        raise ValueError("n_workers must be positive")
+    dag = simple_dag(build_dag(program))
+    costs = {t.task_id: float(kernel_costs[t.kernel]) for t in program}
+    for tid, c in costs.items():
+        if c <= 0:
+            raise ValueError(f"task {tid} has non-positive cost {c}")
+    ranks = upward_ranks(dag, costs)
+
+    indegree = {n: dag.in_degree(n) for n in dag.nodes}
+    data_ready: Dict[int, float] = {n: 0.0 for n in dag.nodes}
+    ready: List[Tuple[float, int]] = [
+        (-ranks[n], n) for n, d in indegree.items() if d == 0
+    ]
+    heapq.heapify(ready)
+    worker_free = [0.0] * n_workers
+    finish: Dict[int, float] = {}
+
+    trace_meta = {"scheduler": "static-list", "program": program.name}
+    trace_meta.update(meta or {})
+    trace = Trace(n_workers, meta=trace_meta)
+
+    while ready:
+        _, node = heapq.heappop(ready)
+        width = program[node].width
+        if width > n_workers:
+            raise ValueError(f"task {node} wider than the machine")
+        est = data_ready[node]
+        if width == 1:
+            worker = min(range(n_workers), key=lambda w: (max(worker_free[w], est), w))
+            start = max(worker_free[worker], est)
+            end = start + costs[node]
+            worker_free[worker] = end
+        else:
+            # Gang placement: the contiguous block whose latest-free worker
+            # frees earliest.
+            best_start, worker = None, 0
+            for w0 in range(n_workers - width + 1):
+                block_free = max(worker_free[w0 : w0 + width])
+                s = max(block_free, est)
+                if best_start is None or s < best_start:
+                    best_start, worker = s, w0
+            start = best_start
+            end = start + costs[node]
+            for w in range(worker, worker + width):
+                worker_free[w] = end
+        finish[node] = end
+        trace.record(worker, node, program[node].kernel, start, end,
+                     label=program[node].label, width=width)
+        for succ in dag.successors(node):
+            data_ready[succ] = max(data_ready[succ], end)
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                heapq.heappush(ready, (-ranks[succ], succ))
+
+    if len(finish) != len(program):
+        raise RuntimeError("list scheduler dropped tasks (cyclic DAG?)")
+    return ListSchedule(trace=trace, makespan=trace.makespan, ranks=ranks)

@@ -1,0 +1,67 @@
+"""Experiment drivers: one per figure/claim of the paper (see DESIGN.md)."""
+
+from .ablations import (
+    ablation_distribution,
+    ablation_ompss_successor,
+    ablation_quark_window,
+    ablation_starpu_policy,
+    ablation_warmup,
+)
+from .config import (
+    CAL_NT,
+    MACHINE_NAME,
+    SMOKE_SWEEP_NTS,
+    SWEEP_NTS,
+    TILE_SIZE,
+    TRACE_NT,
+    TRACE_TILE_SIZE,
+    make_experiment_scheduler,
+)
+from .dagfigs import FIG2_EXPECTED, fig1_dag, fig2_stream
+from .index import EXPERIMENTS, Experiment
+from .distributions import distribution_figure
+from .performance import (
+    PerfPoint,
+    accuracy_summary,
+    figure_table,
+    performance_figure,
+    performance_sweep,
+)
+from .race import race_experiment, run_scenario
+from .reporting import artifact_dir, format_table, write_artifact
+from .speedup import speedup_experiment
+from .traces import trace_experiment
+
+__all__ = [
+    "ablation_distribution",
+    "ablation_ompss_successor",
+    "ablation_quark_window",
+    "ablation_starpu_policy",
+    "ablation_warmup",
+    "CAL_NT",
+    "MACHINE_NAME",
+    "SMOKE_SWEEP_NTS",
+    "SWEEP_NTS",
+    "TILE_SIZE",
+    "TRACE_NT",
+    "TRACE_TILE_SIZE",
+    "make_experiment_scheduler",
+    "EXPERIMENTS",
+    "Experiment",
+    "FIG2_EXPECTED",
+    "fig1_dag",
+    "fig2_stream",
+    "distribution_figure",
+    "PerfPoint",
+    "accuracy_summary",
+    "figure_table",
+    "performance_figure",
+    "performance_sweep",
+    "race_experiment",
+    "run_scenario",
+    "artifact_dir",
+    "format_table",
+    "write_artifact",
+    "speedup_experiment",
+    "trace_experiment",
+]

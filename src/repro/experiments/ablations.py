@@ -1,0 +1,262 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+* :func:`ablation_distribution` — how the kernel-model family affects
+  prediction accuracy (the paper argues model randomness is "essential").
+* :func:`ablation_warmup` — what happens to the fits, and downstream
+  accuracy, when the MKL-style warm-up outliers are *not* excluded.
+* :func:`ablation_starpu_policy` — real-run makespans under each StarPU
+  policy, and whether the simulator tracks the differences.
+* :func:`ablation_quark_window` — QUARK window-size sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..algorithms import cholesky_program, qr_program
+from ..core.simulator import validate
+from ..kernels.timing import KernelModelSet
+from ..machine import calibrate, calibration_run, collect_samples, get_machine
+from ..schedulers import OmpSsScheduler, QuarkScheduler, StarPUScheduler
+from ..schedulers.starpu import STARPU_POLICIES
+from .config import MACHINE_NAME, make_experiment_scheduler
+from .reporting import format_table
+
+__all__ = [
+    "ablation_distribution",
+    "ablation_warmup",
+    "ablation_starpu_policy",
+    "ablation_quark_window",
+    "ablation_ompss_successor",
+]
+
+
+@dataclass(frozen=True)
+class FamilyOutcome:
+    family: str
+    error_percent: float
+    order_similarity: float
+
+
+def ablation_distribution(
+    *,
+    families: Sequence[str] = ("constant", "uniform", "normal", "gamma", "lognormal", "empirical"),
+    nt: int = 18,
+    cal_nt: int = 16,
+    tile: int = 180,
+    machine_name: str = MACHINE_NAME,
+    seed: int = 0,
+) -> Tuple[List[FamilyOutcome], str]:
+    """Prediction error of each kernel-model family on a QR problem."""
+    machine = get_machine(machine_name)
+    cal_trace = calibration_run(
+        qr_program(cal_nt, tile), make_experiment_scheduler("quark"), machine, seed=seed
+    )
+    samples = collect_samples(cal_trace)
+    outcomes: List[FamilyOutcome] = []
+    for family in families:
+        models = KernelModelSet.from_samples(samples, family=family)
+        result = validate(
+            qr_program(nt, tile),
+            make_experiment_scheduler("quark"),
+            machine,
+            models,
+            seed_real=seed + 1,
+            seed_sim=seed + 2,
+            warmup_penalty=machine.warmup_penalty,
+        )
+        outcomes.append(
+            FamilyOutcome(
+                family=family,
+                error_percent=result.error_percent,
+                order_similarity=result.comparison.order_similarity,
+            )
+        )
+    table = format_table(
+        ("family", "err %", "order tau"),
+        [(o.family, o.error_percent, o.order_similarity) for o in outcomes],
+        title=f"ABL-DIST: kernel-model family vs accuracy (QR nt={nt}, tile={tile})",
+    )
+    return outcomes, table
+
+
+def ablation_warmup(
+    *,
+    nt: int = 18,
+    cal_nt: int = 8,
+    tile: int = 180,
+    machine_name: str = MACHINE_NAME,
+    seed: int = 0,
+) -> Tuple[Dict[str, float], str]:
+    """Effect of (not) excluding the per-thread warm-up outliers.
+
+    Uses a deliberately small calibration problem so the 48 first-task
+    penalties are a large sample fraction — the regime where the paper warns
+    "these extreme outliers can drastically affect the model fitting".
+    """
+    machine = get_machine(machine_name)
+    cal_trace = calibration_run(
+        qr_program(cal_nt, tile), make_experiment_scheduler("quark"), machine, seed=seed
+    )
+    errors: Dict[str, float] = {}
+    mean_shift: Dict[str, float] = {}
+    for label, drop, trim in (("handled", True, True), ("ignored", False, False)):
+        samples = collect_samples(cal_trace, drop_first_per_worker=drop)
+        models = KernelModelSet.from_samples(samples, family="lognormal", trim_warmup=trim)
+        result = validate(
+            qr_program(nt, tile),
+            make_experiment_scheduler("quark"),
+            machine,
+            models,
+            seed_real=seed + 1,
+            seed_sim=seed + 2,
+            warmup_penalty=machine.warmup_penalty,
+        )
+        errors[label] = result.error_percent
+        mean_shift[label] = models.mean_duration("DTSMQR") * 1e6
+    table = format_table(
+        ("warm-up outliers", "DTSMQR mean us", "err %"),
+        [(k, mean_shift[k], errors[k]) for k in errors],
+        title=f"ABL-WARMUP: calibration outlier handling (cal nt={cal_nt})",
+    )
+    return errors, table
+
+
+def ablation_starpu_policy(
+    *,
+    nt: int = 20,
+    tile: int = 200,
+    machine_name: str = MACHINE_NAME,
+    n_workers: int = 47,
+    cal_nt: int = 16,
+    seed: int = 0,
+) -> Tuple[Dict[str, Dict[str, float]], str]:
+    """Per-policy real makespans and the simulator's per-policy predictions.
+
+    The useful property for autotuning (§VI-B) is not just low error — it is
+    that the *ranking* of policies under simulation matches reality.
+    """
+    machine = get_machine(machine_name)
+    rows = []
+    data: Dict[str, Dict[str, float]] = {}
+    program = cholesky_program(nt, tile)
+    for policy in STARPU_POLICIES:
+        sched = StarPUScheduler(n_workers, policy=policy)
+        models, _ = calibrate(
+            cholesky_program(cal_nt, tile),
+            StarPUScheduler(n_workers, policy=policy),
+            machine,
+            seed=seed,
+        )
+        result = validate(
+            program,
+            sched,
+            machine,
+            models,
+            seed_real=seed + 1,
+            seed_sim=seed + 2,
+            warmup_penalty=machine.warmup_penalty,
+        )
+        data[policy] = {
+            "gflops_real": result.gflops_real,
+            "gflops_sim": result.gflops_sim,
+            "error_percent": result.error_percent,
+        }
+        rows.append((policy, result.gflops_real, result.gflops_sim, result.error_percent))
+    table = format_table(
+        ("policy", "real GF/s", "sim GF/s", "err %"),
+        rows,
+        title=f"ABL-POLICY: StarPU policies (Cholesky nt={nt}, tile={tile})",
+    )
+    return data, table
+
+
+def ablation_quark_window(
+    *,
+    windows: Sequence[int] = (8, 32, 128, 512, 2048),
+    nt: int = 20,
+    tile: int = 200,
+    machine_name: str = MACHINE_NAME,
+    cal_nt: int = 16,
+    seed: int = 0,
+) -> Tuple[Dict[int, Dict[str, float]], str]:
+    """QUARK task-window sweep: throttling costs and simulator tracking."""
+    machine = get_machine(machine_name)
+    models, _ = calibrate(
+        cholesky_program(cal_nt, tile), QuarkScheduler(48), machine, seed=seed
+    )
+    program = cholesky_program(nt, tile)
+    rows = []
+    data: Dict[int, Dict[str, float]] = {}
+    for window in windows:
+        result = validate(
+            program,
+            QuarkScheduler(48, window=window),
+            machine,
+            models,
+            seed_real=seed + 1,
+            seed_sim=seed + 2,
+            warmup_penalty=machine.warmup_penalty,
+        )
+        data[window] = {
+            "gflops_real": result.gflops_real,
+            "gflops_sim": result.gflops_sim,
+            "error_percent": result.error_percent,
+        }
+        rows.append((window, result.gflops_real, result.gflops_sim, result.error_percent))
+    table = format_table(
+        ("window", "real GF/s", "sim GF/s", "err %"),
+        rows,
+        title=f"ABL-WINDOW: QUARK window size (Cholesky nt={nt}, tile={tile})",
+    )
+    return data, table
+
+
+def ablation_ompss_successor(
+    *,
+    nt: int = 20,
+    tile: int = 200,
+    machine_name: str = MACHINE_NAME,
+    n_workers: int = 47,
+    cal_nt: int = 16,
+    seed: int = 0,
+) -> Tuple[Dict[str, Dict[str, float]], str]:
+    """OmpSs immediate-successor locality heuristic on/off (§IV-A1).
+
+    Nanos++ lets the worker that releases a task's last dependence run it
+    directly, skipping the central queue — a cache-locality optimisation.
+    The ablation checks the real effect and that the simulator tracks it
+    (the heuristic changes *placement*, which changes cache residency on
+    the machine model).
+    """
+    machine = get_machine(machine_name)
+    rows = []
+    data: Dict[str, Dict[str, float]] = {}
+    for label, enabled in (("successor-bypass", True), ("central-queue", False)):
+        sched_factory = lambda: OmpSsScheduler(n_workers, immediate_successor=enabled)
+        models, _ = calibrate(
+            cholesky_program(cal_nt, tile), sched_factory(), machine, seed=seed
+        )
+        result = validate(
+            cholesky_program(nt, tile),
+            sched_factory(),
+            machine,
+            models,
+            seed_real=seed + 1,
+            seed_sim=seed + 2,
+            warmup_penalty=machine.warmup_penalty,
+        )
+        data[label] = {
+            "gflops_real": result.gflops_real,
+            "gflops_sim": result.gflops_sim,
+            "error_percent": result.error_percent,
+        }
+        rows.append((label, result.gflops_real, result.gflops_sim, result.error_percent))
+    table = format_table(
+        ("configuration", "real GF/s", "sim GF/s", "err %"),
+        rows,
+        title=f"ABL-SUCCESSOR: OmpSs immediate-successor bypass "
+        f"(Cholesky nt={nt}, tile={tile})",
+    )
+    return data, table

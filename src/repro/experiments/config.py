@@ -1,0 +1,72 @@
+"""Shared experiment configuration.
+
+Parameters follow the paper's evaluation section: tile size 200 for the
+performance sweeps (Figs. 8-10), matrix 3960 / tile 180 (22x22 tiles) for the
+trace comparison (Figs. 6-7), 48 cores of the Magny-Cours machine model.
+
+Calibration uses a mid-sized problem (``CAL_NT`` tiles): large enough that
+the machine is saturated — so the harvested kernel times include the cache
+and contention regime of the big runs — but much smaller than the largest
+sweep point, preserving the paper's premise that calibration is cheap
+("a relatively small problem or even a portion of the problem", §V-B1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..schedulers import OmpSsScheduler, QuarkScheduler, SchedulerBase, StarPUScheduler
+
+__all__ = [
+    "MACHINE_NAME",
+    "TILE_SIZE",
+    "TRACE_TILE_SIZE",
+    "TRACE_NT",
+    "CAL_NT",
+    "SWEEP_NTS",
+    "SMOKE_SWEEP_NTS",
+    "DISTRIBUTION_FAMILY",
+    "make_experiment_scheduler",
+]
+
+#: Machine preset standing in for the paper's AMD Opteron 6180 SE testbed.
+MACHINE_NAME = "magny_cours_48"
+
+#: Tile size of the Figs. 8-10 performance sweeps.
+TILE_SIZE = 200
+
+#: Figs. 6-7 trace experiment: matrix 3960, tile 180 -> 22x22 tiles.
+TRACE_TILE_SIZE = 180
+TRACE_NT = 22
+
+#: Calibration problem size (tiles per side).
+CAL_NT = 16
+
+#: Matrix sizes (in tiles per side) of the performance sweeps.
+#: With TILE_SIZE=200 this spans n = 800 .. 6800.
+SWEEP_NTS: Tuple[int, ...] = (4, 7, 10, 14, 18, 22, 26, 30, 34)
+
+#: Reduced sweep for quick runs / CI.
+SMOKE_SWEEP_NTS: Tuple[int, ...] = (4, 10, 18)
+
+#: Default kernel-model family (the paper's slight favourite).
+DISTRIBUTION_FAMILY = "lognormal"
+
+#: Total cores on the experiment machine.
+_N_CORES = 48
+
+
+def make_experiment_scheduler(name: str, n_cores: int = _N_CORES) -> SchedulerBase:
+    """The paper's three schedulers, configured as their real counterparts run.
+
+    QUARK's master doubles as worker 0, so it gets every core; StarPU and
+    OmpSs keep a dedicated submission thread, leaving ``n_cores - 1``
+    workers.
+    """
+    if name == "quark":
+        return QuarkScheduler(n_cores)
+    if name == "starpu":
+        return StarPUScheduler(n_cores - 1, policy="prio")
+    if name == "ompss":
+        return OmpSsScheduler(n_cores - 1)
+    raise KeyError(f"unknown scheduler {name!r}; choose quark/starpu/ompss")

@@ -1,0 +1,125 @@
+"""Machine-readable experiment registry.
+
+One entry per experiment id in DESIGN.md's per-experiment index, tying the
+paper artifact to the bench file that regenerates it and the driver that
+computes it.  Tests assert the registry, DESIGN.md, and the benchmark
+directory stay in sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = ["Experiment", "EXPERIMENTS"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible experiment."""
+
+    id: str
+    paper_artifact: str
+    bench: str  # file under benchmarks/
+    driver: str  # dotted path of the main driver callable
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    e.id: e
+    for e in (
+        Experiment(
+            "FIG1", "Fig. 1: QR DAG, 4x4 tiles",
+            "test_fig01_qr_dag.py", "repro.experiments.dagfigs.fig1_dag",
+        ),
+        Experiment(
+            "FIG2", "Fig. 2: serial task stream of tile QR",
+            "test_fig02_task_stream.py", "repro.experiments.dagfigs.fig2_stream",
+        ),
+        Experiment(
+            "FIG3", "Fig. 3: DTSMQR timing density + fits",
+            "test_fig03_dtsmqr_distribution.py",
+            "repro.experiments.distributions.distribution_figure",
+        ),
+        Experiment(
+            "FIG4", "Fig. 4: DGEMM timing density + fits",
+            "test_fig04_dgemm_distribution.py",
+            "repro.experiments.distributions.distribution_figure",
+        ),
+        Experiment(
+            "FIG5", "Fig. 5: TEQ scheduling race condition",
+            "test_fig05_race_condition.py", "repro.experiments.race.race_experiment",
+        ),
+        Experiment(
+            "FIG6/7", "Figs. 6-7: real vs simulated QR trace",
+            "test_fig06_07_traces.py", "repro.experiments.traces.trace_experiment",
+        ),
+        Experiment(
+            "FIG8", "Fig. 8: OmpSs performance, QR+Cholesky",
+            "test_fig08_ompss_performance.py",
+            "repro.experiments.performance.performance_figure",
+        ),
+        Experiment(
+            "FIG9", "Fig. 9: StarPU performance, QR+Cholesky",
+            "test_fig09_starpu_performance.py",
+            "repro.experiments.performance.performance_figure",
+        ),
+        Experiment(
+            "FIG10", "Fig. 10: QUARK performance, QR+Cholesky",
+            "test_fig10_quark_performance.py",
+            "repro.experiments.performance.performance_figure",
+        ),
+        Experiment(
+            "CLAIM-ACC", "SVI-B: worst error ~16%, majority < 5%",
+            "test_claim_accuracy.py",
+            "repro.experiments.performance.accuracy_summary",
+        ),
+        Experiment(
+            "CLAIM-SPD", "SIII: ~2x simulation speed-up",
+            "test_claim_speedup.py", "repro.experiments.speedup.speedup_experiment",
+        ),
+        Experiment(
+            "ABL-DIST", "SV-B/SVII: kernel-model family",
+            "test_ablation_distribution.py",
+            "repro.experiments.ablations.ablation_distribution",
+        ),
+        Experiment(
+            "ABL-GUARD", "SV-E: race-guard necessity",
+            "test_ablation_race_guard.py", "repro.experiments.race.run_scenario",
+        ),
+        Experiment(
+            "ABL-POLICY", "SIV-A2: StarPU policy choice",
+            "test_ablation_starpu_policy.py",
+            "repro.experiments.ablations.ablation_starpu_policy",
+        ),
+        Experiment(
+            "ABL-WINDOW", "SIV-A3: QUARK window size",
+            "test_ablation_quark_window.py",
+            "repro.experiments.ablations.ablation_quark_window",
+        ),
+        Experiment(
+            "ABL-SUCCESSOR", "SIV-A1: OmpSs immediate-successor heuristic",
+            "test_ablation_ompss_successor.py",
+            "repro.experiments.ablations.ablation_ompss_successor",
+        ),
+        Experiment(
+            "ABL-WARMUP", "SV-B1: warm-up outlier handling",
+            "test_ablation_warmup.py", "repro.experiments.ablations.ablation_warmup",
+        ),
+        Experiment(
+            "ABL-LOADMODEL", "SVII: improved (load-aware) kernel model",
+            "test_ablation_loadmodel.py", "repro.kernels.loadmodel.LoadAwareModelSet",
+        ),
+        Experiment(
+            "EXT-MT", "SVII future work: multi-threaded tasks",
+            "test_ext_multithreaded.py", "repro.algorithms.qr.qr_program",
+        ),
+        Experiment(
+            "EXT-GPU", "SVII future work: GPU tasks",
+            "test_ext_heterogeneous.py", "repro.machine.hetero.HeterogeneousBackend",
+        ),
+        Experiment(
+            "BASE-STATIC", "SII: static scheduling baseline",
+            "test_baseline_static.py", "repro.dag.listsched.list_schedule",
+        ),
+    )
+}

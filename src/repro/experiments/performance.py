@@ -1,0 +1,178 @@
+"""Performance-prediction experiments: the paper's Figs. 8, 9, and 10.
+
+Each figure plots, for one scheduler (OmpSs / StarPU / QUARK) and both
+factorizations (QR in blue, Cholesky in red), the *real* performance (solid),
+the *simulated* performance (dashed), and the percentage error (dotted) over
+a sweep of matrix sizes at tile size 200.  The claim under test: "the
+performance levels predicted by the simulations are accurate to within a few
+percentage points ... worst case error ... approximately 16%, but the vast
+majority of test cases show less than 5% error" (§VI-B).
+
+:func:`performance_figure` reproduces one figure; :func:`accuracy_summary`
+aggregates the error distribution over all three (CLAIM-ACC in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..algorithms import cholesky_program, qr_program
+from ..core.simulator import validate
+from ..core.task import Program
+from ..kernels.timing import KernelModelSet
+from ..machine import calibrate, get_machine
+from .config import (
+    CAL_NT,
+    DISTRIBUTION_FAMILY,
+    MACHINE_NAME,
+    SWEEP_NTS,
+    TILE_SIZE,
+    make_experiment_scheduler,
+)
+from .reporting import format_table
+
+__all__ = ["PerfPoint", "performance_sweep", "performance_figure", "accuracy_summary"]
+
+_GENERATORS: Dict[str, Callable[[int, int], Program]] = {
+    "cholesky": lambda nt, nb: cholesky_program(nt, nb),
+    "qr": lambda nt, nb: qr_program(nt, nb),
+}
+
+
+@dataclass(frozen=True)
+class PerfPoint:
+    """One matrix size of one algorithm: real vs simulated performance."""
+
+    algorithm: str
+    n: int
+    nt: int
+    gflops_real: float
+    gflops_sim: float
+    error_percent: float  # unsigned
+
+
+def _calibrated_models(
+    scheduler_name: str,
+    algorithm: str,
+    *,
+    tile: int = TILE_SIZE,
+    cal_nt: int = CAL_NT,
+    machine_name: str = MACHINE_NAME,
+    family: str = DISTRIBUTION_FAMILY,
+    seed: int = 0,
+) -> KernelModelSet:
+    machine = get_machine(machine_name)
+    program = _GENERATORS[algorithm](cal_nt, tile)
+    scheduler = make_experiment_scheduler(scheduler_name)
+    models, _ = calibrate(program, scheduler, machine, family=family, seed=seed)
+    return models
+
+
+def performance_sweep(
+    scheduler_name: str,
+    algorithm: str,
+    *,
+    nts: Sequence[int] = SWEEP_NTS,
+    tile: int = TILE_SIZE,
+    machine_name: str = MACHINE_NAME,
+    family: str = DISTRIBUTION_FAMILY,
+    models: Optional[KernelModelSet] = None,
+    seed: int = 0,
+) -> List[PerfPoint]:
+    """Real-vs-simulated sweep of one algorithm under one scheduler."""
+    if algorithm not in _GENERATORS:
+        raise KeyError(f"unknown algorithm {algorithm!r}")
+    machine = get_machine(machine_name)
+    if models is None:
+        models = _calibrated_models(
+            scheduler_name, algorithm, tile=tile, machine_name=machine_name,
+            family=family, seed=seed,
+        )
+    points: List[PerfPoint] = []
+    for nt in nts:
+        program = _GENERATORS[algorithm](nt, tile)
+        scheduler = make_experiment_scheduler(scheduler_name)
+        result = validate(
+            program,
+            scheduler,
+            machine,
+            models,
+            seed_real=seed * 1000 + nt,
+            seed_sim=seed * 1000 + nt + 1,
+            warmup_penalty=machine.warmup_penalty,
+        )
+        points.append(
+            PerfPoint(
+                algorithm=algorithm,
+                n=nt * tile,
+                nt=nt,
+                gflops_real=result.gflops_real,
+                gflops_sim=result.gflops_sim,
+                error_percent=result.error_percent,
+            )
+        )
+    return points
+
+
+def performance_figure(
+    scheduler_name: str,
+    *,
+    nts: Sequence[int] = SWEEP_NTS,
+    tile: int = TILE_SIZE,
+    machine_name: str = MACHINE_NAME,
+    family: str = DISTRIBUTION_FAMILY,
+    seed: int = 0,
+) -> Dict[str, List[PerfPoint]]:
+    """One full figure: both factorizations under ``scheduler_name``."""
+    return {
+        algorithm: performance_sweep(
+            scheduler_name,
+            algorithm,
+            nts=nts,
+            tile=tile,
+            machine_name=machine_name,
+            family=family,
+            seed=seed,
+        )
+        for algorithm in ("qr", "cholesky")
+    }
+
+
+def figure_table(scheduler_name: str, data: Dict[str, List[PerfPoint]]) -> str:
+    """The paper-plot-as-table rendering of one figure's data."""
+    rows = []
+    for algorithm in ("qr", "cholesky"):
+        for p in data[algorithm]:
+            rows.append(
+                (p.algorithm, p.n, p.gflops_real, p.gflops_sim, p.error_percent)
+            )
+    return format_table(
+        ("algorithm", "n", "real GF/s", "sim GF/s", "err %"),
+        rows,
+        title=f"scheduler={scheduler_name}, tile={TILE_SIZE}, machine={MACHINE_NAME}",
+    )
+
+
+def accuracy_summary(figures: Dict[str, Dict[str, List[PerfPoint]]]) -> Dict[str, float]:
+    """Error statistics over every point of every figure (CLAIM-ACC).
+
+    Returns max error, median error, and the fraction of points under 5 %.
+    """
+    errors = [
+        p.error_percent
+        for per_sched in figures.values()
+        for pts in per_sched.values()
+        for p in pts
+    ]
+    if not errors:
+        raise ValueError("no data points")
+    errors.sort()
+    n = len(errors)
+    median = errors[n // 2] if n % 2 else 0.5 * (errors[n // 2 - 1] + errors[n // 2])
+    return {
+        "n_points": float(n),
+        "max_error_percent": errors[-1],
+        "median_error_percent": median,
+        "fraction_below_5pct": sum(1 for e in errors if e < 5.0) / n,
+    }

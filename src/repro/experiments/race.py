@@ -1,0 +1,128 @@
+"""Race-condition experiment: the paper's Fig. 5 scenario.
+
+Two cores, three tasks: A and B are independent, C depends on A, and C is
+much shorter than both.  Correct simulation: C starts at A's completion
+(t=10) and the makespan is B's end (t=12).  The race (§V-E): if B — at the
+front of the Task Execution Queue after A pops — returns before the runtime
+finishes dispatching C, then C reads an already-advanced clock and lands in
+the trace "much later than it would have been in reality".
+
+The experiment runs the scenario on the *threaded* runtime with a real-time
+dispatch delay injected around C's dispatch to open the race window
+deterministically, under each guard strategy.  ``quiesce`` (the QUARK
+extension) and an adequately-sized ``sleep`` give the correct trace; a
+too-short sleep reproduces the exact Fig. 5 inaccuracy; ``none`` collapses
+even further.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.task import Program
+from ..core.threaded import ThreadedRuntime
+from ..kernels.distributions import ConstantModel
+from ..kernels.timing import KernelModelSet
+from .reporting import format_table
+
+__all__ = ["RaceOutcome", "fig5_program", "fig5_models", "race_experiment"]
+
+#: Virtual durations of the three tasks (seconds of simulated time).
+DUR_A, DUR_B, DUR_C = 10.0, 12.0, 1.0
+
+#: Correct results for the scenario.
+CORRECT_C_START = DUR_A
+CORRECT_MAKESPAN = DUR_B
+
+
+def fig5_program() -> Program:
+    """The three-task program of Fig. 5 (A, B independent; C reads A's output)."""
+    p = Program("fig5", meta={"nb": 1})
+    x = p.registry.alloc("x", 64)
+    y = p.registry.alloc("y", 64)
+    p.add_task("KA", [x.write()], label="A")
+    p.add_task("KB", [y.write()], label="B")
+    p.add_task("KC", [x.read()], label="C")
+    return p
+
+
+def fig5_models() -> KernelModelSet:
+    """Deterministic durations so outcomes are exactly checkable."""
+    return KernelModelSet(
+        models={
+            "KA": ConstantModel(DUR_A),
+            "KB": ConstantModel(DUR_B),
+            "KC": ConstantModel(DUR_C),
+        },
+        family="constant",
+    )
+
+
+@dataclass(frozen=True)
+class RaceOutcome:
+    """Result of the scenario under one guard configuration."""
+
+    guard: str
+    sleep_time: float
+    c_start: float
+    makespan: float
+
+    @property
+    def correct(self) -> bool:
+        return (
+            abs(self.c_start - CORRECT_C_START) < 1e-9
+            and abs(self.makespan - CORRECT_MAKESPAN) < 1e-9
+        )
+
+
+def run_scenario(
+    guard: str,
+    *,
+    sleep_time: float = 200e-6,
+    dispatch_delay: float = 3e-3,
+    seed: int = 0,
+) -> RaceOutcome:
+    """One threaded-runtime execution of the Fig. 5 scenario."""
+    runtime = ThreadedRuntime(
+        2,
+        mode="simulate",
+        guard=guard,
+        sleep_time=sleep_time,
+        dispatch_delay=dispatch_delay,
+        delay_kernels=("KC",),
+    )
+    trace = runtime.run(fig5_program(), models=fig5_models(), seed=seed)
+    c_event = next(e for e in trace.events if e.kernel == "KC")
+    return RaceOutcome(
+        guard=guard, sleep_time=sleep_time, c_start=c_event.start, makespan=trace.makespan
+    )
+
+
+def race_experiment(*, repeats: int = 3, seed: int = 0) -> Tuple[List[RaceOutcome], str]:
+    """Run the scenario under every guard configuration; returns outcomes + table.
+
+    Configurations: quiesce; sleep with an adequate pause (longer than the
+    injected dispatch delay); sleep with an inadequate pause (the portable
+    guard mis-tuned — reproduces the Fig. 5 race exactly); no guard.
+    """
+    configs = [
+        ("quiesce", 200e-6),
+        ("sleep", 10e-3),  # pause > dispatch delay: bookkeeping completes
+        ("sleep", 100e-6),  # pause < dispatch delay: race fires
+        ("none", 0.0),
+    ]
+    outcomes: List[RaceOutcome] = []
+    for guard, pause in configs:
+        for r in range(repeats):
+            outcomes.append(run_scenario(guard, sleep_time=pause, seed=seed + r))
+    table = format_table(
+        ("guard", "sleep ms", "C start", "makespan", "correct"),
+        [
+            (o.guard, o.sleep_time * 1e3, o.c_start, o.makespan, str(o.correct))
+            for o in outcomes
+        ],
+        title=f"Fig. 5 race condition (correct: C start={CORRECT_C_START}, "
+        f"makespan={CORRECT_MAKESPAN})",
+    )
+    return outcomes, table

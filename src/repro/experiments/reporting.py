@@ -1,0 +1,61 @@
+"""Plain-text tables and artifact management for the experiment drivers.
+
+Every figure driver returns structured rows *and* renders them with
+:func:`format_table` so the bench output reads like the paper's plots in
+tabular form.  Artifacts (SVG traces, DOT files, density tables) go under
+``artifacts/`` at the repository root unless overridden.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["format_table", "artifact_dir", "write_artifact"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str = "",
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render rows as an aligned monospaced table."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows: List[List[str]] = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def artifact_dir(subdir: str = "") -> Path:
+    """The artifact directory (``$REPRO_ARTIFACTS`` or ``./artifacts``)."""
+    base = Path(os.environ.get("REPRO_ARTIFACTS", "artifacts"))
+    path = base / subdir if subdir else base
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def write_artifact(name: str, content: str, subdir: str = "") -> Path:
+    """Write a text artifact and return its path."""
+    path = artifact_dir(subdir) / name
+    path.write_text(content)
+    return path

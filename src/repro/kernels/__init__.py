@@ -1,0 +1,42 @@
+"""Kernel substrate: numeric tile kernels, flop counts, and timing models."""
+
+from .distributions import (
+    ConstantModel,
+    DurationModel,
+    EmpiricalModel,
+    GammaModel,
+    LognormalModel,
+    MODEL_FAMILIES,
+    NormalModel,
+    UniformModel,
+    best_fit,
+    fit_all_families,
+    fit_family,
+)
+from .flops import KERNEL_FLOPS, cholesky_flops, kernel_flops, lu_flops, qr_flops
+from .loadmodel import LoadAwareModel, LoadAwareModelSet, LoadAwareSimulationBackend
+from .timing import KernelModelSet, trim_warmup_outliers
+
+__all__ = [
+    "ConstantModel",
+    "DurationModel",
+    "EmpiricalModel",
+    "GammaModel",
+    "LognormalModel",
+    "MODEL_FAMILIES",
+    "NormalModel",
+    "UniformModel",
+    "best_fit",
+    "fit_all_families",
+    "fit_family",
+    "KERNEL_FLOPS",
+    "cholesky_flops",
+    "kernel_flops",
+    "lu_flops",
+    "qr_flops",
+    "KernelModelSet",
+    "trim_warmup_outliers",
+    "LoadAwareModel",
+    "LoadAwareModelSet",
+    "LoadAwareSimulationBackend",
+]

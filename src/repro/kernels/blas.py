@@ -1,0 +1,120 @@
+"""NumPy implementations of the BLAS/LAPACK tile kernels.
+
+These are the *numeric* bodies of the tasks that the tile Cholesky and LU
+algorithms schedule (paper Algorithm 1).  They operate in place on square
+``nb x nb`` NumPy tiles, matching the calling conventions the algorithm
+generators assume:
+
+* ``potrf(Akk)``          - unblocked Cholesky of the diagonal tile (DPOTF2)
+* ``trsm_rlt(Lkk, Aik)``  - right solve ``Aik <- Aik * Lkk^{-T}`` (DTRSM)
+* ``syrk(Aii, Aik)``      - symmetric update ``Aii <- Aii - Aik Aik^T`` (DSYRK)
+* ``gemm_nt(Aij, Aik, Ajk)`` - ``Aij <- Aij - Aik Ajk^T`` (DGEMM)
+* ``getrf_nopiv(Akk)``    - unpivoted LU of the diagonal tile
+* ``trsm_lln_unit(Lkk, Akj)`` / ``trsm_run(Ukk, Aik)`` - LU panel solves
+* ``gemm_nn(Aij, Aik, Akj)`` - ``Aij <- Aij - Aik Akj``
+
+All kernels mutate their output tile in place and return it, so the threaded
+``execute`` runtime can dispatch them uniformly.  Each validates shapes; the
+cost of those checks is negligible next to the BLAS call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg as sla
+
+__all__ = [
+    "potrf",
+    "trsm_rlt",
+    "syrk",
+    "gemm_nt",
+    "gemm_nn",
+    "getrf_nopiv",
+    "trsm_lln_unit",
+    "trsm_run",
+]
+
+
+def _check_square(*tiles: np.ndarray) -> int:
+    n = tiles[0].shape[0]
+    for t in tiles:
+        if t.ndim != 2 or t.shape != (n, n):
+            raise ValueError(f"expected square tiles of order {n}, got shape {t.shape}")
+    return n
+
+
+def potrf(akk: np.ndarray) -> np.ndarray:
+    """Unblocked Cholesky of the diagonal tile: ``akk <- L`` (lower).
+
+    The strictly upper triangle is zeroed, matching LAPACK's convention of
+    referencing only the lower triangle for symmetric input.
+    """
+    _check_square(akk)
+    lower = np.linalg.cholesky(np.tril(akk) + np.tril(akk, -1).T)
+    akk[...] = lower
+    return akk
+
+
+def trsm_rlt(lkk: np.ndarray, aik: np.ndarray) -> np.ndarray:
+    """Triangular solve ``aik <- aik * lkk^{-T}`` (right, lower, transposed).
+
+    This is the DTRSM of Algorithm 1 line 6: solve ``Akk X^T = Aik^T``.
+    """
+    _check_square(lkk, aik)
+    aik[...] = sla.solve_triangular(lkk, aik.T, lower=True, trans="N").T
+    return aik
+
+
+def syrk(aii: np.ndarray, aik: np.ndarray) -> np.ndarray:
+    """Symmetric rank-``nb`` update ``aii <- aii - aik aik^T`` (DSYRK)."""
+    _check_square(aii, aik)
+    aii -= aik @ aik.T
+    return aii
+
+
+def gemm_nt(aij: np.ndarray, aik: np.ndarray, ajk: np.ndarray) -> np.ndarray:
+    """``aij <- aij - aik ajk^T`` — Cholesky trailing update (DGEMM)."""
+    _check_square(aij, aik, ajk)
+    aij -= aik @ ajk.T
+    return aij
+
+
+def gemm_nn(aij: np.ndarray, aik: np.ndarray, akj: np.ndarray) -> np.ndarray:
+    """``aij <- aij - aik akj`` — LU trailing update (DGEMM)."""
+    _check_square(aij, aik, akj)
+    aij -= aik @ akj
+    return aij
+
+
+def getrf_nopiv(akk: np.ndarray) -> np.ndarray:
+    """Unpivoted LU of the diagonal tile: ``akk <- L\\U`` packed in place.
+
+    ``L`` is unit lower triangular (unit diagonal not stored), ``U`` upper.
+    Raises ``ZeroDivisionError`` on an exactly-zero pivot; callers are
+    expected to supply diagonally dominant tiles (the standard restriction of
+    the no-pivoting tile LU).
+    """
+    n = _check_square(akk)
+    for k in range(n):
+        pivot = akk[k, k]
+        if pivot == 0.0:
+            raise ZeroDivisionError(f"zero pivot at position {k} in unpivoted LU")
+        akk[k + 1 :, k] /= pivot
+        akk[k + 1 :, k + 1 :] -= np.outer(akk[k + 1 :, k], akk[k, k + 1 :])
+    return akk
+
+
+def trsm_lln_unit(lkk_packed: np.ndarray, akj: np.ndarray) -> np.ndarray:
+    """``akj <- L^{-1} akj`` with unit-diagonal ``L`` packed in ``lkk_packed``."""
+    _check_square(lkk_packed, akj)
+    akj[...] = sla.solve_triangular(
+        lkk_packed, akj, lower=True, unit_diagonal=True, trans="N"
+    )
+    return akj
+
+
+def trsm_run(ukk_packed: np.ndarray, aik: np.ndarray) -> np.ndarray:
+    """``aik <- aik U^{-1}`` with ``U`` the upper triangle of ``ukk_packed``."""
+    _check_square(ukk_packed, aik)
+    aik[...] = sla.solve_triangular(ukk_packed, aik.T, lower=False, trans="T").T
+    return aik

@@ -1,0 +1,388 @@
+"""Probability models of kernel execution time (paper Section V-B).
+
+The paper models each kernel class's execution time with a simple parametric
+distribution — normal, gamma, or log-normal — fitted to empirical samples
+gathered from a real run, and notes that "the log-normal distribution has
+slightly outperformed the others in some cases".  This module provides those
+three families plus the degenerate (constant), uniform, and empirical
+(resampling) models used by the ablation experiments, with a uniform
+interface:
+
+``fit(samples)``   class method returning a fitted model,
+``sample(rng)``    draw one simulated duration,
+``mean``/``std``   moments,
+``pdf(x)``         density for plotting Figs. 3-4,
+``loglik``/``aic`` goodness-of-fit, and
+``ks_statistic``   Kolmogorov-Smirnov distance to the sample.
+
+All times are in seconds.  Durations are clamped to a small positive floor on
+sampling so that a fitted normal with a long left tail can never produce a
+non-positive task duration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, ClassVar, Dict, Sequence, Type
+
+import numpy as np
+from scipy import stats
+
+__all__ = [
+    "DurationModel",
+    "ConstantModel",
+    "UniformModel",
+    "NormalModel",
+    "GammaModel",
+    "LognormalModel",
+    "EmpiricalModel",
+    "MODEL_FAMILIES",
+    "fit_family",
+    "fit_all_families",
+    "best_fit",
+]
+
+#: No simulated duration may be shorter than this (1 nanosecond).
+_DURATION_FLOOR = 1e-9
+
+
+def _as_samples(samples: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(samples, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("samples must be a non-empty 1-D sequence")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("samples must be finite")
+    if np.any(arr <= 0):
+        raise ValueError("execution-time samples must be positive")
+    return arr
+
+
+class DurationModel:
+    """Base class for kernel execution-time models."""
+
+    family: ClassVar[str] = "base"
+    #: number of fitted parameters, for AIC
+    n_params: ClassVar[int] = 0
+
+    @classmethod
+    def fit(cls, samples: Sequence[float]) -> "DurationModel":
+        raise NotImplementedError
+
+    def sample(self, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def mean(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def std(self) -> float:
+        raise NotImplementedError
+
+    # -- goodness of fit -------------------------------------------------
+    def loglik(self, samples: Sequence[float]) -> float:
+        arr = _as_samples(samples)
+        dens = np.maximum(self.pdf(arr), 1e-300)
+        return float(np.sum(np.log(dens)))
+
+    def aic(self, samples: Sequence[float]) -> float:
+        """Akaike information criterion (lower is better)."""
+        return 2.0 * self.n_params - 2.0 * self.loglik(samples)
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def ks_statistic(self, samples: Sequence[float]) -> float:
+        """Kolmogorov-Smirnov distance between the model and the sample."""
+        arr = np.sort(_as_samples(samples))
+        n = arr.size
+        model_cdf = self.cdf(arr)
+        upper = np.arange(1, n + 1) / n
+        lower = np.arange(0, n) / n
+        return float(max(np.max(np.abs(model_cdf - upper)), np.max(np.abs(model_cdf - lower))))
+
+    def _clamp(self, value: float) -> float:
+        return max(float(value), _DURATION_FLOOR)
+
+
+@dataclass
+class ConstantModel(DurationModel):
+    """Degenerate model: every instance takes the sample mean.
+
+    This is the model the paper argues is *insufficient* — it removes the
+    randomness that is "essential for the accuracy" of the trace.
+    """
+
+    value: float
+    family: ClassVar[str] = "constant"
+    n_params: ClassVar[int] = 1
+
+    @classmethod
+    def fit(cls, samples: Sequence[float]) -> "ConstantModel":
+        return cls(value=float(np.mean(_as_samples(samples))))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._clamp(self.value)
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        # Dirac density has no finite representation; return a tight Gaussian
+        # so that log-likelihood comparisons remain meaningful.
+        sigma = max(self.value * 1e-6, 1e-12)
+        return stats.norm.pdf(np.asarray(x, dtype=float), loc=self.value, scale=sigma)
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        return (np.asarray(x, dtype=float) >= self.value).astype(float)
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+    @property
+    def std(self) -> float:
+        return 0.0
+
+
+@dataclass
+class UniformModel(DurationModel):
+    """Uniform on ``[lo, hi]`` — the other strawman named in Section V-B."""
+
+    lo: float
+    hi: float
+    family: ClassVar[str] = "uniform"
+    n_params: ClassVar[int] = 2
+
+    @classmethod
+    def fit(cls, samples: Sequence[float]) -> "UniformModel":
+        arr = _as_samples(samples)
+        lo, hi = float(np.min(arr)), float(np.max(arr))
+        if hi <= lo:
+            hi = lo * (1.0 + 1e-9) + 1e-12
+        return cls(lo=lo, hi=hi)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._clamp(rng.uniform(self.lo, self.hi))
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        return stats.uniform.pdf(np.asarray(x, dtype=float), loc=self.lo, scale=self.hi - self.lo)
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        return stats.uniform.cdf(np.asarray(x, dtype=float), loc=self.lo, scale=self.hi - self.lo)
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self.lo + self.hi)
+
+    @property
+    def std(self) -> float:
+        return (self.hi - self.lo) / math.sqrt(12.0)
+
+
+@dataclass
+class NormalModel(DurationModel):
+    """Gaussian execution time (the most common DLA kernel model, §V-B2)."""
+
+    mu: float
+    sigma: float
+    family: ClassVar[str] = "normal"
+    n_params: ClassVar[int] = 2
+
+    @classmethod
+    def fit(cls, samples: Sequence[float]) -> "NormalModel":
+        arr = _as_samples(samples)
+        sigma = float(np.std(arr, ddof=1)) if arr.size > 1 else 0.0
+        sigma = max(sigma, float(np.mean(arr)) * 1e-9 + 1e-15)
+        return cls(mu=float(np.mean(arr)), sigma=sigma)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._clamp(rng.normal(self.mu, self.sigma))
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        return stats.norm.pdf(np.asarray(x, dtype=float), loc=self.mu, scale=self.sigma)
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        return stats.norm.cdf(np.asarray(x, dtype=float), loc=self.mu, scale=self.sigma)
+
+    @property
+    def mean(self) -> float:
+        return self.mu
+
+    @property
+    def std(self) -> float:
+        return self.sigma
+
+
+@dataclass
+class GammaModel(DurationModel):
+    """Gamma-distributed execution time (shape ``k``, scale ``theta``)."""
+
+    shape: float
+    scale: float
+    family: ClassVar[str] = "gamma"
+    n_params: ClassVar[int] = 2
+
+    @classmethod
+    def fit(cls, samples: Sequence[float]) -> "GammaModel":
+        arr = _as_samples(samples)
+        m = float(np.mean(arr))
+        s = float(np.std(arr))
+        # Degenerate / numerically-identical samples break scipy's MLE (its
+        # internal log-moment goes NaN), so fall back to a near-
+        # deterministic gamma around the mean.
+        if arr.size < 2 or s <= m * 1e-9:
+            return cls(shape=1e6, scale=m / 1e6)
+        try:
+            shape, _loc, scale = stats.gamma.fit(arr, floc=0.0)
+        except (ValueError, RuntimeError):
+            # MLE failed to converge: method-of-moments fallback.
+            shape = (m / s) ** 2
+            scale = s**2 / m
+        return cls(shape=float(shape), scale=float(scale))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._clamp(rng.gamma(self.shape, self.scale))
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        return stats.gamma.pdf(np.asarray(x, dtype=float), a=self.shape, scale=self.scale)
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        return stats.gamma.cdf(np.asarray(x, dtype=float), a=self.shape, scale=self.scale)
+
+    @property
+    def mean(self) -> float:
+        return self.shape * self.scale
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.shape) * self.scale
+
+
+@dataclass
+class LognormalModel(DurationModel):
+    """Log-normal execution time — the paper's slight favourite (§V-B2)."""
+
+    mu_log: float
+    sigma_log: float
+    family: ClassVar[str] = "lognormal"
+    n_params: ClassVar[int] = 2
+
+    @classmethod
+    def fit(cls, samples: Sequence[float]) -> "LognormalModel":
+        arr = _as_samples(samples)
+        logs = np.log(arr)
+        sigma = float(np.std(logs, ddof=1)) if arr.size > 1 else 0.0
+        sigma = max(sigma, 1e-12)
+        return cls(mu_log=float(np.mean(logs)), sigma_log=sigma)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._clamp(rng.lognormal(self.mu_log, self.sigma_log))
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        return stats.lognorm.pdf(
+            np.asarray(x, dtype=float), s=self.sigma_log, scale=math.exp(self.mu_log)
+        )
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        return stats.lognorm.cdf(
+            np.asarray(x, dtype=float), s=self.sigma_log, scale=math.exp(self.mu_log)
+        )
+
+    @property
+    def mean(self) -> float:
+        return math.exp(self.mu_log + 0.5 * self.sigma_log**2)
+
+    @property
+    def std(self) -> float:
+        var = (math.exp(self.sigma_log**2) - 1.0) * math.exp(2 * self.mu_log + self.sigma_log**2)
+        return math.sqrt(var)
+
+
+@dataclass
+class EmpiricalModel(DurationModel):
+    """Resample the observed durations directly (bootstrap model)."""
+
+    samples_: np.ndarray
+    family: ClassVar[str] = "empirical"
+    n_params: ClassVar[int] = 0
+
+    @classmethod
+    def fit(cls, samples: Sequence[float]) -> "EmpiricalModel":
+        return cls(samples_=_as_samples(samples).copy())
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._clamp(float(rng.choice(self.samples_)))
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        # Gaussian KDE density, for plotting alongside the parametric fits.
+        if self.samples_.size < 2 or float(np.std(self.samples_)) == 0.0:
+            return ConstantModel(float(np.mean(self.samples_))).pdf(x)
+        kde = stats.gaussian_kde(self.samples_)
+        return kde(np.asarray(x, dtype=float))
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        xs = np.sort(self.samples_)
+        return np.searchsorted(xs, np.asarray(x, dtype=float), side="right") / xs.size
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples_))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.samples_, ddof=1)) if self.samples_.size > 1 else 0.0
+
+
+#: Registry of model families by name, in the order the paper discusses them.
+MODEL_FAMILIES: Dict[str, Type[DurationModel]] = {
+    "constant": ConstantModel,
+    "uniform": UniformModel,
+    "normal": NormalModel,
+    "gamma": GammaModel,
+    "lognormal": LognormalModel,
+    "empirical": EmpiricalModel,
+}
+
+
+def fit_family(family: str, samples: Sequence[float]) -> DurationModel:
+    """Fit one named family to ``samples``."""
+    try:
+        cls = MODEL_FAMILIES[family]
+    except KeyError:
+        raise KeyError(
+            f"unknown model family {family!r}; choose from {sorted(MODEL_FAMILIES)}"
+        ) from None
+    return cls.fit(samples)
+
+
+def fit_all_families(
+    samples: Sequence[float],
+    families: Sequence[str] = ("normal", "gamma", "lognormal"),
+) -> Dict[str, DurationModel]:
+    """Fit every requested family — the paper's Fig. 3/4 overlay set."""
+    return {f: fit_family(f, samples) for f in families}
+
+
+def best_fit(
+    samples: Sequence[float],
+    families: Sequence[str] = ("normal", "gamma", "lognormal"),
+    criterion: str = "aic",
+) -> DurationModel:
+    """Fit ``families`` and return the winner under ``criterion``.
+
+    ``criterion`` is ``"aic"`` (default) or ``"ks"``.  With fewer than two
+    samples the comparison is meaningless, so the first family wins.
+    """
+    fits = fit_all_families(samples, families)
+    arr = _as_samples(samples)
+    if arr.size < 2:
+        return fits[families[0]]
+    if criterion == "aic":
+        score: Callable[[DurationModel], float] = lambda m: m.aic(arr)
+    elif criterion == "ks":
+        score = lambda m: m.ks_statistic(arr)
+    else:
+        raise ValueError(f"unknown criterion {criterion!r}")
+    return min(fits.values(), key=score)

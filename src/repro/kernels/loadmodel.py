@@ -1,0 +1,150 @@
+"""Load-aware kernel timing models — the paper's §VII "improved kernel model".
+
+The baseline simulator models each kernel class with one distribution fitted
+over the whole calibration run.  But kernel times depend on machine load:
+bandwidth contention slows memory-bound kernels when more cores are active,
+so a model calibrated at saturation over-predicts durations in the ramp-up
+and tail phases of a run — exactly where the paper observes its largest
+errors ("the data points that show the greatest error all occur for
+relatively small problem sizes").
+
+:class:`LoadAwareModel` fits ``duration ~ (a + b * load) * eps`` with
+``eps`` log-normal, from the ``(duration, load)`` pairs harvested by
+:func:`repro.trace.load.loaded_kernel_samples`.  The engine already passes
+the instantaneous active-worker count to the backend, so
+:class:`LoadAwareSimulationBackend` can evaluate the conditional model at
+simulation time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..schedulers.base import TaskNode
+
+__all__ = ["LoadAwareModel", "LoadAwareModelSet", "LoadAwareSimulationBackend"]
+
+_DURATION_FLOOR = 1e-9
+
+
+@dataclass
+class LoadAwareModel:
+    """``duration = (intercept + slope * load) * lognormal(0, sigma)``."""
+
+    intercept: float
+    slope: float
+    sigma_log: float
+
+    @classmethod
+    def fit(cls, pairs: Sequence[Tuple[float, float]]) -> "LoadAwareModel":
+        """Least-squares fit of the load line plus residual spread.
+
+        With fewer than three points, or no load variation, falls back to a
+        constant-mean model (slope 0).
+        """
+        arr = np.asarray(pairs, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != 2 or arr.shape[0] == 0:
+            raise ValueError("pairs must be a non-empty sequence of (duration, load)")
+        durations, loads = arr[:, 0], arr[:, 1]
+        if np.any(durations <= 0):
+            raise ValueError("durations must be positive")
+        if arr.shape[0] < 3 or float(np.std(loads)) < 1e-9:
+            mean = float(np.mean(durations))
+            resid = durations / mean
+            sigma = float(np.std(np.log(resid), ddof=1)) if arr.shape[0] > 1 else 0.0
+            return cls(intercept=mean, slope=0.0, sigma_log=max(sigma, 1e-12))
+        slope, intercept = np.polyfit(loads, durations, 1)
+        predicted = np.maximum(intercept + slope * loads, _DURATION_FLOOR)
+        sigma = float(np.std(np.log(durations / predicted), ddof=1))
+        return cls(
+            intercept=float(intercept),
+            slope=float(slope),
+            sigma_log=max(sigma, 1e-12),
+        )
+
+    def mean_at(self, load: float) -> float:
+        """Expected duration at ``load`` active workers."""
+        return max(self.intercept + self.slope * load, _DURATION_FLOOR)
+
+    def sample(self, rng: np.random.Generator, load: float) -> float:
+        base = self.mean_at(load)
+        return max(base * float(rng.lognormal(0.0, self.sigma_log)), _DURATION_FLOOR)
+
+
+@dataclass
+class LoadAwareModelSet:
+    """One :class:`LoadAwareModel` per kernel class."""
+
+    models: Dict[str, LoadAwareModel] = field(default_factory=dict)
+
+    @classmethod
+    def from_samples(
+        cls, samples: Mapping[str, Sequence[Tuple[float, float]]]
+    ) -> "LoadAwareModelSet":
+        return cls(models={k: LoadAwareModel.fit(v) for k, v in samples.items()})
+
+    @classmethod
+    def from_trace(cls, trace, *, drop_first_per_worker: bool = True) -> "LoadAwareModelSet":
+        """Fit directly from a calibration trace."""
+        from ..trace.load import loaded_kernel_samples
+
+        return cls.from_samples(
+            loaded_kernel_samples(trace, drop_first_per_worker=drop_first_per_worker)
+        )
+
+    def duration(self, kernel: str, load: float, rng: np.random.Generator) -> float:
+        try:
+            model = self.models[kernel]
+        except KeyError:
+            raise KeyError(
+                f"no load-aware model for kernel {kernel!r}; "
+                f"calibrated kernels: {sorted(self.models)}"
+            ) from None
+        return model.sample(rng, load)
+
+    def __contains__(self, kernel: str) -> bool:
+        return kernel in self.models
+
+    def summary(self) -> str:
+        rows = []
+        for kernel in sorted(self.models):
+            m = self.models[kernel]
+            rows.append(
+                f"{kernel:<14s} intercept={m.intercept * 1e6:9.2f}us "
+                f"slope={m.slope * 1e6:8.3f}us/core sigma={m.sigma_log:.4f}"
+            )
+        return "\n".join(rows)
+
+
+class LoadAwareSimulationBackend:
+    """Simulation backend evaluating the conditional kernel model.
+
+    The engine reports the number of active workers (including the task
+    being placed) at every dispatch; the model turns that into a
+    load-conditioned duration draw.
+    """
+
+    def __init__(self, models: LoadAwareModelSet, *, warmup_penalty: float = 0.0) -> None:
+        if warmup_penalty < 0:
+            raise ValueError("warmup_penalty must be non-negative")
+        self.models = models
+        self.warmup_penalty = warmup_penalty
+        self._rng: Optional[np.random.Generator] = None
+        self._warmed: set = set()
+
+    def reset(self, rng: np.random.Generator, n_workers: int) -> None:
+        self._rng = rng
+        self._warmed = set()
+
+    def duration(self, node: TaskNode, worker: int, now: float, active_workers: int) -> float:
+        if self._rng is None:
+            raise RuntimeError("LoadAwareSimulationBackend.duration called before reset()")
+        d = self.models.duration(node.kernel, float(active_workers), self._rng)
+        if self.warmup_penalty > 0.0 and worker not in self._warmed:
+            self._warmed.add(worker)
+            d += self.warmup_penalty
+        return d

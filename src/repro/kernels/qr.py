@@ -1,0 +1,163 @@
+"""NumPy implementations of the tile QR kernels (paper Algorithm 2).
+
+The tile QR factorization relies on four structured kernels.  With ``V``
+holding unit-scaled Householder reflectors and ``T`` the compact-WY triangular
+factor (``Q = I - V T V^T``), the kernels are:
+
+* ``geqrt(A, T)``  - QR of one ``b x b`` tile.  ``A`` is overwritten with
+  ``R`` in its upper triangle and the reflector vectors ``V`` (unit diagonal
+  implied) strictly below the diagonal; ``T`` receives the WY factor.
+* ``ormqr(Vkk, Tkk, C)`` - apply ``Q^T`` from a ``geqrt`` to tile ``C``.
+* ``tsqrt(R, A2, T)`` - QR of a triangle-on-top-of-square stack
+  ``[R; A2]`` (``2b x b``).  The reflectors have the structured form
+  ``v_j = [e_j; v2_j]``: the top block of ``V`` is the identity, so only the
+  dense bottom block ``V2`` is stored (in ``A2``).
+* ``tsmqr(A1, A2, V2, T)`` - apply ``Q^T`` from a ``tsqrt`` to the stacked
+  pair ``[A1; A2]``.  This is the DTSMQR kernel — the computational
+  workhorse of tile QR that the paper's Fig. 3 profiles.
+
+The Householder generation follows LAPACK ``dlarfg``; the ``T`` recurrence is
+``dlarft`` (forward, columnwise).  All kernels mutate their outputs in place.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["householder", "geqrt", "ormqr", "tsqrt", "tsmqr", "build_q"]
+
+
+def householder(x: np.ndarray) -> Tuple[np.ndarray, float, float]:
+    """LAPACK ``dlarfg``: reflector annihilating ``x[1:]``.
+
+    Returns ``(v, tau, beta)`` with ``v[0] == 1`` such that
+    ``(I - tau v v^T) x = beta e_1``.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1 or x.size == 0:
+        raise ValueError("householder expects a non-empty vector")
+    alpha = float(x[0])
+    xnorm = float(np.linalg.norm(x[1:])) if x.size > 1 else 0.0
+    v = x.copy()
+    v[0] = 1.0
+    if xnorm == 0.0:
+        return v, 0.0, alpha
+    beta = -math.copysign(math.hypot(alpha, xnorm), alpha)
+    tau = (beta - alpha) / beta
+    v[1:] = x[1:] / (alpha - beta)
+    return v, tau, beta
+
+
+def geqrt(a: np.ndarray, t: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """QR of a square tile with compact-WY ``T`` (DGEQRT, ``ib == nb``)."""
+    n = a.shape[0]
+    if a.shape != (n, n) or t.shape != (n, n):
+        raise ValueError("geqrt expects square a and t of equal order")
+    t[...] = 0.0
+    for j in range(n):
+        v, tau, beta = householder(a[j:, j])
+        # Apply (I - tau v v^T) to the trailing columns.
+        if tau != 0.0 and j + 1 < n:
+            w = v @ a[j:, j + 1 :]
+            a[j:, j + 1 :] -= tau * np.outer(v, w)
+        a[j, j] = beta
+        a[j + 1 :, j] = v[1:]
+        # T recurrence (dlarft): T[:j, j] = -tau * T[:j, :j] @ V[:, :j]^T v_j.
+        if j > 0:
+            # Full v_j including implicit unit diagonal.
+            vj = np.zeros(n)
+            vj[j] = 1.0
+            vj[j + 1 :] = a[j + 1 :, j]
+            vtv = np.zeros(j)
+            for i in range(j):
+                vi = np.zeros(n)
+                vi[i] = 1.0
+                vi[i + 1 :] = a[i + 1 :, i]
+                vtv[i] = vi @ vj
+            t[:j, j] = -tau * (t[:j, :j] @ vtv)
+        t[j, j] = tau
+    return a, t
+
+
+def _unit_lower(v_packed: np.ndarray) -> np.ndarray:
+    """Extract the unit-lower-triangular ``V`` from a ``geqrt`` output tile."""
+    v = np.tril(v_packed, -1)
+    np.fill_diagonal(v, 1.0)
+    return v
+
+
+def ormqr(v_packed: np.ndarray, t: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Apply ``Q^T`` of a ``geqrt`` factorization to tile ``c`` (DORMQR).
+
+    ``Q^T = I - V T^T V^T``, hence ``c <- c - V T^T (V^T c)``.
+    """
+    n = c.shape[0]
+    if v_packed.shape != (n, n) or t.shape != (n, n):
+        raise ValueError("ormqr expects conforming square tiles")
+    v = _unit_lower(v_packed)
+    w = t.T @ (v.T @ c)
+    c -= v @ w
+    return c
+
+
+def tsqrt(r: np.ndarray, a2: np.ndarray, t: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """QR of the stack ``[r; a2]`` (DTSQRT).
+
+    ``r`` (upper triangular) is updated to the new ``R``; ``a2`` is
+    overwritten with the dense reflector block ``V2``; ``t`` receives the
+    compact-WY factor.  Only the upper triangle of ``r`` is referenced.
+    """
+    n = r.shape[0]
+    if r.shape != (n, n) or a2.shape != (n, n) or t.shape != (n, n):
+        raise ValueError("tsqrt expects three square tiles of equal order")
+    t[...] = 0.0
+    for j in range(n):
+        # Column j of the stack below the triangle: [r[j, j]; a2[:, j]].
+        x = np.empty(n + 1)
+        x[0] = r[j, j]
+        x[1:] = a2[:, j]
+        v, tau, beta = householder(x)
+        r[j, j] = beta
+        v2 = v[1:]
+        a2[:, j] = v2
+        # Update trailing columns jj > j of the stack.
+        if tau != 0.0 and j + 1 < n:
+            w = r[j, j + 1 :] + v2 @ a2[:, j + 1 :]
+            r[j, j + 1 :] -= tau * w
+            a2[:, j + 1 :] -= tau * np.outer(v2, w)
+        # T recurrence: top blocks of the v's are orthogonal unit vectors, so
+        # v_i^T v_j reduces to v2_i^T v2_j for i != j.
+        if j > 0:
+            vtv = a2[:, :j].T @ v2
+            t[:j, j] = -tau * (t[:j, :j] @ vtv)
+        t[j, j] = tau
+    return r, a2, t
+
+
+def tsmqr(a1: np.ndarray, a2: np.ndarray, v2: np.ndarray, t: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Apply ``Q^T`` of a ``tsqrt`` to the stacked pair ``[a1; a2]`` (DTSMQR).
+
+    With ``V = [I; V2]``: ``[a1; a2] <- [a1; a2] - [I; V2] T^T (a1 + V2^T a2)``.
+    """
+    n = a1.shape[0]
+    for tile in (a2, v2, t):
+        if tile.shape != (n, n):
+            raise ValueError("tsmqr expects four square tiles of equal order")
+    w = t.T @ (a1 + v2.T @ a2)
+    a1 -= w
+    a2 -= v2 @ w
+    return a1, a2
+
+
+def build_q(v_packed: np.ndarray, t: np.ndarray) -> np.ndarray:
+    """Materialise the orthogonal ``Q = I - V T V^T`` of one ``geqrt`` tile.
+
+    Only used by tests and examples; the factorization itself never forms
+    ``Q`` explicitly.
+    """
+    n = v_packed.shape[0]
+    v = _unit_lower(v_packed)
+    return np.eye(n) - v @ t @ v.T

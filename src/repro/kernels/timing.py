@@ -1,0 +1,170 @@
+"""Per-kernel timing models assembled from empirical samples.
+
+A :class:`KernelModelSet` maps each kernel class name (``"DGEMM"``,
+``"DTSMQR"``, ...) to a fitted :class:`~repro.kernels.distributions.DurationModel`.
+It is the object the simulator consults to obtain the "approximate execution
+time such as the distribution-based estimator" of paper Section V-D.
+
+Construction follows the paper's calibration methodology (Section V-B1):
+
+* samples come from an *actual execution of the algorithm* under the target
+  scheduler (see :mod:`repro.machine.calibration`), not from isolated
+  cold/warm-cache micro-benchmarks;
+* the first kernel executed by each thread carries an MKL-style
+  initialisation penalty, an "extreme outlier [that] can drastically affect
+  the model fitting" — :func:`trim_warmup_outliers` removes such points before
+  fitting (mirroring the paper's extra warm-up call).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .distributions import DurationModel, best_fit, fit_family
+
+__all__ = [
+    "trim_warmup_outliers",
+    "KernelModelSet",
+]
+
+
+def trim_warmup_outliers(
+    samples: Sequence[float],
+    *,
+    factor: float = 3.0,
+    max_fraction: float = 0.25,
+) -> np.ndarray:
+    """Drop warm-up outliers: samples more than ``factor`` x the median.
+
+    The MKL-style first-call penalty produces a handful of points several
+    times larger than the steady-state time.  Points above
+    ``factor * median(samples)`` are removed, but never more than
+    ``max_fraction`` of the sample (a distribution that is *genuinely* heavy
+    tailed should not be silently decimated).
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("samples must be a non-empty 1-D sequence")
+    if factor <= 1.0:
+        raise ValueError("factor must exceed 1.0")
+    med = float(np.median(arr))
+    keep = arr <= factor * med
+    dropped = int(arr.size - keep.sum())
+    if dropped > max_fraction * arr.size:
+        # Too many "outliers" — the tail is real; keep everything.
+        return arr.copy()
+    return arr[keep]
+
+
+@dataclass
+class KernelModelSet:
+    """Fitted duration models for every kernel class in an algorithm.
+
+    Attributes
+    ----------
+    models:
+        Kernel name to fitted model.
+    family:
+        The family used when fitting (``"best"`` if chosen per kernel by AIC).
+    sample_counts:
+        Number of calibration samples behind each model, for reporting.
+    """
+
+    models: Dict[str, DurationModel] = field(default_factory=dict)
+    family: str = "unspecified"
+    sample_counts: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_samples(
+        cls,
+        samples: Mapping[str, Sequence[float]],
+        *,
+        family: str = "lognormal",
+        trim_warmup: bool = True,
+        trim_factor: float = 3.0,
+    ) -> "KernelModelSet":
+        """Fit one model per kernel from calibration samples.
+
+        ``family`` is any name in
+        :data:`repro.kernels.distributions.MODEL_FAMILIES`, or ``"best"`` to
+        select per kernel among normal/gamma/lognormal by AIC (the comparison
+        the paper performs in Figs. 3-4).
+        """
+        models: Dict[str, DurationModel] = {}
+        counts: Dict[str, int] = {}
+        for kernel, raw in samples.items():
+            arr = np.asarray(raw, dtype=float)
+            if arr.size == 0:
+                raise ValueError(f"no samples for kernel {kernel!r}")
+            if trim_warmup and arr.size >= 4:
+                arr = trim_warmup_outliers(arr, factor=trim_factor)
+            if family == "best":
+                models[kernel] = best_fit(arr)
+            else:
+                models[kernel] = fit_family(family, arr)
+            counts[kernel] = int(arr.size)
+        return cls(models=models, family=family, sample_counts=counts)
+
+    def duration(self, kernel: str, rng: np.random.Generator) -> float:
+        """Draw one simulated duration for ``kernel``."""
+        try:
+            model = self.models[kernel]
+        except KeyError:
+            raise KeyError(
+                f"no timing model for kernel {kernel!r}; "
+                f"calibrated kernels: {sorted(self.models)}"
+            ) from None
+        return model.sample(rng)
+
+    def mean_duration(self, kernel: str) -> float:
+        return self.models[kernel].mean
+
+    def kernels(self) -> Iterable[str]:
+        return self.models.keys()
+
+    def __contains__(self, kernel: str) -> bool:
+        return kernel in self.models
+
+    def __len__(self) -> int:
+        return len(self.models)
+
+    def summary(self) -> str:
+        """One line per kernel: family, mean, std, sample count."""
+        rows = []
+        for kernel in sorted(self.models):
+            m = self.models[kernel]
+            n = self.sample_counts.get(kernel, 0)
+            rows.append(
+                f"{kernel:<14s} {m.family:<10s} mean={m.mean * 1e6:10.2f}us "
+                f"std={m.std * 1e6:9.2f}us  n={n}"
+            )
+        return "\n".join(rows)
+
+    def scaled(self, factor: float) -> "KernelModelSet":
+        """Return a copy whose mean durations are scaled by ``factor``.
+
+        Used by what-if studies (e.g. "how would the schedule change on a
+        machine 2x faster?") without refitting.
+        """
+        from .distributions import LognormalModel, NormalModel
+
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        out: Dict[str, DurationModel] = {}
+        for kernel, model in self.models.items():
+            if isinstance(model, NormalModel):
+                out[kernel] = NormalModel(mu=model.mu * factor, sigma=model.sigma * factor)
+            elif isinstance(model, LognormalModel):
+                out[kernel] = LognormalModel(
+                    mu_log=model.mu_log + float(np.log(factor)),
+                    sigma_log=model.sigma_log,
+                )
+            else:
+                # Generic fallback: refit a normal to scaled moments.
+                out[kernel] = NormalModel(
+                    mu=model.mean * factor, sigma=max(model.std * factor, 1e-15)
+                )
+        return KernelModelSet(models=out, family=self.family, sample_counts=dict(self.sample_counts))

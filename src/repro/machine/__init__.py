@@ -1,0 +1,34 @@
+"""Synthetic machine substrate: topology, cache, noise, and calibration."""
+
+from .backend import MachineBackend
+from .cache import CacheModel, LRUCache
+from .calibration import (
+    calibrate,
+    calibrate_heterogeneous,
+    calibration_run,
+    collect_samples,
+    collect_samples_by_kind,
+)
+from .hetero import GpuDevice, HeterogeneousBackend, HeterogeneousMachine
+from .noise import JitterModel, WarmupModel, contention_factor
+from .topology import MACHINE_PRESETS, Machine, get_machine
+
+__all__ = [
+    "MachineBackend",
+    "CacheModel",
+    "LRUCache",
+    "calibrate",
+    "calibrate_heterogeneous",
+    "calibration_run",
+    "collect_samples",
+    "collect_samples_by_kind",
+    "GpuDevice",
+    "HeterogeneousBackend",
+    "HeterogeneousMachine",
+    "JitterModel",
+    "WarmupModel",
+    "contention_factor",
+    "MACHINE_PRESETS",
+    "Machine",
+    "get_machine",
+]

@@ -1,0 +1,82 @@
+"""MachineBackend: ground-truth task durations from the machine model.
+
+A *real run* in this reproduction is a scheduler execution whose task
+durations come from this backend.  For each dispatched task it composes:
+
+``base x cold-cache factor x contention factor x jitter + warm-up penalty``
+
+where *base* is the warm, uncontended kernel time from the machine's
+efficiency table, the cache factor reflects LRU residency of the task's
+tiles on the executing core, contention reflects how many cores are busy,
+and jitter/warm-up add the non-deterministic effects the paper names.  The
+backend also *advances* the cache model, so task placement feeds back into
+later durations — the coupling that makes real schedules non-trivial to
+predict and the simulator worth building.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..schedulers.base import TaskNode
+from .cache import CacheModel
+from .noise import JitterModel, WarmupModel, contention_factor
+from .topology import Machine, get_machine
+
+__all__ = ["MachineBackend"]
+
+
+class MachineBackend:
+    """Duration source emulating a physical multicore machine.
+
+    Workers map one-to-one onto machine cores starting at ``core_offset``
+    (StarPU/OmpSs drivers reserve core 0 for the submission thread by
+    passing ``core_offset=1``).
+    """
+
+    def __init__(self, machine: Machine | str, *, core_offset: int = 0) -> None:
+        self.machine = get_machine(machine) if isinstance(machine, str) else machine
+        if core_offset < 0:
+            raise ValueError("core_offset must be non-negative")
+        self.core_offset = core_offset
+        self._cache: Optional[CacheModel] = None
+        self._jitter = JitterModel(self.machine)
+        self._warmup = WarmupModel(self.machine)
+        self._rng: Optional[np.random.Generator] = None
+
+    def reset(self, rng: np.random.Generator, n_workers: int) -> None:
+        if n_workers + self.core_offset > self.machine.n_cores:
+            raise ValueError(
+                f"{n_workers} workers (+offset {self.core_offset}) exceed the "
+                f"{self.machine.n_cores} cores of {self.machine.name}"
+            )
+        self._rng = rng
+        self._cache = CacheModel(self.machine)
+        self._warmup = WarmupModel(self.machine)
+
+    def _core(self, worker: int) -> int:
+        return worker + self.core_offset
+
+    def duration(self, node: TaskNode, worker: int, now: float, active_workers: int) -> float:
+        if self._rng is None or self._cache is None:
+            raise RuntimeError("MachineBackend.duration called before reset()")
+        m = self.machine
+        core = self._core(worker)
+        task = node.spec
+
+        base = m.base_duration(task.kernel, task.flops)
+        if task.width > 1:
+            # Multi-threaded task: near-linear speed-up with fork/join loss.
+            base /= task.width * m.smp_task_efficiency
+        resident = self._cache.resident_fraction(task, core)
+        cache_factor = 1.0 + m.cold_penalty * m.kernel_membound(task.kernel) * (1.0 - resident)
+        cont = contention_factor(m, task.kernel, active_workers)
+
+        duration = base * cache_factor * cont
+        duration = self._jitter.apply(duration, self._rng)
+        duration += self._warmup.penalty(worker)
+
+        self._cache.record_execution(task, core)
+        return duration

@@ -1,0 +1,113 @@
+"""LRU cache-residency model.
+
+The paper identifies cache residency as the dominant source of kernel-time
+variance: "each execution of the kernel will have different cache
+residencies ... one execution may have most of the data in cache while
+another execution has very little" (§V-B2).  This model tracks, per run,
+which data tiles are resident in each core's private cache and each socket's
+shared cache, with LRU replacement, and scores a task's *resident fraction* —
+the byte-weighted share of its footprint found in cache at launch.
+
+Hits in the private level count fully; hits that are only in the socket's
+shared level count ``l3_weight`` (default 0.6), reflecting the latency gap.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, Tuple
+
+from ..core.task import DataRef, TaskSpec
+from .topology import Machine
+
+__all__ = ["LRUCache", "CacheModel"]
+
+
+def _distinct_refs(task: TaskSpec):
+    """A task's distinct data refs in address order.
+
+    Iterating a ``set`` of refs would depend on string hashing (and hence on
+    ``PYTHONHASHSEED``), making LRU state — and therefore whole machine runs
+    — differ between processes.  Address order makes runs reproducible.
+    """
+    seen = {}
+    for acc in task.accesses:
+        seen[acc.ref.addr] = acc.ref
+    return [seen[addr] for addr in sorted(seen)]
+
+
+class LRUCache:
+    """Byte-capacity LRU set of data refs."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity_bytes
+        self._used = 0
+        self._entries: "OrderedDict[int, int]" = OrderedDict()  # addr -> size
+
+    def contains(self, ref: DataRef) -> bool:
+        return ref.addr in self._entries
+
+    def touch(self, ref: DataRef) -> None:
+        """Insert or refresh ``ref``, evicting LRU entries as needed."""
+        size = min(ref.size, self.capacity)
+        if ref.addr in self._entries:
+            self._entries.move_to_end(ref.addr)
+            return
+        while self._used + size > self.capacity and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._used -= evicted
+        self._entries[ref.addr] = size
+        self._used += size
+
+    def invalidate(self, ref: DataRef) -> None:
+        """Drop ``ref`` if present (coherence: another agent wrote it)."""
+        size = self._entries.pop(ref.addr, None)
+        if size is not None:
+            self._used -= size
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class CacheModel:
+    """Per-core private caches plus per-socket shared caches for one run."""
+
+    L3_WEIGHT = 0.6
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._l2 = [LRUCache(machine.l2_bytes_per_core) for _ in range(machine.n_cores)]
+        self._l3 = [
+            LRUCache(machine.l3_bytes_per_socket) for _ in range(machine.n_sockets)
+        ]
+
+    def resident_fraction(self, task: TaskSpec, core: int) -> float:
+        """Byte-weighted residency score of ``task``'s footprint on ``core``.
+
+        1.0 = everything in the private cache, 0.0 = everything cold.
+        """
+        l2 = self._l2[core]
+        l3 = self._l3[self.machine.socket_of(core)]
+        total = 0
+        score = 0.0
+        for ref in _distinct_refs(task):
+            total += ref.size
+            if l2.contains(ref):
+                score += ref.size
+            elif l3.contains(ref):
+                score += self.L3_WEIGHT * ref.size
+        return score / total if total else 1.0
+
+    def record_execution(self, task: TaskSpec, core: int) -> None:
+        """Mark the task's footprint resident on ``core`` after it runs."""
+        l2 = self._l2[core]
+        l3 = self._l3[self.machine.socket_of(core)]
+        for ref in _distinct_refs(task):
+            l2.touch(ref)
+            l3.touch(ref)

@@ -1,0 +1,158 @@
+"""Calibration: harvest kernel timings from a real run and fit models.
+
+The paper's timing methodology (§V-B1) rejects isolated cold/warm-cache
+micro-benchmarks in favour of measuring kernels *inside an actual execution
+of the algorithm* under the target scheduler, because real cache residency
+"may be somewhere between warm and cold".  This module implements that
+pipeline:
+
+1. run a (typically small) problem on the machine backend under the chosen
+   scheduler — :func:`calibration_run`;
+2. harvest per-kernel duration samples from the trace, dropping each
+   worker's first task (the MKL-style warm-up call the paper neutralises
+   with an extra initialisation call) — :func:`collect_samples`;
+3. fit the chosen distribution family per kernel — :func:`calibrate`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.task import Program
+from ..kernels.timing import KernelModelSet
+from ..schedulers.base import SchedulerBase
+from ..trace.events import Trace
+from .backend import MachineBackend
+from .topology import Machine
+
+__all__ = [
+    "calibration_run",
+    "collect_samples",
+    "collect_samples_by_kind",
+    "calibrate",
+    "calibrate_heterogeneous",
+]
+
+
+def calibration_run(
+    program: Program,
+    scheduler: SchedulerBase,
+    machine: Union[Machine, str, MachineBackend],
+    *,
+    seed: int = 0,
+) -> Trace:
+    """One real run of ``program`` for timing-harvest purposes."""
+    backend = machine if isinstance(machine, MachineBackend) else MachineBackend(machine)
+    return scheduler.run(program, backend, seed=seed, trace_meta={"purpose": "calibration"})
+
+
+def collect_samples(
+    trace: Trace,
+    *,
+    drop_first_per_worker: bool = True,
+) -> Dict[str, List[float]]:
+    """Per-kernel duration samples from a trace.
+
+    With ``drop_first_per_worker`` each worker's chronologically first task
+    is excluded — the paper's handling of the MKL per-thread initialisation
+    outlier ("each of the threads is initialized with another call to the
+    MKL library ... before the trace is collected").
+    """
+    skip = set()
+    if drop_first_per_worker:
+        for worker in range(trace.n_workers):
+            events = trace.worker_events(worker)
+            if events:
+                skip.add(events[0].task_id)
+    samples: Dict[str, List[float]] = {}
+    for e in sorted(trace.events):
+        if e.task_id in skip:
+            continue
+        samples.setdefault(e.kernel, []).append(e.duration)
+    return samples
+
+
+def collect_samples_by_kind(
+    trace: Trace,
+    worker_kinds,
+    *,
+    drop_first_per_worker: bool = True,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Per-worker-kind, per-kernel duration samples (heterogeneous runs).
+
+    Returns ``{kind: {kernel: [durations...]}}``.  Used to fit the per-kind
+    model sets consumed by
+    :class:`repro.core.simbackend.HeterogeneousSimulationBackend`.
+    """
+    skip = set()
+    if drop_first_per_worker:
+        for worker in range(trace.n_workers):
+            events = trace.worker_events(worker)
+            if events:
+                skip.add(events[0].task_id)
+    out: Dict[str, Dict[str, List[float]]] = {}
+    for e in sorted(trace.events):
+        if e.task_id in skip:
+            continue
+        kind = worker_kinds[e.worker]
+        out.setdefault(kind, {}).setdefault(e.kernel, []).append(e.duration)
+    return out
+
+
+def calibrate_heterogeneous(
+    program: Program,
+    scheduler: SchedulerBase,
+    backend,
+    worker_kinds,
+    *,
+    family: str = "lognormal",
+    seed: int = 0,
+) -> Tuple[Dict[str, KernelModelSet], Trace]:
+    """Calibration pipeline for CPU+GPU machines: per-kind model sets.
+
+    A kind that never executed some kernel class during calibration falls
+    back to that kernel's model from the other kind (better than failing —
+    but prefer calibration problems large enough to exercise every kernel
+    on every architecture).
+    """
+    trace = scheduler.run(program, backend, seed=seed, trace_meta={"purpose": "calibration"})
+    by_kind = collect_samples_by_kind(trace, worker_kinds)
+    if not by_kind:
+        raise ValueError("calibration run produced no samples")
+    all_kernels = {k for samples in by_kind.values() for k in samples}
+    models: Dict[str, KernelModelSet] = {}
+    for kind in set(worker_kinds):
+        samples = dict(by_kind.get(kind, {}))
+        for kernel in all_kernels:
+            if kernel not in samples or not samples[kernel]:
+                donors = [
+                    s[kernel] for s in by_kind.values() if s.get(kernel)
+                ]
+                if not donors:
+                    raise ValueError(f"kernel {kernel!r} never executed")
+                samples[kernel] = donors[0]
+        models[kind] = KernelModelSet.from_samples(samples, family=family)
+    return models, trace
+
+
+def calibrate(
+    program: Program,
+    scheduler: SchedulerBase,
+    machine: Union[Machine, str, MachineBackend],
+    *,
+    family: str = "lognormal",
+    seed: int = 0,
+    drop_first_per_worker: bool = True,
+    trim_warmup: bool = True,
+) -> Tuple[KernelModelSet, Trace]:
+    """Full calibration pipeline; returns the fitted models and the trace.
+
+    ``family`` is a distribution family name or ``"best"`` (per-kernel AIC
+    selection among normal/gamma/lognormal, the comparison of Figs. 3-4).
+    """
+    trace = calibration_run(program, scheduler, machine, seed=seed)
+    samples = collect_samples(trace, drop_first_per_worker=drop_first_per_worker)
+    if not samples:
+        raise ValueError("calibration run produced no samples (empty program?)")
+    models = KernelModelSet.from_samples(samples, family=family, trim_warmup=trim_warmup)
+    return models, trace

@@ -1,0 +1,189 @@
+"""Heterogeneous (CPU + GPU) machine extension (paper §VII).
+
+"Both QUARK and StarPU support GPU tasks and the simulations do not support
+those in the current implementation.  Both of these extensions are worth
+pursuing."  This module pursues them: a :class:`HeterogeneousMachine` adds
+accelerator devices to a CPU :class:`~repro.machine.topology.Machine`, and a
+:class:`HeterogeneousBackend` produces ground-truth durations for both kinds
+of worker:
+
+* **CPU workers** behave exactly as in :class:`MachineBackend` (efficiency
+  tables, cache residency, contention, jitter, warm-up);
+* **GPU workers** run each kernel ``speedup[kernel]`` times faster than one
+  CPU core, pay a fixed kernel-launch latency, and pay PCIe transfer time
+  for every task input that is not already resident in that device's memory
+  (an LRU model, like the CPU caches).  Transfers make data affinity matter:
+  a scheduler that keeps a tile's consumers on one device avoids them.
+
+Worker indexing convention: workers ``[0, n_cpu_workers)`` are CPU cores;
+workers ``[n_cpu_workers, n_cpu_workers + n_gpus)`` are the devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..schedulers.base import TaskNode
+from .cache import LRUCache, _distinct_refs
+from .noise import JitterModel, WarmupModel, contention_factor
+from .backend import MachineBackend
+from .topology import Machine, get_machine
+
+__all__ = ["GpuDevice", "HeterogeneousMachine", "HeterogeneousBackend"]
+
+#: Default per-kernel GPU speed-ups relative to one CPU core: high for
+#: regular, bandwidth-friendly kernels, low for panel factorizations (the
+#: standard hybrid-DLA picture, cf. MAGMA).
+DEFAULT_GPU_SPEEDUP: Dict[str, float] = {
+    "DGEMM": 20.0,
+    "DGEMM_NN": 20.0,
+    "DSYRK": 16.0,
+    "DTRSM": 12.0,
+    "DTRSM_LLN": 12.0,
+    "DTRSM_RUN": 12.0,
+    "DTSMQR": 14.0,
+    "DORMQR": 12.0,
+    "DPOTRF": 2.0,
+    "DGETRF_NOPIV": 2.0,
+    "DGEQRT": 1.5,
+    "DTSQRT": 1.5,
+}
+
+
+@dataclass(frozen=True)
+class GpuDevice:
+    """One accelerator device."""
+
+    name: str = "gpu"
+    #: per-kernel speed-up over a single CPU core (fallback 4x).
+    speedup: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_GPU_SPEEDUP))
+    #: kernel-launch latency per task (seconds).
+    launch_latency: float = 15e-6
+    #: host<->device transfer bandwidth (bytes/second).
+    transfer_bandwidth: float = 8e9
+    #: device memory capacity available for tiles (bytes).
+    memory_bytes: int = 2 * 1024**3
+
+    def kernel_speedup(self, kernel: str) -> float:
+        return self.speedup.get(kernel, 4.0)
+
+
+@dataclass(frozen=True)
+class HeterogeneousMachine:
+    """A CPU machine plus a set of accelerator devices."""
+
+    cpu: Machine
+    gpus: Tuple[GpuDevice, ...]
+    #: CPU workers given to the runtime (the rest of the cores drive GPUs,
+    #: as StarPU dedicates one core per CUDA worker).
+    n_cpu_workers: int = 0
+
+    def __post_init__(self) -> None:
+        n_cpu = self.n_cpu_workers or (self.cpu.n_cores - len(self.gpus))
+        if n_cpu <= 0:
+            raise ValueError("no CPU workers left after dedicating GPU drivers")
+        if n_cpu + len(self.gpus) > self.cpu.n_cores + len(self.gpus):
+            raise ValueError("more CPU workers than cores")
+        object.__setattr__(self, "n_cpu_workers", n_cpu)
+
+    @property
+    def n_workers(self) -> int:
+        return self.n_cpu_workers + len(self.gpus)
+
+    @property
+    def worker_kinds(self) -> Tuple[str, ...]:
+        """Kind label per worker index (``"cpu"`` or ``"gpu"``)."""
+        return ("cpu",) * self.n_cpu_workers + ("gpu",) * len(self.gpus)
+
+    def device_of(self, worker: int) -> Optional[GpuDevice]:
+        """The GPU behind ``worker``, or ``None`` for a CPU worker."""
+        idx = worker - self.n_cpu_workers
+        if idx < 0:
+            return None
+        return self.gpus[idx]
+
+
+class HeterogeneousBackend:
+    """Ground-truth durations for a :class:`HeterogeneousMachine`."""
+
+    def __init__(self, machine: HeterogeneousMachine) -> None:
+        self.hmachine = machine
+        self._cpu_backend = MachineBackend(machine.cpu)
+        self._jitter = JitterModel(machine.cpu)
+        self._gpu_mem: List[LRUCache] = []
+        #: freshest copy of each ref: addr -> worker index, or -1 for host.
+        self._owner: Dict[int, int] = {}
+        self._rng: Optional[np.random.Generator] = None
+
+    def reset(self, rng: np.random.Generator, n_workers: int) -> None:
+        if n_workers != self.hmachine.n_workers:
+            raise ValueError(
+                f"scheduler has {n_workers} workers but the machine provides "
+                f"{self.hmachine.n_workers} ({self.hmachine.n_cpu_workers} CPU "
+                f"+ {len(self.hmachine.gpus)} GPU)"
+            )
+        self._rng = rng
+        self._cpu_backend.reset(rng, self.hmachine.n_cpu_workers)
+        self._gpu_mem = [LRUCache(g.memory_bytes) for g in self.hmachine.gpus]
+        self._owner = {}
+
+    def _is_gpu(self, worker: int) -> bool:
+        return worker >= self.hmachine.n_cpu_workers
+
+    def _finish_writes(self, node: TaskNode, worker: int) -> None:
+        """Update ownership and invalidate stale device copies after a task."""
+        for ref in node.spec.writes:
+            self._owner[ref.addr] = worker if self._is_gpu(worker) else -1
+            for g, mem in enumerate(self._gpu_mem):
+                if g + self.hmachine.n_cpu_workers != worker:
+                    mem.invalidate(ref)
+
+    def duration(self, node: TaskNode, worker: int, now: float, active_workers: int) -> float:
+        if self._rng is None:
+            raise RuntimeError("HeterogeneousBackend.duration called before reset()")
+        device = self.hmachine.device_of(worker)
+        if device is None:
+            d = self._cpu_duration(node, worker, now, active_workers)
+        else:
+            d = self._gpu_duration(node, worker, device)
+        self._finish_writes(node, worker)
+        return d
+
+    def _cpu_duration(self, node: TaskNode, worker: int, now: float, active: int) -> float:
+        # Device-to-host transfers for inputs whose fresh copy sits on a GPU.
+        transfer = 0.0
+        for ref in _distinct_refs(node.spec):
+            owner = self._owner.get(ref.addr, -1)
+            if owner >= self.hmachine.n_cpu_workers:
+                device = self.hmachine.device_of(owner)
+                transfer += ref.size / device.transfer_bandwidth
+                self._owner[ref.addr] = -1  # host copy is fresh now
+        return transfer + self._cpu_backend.duration(node, worker, now, active)
+
+    def _gpu_duration(self, node: TaskNode, worker: int, device: GpuDevice) -> float:
+        task = node.spec
+        mem = self._gpu_mem[worker - self.hmachine.n_cpu_workers]
+        # Host->device (or device->device via host) transfers for inputs
+        # that are not already resident and fresh on this device.
+        transfer_bytes = 0
+        for ref in _distinct_refs(task):
+            owner = self._owner.get(ref.addr, -1)
+            fresh_here = mem.contains(ref) and owner in (-1, worker)
+            if not fresh_here:
+                transfer_bytes += ref.size
+                if owner >= self.hmachine.n_cpu_workers and owner != worker:
+                    transfer_bytes += ref.size  # extra hop through the host
+        compute = self.hmachine.cpu.base_duration(task.kernel, task.flops)
+        compute /= device.kernel_speedup(task.kernel)
+        duration = (
+            device.launch_latency
+            + transfer_bytes / device.transfer_bandwidth
+            + compute
+        )
+        duration = self._jitter.apply(duration, self._rng)
+        for ref in _distinct_refs(task):
+            mem.touch(ref)
+        return duration

@@ -1,0 +1,69 @@
+"""Stochastic timing effects: contention, OS jitter, warm-up penalties.
+
+These are the "external stimuli" the paper says make superscalar execution
+impossible to model cycle-accurately (§III): memory-bandwidth contention
+between cores on a socket, multiplicative OS jitter, rare preemption spikes,
+and the MKL-style first-call-per-thread initialisation penalty (§V-B1).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+import numpy as np
+
+from .topology import Machine
+
+__all__ = ["contention_factor", "JitterModel", "WarmupModel"]
+
+
+def contention_factor(machine: Machine, kernel: str, active_workers: int) -> float:
+    """Slow-down multiplier from memory-bandwidth contention.
+
+    Grows from 1.0 (single active core) to ``1 + alpha * membound`` when
+    every core is busy, with exponent ``beta`` shaping the onset.  A purely
+    compute-bound kernel (``membound`` 0) is unaffected.
+    """
+    n = machine.n_cores
+    if n <= 1 or active_workers <= 1:
+        return 1.0
+    share = min(active_workers - 1, n - 1) / (n - 1)
+    return 1.0 + machine.contention_alpha * machine.kernel_membound(kernel) * share**machine.contention_beta
+
+
+class JitterModel:
+    """Multiplicative log-normal jitter plus rare additive preemption spikes."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+
+    def apply(self, duration: float, rng: np.random.Generator) -> float:
+        m = self.machine
+        if m.jitter_sigma > 0.0:
+            duration *= float(rng.lognormal(0.0, m.jitter_sigma))
+        if m.spike_prob > 0.0 and rng.random() < m.spike_prob:
+            duration += float(rng.exponential(m.spike_mean))
+        return duration
+
+
+class WarmupModel:
+    """First-task-per-worker initialisation penalty (MKL-style).
+
+    The paper: "the first kernel on each thread will take significantly
+    longer to execute than the following kernels".  The penalty is consumed
+    exactly once per worker per run.
+    """
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._warmed: Set[int] = set()
+
+    def reset(self) -> None:
+        self._warmed.clear()
+
+    def penalty(self, worker: int) -> float:
+        if worker in self._warmed or self.machine.warmup_penalty <= 0.0:
+            self._warmed.add(worker)
+            return 0.0
+        self._warmed.add(worker)
+        return self.machine.warmup_penalty

@@ -1,0 +1,185 @@
+"""Machine topology and kernel efficiency model.
+
+This package is the stand-in for the paper's physical testbed — a 48-core
+quad-socket AMD Opteron 6180 SE ("Magny-Cours") running Intel MKL.  A
+:class:`Machine` describes socket/core structure, cache capacities, per-core
+peak rate, and per-kernel efficiency factors.  Ground-truth ("real") runs are
+executions against :class:`~repro.machine.backend.MachineBackend`, which
+derives task durations from this description plus dynamic cache, contention,
+jitter and warm-up effects.
+
+The per-kernel **efficiency table** encodes the paper's observation that
+kernels reach very different fractions of peak: vendor-tuned DGEMM is near
+peak while "the DTSMQR operation ... has not been tuned and optimized to the
+extent that DGEMM has been optimized, so it reaches a lower percentage of
+peak performance" (§IV-B2).  The **memory-boundedness table** encodes each
+kernel's sensitivity to cache misses and bandwidth contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+__all__ = ["Machine", "MACHINE_PRESETS", "get_machine"]
+
+#: Fraction of per-core peak each kernel class achieves with warm caches.
+DEFAULT_EFFICIENCY: Dict[str, float] = {
+    "DGEMM": 0.90,
+    "DGEMM_NN": 0.90,
+    "DSYRK": 0.82,
+    "DTRSM": 0.78,
+    "DTRSM_LLN": 0.76,
+    "DTRSM_RUN": 0.76,
+    "DPOTRF": 0.45,
+    "DGETRF_NOPIV": 0.42,
+    "DGEQRT": 0.35,
+    "DORMQR": 0.70,
+    "DTSQRT": 0.32,
+    "DTSMQR": 0.50,
+}
+
+#: Sensitivity (0..1) of each kernel to cold caches / bandwidth contention.
+DEFAULT_MEMBOUND: Dict[str, float] = {
+    "DGEMM": 0.15,
+    "DGEMM_NN": 0.15,
+    "DSYRK": 0.20,
+    "DTRSM": 0.25,
+    "DTRSM_LLN": 0.25,
+    "DTRSM_RUN": 0.25,
+    "DPOTRF": 0.30,
+    "DGETRF_NOPIV": 0.30,
+    "DGEQRT": 0.35,
+    "DORMQR": 0.22,
+    "DTSQRT": 0.40,
+    "DTSMQR": 0.30,
+}
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A synthetic shared-memory multicore machine.
+
+    Rates are per core; ``peak_gflops_per_core`` is
+    ``frequency x flops/cycle`` for double precision.
+    """
+
+    name: str
+    n_sockets: int
+    cores_per_socket: int
+    peak_gflops_per_core: float
+    l2_bytes_per_core: int
+    l3_bytes_per_socket: int
+    #: cold-miss multiplier ceiling: a fully-cold, fully memory-bound kernel
+    #: runs ``1 + cold_penalty`` times slower than warm.
+    cold_penalty: float = 0.45
+    #: bandwidth-contention ceiling: a fully memory-bound kernel with every
+    #: other core on the socket active runs ``1 + contention_alpha`` slower.
+    contention_alpha: float = 0.35
+    contention_beta: float = 1.5
+    #: multiplicative log-normal jitter sigma (OS noise, DVFS wobble).
+    jitter_sigma: float = 0.03
+    #: probability and mean (seconds) of an OS-preemption spike per task.
+    spike_prob: float = 0.002
+    spike_mean: float = 200e-6
+    #: first-kernel-per-thread initialisation penalty (MKL-style), seconds.
+    warmup_penalty: float = 400e-6
+    #: fixed per-task launch latency (call overhead), seconds.
+    launch_latency: float = 1.0e-6
+    #: parallel efficiency of multi-threaded tasks: a width-``w`` task runs
+    #: ``w * smp_task_efficiency`` times faster than the single-core kernel
+    #: (fork/join overhead and intra-kernel synchronisation).
+    smp_task_efficiency: float = 0.85
+    efficiency: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_EFFICIENCY))
+    membound: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_MEMBOUND))
+
+    def __post_init__(self) -> None:
+        if self.n_sockets <= 0 or self.cores_per_socket <= 0:
+            raise ValueError("machine must have positive socket/core counts")
+        if self.peak_gflops_per_core <= 0:
+            raise ValueError("peak rate must be positive")
+
+    @property
+    def n_cores(self) -> int:
+        return self.n_sockets * self.cores_per_socket
+
+    @property
+    def peak_gflops(self) -> float:
+        return self.n_cores * self.peak_gflops_per_core
+
+    def socket_of(self, core: int) -> int:
+        if not (0 <= core < self.n_cores):
+            raise ValueError(f"core {core} out of range [0, {self.n_cores})")
+        return core // self.cores_per_socket
+
+    def kernel_efficiency(self, kernel: str) -> float:
+        return self.efficiency.get(kernel, 0.5)
+
+    def kernel_membound(self, kernel: str) -> float:
+        return self.membound.get(kernel, 0.3)
+
+    def base_duration(self, kernel: str, flops: float) -> float:
+        """Warm-cache, uncontended execution time of one kernel instance."""
+        if flops <= 0:
+            return self.launch_latency
+        rate = self.peak_gflops_per_core * 1e9 * self.kernel_efficiency(kernel)
+        return self.launch_latency + flops / rate
+
+    def quiet(self) -> "Machine":
+        """A noise-free copy (no jitter, spikes, or warm-up) for deterministic
+        tests and analytical comparisons."""
+        return replace(
+            self,
+            name=self.name + "-quiet",
+            jitter_sigma=0.0,
+            spike_prob=0.0,
+            warmup_penalty=0.0,
+        )
+
+
+#: Machines used by the experiments.
+MACHINE_PRESETS: Dict[str, Machine] = {
+    # The paper's testbed: AMD Opteron 6180 SE, 4 sockets x 12 cores,
+    # 2.5 GHz x 4 DP flops/cycle = 10 GFLOP/s per core, 480 GFLOP/s peak.
+    "magny_cours_48": Machine(
+        name="magny_cours_48",
+        n_sockets=4,
+        cores_per_socket=12,
+        peak_gflops_per_core=10.0,
+        l2_bytes_per_core=512 * 1024,
+        l3_bytes_per_socket=10 * 1024 * 1024,
+    ),
+    # A small dual-socket box for tests and examples.
+    "smp_8": Machine(
+        name="smp_8",
+        n_sockets=2,
+        cores_per_socket=4,
+        peak_gflops_per_core=16.0,
+        l2_bytes_per_core=1024 * 1024,
+        l3_bytes_per_socket=16 * 1024 * 1024,
+    ),
+    # A tiny deterministic machine: single socket, no noise sources.
+    "uniform_4": Machine(
+        name="uniform_4",
+        n_sockets=1,
+        cores_per_socket=4,
+        peak_gflops_per_core=10.0,
+        l2_bytes_per_core=1024 * 1024,
+        l3_bytes_per_socket=8 * 1024 * 1024,
+        jitter_sigma=0.0,
+        spike_prob=0.0,
+        warmup_penalty=0.0,
+        cold_penalty=0.0,
+        contention_alpha=0.0,
+    ),
+}
+
+
+def get_machine(name: str) -> Machine:
+    """Look up a machine preset by name."""
+    try:
+        return MACHINE_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; presets: {sorted(MACHINE_PRESETS)}"
+        ) from None

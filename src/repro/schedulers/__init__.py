@@ -1,0 +1,54 @@
+"""Superscalar scheduler runtimes: QUARK-, StarPU-, and OmpSs-like."""
+
+from .base import Backend, SchedulerBase, TaskNode, TaskState
+from .engine import Engine
+from .ompss import OmpSsScheduler, TaskContext, task
+from .policies import (
+    FifoQueue,
+    HistoryPerfModel,
+    LifoQueue,
+    PriorityQueue,
+    WorkStealingDeques,
+)
+from .quark import QuarkScheduler
+from .starpu import STARPU_POLICIES, Codelet, StarPUScheduler
+from .taskdep import Dependence, HazardKind, HazardTracker
+
+__all__ = [
+    "Backend",
+    "SchedulerBase",
+    "TaskNode",
+    "TaskState",
+    "Engine",
+    "OmpSsScheduler",
+    "TaskContext",
+    "task",
+    "FifoQueue",
+    "HistoryPerfModel",
+    "LifoQueue",
+    "PriorityQueue",
+    "WorkStealingDeques",
+    "QuarkScheduler",
+    "STARPU_POLICIES",
+    "Codelet",
+    "StarPUScheduler",
+    "Dependence",
+    "HazardKind",
+    "HazardTracker",
+]
+
+#: The three runtimes the paper evaluates, by name.
+SCHEDULERS = {
+    "quark": QuarkScheduler,
+    "starpu": StarPUScheduler,
+    "ompss": OmpSsScheduler,
+}
+
+
+def make_scheduler(name: str, n_workers: int, **kwargs) -> SchedulerBase:
+    """Instantiate a scheduler by its paper name (``quark``/``starpu``/``ompss``)."""
+    try:
+        cls = SCHEDULERS[name]
+    except KeyError:
+        raise KeyError(f"unknown scheduler {name!r}; choose from {sorted(SCHEDULERS)}") from None
+    return cls(n_workers, **kwargs)

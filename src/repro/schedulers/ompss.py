@@ -1,0 +1,196 @@
+"""OmpSs-like superscalar runtime (paper §IV-A1).
+
+OmpSs (the StarSs/SMPSs lineage from the Barcelona Supercomputing Center) is
+a compiler-based system: ``#pragma omp task in(...) out(...) inout(...)``
+annotations are translated by the Mercurium source-to-source compiler into
+calls to the Nanos++ runtime.  Reproduced here:
+
+* a **decorator front-end** standing in for the pragmas: functions decorated
+  with :func:`task` record their dependence annotations, and calling them
+  inside a :class:`TaskContext` appends tasks to a program instead of
+  executing anything — the serial-elaboration model of OmpSs;
+* a **Nanos-like runtime**: dedicated submission thread, central ready
+  queue (FIFO by default, priority optional — Nanos++ ships multiple
+  throttle/queue plugins), and the *immediate successor* optimisation: a
+  worker that releases the last dependence of a task may execute that task
+  directly, skipping the queue (Nanos++'s locality-aware continuation).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.task import Access, AccessMode, DataRef, Program
+from .base import SchedulerBase, TaskNode
+from .policies import FifoQueue, PriorityQueue
+
+__all__ = ["OmpSsScheduler", "task", "TaskContext"]
+
+
+class OmpSsScheduler(SchedulerBase):
+    """OmpSs/Nanos++: dedicated master, central queue, successor bypass."""
+
+    name = "ompss"
+    master_is_worker = False
+    default_insert_cost = 2.5e-6
+    default_dispatch_overhead = 2.0e-6
+    default_window = 2048
+
+    def __init__(
+        self,
+        n_workers: int,
+        *,
+        queue: str = "fifo",
+        immediate_successor: bool = True,
+        window: Optional[int] = None,
+        insert_cost: Optional[float] = None,
+        dispatch_overhead: Optional[float] = None,
+        completion_cost: Optional[float] = None,
+    ) -> None:
+        super().__init__(
+            n_workers,
+            window=window,
+            insert_cost=insert_cost,
+            dispatch_overhead=dispatch_overhead,
+            completion_cost=completion_cost,
+        )
+        if queue not in ("fifo", "priority"):
+            raise ValueError(f"unknown OmpSs queue discipline {queue!r}")
+        self.queue_kind = queue
+        self.immediate_successor = immediate_successor
+        self._central: Optional[object] = None
+        self._bounce: Dict[int, List[TaskNode]] = {}
+        self._n_ready = 0
+
+    def setup(self, nodes: Sequence[TaskNode]) -> None:
+        self._central = FifoQueue() if self.queue_kind == "fifo" else PriorityQueue()
+        self._bounce = {}
+        self._n_ready = 0
+
+    def push_ready(self, node: TaskNode, releasing_worker: Optional[int]) -> None:
+        self._n_ready += 1
+        if self.immediate_successor and releasing_worker is not None:
+            # Offer the task to the releasing worker first (it is idle at
+            # this instant — it just finished the predecessor).
+            self._bounce.setdefault(releasing_worker, []).append(node)
+            return
+        self._central.push(node)  # type: ignore[union-attr]
+
+    def pop_ready(self, worker: int, now: float) -> Optional[TaskNode]:
+        bounce = self._bounce.get(worker)
+        if bounce:
+            self._n_ready -= 1
+            return bounce.pop(0)
+        node = self._central.pop()  # type: ignore[union-attr]
+        if node is None:
+            # Drain other workers' unclaimed bounce slots so no task is lost
+            # if its preferred worker picked up different work first.
+            for w in sorted(self._bounce):
+                if self._bounce[w]:
+                    node = self._bounce[w].pop(0)
+                    break
+        if node is not None:
+            self._n_ready -= 1
+        return node
+
+    def has_ready(self) -> bool:
+        return self._n_ready > 0
+
+
+class TaskContext:
+    """Collects calls of :func:`task`-decorated functions into a program.
+
+    Usage::
+
+        ctx = TaskContext("my-algorithm")
+
+        @task(inout=("a",))
+        def kernel(a, flops=0.0):
+            ...
+
+        with ctx:
+            kernel(ref_a)          # appends a task, does not execute
+
+        program = ctx.program
+    """
+
+    _active: Optional["TaskContext"] = None
+
+    def __init__(self, name: str, meta: Optional[Dict[str, object]] = None) -> None:
+        self.program = Program(name, meta=meta)
+
+    def __enter__(self) -> "TaskContext":
+        if TaskContext._active is not None:
+            raise RuntimeError("TaskContext does not nest")
+        TaskContext._active = self
+        return self
+
+    def __exit__(self, *exc) -> None:
+        TaskContext._active = None
+
+    @classmethod
+    def current(cls) -> "TaskContext":
+        if cls._active is None:
+            raise RuntimeError("no active TaskContext; use 'with TaskContext(...):'")
+        return cls._active
+
+
+def task(
+    in_: Sequence[str] = (),
+    out: Sequence[str] = (),
+    inout: Sequence[str] = (),
+    *,
+    kernel: Optional[str] = None,
+    priority: int = 0,
+) -> Callable:
+    """OmpSs ``#pragma omp task`` equivalent for plain Python functions.
+
+    ``in_``/``out``/``inout`` name the decorated function's parameters that
+    carry dependences; those arguments must be :class:`DataRef` handles when
+    the function is called inside a :class:`TaskContext`.  A ``flops``
+    keyword, if passed at the call site, is recorded on the task.
+    """
+    modes: Dict[str, AccessMode] = {}
+    for name in in_:
+        modes[name] = AccessMode.READ
+    for name in out:
+        if name in modes:
+            raise ValueError(f"parameter {name!r} annotated twice")
+        modes[name] = AccessMode.WRITE
+    for name in inout:
+        if name in modes:
+            raise ValueError(f"parameter {name!r} annotated twice")
+        modes[name] = AccessMode.RW
+
+    def decorate(fn: Callable) -> Callable:
+        import inspect
+
+        sig = inspect.signature(fn)
+        unknown = set(modes) - set(sig.parameters)
+        if unknown:
+            raise ValueError(f"annotated parameters not in signature: {sorted(unknown)}")
+        kname = kernel or fn.__name__.upper()
+
+        @functools.wraps(fn)
+        def submit(*args, **kwargs):
+            ctx = TaskContext.current()
+            bound = sig.bind(*args, **kwargs)
+            accesses = []
+            for pname, mode in modes.items():
+                ref = bound.arguments.get(pname)
+                if not isinstance(ref, DataRef):
+                    raise TypeError(
+                        f"argument {pname!r} of task {fn.__name__!r} must be a "
+                        f"DataRef, got {type(ref).__name__}"
+                    )
+                accesses.append(Access(ref, mode))
+            flops = float(bound.arguments.get("flops", 0.0) or 0.0)
+            return ctx.program.add_task(
+                kname, accesses, flops=flops, priority=priority, label=fn.__name__
+            )
+
+        submit.__wrapped_task__ = fn  # the real body, for numeric execution
+        return submit
+
+    return decorate

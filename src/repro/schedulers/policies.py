@@ -1,0 +1,149 @@
+"""Ready-queue disciplines and performance models shared by the runtimes.
+
+All containers are deterministic: ties break on insertion sequence, never on
+hash order or object identity, so whole runs replay exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from .base import TaskNode
+
+__all__ = [
+    "FifoQueue",
+    "LifoQueue",
+    "PriorityQueue",
+    "WorkStealingDeques",
+    "HistoryPerfModel",
+]
+
+
+class FifoQueue:
+    """Plain FIFO ready queue (StarPU's ``eager`` central queue)."""
+
+    def __init__(self) -> None:
+        self._q: Deque[TaskNode] = deque()
+
+    def push(self, node: TaskNode) -> None:
+        self._q.append(node)
+
+    def pop(self) -> Optional[TaskNode]:
+        return self._q.popleft() if self._q else None
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+class LifoQueue:
+    """LIFO ready queue — favours depth-first, cache-warm execution."""
+
+    def __init__(self) -> None:
+        self._q: List[TaskNode] = []
+
+    def push(self, node: TaskNode) -> None:
+        self._q.append(node)
+
+    def pop(self) -> Optional[TaskNode]:
+        return self._q.pop() if self._q else None
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+class PriorityQueue:
+    """Priority ready queue: higher ``TaskSpec.priority`` first, FIFO ties.
+
+    QUARK's ``TASK_PRIORITY`` semantics: the tile algorithms give panel
+    kernels larger priorities so the critical path is favoured.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, TaskNode]] = []
+        self._seq = itertools.count()
+
+    def push(self, node: TaskNode) -> None:
+        heapq.heappush(self._heap, (-node.priority, next(self._seq), node))
+
+    def pop(self) -> Optional[TaskNode]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class WorkStealingDeques:
+    """Per-worker deques with deterministic stealing (StarPU ``ws``).
+
+    Owners push and pop at the front (LIFO, locality); thieves steal from the
+    back (FIFO, oldest task) of the *richest* victim, lowest id breaking
+    ties.
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        self._deques: List[Deque[TaskNode]] = [deque() for _ in range(n_workers)]
+
+    def push(self, worker: int, node: TaskNode) -> None:
+        self._deques[worker].appendleft(node)
+
+    def pop_local(self, worker: int) -> Optional[TaskNode]:
+        dq = self._deques[worker]
+        return dq.popleft() if dq else None
+
+    def steal(self, thief: int) -> Optional[TaskNode]:
+        victim = -1
+        richest = 0
+        for w, dq in enumerate(self._deques):
+            if w != thief and len(dq) > richest:
+                victim, richest = w, len(dq)
+        if victim < 0:
+            return None
+        return self._deques[victim].pop()
+
+    def pop(self, worker: int) -> Optional[TaskNode]:
+        node = self.pop_local(worker)
+        return node if node is not None else self.steal(worker)
+
+    def __len__(self) -> int:
+        return sum(len(dq) for dq in self._deques)
+
+    def queue_length(self, worker: int) -> int:
+        return len(self._deques[worker])
+
+
+class HistoryPerfModel:
+    """Online per-kernel mean execution time (StarPU's history model).
+
+    StarPU "profiles each task execution and uses historical runtime data to
+    schedule tasks" — this is that model: a running mean per kernel class,
+    updated on every completion, with a configurable prior for kernels never
+    seen before.
+    """
+
+    def __init__(self, default: float = 100e-6) -> None:
+        if default <= 0:
+            raise ValueError("default expected duration must be positive")
+        self.default = default
+        self._count: Dict[str, int] = {}
+        self._mean: Dict[str, float] = {}
+
+    def update(self, kernel: str, duration: float) -> None:
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        n = self._count.get(kernel, 0) + 1
+        mean = self._mean.get(kernel, 0.0)
+        self._count[kernel] = n
+        self._mean[kernel] = mean + (duration - mean) / n
+
+    def expected(self, kernel: str) -> float:
+        return self._mean.get(kernel, self.default)
+
+    def observations(self, kernel: str) -> int:
+        return self._count.get(kernel, 0)

@@ -1,0 +1,169 @@
+"""StarPU-like superscalar runtime (paper §IV-A2).
+
+StarPU's distinguishing features reproduced here:
+
+* a **dedicated submission thread**: the master inserts tasks but never
+  executes them, so all ``n_workers`` cores given to the scheduler run tasks
+  full time (on a fixed machine, StarPU is normally configured with one
+  fewer worker than cores to leave room for the main thread — the
+  experiment drivers do exactly that);
+* **codelets**: a :class:`Codelet` names a kernel and carries its
+  performance model — the single-interface-multiple-implementations
+  abstraction of StarPU (only the CPU variant is meaningful here; the
+  ``where`` field exists for API fidelity and future accelerator work);
+* **pluggable scheduling policies** selected by name, as in
+  ``STARPU_SCHED``:
+
+  - ``eager``  — one central FIFO, workers pull (StarPU's default);
+  - ``prio``   — central priority queue;
+  - ``ws``     — per-worker deques with work stealing, ready tasks pushed to
+    the worker that released them (locality);
+  - ``dmda``   — deque model data aware: each ready task is pushed to the
+    worker with the *minimum expected completion time*, computed from the
+    history-based performance model StarPU builds from past executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .base import SchedulerBase, TaskNode
+from .policies import FifoQueue, HistoryPerfModel, PriorityQueue, WorkStealingDeques
+
+__all__ = ["Codelet", "StarPUScheduler", "STARPU_POLICIES"]
+
+STARPU_POLICIES = ("eager", "prio", "ws", "dmda")
+
+
+@dataclass
+class Codelet:
+    """A StarPU codelet: one logical kernel with its performance model.
+
+    ``where`` lists the execution targets the codelet supports; this
+    reproduction schedules CPU implementations (the paper's simulations are
+    CPU-only; GPU tasks are the paper's future work).
+    """
+
+    name: str
+    where: tuple = ("cpu",)
+    model: Optional[HistoryPerfModel] = None
+
+    def expected(self, default_model: HistoryPerfModel) -> float:
+        model = self.model if self.model is not None else default_model
+        return model.expected(self.name)
+
+
+class StarPUScheduler(SchedulerBase):
+    """StarPU: dedicated master, codelets, selectable policy."""
+
+    name = "starpu"
+    master_is_worker = False
+    default_insert_cost = 2.0e-6
+    default_dispatch_overhead = 2.5e-6
+    default_window = 4096
+
+    def __init__(
+        self,
+        n_workers: int,
+        *,
+        policy: str = "eager",
+        window: Optional[int] = None,
+        insert_cost: Optional[float] = None,
+        dispatch_overhead: Optional[float] = None,
+        completion_cost: Optional[float] = None,
+        perf_model_default: float = 100e-6,
+        worker_kinds: Optional[Sequence[str]] = None,
+    ) -> None:
+        super().__init__(
+            n_workers,
+            window=window,
+            insert_cost=insert_cost,
+            dispatch_overhead=dispatch_overhead,
+            completion_cost=completion_cost,
+        )
+        if policy not in STARPU_POLICIES:
+            raise ValueError(f"unknown StarPU policy {policy!r}; choose from {STARPU_POLICIES}")
+        if worker_kinds is not None and len(worker_kinds) != n_workers:
+            raise ValueError(
+                f"worker_kinds has {len(worker_kinds)} entries for "
+                f"{n_workers} workers"
+            )
+        self.policy = policy
+        #: per-worker architecture label ("cpu"/"gpu"/...); homogeneous when
+        #: None.  The history performance model is kept per (kernel, kind),
+        #: so dmda routes each kernel class to the architecture where it
+        #: runs fastest — StarPU's heterogeneous scheduling (paper SIV-A2).
+        self.worker_kinds = tuple(worker_kinds) if worker_kinds is not None else None
+        self._perf_default = perf_model_default
+        self.perf_model = HistoryPerfModel(perf_model_default)
+        self._central: Optional[object] = None
+        self._deques: Optional[WorkStealingDeques] = None
+        self._worker_eta: List[float] = []
+        self._n_ready = 0
+
+    def _kind(self, worker: int) -> str:
+        return self.worker_kinds[worker] if self.worker_kinds is not None else "cpu"
+
+    def _model_key(self, kernel: str, worker: int) -> str:
+        if self.worker_kinds is None:
+            return kernel
+        return f"{kernel}@{self._kind(worker)}"
+
+    # -- lifecycle -----------------------------------------------------------
+    def setup(self, nodes: Sequence[TaskNode]) -> None:
+        self.perf_model = HistoryPerfModel(self._perf_default)
+        self._n_ready = 0
+        if self.policy == "eager":
+            self._central = FifoQueue()
+        elif self.policy == "prio":
+            self._central = PriorityQueue()
+        else:
+            self._deques = WorkStealingDeques(self.n_workers)
+            self._worker_eta = [0.0] * self.n_workers
+
+    # -- policy hooks ----------------------------------------------------------
+    def push_ready(self, node: TaskNode, releasing_worker: Optional[int]) -> None:
+        self._n_ready += 1
+        if self.policy in ("eager", "prio"):
+            self._central.push(node)  # type: ignore[union-attr]
+            return
+        if self.policy == "ws":
+            target = releasing_worker if releasing_worker is not None else 0
+            self._deques.push(target, node)  # type: ignore[union-attr]
+            return
+        # dmda: minimise expected completion time across workers, with the
+        # expected duration depending on each worker's architecture.
+        best_worker = 0
+        best_eta = float("inf")
+        for w in range(self.n_workers):
+            expected = self.perf_model.expected(self._model_key(node.kernel, w))
+            eta = max(self._worker_eta[w], node.ready_time) + expected
+            if eta < best_eta:
+                best_worker, best_eta = w, eta
+        self._worker_eta[best_worker] = best_eta
+        self._deques.push(best_worker, node)  # type: ignore[union-attr]
+
+    def pop_ready(self, worker: int, now: float) -> Optional[TaskNode]:
+        if self.policy in ("eager", "prio"):
+            node = self._central.pop()  # type: ignore[union-attr]
+        elif self.policy == "ws":
+            node = self._deques.pop(worker)  # type: ignore[union-attr]
+        else:  # dmda: own queue first; steal only if idle and others backlogged
+            node = self._deques.pop_local(worker)  # type: ignore[union-attr]
+            if node is None:
+                node = self._deques.steal(worker)  # type: ignore[union-attr]
+        if node is not None:
+            self._n_ready -= 1
+        return node
+
+    def has_ready(self) -> bool:
+        return self._n_ready > 0
+
+    def on_finish(self, node: TaskNode, worker: int, duration: float) -> None:
+        # History-based performance model learns from every execution, per
+        # (kernel, architecture).
+        self.perf_model.update(self._model_key(node.kernel, worker), duration)
+        if self.policy == "dmda":
+            # Re-anchor the worker's availability estimate to reality.
+            self._worker_eta[worker] = max(self._worker_eta[worker], node.end_time)

@@ -1,0 +1,45 @@
+"""Trace recording, rendering, persistence, and comparison."""
+
+from .compare import (
+    TraceComparison,
+    activity_profile,
+    activity_rmse,
+    compare_traces,
+    completion_order_similarity,
+    kernel_time_drift,
+    makespan_error,
+)
+from .ascii import ascii_gantt
+from .events import Trace, TraceEvent
+from .load import event_loads, loaded_kernel_samples
+from .stats import TraceStatistics, trace_statistics
+from .svg import render_svg, write_comparison_svg, write_svg
+from .textio import dumps_trace, load_trace, loads_trace, save_trace
+from .verify import TraceVerificationError, VerificationSummary, verify_trace
+
+__all__ = [
+    "TraceComparison",
+    "activity_profile",
+    "activity_rmse",
+    "compare_traces",
+    "completion_order_similarity",
+    "kernel_time_drift",
+    "makespan_error",
+    "ascii_gantt",
+    "Trace",
+    "TraceEvent",
+    "TraceStatistics",
+    "trace_statistics",
+    "event_loads",
+    "loaded_kernel_samples",
+    "render_svg",
+    "write_comparison_svg",
+    "write_svg",
+    "dumps_trace",
+    "load_trace",
+    "loads_trace",
+    "save_trace",
+    "TraceVerificationError",
+    "VerificationSummary",
+    "verify_trace",
+]

@@ -1,0 +1,64 @@
+"""ASCII Gantt rendering: trace inspection without leaving the terminal.
+
+One character column per time slice, one row per worker; each cell shows
+the initial of the kernel running there (``.`` for idle).  A multi-threaded
+task paints every lane it occupies.  The output of :func:`ascii_gantt` for
+a small QR run makes the pipeline structure (panel / update overlap)
+directly visible in test logs and CLI output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .events import Trace
+
+__all__ = ["ascii_gantt"]
+
+
+def _initials(kernels) -> Dict[str, str]:
+    """Distinct single-character labels per kernel (stable, readable)."""
+    out: Dict[str, str] = {}
+    used = set()
+    for kernel in sorted(kernels):
+        # Prefer a distinctive character: skip the common "D" prefix of
+        # BLAS names, then fall back to later characters and digits.
+        candidates = [c for c in kernel.lstrip("D") if c.isalnum()] + list("0123456789")
+        for c in candidates:
+            if c not in used:
+                out[kernel] = c
+                used.add(c)
+                break
+        else:  # pragma: no cover - >36 kernel classes
+            out[kernel] = "?"
+    return out
+
+
+def ascii_gantt(trace: Trace, *, width: int = 100, legend: bool = True) -> str:
+    """Render ``trace`` as an ASCII Gantt chart ``width`` columns wide."""
+    if width < 10:
+        raise ValueError("width must be at least 10 columns")
+    if len(trace) == 0:
+        return "(empty trace)"
+    t0 = trace.start_time
+    span = trace.makespan
+    initials = _initials(trace.kernel_counts())
+    grid: List[List[str]] = [["."] * width for _ in range(trace.n_workers)]
+    for e in sorted(trace.events):
+        c0 = int((e.start - t0) / span * width) if span > 0 else 0
+        c1 = int((e.end - t0) / span * width) if span > 0 else width
+        c0 = min(max(c0, 0), width - 1)
+        c1 = min(max(c1, c0 + 1), width)
+        for w in e.workers:
+            row = grid[w]
+            for c in range(c0, c1):
+                row[c] = initials[e.kernel]
+    label_w = len(f"w{trace.n_workers - 1}")
+    lines = [
+        f"w{w:<{label_w - 1}} |" + "".join(grid[w]) + "|"
+        for w in range(trace.n_workers)
+    ]
+    if legend:
+        pairs = ", ".join(f"{v}={k}" for k, v in sorted(initials.items()))
+        lines.append(f"legend: {pairs}  (.=idle, {span * 1e3:.3f} ms across)")
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Trace comparison metrics: quantifying Figs. 6-7 "nearly identical" claims.
+
+The paper validates its simulator in two ways: the **execution time** must be
+within a few percent of the real run, and the **trace must retain the
+essential features** of the real trace.  This module turns both criteria into
+numbers:
+
+* :func:`makespan_error` — the signed relative makespan error;
+* :func:`completion_order_similarity` — Kendall's tau between the two runs'
+  task-completion orders (1.0 = identical out-of-order behaviour);
+* :func:`activity_profile` / :func:`activity_rmse` — active-core-count
+  curves over normalised time and their RMS difference (the visual
+  "shape" of a Gantt chart);
+* :func:`kernel_time_drift` — per-kernel mean-duration discrepancy, which
+  localises model error to a kernel class;
+* :func:`compare_traces` — all of the above in one report object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+from scipy import stats
+
+from .events import Trace
+
+__all__ = [
+    "makespan_error",
+    "completion_order_similarity",
+    "activity_profile",
+    "activity_rmse",
+    "kernel_time_drift",
+    "TraceComparison",
+    "compare_traces",
+]
+
+
+def makespan_error(real: Trace, simulated: Trace) -> float:
+    """Signed relative error ``(sim - real) / real`` of the makespans."""
+    real_span = real.makespan
+    if real_span <= 0:
+        raise ValueError("real trace has zero makespan")
+    return (simulated.makespan - real_span) / real_span
+
+
+def completion_order_similarity(real: Trace, simulated: Trace) -> float:
+    """Kendall's tau between completion orders (over shared task ids).
+
+    1.0 means the simulation reproduced the real run's out-of-order task
+    completion sequence exactly; 0 means no correlation.  Returns 1.0 for
+    fewer than two shared tasks.
+    """
+    rank_real = {tid: i for i, tid in enumerate(real.completion_order())}
+    rank_sim = {tid: i for i, tid in enumerate(simulated.completion_order())}
+    shared = sorted(set(rank_real) & set(rank_sim))
+    if len(shared) < 2:
+        return 1.0
+    a = [rank_real[t] for t in shared]
+    b = [rank_sim[t] for t in shared]
+    tau = stats.kendalltau(a, b).statistic
+    return float(tau) if np.isfinite(tau) else 0.0
+
+
+def activity_profile(trace: Trace, n_bins: int = 200) -> np.ndarray:
+    """Mean active-core count in each of ``n_bins`` equal time slices."""
+    if n_bins <= 0:
+        raise ValueError("n_bins must be positive")
+    span = trace.makespan
+    profile = np.zeros(n_bins)
+    if span <= 0:
+        return profile
+    t0 = trace.start_time
+    width = span / n_bins
+    for e in trace.events:
+        # Distribute the event's busy time over the bins it spans.
+        lo = (e.start - t0) / width
+        hi = (e.end - t0) / width
+        first, last = int(lo), min(int(hi), n_bins - 1)
+        if first == last:
+            profile[first] += hi - lo
+            continue
+        profile[first] += first + 1 - lo
+        profile[first + 1 : last] += 1.0
+        profile[last] += hi - last
+    return profile
+
+
+def activity_rmse(real: Trace, simulated: Trace, n_bins: int = 200) -> float:
+    """RMS difference of the two activity profiles on normalised time."""
+    a = activity_profile(real, n_bins)
+    b = activity_profile(simulated, n_bins)
+    return float(np.sqrt(np.mean((a - b) ** 2)))
+
+
+def kernel_time_drift(real: Trace, simulated: Trace) -> Dict[str, float]:
+    """Relative per-kernel mean-duration error, ``(sim - real) / real``."""
+    real_d = {k: float(np.mean(v)) for k, v in real.kernel_durations().items()}
+    sim_d = {k: float(np.mean(v)) for k, v in simulated.kernel_durations().items()}
+    out: Dict[str, float] = {}
+    for kernel in sorted(set(real_d) & set(sim_d)):
+        if real_d[kernel] > 0:
+            out[kernel] = (sim_d[kernel] - real_d[kernel]) / real_d[kernel]
+    return out
+
+
+@dataclass
+class TraceComparison:
+    """Aggregate comparison of a real and a simulated trace."""
+
+    makespan_real: float
+    makespan_sim: float
+    makespan_error: float
+    order_similarity: float
+    activity_rmse: float
+    kernel_drift: Dict[str, float] = field(default_factory=dict)
+    tasks_real: int = 0
+    tasks_sim: int = 0
+
+    @property
+    def abs_error_percent(self) -> float:
+        return abs(self.makespan_error) * 100.0
+
+    def report(self) -> str:
+        lines = [
+            f"makespan: real={self.makespan_real:.6f}s sim={self.makespan_sim:.6f}s "
+            f"error={self.makespan_error * 100:+.2f}%",
+            f"completion-order similarity (Kendall tau): {self.order_similarity:.3f}",
+            f"activity-profile RMSE: {self.activity_rmse:.3f} cores",
+            f"tasks: real={self.tasks_real} sim={self.tasks_sim}",
+        ]
+        for kernel, drift in sorted(self.kernel_drift.items()):
+            lines.append(f"  {kernel:<14s} mean-duration drift {drift * 100:+.2f}%")
+        return "\n".join(lines)
+
+
+def compare_traces(real: Trace, simulated: Trace, n_bins: int = 200) -> TraceComparison:
+    """Compute every comparison metric between ``real`` and ``simulated``."""
+    return TraceComparison(
+        makespan_real=real.makespan,
+        makespan_sim=simulated.makespan,
+        makespan_error=makespan_error(real, simulated),
+        order_similarity=completion_order_similarity(real, simulated),
+        activity_rmse=activity_rmse(real, simulated, n_bins),
+        kernel_drift=kernel_time_drift(real, simulated),
+        tasks_real=len(real),
+        tasks_sim=len(simulated),
+    )

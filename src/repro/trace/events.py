@@ -1,0 +1,204 @@
+"""Execution traces: the primary output of both real and simulated runs.
+
+A :class:`Trace` is an append-only collection of :class:`TraceEvent` records
+— one per executed task, carrying the worker, the kernel class, and the
+start/end times (wall-clock seconds for real runs, virtual seconds for
+simulated ones; paper §V-A).  Traces support the queries every experiment
+needs: makespan, per-worker rows, utilisation, per-kernel duration samples
+(the calibration input), and achieved GFLOP/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["TraceEvent", "Trace"]
+
+
+@dataclass(frozen=True, order=True)
+class TraceEvent:
+    """One executed task: ``[start, end)`` on ``worker``.
+
+    Ordering is by ``(start, end, worker, task_id)`` so a sorted event list
+    reads chronologically.  A multi-threaded task (``width > 1``) occupies
+    workers ``worker .. worker + width - 1`` and is recorded once, on its
+    primary (lowest-index) worker.
+    """
+
+    start: float
+    end: float
+    worker: int
+    task_id: int
+    kernel: str
+    label: str = ""
+    width: int = 1
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"event ends before it starts: {self}")
+        if self.worker < 0:
+            raise ValueError("worker index must be non-negative")
+        if self.width < 1:
+            raise ValueError("width must be at least 1")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def workers(self) -> range:
+        """The workers this event occupies."""
+        return range(self.worker, self.worker + self.width)
+
+
+class Trace:
+    """An execution trace: events plus run metadata.
+
+    ``meta`` records provenance (scheduler, backend, problem, seed) so that
+    saved traces are self-describing.
+    """
+
+    def __init__(self, n_workers: int, meta: Optional[Dict[str, object]] = None) -> None:
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        self.n_workers = n_workers
+        self.meta: Dict[str, object] = dict(meta or {})
+        self._events: List[TraceEvent] = []
+
+    # -- construction ------------------------------------------------------
+    def record(
+        self,
+        worker: int,
+        task_id: int,
+        kernel: str,
+        start: float,
+        end: float,
+        label: str = "",
+        width: int = 1,
+    ) -> TraceEvent:
+        """Append one event (``width`` workers starting at ``worker``)."""
+        if not (0 <= worker and worker + width <= self.n_workers):
+            raise ValueError(
+                f"workers [{worker}, {worker + width}) out of range "
+                f"[0, {self.n_workers})"
+            )
+        ev = TraceEvent(
+            start=start, end=end, worker=worker, task_id=task_id, kernel=kernel,
+            label=label, width=width,
+        )
+        self._events.append(ev)
+        return ev
+
+    def add(self, event: TraceEvent) -> None:
+        if not (0 <= event.worker and event.worker + event.width <= self.n_workers):
+            raise ValueError(f"workers of {event} out of range")
+        self._events.append(event)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def events(self) -> Tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def start_time(self) -> float:
+        return min((e.start for e in self._events), default=0.0)
+
+    @property
+    def makespan(self) -> float:
+        """End of the last task minus start of the first."""
+        if not self._events:
+            return 0.0
+        return max(e.end for e in self._events) - self.start_time
+
+    def worker_events(self, worker: int) -> List[TraceEvent]:
+        """Chronologically sorted events occupying one worker."""
+        return sorted(e for e in self._events if worker in e.workers)
+
+    def rows(self) -> List[List[TraceEvent]]:
+        """All workers' rows, index = worker id (empty rows included).
+
+        A multi-threaded event appears in every row it occupies.
+        """
+        out: List[List[TraceEvent]] = [[] for _ in range(self.n_workers)]
+        for e in self._events:
+            for w in e.workers:
+                out[w].append(e)
+        for row in out:
+            row.sort()
+        return out
+
+    def busy_time(self, worker: Optional[int] = None) -> float:
+        """Total core-seconds of task time on one worker (or all workers)."""
+        if worker is None:
+            return sum(e.duration * e.width for e in self._events)
+        return sum(e.duration for e in self._events if worker in e.workers)
+
+    def utilization(self) -> float:
+        """Busy fraction of ``n_workers x makespan`` (0 for an empty trace)."""
+        span = self.makespan
+        if span <= 0:
+            return 0.0
+        return self.busy_time() / (self.n_workers * span)
+
+    def kernel_durations(self) -> Dict[str, List[float]]:
+        """Duration samples grouped by kernel — the calibration harvest."""
+        out: Dict[str, List[float]] = {}
+        for e in sorted(self._events):
+            out.setdefault(e.kernel, []).append(e.duration)
+        return out
+
+    def kernel_counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self._events:
+            out[e.kernel] = out.get(e.kernel, 0) + 1
+        return out
+
+    def tasks_per_worker(self) -> List[int]:
+        counts = [0] * self.n_workers
+        for e in self._events:
+            for w in e.workers:
+                counts[w] += 1
+        return counts
+
+    def gflops(self, total_flops: float) -> float:
+        """Achieved GFLOP/s given the algorithmic flop count."""
+        span = self.makespan
+        if span <= 0:
+            raise ValueError("empty trace has no rate")
+        return total_flops / span / 1e9
+
+    def completion_order(self) -> List[int]:
+        """Task ids ordered by completion time (ties by id)."""
+        return [e.task_id for e in sorted(self._events, key=lambda e: (e.end, e.task_id))]
+
+    def validate(self) -> None:
+        """Check physical consistency; raises ``ValueError`` on violation.
+
+        * no two events on one worker overlap in time;
+        * no task id appears twice.
+        """
+        seen: Dict[int, TraceEvent] = {}
+        for e in self._events:
+            if e.task_id in seen:
+                raise ValueError(f"task {e.task_id} recorded twice: {seen[e.task_id]} / {e}")
+            seen[e.task_id] = e
+        for w, row in enumerate(self.rows()):
+            for a, b in zip(row, row[1:]):
+                # Strict overlap check with a tolerance for float rounding.
+                if b.start < a.end - 1e-12:
+                    raise ValueError(
+                        f"worker {w}: overlapping events {a} and {b}"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Trace({len(self._events)} events, {self.n_workers} workers, "
+            f"makespan={self.makespan:.6f}s)"
+        )

@@ -1,0 +1,92 @@
+"""Per-event concurrency analysis of traces.
+
+The §VII improved kernel model conditions each kernel's duration on the
+machine load it experienced.  :func:`event_loads` computes, for every event
+in a trace, the *mean number of concurrently running tasks* (including
+itself, weighted by core count for multi-threaded tasks) over the event's
+lifetime — using an event-boundary sweep, O(n log n) in the number of
+events.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .events import Trace
+
+__all__ = ["event_loads", "loaded_kernel_samples"]
+
+
+def event_loads(trace: Trace) -> Dict[int, float]:
+    """Mean concurrent active-core count experienced by each task.
+
+    Returns ``{task_id: mean_load}``; an event running alone has load equal
+    to its own width.
+    """
+    events = sorted(trace.events)
+    if not events:
+        return {}
+    # Boundary sweep: active core count is piecewise constant between the
+    # sorted start/end boundaries.
+    boundaries: List[Tuple[float, int]] = []
+    for e in events:
+        boundaries.append((e.start, e.width))
+        boundaries.append((e.end, -e.width))
+    boundaries.sort()
+    times: List[float] = []
+    counts: List[int] = []
+    active = 0
+    for t, delta in boundaries:
+        if times and times[-1] == t:
+            active += delta
+            counts[-1] = active
+        else:
+            active += delta
+            times.append(t)
+            counts.append(active)
+    # Prefix integral of the active count.
+    integral = [0.0]
+    for i in range(len(times) - 1):
+        integral.append(integral[-1] + counts[i] * (times[i + 1] - times[i]))
+
+    import bisect
+
+    def integrate(a: float, b: float) -> float:
+        ia = bisect.bisect_right(times, a) - 1
+        ib = bisect.bisect_right(times, b) - 1
+        if ia == ib:
+            return counts[ia] * (b - a)
+        total = counts[ia] * (times[ia + 1] - a)
+        total += integral[ib] - integral[ia + 1]
+        total += counts[ib] * (b - times[ib])
+        return total
+
+    loads: Dict[int, float] = {}
+    for e in events:
+        if e.duration <= 0:
+            loads[e.task_id] = float(counts[bisect.bisect_right(times, e.start) - 1])
+            continue
+        loads[e.task_id] = integrate(e.start, e.end) / e.duration
+    return loads
+
+
+def loaded_kernel_samples(
+    trace: Trace,
+    *,
+    drop_first_per_worker: bool = True,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Per-kernel ``(duration, load)`` pairs — the load-aware calibration
+    harvest (§VII improved kernel model)."""
+    skip = set()
+    if drop_first_per_worker:
+        for worker in range(trace.n_workers):
+            events = trace.worker_events(worker)
+            if events:
+                skip.add(events[0].task_id)
+    loads = event_loads(trace)
+    out: Dict[str, List[Tuple[float, float]]] = {}
+    for e in sorted(trace.events):
+        if e.task_id in skip:
+            continue
+        out.setdefault(e.kernel, []).append((e.duration, loads[e.task_id]))
+    return out

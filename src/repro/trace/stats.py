@@ -1,0 +1,143 @@
+"""Trace statistics reports: the numbers behind a Gantt chart.
+
+:func:`trace_statistics` condenses a trace into the quantities a performance
+engineer reads off the paper's Figs. 6-7 by eye: per-kernel time breakdown,
+per-worker utilisation spread, critical-phase detection (ramp-up / steady /
+tail by active-core thresholds), and scheduling-gap totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .compare import activity_profile
+from .events import Trace
+
+__all__ = ["KernelStats", "PhaseBreakdown", "TraceStatistics", "trace_statistics"]
+
+
+@dataclass(frozen=True)
+class KernelStats:
+    """Aggregate timing of one kernel class within a trace."""
+
+    kernel: str
+    count: int
+    total_time: float
+    mean: float
+    std: float
+    min: float
+    max: float
+    share: float  # fraction of total busy time
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Ramp-up / steady-state / tail split of the makespan.
+
+    Phases are defined by the active-core profile crossing half the peak
+    concurrency: the time before the first crossing is ramp-up, after the
+    last crossing is the tail.
+    """
+
+    ramp_up: float
+    steady: float
+    tail: float
+
+
+@dataclass
+class TraceStatistics:
+    """Full statistics bundle for one trace."""
+
+    n_tasks: int
+    n_workers: int
+    makespan: float
+    utilization: float
+    kernels: List[KernelStats] = field(default_factory=list)
+    worker_busy_fraction: Tuple[float, float, float] = (0.0, 0.0, 0.0)  # min/mean/max
+    phases: Optional[PhaseBreakdown] = None
+    total_gap_time: float = 0.0  # idle time inside [start, end] summed over workers
+
+    def report(self) -> str:
+        lines = [
+            f"{self.n_tasks} tasks on {self.n_workers} workers, "
+            f"makespan {self.makespan * 1e3:.3f} ms, "
+            f"utilisation {self.utilization * 100:.1f}%",
+            f"worker busy fraction: min {self.worker_busy_fraction[0] * 100:.1f}% / "
+            f"mean {self.worker_busy_fraction[1] * 100:.1f}% / "
+            f"max {self.worker_busy_fraction[2] * 100:.1f}%",
+        ]
+        if self.phases is not None:
+            p = self.phases
+            lines.append(
+                f"phases: ramp-up {p.ramp_up * 1e3:.2f} ms, "
+                f"steady {p.steady * 1e3:.2f} ms, tail {p.tail * 1e3:.2f} ms"
+            )
+        lines.append(
+            f"{'kernel':<14} {'count':>6} {'mean us':>10} {'std us':>9} "
+            f"{'total ms':>9} {'share %':>8}"
+        )
+        for k in self.kernels:
+            lines.append(
+                f"{k.kernel:<14} {k.count:>6} {k.mean * 1e6:>10.2f} "
+                f"{k.std * 1e6:>9.2f} {k.total_time * 1e3:>9.2f} {k.share * 100:>8.2f}"
+            )
+        return "\n".join(lines)
+
+
+def trace_statistics(trace: Trace, *, n_bins: int = 400) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` for ``trace``."""
+    if len(trace) == 0:
+        return TraceStatistics(
+            n_tasks=0, n_workers=trace.n_workers, makespan=0.0, utilization=0.0
+        )
+    busy_total = trace.busy_time()
+    kernels: List[KernelStats] = []
+    for kernel, durations in sorted(trace.kernel_durations().items()):
+        arr = np.asarray(durations)
+        kernels.append(
+            KernelStats(
+                kernel=kernel,
+                count=int(arr.size),
+                total_time=float(arr.sum()),
+                mean=float(arr.mean()),
+                std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+                min=float(arr.min()),
+                max=float(arr.max()),
+                share=float(arr.sum()) / busy_total if busy_total > 0 else 0.0,
+            )
+        )
+    kernels.sort(key=lambda k: -k.total_time)
+
+    span = trace.makespan
+    fractions = [
+        trace.busy_time(w) / span if span > 0 else 0.0 for w in range(trace.n_workers)
+    ]
+    worker_stats = (min(fractions), float(np.mean(fractions)), max(fractions))
+
+    profile = activity_profile(trace, n_bins)
+    phases: Optional[PhaseBreakdown] = None
+    if profile.size and profile.max() > 0:
+        threshold = profile.max() / 2.0
+        above = np.nonzero(profile >= threshold)[0]
+        bin_w = span / n_bins
+        first, last = int(above[0]), int(above[-1])
+        phases = PhaseBreakdown(
+            ramp_up=first * bin_w,
+            steady=(last - first + 1) * bin_w,
+            tail=(n_bins - last - 1) * bin_w,
+        )
+
+    gap = trace.n_workers * span - busy_total
+    return TraceStatistics(
+        n_tasks=len(trace),
+        n_workers=trace.n_workers,
+        makespan=span,
+        utilization=trace.utilization(),
+        kernels=kernels,
+        worker_busy_fraction=worker_stats,
+        phases=phases,
+        total_gap_time=max(gap, 0.0),
+    )

@@ -1,0 +1,178 @@
+"""SVG rendering of execution traces (paper §V-A, Figs. 6-7).
+
+The paper's "rudimentary trace generation environment" converts traces to
+Scalable Vector Graphics for visual comparison of real and simulated runs.
+This module is its equivalent: one horizontal lane per core, one rectangle
+per task, coloured by kernel class, with an optional shared time scale so a
+real/simulated pair can be compared the way Figs. 6 and 7 are ("presented
+with identical time scales along the x-axis").
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+from ..dag.export import KERNEL_COLORS
+from .events import Trace
+
+__all__ = ["render_svg", "write_svg", "write_comparison_svg"]
+
+_LANE_H = 14
+_LANE_GAP = 2
+_MARGIN_L = 60
+_MARGIN_T = 28
+_MARGIN_B = 30
+_WIDTH = 1200
+_AXIS_TICKS = 8
+
+
+def _color(kernel: str) -> str:
+    return KERNEL_COLORS.get(kernel, "#bbbbbb")
+
+
+def _render_lanes(
+    trace: Trace,
+    *,
+    t0: float,
+    scale: float,
+    y0: int,
+    parts: list,
+) -> int:
+    """Append one trace's lanes to ``parts``; returns the y after the block."""
+    for worker in range(trace.n_workers):
+        y = y0 + worker * (_LANE_H + _LANE_GAP)
+        parts.append(
+            f'<text x="{_MARGIN_L - 6}" y="{y + _LANE_H - 3}" text-anchor="end" '
+            f'font-size="9" fill="#444">core {worker}</text>'
+        )
+    for e in sorted(trace.events):
+        y = y0 + e.worker * (_LANE_H + _LANE_GAP)
+        x = _MARGIN_L + (e.start - t0) * scale
+        w = max(e.duration * scale, 0.4)
+        # Multi-threaded tasks span the lanes of every core they occupy.
+        h = e.width * _LANE_H + (e.width - 1) * _LANE_GAP
+        title = html.escape(
+            f"{e.kernel} task {e.task_id} [{e.start:.6f}, {e.end:.6f}] {e.label}"
+        )
+        parts.append(
+            f'<rect x="{x:.2f}" y="{y}" width="{w:.2f}" height="{h}" '
+            f'fill="{_color(e.kernel)}" stroke="#333" stroke-width="0.3">'
+            f"<title>{title}</title></rect>"
+        )
+    return y0 + trace.n_workers * (_LANE_H + _LANE_GAP)
+
+
+def _render_axis(parts: list, *, t0: float, t1: float, scale: float, y: int) -> None:
+    parts.append(
+        f'<line x1="{_MARGIN_L}" y1="{y}" x2="{_MARGIN_L + (t1 - t0) * scale:.2f}" '
+        f'y2="{y}" stroke="#333" stroke-width="1"/>'
+    )
+    for i in range(_AXIS_TICKS + 1):
+        t = t0 + (t1 - t0) * i / _AXIS_TICKS
+        x = _MARGIN_L + (t - t0) * scale
+        parts.append(f'<line x1="{x:.2f}" y1="{y}" x2="{x:.2f}" y2="{y + 4}" stroke="#333"/>')
+        parts.append(
+            f'<text x="{x:.2f}" y="{y + 14}" text-anchor="middle" font-size="9" '
+            f'fill="#333">{(t - t0):.4g}s</text>'
+        )
+
+
+def _render_legend(parts: list, kernels: Sequence[str], y: int) -> None:
+    x = _MARGIN_L
+    for kernel in kernels:
+        parts.append(
+            f'<rect x="{x}" y="{y}" width="10" height="10" fill="{_color(kernel)}" '
+            f'stroke="#333" stroke-width="0.3"/>'
+        )
+        parts.append(
+            f'<text x="{x + 14}" y="{y + 9}" font-size="9" fill="#333">{kernel}</text>'
+        )
+        x += 14 + 7 * len(kernel) + 18
+
+
+def render_svg(
+    trace: Trace,
+    *,
+    title: str = "",
+    time_span: Optional[float] = None,
+    width: int = _WIDTH,
+) -> str:
+    """Render one trace as an SVG document string.
+
+    ``time_span`` fixes the x-axis extent (seconds); pass the *longer* of two
+    makespans to put a real/simulated pair on identical time scales.
+    """
+    t0 = trace.start_time
+    span = time_span if time_span is not None else trace.makespan
+    span = max(span, 1e-12)
+    scale = (width - _MARGIN_L - 20) / span
+    kernels = sorted(trace.kernel_counts())
+    height = (
+        _MARGIN_T
+        + trace.n_workers * (_LANE_H + _LANE_GAP)
+        + _MARGIN_B
+        + 16  # legend row
+    )
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'font-family="Helvetica, sans-serif">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{_MARGIN_L}" y="16" font-size="12" fill="#111">{html.escape(title)}</text>'
+        )
+    y_end = _render_lanes(trace, t0=t0, scale=scale, y0=_MARGIN_T, parts=parts)
+    _render_axis(parts, t0=t0, t1=t0 + span, scale=scale, y=y_end + 4)
+    _render_legend(parts, kernels, y_end + 20)
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_svg(
+    trace: Trace,
+    path: Union[str, Path],
+    *,
+    title: str = "",
+    time_span: Optional[float] = None,
+) -> Path:
+    """Write :func:`render_svg` output to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_svg(trace, title=title, time_span=time_span))
+    return path
+
+
+def write_comparison_svg(
+    real: Trace,
+    simulated: Trace,
+    path: Union[str, Path],
+    *,
+    titles: Sequence[str] = ("real execution", "simulated execution"),
+) -> Path:
+    """Write a Figs. 6-7 style stacked comparison on one shared time scale."""
+    span = max(real.makespan, simulated.makespan)
+    block_a = render_svg(real, title=titles[0], time_span=span)
+    block_b = render_svg(simulated, title=titles[1], time_span=span)
+
+    def _strip(svg: str) -> tuple:
+        body = svg.split(">", 1)[1].rsplit("</svg>", 1)[0]
+        height = int(svg.split('height="')[1].split('"')[0])
+        return body, height
+
+    body_a, h_a = _strip(block_a)
+    body_b, h_b = _strip(block_b)
+    total_h = h_a + h_b + 10
+    doc = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" height="{total_h}" '
+        f'font-family="Helvetica, sans-serif">\n'
+        f"<g>{body_a}</g>\n"
+        f'<g transform="translate(0,{h_a + 10})">{body_b}</g>\n'
+        f"</svg>"
+    )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(doc)
+    return path

@@ -1,0 +1,71 @@
+"""Plain-text trace persistence (paper §V-A: "the trace data can also be
+stored in a plain text file for further processing").
+
+Format: a ``#``-prefixed JSON metadata header, then one whitespace-separated
+record per event::
+
+    # {"n_workers": 4, "meta": {...}}
+    worker task_id kernel start end width label...
+
+The label may contain spaces (it occupies the remainder of the line).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .events import Trace
+
+__all__ = ["save_trace", "load_trace", "dumps_trace", "loads_trace"]
+
+
+def dumps_trace(trace: Trace) -> str:
+    """Serialise ``trace`` to the plain-text format."""
+    header = json.dumps({"n_workers": trace.n_workers, "meta": trace.meta}, sort_keys=True)
+    lines = [f"# {header}"]
+    for e in sorted(trace.events):
+        record = f"{e.worker} {e.task_id} {e.kernel} {e.start!r} {e.end!r} {e.width}"
+        if e.label:
+            record += f" {e.label}"
+        lines.append(record)
+    return "\n".join(lines) + "\n"
+
+
+def loads_trace(text: str) -> Trace:
+    """Parse the plain-text format back into a :class:`Trace`."""
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines or not lines[0].startswith("#"):
+        raise ValueError("trace text must begin with a '# {json}' header line")
+    header = json.loads(lines[0][1:].strip())
+    trace = Trace(n_workers=int(header["n_workers"]), meta=dict(header.get("meta", {})))
+    for ln in lines[1:]:
+        fields = ln.split(None, 6)
+        if len(fields) < 6:
+            raise ValueError(f"malformed trace record: {ln!r}")
+        worker, task_id, kernel, start, end, width = fields[:6]
+        label = fields[6] if len(fields) == 7 else ""
+        trace.record(
+            worker=int(worker),
+            task_id=int(task_id),
+            kernel=kernel,
+            start=float(start),
+            end=float(end),
+            label=label,
+            width=int(width),
+        )
+    return trace
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
+    """Write ``trace`` to ``path`` in the plain-text format."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dumps_trace(trace))
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    return loads_trace(Path(path).read_text())

@@ -1,0 +1,92 @@
+"""Trace verification: is a trace a legal execution of a program?
+
+:func:`verify_trace` combines the three checks every experiment in this
+repository relies on, as one public API:
+
+1. **completeness** — every task of the program appears exactly once;
+2. **physical consistency** — no two events overlap on any worker
+   (including the extra lanes of multi-threaded tasks);
+3. **dependence respect** — for every hazard edge of the program's DAG,
+   the successor starts no earlier than the predecessor ends.
+
+Raises :class:`TraceVerificationError` with a precise message on the first
+violation; returns a small summary on success.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.task import Program
+from .events import Trace
+
+__all__ = ["TraceVerificationError", "VerificationSummary", "verify_trace"]
+
+
+class TraceVerificationError(AssertionError):
+    """A trace is not a legal execution of its program."""
+
+
+@dataclass(frozen=True)
+class VerificationSummary:
+    """Returned by a successful :func:`verify_trace`."""
+
+    n_tasks: int
+    n_dependences: int
+    makespan: float
+
+
+def verify_trace(
+    program: Program,
+    trace: Trace,
+    *,
+    tolerance: float = 1e-12,
+) -> VerificationSummary:
+    """Check that ``trace`` is a legal execution of ``program``."""
+    # 1. completeness ------------------------------------------------------
+    seen = sorted(e.task_id for e in trace.events)
+    expected = list(range(len(program)))
+    if seen != expected:
+        missing = sorted(set(expected) - set(seen))
+        extra = sorted(set(seen) - set(expected))
+        dupes = sorted({t for t in seen if seen.count(t) > 1}) if len(seen) != len(set(seen)) else []
+        raise TraceVerificationError(
+            f"task set mismatch: missing={missing[:5]} extra={extra[:5]} "
+            f"duplicated={dupes[:5]}"
+        )
+
+    # widths must match the specs
+    for e in trace.events:
+        if e.width != program[e.task_id].width:
+            raise TraceVerificationError(
+                f"task {e.task_id} recorded with width {e.width}, "
+                f"spec says {program[e.task_id].width}"
+            )
+
+    # 2. physical consistency ---------------------------------------------
+    try:
+        trace.validate()
+    except ValueError as exc:
+        raise TraceVerificationError(str(exc)) from exc
+
+    # 3. dependence respect -------------------------------------------------
+    from ..schedulers.taskdep import HazardTracker
+
+    starts: Dict[int, float] = {e.task_id: e.start for e in trace.events}
+    ends: Dict[int, float] = {e.task_id: e.end for e in trace.events}
+    tracker = HazardTracker()
+    n_deps = 0
+    for task in program:
+        tracker.add_task(task)
+        for pred in tracker.predecessors(task.task_id):
+            n_deps += 1
+            if starts[task.task_id] < ends[pred] - tolerance:
+                raise TraceVerificationError(
+                    f"dependence violated: task {task.task_id} starts at "
+                    f"{starts[task.task_id]:.9f} before predecessor {pred} "
+                    f"ends at {ends[pred]:.9f}"
+                )
+    return VerificationSummary(
+        n_tasks=len(program), n_dependences=n_deps, makespan=trace.makespan
+    )

@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (calibrated model sets, machine traces) are session
+scoped; everything else is rebuilt per test for isolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import cholesky_program, qr_program
+from repro.kernels.distributions import ConstantModel, NormalModel
+from repro.kernels.timing import KernelModelSet
+from repro.machine import MachineBackend, calibrate, get_machine
+from repro.schedulers import QuarkScheduler
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def quiet_machine():
+    """Deterministic 4-core machine: no jitter, spikes, warm-up, or cache/
+    contention effects."""
+    return get_machine("uniform_4")
+
+
+@pytest.fixture
+def noisy_machine():
+    """The 48-core Magny-Cours model with all noise sources active."""
+    return get_machine("magny_cours_48")
+
+
+@pytest.fixture
+def small_cholesky():
+    return cholesky_program(4, 32)
+
+
+@pytest.fixture
+def small_qr():
+    return qr_program(3, 32)
+
+
+@pytest.fixture
+def constant_models():
+    """Fixed 1 ms per kernel, for analytically checkable schedules."""
+    kernels = (
+        "DPOTRF",
+        "DTRSM",
+        "DSYRK",
+        "DGEMM",
+        "DGEQRT",
+        "DORMQR",
+        "DTSQRT",
+        "DTSMQR",
+        "DGETRF_NOPIV",
+        "DTRSM_LLN",
+        "DTRSM_RUN",
+        "DGEMM_NN",
+    )
+    return KernelModelSet(
+        models={k: ConstantModel(1e-3) for k in kernels}, family="constant"
+    )
+
+
+@pytest.fixture(scope="session")
+def calibrated_qr_models():
+    """Lognormal models from a QR calibration run on the big machine."""
+    machine = get_machine("magny_cours_48")
+    models, _ = calibrate(
+        qr_program(10, 180), QuarkScheduler(48), machine, family="lognormal", seed=0
+    )
+    return models

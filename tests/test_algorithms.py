@@ -1,0 +1,196 @@
+"""Tests of the tile-algorithm task streams and their numeric execution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    TiledMatrix,
+    cholesky_program,
+    execute_cholesky,
+    execute_lu,
+    execute_qr,
+    extract_r,
+    lu_program,
+    qr_program,
+    random_diagdom,
+    random_general,
+    random_spd,
+    run_program_serial,
+)
+from repro.algorithms.cholesky import expected_task_count as chol_count
+from repro.algorithms.lu import expected_task_count as lu_count
+from repro.algorithms.qr import expected_task_count as qr_count
+
+
+class TestCholeskyProgram:
+    def test_task_count_formula(self):
+        for nt in (1, 2, 3, 5, 8):
+            assert len(cholesky_program(nt, 10)) == chol_count(nt)
+
+    def test_kernel_counts(self):
+        nt = 5
+        counts = cholesky_program(nt, 10).kernel_counts()
+        assert counts["DPOTRF"] == nt
+        assert counts["DTRSM"] == nt * (nt - 1) // 2
+        assert counts["DSYRK"] == nt * (nt - 1) // 2
+        assert counts["DGEMM"] == nt * (nt - 1) * (nt - 2) // 6
+
+    def test_first_task_is_potrf(self):
+        prog = cholesky_program(3, 10)
+        assert prog[0].kernel == "DPOTRF"
+
+    def test_panel_priority_above_update(self):
+        prog = cholesky_program(4, 10)
+        potrf = next(t for t in prog if t.kernel == "DPOTRF")
+        gemm = next(t for t in prog if t.kernel == "DGEMM")
+        assert potrf.priority > gemm.priority
+
+    def test_meta(self):
+        prog = cholesky_program(4, 25)
+        assert prog.meta["n"] == 100
+        assert prog.meta["algorithm"] == "cholesky"
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            cholesky_program(0, 10)
+        with pytest.raises(ValueError):
+            cholesky_program(3, 0)
+
+
+class TestQrProgram:
+    def test_task_count_formula(self):
+        for nt in (1, 2, 3, 5, 8):
+            assert len(qr_program(nt, 10)) == qr_count(nt)
+
+    def test_nt3_has_14_tasks(self):
+        assert len(qr_program(3, 10)) == 14  # the Fig. 2 stream, F0..F13
+
+    def test_nt4_has_30_tasks(self):
+        assert len(qr_program(4, 10)) == 30  # the Fig. 1 DAG
+
+    def test_kernel_counts(self):
+        nt = 5
+        counts = qr_program(nt, 10).kernel_counts()
+        assert counts["DGEQRT"] == nt
+        assert counts["DORMQR"] == nt * (nt - 1) // 2
+        assert counts["DTSQRT"] == nt * (nt - 1) // 2
+        assert counts["DTSMQR"] == sum((nt - 1 - k) ** 2 for k in range(nt))
+
+    def test_t_refs_allocated(self):
+        prog = qr_program(3, 10)
+        assert ("T", 0, 0) in prog.registry
+        assert ("T", 2, 1) in prog.registry
+
+
+class TestLuProgram:
+    def test_task_count_formula(self):
+        for nt in (1, 2, 3, 5):
+            assert len(lu_program(nt, 10)) == lu_count(nt)
+
+    def test_kernel_counts(self):
+        nt = 4
+        counts = lu_program(nt, 10).kernel_counts()
+        assert counts["DGETRF_NOPIV"] == nt
+        assert counts["DTRSM_LLN"] == nt * (nt - 1) // 2
+        assert counts["DTRSM_RUN"] == nt * (nt - 1) // 2
+        assert counts["DGEMM_NN"] == sum((nt - 1 - k) ** 2 for k in range(nt))
+
+
+class TestNumericExecution:
+    def test_cholesky_matches_numpy(self):
+        a = random_spd(24, np.random.default_rng(0))
+        tm = TiledMatrix(a.copy(), 6)
+        execute_cholesky(tm)
+        lower = np.tril(tm.lower_tiles_dense())
+        assert np.allclose(lower, np.linalg.cholesky(a), atol=1e-8)
+
+    def test_qr_r_factor_correct(self):
+        a = random_general(24, np.random.default_rng(1))
+        tm = TiledMatrix(a.copy(), 6)
+        execute_qr(tm)
+        r = extract_r(tm)
+        # Orthogonal Q implies R^T R == A^T A.
+        assert np.allclose(r.T @ r, a.T @ a, atol=1e-8)
+        assert np.allclose(np.tril(r, -1), 0.0)
+
+    def test_lu_reconstructs(self):
+        a = random_diagdom(24, np.random.default_rng(2))
+        tm = TiledMatrix(a.copy(), 6)
+        execute_lu(tm)
+        d = tm.to_dense()
+        lower = np.tril(d, -1) + np.eye(24)
+        assert np.allclose(lower @ np.triu(d), a, atol=1e-8)
+
+    def test_single_tile_qr_matches_dense(self):
+        a = random_general(8, np.random.default_rng(3))
+        tm = TiledMatrix(a.copy(), 8)
+        execute_qr(tm)
+        _, r_ref = np.linalg.qr(a)
+        assert np.allclose(np.abs(np.diag(extract_r(tm))), np.abs(np.diag(r_ref)))
+
+
+class TestProgramSerialEquivalence:
+    """Executing the generated task stream serially must equal the direct
+    loop-nest implementation — i.e. the stream is a faithful elaboration."""
+
+    def test_cholesky(self):
+        a = random_spd(20, np.random.default_rng(4))
+        direct = TiledMatrix(a.copy(), 5)
+        execute_cholesky(direct)
+        via_stream = TiledMatrix(a.copy(), 5)
+        run_program_serial(cholesky_program(4, 5), via_stream.store)
+        assert np.allclose(direct.to_dense(), via_stream.to_dense())
+
+    def test_qr(self):
+        a = random_general(20, np.random.default_rng(5))
+        direct = TiledMatrix(a.copy(), 5)
+        execute_qr(direct)
+        via_stream = TiledMatrix(a.copy(), 5)
+        run_program_serial(qr_program(4, 5), via_stream.store)
+        assert np.allclose(direct.to_dense(), via_stream.to_dense())
+
+    def test_lu(self):
+        a = random_diagdom(20, np.random.default_rng(6))
+        direct = TiledMatrix(a.copy(), 5)
+        execute_lu(direct)
+        via_stream = TiledMatrix(a.copy(), 5)
+        run_program_serial(lu_program(4, 5), via_stream.store)
+        assert np.allclose(direct.to_dense(), via_stream.to_dense())
+
+    def test_missing_nb_meta_rejected(self):
+        from repro.core.task import Program
+
+        with pytest.raises(ValueError, match="nb"):
+            run_program_serial(Program("p"), TiledMatrix(np.eye(4), 2).store)
+
+
+class TestPropertyBased:
+    @given(
+        nt=st.integers(min_value=1, max_value=4),
+        nb=st.integers(min_value=2, max_value=6),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_cholesky_any_size(self, nt, nb, seed):
+        n = nt * nb
+        a = random_spd(n, np.random.default_rng(seed))
+        tm = TiledMatrix(a.copy(), nb)
+        execute_cholesky(tm)
+        lower = np.tril(tm.lower_tiles_dense())
+        assert np.allclose(lower @ lower.T, a, atol=1e-7 * n)
+
+    @given(
+        nt=st.integers(min_value=1, max_value=4),
+        nb=st.integers(min_value=2, max_value=6),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_qr_any_size(self, nt, nb, seed):
+        n = nt * nb
+        a = random_general(n, np.random.default_rng(seed))
+        tm = TiledMatrix(a.copy(), nb)
+        execute_qr(tm)
+        r = extract_r(tm)
+        assert np.allclose(r.T @ r, a.T @ a, atol=1e-7 * n)

@@ -1,0 +1,135 @@
+"""Numeric correctness of the BLAS-style tile kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import blas
+
+
+def _spd(n, seed=0):
+    rng = np.random.default_rng(seed)
+    m = rng.standard_normal((n, n))
+    return m @ m.T + n * np.eye(n)
+
+
+class TestPotrf:
+    def test_factorizes_spd_tile(self):
+        a = _spd(8)
+        lower = blas.potrf(a.copy())
+        assert np.allclose(np.tril(lower) @ np.tril(lower).T, a)
+
+    def test_result_is_lower_triangular(self):
+        out = blas.potrf(_spd(8))
+        assert np.allclose(np.triu(out, 1), 0.0)
+
+    def test_only_lower_triangle_referenced(self):
+        a = _spd(6)
+        garbage = a.copy()
+        garbage[np.triu_indices(6, 1)] = 1e9  # junk above the diagonal
+        assert np.allclose(blas.potrf(a.copy()), blas.potrf(garbage))
+
+    def test_non_spd_raises(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            blas.potrf(-np.eye(4))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            blas.potrf(np.zeros((3, 4)))
+
+
+class TestTrsm:
+    def test_right_lower_transpose_solve(self):
+        rng = np.random.default_rng(1)
+        lkk = np.linalg.cholesky(_spd(6, 1))
+        aik = rng.standard_normal((6, 6))
+        expect = aik @ np.linalg.inv(lkk.T)
+        assert np.allclose(blas.trsm_rlt(lkk, aik.copy()), expect)
+
+    def test_lu_left_unit_solve(self):
+        rng = np.random.default_rng(2)
+        packed = np.eye(6) + np.tril(rng.standard_normal((6, 6)), -1)
+        akj = rng.standard_normal((6, 6))
+        lower_unit = np.tril(packed, -1) + np.eye(6)
+        assert np.allclose(
+            blas.trsm_lln_unit(packed, akj.copy()), np.linalg.solve(lower_unit, akj)
+        )
+
+    def test_lu_right_upper_solve(self):
+        rng = np.random.default_rng(3)
+        packed = np.triu(rng.standard_normal((6, 6))) + 6 * np.eye(6)
+        aik = rng.standard_normal((6, 6))
+        assert np.allclose(
+            blas.trsm_run(packed, aik.copy()), aik @ np.linalg.inv(np.triu(packed))
+        )
+
+
+class TestUpdates:
+    def test_syrk(self):
+        rng = np.random.default_rng(4)
+        aii = _spd(5, 4)
+        aik = rng.standard_normal((5, 5))
+        expect = aii - aik @ aik.T
+        assert np.allclose(blas.syrk(aii.copy(), aik), expect)
+
+    def test_gemm_nt(self):
+        rng = np.random.default_rng(5)
+        a, b, c = (rng.standard_normal((5, 5)) for _ in range(3))
+        expect = a - b @ c.T
+        assert np.allclose(blas.gemm_nt(a.copy(), b, c), expect)
+
+    def test_gemm_nn(self):
+        rng = np.random.default_rng(6)
+        a, b, c = (rng.standard_normal((5, 5)) for _ in range(3))
+        expect = a - b @ c
+        assert np.allclose(blas.gemm_nn(a.copy(), b, c), expect)
+
+    def test_updates_mutate_in_place(self):
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((4, 4))
+        out = blas.gemm_nn(a, np.eye(4), np.eye(4))
+        assert out is a
+
+
+class TestGetrfNopiv:
+    def test_factorizes_diagdom_tile(self):
+        rng = np.random.default_rng(8)
+        a = rng.standard_normal((7, 7)) + 7 * np.eye(7)
+        packed = blas.getrf_nopiv(a.copy())
+        lower = np.tril(packed, -1) + np.eye(7)
+        upper = np.triu(packed)
+        assert np.allclose(lower @ upper, a)
+
+    def test_zero_pivot_raises(self):
+        a = np.zeros((3, 3))
+        with pytest.raises(ZeroDivisionError, match="zero pivot"):
+            blas.getrf_nopiv(a)
+
+    def test_matches_scipy_lu_without_pivoting_needed(self):
+        # Diagonally dominant => scipy's partial pivoting picks the diagonal.
+        a = np.diag([4.0, 5.0, 6.0]) + 0.1
+        packed = blas.getrf_nopiv(a.copy())
+        from scipy.linalg import lu
+
+        p, l, u = lu(a)
+        assert np.allclose(p, np.eye(3))
+        assert np.allclose(np.triu(packed), u)
+
+
+class TestPropertyBased:
+    @given(n=st.integers(min_value=1, max_value=12), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_potrf_roundtrip(self, n, seed):
+        a = _spd(n, seed)
+        lower = np.tril(blas.potrf(a.copy()))
+        assert np.allclose(lower @ lower.T, a, atol=1e-8 * n)
+
+    @given(n=st.integers(min_value=1, max_value=12), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_lu_roundtrip(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n)) + n * np.eye(n)
+        packed = blas.getrf_nopiv(a.copy())
+        lower = np.tril(packed, -1) + np.eye(n)
+        assert np.allclose(lower @ np.triu(packed), a, atol=1e-8 * n)

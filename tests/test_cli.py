@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.algorithm == "cholesky"
+        assert args.scheduler == "quark"
+        assert args.workers == 48
+
+
+class TestStream:
+    def test_matches_fig2(self, capsys):
+        assert main(["stream", "--algorithm", "qr", "--nt", "3", "--nb", "180"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "F0 dgeqrt(A[0,0]^rw, T[0,0]^w)"
+        assert len(out.strip().splitlines()) == 14
+
+    def test_limit(self, capsys):
+        main(["stream", "--algorithm", "qr", "--nt", "3", "--limit", "2"])
+        out = capsys.readouterr().out
+        assert "(12 more)" in out
+
+
+class TestDag:
+    def test_stats_printed(self, capsys):
+        assert main(["dag", "--algorithm", "qr", "--nt", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "30 tasks" in out
+        assert "average parallelism" in out
+
+    def test_dot_written(self, tmp_path, capsys):
+        dot = tmp_path / "d.dot"
+        main(["dag", "--algorithm", "cholesky", "--nt", "3", "--dot", str(dot)])
+        assert dot.exists()
+        assert "digraph" in dot.read_text()
+
+
+class TestRun:
+    def test_run_reports_stats(self, capsys):
+        code = main(
+            ["run", "--algorithm", "cholesky", "--nt", "6", "--nb", "100",
+             "--workers", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GFLOP/s" in out
+        assert "DGEMM" in out
+
+    def test_run_with_gantt_and_svg(self, tmp_path, capsys):
+        svg = tmp_path / "t.svg"
+        main(
+            ["run", "--algorithm", "cholesky", "--nt", "4", "--nb", "100",
+             "--workers", "4", "--gantt", "--gantt-width", "40",
+             "--svg", str(svg)]
+        )
+        out = capsys.readouterr().out
+        assert "w0" in out
+        assert svg.exists()
+
+    def test_starpu_policy_flag(self, capsys):
+        code = main(
+            ["run", "--algorithm", "cholesky", "--nt", "4", "--nb", "100",
+             "--scheduler", "starpu", "--policy", "ws", "--workers", "4"]
+        )
+        assert code == 0
+
+
+class TestSimulate:
+    def test_simulate_pipeline(self, capsys):
+        code = main(
+            ["simulate", "--algorithm", "cholesky", "--nt", "8", "--nb", "100",
+             "--cal-nt", "6", "--workers", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "performance:" in out
+        assert "error" in out
+
+
+class TestFigure:
+    def test_fig2(self, capsys):
+        assert main(["figure", "fig2"]) == 0
+        assert "F13" in capsys.readouterr().out
+
+    def test_fig1(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path))
+        assert main(["figure", "fig1"]) == 0
+        assert "30 tasks" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "fig99"]) == 2

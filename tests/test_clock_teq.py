@@ -1,0 +1,135 @@
+"""Tests for the simulation clock and the Task Execution Queue."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.clock import SimClock
+from repro.core.teq import TaskExecutionQueue
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now() == 5.0
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance_to(3.0) == 3.0
+        assert clock.now() == 3.0
+
+    def test_monotone_ignores_past(self):
+        clock = SimClock()
+        clock.advance_to(3.0)
+        assert clock.advance_to(1.0) == 3.0
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance_to(9.0)
+        clock.reset()
+        assert clock.now() == 0.0
+
+    def test_thread_safe_advances(self):
+        clock = SimClock()
+
+        def bump(t):
+            for i in range(100):
+                clock.advance_to(t + i * 1e-6)
+
+        threads = [threading.Thread(target=bump, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert clock.now() == pytest.approx(3.0 + 99e-6)
+
+
+class TestTaskExecutionQueue:
+    def test_front_is_soonest_completion(self):
+        teq = TaskExecutionQueue()
+        teq.insert(1, 5.0)
+        teq.insert(2, 3.0)
+        teq.insert(3, 7.0)
+        assert teq.front() == 2
+        assert teq.front_end_time() == 3.0
+
+    def test_pop_front_returns_end_time(self):
+        teq = TaskExecutionQueue()
+        teq.insert(1, 2.5)
+        assert teq.pop_front(1) == 2.5
+        assert teq.front() is None
+
+    def test_pop_non_front_rejected(self):
+        teq = TaskExecutionQueue()
+        teq.insert(1, 1.0)
+        teq.insert(2, 2.0)
+        with pytest.raises(RuntimeError, match="not at the front"):
+            teq.pop_front(2)
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(RuntimeError):
+            TaskExecutionQueue().pop_front(0)
+
+    def test_ties_broken_by_insertion_order(self):
+        teq = TaskExecutionQueue()
+        teq.insert(10, 1.0)
+        teq.insert(20, 1.0)
+        assert teq.front() == 10
+
+    def test_len(self):
+        teq = TaskExecutionQueue()
+        teq.insert(1, 1.0)
+        teq.insert(2, 2.0)
+        assert len(teq) == 2
+        teq.pop_front(1)
+        assert len(teq) == 1
+
+    def test_wait_until_front_immediate(self):
+        teq = TaskExecutionQueue()
+        teq.insert(1, 1.0)
+        assert teq.wait_until_front(1, timeout=0.1)
+
+    def test_wait_until_front_timeout(self):
+        teq = TaskExecutionQueue()
+        teq.insert(1, 1.0)
+        teq.insert(2, 2.0)
+        assert not teq.wait_until_front(2, timeout=0.05)
+
+    def test_wait_with_predicate(self):
+        teq = TaskExecutionQueue()
+        teq.insert(1, 1.0)
+        gate = {"open": False}
+        assert not teq.wait_until_front(1, timeout=0.05, predicate=lambda: gate["open"])
+        gate["open"] = True
+        teq.notify()
+        assert teq.wait_until_front(1, timeout=0.5, predicate=lambda: gate["open"])
+
+    def test_wait_unblocks_when_front_pops(self):
+        teq = TaskExecutionQueue()
+        teq.insert(1, 1.0)
+        teq.insert(2, 2.0)
+        result = {}
+
+        def waiter():
+            result["ok"] = teq.wait_until_front(2, timeout=2.0)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.02)
+        teq.pop_front(1)
+        t.join()
+        assert result["ok"]
+
+    def test_completion_order_respects_end_times(self):
+        teq = TaskExecutionQueue()
+        ends = {1: 3.0, 2: 1.0, 3: 2.0}
+        for tid, end in ends.items():
+            teq.insert(tid, end)
+        popped = []
+        while len(teq):
+            tid = teq.front()
+            popped.append(teq.pop_front(tid))
+        assert popped == sorted(ends.values())

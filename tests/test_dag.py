@@ -1,0 +1,145 @@
+"""Tests for DAG construction, analysis, and export."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms import cholesky_program, qr_program
+from repro.core.task import Program
+from repro.dag import (
+    build_dag,
+    critical_path,
+    dag_stats,
+    depth_levels,
+    makespan_lower_bound,
+    parallelism_profile,
+    simple_dag,
+    to_dot,
+    write_dot,
+)
+
+
+def _chain(n):
+    prog = Program("chain")
+    x = prog.registry.alloc("x", 64)
+    for _ in range(n):
+        prog.add_task("K", [x.rw()], flops=10.0)
+    return prog
+
+
+def _fan(n):
+    prog = Program("fan")
+    src = prog.registry.alloc("src", 64)
+    prog.add_task("ROOT", [src.write()], flops=10.0)
+    for i in range(n):
+        y = prog.registry.alloc(f"y{i}", 64, key=(f"y{i}",))
+        prog.add_task("LEAF", [src.read(), y.write()], flops=10.0)
+    return prog
+
+
+class TestBuild:
+    def test_chain_is_path(self):
+        dag = build_dag(_chain(5))
+        assert dag.number_of_nodes() == 5
+        assert dag.number_of_edges() == 8  # RaW + WaW per link
+        assert nx.is_directed_acyclic_graph(dag)
+
+    def test_fan_out(self):
+        dag = simple_dag(_fan(6))
+        assert dag.out_degree(0) == 6
+        assert all(dag.in_degree(i) == 1 for i in range(1, 7))
+
+    def test_qr_dag_acyclic_and_connected(self):
+        dag = build_dag(qr_program(4, 16))
+        assert nx.is_directed_acyclic_graph(dag)
+        assert nx.is_weakly_connected(dag)
+        assert dag.number_of_nodes() == 30
+
+    def test_multiplicity_collapsed_in_simple(self):
+        dag = build_dag(_chain(2))
+        simple = simple_dag(dag)
+        assert simple.number_of_edges() == 1
+        assert simple[0][1]["multiplicity"] == 2
+
+    def test_node_attributes(self):
+        dag = build_dag(qr_program(2, 16))
+        assert dag.nodes[0]["kernel"] == "DGEQRT"
+        assert dag.nodes[0]["flops"] > 0
+
+    def test_edges_point_forward(self):
+        dag = build_dag(cholesky_program(5, 16))
+        assert all(src < dst for src, dst in dag.edges())
+
+
+class TestAnalysis:
+    def test_chain_critical_path(self):
+        length, path = critical_path(build_dag(_chain(5)))
+        assert length == 50.0
+        assert path == [0, 1, 2, 3, 4]
+
+    def test_fan_critical_path(self):
+        length, path = critical_path(build_dag(_fan(6)))
+        assert length == 20.0
+        assert len(path) == 2
+
+    def test_weights_override_flops(self):
+        length, _ = critical_path(build_dag(_fan(6)), weights={"ROOT": 5.0, "LEAF": 1.0})
+        assert length == 6.0
+
+    def test_depth_levels_chain(self):
+        levels = depth_levels(build_dag(_chain(4)))
+        assert levels == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_parallelism_profile_fan(self):
+        assert parallelism_profile(build_dag(_fan(6))) == [1, 6]
+
+    def test_stats_chain(self):
+        stats = dag_stats(build_dag(_chain(4)))
+        assert stats.n_tasks == 4
+        assert stats.depth == 4
+        assert stats.max_width == 1
+        assert stats.average_parallelism == pytest.approx(1.0)
+
+    def test_stats_average_parallelism_fan(self):
+        stats = dag_stats(build_dag(_fan(9)))
+        assert stats.average_parallelism == pytest.approx(100.0 / 20.0)
+
+    def test_lower_bound(self):
+        dag = build_dag(_fan(8))
+        assert makespan_lower_bound(dag, 1) == pytest.approx(90.0)
+        assert makespan_lower_bound(dag, 100) == pytest.approx(20.0)  # CP bound
+
+    def test_lower_bound_invalid_workers(self):
+        with pytest.raises(ValueError):
+            makespan_lower_bound(build_dag(_chain(2)), 0)
+
+    def test_empty_program(self):
+        length, path = critical_path(build_dag(Program("empty")))
+        assert length == 0.0 and path == []
+
+    def test_qr_depth_grows_linearly(self):
+        d4 = dag_stats(build_dag(qr_program(4, 16))).depth
+        d6 = dag_stats(build_dag(qr_program(6, 16))).depth
+        assert d6 > d4
+
+
+class TestExport:
+    def test_dot_contains_nodes_and_edges(self):
+        dot = to_dot(qr_program(2, 16))
+        assert dot.startswith("digraph")
+        assert "DGEQRT" in dot or "geqrt" in dot
+        assert "->" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_dot_edge_styles_by_hazard(self):
+        dot = to_dot(_chain(2))
+        assert "style=bold" in dot  # WaW edge
+        assert "style=solid" in dot  # RaW edge
+
+    def test_write_dot_creates_file(self, tmp_path):
+        path = write_dot(_chain(3), tmp_path / "sub" / "chain.dot")
+        assert path.exists()
+        assert "digraph" in path.read_text()
+
+    def test_dot_accepts_prebuilt_dag(self):
+        dag = build_dag(_chain(2))
+        assert to_dot(dag) == to_dot(_chain(2))

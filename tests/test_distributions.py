@@ -1,0 +1,226 @@
+"""Unit and property tests for duration-distribution models."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.distributions import (
+    MODEL_FAMILIES,
+    ConstantModel,
+    EmpiricalModel,
+    GammaModel,
+    LognormalModel,
+    NormalModel,
+    UniformModel,
+    best_fit,
+    fit_all_families,
+    fit_family,
+)
+
+RNG = np.random.default_rng(7)
+PARAMETRIC = ("normal", "gamma", "lognormal")
+
+
+def _samples(n=500, mean=1e-3, cv=0.1):
+    return np.abs(RNG.normal(mean, cv * mean, size=n)) + 1e-9
+
+
+class TestFitInterface:
+    @pytest.mark.parametrize("family", sorted(MODEL_FAMILIES))
+    def test_fit_and_sample_positive(self, family):
+        model = fit_family(family, _samples())
+        rng = np.random.default_rng(0)
+        draws = [model.sample(rng) for _ in range(200)]
+        assert all(d > 0 for d in draws)
+
+    @pytest.mark.parametrize("family", sorted(MODEL_FAMILIES))
+    def test_mean_close_to_sample_mean(self, family):
+        samples = _samples()
+        model = fit_family(family, samples)
+        if family == "lognormal":
+            tol = 0.05  # geometric vs arithmetic mean gap at cv=0.1 is tiny
+        else:
+            tol = 0.02
+        assert model.mean == pytest.approx(float(np.mean(samples)), rel=tol)
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError, match="unknown model family"):
+            fit_family("cauchy", _samples())
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_family("normal", [])
+
+    def test_nonpositive_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_family("normal", [1.0, -0.5])
+
+    def test_nonfinite_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_family("normal", [1.0, float("nan")])
+
+    def test_single_sample_fits(self):
+        for family in sorted(MODEL_FAMILIES):
+            model = fit_family(family, [2e-3])
+            assert model.mean == pytest.approx(2e-3, rel=0.01)
+
+
+class TestParameterRecovery:
+    def test_normal_recovers_parameters(self):
+        rng = np.random.default_rng(1)
+        samples = np.abs(rng.normal(5e-3, 5e-4, size=5000))
+        m = NormalModel.fit(samples)
+        assert m.mu == pytest.approx(5e-3, rel=0.02)
+        assert m.sigma == pytest.approx(5e-4, rel=0.1)
+
+    def test_lognormal_recovers_parameters(self):
+        rng = np.random.default_rng(2)
+        samples = rng.lognormal(-6.0, 0.2, size=5000)
+        m = LognormalModel.fit(samples)
+        assert m.mu_log == pytest.approx(-6.0, abs=0.02)
+        assert m.sigma_log == pytest.approx(0.2, rel=0.1)
+
+    def test_gamma_survives_numerically_identical_samples(self):
+        # Regression: identical values have std ~1e-16 (not exactly 0 after
+        # float mean subtraction), which used to crash scipy's gamma MLE.
+        samples = [3.535833175324398] * 3
+        m = GammaModel.fit(samples)
+        assert m.mean == pytest.approx(3.535833175324398, rel=1e-6)
+        assert m.std < 1e-2
+
+    def test_gamma_recovers_mean_and_var(self):
+        rng = np.random.default_rng(3)
+        shape, scale = 25.0, 2e-4
+        samples = rng.gamma(shape, scale, size=5000)
+        m = GammaModel.fit(samples)
+        assert m.mean == pytest.approx(shape * scale, rel=0.05)
+        assert m.std == pytest.approx(math.sqrt(shape) * scale, rel=0.15)
+
+    def test_uniform_covers_range(self):
+        samples = _samples()
+        m = UniformModel.fit(samples)
+        assert m.lo == pytest.approx(float(samples.min()))
+        assert m.hi == pytest.approx(float(samples.max()))
+
+    def test_constant_is_mean(self):
+        samples = _samples()
+        m = ConstantModel.fit(samples)
+        assert m.value == pytest.approx(float(samples.mean()))
+        assert m.std == 0.0
+
+    def test_empirical_resamples_observed_values(self):
+        samples = np.array([1e-3, 2e-3, 3e-3])
+        m = EmpiricalModel.fit(samples)
+        rng = np.random.default_rng(0)
+        draws = {m.sample(rng) for _ in range(100)}
+        assert draws <= set(samples)
+        assert len(draws) == 3
+
+
+class TestGoodnessOfFit:
+    def test_right_family_wins_aic_lognormal(self):
+        rng = np.random.default_rng(4)
+        samples = rng.lognormal(-6, 0.5, size=3000)  # strongly skewed
+        best = best_fit(samples, PARAMETRIC, criterion="aic")
+        assert best.family == "lognormal"
+
+    def test_right_family_wins_ks_normal(self):
+        rng = np.random.default_rng(5)
+        samples = np.abs(rng.normal(1.0, 0.05, size=3000))
+        best = best_fit(samples, PARAMETRIC, criterion="ks")
+        assert best.family in ("normal", "gamma")  # both near-symmetric here
+
+    def test_ks_statistic_in_unit_interval(self):
+        samples = _samples()
+        for family in PARAMETRIC:
+            ks = fit_family(family, samples).ks_statistic(samples)
+            assert 0.0 <= ks <= 1.0
+
+    def test_good_fit_has_small_ks(self):
+        samples = _samples(n=2000)
+        ks = NormalModel.fit(samples).ks_statistic(samples)
+        assert ks < 0.05
+
+    def test_bad_fit_has_large_ks(self):
+        samples = _samples(n=2000)
+        bad = NormalModel(mu=10.0, sigma=0.1)
+        assert bad.ks_statistic(samples) > 0.9
+
+    def test_aic_prefers_likely_model(self):
+        samples = _samples(n=2000)
+        good = NormalModel.fit(samples)
+        bad = NormalModel(mu=float(np.mean(samples)) * 2, sigma=good.sigma)
+        assert good.aic(samples) < bad.aic(samples)
+
+    def test_unknown_criterion_rejected(self):
+        with pytest.raises(ValueError):
+            best_fit(_samples(), PARAMETRIC, criterion="bic")
+
+    def test_fit_all_families_keys(self):
+        fits = fit_all_families(_samples())
+        assert set(fits) == {"normal", "gamma", "lognormal"}
+
+
+class TestPdfCdf:
+    @pytest.mark.parametrize("family", PARAMETRIC + ("uniform",))
+    def test_pdf_integrates_to_one(self, family):
+        model = fit_family(family, _samples())
+        lo = max(model.mean - 8 * model.std, 1e-12)
+        hi = model.mean + 8 * model.std
+        xs = np.linspace(lo, hi, 20001)
+        integral = np.trapezoid(model.pdf(xs), xs)
+        assert integral == pytest.approx(1.0, abs=0.02)
+
+    @pytest.mark.parametrize("family", PARAMETRIC)
+    def test_cdf_monotone(self, family):
+        model = fit_family(family, _samples())
+        xs = np.linspace(model.mean * 0.5, model.mean * 1.5, 100)
+        cdf = model.cdf(xs)
+        assert np.all(np.diff(cdf) >= -1e-12)
+
+    def test_constant_cdf_step(self):
+        m = ConstantModel(1.0)
+        assert m.cdf(np.array([0.5]))[0] == 0.0
+        assert m.cdf(np.array([1.5]))[0] == 1.0
+
+    def test_empirical_cdf_matches_fraction(self):
+        m = EmpiricalModel.fit([1.0, 2.0, 3.0, 4.0])
+        assert m.cdf(np.array([2.5]))[0] == pytest.approx(0.5)
+
+
+class TestSamplingProperties:
+    @given(
+        mean=st.floats(min_value=1e-6, max_value=1.0),
+        cv=st.floats(min_value=0.01, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_normal_samples_never_nonpositive(self, mean, cv, seed):
+        model = NormalModel(mu=mean, sigma=cv * mean)
+        rng = np.random.default_rng(seed)
+        assert all(model.sample(rng) > 0 for _ in range(50))
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_sampling_is_seed_deterministic(self, seed):
+        model = LognormalModel(mu_log=-6.0, sigma_log=0.3)
+        a = [model.sample(np.random.default_rng(seed)) for _ in range(3)]
+        b = [model.sample(np.random.default_rng(seed)) for _ in range(3)]
+        assert a == b
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=1e-6, max_value=10.0, allow_nan=False),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    def test_every_family_fits_arbitrary_positive_samples(self, samples):
+        for family in sorted(MODEL_FAMILIES):
+            model = fit_family(family, samples)
+            assert math.isfinite(model.mean)
+            assert model.mean > 0

@@ -1,0 +1,192 @@
+"""Edge-case tests filling remaining coverage gaps across modules."""
+
+import numpy as np
+import pytest
+
+from repro.core.simbackend import SimulationBackend
+from repro.core.task import DataRegistry, Program, TaskSpec
+from repro.kernels.distributions import ConstantModel, EmpiricalModel
+from repro.kernels.timing import KernelModelSet
+from repro.machine import GpuDevice, HeterogeneousMachine, MachineBackend, get_machine
+from repro.schedulers import OmpSsScheduler, QuarkScheduler, StarPUScheduler
+from repro.schedulers.base import TaskNode
+from repro.trace.events import Trace
+from repro.trace.svg import render_svg, write_comparison_svg
+
+
+def _models(kernels=("K",), duration=1e-3):
+    return KernelModelSet(models={k: ConstantModel(duration) for k in kernels})
+
+
+class TestEngineEdges:
+    def test_wide_task_with_master_as_worker_full_width(self):
+        # A task as wide as the whole machine must wait for insertion to
+        # finish (worker 0 is ineligible while inserting) and then run.
+        prog = Program("wide")
+        x = prog.registry.alloc("x", 64)
+        spec = prog.add_task("K", [x.write()])
+        spec.width = 3
+        sched = QuarkScheduler(3, insert_cost=1e-4)
+        trace = sched.run(prog, SimulationBackend(_models()), seed=0)
+        trace.validate()
+        assert trace.events[0].width == 3
+        assert trace.events[0].start >= 1e-4  # after its own insertion
+
+    def test_wide_then_narrow_interleave(self):
+        # Narrow tasks released after a wide head-of-line task still run
+        # once the wide one is placed.
+        prog = Program("mix")
+        refs = [prog.registry.alloc(f"r{i}", 64, key=(f"r{i}",)) for i in range(5)]
+        wide = prog.add_task("K", [refs[0].write()])
+        wide.width = 2
+        for i in range(1, 5):
+            prog.add_task("K", [refs[i].write()])
+        sched = OmpSsScheduler(3, insert_cost=0.0, dispatch_overhead=0.0)
+        trace = sched.run(prog, SimulationBackend(_models()), seed=0)
+        trace.validate()
+        assert len(trace) == 5
+
+    def test_starpu_ws_with_wide_tasks(self):
+        prog = Program("ws-wide")
+        refs = [prog.registry.alloc(f"r{i}", 64, key=(f"r{i}",)) for i in range(6)]
+        for i, ref in enumerate(refs):
+            spec = prog.add_task("K", [ref.write()])
+            spec.width = 2 if i % 3 == 0 else 1
+        sched = StarPUScheduler(4, policy="ws")
+        trace = sched.run(prog, SimulationBackend(_models()), seed=0)
+        trace.validate()
+        assert len(trace) == 6
+
+    def test_zero_flop_task_gets_launch_latency(self):
+        machine = get_machine("uniform_4")
+        prog = Program("zero")
+        x = prog.registry.alloc("x", 64)
+        prog.add_task("K", [x.write()], flops=0.0)
+        trace = OmpSsScheduler(2).run(prog, MachineBackend(machine), seed=0)
+        assert trace.events[0].duration == pytest.approx(machine.launch_latency)
+
+
+class TestSvgEdges:
+    def test_zero_duration_event_renders(self):
+        tr = Trace(1)
+        tr.record(0, 0, "K", 1.0, 1.0)
+        svg = render_svg(tr)
+        assert "<rect" in svg  # minimum-width sliver still drawn
+
+    def test_comparison_with_different_worker_counts(self, tmp_path):
+        a = Trace(2)
+        a.record(0, 0, "K", 0.0, 1.0)
+        b = Trace(4)
+        b.record(3, 0, "K", 0.0, 2.0)
+        path = write_comparison_svg(a, b, tmp_path / "c.svg")
+        text = path.read_text()
+        assert text.count("<svg") == 1
+        assert text.count("</svg>") == 1
+
+    def test_nonzero_trace_origin_uses_relative_axis(self):
+        tr = Trace(1)
+        tr.record(0, 0, "K", 100.0, 101.0)
+        svg = render_svg(tr)
+        assert "1s" in svg  # axis spans 1 second, not 101
+
+
+class TestEmpiricalModelEdges:
+    def test_single_sample_pdf_is_spike(self):
+        m = EmpiricalModel.fit([2.0])
+        assert m.pdf(np.array([2.0]))[0] > m.pdf(np.array([3.0]))[0]
+
+    def test_identical_samples_sampling(self):
+        m = EmpiricalModel.fit([1.5, 1.5, 1.5])
+        rng = np.random.default_rng(0)
+        assert m.sample(rng) == 1.5
+        assert m.std == 0.0
+
+
+class TestHeterogeneousEdges:
+    def test_gpu_worker_runs_unknown_kernel_with_fallback_speedup(self):
+        hm = HeterogeneousMachine(
+            cpu=get_machine("uniform_4"), gpus=(GpuDevice(),), n_cpu_workers=3
+        )
+        assert hm.gpus[0].kernel_speedup("MYSTERY") == 4.0
+
+    def test_worker_kinds_tuple_immutable_view(self):
+        hm = HeterogeneousMachine(
+            cpu=get_machine("uniform_4"), gpus=(GpuDevice(),), n_cpu_workers=2
+        )
+        kinds = hm.worker_kinds
+        assert isinstance(kinds, tuple)
+        assert kinds == ("cpu", "cpu", "gpu")
+
+    def test_dmda_homogeneous_unaffected_by_kind_plumbing(self):
+        # Without worker_kinds, the per-kind model key degenerates to the
+        # kernel name: behaviour identical to the pre-extension scheduler.
+        prog = Program("p")
+        refs = [prog.registry.alloc(f"r{i}", 64, key=(f"r{i}",)) for i in range(6)]
+        for ref in refs:
+            prog.add_task("K", [ref.write()])
+        t1 = StarPUScheduler(3, policy="dmda").run(
+            prog, SimulationBackend(_models()), seed=0
+        )
+        prog2 = Program("p2")
+        refs2 = [prog2.registry.alloc(f"r{i}", 64, key=(f"r{i}",)) for i in range(6)]
+        for ref in refs2:
+            prog2.add_task("K", [ref.write()])
+        t2 = StarPUScheduler(3, policy="dmda", worker_kinds=("cpu",) * 3).run(
+            prog2, SimulationBackend(_models()), seed=0
+        )
+        assert [e.worker for e in sorted(t1.events)] == [
+            e.worker for e in sorted(t2.events)
+        ]
+
+
+class TestTaskModelEdges:
+    def test_value_access_creates_no_dependence(self):
+        from repro.core.task import Access, AccessMode
+        from repro.schedulers.taskdep import HazardTracker
+
+        prog = Program("v")
+        x = prog.registry.alloc("x", 64)
+        prog.add_task("K", [Access(x, AccessMode.VALUE)])
+        prog.add_task("K", [Access(x, AccessMode.VALUE)])
+        tracker = HazardTracker()
+        for t in prog:
+            assert tracker.add_task(t) == []
+
+    def test_registry_default_key_is_name(self):
+        reg = DataRegistry()
+        a = reg.alloc("x", 64)
+        b = reg.alloc("x", 64)
+        assert a is b  # same default key ("x",)
+
+    def test_program_meta_copied(self):
+        meta = {"nt": 4}
+        prog = Program("p", meta=meta)
+        meta["nt"] = 99
+        assert prog.meta["nt"] == 4
+
+
+class TestBackendEdges:
+    def test_simulation_backend_warmup_independent_of_models(self):
+        backend = SimulationBackend(_models(), warmup_penalty=1e-2)
+        backend.reset(np.random.default_rng(0), 2)
+        spec = TaskSpec("K", (DataRegistry().alloc("x", 8).rw(),))
+        spec.task_id = 0
+        node = TaskNode(spec)
+        warm = backend.duration(node, 0, 0.0, 1)
+        cold = backend.duration(node, 0, 0.0, 1)
+        assert warm - cold == pytest.approx(1e-2)
+
+    def test_machine_backend_reset_clears_cache_state(self):
+        machine = get_machine("magny_cours_48").quiet()
+        backend = MachineBackend(machine)
+        rng = np.random.default_rng(0)
+        backend.reset(rng, 4)
+        reg = DataRegistry()
+        spec = TaskSpec("DGEMM", (reg.alloc("t", 500_000).rw(),), flops=1e7)
+        spec.task_id = 0
+        node = TaskNode(spec)
+        cold1 = backend.duration(node, 0, 0.0, 1)
+        backend.duration(node, 0, 1.0, 1)  # warm now
+        backend.reset(rng, 4)  # new run: cache must be cold again
+        cold2 = backend.duration(node, 0, 0.0, 1)
+        assert cold2 == pytest.approx(cold1)

@@ -1,0 +1,232 @@
+"""Correctness tests of the event-driven scheduler engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.simbackend import SimulationBackend
+from repro.core.task import Program
+from repro.dag import build_dag, simple_dag
+from repro.kernels.distributions import ConstantModel
+from repro.kernels.timing import KernelModelSet
+from repro.machine import MachineBackend, get_machine
+from repro.schedulers import OmpSsScheduler, QuarkScheduler, StarPUScheduler
+
+
+def _const_models(kernels=("K", "ROOT", "LEAF"), duration=1e-3):
+    return KernelModelSet(
+        models={k: ConstantModel(duration) for k in kernels}, family="constant"
+    )
+
+
+def _chain(n=6):
+    prog = Program("chain", meta={"nb": 1})
+    x = prog.registry.alloc("x", 64)
+    for _ in range(n):
+        prog.add_task("K", [x.rw()])
+    return prog
+
+
+def _fan(n=8):
+    prog = Program("fan", meta={"nb": 1})
+    src = prog.registry.alloc("src", 64)
+    prog.add_task("ROOT", [src.write()])
+    for i in range(n):
+        y = prog.registry.alloc(f"y{i}", 64, key=(f"y{i}",))
+        prog.add_task("LEAF", [src.read(), y.write()])
+    return prog
+
+
+def _run(prog, sched, models=None, seed=0):
+    backend = SimulationBackend(models or _const_models())
+    return sched.run(prog, backend, seed=seed)
+
+
+ALL_SCHEDULERS = [
+    lambda n: QuarkScheduler(n),
+    lambda n: StarPUScheduler(n, policy="eager"),
+    lambda n: StarPUScheduler(n, policy="prio"),
+    lambda n: StarPUScheduler(n, policy="ws"),
+    lambda n: StarPUScheduler(n, policy="dmda"),
+    lambda n: OmpSsScheduler(n),
+]
+
+
+class TestBasicExecution:
+    @pytest.mark.parametrize("factory", ALL_SCHEDULERS)
+    def test_every_task_runs_exactly_once(self, factory):
+        from repro.algorithms import qr_program
+
+        prog = qr_program(4, 16)
+        trace = _run(
+            prog,
+            factory(4),
+            models=_const_models(("DGEQRT", "DORMQR", "DTSQRT", "DTSMQR")),
+        )
+        trace.validate()
+        assert len(trace) == len(prog)
+        assert sorted(e.task_id for e in trace.events) == list(range(len(prog)))
+
+    @pytest.mark.parametrize("factory", ALL_SCHEDULERS)
+    def test_dependences_respected(self, factory):
+        from repro.algorithms import cholesky_program
+
+        prog = cholesky_program(5, 16)
+        trace = _run(
+            prog,
+            factory(4),
+            models=_const_models(("DPOTRF", "DTRSM", "DSYRK", "DGEMM")),
+        )
+        ends = {e.task_id: e.end for e in trace.events}
+        starts = {e.task_id: e.start for e in trace.events}
+        for src, dst in simple_dag(build_dag(prog)).edges():
+            assert starts[dst] >= ends[src] - 1e-12, f"edge {src}->{dst} violated"
+
+    def test_empty_program(self):
+        trace = _run(Program("empty"), QuarkScheduler(2))
+        assert len(trace) == 0
+
+    def test_single_task(self):
+        prog = Program("one")
+        x = prog.registry.alloc("x", 64)
+        prog.add_task("K", [x.write()])
+        trace = _run(prog, QuarkScheduler(2))
+        assert len(trace) == 1
+
+    def test_trace_meta(self):
+        trace = _run(_chain(), QuarkScheduler(2), seed=7)
+        assert trace.meta["scheduler"] == "quark"
+        assert trace.meta["seed"] == 7
+        assert trace.meta["n_workers"] == 2
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("factory", ALL_SCHEDULERS)
+    def test_same_seed_same_trace(self, factory):
+        from repro.algorithms import cholesky_program
+
+        machine = get_machine("magny_cours_48")
+        prog = cholesky_program(6, 32)
+        t1 = factory(8).run(prog, MachineBackend(machine), seed=3)
+        t2 = factory(8).run(prog, MachineBackend(machine), seed=3)
+        assert t1.events == t2.events
+
+    def test_different_seed_different_trace(self):
+        from repro.algorithms import cholesky_program
+
+        machine = get_machine("magny_cours_48")
+        prog = cholesky_program(6, 32)
+        t1 = QuarkScheduler(8).run(prog, MachineBackend(machine), seed=1)
+        t2 = QuarkScheduler(8).run(prog, MachineBackend(machine), seed=2)
+        assert t1.events != t2.events
+
+
+class TestTimingSemantics:
+    def test_chain_is_serial(self):
+        dur, n = 1e-3, 6
+        sched = QuarkScheduler(4, insert_cost=0.0, dispatch_overhead=0.0,
+                               completion_cost=0.0)
+        trace = _run(_chain(n), sched, models=_const_models(duration=dur))
+        assert trace.makespan == pytest.approx(n * dur, rel=1e-9)
+
+    def test_fan_parallelises(self):
+        # 1 root then 8 leaves on 4 workers: 1 + ceil(8/4) rounds.
+        sched = QuarkScheduler(4, insert_cost=0.0, dispatch_overhead=0.0,
+                               completion_cost=0.0)
+        trace = _run(_fan(8), sched, models=_const_models(duration=1e-3))
+        assert trace.makespan == pytest.approx(3e-3, rel=1e-9)
+
+    def test_dispatch_overhead_delays_start(self):
+        sched = QuarkScheduler(2, insert_cost=0.0, dispatch_overhead=5e-4,
+                               completion_cost=0.0)
+        trace = _run(_chain(1), sched, models=_const_models(duration=1e-3))
+        assert trace.events[0].start == pytest.approx(5e-4)
+
+    def test_insert_cost_delays_first_task(self):
+        sched = OmpSsScheduler(2, insert_cost=2e-3, dispatch_overhead=0.0)
+        trace = _run(_chain(1), sched, models=_const_models(duration=1e-3))
+        assert trace.events[0].start == pytest.approx(2e-3)
+
+    def test_more_workers_never_slower_on_fan(self):
+        spans = []
+        for workers in (1, 2, 4, 8):
+            sched = OmpSsScheduler(workers, insert_cost=0.0, dispatch_overhead=0.0)
+            spans.append(_run(_fan(8), sched).makespan)
+        assert spans == sorted(spans, reverse=True)
+
+
+class TestWindow:
+    def test_window_one_serialises(self):
+        # With a one-task window, at most one task is in flight: the fan
+        # executes serially despite 4 workers.
+        sched = OmpSsScheduler(4, window=1, insert_cost=0.0, dispatch_overhead=0.0)
+        trace = _run(_fan(8), sched, models=_const_models(duration=1e-3))
+        assert trace.makespan == pytest.approx(9e-3, rel=1e-6)
+
+    def test_small_window_slower_than_large(self):
+        from repro.algorithms import cholesky_program
+
+        prog = cholesky_program(6, 16)
+        models = _const_models(("DPOTRF", "DTRSM", "DSYRK", "DGEMM"))
+        small = _run(prog, QuarkScheduler(8, window=2), models=models).makespan
+        large = _run(prog, QuarkScheduler(8, window=1000), models=models).makespan
+        assert small > large
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            QuarkScheduler(2, window=0)
+
+
+class TestMasterBehaviour:
+    def test_quark_master_executes_after_insertion(self):
+        # Insertion is instantaneous relative to task durations; the master
+        # inserts everything then joins the workers.
+        trace = _run(_fan(12), QuarkScheduler(4, insert_cost=1e-9))
+        assert trace.tasks_per_worker()[0] > 0
+
+    def test_quark_master_busy_inserting_runs_nothing(self):
+        # Make insertion much longer than the tasks: worker 0 may only pick
+        # up work once insertion has finished, so it runs at most the final
+        # task — and nothing before the last insertion completes.
+        sched = QuarkScheduler(4, insert_cost=5e-3, window=1000)
+        trace = _run(_fan(8), sched, models=_const_models(duration=1e-4))
+        assert trace.tasks_per_worker()[0] <= 1
+        insertion_done = 9 * 5e-3
+        for e in trace.worker_events(0):
+            assert e.start >= insertion_done - 1e-9
+
+    def test_dedicated_master_never_blocks_workers(self):
+        # StarPU's submission thread is not a worker: all n workers execute.
+        trace = _run(_fan(40), StarPUScheduler(4, policy="eager"))
+        assert all(c > 0 for c in trace.tasks_per_worker())
+
+    def test_completion_cost_displaces_master_tasks(self):
+        from repro.algorithms import cholesky_program
+
+        prog = cholesky_program(8, 16)
+        models = _const_models(("DPOTRF", "DTRSM", "DSYRK", "DGEMM"))
+        with_cost = _run(prog, QuarkScheduler(4, completion_cost=2e-4), models=models)
+        without = _run(prog, QuarkScheduler(4, completion_cost=0.0), models=models)
+        assert with_cost.tasks_per_worker()[0] < without.tasks_per_worker()[0]
+
+
+class TestBackendContract:
+    def test_invalid_duration_raises(self):
+        class BadBackend:
+            def reset(self, rng, n_workers):
+                pass
+
+            def duration(self, node, worker, now, active):
+                return float("nan")
+
+        with pytest.raises(ValueError, match="invalid duration"):
+            QuarkScheduler(2).run(_chain(1), BadBackend())
+
+    def test_negative_overheads_rejected(self):
+        with pytest.raises(ValueError):
+            QuarkScheduler(2, insert_cost=-1.0)
+        with pytest.raises(ValueError):
+            QuarkScheduler(2, dispatch_overhead=-1.0)
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(ValueError):
+            QuarkScheduler(0)

@@ -1,0 +1,158 @@
+"""Smoke tests for the experiment drivers (small parameters).
+
+The full-scale versions live under benchmarks/; these tests verify the
+drivers' logic and output structure quickly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    FIG2_EXPECTED,
+    ablation_distribution,
+    ablation_quark_window,
+    accuracy_summary,
+    fig1_dag,
+    fig2_stream,
+    distribution_figure,
+    format_table,
+    performance_sweep,
+    race_experiment,
+    trace_experiment,
+)
+from repro.experiments.performance import PerfPoint
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [(1, 2.5), (10, 3.25)], title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(("a",), [(1, 2)])
+
+
+class TestFig1:
+    def test_structure(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path))
+        result = fig1_dag(nt=4)
+        assert result.stats.n_tasks == 30
+        assert result.kernel_counts == {
+            "DGEQRT": 4,
+            "DORMQR": 6,
+            "DTSQRT": 6,
+            "DTSMQR": 14,
+        }
+        # Fig. 1's hallmark: children with multiple edges from one parent.
+        assert result.multi_edge_pairs > 0
+        assert result.dot_path.exists()
+        assert "digraph" in result.dot_path.read_text()
+
+
+class TestFig2:
+    def test_exact_stream(self):
+        listing, described = fig2_stream()
+        assert listing == FIG2_EXPECTED
+        assert described.splitlines()[0] == "F0 dgeqrt(A[0,0]^rw, T[0,0]^w)"
+        assert len(listing) == 14
+
+
+class TestFig3Fig4:
+    def test_fig3_fits_three_families(self):
+        fig = distribution_figure("fig3", nt=8, seed=0)
+        assert fig.kernel == "DTSMQR"
+        assert set(fig.fits) == {"normal", "gamma", "lognormal"}
+        assert fig.best_family in fig.fits
+        assert fig.samples.size > 50
+        # The paper: the three families fit nearly identically - KS within a
+        # few percent of each other.
+        ks = [f.ks for f in fig.fits.values()]
+        assert max(ks) - min(ks) < 0.1
+        assert "DTSMQR" in fig.table()
+
+    def test_fig4_kernel_is_dgemm(self):
+        fig = distribution_figure("fig4", nt=8, seed=0)
+        assert fig.kernel == "DGEMM"
+        assert fig.algorithm == "cholesky"
+
+    def test_density_table_parses(self):
+        fig = distribution_figure("fig3", nt=6, seed=0)
+        table = fig.density_table(n_bins=10)
+        assert "empirical" in table
+        assert len(table.splitlines()) == 12  # header + sep + 10 bins
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError):
+            distribution_figure("fig9")
+
+
+class TestFig5:
+    def test_race_experiment_outcomes(self):
+        outcomes, table = race_experiment(repeats=1)
+        by_guard = {(o.guard, o.sleep_time): o for o in outcomes}
+        assert by_guard[("quiesce", 200e-6)].correct
+        assert by_guard[("sleep", 10e-3)].correct
+        assert not by_guard[("sleep", 100e-6)].correct
+        assert not by_guard[("none", 0.0)].correct
+        assert "quiesce" in table
+
+
+class TestFig67:
+    def test_trace_experiment_small(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path))
+        exp = trace_experiment(nt=8, cal_nt=6, seed=0)
+        assert exp.result.error_percent < 25.0  # small problem, loose bound
+        assert exp.svg_path.exists()
+        svg = exp.svg_path.read_text()
+        assert svg.count("<g") == 2
+        assert "real" in exp.report()
+
+
+class TestFig8910:
+    def test_sweep_structure(self):
+        points = performance_sweep("quark", "cholesky", nts=(4, 8), seed=0)
+        assert [p.nt for p in points] == [4, 8]
+        assert all(p.gflops_real > 0 and p.gflops_sim > 0 for p in points)
+        assert all(p.error_percent >= 0 for p in points)
+
+    def test_performance_increases_with_size(self):
+        points = performance_sweep("quark", "cholesky", nts=(4, 16), seed=0)
+        assert points[1].gflops_real > points[0].gflops_real
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            performance_sweep("quark", "lu_pp", nts=(4,))
+
+    def test_accuracy_summary(self):
+        pts = [
+            PerfPoint("qr", 800, 4, 10.0, 11.0, 10.0),
+            PerfPoint("qr", 1600, 8, 50.0, 51.0, 2.0),
+            PerfPoint("cholesky", 800, 4, 20.0, 20.2, 1.0),
+        ]
+        summary = accuracy_summary({"quark": {"qr": pts[:2], "cholesky": pts[2:]}})
+        assert summary["n_points"] == 3
+        assert summary["max_error_percent"] == 10.0
+        assert summary["fraction_below_5pct"] == pytest.approx(2 / 3)
+
+    def test_accuracy_summary_empty(self):
+        with pytest.raises(ValueError):
+            accuracy_summary({})
+
+
+class TestAblations:
+    def test_distribution_ablation_small(self):
+        outcomes, table = ablation_distribution(
+            families=("constant", "lognormal"), nt=8, cal_nt=6, seed=0
+        )
+        assert {o.family for o in outcomes} == {"constant", "lognormal"}
+        assert "ABL-DIST" in table
+
+    def test_window_ablation_small(self):
+        data, table = ablation_quark_window(windows=(4, 512), nt=8, cal_nt=6, seed=0)
+        # Throttled window must not be faster than the big one.
+        assert data[4]["gflops_real"] <= data[512]["gflops_real"] * 1.01
+        assert "ABL-WINDOW" in table

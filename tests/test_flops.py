@@ -1,0 +1,96 @@
+"""Unit tests for kernel and factorization flop counts."""
+
+import pytest
+
+from repro.kernels.flops import (
+    KERNEL_FLOPS,
+    cholesky_flops,
+    kernel_flops,
+    lu_flops,
+    qr_flops,
+)
+
+
+class TestKernelFlops:
+    def test_gemm_dominates_cholesky_kernels(self):
+        b = 100
+        assert kernel_flops("DGEMM", b) > kernel_flops("DSYRK", b)
+        assert kernel_flops("DSYRK", b) >= kernel_flops("DTRSM", b)
+        assert kernel_flops("DTRSM", b) > kernel_flops("DPOTRF", b)
+
+    def test_tsmqr_dominates_qr_kernels(self):
+        b = 100
+        assert kernel_flops("DTSMQR", b) == max(
+            kernel_flops(k, b) for k in ("DGEQRT", "DORMQR", "DTSQRT", "DTSMQR")
+        )
+
+    def test_gemm_exact(self):
+        assert kernel_flops("DGEMM", 10) == 2000
+
+    def test_cubic_scaling(self):
+        for k in KERNEL_FLOPS:
+            ratio = kernel_flops(k, 200) / kernel_flops(k, 100)
+            assert ratio == pytest.approx(8.0, rel=0.05)
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            kernel_flops("NOPE", 10)
+
+    def test_nonpositive_tile_rejected(self):
+        with pytest.raises(ValueError):
+            kernel_flops("DGEMM", 0)
+
+
+class TestFactorizationFlops:
+    def test_cholesky_leading_term(self):
+        n = 3000
+        assert cholesky_flops(n) == pytest.approx(n**3 / 3, rel=1e-3)
+
+    def test_qr_square_leading_term(self):
+        n = 3000
+        assert qr_flops(n) == pytest.approx(4 * n**3 / 3, rel=1e-3)
+
+    def test_qr_rectangular(self):
+        m, n = 4000, 2000
+        assert qr_flops(n, m) == pytest.approx(2 * m * n**2 - 2 * n**3 / 3, rel=1e-12)
+
+    def test_qr_wide_rejected(self):
+        with pytest.raises(ValueError):
+            qr_flops(100, 50)
+
+    def test_lu_leading_term(self):
+        n = 3000
+        assert lu_flops(n) == pytest.approx(2 * n**3 / 3, rel=1e-3)
+
+    def test_qr_twice_lu_twice_cholesky(self):
+        n = 2000
+        assert qr_flops(n) == pytest.approx(2 * lu_flops(n), rel=1e-2)
+        assert lu_flops(n) == pytest.approx(2 * cholesky_flops(n), rel=1e-2)
+
+
+class TestProgramFlopConsistency:
+    """Tile-program flop totals approach the algorithmic count as nt grows."""
+
+    def test_cholesky_program_total(self):
+        from repro.algorithms import cholesky_program
+
+        nt, nb = 20, 100
+        prog = cholesky_program(nt, nb)
+        assert prog.total_flops == pytest.approx(cholesky_flops(nt * nb), rel=0.06)
+
+    def test_qr_program_total_exceeds_lapack_count(self):
+        # Tile QR performs extra flops versus the LAPACK algorithm (TT
+        # kernels); the total must be >= the algorithmic count but within ~2x.
+        from repro.algorithms import qr_program
+
+        nt, nb = 20, 100
+        prog = qr_program(nt, nb)
+        algo = qr_flops(nt * nb)
+        assert algo <= prog.total_flops <= 2.0 * algo
+
+    def test_lu_program_total(self):
+        from repro.algorithms import lu_program
+
+        nt, nb = 20, 100
+        prog = lu_program(nt, nb)
+        assert prog.total_flops == pytest.approx(lu_flops(nt * nb), rel=0.06)

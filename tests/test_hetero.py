@@ -1,0 +1,212 @@
+"""Tests for the heterogeneous (CPU+GPU) extension — §VII future work."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import cholesky_program
+from repro.core.simbackend import HeterogeneousSimulationBackend
+from repro.core.task import DataRegistry, TaskSpec
+from repro.kernels.distributions import ConstantModel
+from repro.kernels.timing import KernelModelSet
+from repro.machine import (
+    GpuDevice,
+    HeterogeneousBackend,
+    HeterogeneousMachine,
+    MachineBackend,
+    calibrate_heterogeneous,
+    collect_samples_by_kind,
+    get_machine,
+)
+from repro.schedulers import StarPUScheduler
+from repro.schedulers.base import TaskNode
+from repro.trace.compare import compare_traces
+
+
+def _hmachine(n_cpu=6, n_gpu=2):
+    return HeterogeneousMachine(
+        cpu=get_machine("smp_8"),
+        gpus=tuple(GpuDevice(f"gpu{i}") for i in range(n_gpu)),
+        n_cpu_workers=n_cpu,
+    )
+
+
+def _node(kernel="DGEMM", flops=1e8, size=512 * 1024, reg=None, n_refs=2):
+    reg = reg or DataRegistry()
+    accesses = tuple(reg.alloc(f"t{i}", size, key=("t", i)).rw() for i in range(n_refs))
+    spec = TaskSpec(kernel, accesses, flops=flops)
+    spec.task_id = 0
+    return TaskNode(spec)
+
+
+class TestHeterogeneousMachine:
+    def test_worker_kinds(self):
+        hm = _hmachine()
+        assert hm.n_workers == 8
+        assert hm.worker_kinds == ("cpu",) * 6 + ("gpu",) * 2
+
+    def test_device_of(self):
+        hm = _hmachine()
+        assert hm.device_of(0) is None
+        assert hm.device_of(6) is hm.gpus[0]
+        assert hm.device_of(7) is hm.gpus[1]
+
+    def test_no_cpu_workers_rejected(self):
+        with pytest.raises(ValueError):
+            HeterogeneousMachine(
+                cpu=get_machine("uniform_4"),
+                gpus=tuple(GpuDevice() for _ in range(4)),
+            )
+
+    def test_default_cpu_workers_reserve_gpu_drivers(self):
+        hm = HeterogeneousMachine(cpu=get_machine("smp_8"), gpus=(GpuDevice(),))
+        assert hm.n_cpu_workers == 7
+
+
+class TestHeterogeneousBackend:
+    def test_worker_count_must_match(self):
+        backend = HeterogeneousBackend(_hmachine())
+        with pytest.raises(ValueError, match="workers"):
+            backend.reset(np.random.default_rng(0), 5)
+
+    def test_gpu_faster_on_gemm(self):
+        hm = _hmachine()
+        backend = HeterogeneousBackend(hm)
+        backend.reset(np.random.default_rng(0), hm.n_workers)
+        reg = DataRegistry()
+        cpu_time = backend.duration(_node(reg=reg), 0, 0.0, 1)
+        # Second call on the GPU: pays transfer but computes ~20x faster.
+        backend2 = HeterogeneousBackend(hm)
+        backend2.reset(np.random.default_rng(0), hm.n_workers)
+        gpu_time = backend2.duration(_node(reg=reg), 6, 0.0, 1)
+        assert gpu_time < cpu_time
+
+    def test_gpu_panel_kernels_barely_faster(self):
+        hm = _hmachine()
+        dev = hm.gpus[0]
+        assert dev.kernel_speedup("DGEMM") > 5 * dev.kernel_speedup("DGEQRT")
+
+    def test_transfer_paid_once_while_resident(self):
+        hm = _hmachine()
+        backend = HeterogeneousBackend(hm)
+        backend.reset(np.random.default_rng(0), hm.n_workers)
+        reg = DataRegistry()
+        node = _node(reg=reg)
+        first = backend.duration(node, 6, 0.0, 1)
+        second = backend.duration(node, 6, 1.0, 1)
+        # Data now resident on gpu0: no transfer on the second execution.
+        assert second < first
+
+    def test_cpu_pays_device_to_host_after_gpu_write(self):
+        hm = HeterogeneousMachine(
+            cpu=get_machine("uniform_4"), gpus=(GpuDevice(),), n_cpu_workers=3
+        )
+        backend = HeterogeneousBackend(hm)
+        backend.reset(np.random.default_rng(0), hm.n_workers)
+        reg = DataRegistry()
+        node = _node(reg=reg)
+        clean_cpu = backend.duration(node, 0, 0.0, 1)  # host-owned data
+        backend.duration(node, 3, 1.0, 1)  # GPU writes the refs
+        dirty_cpu = backend.duration(node, 0, 2.0, 1)  # must transfer back
+        transfer = sum(r.size for r in node.spec.writes) / hm.gpus[0].transfer_bandwidth
+        assert dirty_cpu >= clean_cpu  # paid at least some transfer
+        assert dirty_cpu - clean_cpu == pytest.approx(transfer, rel=0.5)
+
+    def test_other_gpu_copy_invalidated_on_write(self):
+        hm = _hmachine()
+        backend = HeterogeneousBackend(hm)
+        backend.reset(np.random.default_rng(0), hm.n_workers)
+        reg = DataRegistry()
+        node = _node(reg=reg)
+        backend.duration(node, 6, 0.0, 1)  # resident+owned on gpu0
+        backend.duration(node, 7, 1.0, 1)  # gpu1 writes -> gpu0 copy stale
+        warm_again = backend.duration(node, 6, 2.0, 1)
+        fresh = HeterogeneousBackend(hm)
+        fresh.reset(np.random.default_rng(0), hm.n_workers)
+        cold = fresh.duration(_node(reg=DataRegistry()), 6, 0.0, 1)
+        # gpu0 must re-transfer (its copy was invalidated): cost ~ cold run.
+        assert warm_again >= 0.5 * cold
+
+
+class TestHeterogeneousScheduling:
+    def test_worker_kinds_length_checked(self):
+        with pytest.raises(ValueError, match="worker_kinds"):
+            StarPUScheduler(4, policy="dmda", worker_kinds=("cpu",))
+
+    def test_dmda_routes_gemm_to_gpu(self):
+        hm = _hmachine()
+        sched = StarPUScheduler(hm.n_workers, policy="dmda", worker_kinds=hm.worker_kinds)
+        trace = sched.run(cholesky_program(12, 256), HeterogeneousBackend(hm), seed=1)
+        trace.validate()
+        gemm_on_gpu = sum(
+            1 for e in trace.events if e.kernel == "DGEMM" and e.worker >= 6
+        )
+        gemm_total = trace.kernel_counts()["DGEMM"]
+        assert gemm_on_gpu > 0.5 * gemm_total
+
+    def test_hybrid_beats_cpu_only(self):
+        hm = _hmachine()
+        hybrid = StarPUScheduler(
+            hm.n_workers, policy="dmda", worker_kinds=hm.worker_kinds
+        ).run(cholesky_program(12, 256), HeterogeneousBackend(hm), seed=1)
+        cpu_only = StarPUScheduler(6, policy="dmda").run(
+            cholesky_program(12, 256), MachineBackend(hm.cpu), seed=1
+        )
+        assert hybrid.makespan < cpu_only.makespan
+
+    def test_all_policies_complete_on_hetero(self):
+        hm = _hmachine()
+        for policy in ("eager", "prio", "ws", "dmda"):
+            sched = StarPUScheduler(
+                hm.n_workers, policy=policy, worker_kinds=hm.worker_kinds
+            )
+            trace = sched.run(cholesky_program(8, 256), HeterogeneousBackend(hm), seed=0)
+            trace.validate()
+            assert len(trace) == len(cholesky_program(8, 256))
+
+
+class TestHeterogeneousSimulation:
+    def test_samples_split_by_kind(self):
+        hm = _hmachine()
+        sched = StarPUScheduler(hm.n_workers, policy="dmda", worker_kinds=hm.worker_kinds)
+        trace = sched.run(cholesky_program(10, 256), HeterogeneousBackend(hm), seed=0)
+        by_kind = collect_samples_by_kind(trace, hm.worker_kinds)
+        assert set(by_kind) == {"cpu", "gpu"}
+        # GPU DGEMMs are much faster than CPU DGEMMs.
+        assert np.mean(by_kind["gpu"]["DGEMM"]) < 0.3 * np.mean(by_kind["cpu"]["DGEMM"])
+
+    def test_backend_validates_kind_coverage(self):
+        models = {"cpu": KernelModelSet(models={"K": ConstantModel(1e-3)})}
+        with pytest.raises(ValueError, match="gpu"):
+            HeterogeneousSimulationBackend(models, ("cpu", "gpu"))
+
+    def test_backend_validates_worker_count(self):
+        models = {"cpu": KernelModelSet(models={"K": ConstantModel(1e-3)})}
+        backend = HeterogeneousSimulationBackend(models, ("cpu", "cpu"))
+        with pytest.raises(ValueError, match="workers"):
+            backend.reset(np.random.default_rng(0), 3)
+
+    def test_hetero_validation_pipeline(self):
+        """Calibrate per kind, simulate, and match the real hybrid run."""
+        hm = _hmachine()
+
+        def sched():
+            return StarPUScheduler(
+                hm.n_workers, policy="dmda", worker_kinds=hm.worker_kinds
+            )
+
+        models, _ = calibrate_heterogeneous(
+            cholesky_program(12, 256),
+            sched(),
+            HeterogeneousBackend(hm),
+            hm.worker_kinds,
+            seed=0,
+        )
+        real = sched().run(cholesky_program(14, 256), HeterogeneousBackend(hm), seed=1)
+        sim = sched().run(
+            cholesky_program(14, 256),
+            HeterogeneousSimulationBackend(models, hm.worker_kinds),
+            seed=2,
+        )
+        cmp_ = compare_traces(real, sim)
+        assert cmp_.abs_error_percent < 15.0
+        assert len(sim) == len(real)

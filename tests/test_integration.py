@@ -1,0 +1,134 @@
+"""End-to-end integration tests crossing every subsystem."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    MachineBackend,
+    OmpSsScheduler,
+    QuarkScheduler,
+    StarPUScheduler,
+    TiledMatrix,
+    calibrate,
+    cholesky_program,
+    get_machine,
+    lu_program,
+    qr_program,
+    simulate,
+    validate,
+)
+from repro.algorithms import random_diagdom, random_spd
+from repro.core.threaded import ThreadedRuntime
+from repro.dag import build_dag, dag_stats, makespan_lower_bound
+from repro.trace import compare_traces, load_trace, save_trace
+
+
+class TestFullPipeline:
+    """calibrate -> simulate -> validate across schedulers and algorithms."""
+
+    @pytest.mark.parametrize("scheduler_factory", [
+        lambda: QuarkScheduler(48),
+        lambda: StarPUScheduler(47, policy="prio"),
+        lambda: OmpSsScheduler(47),
+    ])
+    @pytest.mark.parametrize("generator", [cholesky_program, qr_program, lu_program])
+    def test_validate_under_each_scheduler_and_algorithm(
+        self, scheduler_factory, generator
+    ):
+        machine = get_machine("magny_cours_48")
+        models, _ = calibrate(
+            generator(10, 180), scheduler_factory(), machine, seed=0
+        )
+        result = validate(
+            generator(12, 180),
+            scheduler_factory(),
+            machine,
+            models,
+            warmup_penalty=machine.warmup_penalty,
+        )
+        # Calibration scale ~= validation scale: prediction within 10 %.
+        assert result.error_percent < 10.0
+        assert result.comparison.order_similarity > 0.8
+
+    def test_simulated_trace_survives_disk_roundtrip(self, tmp_path, calibrated_qr_models):
+        trace = simulate(qr_program(6, 180), QuarkScheduler(48), calibrated_qr_models)
+        path = save_trace(trace, tmp_path / "sim.txt")
+        back = load_trace(path)
+        assert compare_traces(trace, back).makespan_error == 0.0
+
+    def test_makespan_never_beats_dag_lower_bound(self, calibrated_qr_models):
+        prog = qr_program(8, 180)
+        trace = simulate(prog, QuarkScheduler(48), calibrated_qr_models, seed=0)
+        weights = {
+            k: calibrated_qr_models.mean_duration(k) for k in calibrated_qr_models.kernels()
+        }
+        bound = makespan_lower_bound(build_dag(prog), 48, weights)
+        # Stochastic durations scatter around the means; allow 10 % slack.
+        assert trace.makespan > 0.9 * bound
+
+    def test_machine_trace_utilisation_sane(self):
+        machine = get_machine("magny_cours_48")
+        trace = QuarkScheduler(48).run(
+            qr_program(14, 180), MachineBackend(machine), seed=0
+        )
+        trace.validate()
+        assert 0.3 < trace.utilization() <= 1.0
+
+    def test_threaded_execute_agrees_with_simulated_structure(self):
+        """Execute a real factorization, calibrate from it, simulate it, and
+        check the simulated trace has the same tasks and similar makespan."""
+        from repro.kernels.timing import KernelModelSet
+        from repro.machine.calibration import collect_samples
+
+        nt, nb = 6, 32
+        a = random_spd(nt * nb, np.random.default_rng(0))
+        tm = TiledMatrix(a.copy(), nb)
+        prog = cholesky_program(nt, nb)
+        real = ThreadedRuntime(4, mode="execute").run(prog, store=tm.store, seed=0)
+        samples = collect_samples(real, drop_first_per_worker=True)
+        models = KernelModelSet.from_samples(samples, family="empirical", trim_warmup=False)
+        sim = ThreadedRuntime(4, mode="simulate").run(
+            cholesky_program(nt, nb), models=models, seed=1
+        )
+        assert len(sim) == len(real)
+        assert sorted(e.task_id for e in sim.events) == sorted(
+            e.task_id for e in real.events
+        )
+
+
+class TestCrossSchedulerProperties:
+    def test_all_schedulers_same_task_set_different_schedules(self):
+        machine = get_machine("magny_cours_48")
+        prog_factory = lambda: cholesky_program(10, 180)
+        traces = {}
+        for name, sched in [
+            ("quark", QuarkScheduler(48)),
+            ("starpu", StarPUScheduler(47, policy="prio")),
+            ("ompss", OmpSsScheduler(47)),
+        ]:
+            traces[name] = sched.run(prog_factory(), MachineBackend(machine), seed=1)
+        spans = {n: t.makespan for n, t in traces.items()}
+        # Same work, each scheduler valid, but the schedules differ.
+        for t in traces.values():
+            t.validate()
+            assert len(t) == len(prog_factory())
+        assert len({round(s, 9) for s in spans.values()}) > 1
+
+    def test_simulator_tracks_scheduler_ranking(self):
+        """The autotuning property: simulation preserves which scheduler
+        configuration is faster (QUARK window 8 vs 1024)."""
+        machine = get_machine("magny_cours_48")
+        models, _ = calibrate(
+            cholesky_program(10, 180), QuarkScheduler(48), machine, seed=0
+        )
+        prog = lambda: cholesky_program(12, 180)
+        real_small = QuarkScheduler(48, window=8).run(
+            prog(), MachineBackend(machine), seed=1
+        )
+        real_big = QuarkScheduler(48, window=1024).run(
+            prog(), MachineBackend(machine), seed=1
+        )
+        sim_small = simulate(prog(), QuarkScheduler(48, window=8), models, seed=2)
+        sim_big = simulate(prog(), QuarkScheduler(48, window=1024), models, seed=2)
+        assert real_small.makespan > real_big.makespan
+        assert sim_small.makespan > sim_big.makespan

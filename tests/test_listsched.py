@@ -1,0 +1,138 @@
+"""Tests for the static list-scheduling baseline."""
+
+import pytest
+
+from repro.algorithms import cholesky_program, qr_program
+from repro.core.task import Program
+from repro.dag import build_dag, list_schedule, makespan_lower_bound, upward_ranks
+from repro.dag.build import simple_dag
+
+
+def _chain(n, cost_kernel="K"):
+    prog = Program("chain")
+    x = prog.registry.alloc("x", 64)
+    for _ in range(n):
+        prog.add_task(cost_kernel, [x.rw()])
+    return prog
+
+
+def _fan(n):
+    prog = Program("fan")
+    src = prog.registry.alloc("src", 64)
+    prog.add_task("ROOT", [src.write()])
+    for i in range(n):
+        y = prog.registry.alloc(f"y{i}", 64, key=(f"y{i}",))
+        prog.add_task("LEAF", [src.read(), y.write()])
+    return prog
+
+
+class TestUpwardRanks:
+    def test_chain_ranks_decrease(self):
+        prog = _chain(4)
+        dag = simple_dag(build_dag(prog))
+        ranks = upward_ranks(dag, {i: 1.0 for i in range(4)})
+        assert [ranks[i] for i in range(4)] == [4.0, 3.0, 2.0, 1.0]
+
+    def test_fan_root_rank(self):
+        prog = _fan(5)
+        dag = simple_dag(build_dag(prog))
+        costs = {0: 2.0, **{i: 1.0 for i in range(1, 6)}}
+        ranks = upward_ranks(dag, costs)
+        assert ranks[0] == 3.0
+
+
+class TestListSchedule:
+    def test_chain_serial(self):
+        sched = list_schedule(_chain(5), 4, {"K": 1.0})
+        assert sched.makespan == pytest.approx(5.0)
+        sched.trace.validate()
+
+    def test_fan_parallel(self):
+        sched = list_schedule(_fan(8), 4, {"ROOT": 1.0, "LEAF": 1.0})
+        assert sched.makespan == pytest.approx(3.0)  # root + 2 leaf rounds
+
+    def test_dependences_respected(self):
+        prog = qr_program(4, 16)
+        costs = {k: 1.0 for k in ("DGEQRT", "DORMQR", "DTSQRT", "DTSMQR")}
+        sched = list_schedule(prog, 4, costs)
+        sched.trace.validate()
+        ends = {e.task_id: e.end for e in sched.trace.events}
+        starts = {e.task_id: e.start for e in sched.trace.events}
+        for src, dst in simple_dag(build_dag(prog)).edges():
+            assert starts[dst] >= ends[src] - 1e-12
+
+    def test_all_tasks_scheduled(self):
+        prog = cholesky_program(5, 16)
+        costs = {"DPOTRF": 0.5, "DTRSM": 1.0, "DSYRK": 1.0, "DGEMM": 2.0}
+        sched = list_schedule(prog, 8, costs)
+        assert len(sched.trace) == len(prog)
+
+    def test_never_beats_lower_bound(self):
+        prog = cholesky_program(6, 16)
+        costs = {"DPOTRF": 0.5, "DTRSM": 1.0, "DSYRK": 1.0, "DGEMM": 2.0}
+        for p in (1, 2, 4, 16):
+            sched = list_schedule(prog, p, costs)
+            bound = makespan_lower_bound(build_dag(prog), p, costs)
+            assert sched.makespan >= bound - 1e-9
+
+    def test_single_worker_equals_total_work(self):
+        prog = _fan(6)
+        sched = list_schedule(prog, 1, {"ROOT": 1.0, "LEAF": 2.0})
+        assert sched.makespan == pytest.approx(13.0)
+
+    def test_wide_task_gang_placed(self):
+        prog = Program("wide")
+        x = prog.registry.alloc("x", 64)
+        spec = prog.add_task("W", [x.write()])
+        spec.width = 3
+        sched = list_schedule(prog, 4, {"W": 1.0})
+        ev = sched.trace.events[0]
+        assert ev.width == 3
+        sched.trace.validate()
+
+    def test_wide_task_beyond_machine_rejected(self):
+        prog = Program("wide")
+        x = prog.registry.alloc("x", 64)
+        spec = prog.add_task("W", [x.write()])
+        spec.width = 3
+        with pytest.raises(ValueError, match="wider"):
+            list_schedule(prog, 2, {"W": 1.0})
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            list_schedule(_chain(2), 0, {"K": 1.0})
+        with pytest.raises(ValueError):
+            list_schedule(_chain(2), 2, {"K": 0.0})
+        with pytest.raises(KeyError):
+            list_schedule(_chain(2), 2, {"OTHER": 1.0})
+
+    def test_prioritises_critical_path(self):
+        # Chain of expensive tasks + independent cheap ones on one worker:
+        # list scheduling must start the chain first.
+        prog = Program("mix")
+        x = prog.registry.alloc("x", 64, key=("x",))
+        prog.add_task("BIG", [x.rw()])
+        prog.add_task("BIG", [x.rw()])
+        y = prog.registry.alloc("y", 64, key=("y",))
+        prog.add_task("SMALL", [y.write()])
+        sched = list_schedule(prog, 1, {"BIG": 5.0, "SMALL": 1.0})
+        order = [e.task_id for e in sorted(sched.trace.events)]
+        assert order[0] == 0  # head of the critical chain first
+
+    def test_static_prediction_close_to_dynamic_at_saturation(self):
+        """Sanity: at large parallel slack the static makespan is within a
+        reasonable factor of the dynamic simulated one."""
+        from repro.core.simbackend import SimulationBackend
+        from repro.kernels.distributions import ConstantModel
+        from repro.kernels.timing import KernelModelSet
+        from repro.schedulers import QuarkScheduler
+
+        prog = cholesky_program(8, 16)
+        costs = {"DPOTRF": 1e-3, "DTRSM": 1e-3, "DSYRK": 1e-3, "DGEMM": 1e-3}
+        static = list_schedule(prog, 8, costs)
+        models = KernelModelSet(models={k: ConstantModel(v) for k, v in costs.items()})
+        dynamic = QuarkScheduler(8, insert_cost=0.0, dispatch_overhead=0.0,
+                                 completion_cost=0.0).run(
+            cholesky_program(8, 16), SimulationBackend(models), seed=0
+        )
+        assert static.makespan <= dynamic.makespan * 1.1

@@ -1,0 +1,180 @@
+"""Tests for the load-aware kernel model — §VII "improved kernel model"."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import qr_program
+from repro.core.simulator import run_real, simulate
+from repro.kernels.loadmodel import (
+    LoadAwareModel,
+    LoadAwareModelSet,
+    LoadAwareSimulationBackend,
+)
+from repro.kernels.timing import KernelModelSet
+from repro.machine import calibration_run, collect_samples, get_machine
+from repro.schedulers import QuarkScheduler
+from repro.trace.compare import makespan_error
+from repro.trace.events import Trace
+from repro.trace.load import event_loads, loaded_kernel_samples
+
+
+class TestEventLoads:
+    def test_lone_event_load_is_width(self):
+        tr = Trace(4)
+        tr.record(0, 0, "K", 0.0, 1.0)
+        tr.record(1, 1, "K", 5.0, 6.0, width=2)
+        loads = event_loads(tr)
+        assert loads[0] == pytest.approx(1.0)
+        assert loads[1] == pytest.approx(2.0)
+
+    def test_full_overlap(self):
+        tr = Trace(2)
+        tr.record(0, 0, "K", 0.0, 1.0)
+        tr.record(1, 1, "K", 0.0, 1.0)
+        loads = event_loads(tr)
+        assert loads[0] == pytest.approx(2.0)
+        assert loads[1] == pytest.approx(2.0)
+
+    def test_partial_overlap(self):
+        tr = Trace(2)
+        tr.record(0, 0, "K", 0.0, 2.0)
+        tr.record(1, 1, "K", 1.0, 2.0)
+        loads = event_loads(tr)
+        assert loads[0] == pytest.approx(1.5)  # alone for half its life
+        assert loads[1] == pytest.approx(2.0)
+
+    def test_empty_trace(self):
+        assert event_loads(Trace(2)) == {}
+
+    def test_zero_duration_event(self):
+        tr = Trace(2)
+        tr.record(0, 0, "K", 1.0, 1.0)
+        assert event_loads(tr)[0] >= 0.0
+
+    def test_mean_load_matches_activity_integral(self):
+        # Duration-weighted mean load equals integral of count^2 / busy time.
+        rng = np.random.default_rng(0)
+        tr = Trace(4)
+        for i in range(30):
+            w = int(rng.integers(0, 4))
+            start = float(rng.uniform(0, 10))
+            tr.record(w, i, "K", start, start + float(rng.uniform(0.1, 2.0)))
+        loads = event_loads(tr)
+        total = sum(loads[e.task_id] * e.duration for e in tr.events)
+        # Independent computation via fine sampling.
+        ts = np.linspace(0, 13, 200001)
+        counts = np.zeros_like(ts)
+        for e in tr.events:
+            counts += (ts >= e.start) & (ts < e.end)
+        approx = float(np.sum(counts**2) * (ts[1] - ts[0]))
+        assert total == pytest.approx(approx, rel=0.01)
+
+
+class TestLoadedSamples:
+    def test_pairs_grouped_by_kernel(self):
+        tr = Trace(2)
+        tr.record(0, 0, "A", 0.0, 1.0)
+        tr.record(1, 1, "B", 0.0, 2.0)
+        tr.record(0, 2, "A", 1.0, 2.0)
+        pairs = loaded_kernel_samples(tr, drop_first_per_worker=False)
+        assert len(pairs["A"]) == 2
+        assert len(pairs["B"]) == 1
+        duration, load = pairs["B"][0]
+        assert duration == 2.0 and 1.0 < load <= 2.0
+
+
+class TestLoadAwareModel:
+    def test_recovers_linear_relation(self):
+        rng = np.random.default_rng(1)
+        loads = rng.uniform(1, 48, size=2000)
+        durations = (1e-3 + 2e-5 * loads) * rng.lognormal(0, 0.02, size=2000)
+        model = LoadAwareModel.fit(list(zip(durations, loads)))
+        assert model.intercept == pytest.approx(1e-3, rel=0.05)
+        assert model.slope == pytest.approx(2e-5, rel=0.1)
+        assert model.sigma_log == pytest.approx(0.02, rel=0.3)
+
+    def test_degenerate_load_falls_back_to_constant(self):
+        pairs = [(1e-3, 8.0), (1.1e-3, 8.0), (0.9e-3, 8.0)]
+        model = LoadAwareModel.fit(pairs)
+        assert model.slope == 0.0
+        assert model.mean_at(1.0) == model.mean_at(48.0)
+
+    def test_sampling_positive(self):
+        model = LoadAwareModel(intercept=1e-3, slope=-1e-4, sigma_log=0.05)
+        rng = np.random.default_rng(0)
+        # Even where the line goes negative, samples are floored positive.
+        assert all(model.sample(rng, 50.0) > 0 for _ in range(100))
+
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            LoadAwareModel.fit([])
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            LoadAwareModel.fit([(0.0, 1.0)])
+
+
+class TestLoadAwareModelSet:
+    def test_from_trace_and_duration(self):
+        machine = get_machine("magny_cours_48")
+        trace = calibration_run(
+            qr_program(8, 180), QuarkScheduler(48), machine, seed=0
+        )
+        models = LoadAwareModelSet.from_trace(trace)
+        assert "DTSMQR" in models
+        rng = np.random.default_rng(0)
+        low = np.mean([models.duration("DTSMQR", 1.0, rng) for _ in range(200)])
+        high = np.mean([models.duration("DTSMQR", 48.0, rng) for _ in range(200)])
+        # Contention: more active cores, slower memory-bound kernel.
+        assert high > low
+
+    def test_unknown_kernel(self):
+        models = LoadAwareModelSet(models={})
+        with pytest.raises(KeyError, match="no load-aware model"):
+            models.duration("DGEMM", 1.0, np.random.default_rng(0))
+
+    def test_summary(self):
+        models = LoadAwareModelSet(
+            models={"K": LoadAwareModel(1e-3, 1e-5, 0.01)}
+        )
+        assert "K" in models.summary()
+
+
+class TestLoadAwareBackend:
+    def test_requires_reset(self):
+        backend = LoadAwareSimulationBackend(LoadAwareModelSet(models={}))
+        from repro.core.task import DataRegistry, TaskSpec
+        from repro.schedulers.base import TaskNode
+
+        spec = TaskSpec("K", (DataRegistry().alloc("x", 8).rw(),))
+        spec.task_id = 0
+        with pytest.raises(RuntimeError, match="reset"):
+            backend.duration(TaskNode(spec), 0, 0.0, 1)
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            LoadAwareSimulationBackend(LoadAwareModelSet(), warmup_penalty=-1.0)
+
+    def test_improves_small_problem_accuracy(self):
+        """The §VII claim: conditioning on load shrinks the small-problem
+        error that the flat model suffers when calibrated at saturation."""
+        machine = get_machine("magny_cours_48")
+        cal = calibration_run(qr_program(16, 180), QuarkScheduler(48), machine, seed=0)
+        flat = KernelModelSet.from_samples(collect_samples(cal), family="lognormal")
+        aware = LoadAwareModelSet.from_trace(cal)
+
+        errors_flat, errors_aware = [], []
+        for nt in (6, 8, 10):
+            real = run_real(qr_program(nt, 180), QuarkScheduler(48), machine, seed=1)
+            sim_flat = simulate(
+                qr_program(nt, 180), QuarkScheduler(48), flat, seed=2,
+                warmup_penalty=machine.warmup_penalty,
+            )
+            sim_aware = QuarkScheduler(48).run(
+                qr_program(nt, 180),
+                LoadAwareSimulationBackend(aware, warmup_penalty=machine.warmup_penalty),
+                seed=2,
+            )
+            errors_flat.append(abs(makespan_error(real, sim_flat)))
+            errors_aware.append(abs(makespan_error(real, sim_aware)))
+        assert np.mean(errors_aware) < np.mean(errors_flat)

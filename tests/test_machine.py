@@ -1,0 +1,239 @@
+"""Tests for the synthetic machine substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.task import DataRegistry, TaskSpec
+from repro.machine import (
+    CacheModel,
+    LRUCache,
+    MachineBackend,
+    contention_factor,
+    get_machine,
+)
+from repro.machine.noise import JitterModel, WarmupModel
+from repro.machine.topology import MACHINE_PRESETS, Machine
+from repro.schedulers.base import TaskNode
+
+
+def _task(kernel="DGEMM", refs=2, flops=1e6, size=1024, reg=None):
+    reg = reg or DataRegistry()
+    accesses = tuple(
+        reg.alloc(f"t{i}", size, key=(kernel, i)).rw() for i in range(refs)
+    )
+    spec = TaskSpec(kernel, accesses, flops=flops)
+    spec.task_id = 0
+    return spec
+
+
+class TestMachine:
+    def test_presets_exist(self):
+        assert {"magny_cours_48", "smp_8", "uniform_4"} <= set(MACHINE_PRESETS)
+
+    def test_magny_cours_matches_paper_testbed(self):
+        m = get_machine("magny_cours_48")
+        assert m.n_cores == 48
+        assert m.n_sockets == 4
+        assert m.peak_gflops == pytest.approx(480.0)
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            get_machine("cray")
+
+    def test_socket_of(self):
+        m = get_machine("magny_cours_48")
+        assert m.socket_of(0) == 0
+        assert m.socket_of(11) == 0
+        assert m.socket_of(12) == 1
+        assert m.socket_of(47) == 3
+        with pytest.raises(ValueError):
+            m.socket_of(48)
+
+    def test_base_duration_from_efficiency(self):
+        m = get_machine("uniform_4")  # 10 GF/s per core, DGEMM at 90 %
+        d = m.base_duration("DGEMM", 10e9 * 0.9)  # flops for exactly 1 s warm
+        assert d == pytest.approx(1.0 + m.launch_latency, rel=1e-6)
+
+    def test_base_duration_zero_flops_is_latency(self):
+        m = get_machine("uniform_4")
+        assert m.base_duration("DGEMM", 0.0) == m.launch_latency
+
+    def test_dgemm_faster_than_dtsmqr_per_flop(self):
+        # The paper's §IV-B2 observation: DTSMQR reaches a lower fraction of
+        # peak than vendor-tuned DGEMM.
+        m = get_machine("magny_cours_48")
+        assert m.base_duration("DGEMM", 1e9) < m.base_duration("DTSMQR", 1e9)
+
+    def test_quiet_strips_noise(self):
+        q = get_machine("magny_cours_48").quiet()
+        assert q.jitter_sigma == 0.0
+        assert q.spike_prob == 0.0
+        assert q.warmup_penalty == 0.0
+
+    def test_invalid_machine_rejected(self):
+        with pytest.raises(ValueError):
+            Machine("bad", 0, 4, 10.0, 1024, 1024)
+
+
+class TestLRUCache:
+    def setup_method(self):
+        self._reg = DataRegistry()
+
+    def _ref(self, name, size=100):
+        return self._reg.alloc(name, size, key=(name,))
+
+    def test_touch_then_contains(self):
+        cache = LRUCache(1000)
+        ref = self._ref("a")
+        cache.touch(ref)
+        assert cache.contains(ref)
+
+    def test_eviction_is_lru(self):
+        cache = LRUCache(250)
+        a, b, c = (self._ref(n) for n in "abc")
+        cache.touch(a)
+        cache.touch(b)
+        cache.touch(a)  # refresh a; b is now LRU
+        cache.touch(c)  # evicts b
+        assert cache.contains(a) and cache.contains(c)
+        assert not cache.contains(b)
+
+    def test_oversized_ref_clamped(self):
+        cache = LRUCache(64)
+        big = self._ref("big", size=1000)
+        cache.touch(big)
+        assert cache.contains(big)
+
+    def test_used_bytes(self):
+        cache = LRUCache(1000)
+        cache.touch(self._ref("a", 100))
+        assert cache.used_bytes == 100
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestCacheModel:
+    def test_cold_start_zero_residency(self):
+        m = get_machine("smp_8")
+        cm = CacheModel(m)
+        assert cm.resident_fraction(_task(), 0) == 0.0
+
+    def test_warm_after_execution(self):
+        m = get_machine("smp_8")
+        cm = CacheModel(m)
+        task = _task()
+        cm.record_execution(task, 0)
+        assert cm.resident_fraction(task, 0) == 1.0
+
+    def test_socket_sharing_partial_credit(self):
+        m = get_machine("smp_8")  # cores 0-3 socket 0, 4-7 socket 1
+        cm = CacheModel(m)
+        task = _task()
+        cm.record_execution(task, 0)
+        # Same socket, different core: only the shared-level credit.
+        assert cm.resident_fraction(task, 1) == pytest.approx(CacheModel.L3_WEIGHT)
+        # Other socket: cold.
+        assert cm.resident_fraction(task, 4) == 0.0
+
+
+class TestNoise:
+    def test_contention_single_worker_is_one(self):
+        m = get_machine("magny_cours_48")
+        assert contention_factor(m, "DGEMM", 1) == 1.0
+
+    def test_contention_grows_with_activity(self):
+        m = get_machine("magny_cours_48")
+        f24 = contention_factor(m, "DTSMQR", 24)
+        f48 = contention_factor(m, "DTSMQR", 48)
+        assert 1.0 < f24 < f48
+
+    def test_contention_capped_by_alpha(self):
+        m = get_machine("magny_cours_48")
+        worst = contention_factor(m, "DTSQRT", 48)
+        assert worst <= 1.0 + m.contention_alpha
+
+    def test_compute_bound_kernel_less_affected(self):
+        m = get_machine("magny_cours_48")
+        assert contention_factor(m, "DGEMM", 48) < contention_factor(m, "DTSQRT", 48)
+
+    def test_jitter_disabled_on_quiet_machine(self):
+        jm = JitterModel(get_machine("uniform_4"))
+        rng = np.random.default_rng(0)
+        assert jm.apply(1.0, rng) == 1.0
+
+    def test_jitter_multiplicative_near_one(self):
+        jm = JitterModel(get_machine("magny_cours_48"))
+        rng = np.random.default_rng(0)
+        factors = [jm.apply(1.0, rng) for _ in range(500)]
+        assert 0.95 < float(np.median(factors)) < 1.05
+
+    def test_warmup_once_per_worker(self):
+        wm = WarmupModel(get_machine("magny_cours_48"))
+        assert wm.penalty(3) > 0.0
+        assert wm.penalty(3) == 0.0
+        assert wm.penalty(4) > 0.0
+
+    def test_warmup_reset(self):
+        wm = WarmupModel(get_machine("magny_cours_48"))
+        wm.penalty(0)
+        wm.reset()
+        assert wm.penalty(0) > 0.0
+
+
+class TestMachineBackend:
+    def _node(self, **kw):
+        return TaskNode(_task(**kw))
+
+    def test_requires_reset(self):
+        backend = MachineBackend("uniform_4")
+        with pytest.raises(RuntimeError, match="reset"):
+            backend.duration(self._node(), 0, 0.0, 1)
+
+    def test_too_many_workers_rejected(self):
+        backend = MachineBackend("uniform_4")
+        with pytest.raises(ValueError, match="exceed"):
+            backend.reset(np.random.default_rng(0), 5)
+
+    def test_core_offset_counts_against_capacity(self):
+        backend = MachineBackend("uniform_4", core_offset=1)
+        with pytest.raises(ValueError):
+            backend.reset(np.random.default_rng(0), 4)
+        backend.reset(np.random.default_rng(0), 3)
+
+    def test_quiet_machine_deterministic_duration(self):
+        backend = MachineBackend("uniform_4")
+        backend.reset(np.random.default_rng(0), 4)
+        node = self._node(flops=1e7)
+        d1 = backend.duration(node, 0, 0.0, 1)
+        machine = get_machine("uniform_4")
+        assert d1 == pytest.approx(machine.base_duration("DGEMM", 1e7))
+
+    def test_warm_cache_speeds_second_execution(self):
+        machine = get_machine("magny_cours_48").quiet()
+        backend = MachineBackend(machine)
+        backend.reset(np.random.default_rng(0), 4)
+        node = self._node(flops=1e7, size=100_000)
+        cold = backend.duration(node, 0, 0.0, 1)
+        warm = backend.duration(node, 0, 1.0, 1)
+        assert warm < cold
+
+    def test_contention_slows_tasks(self):
+        machine = get_machine("magny_cours_48").quiet()
+        b1 = MachineBackend(machine)
+        b1.reset(np.random.default_rng(0), 48)
+        alone = b1.duration(self._node(flops=1e7), 0, 0.0, 1)
+        b2 = MachineBackend(machine)
+        b2.reset(np.random.default_rng(0), 48)
+        crowded = b2.duration(self._node(flops=1e7), 0, 0.0, 48)
+        assert crowded > alone
+
+    def test_warmup_penalty_on_first_task_only(self):
+        machine = get_machine("magny_cours_48")
+        backend = MachineBackend(machine)
+        backend.reset(np.random.default_rng(0), 4)
+        node = self._node(flops=1e7)
+        first = backend.duration(node, 2, 0.0, 1)
+        second = backend.duration(node, 2, 1.0, 1)
+        assert first > second + 0.5 * machine.warmup_penalty

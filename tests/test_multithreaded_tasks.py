@@ -1,0 +1,202 @@
+"""Tests for multi-threaded (gang-scheduled) tasks — §VII extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.simbackend import SimulationBackend
+from repro.core.task import Program, TaskSpec
+from repro.core.threaded import ThreadedRuntime
+from repro.kernels.distributions import ConstantModel
+from repro.kernels.timing import KernelModelSet
+from repro.machine import MachineBackend, get_machine
+from repro.schedulers import OmpSsScheduler, QuarkScheduler
+from repro.trace.events import Trace
+
+
+def _models(kernels=("K", "W"), duration=1e-3):
+    return KernelModelSet(models={k: ConstantModel(duration) for k in kernels})
+
+
+def _wide_program(widths):
+    prog = Program("wide", meta={"nb": 1})
+    for i, w in enumerate(widths):
+        ref = prog.registry.alloc(f"x{i}", 64, key=(f"x{i}",))
+        spec = prog.add_task("W" if w > 1 else "K", [ref.write()])
+        spec.width = w
+    return prog
+
+
+class TestTaskSpecWidth:
+    def test_default_width_one(self):
+        prog = _wide_program([1])
+        assert prog[0].width == 1
+
+    def test_invalid_width_rejected(self):
+        from repro.core.task import DataRegistry
+
+        ref = DataRegistry().alloc("x", 64)
+        with pytest.raises(ValueError, match="width"):
+            TaskSpec("K", (ref.write(),), width=0)
+
+
+class TestEngineGangScheduling:
+    def test_wide_task_occupies_gang(self):
+        # One width-3 task on 4 workers: nothing else can run beside it
+        # except on the single leftover worker.
+        prog = _wide_program([3, 1, 1])
+        sched = OmpSsScheduler(4, insert_cost=0.0, dispatch_overhead=0.0)
+        trace = sched.run(prog, SimulationBackend(_models()), seed=0)
+        trace.validate()
+        wide = next(e for e in trace.events if e.width == 3)
+        concurrent = [
+            e
+            for e in trace.events
+            if e is not wide and e.start < wide.end and e.end > wide.start
+        ]
+        # At most one narrow task can overlap the width-3 task on 4 workers.
+        assert len(concurrent) <= 1
+        for e in concurrent:
+            assert set(e.workers).isdisjoint(set(wide.workers))
+
+    def test_serialises_when_width_equals_workers(self):
+        prog = _wide_program([2, 2, 2])
+        sched = OmpSsScheduler(2, insert_cost=0.0, dispatch_overhead=0.0)
+        trace = sched.run(prog, SimulationBackend(_models()), seed=0)
+        assert trace.makespan == pytest.approx(3e-3, rel=1e-9)
+
+    def test_width_beyond_workers_raises(self):
+        prog = _wide_program([4])
+        sched = OmpSsScheduler(2)
+        with pytest.raises(ValueError, match="requires 4 workers"):
+            sched.run(prog, SimulationBackend(_models()), seed=0)
+
+    def test_head_of_line_wide_task_not_starved(self):
+        # A wide task between narrow ones must still run (head-of-line).
+        prog = _wide_program([1, 1, 4, 1, 1])
+        sched = OmpSsScheduler(4, insert_cost=0.0, dispatch_overhead=0.0)
+        trace = sched.run(prog, SimulationBackend(_models()), seed=0)
+        trace.validate()
+        assert len(trace) == 5
+
+    def test_machine_backend_speeds_up_wide_tasks(self):
+        machine = get_machine("uniform_4")
+        prog1 = _wide_program([1])
+        prog1[0].flops = 1e8
+        prog4 = _wide_program([4])
+        prog4[0].flops = 1e8
+        sched = OmpSsScheduler(4, insert_cost=0.0, dispatch_overhead=0.0)
+        t1 = sched.run(prog1, MachineBackend(machine), seed=0).events[0].duration
+        t4 = OmpSsScheduler(4, insert_cost=0.0, dispatch_overhead=0.0).run(
+            prog4, MachineBackend(machine), seed=0
+        ).events[0].duration
+        expected = t1 / (4 * machine.smp_task_efficiency)
+        assert t4 == pytest.approx(expected, rel=0.01)
+
+    def test_quark_master_participates_in_gang(self):
+        # A width-equal-to-workers task must eventually include worker 0.
+        prog = _wide_program([1, 4])
+        sched = QuarkScheduler(4, insert_cost=1e-9)
+        trace = sched.run(prog, SimulationBackend(_models()), seed=0)
+        wide = next(e for e in trace.events if e.width == 4)
+        assert wide.worker == 0
+
+
+class TestPanelWidthGenerators:
+    def test_cholesky_panel_width(self):
+        from repro.algorithms import cholesky_program
+
+        prog = cholesky_program(4, 16, panel_width=3)
+        for t in prog:
+            assert t.width == (3 if t.kernel == "DPOTRF" else 1)
+
+    def test_qr_panel_width(self):
+        from repro.algorithms import qr_program
+
+        prog = qr_program(4, 16, panel_width=2)
+        for t in prog:
+            expected = 2 if t.kernel in ("DGEQRT", "DTSQRT") else 1
+            assert t.width == expected
+
+    def test_invalid_panel_width(self):
+        from repro.algorithms import cholesky_program
+
+        with pytest.raises(ValueError):
+            cholesky_program(4, 16, panel_width=0)
+
+    def test_wide_panels_change_makespan(self):
+        from repro.algorithms import cholesky_program
+
+        machine = get_machine("magny_cours_48")
+        base = QuarkScheduler(48).run(
+            cholesky_program(16, 200), MachineBackend(machine), seed=1
+        )
+        wide = QuarkScheduler(48).run(
+            cholesky_program(16, 200, panel_width=4), MachineBackend(machine), seed=1
+        )
+        assert wide.makespan != base.makespan
+
+    def test_simulator_tracks_panel_width_effect(self):
+        """The simulator predicts the benefit/cost of multi-threaded panels."""
+        from repro.algorithms import cholesky_program
+        from repro.core.simulator import validate
+        from repro.machine import calibrate
+
+        machine = get_machine("magny_cours_48")
+        for width in (1, 4):
+            models, _ = calibrate(
+                cholesky_program(12, 200, panel_width=width),
+                QuarkScheduler(48),
+                machine,
+                seed=0,
+            )
+            result = validate(
+                cholesky_program(14, 200, panel_width=width),
+                QuarkScheduler(48),
+                machine,
+                models,
+                warmup_penalty=machine.warmup_penalty,
+            )
+            # Small problem: allow the paper's full ~16 % error envelope.
+            assert result.error_percent < 16.0
+
+
+class TestTraceWidthAccounting:
+    def test_busy_time_counts_cores(self):
+        tr = Trace(4)
+        tr.record(0, 0, "K", 0.0, 1.0, width=3)
+        assert tr.busy_time() == pytest.approx(3.0)
+        assert tr.busy_time(1) == pytest.approx(1.0)
+        assert tr.busy_time(3) == 0.0
+
+    def test_rows_show_event_on_every_worker(self):
+        tr = Trace(4)
+        tr.record(1, 0, "K", 0.0, 1.0, width=2)
+        rows = tr.rows()
+        assert len(rows[1]) == 1 and len(rows[2]) == 1
+        assert rows[0] == [] and rows[3] == []
+
+    def test_validate_detects_gang_overlap(self):
+        tr = Trace(4)
+        tr.record(0, 0, "K", 0.0, 1.0, width=3)
+        tr.record(2, 1, "K", 0.5, 1.5)  # collides with the gang on worker 2
+        with pytest.raises(ValueError, match="overlapping"):
+            tr.validate()
+
+    def test_record_range_check_includes_width(self):
+        tr = Trace(4)
+        with pytest.raises(ValueError):
+            tr.record(3, 0, "K", 0.0, 1.0, width=2)
+
+    def test_svg_spans_lanes(self):
+        from repro.trace.svg import render_svg
+
+        tr = Trace(4)
+        tr.record(0, 0, "DGEMM", 0.0, 1.0, width=4)
+        svg = render_svg(tr)
+        assert 'height="62"' in svg  # 4 lanes x 14 + 3 gaps x 2
+
+    def test_threaded_runtime_rejects_wide_tasks(self):
+        prog = _wide_program([2])
+        rt = ThreadedRuntime(4, mode="simulate")
+        with pytest.raises(NotImplementedError, match="multi-threaded"):
+            rt.run(prog, models=_models())

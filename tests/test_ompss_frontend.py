@@ -1,0 +1,121 @@
+"""Tests for the OmpSs pragma-style decorator front-end."""
+
+import pytest
+
+from repro.core.task import AccessMode, DataRegistry
+from repro.schedulers.ompss import TaskContext, task
+
+
+@task(in_=("a",), inout=("b",))
+def axpy(a, b, flops=0.0):
+    """b += a (stand-in body)."""
+
+
+@task(out=("c",), kernel="MYGEMM", priority=7)
+def produce(c):
+    """c = something."""
+
+
+class TestDecorator:
+    def test_submission_records_task(self):
+        reg = DataRegistry()
+        a = reg.alloc("a", 64, key=("a",))
+        b = reg.alloc("b", 64, key=("b",))
+        with TaskContext("prog") as ctx:
+            spec = axpy(a, b, flops=123.0)
+        assert len(ctx.program) == 1
+        assert spec.kernel == "AXPY"
+        assert spec.flops == 123.0
+        modes = {acc.ref.key: acc.mode for acc in spec.accesses}
+        assert modes[("a",)] is AccessMode.READ
+        assert modes[("b",)] is AccessMode.RW
+
+    def test_kernel_name_and_priority_override(self):
+        reg = DataRegistry()
+        c = reg.alloc("c", 64, key=("c",))
+        with TaskContext("prog") as ctx:
+            spec = produce(c)
+        assert spec.kernel == "MYGEMM"
+        assert spec.priority == 7
+
+    def test_dependences_flow_through_context(self):
+        reg = DataRegistry()
+        a = reg.alloc("a", 64, key=("a",))
+        b = reg.alloc("b", 64, key=("b",))
+        with TaskContext("prog") as ctx:
+            produce_spec = None
+
+            @task(out=("x",))
+            def w(x):
+                pass
+
+            @task(in_=("x",), out=("y",))
+            def r(x, y):
+                pass
+
+            w(a)
+            r(a, b)
+        from repro.schedulers.taskdep import HazardTracker
+
+        tracker = HazardTracker()
+        for t_ in ctx.program:
+            tracker.add_task(t_)
+        assert tracker.predecessors(1) == {0}
+
+    def test_call_outside_context_rejected(self):
+        reg = DataRegistry()
+        a = reg.alloc("a", 64, key=("a",))
+        b = reg.alloc("b", 64, key=("b",))
+        with pytest.raises(RuntimeError, match="no active TaskContext"):
+            axpy(a, b)
+
+    def test_non_dataref_argument_rejected(self):
+        reg = DataRegistry()
+        b = reg.alloc("b", 64, key=("b",))
+        with TaskContext("prog"):
+            with pytest.raises(TypeError, match="must be a DataRef"):
+                axpy("not-a-ref", b)
+
+    def test_context_does_not_nest(self):
+        with TaskContext("outer"):
+            with pytest.raises(RuntimeError, match="does not nest"):
+                with TaskContext("inner"):
+                    pass
+
+    def test_unknown_parameter_annotation_rejected(self):
+        with pytest.raises(ValueError, match="not in signature"):
+
+            @task(in_=("nope",))
+            def f(a):
+                pass
+
+    def test_double_annotation_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            task(in_=("a",), out=("a",))
+
+    def test_wrapped_body_preserved(self):
+        assert axpy.__wrapped_task__.__doc__.startswith("b += a")
+
+    def test_program_runs_on_scheduler(self):
+        from repro.core.simbackend import SimulationBackend
+        from repro.kernels.distributions import ConstantModel
+        from repro.kernels.timing import KernelModelSet
+        from repro.schedulers import OmpSsScheduler
+
+        reg = DataRegistry()
+        refs = [reg.alloc(f"v{i}", 64, key=(f"v{i}",)) for i in range(4)]
+        with TaskContext("pipeline") as ctx:
+            for i in range(3):
+
+                @task(in_=("src",), out=("dst",))
+                def step(src, dst):
+                    pass
+
+                step(refs[i], refs[i + 1])
+        ctx.program.registry = reg  # share the registry used for refs
+        models = KernelModelSet(models={"STEP": ConstantModel(1e-3)})
+        trace = OmpSsScheduler(2).run(ctx.program, SimulationBackend(models), seed=0)
+        trace.validate()
+        assert len(trace) == 3
+        # A chain: completion order must follow the dependence chain.
+        assert trace.completion_order() == [0, 1, 2]

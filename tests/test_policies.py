@@ -1,0 +1,136 @@
+"""Tests for ready-queue disciplines and the history performance model."""
+
+import pytest
+
+from repro.core.task import DataRegistry, TaskSpec
+from repro.schedulers.base import TaskNode
+from repro.schedulers.policies import (
+    FifoQueue,
+    HistoryPerfModel,
+    LifoQueue,
+    PriorityQueue,
+    WorkStealingDeques,
+)
+
+
+def _node(task_id, priority=0, kernel="K"):
+    ref = DataRegistry().alloc("x", 64)
+    spec = TaskSpec(kernel, (ref.rw(),), priority=priority)
+    spec.task_id = task_id
+    return TaskNode(spec)
+
+
+class TestFifo:
+    def test_order(self):
+        q = FifoQueue()
+        for i in range(3):
+            q.push(_node(i))
+        assert [q.pop().task_id for _ in range(3)] == [0, 1, 2]
+
+    def test_empty_pop_none(self):
+        assert FifoQueue().pop() is None
+
+    def test_len(self):
+        q = FifoQueue()
+        q.push(_node(0))
+        assert len(q) == 1
+
+
+class TestLifo:
+    def test_order(self):
+        q = LifoQueue()
+        for i in range(3):
+            q.push(_node(i))
+        assert [q.pop().task_id for _ in range(3)] == [2, 1, 0]
+
+    def test_empty_pop_none(self):
+        assert LifoQueue().pop() is None
+
+
+class TestPriority:
+    def test_higher_priority_first(self):
+        q = PriorityQueue()
+        q.push(_node(0, priority=1))
+        q.push(_node(1, priority=5))
+        q.push(_node(2, priority=3))
+        assert [q.pop().task_id for _ in range(3)] == [1, 2, 0]
+
+    def test_fifo_within_priority(self):
+        q = PriorityQueue()
+        for i in range(4):
+            q.push(_node(i, priority=2))
+        assert [q.pop().task_id for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_empty_pop_none(self):
+        assert PriorityQueue().pop() is None
+
+
+class TestWorkStealing:
+    def test_owner_lifo(self):
+        ws = WorkStealingDeques(2)
+        ws.push(0, _node(0))
+        ws.push(0, _node(1))
+        assert ws.pop_local(0).task_id == 1
+
+    def test_thief_steals_oldest(self):
+        ws = WorkStealingDeques(2)
+        ws.push(0, _node(0))
+        ws.push(0, _node(1))
+        assert ws.steal(1).task_id == 0
+
+    def test_steal_from_richest(self):
+        ws = WorkStealingDeques(3)
+        ws.push(0, _node(0))
+        ws.push(1, _node(1))
+        ws.push(1, _node(2))
+        assert ws.steal(2).task_id == 1  # worker 1 is richest; oldest task
+
+    def test_no_self_steal(self):
+        ws = WorkStealingDeques(2)
+        ws.push(1, _node(0))
+        assert ws.steal(1) is None
+
+    def test_pop_falls_back_to_steal(self):
+        ws = WorkStealingDeques(2)
+        ws.push(0, _node(0))
+        assert ws.pop(1).task_id == 0
+
+    def test_len_and_queue_length(self):
+        ws = WorkStealingDeques(2)
+        ws.push(0, _node(0))
+        ws.push(1, _node(1))
+        assert len(ws) == 2
+        assert ws.queue_length(0) == 1
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            WorkStealingDeques(0)
+
+
+class TestHistoryPerfModel:
+    def test_default_before_observations(self):
+        m = HistoryPerfModel(default=5e-5)
+        assert m.expected("DGEMM") == 5e-5
+        assert m.observations("DGEMM") == 0
+
+    def test_running_mean(self):
+        m = HistoryPerfModel()
+        for d in (1.0, 2.0, 3.0):
+            m.update("K", d)
+        assert m.expected("K") == pytest.approx(2.0)
+        assert m.observations("K") == 3
+
+    def test_kernels_independent(self):
+        m = HistoryPerfModel()
+        m.update("A", 1.0)
+        m.update("B", 9.0)
+        assert m.expected("A") == 1.0
+        assert m.expected("B") == 9.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            HistoryPerfModel().update("K", -1.0)
+
+    def test_nonpositive_default_rejected(self):
+        with pytest.raises(ValueError):
+            HistoryPerfModel(default=0.0)

@@ -1,0 +1,163 @@
+"""System-level property tests (Hypothesis) across schedulers and backends.
+
+These are the load-bearing invariants of the whole stack, checked on
+randomly generated programs, scheduler configurations, and machines:
+
+* every task runs exactly once, on exactly one (gang of) worker(s);
+* no dependence is ever violated, under any scheduler/policy/window;
+* traces are physically consistent (no per-worker overlap);
+* runs are a pure function of the seed;
+* the makespan respects the DAG lower bound.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.simbackend import SimulationBackend
+from repro.core.task import Program
+from repro.dag import build_dag, makespan_lower_bound, simple_dag
+from repro.kernels.distributions import LognormalModel
+from repro.kernels.timing import KernelModelSet
+from repro.machine import MachineBackend, get_machine
+from repro.schedulers import OmpSsScheduler, QuarkScheduler, StarPUScheduler
+
+KERNELS = ("KA", "KB", "KC")
+
+
+@st.composite
+def random_programs(draw):
+    """Random superscalar programs with mixed access modes and widths."""
+    n_refs = draw(st.integers(min_value=1, max_value=5))
+    n_tasks = draw(st.integers(min_value=1, max_value=25))
+    prog = Program("random", meta={"nb": 1})
+    refs = [
+        prog.registry.alloc(f"r{i}", 4096, key=(f"r{i}",)) for i in range(n_refs)
+    ]
+    for _ in range(n_tasks):
+        n_acc = draw(st.integers(min_value=1, max_value=min(3, n_refs)))
+        chosen = draw(
+            st.lists(
+                st.integers(0, n_refs - 1), min_size=n_acc, max_size=n_acc, unique=True
+            )
+        )
+        accesses = []
+        for ri in chosen:
+            mode = draw(st.sampled_from(["r", "w", "rw"]))
+            accesses.append(
+                {"r": refs[ri].read(), "w": refs[ri].write(), "rw": refs[ri].rw()}[mode]
+            )
+        kernel = draw(st.sampled_from(KERNELS))
+        flops = draw(st.floats(min_value=1e3, max_value=1e7))
+        spec = prog.add_task(kernel, accesses, flops=flops,
+                             priority=draw(st.integers(0, 5)))
+        spec.width = draw(st.sampled_from([1, 1, 1, 2]))
+    return prog
+
+
+@st.composite
+def random_schedulers(draw):
+    n_workers = draw(st.integers(min_value=2, max_value=6))
+    window = draw(st.sampled_from([2, 8, 64, 1024]))
+    kind = draw(st.sampled_from(["quark", "starpu", "ompss"]))
+    if kind == "quark":
+        return QuarkScheduler(
+            n_workers, window=window, queue=draw(st.sampled_from(["priority", "lifo"]))
+        )
+    if kind == "starpu":
+        return StarPUScheduler(
+            n_workers,
+            window=window,
+            policy=draw(st.sampled_from(["eager", "prio", "ws", "dmda"])),
+        )
+    return OmpSsScheduler(
+        n_workers,
+        window=window,
+        immediate_successor=draw(st.booleans()),
+        queue=draw(st.sampled_from(["fifo", "priority"])),
+    )
+
+
+def _models(seed=0):
+    rng = np.random.default_rng(seed)
+    return KernelModelSet(
+        models={
+            k: LognormalModel(mu_log=float(rng.uniform(-9, -7)), sigma_log=0.2)
+            for k in KERNELS
+        }
+    )
+
+
+class TestSchedulingInvariants:
+    @given(prog=random_programs(), sched=random_schedulers(), seed=st.integers(0, 99))
+    @settings(max_examples=80, deadline=None)
+    def test_every_scheduler_respects_all_invariants(self, prog, sched, seed):
+        trace = sched.run(prog, SimulationBackend(_models()), seed=seed)
+        # 1. completeness + physical consistency (overlap, duplicates, gangs)
+        trace.validate()
+        assert sorted(e.task_id for e in trace.events) == list(range(len(prog)))
+        # 2. dependences
+        starts = {e.task_id: e.start for e in trace.events}
+        ends = {e.task_id: e.end for e in trace.events}
+        for src, dst in simple_dag(build_dag(prog)).edges():
+            assert starts[dst] >= ends[src] - 1e-12
+        # 3. widths preserved
+        for e in trace.events:
+            assert e.width == prog[e.task_id].width
+
+    @given(prog=random_programs(), seed=st.integers(0, 99))
+    @settings(max_examples=30, deadline=None)
+    def test_runs_are_seed_deterministic(self, prog, seed):
+        machine = get_machine("smp_8")
+        t1 = QuarkScheduler(4).run(prog, MachineBackend(machine), seed=seed)
+        t2 = QuarkScheduler(4).run(prog, MachineBackend(machine), seed=seed)
+        assert t1.events == t2.events
+
+    @given(prog=random_programs(), seed=st.integers(0, 99))
+    @settings(max_examples=30, deadline=None)
+    def test_makespan_respects_dag_lower_bound(self, prog, seed):
+        models = _models()
+        sched = OmpSsScheduler(4, insert_cost=0.0, dispatch_overhead=0.0)
+        trace = sched.run(prog, SimulationBackend(models), seed=seed)
+        # Lower bound with the minimum possible duration per kernel: since
+        # lognormal draws vary, bound with a tiny epsilon of the mean.
+        weights = {k: models.models[k].mean * 0.3 for k in KERNELS}
+        bound = makespan_lower_bound(build_dag(prog), 4, weights)
+        assert trace.makespan >= bound - 1e-12
+
+    @given(prog=random_programs())
+    @settings(max_examples=20, deadline=None)
+    def test_window_one_serialises_any_program(self, prog):
+        sched = OmpSsScheduler(4, window=1, insert_cost=0.0, dispatch_overhead=0.0)
+        trace = sched.run(prog, SimulationBackend(_models()), seed=0)
+        # With a single-task window there is never temporal overlap.
+        events = sorted(trace.events)
+        for a, b in zip(events, events[1:]):
+            assert b.start >= a.end - 1e-12
+
+    @given(prog=random_programs(), seed=st.integers(0, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_machine_backend_invariants(self, prog, seed):
+        machine = get_machine("magny_cours_48")
+        trace = QuarkScheduler(8).run(prog, MachineBackend(machine), seed=seed)
+        trace.validate()
+        assert all(e.duration > 0 for e in trace.events)
+
+
+class TestStaticScheduleProperty:
+    @given(prog=random_programs(), workers=st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_list_schedule_valid_on_random_programs(self, prog, workers):
+        from repro.dag import list_schedule
+
+        if any(t.width > workers for t in prog):
+            return  # cannot place the gang; covered by the error-path test
+        costs = {k: 1e-3 for k in KERNELS}
+        sched = list_schedule(prog, workers, costs)
+        sched.trace.validate()
+        assert len(sched.trace) == len(prog)
+        starts = {e.task_id: e.start for e in sched.trace.events}
+        ends = {e.task_id: e.end for e in sched.trace.events}
+        for src, dst in simple_dag(build_dag(prog)).edges():
+            assert starts[dst] >= ends[src] - 1e-12

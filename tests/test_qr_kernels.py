@@ -1,0 +1,180 @@
+"""Numeric correctness of the structured tile QR kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.qr import build_q, geqrt, householder, ormqr, tsmqr, tsqrt
+
+
+def _rand(n, seed=0):
+    return np.random.default_rng(seed).standard_normal((n, n))
+
+
+class TestHouseholder:
+    def test_annihilates_tail(self):
+        x = np.array([3.0, 4.0, 0.0, 12.0])
+        v, tau, beta = householder(x)
+        h = np.eye(4) - tau * np.outer(v, v)
+        y = h @ x
+        assert y[0] == pytest.approx(beta)
+        assert np.allclose(y[1:], 0.0, atol=1e-12)
+
+    def test_norm_preserved(self):
+        x = np.array([1.0, 2.0, 2.0])
+        _, _, beta = householder(x)
+        assert abs(beta) == pytest.approx(np.linalg.norm(x))
+
+    def test_reflector_is_orthogonal(self):
+        x = np.array([1.0, -2.0, 0.5])
+        v, tau, _ = householder(x)
+        h = np.eye(3) - tau * np.outer(v, v)
+        assert np.allclose(h @ h.T, np.eye(3), atol=1e-12)
+
+    def test_zero_tail_gives_identity(self):
+        v, tau, beta = householder(np.array([5.0, 0.0, 0.0]))
+        assert tau == 0.0 and beta == 5.0
+
+    def test_unit_leading_element(self):
+        v, _, _ = householder(np.array([2.0, 1.0]))
+        assert v[0] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            householder(np.array([]))
+
+
+class TestGeqrt:
+    def test_q_is_orthogonal(self):
+        n = 8
+        a = _rand(n, 1)
+        t = np.zeros((n, n))
+        geqrt(a, t)
+        q = build_q(a, t)
+        assert np.allclose(q.T @ q, np.eye(n), atol=1e-10)
+
+    def test_a_equals_qr(self):
+        n = 8
+        a0 = _rand(n, 2)
+        a = a0.copy()
+        t = np.zeros((n, n))
+        geqrt(a, t)
+        q = build_q(a, t)
+        r = np.triu(a)
+        assert np.allclose(q @ r, a0, atol=1e-10)
+
+    def test_r_diagonal_magnitude_matches_numpy(self):
+        n = 6
+        a0 = _rand(n, 3)
+        a = a0.copy()
+        geqrt(a, np.zeros((n, n)))
+        _, r_ref = np.linalg.qr(a0)
+        assert np.allclose(np.abs(np.diag(a)), np.abs(np.diag(r_ref)), atol=1e-10)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            geqrt(np.zeros((4, 4)), np.zeros((3, 3)))
+
+
+class TestOrmqr:
+    def test_applies_qt(self):
+        n = 7
+        a0, c0 = _rand(n, 4), _rand(n, 5)
+        a, t = a0.copy(), np.zeros((n, n))
+        geqrt(a, t)
+        q = build_q(a, t)
+        c = c0.copy()
+        ormqr(a, t, c)
+        assert np.allclose(c, q.T @ c0, atol=1e-10)
+
+    def test_identity_on_q_columns(self):
+        # Q^T Q = I, so applying ormqr to Q itself gives the identity.
+        n = 5
+        a, t = _rand(n, 6), np.zeros((n, n))
+        geqrt(a, t)
+        q = build_q(a, t)
+        c = q.copy()
+        ormqr(a, t, c)
+        assert np.allclose(c, np.eye(n), atol=1e-10)
+
+
+class TestTsqrt:
+    def test_stacked_factorization(self):
+        n = 6
+        a0 = _rand(n, 7)
+        # First factor the top tile, then stack a second tile under its R.
+        top = a0.copy()
+        t_top = np.zeros((n, n))
+        geqrt(top, t_top)
+        r = np.triu(top).copy()
+        r0 = r.copy()
+        a2 = _rand(n, 8)
+        a2_0 = a2.copy()
+        t = np.zeros((n, n))
+        tsqrt(r, a2, t)
+        # The 2n x n stack [r0; a2_0] must equal Q [r_new; 0].
+        v = np.vstack([np.eye(n), a2])  # structured reflectors
+        q = np.eye(2 * n) - v @ t @ v.T
+        stacked = np.vstack([r0, a2_0])
+        reconstructed = q @ np.vstack([np.triu(r), np.zeros((n, n))])
+        assert np.allclose(reconstructed, stacked, atol=1e-10)
+
+    def test_q_orthogonal(self):
+        n = 5
+        r = np.triu(_rand(n, 9))
+        a2 = _rand(n, 10)
+        t = np.zeros((n, n))
+        tsqrt(r, a2, t)
+        v = np.vstack([np.eye(n), a2])
+        q = np.eye(2 * n) - v @ t @ v.T
+        assert np.allclose(q.T @ q, np.eye(2 * n), atol=1e-10)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            tsqrt(np.zeros((4, 4)), np.zeros((4, 4)), np.zeros((5, 5)))
+
+
+class TestTsmqr:
+    def test_applies_stacked_qt(self):
+        n = 5
+        r = np.triu(_rand(n, 11))
+        v2_src = _rand(n, 12)
+        t = np.zeros((n, n))
+        tsqrt(r, v2_src, t)  # v2_src now holds V2
+        a1_0, a2_0 = _rand(n, 13), _rand(n, 14)
+        a1, a2 = a1_0.copy(), a2_0.copy()
+        tsmqr(a1, a2, v2_src, t)
+        v = np.vstack([np.eye(n), v2_src])
+        q = np.eye(2 * n) - v @ t @ v.T
+        expect = q.T @ np.vstack([a1_0, a2_0])
+        assert np.allclose(np.vstack([a1, a2]), expect, atol=1e-10)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            tsmqr(np.zeros((4, 4)), np.zeros((4, 4)), np.zeros((4, 4)), np.zeros((3, 3)))
+
+
+class TestPropertyBased:
+    @given(n=st.integers(min_value=1, max_value=10), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_geqrt_qr_identity(self, n, seed):
+        a0 = np.random.default_rng(seed).standard_normal((n, n))
+        a, t = a0.copy(), np.zeros((n, n))
+        geqrt(a, t)
+        q = build_q(a, t)
+        assert np.allclose(q @ np.triu(a), a0, atol=1e-8)
+        assert np.allclose(q.T @ q, np.eye(n), atol=1e-8)
+
+    @given(n=st.integers(min_value=1, max_value=8), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_tsqrt_preserves_gram_matrix(self, n, seed):
+        # Orthogonal transformation: R_new^T R_new == R^T R + A2^T A2.
+        rng = np.random.default_rng(seed)
+        r = np.triu(rng.standard_normal((n, n)))
+        a2 = rng.standard_normal((n, n))
+        gram = r.T @ r + a2.T @ a2
+        t = np.zeros((n, n))
+        tsqrt(r, a2, t)
+        r_new = np.triu(r)
+        assert np.allclose(r_new.T @ r_new, gram, atol=1e-8)

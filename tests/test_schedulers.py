@@ -1,0 +1,190 @@
+"""Scheduler-specific behaviour tests (QUARK / StarPU / OmpSs)."""
+
+import pytest
+
+from repro.core.simbackend import SimulationBackend
+from repro.core.task import Program
+from repro.kernels.distributions import ConstantModel
+from repro.kernels.timing import KernelModelSet
+from repro.schedulers import (
+    Codelet,
+    HistoryPerfModel,
+    OmpSsScheduler,
+    QuarkScheduler,
+    StarPUScheduler,
+    make_scheduler,
+)
+
+
+def _models(kernels, duration=1e-3):
+    return KernelModelSet(models={k: ConstantModel(duration) for k in kernels})
+
+
+def _independent_tasks(kernels):
+    prog = Program("indep")
+    for i, kernel in enumerate(kernels):
+        ref = prog.registry.alloc(f"x{i}", 64, key=(f"x{i}",))
+        prog.add_task(kernel, [ref.write()], priority=i)
+    return prog
+
+
+class TestFactory:
+    def test_make_scheduler_names(self):
+        assert isinstance(make_scheduler("quark", 4), QuarkScheduler)
+        assert isinstance(make_scheduler("starpu", 4), StarPUScheduler)
+        assert isinstance(make_scheduler("ompss", 4), OmpSsScheduler)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_scheduler("cilk", 4)
+
+    def test_kwargs_forwarded(self):
+        sched = make_scheduler("starpu", 4, policy="dmda")
+        assert sched.policy == "dmda"
+
+
+class TestQuark:
+    def test_priority_queue_orders_ready_tasks(self):
+        # One worker, independent tasks with increasing priority: execution
+        # must be highest-priority-first among simultaneously-ready tasks.
+        prog = _independent_tasks(["K"] * 5)
+        sched = QuarkScheduler(1, insert_cost=0.0, dispatch_overhead=0.0,
+                               completion_cost=0.0)
+        trace = sched.run(prog, SimulationBackend(_models(["K"])), seed=0)
+        # All five are inserted at t=0; task 4 has the highest priority.
+        order = [e.task_id for e in sorted(trace.events)]
+        assert order == [4, 3, 2, 1, 0]
+
+    def test_lifo_queue_option(self):
+        prog = _independent_tasks(["K"] * 4)
+        sched = QuarkScheduler(1, queue="lifo", insert_cost=0.0,
+                               dispatch_overhead=0.0, completion_cost=0.0)
+        trace = sched.run(prog, SimulationBackend(_models(["K"])), seed=0)
+        assert [e.task_id for e in sorted(trace.events)] == [3, 2, 1, 0]
+
+    def test_invalid_queue_rejected(self):
+        with pytest.raises(ValueError):
+            QuarkScheduler(2, queue="random")
+
+    def test_quiesce_counters_balanced_after_run(self):
+        sched = QuarkScheduler(2)
+        prog = _independent_tasks(["K"] * 6)
+        sched.run(prog, SimulationBackend(_models(["K"])), seed=0)
+        assert sched.bookkeeping_complete()
+
+    def test_master_is_worker_flag(self):
+        assert QuarkScheduler(2).master_is_worker is True
+
+
+class TestStarPU:
+    def test_all_policies_complete(self):
+        from repro.algorithms import cholesky_program
+
+        prog_kernels = ("DPOTRF", "DTRSM", "DSYRK", "DGEMM")
+        for policy in ("eager", "prio", "ws", "dmda"):
+            prog = cholesky_program(5, 16)
+            sched = StarPUScheduler(4, policy=policy)
+            trace = sched.run(prog, SimulationBackend(_models(prog_kernels)), seed=0)
+            trace.validate()
+            assert len(trace) == len(prog)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown StarPU policy"):
+            StarPUScheduler(2, policy="heft")
+
+    def test_perf_model_learns_during_run(self):
+        prog = _independent_tasks(["KA"] * 3 + ["KB"] * 3)
+        sched = StarPUScheduler(2, policy="dmda")
+        models = KernelModelSet(
+            models={"KA": ConstantModel(1e-3), "KB": ConstantModel(4e-3)}
+        )
+        sched.run(prog, SimulationBackend(models), seed=0)
+        assert sched.perf_model.expected("KA") == pytest.approx(1e-3, rel=1e-6)
+        assert sched.perf_model.expected("KB") == pytest.approx(4e-3, rel=1e-6)
+        assert sched.perf_model.observations("KA") == 3
+
+    def test_perf_model_resets_between_runs(self):
+        prog = _independent_tasks(["KA"] * 2)
+        sched = StarPUScheduler(2, policy="eager")
+        sched.run(prog, SimulationBackend(_models(["KA"])), seed=0)
+        first = sched.perf_model.observations("KA")
+        sched.run(_independent_tasks(["KA"] * 2), SimulationBackend(_models(["KA"])), seed=0)
+        assert sched.perf_model.observations("KA") == first
+
+    def test_eager_is_fifo(self):
+        prog = _independent_tasks(["K"] * 4)  # priorities 0..3
+        sched = StarPUScheduler(1, policy="eager", insert_cost=0.0,
+                                dispatch_overhead=0.0)
+        trace = sched.run(prog, SimulationBackend(_models(["K"])), seed=0)
+        assert [e.task_id for e in sorted(trace.events)] == [0, 1, 2, 3]
+
+    def test_prio_respects_priorities(self):
+        # Task 0 dispatches the instant it is inserted (the worker is idle);
+        # the rest queue while it runs and pop highest-priority-first.
+        prog = _independent_tasks(["K"] * 4)
+        sched = StarPUScheduler(1, policy="prio", insert_cost=0.0,
+                                dispatch_overhead=0.0)
+        trace = sched.run(prog, SimulationBackend(_models(["K"])), seed=0)
+        assert [e.task_id for e in sorted(trace.events)] == [0, 3, 2, 1]
+
+    def test_dmda_balances_independent_tasks(self):
+        prog = _independent_tasks(["K"] * 8)
+        sched = StarPUScheduler(4, policy="dmda", insert_cost=0.0)
+        trace = sched.run(prog, SimulationBackend(_models(["K"])), seed=0)
+        assert trace.tasks_per_worker() == [2, 2, 2, 2]
+
+    def test_codelet_expected_duration(self):
+        model = HistoryPerfModel(default=1e-4)
+        model.update("GEMM", 2e-3)
+        cl = Codelet("GEMM")
+        assert cl.expected(model) == pytest.approx(2e-3)
+        own = HistoryPerfModel(default=9e-4)
+        assert Codelet("GEMM", model=own).expected(model) == pytest.approx(9e-4)
+
+    def test_master_not_worker(self):
+        assert StarPUScheduler(2).master_is_worker is False
+
+
+class TestOmpSs:
+    def test_immediate_successor_keeps_chain_on_one_worker(self):
+        # A pure chain: with the immediate-successor optimisation, the worker
+        # that completes task i runs task i+1 directly.
+        prog = Program("chain")
+        x = prog.registry.alloc("x", 64)
+        for _ in range(6):
+            prog.add_task("K", [x.rw()])
+        sched = OmpSsScheduler(4, immediate_successor=True)
+        trace = sched.run(prog, SimulationBackend(_models(["K"])), seed=0)
+        workers = {e.worker for e in trace.events}
+        assert len(workers) == 1
+
+    def test_successor_bypass_disabled(self):
+        sched = OmpSsScheduler(4, immediate_successor=False)
+        assert sched.immediate_successor is False
+
+    def test_invalid_queue_rejected(self):
+        with pytest.raises(ValueError):
+            OmpSsScheduler(2, queue="deque")
+
+    def test_priority_queue_option(self):
+        # As with StarPU prio: the first task dispatches on insertion, the
+        # remainder drain in priority order.
+        prog = _independent_tasks(["K"] * 4)
+        sched = OmpSsScheduler(1, queue="priority", insert_cost=0.0,
+                               dispatch_overhead=0.0)
+        trace = sched.run(prog, SimulationBackend(_models(["K"])), seed=0)
+        assert [e.task_id for e in sorted(trace.events)] == [0, 3, 2, 1]
+
+    def test_no_task_lost_via_bounce_slots(self):
+        # Diamond: 1 root, 2 middles released to the same worker, 1 join.
+        prog = Program("diamond")
+        a = prog.registry.alloc("a", 64, key=("a",))
+        b = prog.registry.alloc("b", 64, key=("b",))
+        c = prog.registry.alloc("c", 64, key=("c",))
+        prog.add_task("K", [a.write()])
+        prog.add_task("K", [a.read(), b.write()])
+        prog.add_task("K", [a.read(), c.write()])
+        prog.add_task("K", [b.read(), c.read()])
+        trace = OmpSsScheduler(3).run(prog, SimulationBackend(_models(["K"])), seed=0)
+        trace.validate()
+        assert len(trace) == 4

@@ -1,0 +1,158 @@
+"""Tests for the high-level simulate/run_real/validate API and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import cholesky_program, qr_program
+from repro.core.simbackend import SimulationBackend
+from repro.core.simulator import run_real, simulate, validate
+from repro.kernels.distributions import ConstantModel
+from repro.kernels.timing import KernelModelSet
+from repro.machine import (
+    MachineBackend,
+    calibrate,
+    calibration_run,
+    collect_samples,
+    get_machine,
+)
+from repro.schedulers import QuarkScheduler
+
+
+class TestSimulationBackend:
+    def test_requires_reset(self):
+        backend = SimulationBackend(KernelModelSet(models={"K": ConstantModel(1.0)}))
+        from repro.core.task import DataRegistry, TaskSpec
+        from repro.schedulers.base import TaskNode
+
+        spec = TaskSpec("K", (DataRegistry().alloc("x", 8).rw(),))
+        spec.task_id = 0
+        with pytest.raises(RuntimeError, match="reset"):
+            backend.duration(TaskNode(spec), 0, 0.0, 1)
+
+    def test_warmup_penalty_first_task_per_worker(self):
+        backend = SimulationBackend(
+            KernelModelSet(models={"K": ConstantModel(1e-3)}), warmup_penalty=5e-3
+        )
+        backend.reset(np.random.default_rng(0), 2)
+        from repro.core.task import DataRegistry, TaskSpec
+        from repro.schedulers.base import TaskNode
+
+        spec = TaskSpec("K", (DataRegistry().alloc("x", 8).rw(),))
+        spec.task_id = 0
+        node = TaskNode(spec)
+        assert backend.duration(node, 0, 0.0, 1) == pytest.approx(6e-3)
+        assert backend.duration(node, 0, 0.0, 1) == pytest.approx(1e-3)
+        assert backend.duration(node, 1, 0.0, 1) == pytest.approx(6e-3)
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationBackend(KernelModelSet(), warmup_penalty=-1.0)
+
+
+class TestCalibration:
+    def test_collect_samples_groups_by_kernel(self, noisy_machine):
+        prog = cholesky_program(5, 64)
+        trace = calibration_run(prog, QuarkScheduler(8), noisy_machine, seed=0)
+        samples = collect_samples(trace, drop_first_per_worker=False)
+        counts = prog.kernel_counts()
+        assert {k: len(v) for k, v in samples.items()} == counts
+
+    def test_drop_first_per_worker(self, noisy_machine):
+        prog = cholesky_program(5, 64)
+        trace = calibration_run(prog, QuarkScheduler(8), noisy_machine, seed=0)
+        kept = collect_samples(trace, drop_first_per_worker=True)
+        total_kept = sum(len(v) for v in kept.values())
+        busy_workers = sum(1 for c in trace.tasks_per_worker() if c > 0)
+        assert total_kept == len(prog) - busy_workers
+
+    def test_drop_first_removes_warmup_outliers(self, noisy_machine):
+        # With the warm-up penalty active, each worker's first kernel is much
+        # longer; dropping them should lower the DGEMM mean.
+        prog = cholesky_program(8, 64)
+        trace = calibration_run(prog, QuarkScheduler(8), noisy_machine, seed=0)
+        with_first = collect_samples(trace, drop_first_per_worker=False)
+        without = collect_samples(trace, drop_first_per_worker=True)
+        assert np.mean(without["DGEMM"]) <= np.mean(with_first["DGEMM"])
+
+    def test_calibrate_returns_models_for_all_kernels(self, noisy_machine):
+        models, trace = calibrate(
+            cholesky_program(5, 64), QuarkScheduler(8), noisy_machine, seed=0
+        )
+        assert set(models.kernels()) == {"DPOTRF", "DTRSM", "DSYRK", "DGEMM"}
+        assert len(trace) == len(cholesky_program(5, 64))
+
+    def test_calibrate_best_family(self, noisy_machine):
+        models, _ = calibrate(
+            cholesky_program(5, 64),
+            QuarkScheduler(8),
+            noisy_machine,
+            family="best",
+            seed=0,
+        )
+        assert models.family == "best"
+
+    def test_empty_program_rejected(self, noisy_machine):
+        from repro.core.task import Program
+
+        with pytest.raises(ValueError, match="no samples"):
+            calibrate(Program("empty"), QuarkScheduler(2), noisy_machine)
+
+
+class TestValidateApi:
+    def test_run_real_accepts_machine_name_object_backend(self):
+        prog = cholesky_program(3, 32)
+        for machine in ("uniform_4", get_machine("uniform_4"), MachineBackend("uniform_4")):
+            trace = run_real(cholesky_program(3, 32), QuarkScheduler(4), machine)
+            assert trace.meta["mode"] == "real"
+            assert len(trace) == len(prog)
+
+    def test_simulate_mode_meta(self, constant_models):
+        trace = simulate(cholesky_program(3, 32), QuarkScheduler(4), constant_models)
+        assert trace.meta["mode"] == "simulated"
+
+    def test_validate_small_error_on_quiet_machine(self):
+        """On a noise-free machine with saturating calibration the simulator
+        should predict the makespan almost exactly."""
+        machine = get_machine("uniform_4")
+        sched = QuarkScheduler(4)
+        models, _ = calibrate(cholesky_program(8, 64), sched, machine, family="normal")
+        result = validate(
+            cholesky_program(8, 64), QuarkScheduler(4), machine, models
+        )
+        assert result.error_percent < 2.0
+        assert result.comparison.order_similarity > 0.9
+
+    def test_validate_reports_gflops(self, noisy_machine, calibrated_qr_models):
+        result = validate(
+            qr_program(8, 180),
+            QuarkScheduler(48),
+            noisy_machine,
+            calibrated_qr_models,
+            warmup_penalty=noisy_machine.warmup_penalty,
+        )
+        assert result.gflops_real > 0
+        assert result.gflops_sim > 0
+        text = result.report()
+        assert "GFLOP/s" in text and "error" in text
+
+    def test_validate_accuracy_on_noisy_machine(self, noisy_machine, calibrated_qr_models):
+        """The headline claim at calibration scale: error within a few %."""
+        result = validate(
+            qr_program(10, 180),
+            QuarkScheduler(48),
+            noisy_machine,
+            calibrated_qr_models,
+            warmup_penalty=noisy_machine.warmup_penalty,
+        )
+        assert result.error_percent < 10.0
+
+    def test_simulated_trace_has_same_task_set(self, noisy_machine, calibrated_qr_models):
+        result = validate(
+            qr_program(6, 180),
+            QuarkScheduler(48),
+            noisy_machine,
+            calibrated_qr_models,
+        )
+        real_ids = sorted(e.task_id for e in result.real.events)
+        sim_ids = sorted(e.task_id for e in result.simulated.events)
+        assert real_ids == sim_ids

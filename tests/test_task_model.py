@@ -1,0 +1,188 @@
+"""Unit tests for the task/data model (repro.core.task)."""
+
+import pytest
+
+from repro.core.task import (
+    Access,
+    AccessMode,
+    DataRegistry,
+    Program,
+    TaskSpec,
+    renumber,
+)
+
+
+class TestAccessMode:
+    def test_read_reads_not_writes(self):
+        assert AccessMode.READ.reads and not AccessMode.READ.writes
+
+    def test_write_writes_not_reads(self):
+        assert AccessMode.WRITE.writes and not AccessMode.WRITE.reads
+
+    def test_rw_reads_and_writes(self):
+        assert AccessMode.RW.reads and AccessMode.RW.writes
+
+    def test_value_neither(self):
+        assert not AccessMode.VALUE.reads and not AccessMode.VALUE.writes
+
+
+class TestDataRegistry:
+    def test_alloc_assigns_unique_addresses(self):
+        reg = DataRegistry()
+        a = reg.alloc("a", 100, key=("a",))
+        b = reg.alloc("b", 100, key=("b",))
+        assert a.addr != b.addr
+
+    def test_addresses_do_not_overlap(self):
+        reg = DataRegistry()
+        a = reg.alloc("a", 1000, key=("a",))
+        b = reg.alloc("b", 1000, key=("b",))
+        assert b.addr >= a.addr + a.size
+
+    def test_same_key_returns_same_ref(self):
+        reg = DataRegistry()
+        a1 = reg.alloc("A[0,0]", 64, key=("A", 0, 0))
+        a2 = reg.alloc("A[0,0]", 64, key=("A", 0, 0))
+        assert a1 is a2
+
+    def test_size_mismatch_rejected(self):
+        reg = DataRegistry()
+        reg.alloc("a", 64, key=("a",))
+        with pytest.raises(ValueError, match="re-registered"):
+            reg.alloc("a", 128, key=("a",))
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            DataRegistry().alloc("a", 0)
+
+    def test_get_and_contains(self):
+        reg = DataRegistry()
+        ref = reg.alloc("a", 64, key=("a", 1))
+        assert ("a", 1) in reg
+        assert reg.get(("a", 1)) is ref
+        assert ("b",) not in reg
+
+    def test_len_and_total_bytes(self):
+        reg = DataRegistry()
+        reg.alloc("a", 64, key=("a",))
+        reg.alloc("b", 128, key=("b",))
+        assert len(reg) == 2
+        assert reg.total_bytes == 192
+
+    def test_access_helpers(self):
+        reg = DataRegistry()
+        ref = reg.alloc("a", 64)
+        assert ref.read().mode is AccessMode.READ
+        assert ref.write().mode is AccessMode.WRITE
+        assert ref.rw().mode is AccessMode.RW
+        assert ref.read().ref is ref
+
+
+class TestTaskSpec:
+    def _ref(self, name="x"):
+        return DataRegistry().alloc(name, 64)
+
+    def test_reads_and_writes_partition(self):
+        reg = DataRegistry()
+        a, b, c = (reg.alloc(n, 64, key=(n,)) for n in "abc")
+        spec = TaskSpec("K", (a.read(), b.write(), c.rw()))
+        assert set(spec.reads) == {a, c}
+        assert set(spec.writes) == {b, c}
+
+    def test_footprint_counts_each_ref_once(self):
+        ref = self._ref()
+        spec = TaskSpec("K", (ref.read(), Access(ref, AccessMode.WRITE)))
+        assert spec.footprint_bytes == 64
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSpec("K", (self._ref().read(),), flops=-1.0)
+
+    def test_non_access_args_rejected(self):
+        with pytest.raises(TypeError):
+            TaskSpec("K", (self._ref(),))  # type: ignore[arg-type]
+
+    def test_describe_format(self):
+        reg = DataRegistry()
+        a = reg.alloc("A[0,0]", 64, key=("A", 0, 0))
+        t = reg.alloc("T[0,0]", 64, key=("T", 0, 0))
+        spec = TaskSpec("DGEQRT", (a.rw(), t.write()))
+        assert spec.describe() == "dgeqrt(A[0,0]^rw, T[0,0]^w)"
+
+
+class TestProgram:
+    def test_add_assigns_serial_ids(self):
+        prog = Program("p")
+        x = prog.registry.alloc("x", 64)
+        t0 = prog.add_task("K", [x.write()])
+        t1 = prog.add_task("K", [x.read()])
+        assert (t0.task_id, t1.task_id) == (0, 1)
+
+    def test_double_add_rejected(self):
+        prog = Program("p")
+        x = prog.registry.alloc("x", 64)
+        t = prog.add_task("K", [x.write()])
+        with pytest.raises(ValueError, match="already belongs"):
+            prog.add(t)
+
+    def test_iteration_preserves_order(self):
+        prog = Program("p")
+        x = prog.registry.alloc("x", 64)
+        for _ in range(5):
+            prog.add_task("K", [x.rw()])
+        assert [t.task_id for t in prog] == list(range(5))
+
+    def test_total_flops(self):
+        prog = Program("p")
+        x = prog.registry.alloc("x", 64)
+        prog.add_task("K", [x.rw()], flops=10.0)
+        prog.add_task("K", [x.rw()], flops=5.0)
+        assert prog.total_flops == 15.0
+
+    def test_kernel_counts_and_order(self):
+        prog = Program("p")
+        x = prog.registry.alloc("x", 64)
+        prog.add_task("B", [x.rw()])
+        prog.add_task("A", [x.rw()])
+        prog.add_task("B", [x.rw()])
+        assert prog.kernel_counts() == {"B": 2, "A": 1}
+        assert prog.kernels() == ("B", "A")
+
+    def test_params_recorded(self):
+        prog = Program("p")
+        x = prog.registry.alloc("x", 64)
+        t = prog.add_task("K", [x.rw()], k=3, i=7)
+        assert t.params == {"k": 3, "i": 7}
+
+    def test_describe_limit(self):
+        prog = Program("p")
+        x = prog.registry.alloc("x", 64)
+        for _ in range(4):
+            prog.add_task("K", [x.rw()])
+        text = prog.describe(limit=2)
+        assert "F0" in text and "F1" in text and "(2 more)" in text
+
+    def test_getitem(self):
+        prog = Program("p")
+        x = prog.registry.alloc("x", 64)
+        t = prog.add_task("K", [x.rw()])
+        assert prog[0] is t
+
+
+class TestRenumber:
+    def test_renumber_fresh_ids(self):
+        prog = Program("p")
+        x = prog.registry.alloc("x", 64)
+        prog.add_task("K", [x.rw()])
+        prog.add_task("L", [x.rw()])
+        clones = renumber(reversed(prog.tasks))
+        assert [c.task_id for c in clones] == [0, 1]
+        assert [c.kernel for c in clones] == ["L", "K"]
+
+    def test_renumber_copies_params(self):
+        prog = Program("p")
+        x = prog.registry.alloc("x", 64)
+        prog.add_task("K", [x.rw()], k=1)
+        clone = renumber(prog.tasks)[0]
+        clone.params["k"] = 99
+        assert prog[0].params["k"] == 1

@@ -1,0 +1,216 @@
+"""Unit and property tests for hazard analysis (RaW/WaR/WaW)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.task import Program
+from repro.schedulers.taskdep import HazardKind, HazardTracker
+
+
+def _program_of(access_lists):
+    """Build a program from e.g. [("w", "x"), ("r", "x"), ...] specs."""
+    prog = Program("p")
+    refs = {}
+    for i, accesses in enumerate(access_lists):
+        acc = []
+        for mode, name in accesses:
+            ref = refs.setdefault(name, prog.registry.alloc(name, 64, key=(name,)))
+            acc.append({"r": ref.read(), "w": ref.write(), "rw": ref.rw()}[mode])
+        prog.add_task(f"K{i}", acc)
+    return prog
+
+
+def _track(prog):
+    tracker = HazardTracker()
+    edges = []
+    for t in prog:
+        edges.extend(tracker.add_task(t))
+    return tracker, edges
+
+
+class TestHazardKinds:
+    def test_raw(self):
+        prog = _program_of([[("w", "x")], [("r", "x")]])
+        _, edges = _track(prog)
+        assert len(edges) == 1
+        assert edges[0].kind is HazardKind.RAW
+        assert (edges[0].src, edges[0].dst) == (0, 1)
+
+    def test_waw(self):
+        prog = _program_of([[("w", "x")], [("w", "x")]])
+        _, edges = _track(prog)
+        assert [e.kind for e in edges] == [HazardKind.WAW]
+
+    def test_war(self):
+        prog = _program_of([[("w", "x")], [("r", "x")], [("w", "x")]])
+        _, edges = _track(prog)
+        kinds = {(e.src, e.dst): e.kind for e in edges}
+        assert kinds[(1, 2)] is HazardKind.WAR
+        assert kinds[(0, 1)] is HazardKind.RAW
+        # The second writer also carries WaW on the first writer.
+        assert kinds[(0, 2)] is HazardKind.WAW
+
+    def test_concurrent_readers_independent(self):
+        prog = _program_of([[("w", "x")], [("r", "x")], [("r", "x")], [("r", "x")]])
+        tracker, _ = _track(prog)
+        for reader in (1, 2, 3):
+            assert tracker.predecessors(reader) == {0}
+
+    def test_writer_waits_for_all_readers(self):
+        prog = _program_of([[("w", "x")], [("r", "x")], [("r", "x")], [("w", "x")]])
+        tracker, _ = _track(prog)
+        assert tracker.predecessors(3) == {0, 1, 2}
+
+    def test_rw_behaves_as_read_then_write(self):
+        prog = _program_of([[("w", "x")], [("rw", "x")], [("r", "x")]])
+        tracker, edges = _track(prog)
+        kinds = {(e.src, e.dst, e.kind) for e in edges}
+        assert (0, 1, HazardKind.RAW) in kinds
+        assert (0, 1, HazardKind.WAW) in kinds
+        assert (1, 2, HazardKind.RAW) in kinds
+        assert tracker.predecessors(2) == {1}
+
+    def test_no_self_edges(self):
+        prog = _program_of([[("rw", "x"), ("r", "x")]])
+        _, edges = _track(prog)
+        assert edges == []
+
+    def test_independent_refs_no_edges(self):
+        prog = _program_of([[("w", "x")], [("w", "y")], [("rw", "z")]])
+        _, edges = _track(prog)
+        assert edges == []
+
+    def test_write_clears_reader_set(self):
+        prog = _program_of(
+            [[("w", "x")], [("r", "x")], [("w", "x")], [("w", "x")]]
+        )
+        tracker, _ = _track(prog)
+        # Task 3 depends only on writer 2 (reader 1 ordered before writer 2).
+        assert tracker.predecessors(3) == {2}
+
+
+class TestTrackerInterface:
+    def test_out_of_order_insert_rejected(self):
+        prog = _program_of([[("w", "x")], [("r", "x")]])
+        tracker = HazardTracker()
+        with pytest.raises(ValueError, match="serial order"):
+            tracker.add_task(prog[1])
+
+    def test_unassigned_id_rejected(self):
+        from repro.core.task import TaskSpec
+
+        prog = Program("p")
+        x = prog.registry.alloc("x", 64)
+        spec = TaskSpec("K", (x.read(),))
+        with pytest.raises(ValueError, match="no id"):
+            HazardTracker().add_task(spec)
+
+    def test_edge_multiplicity(self):
+        # dtsmqr-style: two hazards (RaW on V, RaW on T) from the same parent.
+        prog = Program("p")
+        v = prog.registry.alloc("v", 64, key=("v",))
+        t = prog.registry.alloc("t", 64, key=("t",))
+        prog.add_task("TSQRT", [v.write(), t.write()])
+        prog.add_task("TSMQR", [v.read(), t.read()])
+        tracker, _ = _track(prog)
+        assert tracker.edge_multiplicity(0, 1) == 2
+        assert tracker.predecessors(1) == {0}
+
+    def test_n_tasks(self):
+        prog = _program_of([[("w", "x")], [("r", "x")]])
+        tracker, _ = _track(prog)
+        assert tracker.n_tasks == 2
+
+
+class TestKnownDags:
+    def test_cholesky_nt2_structure(self):
+        from repro.algorithms import cholesky_program
+
+        prog = cholesky_program(2, 8)
+        # Stream: POTRF(0,0), TRSM(1,0), SYRK(1,1), POTRF(1,1)
+        tracker, _ = _track(prog)
+        assert tracker.predecessors(0) == set()
+        assert tracker.predecessors(1) == {0}
+        assert tracker.predecessors(2) == {1}
+        assert tracker.predecessors(3) == {2}
+
+    def test_qr_nt2_structure(self):
+        from repro.algorithms import qr_program
+
+        prog = qr_program(2, 8)
+        # Stream: GEQRT(0), ORMQR(1), TSQRT(2), TSMQR(3), GEQRT(4)
+        tracker, _ = _track(prog)
+        assert tracker.predecessors(1) == {0}
+        assert tracker.predecessors(2) == {0, 1}  # WaR on A00 from ORMQR read
+        assert tracker.predecessors(3) == {1, 2}
+        assert tracker.predecessors(4) == {3}
+
+
+class _SerialInterpreter:
+    """Reference semantics: value of each ref after serial execution.
+
+    Each task computes a deterministic hash of the values it reads (plus its
+    id) and stores it into everything it writes.  Two executions are
+    semantically equivalent iff the final ref values agree.
+    """
+
+    @staticmethod
+    def run(order, tasks):
+        state = {}
+        for tid in order:
+            task = tasks[tid]
+            inputs = tuple(sorted(state.get(r.addr, 0) for r in task.reads))
+            value = hash((tid, inputs))
+            for ref in task.writes:
+                state[ref.addr] = value
+        return state
+
+
+@st.composite
+def random_programs(draw):
+    n_refs = draw(st.integers(min_value=1, max_value=4))
+    n_tasks = draw(st.integers(min_value=1, max_value=12))
+    spec = []
+    for _ in range(n_tasks):
+        n_acc = draw(st.integers(min_value=1, max_value=3))
+        accesses = []
+        used = set()
+        for _ in range(n_acc):
+            name = f"r{draw(st.integers(min_value=0, max_value=n_refs - 1))}"
+            if name in used:
+                continue
+            used.add(name)
+            mode = draw(st.sampled_from(["r", "w", "rw"]))
+            accesses.append((mode, name))
+        spec.append(accesses)
+    return _program_of(spec)
+
+
+class TestSerialEquivalenceProperty:
+    @given(prog=random_programs(), seed=st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_any_dependence_respecting_order_is_serially_equivalent(self, prog, seed):
+        """The central correctness property of superscalar scheduling: every
+        topological order of the hazard DAG computes the same result as the
+        serial order."""
+        tracker, _ = _track(prog)
+        n = len(prog)
+        preds = {i: tracker.predecessors(i) for i in range(n)}
+
+        # Build a random topological order of the hazard DAG.
+        rng = np.random.default_rng(seed)
+        remaining = dict(preds)
+        order = []
+        done = set()
+        while remaining:
+            ready = sorted(t for t, p in remaining.items() if p <= done)
+            pick = int(rng.choice(ready))
+            order.append(pick)
+            done.add(pick)
+            del remaining[pick]
+
+        serial = _SerialInterpreter.run(range(n), prog.tasks)
+        reordered = _SerialInterpreter.run(order, prog.tasks)
+        assert serial == reordered

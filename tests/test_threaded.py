@@ -1,0 +1,194 @@
+"""Tests for the threaded runtime (execute and simulate modes)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    TiledMatrix,
+    cholesky_program,
+    qr_program,
+    random_general,
+    random_spd,
+)
+from repro.core.simbackend import SimulationBackend
+from repro.core.threaded import RACE_GUARDS, ThreadedRuntime
+from repro.dag import build_dag, simple_dag
+from repro.experiments.race import (
+    CORRECT_C_START,
+    CORRECT_MAKESPAN,
+    fig5_models,
+    fig5_program,
+    run_scenario,
+)
+from repro.kernels.distributions import ConstantModel
+from repro.kernels.timing import KernelModelSet
+from repro.schedulers import QuarkScheduler
+
+
+def _const_models(kernels, duration=1e-3):
+    return KernelModelSet(models={k: ConstantModel(duration) for k in kernels})
+
+
+class TestConstruction:
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            ThreadedRuntime(2, mode="dryrun")
+
+    def test_invalid_guard(self):
+        with pytest.raises(ValueError):
+            ThreadedRuntime(2, guard="mutex")
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ThreadedRuntime(0)
+
+    def test_simulate_requires_models(self):
+        rt = ThreadedRuntime(2, mode="simulate")
+        with pytest.raises(ValueError, match="timing models"):
+            rt.run(fig5_program())
+
+    def test_execute_requires_store(self):
+        rt = ThreadedRuntime(2, mode="execute")
+        with pytest.raises(ValueError, match="TileStore"):
+            rt.run(cholesky_program(2, 4))
+
+
+class TestExecuteMode:
+    def test_parallel_cholesky_correct(self):
+        n, nb = 32, 8
+        a = random_spd(n, np.random.default_rng(0))
+        tm = TiledMatrix(a.copy(), nb)
+        rt = ThreadedRuntime(4, mode="execute")
+        trace = rt.run(cholesky_program(tm.nt, nb), store=tm.store, seed=0)
+        trace.validate()
+        lower = np.tril(tm.lower_tiles_dense())
+        assert np.allclose(lower @ lower.T, a, atol=1e-8)
+
+    def test_parallel_qr_correct(self):
+        n, nb = 24, 6
+        a = random_general(n, np.random.default_rng(1))
+        tm = TiledMatrix(a.copy(), nb)
+        rt = ThreadedRuntime(3, mode="execute")
+        trace = rt.run(qr_program(tm.nt, nb), store=tm.store, seed=0)
+        trace.validate()
+        from repro.algorithms import extract_r
+
+        r = extract_r(tm)
+        assert np.allclose(r.T @ r, a.T @ a, atol=1e-8)
+
+    def test_repeated_runs_identical_numerics(self):
+        n, nb = 24, 6
+        a = random_spd(n, np.random.default_rng(2))
+        results = []
+        for _ in range(3):
+            tm = TiledMatrix(a.copy(), nb)
+            ThreadedRuntime(4, mode="execute").run(
+                cholesky_program(tm.nt, nb), store=tm.store, seed=0
+            )
+            results.append(tm.to_dense())
+        assert np.array_equal(results[0], results[1])
+        assert np.array_equal(results[1], results[2])
+
+    def test_single_worker_works(self):
+        n, nb = 16, 4
+        a = random_spd(n, np.random.default_rng(3))
+        tm = TiledMatrix(a.copy(), nb)
+        trace = ThreadedRuntime(1, mode="execute").run(
+            cholesky_program(tm.nt, nb), store=tm.store
+        )
+        assert len(trace) == len(cholesky_program(tm.nt, nb))
+
+    def test_empty_program(self):
+        from repro.core.task import Program
+
+        trace = ThreadedRuntime(2, mode="execute").run(
+            Program("empty", meta={"nb": 4}), store=TiledMatrix(np.eye(4), 4).store
+        )
+        assert len(trace) == 0
+
+
+class TestSimulateMode:
+    def test_all_tasks_simulated_once(self):
+        prog = qr_program(4, 16)
+        models = _const_models(("DGEQRT", "DORMQR", "DTSQRT", "DTSMQR"))
+        trace = ThreadedRuntime(4, mode="simulate").run(prog, models=models, seed=0)
+        trace.validate()
+        assert len(trace) == len(prog)
+
+    def test_virtual_times_respect_dependences(self):
+        prog = cholesky_program(4, 16)
+        models = _const_models(("DPOTRF", "DTRSM", "DSYRK", "DGEMM"))
+        trace = ThreadedRuntime(4, mode="simulate").run(prog, models=models, seed=0)
+        starts = {e.task_id: e.start for e in trace.events}
+        ends = {e.task_id: e.end for e in trace.events}
+        for src, dst in simple_dag(build_dag(prog)).edges():
+            assert starts[dst] >= ends[src] - 1e-12
+
+    def test_matches_event_driven_makespan(self):
+        """The threaded TEQ protocol and the event-driven engine are two
+        implementations of the same semantics: with constant durations and
+        no engine overheads they must produce the same makespan."""
+        prog = cholesky_program(5, 16)
+        models = _const_models(("DPOTRF", "DTRSM", "DSYRK", "DGEMM"))
+        threaded = ThreadedRuntime(4, mode="simulate").run(prog, models=models, seed=0)
+        sched = QuarkScheduler(4, insert_cost=0.0, dispatch_overhead=0.0,
+                               completion_cost=0.0)
+        event = sched.run(cholesky_program(5, 16), SimulationBackend(models), seed=0)
+        assert threaded.makespan == pytest.approx(event.makespan, rel=1e-9)
+
+    def test_window_limits_in_flight(self):
+        prog = cholesky_program(4, 16)
+        models = _const_models(("DPOTRF", "DTRSM", "DSYRK", "DGEMM"))
+        rt = ThreadedRuntime(4, mode="simulate", window=2)
+        trace = rt.run(prog, models=models, seed=0)
+        trace.validate()
+        assert len(trace) == len(prog)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            ThreadedRuntime(2, window=0)
+
+
+class TestRaceCondition:
+    """The paper's Fig. 5 scenario (see repro.experiments.race)."""
+
+    def test_quiesce_guard_correct(self):
+        out = run_scenario("quiesce")
+        assert out.c_start == pytest.approx(CORRECT_C_START)
+        assert out.makespan == pytest.approx(CORRECT_MAKESPAN)
+
+    def test_adequate_sleep_guard_correct(self):
+        out = run_scenario("sleep", sleep_time=10e-3)
+        assert out.correct
+
+    def test_inadequate_sleep_reproduces_fig5_race(self):
+        # Sleep shorter than the dispatch delay: C misses its slot and is
+        # placed after B — exactly the inaccuracy of Fig. 5.
+        out = run_scenario("sleep", sleep_time=50e-6)
+        assert out.c_start >= CORRECT_MAKESPAN - 1e-9
+        assert out.makespan > CORRECT_MAKESPAN
+
+    def test_no_guard_inflates_makespan(self):
+        out = run_scenario("none")
+        assert out.makespan > CORRECT_MAKESPAN
+
+    def test_all_guards_complete_all_tasks(self):
+        for guard in RACE_GUARDS:
+            rt = ThreadedRuntime(2, mode="simulate", guard=guard, sleep_time=1e-4)
+            trace = rt.run(fig5_program(), models=fig5_models(), seed=0)
+            assert len(trace) == 3
+
+    def test_guarded_qr_simulation_consistent(self):
+        # On a real workload, the guarded threaded simulation must stay
+        # close to the event-driven reference (same models, same worker
+        # count); nondeterministic thread interleaving may reorder equal-
+        # priority tasks, so allow a small tolerance.
+        prog = qr_program(5, 16)
+        models = _const_models(("DGEQRT", "DORMQR", "DTSQRT", "DTSMQR"))
+        threaded = ThreadedRuntime(4, mode="simulate", guard="quiesce").run(
+            prog, models=models, seed=0
+        )
+        sched = QuarkScheduler(4, insert_cost=0.0, dispatch_overhead=0.0,
+                               completion_cost=0.0)
+        event = sched.run(qr_program(5, 16), SimulationBackend(models), seed=0)
+        assert threaded.makespan == pytest.approx(event.makespan, rel=0.05)

@@ -1,0 +1,109 @@
+"""Unit tests for TiledMatrix / TileStore and the matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.tiled_matrix import (
+    TiledMatrix,
+    TileStore,
+    random_diagdom,
+    random_general,
+    random_spd,
+)
+
+
+class TestTileStore:
+    def test_put_get(self):
+        store = TileStore()
+        tile = np.zeros((4, 4))
+        store.put(("A", 0, 0), tile)
+        assert store[("A", 0, 0)] is tile
+        assert ("A", 0, 0) in store
+        assert len(store) == 1
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            TileStore().put(("A",), np.zeros(4))
+
+    def test_ensure_creates_zero_tile(self):
+        store = TileStore()
+        tile = store.ensure(("T", 1, 1), (3, 3))
+        assert tile.shape == (3, 3)
+        assert np.all(tile == 0.0)
+
+    def test_ensure_returns_existing(self):
+        store = TileStore()
+        a = store.ensure(("T", 0, 0), (2, 2))
+        a[0, 0] = 7.0
+        b = store.ensure(("T", 0, 0), (2, 2))
+        assert b is a
+
+    def test_keys_iteration(self):
+        store = TileStore()
+        store.put(("A", 0, 0), np.zeros((2, 2)))
+        store.put(("A", 0, 1), np.zeros((2, 2)))
+        assert set(store.keys()) == {("A", 0, 0), ("A", 0, 1)}
+
+
+class TestTiledMatrix:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        dense = rng.standard_normal((12, 12))
+        tm = TiledMatrix(dense, 4)
+        assert tm.nt == 3
+        assert np.array_equal(tm.to_dense(), dense)
+
+    def test_tiles_are_copies(self):
+        dense = np.ones((8, 8))
+        tm = TiledMatrix(dense, 4)
+        dense[0, 0] = 99.0
+        assert tm.tile(0, 0)[0, 0] == 1.0
+
+    def test_tile_contents(self):
+        dense = np.arange(16, dtype=float).reshape(4, 4)
+        tm = TiledMatrix(dense, 2)
+        assert np.array_equal(tm.tile(1, 0), dense[2:, :2])
+
+    def test_tile_out_of_range(self):
+        tm = TiledMatrix(np.zeros((4, 4)), 2)
+        with pytest.raises(IndexError):
+            tm.tile(2, 0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            TiledMatrix(np.zeros((4, 6)), 2)
+
+    def test_indivisible_nb_rejected(self):
+        with pytest.raises(ValueError, match="multiple"):
+            TiledMatrix(np.zeros((10, 10)), 3)
+
+    def test_lower_tiles_dense_zeroes_upper_tiles(self):
+        tm = TiledMatrix(np.ones((6, 6)), 2)
+        lower = tm.lower_tiles_dense()
+        assert np.all(lower[:2, 2:] == 0.0)
+        assert np.all(lower[2:4, 4:] == 0.0)
+        assert np.all(lower[2:, :2] == 1.0)
+
+    def test_store_keys_match_name(self):
+        tm = TiledMatrix(np.zeros((4, 4)), 2, name="B")
+        assert ("B", 1, 1) in tm.store
+
+
+class TestGenerators:
+    def test_spd_is_spd(self):
+        a = random_spd(20, np.random.default_rng(0))
+        assert np.allclose(a, a.T)
+        assert np.all(np.linalg.eigvalsh(a) > 0)
+
+    def test_diagdom_is_dominant(self):
+        a = random_diagdom(20, np.random.default_rng(1))
+        for i in range(20):
+            assert abs(a[i, i]) > np.sum(np.abs(a[i])) - abs(a[i, i]) - 20
+
+    def test_general_shape(self):
+        assert random_general(7, np.random.default_rng(2)).shape == (7, 7)
+
+    def test_generators_seedable(self):
+        a = random_spd(5, np.random.default_rng(3))
+        b = random_spd(5, np.random.default_rng(3))
+        assert np.array_equal(a, b)

@@ -1,0 +1,107 @@
+"""Unit tests for KernelModelSet and warm-up trimming."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.distributions import LognormalModel, NormalModel
+from repro.kernels.timing import KernelModelSet, trim_warmup_outliers
+
+
+class TestTrimWarmupOutliers:
+    def test_drops_warmup_spikes(self):
+        samples = np.array([1.0] * 50 + [10.0, 12.0])
+        trimmed = trim_warmup_outliers(samples)
+        assert trimmed.max() == 1.0
+        assert trimmed.size == 50
+
+    def test_keeps_clean_samples(self):
+        samples = np.linspace(0.9, 1.1, 40)
+        trimmed = trim_warmup_outliers(samples)
+        assert trimmed.size == 40
+
+    def test_refuses_to_decimate_heavy_tail(self):
+        # When more than max_fraction would be dropped, keep everything:
+        # the tail is a property of the distribution, not warm-up noise.
+        samples = np.array([1.0] * 10 + [10.0] * 10)
+        trimmed = trim_warmup_outliers(samples, max_fraction=0.25)
+        assert trimmed.size == 20
+
+    def test_factor_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            trim_warmup_outliers([1.0, 2.0], factor=1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            trim_warmup_outliers([])
+
+
+class TestKernelModelSet:
+    def _samples(self):
+        rng = np.random.default_rng(0)
+        return {
+            "DGEMM": rng.lognormal(-6.0, 0.1, size=200),
+            "DPOTRF": rng.lognormal(-7.0, 0.2, size=50),
+        }
+
+    def test_from_samples_fits_every_kernel(self):
+        ms = KernelModelSet.from_samples(self._samples(), family="lognormal")
+        assert set(ms.kernels()) == {"DGEMM", "DPOTRF"}
+        assert len(ms) == 2
+        assert "DGEMM" in ms
+
+    def test_best_family_selection(self):
+        ms = KernelModelSet.from_samples(self._samples(), family="best")
+        assert ms.family == "best"
+        for kernel in ms.kernels():
+            assert ms.models[kernel].family in ("normal", "gamma", "lognormal")
+
+    def test_duration_draws_near_mean(self):
+        ms = KernelModelSet.from_samples(self._samples(), family="normal")
+        rng = np.random.default_rng(1)
+        draws = [ms.duration("DGEMM", rng) for _ in range(500)]
+        assert np.mean(draws) == pytest.approx(ms.mean_duration("DGEMM"), rel=0.05)
+
+    def test_unknown_kernel_raises_with_hint(self):
+        ms = KernelModelSet.from_samples(self._samples())
+        with pytest.raises(KeyError, match="no timing model for kernel 'DTRSM'"):
+            ms.duration("DTRSM", np.random.default_rng(0))
+
+    def test_empty_kernel_samples_rejected(self):
+        with pytest.raises(ValueError, match="no samples"):
+            KernelModelSet.from_samples({"DGEMM": []})
+
+    def test_warmup_trimming_applied(self):
+        samples = {"DGEMM": [1e-3] * 50 + [50e-3]}
+        trimmed = KernelModelSet.from_samples(samples, family="normal", trim_warmup=True)
+        kept = KernelModelSet.from_samples(samples, family="normal", trim_warmup=False)
+        assert trimmed.mean_duration("DGEMM") < kept.mean_duration("DGEMM")
+        assert trimmed.mean_duration("DGEMM") == pytest.approx(1e-3, rel=1e-6)
+
+    def test_sample_counts_reflect_trimming(self):
+        samples = {"DGEMM": [1e-3] * 50 + [50e-3]}
+        ms = KernelModelSet.from_samples(samples, family="normal", trim_warmup=True)
+        assert ms.sample_counts["DGEMM"] == 50
+
+    def test_summary_mentions_every_kernel(self):
+        ms = KernelModelSet.from_samples(self._samples())
+        text = ms.summary()
+        assert "DGEMM" in text and "DPOTRF" in text
+
+    def test_scaled_normal(self):
+        ms = KernelModelSet(models={"K": NormalModel(mu=1e-3, sigma=1e-4)})
+        scaled = ms.scaled(0.5)
+        assert scaled.mean_duration("K") == pytest.approx(5e-4)
+        assert scaled.models["K"].sigma == pytest.approx(5e-5)
+
+    def test_scaled_lognormal_preserves_cv(self):
+        ms = KernelModelSet(models={"K": LognormalModel(mu_log=-6.0, sigma_log=0.3)})
+        scaled = ms.scaled(2.0)
+        assert scaled.mean_duration("K") == pytest.approx(2 * ms.mean_duration("K"))
+        cv0 = ms.models["K"].std / ms.models["K"].mean
+        cv1 = scaled.models["K"].std / scaled.models["K"].mean
+        assert cv1 == pytest.approx(cv0)
+
+    def test_scaled_rejects_nonpositive(self):
+        ms = KernelModelSet(models={"K": NormalModel(mu=1e-3, sigma=1e-4)})
+        with pytest.raises(ValueError):
+            ms.scaled(0.0)

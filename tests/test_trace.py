@@ -1,0 +1,258 @@
+"""Tests for trace events, persistence, SVG rendering, and comparison."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import (
+    Trace,
+    TraceEvent,
+    activity_profile,
+    activity_rmse,
+    compare_traces,
+    completion_order_similarity,
+    dumps_trace,
+    kernel_time_drift,
+    load_trace,
+    loads_trace,
+    makespan_error,
+    render_svg,
+    save_trace,
+    write_comparison_svg,
+    write_svg,
+)
+
+
+def _trace(events, n_workers=2, meta=None):
+    tr = Trace(n_workers, meta=meta)
+    for i, (w, start, end, kernel) in enumerate(events):
+        tr.record(w, i, kernel, start, end)
+    return tr
+
+
+class TestTraceEvent:
+    def test_duration(self):
+        assert TraceEvent(1.0, 3.5, 0, 0, "K").duration == 2.5
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEvent(2.0, 1.0, 0, 0, "K")
+
+    def test_negative_worker_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEvent(0.0, 1.0, -1, 0, "K")
+
+    def test_chronological_ordering(self):
+        a = TraceEvent(0.0, 1.0, 0, 0, "K")
+        b = TraceEvent(0.5, 1.0, 0, 1, "K")
+        assert a < b
+
+
+class TestTrace:
+    def test_makespan(self):
+        tr = _trace([(0, 1.0, 2.0, "A"), (1, 0.5, 3.0, "B")])
+        assert tr.makespan == pytest.approx(2.5)
+        assert tr.start_time == 0.5
+
+    def test_empty_trace(self):
+        tr = Trace(2)
+        assert tr.makespan == 0.0
+        assert tr.utilization() == 0.0
+        with pytest.raises(ValueError):
+            tr.gflops(1.0)
+
+    def test_worker_range_checked(self):
+        tr = Trace(2)
+        with pytest.raises(ValueError):
+            tr.record(2, 0, "K", 0.0, 1.0)
+
+    def test_utilization(self):
+        tr = _trace([(0, 0.0, 1.0, "A"), (1, 0.0, 1.0, "A")])
+        assert tr.utilization() == pytest.approx(1.0)
+
+    def test_busy_time_per_worker(self):
+        tr = _trace([(0, 0.0, 1.0, "A"), (0, 1.0, 3.0, "A"), (1, 0.0, 0.5, "B")])
+        assert tr.busy_time(0) == pytest.approx(3.0)
+        assert tr.busy_time() == pytest.approx(3.5)
+
+    def test_kernel_durations_grouped(self):
+        tr = _trace([(0, 0.0, 1.0, "A"), (1, 0.0, 2.0, "B"), (0, 1.0, 2.5, "A")])
+        durs = tr.kernel_durations()
+        assert durs["A"] == [1.0, 1.5]
+        assert durs["B"] == [2.0]
+
+    def test_tasks_per_worker(self):
+        tr = _trace([(0, 0.0, 1.0, "A"), (0, 1.0, 2.0, "A"), (1, 0.0, 1.0, "B")])
+        assert tr.tasks_per_worker() == [2, 1]
+
+    def test_gflops(self):
+        tr = _trace([(0, 0.0, 2.0, "A")])
+        assert tr.gflops(4e9) == pytest.approx(2.0)
+
+    def test_completion_order(self):
+        tr = _trace([(0, 0.0, 3.0, "A"), (1, 0.0, 1.0, "B"), (1, 1.0, 2.0, "C")])
+        assert tr.completion_order() == [1, 2, 0]
+
+    def test_validate_accepts_back_to_back(self):
+        _trace([(0, 0.0, 1.0, "A"), (0, 1.0, 2.0, "A")]).validate()
+
+    def test_validate_rejects_overlap(self):
+        tr = _trace([(0, 0.0, 2.0, "A"), (0, 1.0, 3.0, "A")])
+        with pytest.raises(ValueError, match="overlapping"):
+            tr.validate()
+
+    def test_validate_rejects_duplicate_task(self):
+        tr = Trace(2)
+        tr.record(0, 7, "K", 0.0, 1.0)
+        tr.record(1, 7, "K", 0.0, 1.0)
+        with pytest.raises(ValueError, match="twice"):
+            tr.validate()
+
+
+class TestTextIO:
+    def test_roundtrip(self):
+        tr = _trace([(0, 0.0, 1.0, "A"), (1, 0.5, 2.0, "B")], meta={"seed": 3})
+        back = loads_trace(dumps_trace(tr))
+        assert back.n_workers == tr.n_workers
+        assert back.meta == {"seed": 3}
+        assert sorted(back.events) == sorted(tr.events)
+
+    def test_file_roundtrip(self, tmp_path):
+        tr = _trace([(0, 0.0, 1.0, "A")])
+        path = save_trace(tr, tmp_path / "t" / "trace.txt")
+        back = load_trace(path)
+        assert back.events == tr.events
+
+    def test_labels_with_spaces_survive(self):
+        tr = Trace(1)
+        tr.record(0, 0, "K", 0.0, 1.0, label="gemm k=1 i=2 j=3")
+        back = loads_trace(dumps_trace(tr))
+        assert back.events[0].label == "gemm k=1 i=2 j=3"
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            loads_trace("0 0 K 0.0 1.0\n")
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            loads_trace('# {"n_workers": 1, "meta": {}}\n0 0 K 0.0 1.0\n')
+
+    def test_width_roundtrips(self):
+        tr = Trace(4)
+        tr.record(1, 0, "K", 0.0, 1.0, width=3)
+        back = loads_trace(dumps_trace(tr))
+        assert back.events[0].width == 3
+
+    def test_times_roundtrip_exactly(self):
+        tr = Trace(1)
+        tr.record(0, 0, "K", 0.1234567890123456, 0.9876543210987654)
+        back = loads_trace(dumps_trace(tr))
+        assert back.events[0].start == 0.1234567890123456
+        assert back.events[0].end == 0.9876543210987654
+
+    @given(
+        events=st.lists(
+            st.tuples(
+                st.integers(0, 2),
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, events):
+        tr = Trace(3)
+        for i, (w, a, b) in enumerate(events):
+            lo, hi = min(a, b), max(a, b)
+            tr.record(w, i, "K", lo, hi)
+        back = loads_trace(dumps_trace(tr))
+        assert sorted(back.events) == sorted(tr.events)
+
+
+class TestSvg:
+    def test_svg_well_formed(self):
+        tr = _trace([(0, 0.0, 1.0, "DGEMM"), (1, 0.0, 2.0, "DTSMQR")])
+        svg = render_svg(tr, title="test")
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<rect") >= 3  # background + 2 tasks
+
+    def test_svg_one_lane_per_worker(self):
+        tr = _trace([(0, 0.0, 1.0, "A")], n_workers=4)
+        svg = render_svg(tr)
+        assert svg.count("core ") == 4
+
+    def test_svg_escapes_labels(self):
+        tr = Trace(1)
+        tr.record(0, 0, "K", 0.0, 1.0, label="<&>")
+        assert "&lt;&amp;&gt;" in render_svg(tr)
+
+    def test_write_svg(self, tmp_path):
+        tr = _trace([(0, 0.0, 1.0, "A")])
+        path = write_svg(tr, tmp_path / "x" / "trace.svg")
+        assert path.exists()
+
+    def test_comparison_svg_shares_scale(self, tmp_path):
+        real = _trace([(0, 0.0, 2.0, "A")])
+        sim = _trace([(0, 0.0, 1.0, "A")])
+        path = write_comparison_svg(real, sim, tmp_path / "cmp.svg")
+        text = path.read_text()
+        assert text.count("<g") == 2
+        assert "2s" in text  # both axes span the longer makespan
+
+    def test_fixed_time_span(self):
+        tr = _trace([(0, 0.0, 1.0, "A")])
+        svg = render_svg(tr, time_span=10.0)
+        assert "10s" in svg
+
+
+class TestCompare:
+    def test_makespan_error_signed(self):
+        real = _trace([(0, 0.0, 2.0, "A")])
+        sim = _trace([(0, 0.0, 1.5, "A")])
+        assert makespan_error(real, sim) == pytest.approx(-0.25)
+
+    def test_makespan_error_zero_real_rejected(self):
+        with pytest.raises(ValueError):
+            makespan_error(Trace(1), Trace(1))
+
+    def test_identical_traces_perfect_similarity(self):
+        tr = _trace([(0, 0.0, 1.0, "A"), (1, 0.0, 2.0, "B"), (0, 1.0, 3.0, "C")])
+        assert completion_order_similarity(tr, tr) == pytest.approx(1.0)
+
+    def test_reversed_orders_anticorrelated(self):
+        a = _trace([(0, 0.0, 1.0, "A"), (1, 0.0, 2.0, "B")])
+        b = _trace([(0, 0.0, 2.0, "A"), (1, 0.0, 1.0, "B")])
+        assert completion_order_similarity(a, b) == pytest.approx(-1.0)
+
+    def test_activity_profile_constant_load(self):
+        tr = _trace([(0, 0.0, 10.0, "A"), (1, 0.0, 10.0, "B")])
+        profile = activity_profile(tr, n_bins=10)
+        assert np.allclose(profile, 2.0)
+
+    def test_activity_profile_sums_to_busy_time(self):
+        tr = _trace([(0, 0.0, 3.0, "A"), (1, 1.0, 2.0, "B"), (0, 4.0, 6.0, "C")])
+        n_bins = 60
+        profile = activity_profile(tr, n_bins)
+        bin_width = tr.makespan / n_bins
+        assert profile.sum() * bin_width == pytest.approx(tr.busy_time())
+
+    def test_activity_rmse_zero_for_identical(self):
+        tr = _trace([(0, 0.0, 1.0, "A"), (1, 0.5, 2.0, "B")])
+        assert activity_rmse(tr, tr) == pytest.approx(0.0)
+
+    def test_kernel_time_drift(self):
+        real = _trace([(0, 0.0, 1.0, "A")])
+        sim = _trace([(0, 0.0, 1.1, "A")])
+        drift = kernel_time_drift(real, sim)
+        assert drift["A"] == pytest.approx(0.1)
+
+    def test_compare_traces_report(self):
+        real = _trace([(0, 0.0, 2.0, "A"), (1, 0.0, 1.0, "B")])
+        sim = _trace([(0, 0.0, 2.1, "A"), (1, 0.0, 0.9, "B")])
+        cmp_ = compare_traces(real, sim)
+        assert cmp_.abs_error_percent == pytest.approx(5.0)
+        text = cmp_.report()
+        assert "makespan" in text and "Kendall" in text

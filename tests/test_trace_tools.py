@@ -1,0 +1,126 @@
+"""Tests for trace statistics and the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.trace import Trace, ascii_gantt, trace_statistics
+
+
+def _trace(events, n_workers=2):
+    tr = Trace(n_workers)
+    for i, (w, start, end, kernel, *rest) in enumerate(events):
+        width = rest[0] if rest else 1
+        tr.record(w, i, kernel, start, end, width=width)
+    return tr
+
+
+class TestTraceStatistics:
+    def test_empty(self):
+        stats = trace_statistics(Trace(4))
+        assert stats.n_tasks == 0
+        assert stats.makespan == 0.0
+
+    def test_kernel_breakdown(self):
+        tr = _trace(
+            [(0, 0.0, 1.0, "A"), (1, 0.0, 3.0, "B"), (0, 1.0, 2.0, "A")]
+        )
+        stats = trace_statistics(tr)
+        by_kernel = {k.kernel: k for k in stats.kernels}
+        assert by_kernel["A"].count == 2
+        assert by_kernel["A"].total_time == pytest.approx(2.0)
+        assert by_kernel["B"].share == pytest.approx(0.6)
+        # sorted by total time descending
+        assert stats.kernels[0].kernel == "B"
+
+    def test_shares_sum_to_one(self):
+        tr = _trace([(0, 0.0, 1.0, "A"), (1, 0.0, 2.0, "B"), (0, 2.0, 4.0, "C")])
+        stats = trace_statistics(tr)
+        assert sum(k.share for k in stats.kernels) == pytest.approx(1.0)
+
+    def test_worker_busy_fractions(self):
+        tr = _trace([(0, 0.0, 4.0, "A"), (1, 0.0, 1.0, "B")])
+        stats = trace_statistics(tr)
+        lo, mean, hi = stats.worker_busy_fraction
+        assert lo == pytest.approx(0.25)
+        assert hi == pytest.approx(1.0)
+        assert mean == pytest.approx(0.625)
+
+    def test_phase_breakdown_sums_to_makespan(self):
+        # Peak concurrency 3 during [4, 6]; threshold is 1.5, so only that
+        # window is "steady".
+        tr = _trace(
+            [(0, 0.0, 10.0, "A"), (1, 4.0, 6.0, "B"), (2, 4.0, 6.0, "C")],
+            n_workers=3,
+        )
+        stats = trace_statistics(tr, n_bins=100)
+        p = stats.phases
+        assert p is not None
+        assert p.ramp_up + p.steady + p.tail == pytest.approx(stats.makespan)
+        assert p.steady == pytest.approx(2.0, abs=0.2)
+
+    def test_gap_time(self):
+        tr = _trace([(0, 0.0, 2.0, "A"), (1, 0.0, 1.0, "B")])
+        stats = trace_statistics(tr)
+        assert stats.total_gap_time == pytest.approx(1.0)
+
+    def test_wide_events_counted_in_utilisation(self):
+        tr = _trace([(0, 0.0, 1.0, "A", 2)])
+        stats = trace_statistics(tr)
+        assert stats.utilization == pytest.approx(1.0)
+
+    def test_report_contains_kernels(self):
+        tr = _trace([(0, 0.0, 1.0, "DGEMM")])
+        text = trace_statistics(tr).report()
+        assert "DGEMM" in text and "utilisation" in text
+
+
+class TestAsciiGantt:
+    def test_empty_trace(self):
+        assert ascii_gantt(Trace(2)) == "(empty trace)"
+
+    def test_one_row_per_worker(self):
+        tr = _trace([(0, 0.0, 1.0, "A")], n_workers=3)
+        lines = ascii_gantt(tr, width=20).splitlines()
+        assert len(lines) == 4  # 3 rows + legend
+        assert lines[0].startswith("w0")
+
+    def test_busy_cells_marked(self):
+        tr = _trace([(0, 0.0, 1.0, "KERNEL")], n_workers=2)
+        lines = ascii_gantt(tr, width=20, legend=False).splitlines()
+        row0 = lines[0].split("|")[1]
+        row1 = lines[1].split("|")[1]
+        assert set(row0) != {"."}
+        assert set(row1) == {"."}
+
+    def test_half_busy_row(self):
+        tr = _trace([(0, 0.0, 1.0, "A"), (1, 0.0, 2.0, "B")])
+        lines = ascii_gantt(tr, width=40, legend=False).splitlines()
+        row0 = lines[0].split("|")[1]
+        assert row0[:20].count(".") == 0
+        assert row0[20:].count(".") == 20
+
+    def test_wide_event_spans_rows(self):
+        tr = _trace([(0, 0.0, 1.0, "A", 3)], n_workers=4)
+        lines = ascii_gantt(tr, width=10, legend=False).splitlines()
+        for row in lines[:3]:
+            assert "." not in row.split("|")[1]
+        assert set(lines[3].split("|")[1]) == {"."}
+
+    def test_distinct_initials(self):
+        tr = _trace(
+            [(0, 0.0, 1.0, "DGEMM"), (1, 0.0, 1.0, "DGEQRT")]
+        )
+        out = ascii_gantt(tr, width=20)
+        # Legend maps both kernels to different characters.
+        legend = out.splitlines()[-1]
+        assert "DGEMM" in legend and "DGEQRT" in legend
+        chars = [part.split("=")[0].strip() for part in legend.split(":", 1)[1].split(",")[:2]]
+        assert chars[0] != chars[1]
+
+    def test_minimum_width_enforced(self):
+        with pytest.raises(ValueError):
+            ascii_gantt(_trace([(0, 0.0, 1.0, "A")]), width=5)
+
+    def test_every_kernel_in_legend(self):
+        tr = _trace([(0, 0.0, 1.0, "AAA"), (1, 0.0, 1.0, "BBB")])
+        legend = ascii_gantt(tr, width=20).splitlines()[-1]
+        assert "AAA" in legend and "BBB" in legend

@@ -1,0 +1,114 @@
+"""Tests for trace verification and the experiment registry."""
+
+import importlib
+from pathlib import Path
+
+import pytest
+
+from repro.algorithms import cholesky_program
+from repro.core.simbackend import SimulationBackend
+from repro.core.task import Program
+from repro.experiments.index import EXPERIMENTS
+from repro.kernels.distributions import ConstantModel
+from repro.kernels.timing import KernelModelSet
+from repro.schedulers import QuarkScheduler
+from repro.trace.events import Trace
+from repro.trace.verify import TraceVerificationError, verify_trace
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def _models():
+    return KernelModelSet(
+        models={k: ConstantModel(1e-3) for k in ("DPOTRF", "DTRSM", "DSYRK", "DGEMM")}
+    )
+
+
+def _legal_run():
+    prog = cholesky_program(4, 16)
+    trace = QuarkScheduler(4).run(prog, SimulationBackend(_models()), seed=0)
+    return prog, trace
+
+
+class TestVerifyTrace:
+    def test_legal_trace_passes(self):
+        prog, trace = _legal_run()
+        summary = verify_trace(prog, trace)
+        assert summary.n_tasks == len(prog)
+        assert summary.n_dependences > 0
+        assert summary.makespan == trace.makespan
+
+    def test_missing_task_detected(self):
+        prog, trace = _legal_run()
+        partial = Trace(trace.n_workers)
+        for e in trace.events[:-1]:
+            partial.add(e)
+        with pytest.raises(TraceVerificationError, match="missing"):
+            verify_trace(prog, partial)
+
+    def test_duplicate_task_detected(self):
+        prog, trace = _legal_run()
+        doubled = Trace(trace.n_workers)
+        for e in trace.events:
+            doubled.add(e)
+        doubled.record(0, trace.events[0].task_id, "DPOTRF", 99.0, 100.0)
+        with pytest.raises(TraceVerificationError):
+            verify_trace(prog, doubled)
+
+    def test_dependence_violation_detected(self):
+        prog = Program("chain")
+        x = prog.registry.alloc("x", 64)
+        prog.add_task("K", [x.rw()])
+        prog.add_task("K", [x.rw()])
+        bad = Trace(2)
+        bad.record(0, 0, "K", 0.0, 1.0)
+        bad.record(1, 1, "K", 0.5, 1.5)  # starts before its predecessor ends
+        with pytest.raises(TraceVerificationError, match="dependence violated"):
+            verify_trace(prog, bad)
+
+    def test_overlap_detected(self):
+        prog = Program("two")
+        x = prog.registry.alloc("x", 64, key=("x",))
+        y = prog.registry.alloc("y", 64, key=("y",))
+        prog.add_task("K", [x.write()])
+        prog.add_task("K", [y.write()])
+        bad = Trace(1)
+        bad.record(0, 0, "K", 0.0, 1.0)
+        bad.record(0, 1, "K", 0.5, 1.5)  # same worker, overlapping
+        with pytest.raises(TraceVerificationError, match="overlapping"):
+            verify_trace(prog, bad)
+
+    def test_width_mismatch_detected(self):
+        prog = Program("wide")
+        x = prog.registry.alloc("x", 64)
+        spec = prog.add_task("K", [x.write()])
+        spec.width = 2
+        bad = Trace(2)
+        bad.record(0, 0, "K", 0.0, 1.0, width=1)
+        with pytest.raises(TraceVerificationError, match="width"):
+            verify_trace(prog, bad)
+
+
+class TestExperimentRegistry:
+    def test_every_bench_file_exists(self):
+        for exp in EXPERIMENTS.values():
+            assert (BENCH_DIR / exp.bench).exists(), exp
+
+    def test_every_bench_file_is_registered(self):
+        registered = {exp.bench for exp in EXPERIMENTS.values()}
+        on_disk = {
+            p.name
+            for p in BENCH_DIR.glob("test_*.py")
+        }
+        assert on_disk == registered
+
+    def test_driver_paths_resolve(self):
+        for exp in EXPERIMENTS.values():
+            module_name, attr = exp.driver.rsplit(".", 1)
+            module = importlib.import_module(module_name)
+            assert hasattr(module, attr), exp.driver
+
+    def test_ids_match_design_doc(self):
+        design = (BENCH_DIR.parent / "DESIGN.md").read_text()
+        for exp_id in EXPERIMENTS:
+            assert exp_id in design, f"{exp_id} not documented in DESIGN.md"
