@@ -14,6 +14,9 @@ Commands
     Print the serial task stream (the paper's Fig. 2 view).
 ``figure``
     Regenerate one of the paper's figures by experiment id.
+``sweep``
+    Run a (scheduler x size x seed) grid through the parallel runner with
+    result caching; export per-run metrics JSON.
 
 Every command is pure offline computation on the bundled machine models.
 """
@@ -22,7 +25,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from .algorithms import cholesky_program, lu_program, qr_program
 from .core.simulator import run_real, validate
@@ -39,9 +42,13 @@ from .experiments import (
     speedup_experiment,
     trace_experiment,
 )
+from .experiments.config import CAL_NT, experiment_scheduler_spec
 from .machine import calibrate, get_machine
+from .runner import ProgramSpec, ResultCache, RunSpec, default_cache_dir
+from .runner import sweep as runner_sweep
 from .schedulers import make_scheduler
 from .trace.ascii import ascii_gantt
+from .trace.compare import compare_traces
 from .trace.stats import trace_statistics
 from .trace.svg import write_comparison_svg, write_svg
 
@@ -173,6 +180,88 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from .experiments.reporting import format_table
+
+    if args.jobs < 1:
+        print("--jobs must be at least 1", file=sys.stderr)
+        return 2
+
+    sched_spec = {
+        name: experiment_scheduler_spec(name, n_cores=args.workers)
+        for name in args.schedulers
+    }
+    points = []  # (scheduler, nt, seed, [spec indices])
+    specs = []
+    for name in args.schedulers:
+        for nt in args.nts:
+            for seed in args.seeds:
+                program = ProgramSpec(args.algorithm, nt, args.nb)
+                idx = []
+                if args.mode in ("real", "validate"):
+                    idx.append(len(specs))
+                    specs.append(
+                        RunSpec(
+                            program=program,
+                            scheduler=sched_spec[name],
+                            machine=args.machine,
+                            seed=seed * 1000 + nt,
+                            mode="real",
+                        )
+                    )
+                if args.mode in ("simulated", "validate"):
+                    idx.append(len(specs))
+                    specs.append(
+                        RunSpec(
+                            program=program,
+                            scheduler=sched_spec[name],
+                            machine=args.machine,
+                            seed=seed * 1000 + nt + 1,
+                            mode="simulated",
+                            cal_nt=args.cal_nt,
+                            cal_seed=seed,
+                            family=args.family,
+                        )
+                    )
+                points.append((name, nt, seed, idx))
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir if args.cache_dir else default_cache_dir())
+    progress = (lambda msg: print(msg, file=sys.stderr)) if args.verbose else None
+    outcome = runner_sweep(specs, jobs=args.jobs, cache=cache, progress=progress)
+
+    rows = []
+    for name, nt, seed, idx in points:
+        results = [outcome.results[i] for i in idx]
+        flops = ProgramSpec(args.algorithm, nt, args.nb).build().total_flops
+        cached = "+".join("hit" if r.cached else "run" for r in results)
+        wall = sum(r.wall_s for r in results)
+        if args.mode == "validate":
+            real, sim = (r.load_trace() for r in results)
+            err = compare_traces(real, sim).abs_error_percent
+            rows.append(
+                (name, nt, seed, real.gflops(flops), sim.gflops(flops), err, cached, wall)
+            )
+        else:
+            gf = results[0].load_trace().gflops(flops)
+            real_gf, sim_gf = (gf, "-") if args.mode == "real" else ("-", gf)
+            rows.append((name, nt, seed, real_gf, sim_gf, "-", cached, wall))
+    headers = ("scheduler", "nt", "seed", "real GF/s", "sim GF/s", "err %", "cache", "wall s")
+    print(
+        format_table(
+            headers,
+            rows,
+            title=f"sweep: {args.algorithm} nb={args.nb} machine={args.machine} "
+            f"mode={args.mode}",
+        )
+    )
+    print(outcome.summary())
+    if args.metrics_out:
+        print(f"wrote {outcome.write_metrics(args.metrics_out)}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -211,6 +300,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("id", help="fig1..fig10, fig6_7, speedup")
     p.add_argument("--full", action="store_true", help="full-size sweeps")
     p.set_defaults(fn=_cmd_figure)
+
+    p = sub.add_parser(
+        "sweep", help="run a (scheduler x size x seed) grid through the parallel runner"
+    )
+    p.add_argument("--algorithm", choices=sorted(_GENERATORS), default="cholesky")
+    p.add_argument("--nts", type=int, nargs="+", default=[4],
+                   help="tiles-per-side grid points")
+    p.add_argument("--nb", type=int, default=200, help="tile order")
+    p.add_argument("--schedulers", nargs="+", choices=("quark", "starpu", "ompss"),
+                   default=["quark"])
+    p.add_argument("--seeds", type=int, nargs="+", default=[0])
+    p.add_argument("--mode", choices=("validate", "real", "simulated"),
+                   default="validate",
+                   help="validate pairs a real and a simulated run per point")
+    p.add_argument("--machine", default="magny_cours_48")
+    p.add_argument("--workers", type=int, default=48,
+                   help="cores per scheduler (master included where applicable)")
+    p.add_argument("--cal-nt", type=int, default=CAL_NT, dest="cal_nt")
+    p.add_argument("--family", default="lognormal")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the sweep fan-out")
+    p.add_argument("--cache-dir", default=None, dest="cache_dir",
+                   help="result cache directory (default: $REPRO_CACHE or .repro_cache)")
+    p.add_argument("--no-cache", action="store_true", dest="no_cache",
+                   help="skip the on-disk cache (ephemeral per-sweep cache only)")
+    p.add_argument("--metrics-out", default=None, dest="metrics_out",
+                   help="write the sweep metrics document (JSON) here")
+    p.add_argument("--verbose", action="store_true",
+                   help="print per-run progress to stderr")
+    p.set_defaults(fn=_cmd_sweep)
 
     return parser
 

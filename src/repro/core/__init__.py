@@ -1,6 +1,7 @@
 """Simulator core: task model, clock, TEQ, backends, and the high-level API."""
 
 from .clock import SimClock
+from .metrics import METRICS_SCHEMA, RunMetrics
 from .simbackend import HeterogeneousSimulationBackend, SimulationBackend
 from .simulator import ValidationResult, run_real, simulate, validate
 from .task import READ, RW, WRITE, Access, AccessMode, DataRef, DataRegistry, Program, TaskSpec
@@ -8,6 +9,8 @@ from .teq import TaskExecutionQueue
 
 __all__ = [
     "SimClock",
+    "METRICS_SCHEMA",
+    "RunMetrics",
     "HeterogeneousSimulationBackend",
     "SimulationBackend",
     "ValidationResult",

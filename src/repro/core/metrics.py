@@ -1,0 +1,111 @@
+"""Run-level observability counters (the ``RunMetrics`` layer).
+
+Every engine or threaded-runtime execution can carry one :class:`RunMetrics`
+object that the hot paths increment as they go: event-heap traffic inside
+the discrete-event :class:`~repro.schedulers.engine.Engine`, Task Execution
+Queue traffic inside the threaded runtime, dispatch/window stalls, and the
+host wall-clock cost of the run.  The counters are the artifact the sweep
+runner exports as JSON next to each trace — cheap enough to stay on in
+production runs, structured enough to diff across commits in CI.
+
+Wall-clock time is deliberately kept *out* of the trace: traces must be a
+pure function of ``(program, scheduler, backend, seed)`` so that cached and
+freshly-computed runs are byte-identical, while metrics describe the one
+concrete execution that produced them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Union
+
+__all__ = ["RunMetrics", "METRICS_SCHEMA"]
+
+#: Schema tag stamped into every exported metrics document.
+METRICS_SCHEMA = "repro.run_metrics/v1"
+
+
+@dataclass
+class RunMetrics:
+    """Counters describing one run of the engine or threaded runtime.
+
+    Engine counters
+    ---------------
+    ``events_processed``
+        Events popped and handled by the main loop (inserts + finishes).
+    ``heap_pushes`` / ``heap_pops`` / ``peak_heap_depth``
+        Traffic and high-water mark of the event heap.
+    ``dispatch_stalls``
+        Dispatch sweeps that ended with ready tasks still queued but no
+        eligible worker able to take them (master busy, gang not free, or
+        policy returned nothing for the offered workers).
+    ``window_stalls``
+        Insertion attempts refused because the task window was full
+        (QUARK-style throttling at work).
+    ``tasks_executed``
+        Tasks assigned to workers (equals the trace length at the end).
+
+    TEQ counters (threaded runtime)
+    -------------------------------
+    ``teq_inserts`` / ``teq_pops`` / ``peak_teq_depth``
+        Traffic and high-water mark of the Task Execution Queue.
+
+    Run summary
+    -----------
+    ``n_tasks``, ``n_workers``, ``makespan`` (virtual seconds) and
+    ``wall_time_s`` (host seconds spent producing the trace).
+    """
+
+    events_processed: int = 0
+    insert_events: int = 0
+    finish_events: int = 0
+    heap_pushes: int = 0
+    heap_pops: int = 0
+    peak_heap_depth: int = 0
+    dispatch_stalls: int = 0
+    window_stalls: int = 0
+    tasks_executed: int = 0
+    teq_inserts: int = 0
+    teq_pops: int = 0
+    peak_teq_depth: int = 0
+    n_tasks: int = 0
+    n_workers: int = 0
+    makespan: float = 0.0
+    wall_time_s: float = 0.0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    # -- serialisation -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"schema": METRICS_SCHEMA}
+        out.update(asdict(self))
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunMetrics":
+        known = {f for f in cls.__dataclass_fields__}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    def write_json(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def read_json(cls, path: Union[str, Path]) -> "RunMetrics":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def summary(self) -> str:
+        """One-line human rendering for sweep reports and logs."""
+        return (
+            f"{self.tasks_executed} tasks, {self.events_processed} events, "
+            f"heap peak {self.peak_heap_depth}, "
+            f"stalls {self.dispatch_stalls}d/{self.window_stalls}w, "
+            f"makespan {self.makespan:.6f}s, wall {self.wall_time_s * 1e3:.1f}ms"
+        )

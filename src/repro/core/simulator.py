@@ -14,7 +14,7 @@ This is the user-facing surface of the reproduction:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Union
 
 from ..kernels.timing import KernelModelSet
 from ..machine.backend import MachineBackend

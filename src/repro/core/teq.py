@@ -19,22 +19,33 @@ import itertools
 import threading
 from typing import List, Optional, Tuple
 
+from .metrics import RunMetrics
+
 __all__ = ["TaskExecutionQueue"]
 
 
 class TaskExecutionQueue:
-    """Thread-safe priority queue keyed by simulated completion time."""
+    """Thread-safe priority queue keyed by simulated completion time.
 
-    def __init__(self) -> None:
+    ``metrics``, when given, accumulates TEQ traffic (inserts, pops, peak
+    depth) under the queue's own lock.
+    """
+
+    def __init__(self, metrics: Optional[RunMetrics] = None) -> None:
         self._heap: List[Tuple[float, int, int]] = []  # (end_time, seq, task_id)
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._seq = itertools.count()
+        self.metrics = metrics
 
     def insert(self, task_id: int, end_time: float) -> None:
         """Add a task with its simulated completion time."""
         with self._cond:
             heapq.heappush(self._heap, (end_time, next(self._seq), task_id))
+            if self.metrics is not None:
+                self.metrics.teq_inserts += 1
+                if len(self._heap) > self.metrics.peak_teq_depth:
+                    self.metrics.peak_teq_depth = len(self._heap)
             self._cond.notify_all()
 
     def front(self) -> Optional[int]:
@@ -58,6 +69,8 @@ class TaskExecutionQueue:
                     f"task {task_id} attempted to pop while not at the front"
                 )
             end, _, _ = heapq.heappop(self._heap)
+            if self.metrics is not None:
+                self.metrics.teq_pops += 1
             self._cond.notify_all()
             return end
 

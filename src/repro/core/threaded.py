@@ -46,7 +46,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -57,6 +57,7 @@ from ..schedulers.policies import PriorityQueue
 from ..schedulers.taskdep import HazardTracker
 from ..trace.events import Trace
 from .clock import SimClock
+from .metrics import RunMetrics
 from .task import Program, TaskSpec
 from .teq import TaskExecutionQueue
 
@@ -130,12 +131,14 @@ class ThreadedRuntime:
         models: Optional[KernelModelSet] = None,
         store: Optional[TileStore] = None,
         seed: int = 0,
+        metrics: Optional[RunMetrics] = None,
     ) -> Trace:
         """Execute or simulate ``program``; returns the trace.
 
         ``simulate`` mode requires ``models``; ``execute`` mode requires
         ``store`` holding the input tiles (``program.meta['nb']`` gives the
-        tile order).
+        tile order).  ``metrics``, when given, collects TEQ traffic and the
+        run's wall-clock/makespan summary.
         """
         if self.mode == "simulate" and models is None:
             raise ValueError("simulate mode requires kernel timing models")
@@ -157,8 +160,15 @@ class ThreadedRuntime:
                 "seed": seed,
             },
         )
-        state = _RunState(self, program, trace, models, store, seed)
+        wall_start = time.perf_counter()
+        state = _RunState(self, program, trace, models, store, seed, metrics=metrics)
         state.run()
+        if metrics is not None:
+            metrics.n_tasks = len(program)
+            metrics.n_workers = self.n_workers
+            metrics.tasks_executed = len(trace)
+            metrics.makespan = trace.makespan
+            metrics.wall_time_s = time.perf_counter() - wall_start
         return trace
 
 
@@ -173,6 +183,7 @@ class _RunState:
         models: Optional[KernelModelSet],
         store: Optional[TileStore],
         seed: int,
+        metrics: Optional[RunMetrics] = None,
     ) -> None:
         self.rt = rt
         self.program = program
@@ -199,7 +210,7 @@ class _RunState:
         self.shutdown = False
 
         self.clock = SimClock()
-        self.teq = TaskExecutionQueue()
+        self.teq = TaskExecutionQueue(metrics=metrics)
         self.t0_real = 0.0
 
     # -- guard predicate (quiesce) --------------------------------------------

@@ -10,7 +10,7 @@ tile factorization narrows to the final diagonal task).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 import networkx as nx
 

@@ -8,7 +8,7 @@ exactly as Fig. 1 draws them.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Union
 
 import networkx as nx
 

@@ -15,6 +15,7 @@ from .config import (
     TILE_SIZE,
     TRACE_NT,
     TRACE_TILE_SIZE,
+    experiment_scheduler_spec,
     make_experiment_scheduler,
 )
 from .dagfigs import FIG2_EXPECTED, fig1_dag, fig2_stream
@@ -45,6 +46,7 @@ __all__ = [
     "TILE_SIZE",
     "TRACE_NT",
     "TRACE_TILE_SIZE",
+    "experiment_scheduler_spec",
     "make_experiment_scheduler",
     "EXPERIMENTS",
     "Experiment",

@@ -7,6 +7,12 @@
 * :func:`ablation_starpu_policy` — real-run makespans under each StarPU
   policy, and whether the simulator tracks the differences.
 * :func:`ablation_quark_window` — QUARK window-size sweep.
+
+Every grid goes through :mod:`repro.runner`: pass ``jobs`` to fan the
+points out over processes and ``cache`` (directory or
+:class:`~repro.runner.ResultCache`) to reuse results across invocations.
+Even without an explicit cache, the sweep's ephemeral cache means the
+points of one ablation share their calibration run.
 """
 
 from __future__ import annotations
@@ -14,13 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from ..algorithms import cholesky_program, qr_program
-from ..core.simulator import validate
 from ..kernels.timing import KernelModelSet
-from ..machine import calibrate, calibration_run, collect_samples, get_machine
-from ..schedulers import OmpSsScheduler, QuarkScheduler, StarPUScheduler
-from ..schedulers.starpu import STARPU_POLICIES
-from .config import MACHINE_NAME, make_experiment_scheduler
+from ..machine import collect_samples
+from ..runner import ProgramSpec, RunSpec, SchedulerSpec, run_cached, sweep
+from ..trace.compare import compare_traces
+from ..trace.events import Trace
+from .config import MACHINE_NAME
 from .reporting import format_table
 
 __all__ = [
@@ -39,38 +44,53 @@ class FamilyOutcome:
     order_similarity: float
 
 
+def _point(real: Trace, sim: Trace, flops: float) -> Dict[str, float]:
+    comparison = compare_traces(real, sim)
+    return {
+        "gflops_real": real.gflops(flops),
+        "gflops_sim": sim.gflops(flops),
+        "error_percent": comparison.abs_error_percent,
+    }
+
+
 def ablation_distribution(
     *,
-    families: Sequence[str] = ("constant", "uniform", "normal", "gamma", "lognormal", "empirical"),
+    families: Sequence[str] = (
+        "constant", "uniform", "normal", "gamma", "lognormal", "empirical",
+    ),
     nt: int = 18,
     cal_nt: int = 16,
     tile: int = 180,
     machine_name: str = MACHINE_NAME,
     seed: int = 0,
+    jobs: int = 1,
+    cache=None,
 ) -> Tuple[List[FamilyOutcome], str]:
     """Prediction error of each kernel-model family on a QR problem."""
-    machine = get_machine(machine_name)
-    cal_trace = calibration_run(
-        qr_program(cal_nt, tile), make_experiment_scheduler("quark"), machine, seed=seed
+    program = ProgramSpec("qr", nt, tile)
+    sched = SchedulerSpec("quark", 48)
+    real_spec = RunSpec(
+        program=program, scheduler=sched, machine=machine_name,
+        seed=seed + 1, mode="real",
     )
-    samples = collect_samples(cal_trace)
-    outcomes: List[FamilyOutcome] = []
-    for family in families:
-        models = KernelModelSet.from_samples(samples, family=family)
-        result = validate(
-            qr_program(nt, tile),
-            make_experiment_scheduler("quark"),
-            machine,
-            models,
-            seed_real=seed + 1,
-            seed_sim=seed + 2,
-            warmup_penalty=machine.warmup_penalty,
+    sim_specs = [
+        RunSpec(
+            program=program, scheduler=sched, machine=machine_name,
+            seed=seed + 2, mode="simulated",
+            cal_nt=cal_nt, cal_seed=seed, family=family,
         )
+        for family in families
+    ]
+    outcome = sweep([real_spec, *sim_specs], jobs=jobs, cache=cache)
+    real = outcome.results[0].load_trace()
+    outcomes: List[FamilyOutcome] = []
+    for family, result in zip(families, outcome.results[1:]):
+        comparison = compare_traces(real, result.load_trace())
         outcomes.append(
             FamilyOutcome(
                 family=family,
-                error_percent=result.error_percent,
-                order_similarity=result.comparison.order_similarity,
+                error_percent=comparison.abs_error_percent,
+                order_similarity=comparison.order_similarity,
             )
         )
     table = format_table(
@@ -88,6 +108,8 @@ def ablation_warmup(
     tile: int = 180,
     machine_name: str = MACHINE_NAME,
     seed: int = 0,
+    jobs: int = 1,
+    cache=None,
 ) -> Tuple[Dict[str, float], str]:
     """Effect of (not) excluding the per-thread warm-up outliers.
 
@@ -95,25 +117,34 @@ def ablation_warmup(
     penalties are a large sample fraction — the regime where the paper warns
     "these extreme outliers can drastically affect the model fitting".
     """
-    machine = get_machine(machine_name)
-    cal_trace = calibration_run(
-        qr_program(cal_nt, tile), make_experiment_scheduler("quark"), machine, seed=seed
+    program = ProgramSpec("qr", nt, tile)
+    sched = SchedulerSpec("quark", 48)
+    real_spec = RunSpec(
+        program=program, scheduler=sched, machine=machine_name,
+        seed=seed + 1, mode="real",
     )
+    configs = (("handled", True, True), ("ignored", False, False))
+    sim_specs = [
+        RunSpec(
+            program=program, scheduler=sched, machine=machine_name,
+            seed=seed + 2, mode="simulated",
+            cal_nt=cal_nt, cal_seed=seed, family="lognormal",
+            cal_drop_first=drop, cal_trim=trim,
+        )
+        for _, drop, trim in configs
+    ]
+    outcome = sweep([real_spec, *sim_specs], jobs=jobs, cache=cache)
+    real = outcome.results[0].load_trace()
+
+    # Refit locally (cheap) to report the mean-duration shift each handling
+    # produces; the calibration trace itself is shared through the cache.
+    cal_trace = run_cached(sim_specs[0].calibration_spec(), None).load_trace()
     errors: Dict[str, float] = {}
     mean_shift: Dict[str, float] = {}
-    for label, drop, trim in (("handled", True, True), ("ignored", False, False)):
+    for (label, drop, trim), result in zip(configs, outcome.results[1:]):
+        errors[label] = compare_traces(real, result.load_trace()).abs_error_percent
         samples = collect_samples(cal_trace, drop_first_per_worker=drop)
         models = KernelModelSet.from_samples(samples, family="lognormal", trim_warmup=trim)
-        result = validate(
-            qr_program(nt, tile),
-            make_experiment_scheduler("quark"),
-            machine,
-            models,
-            seed_real=seed + 1,
-            seed_sim=seed + 2,
-            warmup_penalty=machine.warmup_penalty,
-        )
-        errors[label] = result.error_percent
         mean_shift[label] = models.mean_duration("DTSMQR") * 1e6
     table = format_table(
         ("warm-up outliers", "DTSMQR mean us", "err %"),
@@ -131,39 +162,44 @@ def ablation_starpu_policy(
     n_workers: int = 47,
     cal_nt: int = 16,
     seed: int = 0,
+    jobs: int = 1,
+    cache=None,
 ) -> Tuple[Dict[str, Dict[str, float]], str]:
     """Per-policy real makespans and the simulator's per-policy predictions.
 
     The useful property for autotuning (§VI-B) is not just low error — it is
     that the *ranking* of policies under simulation matches reality.
     """
-    machine = get_machine(machine_name)
+    from ..schedulers.starpu import STARPU_POLICIES
+
+    program = ProgramSpec("cholesky", nt, tile)
+    specs: List[RunSpec] = []
+    for policy in STARPU_POLICIES:
+        sched = SchedulerSpec("starpu", n_workers, policy=policy)
+        specs.append(
+            RunSpec(
+                program=program, scheduler=sched, machine=machine_name,
+                seed=seed + 1, mode="real",
+            )
+        )
+        specs.append(
+            RunSpec(
+                program=program, scheduler=sched, machine=machine_name,
+                seed=seed + 2, mode="simulated", cal_nt=cal_nt, cal_seed=seed,
+            )
+        )
+    outcome = sweep(specs, jobs=jobs, cache=cache)
+    flops = program.build().total_flops
     rows = []
     data: Dict[str, Dict[str, float]] = {}
-    program = cholesky_program(nt, tile)
-    for policy in STARPU_POLICIES:
-        sched = StarPUScheduler(n_workers, policy=policy)
-        models, _ = calibrate(
-            cholesky_program(cal_nt, tile),
-            StarPUScheduler(n_workers, policy=policy),
-            machine,
-            seed=seed,
+    for i, policy in enumerate(STARPU_POLICIES):
+        real = outcome.results[2 * i].load_trace()
+        sim = outcome.results[2 * i + 1].load_trace()
+        data[policy] = _point(real, sim, flops)
+        rows.append(
+            (policy, data[policy]["gflops_real"], data[policy]["gflops_sim"],
+             data[policy]["error_percent"])
         )
-        result = validate(
-            program,
-            sched,
-            machine,
-            models,
-            seed_real=seed + 1,
-            seed_sim=seed + 2,
-            warmup_penalty=machine.warmup_penalty,
-        )
-        data[policy] = {
-            "gflops_real": result.gflops_real,
-            "gflops_sim": result.gflops_sim,
-            "error_percent": result.error_percent,
-        }
-        rows.append((policy, result.gflops_real, result.gflops_sim, result.error_percent))
     table = format_table(
         ("policy", "real GF/s", "sim GF/s", "err %"),
         rows,
@@ -180,31 +216,44 @@ def ablation_quark_window(
     machine_name: str = MACHINE_NAME,
     cal_nt: int = 16,
     seed: int = 0,
+    jobs: int = 1,
+    cache=None,
 ) -> Tuple[Dict[int, Dict[str, float]], str]:
-    """QUARK task-window sweep: throttling costs and simulator tracking."""
-    machine = get_machine(machine_name)
-    models, _ = calibrate(
-        cholesky_program(cal_nt, tile), QuarkScheduler(48), machine, seed=seed
-    )
-    program = cholesky_program(nt, tile)
+    """QUARK task-window sweep: throttling costs and simulator tracking.
+
+    Calibration uses the default-window scheduler (as the paper's one-off
+    calibration would), shared across every window point via the cache.
+    """
+    program = ProgramSpec("cholesky", nt, tile)
+    cal_sched = SchedulerSpec("quark", 48)
+    specs: List[RunSpec] = []
+    for window in windows:
+        sched = SchedulerSpec("quark", 48, window=window)
+        specs.append(
+            RunSpec(
+                program=program, scheduler=sched, machine=machine_name,
+                seed=seed + 1, mode="real",
+            )
+        )
+        specs.append(
+            RunSpec(
+                program=program, scheduler=sched, machine=machine_name,
+                seed=seed + 2, mode="simulated",
+                cal_nt=cal_nt, cal_seed=seed, cal_scheduler=cal_sched,
+            )
+        )
+    outcome = sweep(specs, jobs=jobs, cache=cache)
+    flops = program.build().total_flops
     rows = []
     data: Dict[int, Dict[str, float]] = {}
-    for window in windows:
-        result = validate(
-            program,
-            QuarkScheduler(48, window=window),
-            machine,
-            models,
-            seed_real=seed + 1,
-            seed_sim=seed + 2,
-            warmup_penalty=machine.warmup_penalty,
+    for i, window in enumerate(windows):
+        real = outcome.results[2 * i].load_trace()
+        sim = outcome.results[2 * i + 1].load_trace()
+        data[window] = _point(real, sim, flops)
+        rows.append(
+            (window, data[window]["gflops_real"], data[window]["gflops_sim"],
+             data[window]["error_percent"])
         )
-        data[window] = {
-            "gflops_real": result.gflops_real,
-            "gflops_sim": result.gflops_sim,
-            "error_percent": result.error_percent,
-        }
-        rows.append((window, result.gflops_real, result.gflops_sim, result.error_percent))
     table = format_table(
         ("window", "real GF/s", "sim GF/s", "err %"),
         rows,
@@ -221,6 +270,8 @@ def ablation_ompss_successor(
     n_workers: int = 47,
     cal_nt: int = 16,
     seed: int = 0,
+    jobs: int = 1,
+    cache=None,
 ) -> Tuple[Dict[str, Dict[str, float]], str]:
     """OmpSs immediate-successor locality heuristic on/off (§IV-A1).
 
@@ -230,29 +281,35 @@ def ablation_ompss_successor(
     (the heuristic changes *placement*, which changes cache residency on
     the machine model).
     """
-    machine = get_machine(machine_name)
+    program = ProgramSpec("cholesky", nt, tile)
+    configs = (("successor-bypass", True), ("central-queue", False))
+    specs: List[RunSpec] = []
+    for _, enabled in configs:
+        sched = SchedulerSpec("ompss", n_workers, immediate_successor=enabled)
+        specs.append(
+            RunSpec(
+                program=program, scheduler=sched, machine=machine_name,
+                seed=seed + 1, mode="real",
+            )
+        )
+        specs.append(
+            RunSpec(
+                program=program, scheduler=sched, machine=machine_name,
+                seed=seed + 2, mode="simulated", cal_nt=cal_nt, cal_seed=seed,
+            )
+        )
+    outcome = sweep(specs, jobs=jobs, cache=cache)
+    flops = program.build().total_flops
     rows = []
     data: Dict[str, Dict[str, float]] = {}
-    for label, enabled in (("successor-bypass", True), ("central-queue", False)):
-        sched_factory = lambda: OmpSsScheduler(n_workers, immediate_successor=enabled)
-        models, _ = calibrate(
-            cholesky_program(cal_nt, tile), sched_factory(), machine, seed=seed
+    for i, (label, _) in enumerate(configs):
+        real = outcome.results[2 * i].load_trace()
+        sim = outcome.results[2 * i + 1].load_trace()
+        data[label] = _point(real, sim, flops)
+        rows.append(
+            (label, data[label]["gflops_real"], data[label]["gflops_sim"],
+             data[label]["error_percent"])
         )
-        result = validate(
-            cholesky_program(nt, tile),
-            sched_factory(),
-            machine,
-            models,
-            seed_real=seed + 1,
-            seed_sim=seed + 2,
-            warmup_penalty=machine.warmup_penalty,
-        )
-        data[label] = {
-            "gflops_real": result.gflops_real,
-            "gflops_sim": result.gflops_sim,
-            "error_percent": result.error_percent,
-        }
-        rows.append((label, result.gflops_real, result.gflops_sim, result.error_percent))
     table = format_table(
         ("configuration", "real GF/s", "sim GF/s", "err %"),
         rows,

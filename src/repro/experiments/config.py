@@ -13,8 +13,9 @@ sweep point, preserving the paper's premise that calibration is cheap
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Tuple
 
+from ..runner.spec import SchedulerSpec
 from ..schedulers import OmpSsScheduler, QuarkScheduler, SchedulerBase, StarPUScheduler
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "SMOKE_SWEEP_NTS",
     "DISTRIBUTION_FAMILY",
     "make_experiment_scheduler",
+    "experiment_scheduler_spec",
 ]
 
 #: Machine preset standing in for the paper's AMD Opteron 6180 SE testbed.
@@ -69,4 +71,15 @@ def make_experiment_scheduler(name: str, n_cores: int = _N_CORES) -> SchedulerBa
         return StarPUScheduler(n_cores - 1, policy="prio")
     if name == "ompss":
         return OmpSsScheduler(n_cores - 1)
+    raise KeyError(f"unknown scheduler {name!r}; choose quark/starpu/ompss")
+
+
+def experiment_scheduler_spec(name: str, n_cores: int = _N_CORES) -> SchedulerSpec:
+    """:func:`make_experiment_scheduler` as a declarative runner spec."""
+    if name == "quark":
+        return SchedulerSpec("quark", n_cores)
+    if name == "starpu":
+        return SchedulerSpec("starpu", n_cores - 1, policy="prio")
+    if name == "ompss":
+        return SchedulerSpec("ompss", n_cores - 1)
     raise KeyError(f"unknown scheduler {name!r}; choose quark/starpu/ompss")

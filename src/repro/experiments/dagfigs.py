@@ -19,7 +19,7 @@ import networkx as nx
 
 from ..algorithms import qr_program
 from ..algorithms.qr import expected_task_count
-from ..dag import build_dag, dag_stats, to_dot, write_dot
+from ..dag import build_dag, dag_stats, write_dot
 from ..dag.analysis import DagStats
 from .reporting import artifact_dir
 

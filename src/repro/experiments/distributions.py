@@ -16,14 +16,14 @@ re-plotted from the text artifact.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from dataclasses import dataclass
+from typing import Dict, Sequence
 
 import numpy as np
 
 from ..algorithms import cholesky_program, qr_program
 from ..kernels.distributions import DurationModel, fit_all_families
-from ..machine import calibrate, collect_samples, calibration_run, get_machine
+from ..machine import collect_samples, calibration_run, get_machine
 from .config import CAL_NT, MACHINE_NAME, TRACE_TILE_SIZE, make_experiment_scheduler
 from .reporting import format_table
 

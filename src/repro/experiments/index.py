@@ -9,7 +9,7 @@ directory stay in sync.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Dict
 
 __all__ = ["Experiment", "EXPERIMENTS"]
 
@@ -120,6 +120,10 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment(
             "BASE-STATIC", "SII: static scheduling baseline",
             "test_baseline_static.py", "repro.dag.listsched.list_schedule",
+        ),
+        Experiment(
+            "SWEEP-RUNNER", "operational: parallel sweep fan-out + result cache",
+            "test_sweep_runner.py", "repro.runner.runner.sweep",
         ),
     )
 }

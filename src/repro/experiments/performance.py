@@ -10,25 +10,29 @@ majority of test cases show less than 5% error" (§VI-B).
 
 :func:`performance_figure` reproduces one figure; :func:`accuracy_summary`
 aggregates the error distribution over all three (CLAIM-ACC in DESIGN.md).
+
+Every sweep point is executed through :mod:`repro.runner`, so passing
+``jobs > 1`` fans the grid out over worker processes and passing a cache
+(directory or :class:`~repro.runner.ResultCache`) makes repeated sweeps —
+including CI reruns — skip already-simulated points.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence
 
 from ..algorithms import cholesky_program, qr_program
-from ..core.simulator import validate
 from ..core.task import Program
-from ..kernels.timing import KernelModelSet
-from ..machine import calibrate, get_machine
+from ..runner import ProgramSpec, RunSpec, sweep
+from ..trace.compare import compare_traces
 from .config import (
     CAL_NT,
     DISTRIBUTION_FAMILY,
     MACHINE_NAME,
     SWEEP_NTS,
     TILE_SIZE,
-    make_experiment_scheduler,
+    experiment_scheduler_spec,
 )
 from .reporting import format_table
 
@@ -52,23 +56,6 @@ class PerfPoint:
     error_percent: float  # unsigned
 
 
-def _calibrated_models(
-    scheduler_name: str,
-    algorithm: str,
-    *,
-    tile: int = TILE_SIZE,
-    cal_nt: int = CAL_NT,
-    machine_name: str = MACHINE_NAME,
-    family: str = DISTRIBUTION_FAMILY,
-    seed: int = 0,
-) -> KernelModelSet:
-    machine = get_machine(machine_name)
-    program = _GENERATORS[algorithm](cal_nt, tile)
-    scheduler = make_experiment_scheduler(scheduler_name)
-    models, _ = calibrate(program, scheduler, machine, family=family, seed=seed)
-    return models
-
-
 def performance_sweep(
     scheduler_name: str,
     algorithm: str,
@@ -77,39 +64,61 @@ def performance_sweep(
     tile: int = TILE_SIZE,
     machine_name: str = MACHINE_NAME,
     family: str = DISTRIBUTION_FAMILY,
-    models: Optional[KernelModelSet] = None,
+    cal_nt: int = CAL_NT,
     seed: int = 0,
+    jobs: int = 1,
+    cache=None,
 ) -> List[PerfPoint]:
-    """Real-vs-simulated sweep of one algorithm under one scheduler."""
+    """Real-vs-simulated sweep of one algorithm under one scheduler.
+
+    Each matrix size contributes one real and one simulated run spec; the
+    whole grid goes through :func:`repro.runner.sweep`, so ``jobs`` workers
+    execute points concurrently and ``cache`` (a directory path or
+    :class:`~repro.runner.ResultCache`) deduplicates repeated points — the
+    shared calibration run is computed once per sweep either way.
+    """
     if algorithm not in _GENERATORS:
         raise KeyError(f"unknown algorithm {algorithm!r}")
-    machine = get_machine(machine_name)
-    if models is None:
-        models = _calibrated_models(
-            scheduler_name, algorithm, tile=tile, machine_name=machine_name,
-            family=family, seed=seed,
-        )
-    points: List[PerfPoint] = []
+    sched_spec = experiment_scheduler_spec(scheduler_name)
+    specs: List[RunSpec] = []
     for nt in nts:
-        program = _GENERATORS[algorithm](nt, tile)
-        scheduler = make_experiment_scheduler(scheduler_name)
-        result = validate(
-            program,
-            scheduler,
-            machine,
-            models,
-            seed_real=seed * 1000 + nt,
-            seed_sim=seed * 1000 + nt + 1,
-            warmup_penalty=machine.warmup_penalty,
+        program = ProgramSpec(algorithm, nt, tile)
+        specs.append(
+            RunSpec(
+                program=program,
+                scheduler=sched_spec,
+                machine=machine_name,
+                seed=seed * 1000 + nt,
+                mode="real",
+            )
         )
+        specs.append(
+            RunSpec(
+                program=program,
+                scheduler=sched_spec,
+                machine=machine_name,
+                seed=seed * 1000 + nt + 1,
+                mode="simulated",
+                cal_nt=cal_nt,
+                cal_seed=seed,
+                family=family,
+            )
+        )
+    results = sweep(specs, jobs=jobs, cache=cache).results
+
+    points: List[PerfPoint] = []
+    for i, nt in enumerate(nts):
+        real = results[2 * i].load_trace()
+        sim = results[2 * i + 1].load_trace()
+        flops = _GENERATORS[algorithm](nt, tile).total_flops
         points.append(
             PerfPoint(
                 algorithm=algorithm,
                 n=nt * tile,
                 nt=nt,
-                gflops_real=result.gflops_real,
-                gflops_sim=result.gflops_sim,
-                error_percent=result.error_percent,
+                gflops_real=real.gflops(flops),
+                gflops_sim=sim.gflops(flops),
+                error_percent=compare_traces(real, sim).abs_error_percent,
             )
         )
     return points
@@ -123,6 +132,8 @@ def performance_figure(
     machine_name: str = MACHINE_NAME,
     family: str = DISTRIBUTION_FAMILY,
     seed: int = 0,
+    jobs: int = 1,
+    cache=None,
 ) -> Dict[str, List[PerfPoint]]:
     """One full figure: both factorizations under ``scheduler_name``."""
     return {
@@ -134,6 +145,8 @@ def performance_figure(
             machine_name=machine_name,
             family=family,
             seed=seed,
+            jobs=jobs,
+            cache=cache,
         )
         for algorithm in ("qr", "cholesky")
     }

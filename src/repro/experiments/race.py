@@ -18,7 +18,7 @@ even further.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from ..core.task import Program
 from ..core.threaded import ThreadedRuntime

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Iterable, List, Sequence
 
 __all__ = ["format_table", "artifact_dir", "write_artifact"]
 

@@ -27,10 +27,10 @@ from typing import Optional
 import numpy as np
 
 from ..algorithms import TiledMatrix, cholesky_program, random_spd
+from ..core.metrics import RunMetrics
 from ..core.threaded import ThreadedRuntime
 from ..kernels.timing import KernelModelSet
 from ..machine.calibration import collect_samples
-from ..trace.events import Trace
 
 __all__ = ["SpeedupResult", "speedup_experiment"]
 
@@ -46,6 +46,10 @@ class SpeedupResult:
     n_tasks: int
     n_workers: int
     factorization_error: float
+    #: RunMetrics of the real threaded run (TEQ counters stay zero — the
+    #: real run never queues into the TEQ) and of the median simulated run.
+    metrics_real: Optional[RunMetrics] = None
+    metrics_sim: Optional[RunMetrics] = None
 
     @property
     def speedup(self) -> float:
@@ -56,17 +60,23 @@ class SpeedupResult:
         return abs(self.makespan_sim - self.makespan_real) / self.makespan_real * 100.0
 
     def report(self) -> str:
-        return (
+        lines = [
             f"real run : {self.wall_real * 1e3:9.2f} ms wall "
             f"({self.n_tasks} tasks on {self.n_workers} threads, "
-            f"residual {self.factorization_error:.2e})\n"
-            f"simulated: {self.wall_sim * 1e3:9.2f} ms wall\n"
+            f"residual {self.factorization_error:.2e})",
+            f"simulated: {self.wall_sim * 1e3:9.2f} ms wall",
             f"speed-up : {self.speedup:.2f}x "
-            f"(paper: ~2x not uncommon)\n"
+            f"(paper: ~2x not uncommon)",
             f"predicted makespan {self.makespan_sim * 1e3:.2f} ms vs real "
             f"{self.makespan_real * 1e3:.2f} ms "
-            f"(error {self.prediction_error_percent:.2f}%)"
-        )
+            f"(error {self.prediction_error_percent:.2f}%)",
+        ]
+        if self.metrics_sim is not None:
+            lines.append(
+                f"TEQ      : {self.metrics_sim.teq_inserts} inserts, "
+                f"peak depth {self.metrics_sim.peak_teq_depth}"
+            )
+        return "\n".join(lines)
 
 
 def speedup_experiment(
@@ -102,8 +112,9 @@ def speedup_experiment(
 
     # Real parallel execution with NumPy kernels.
     runtime = ThreadedRuntime(n_workers, mode="execute")
+    metrics_real = RunMetrics()
     t0 = time.perf_counter()
-    real_trace = runtime.run(program, store=matrix.store, seed=seed)
+    real_trace = runtime.run(program, store=matrix.store, seed=seed, metrics=metrics_real)
     wall_real = time.perf_counter() - t0
     real_trace.validate()
 
@@ -119,16 +130,21 @@ def speedup_experiment(
     # seeds (each full simulation is itself the timed unit).
     samples = collect_samples(real_trace, drop_first_per_worker=True)
     models = KernelModelSet.from_samples(samples, family=family, trim_warmup=False)
-    walls, spans = [], []
+    walls, spans, sim_metrics = [], [], []
     for rep in range(n_sim):
         sim_runtime = ThreadedRuntime(n_workers, mode="simulate", guard="quiesce")
         sim_program = cholesky_program(nt, nb)
+        rep_metrics = RunMetrics()
         t0 = time.perf_counter()
-        sim_trace = sim_runtime.run(sim_program, models=models, seed=seed + 1 + rep)
+        sim_trace = sim_runtime.run(
+            sim_program, models=models, seed=seed + 1 + rep, metrics=rep_metrics
+        )
         walls.append(time.perf_counter() - t0)
         sim_trace.validate()
         spans.append(sim_trace.makespan)
+        sim_metrics.append(rep_metrics)
 
+    median_rep = int(np.argsort(walls)[len(walls) // 2])
     return SpeedupResult(
         wall_real=wall_real,
         wall_sim=float(np.median(walls)),
@@ -137,4 +153,6 @@ def speedup_experiment(
         n_tasks=len(program),
         n_workers=n_workers,
         factorization_error=residual,
+        metrics_real=metrics_real,
+        metrics_sim=sim_metrics[median_rep],
     )

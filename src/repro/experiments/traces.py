@@ -17,11 +17,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
-from ..algorithms import qr_program
-from ..core.simulator import ValidationResult, validate
-from ..machine import calibrate, get_machine
+from ..core.simulator import ValidationResult
+from ..runner import ProgramSpec, RunSpec, sweep
+from ..trace.compare import compare_traces
 from ..trace.svg import write_comparison_svg, write_svg
-from .config import CAL_NT, MACHINE_NAME, TRACE_NT, TRACE_TILE_SIZE, make_experiment_scheduler
+from .config import CAL_NT, MACHINE_NAME, TRACE_NT, TRACE_TILE_SIZE, experiment_scheduler_spec
 from .reporting import artifact_dir
 
 __all__ = ["TraceExperiment", "trace_experiment"]
@@ -56,23 +56,43 @@ def trace_experiment(
     cal_nt: int = CAL_NT,
     seed: int = 0,
     write_artifacts: bool = True,
+    jobs: int = 1,
+    cache=None,
 ) -> TraceExperiment:
-    """Reproduce the Figs. 6-7 real/simulated trace pair."""
-    machine = get_machine(machine_name)
-    cal_program = qr_program(cal_nt, tile)
-    models, _ = calibrate(
-        cal_program, make_experiment_scheduler(scheduler_name), machine, seed=seed
-    )
+    """Reproduce the Figs. 6-7 real/simulated trace pair.
 
-    program = qr_program(nt, tile)
-    result = validate(
-        program,
-        make_experiment_scheduler(scheduler_name),
-        machine,
-        models,
-        seed_real=seed + 1,
-        seed_sim=seed + 2,
-        warmup_penalty=machine.warmup_penalty,
+    Both runs go through :mod:`repro.runner`, so a cache makes repeated
+    reproductions (and the calibration run) instant and ``jobs=2`` computes
+    the real and simulated traces concurrently.
+    """
+    program_spec = ProgramSpec("qr", nt, tile)
+    sched_spec = experiment_scheduler_spec(scheduler_name)
+    real_spec = RunSpec(
+        program=program_spec,
+        scheduler=sched_spec,
+        machine=machine_name,
+        seed=seed + 1,
+        mode="real",
+    )
+    sim_spec = RunSpec(
+        program=program_spec,
+        scheduler=sched_spec,
+        machine=machine_name,
+        seed=seed + 2,
+        mode="simulated",
+        cal_nt=cal_nt,
+        cal_seed=seed,
+    )
+    outcome = sweep([real_spec, sim_spec], jobs=jobs, cache=cache)
+    real = outcome.results[0].load_trace()
+    sim = outcome.results[1].load_trace()
+    flops = program_spec.build().total_flops
+    result = ValidationResult(
+        real=real,
+        simulated=sim,
+        comparison=compare_traces(real, sim),
+        gflops_real=real.gflops(flops),
+        gflops_sim=sim.gflops(flops),
     )
 
     svg_path: Optional[Path] = None

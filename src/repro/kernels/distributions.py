@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, ClassVar, Dict, Sequence, Type
+from typing import ClassVar, Dict, Sequence, Type
 
 import numpy as np
 from scipy import stats
@@ -380,9 +380,11 @@ def best_fit(
     if arr.size < 2:
         return fits[families[0]]
     if criterion == "aic":
-        score: Callable[[DurationModel], float] = lambda m: m.aic(arr)
+        def score(m: DurationModel) -> float:
+            return m.aic(arr)
     elif criterion == "ks":
-        score = lambda m: m.ks_statistic(arr)
+        def score(m: DurationModel) -> float:
+            return m.ks_statistic(arr)
     else:
         raise ValueError(f"unknown criterion {criterion!r}")
     return min(fits.values(), key=score)

@@ -19,7 +19,7 @@ Construction follows the paper's calibration methodology (Section V-B1):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from typing import Dict, Iterable, Mapping, Sequence
 
 import numpy as np
 

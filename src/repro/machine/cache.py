@@ -15,7 +15,6 @@ shared level count ``l3_weight`` (default 0.6), reflecting the latency gap.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterable, Tuple
 
 from ..core.task import DataRef, TaskSpec
 from .topology import Machine

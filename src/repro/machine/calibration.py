@@ -16,7 +16,7 @@ pipeline:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Tuple, Union
 
 from ..core.task import Program
 from ..kernels.timing import KernelModelSet

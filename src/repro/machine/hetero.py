@@ -22,15 +22,15 @@ workers ``[n_cpu_workers, n_cpu_workers + n_gpus)`` are the devices.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..schedulers.base import TaskNode
 from .cache import LRUCache, _distinct_refs
-from .noise import JitterModel, WarmupModel, contention_factor
+from .noise import JitterModel
 from .backend import MachineBackend
-from .topology import Machine, get_machine
+from .topology import Machine
 
 __all__ = ["GpuDevice", "HeterogeneousMachine", "HeterogeneousBackend"]
 

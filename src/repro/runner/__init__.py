@@ -1,0 +1,31 @@
+"""Parallel sweep runner: run specs, on-disk result cache, run metrics.
+
+The fan-out/caching layer above the simulator core.  Describe runs as
+:class:`RunSpec` values, hand them to :func:`sweep` (optionally with
+``jobs > 1`` for multiprocessing fan-out and a :class:`ResultCache` for
+cross-invocation reuse), and read back traces plus per-run
+:class:`~repro.core.metrics.RunMetrics`.  See ``docs/API.md`` for the sweep
+API, the cache layout, and the metrics schema.
+"""
+
+from ..core.metrics import METRICS_SCHEMA, RunMetrics
+from .cache import CachedRun, ResultCache, default_cache_dir
+from .runner import RunResult, SweepResult, execute_spec, run_cached, sweep
+from .spec import CACHE_VERSION, ProgramSpec, RunSpec, SchedulerSpec
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "RunMetrics",
+    "CachedRun",
+    "ResultCache",
+    "default_cache_dir",
+    "RunResult",
+    "SweepResult",
+    "execute_spec",
+    "run_cached",
+    "sweep",
+    "CACHE_VERSION",
+    "ProgramSpec",
+    "RunSpec",
+    "SchedulerSpec",
+]

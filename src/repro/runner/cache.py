@@ -1,0 +1,157 @@
+"""Content-addressed on-disk result cache for simulation runs.
+
+Layout (two-level fan-out to keep directories small)::
+
+    <root>/
+        ab/
+            ab3f9c.../            one entry per RunSpec.cache_key()
+                trace.txt         the run's trace (plain-text format)
+                metrics.json      the RunMetrics of the producing run
+                spec.json         the RunSpec that produced it (provenance)
+
+Writes are atomic and parallel-safe: an entry is staged in a temporary
+directory under the root and published with ``os.rename``, so concurrent
+sweep workers computing the same point race benignly (first rename wins,
+the loser discards its staging directory).  Traces are a pure function of
+the spec, so whichever copy lands is correct.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from ..core.metrics import RunMetrics
+from ..trace.events import Trace
+from ..trace.textio import load_trace, save_trace
+
+__all__ = ["CachedRun", "ResultCache", "default_cache_dir"]
+
+_TRACE = "trace.txt"
+_METRICS = "metrics.json"
+_SPEC = "spec.json"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE`` or ``.repro_cache`` in the working directory."""
+    return Path(os.environ.get("REPRO_CACHE", ".repro_cache"))
+
+
+@dataclass(frozen=True)
+class CachedRun:
+    """Handle to one published cache entry."""
+
+    key: str
+    path: Path
+
+    @property
+    def trace_path(self) -> Path:
+        return self.path / _TRACE
+
+    @property
+    def metrics_path(self) -> Path:
+        return self.path / _METRICS
+
+    def load_trace(self) -> Trace:
+        return load_trace(self.trace_path)
+
+    def load_metrics(self) -> RunMetrics:
+        return RunMetrics.read_json(self.metrics_path)
+
+    def load_spec_dict(self) -> Dict[str, Any]:
+        return json.loads((self.path / _SPEC).read_text())
+
+
+class ResultCache:
+    """Content-addressed store of ``(trace, metrics, spec)`` run results."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_dir(self, key: str) -> Path:
+        return self.root / key[:2] / key
+
+    # -- lookup ------------------------------------------------------------
+    def get(self, key: str) -> Optional[CachedRun]:
+        """The entry for ``key``, or ``None`` (incomplete entries count as
+        misses — an interrupted writer never published its rename)."""
+        path = self._entry_dir(key)
+        if (path / _TRACE).is_file() and (path / _METRICS).is_file():
+            self.hits += 1
+            return CachedRun(key=key, path=path)
+        self.misses += 1
+        return None
+
+    def __contains__(self, key: str) -> bool:
+        path = self._entry_dir(key)
+        return (path / _TRACE).is_file() and (path / _METRICS).is_file()
+
+    # -- publish -----------------------------------------------------------
+    def put(
+        self,
+        key: str,
+        trace: Trace,
+        metrics: RunMetrics,
+        spec_dict: Optional[Dict[str, Any]] = None,
+    ) -> CachedRun:
+        """Atomically publish one result; a concurrent duplicate is a no-op."""
+        final = self._entry_dir(key)
+        final.parent.mkdir(parents=True, exist_ok=True)
+        stage = Path(tempfile.mkdtemp(prefix=f".stage-{key[:8]}-", dir=self.root))
+        try:
+            save_trace(trace, stage / _TRACE)
+            metrics.write_json(stage / _METRICS)
+            if spec_dict is not None:
+                (stage / _SPEC).write_text(
+                    json.dumps(spec_dict, sort_keys=True, indent=2, default=str) + "\n"
+                )
+            try:
+                os.rename(stage, final)
+            except OSError:
+                if (final / _TRACE).is_file():
+                    # Somebody else published this key first; keep theirs.
+                    shutil.rmtree(stage, ignore_errors=True)
+                else:
+                    # Stale partial entry (interrupted writer or manual
+                    # deletion inside the directory): replace it.
+                    shutil.rmtree(final, ignore_errors=True)
+                    try:
+                        os.rename(stage, final)
+                    except OSError:
+                        if not (final / _TRACE).is_file():
+                            raise
+                        shutil.rmtree(stage, ignore_errors=True)
+        finally:
+            shutil.rmtree(stage, ignore_errors=True)
+        return CachedRun(key=key, path=final)
+
+    # -- maintenance -------------------------------------------------------
+    def entries(self) -> Iterator[CachedRun]:
+        for shard in sorted(self.root.glob("??")):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.iterdir()):
+                if (entry / _TRACE).is_file():
+                    yield CachedRun(key=entry.name, path=entry)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        n = 0
+        for run in list(self.entries()):
+            shutil.rmtree(run.path, ignore_errors=True)
+            n += 1
+        return n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultCache({str(self.root)!r}, {len(self)} entries)"

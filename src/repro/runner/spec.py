@@ -1,0 +1,168 @@
+"""Declarative run specifications — the unit of work of the sweep runner.
+
+A :class:`RunSpec` fully describes one engine run as plain data: which
+program (algorithm generator plus parameters), which scheduler configuration,
+which machine preset, which seed, and — for simulated runs — the calibration
+recipe that produces the kernel timing models.  Being plain frozen
+dataclasses of primitives, specs are hashable, picklable (so they travel to
+``multiprocessing`` workers), and serialisable to JSON (so they are stored
+next to cached results for provenance).
+
+The cache identity of a spec is :meth:`RunSpec.cache_key`: a SHA-256 digest
+over the spec's canonical JSON *plus a content digest of the generated task
+stream*.  Hashing the stream content (kernel, data accesses, flops, width of
+every task) means the cache invalidates itself when an algorithm generator
+changes behaviour, not just when its parameters change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, Optional
+
+from ..algorithms import cholesky_program, lu_program, qr_program
+from ..core.task import Program
+from ..schedulers import make_scheduler
+from ..schedulers.base import SchedulerBase
+
+__all__ = ["ProgramSpec", "SchedulerSpec", "RunSpec", "CACHE_VERSION"]
+
+#: Bump to invalidate every cached result (engine semantics changed).
+CACHE_VERSION = 1
+
+_GENERATORS = {
+    "cholesky": cholesky_program,
+    "qr": qr_program,
+    "lu": lu_program,
+}
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """Parameters of one algorithm-generated task stream."""
+
+    algorithm: str  # cholesky | qr | lu
+    nt: int  # tiles per matrix side
+    nb: int  # tile order
+    panel_width: int = 1
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in _GENERATORS:
+            raise KeyError(
+                f"unknown algorithm {self.algorithm!r}; choose from {sorted(_GENERATORS)}"
+            )
+        if self.nt < 1 or self.nb < 1:
+            raise ValueError("nt and nb must be positive")
+        if self.panel_width < 1:
+            raise ValueError("panel_width must be at least 1")
+
+    def build(self) -> Program:
+        gen = _GENERATORS[self.algorithm]
+        kwargs: Dict[str, Any] = {}
+        if self.panel_width != 1:
+            kwargs["panel_width"] = self.panel_width
+        return gen(self.nt, self.nb, **kwargs)
+
+    def content_digest(self) -> str:
+        """SHA-256 over the generated stream's semantic content."""
+        program = self.build()
+        h = hashlib.sha256()
+        h.update(program.name.encode())
+        for t in program:
+            h.update(
+                f"{t.task_id}|{t.kernel}|{t.describe()}|{t.flops!r}|"
+                f"{t.priority}|{t.width}\n".encode()
+            )
+        return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """Constructor arguments of one scheduler configuration."""
+
+    name: str  # quark | starpu | ompss
+    n_workers: int
+    policy: Optional[str] = None  # StarPU only
+    window: Optional[int] = None
+    immediate_successor: Optional[bool] = None  # OmpSs only
+
+    def build(self) -> SchedulerBase:
+        kwargs: Dict[str, Any] = {}
+        if self.policy is not None:
+            kwargs["policy"] = self.policy
+        if self.window is not None:
+            kwargs["window"] = self.window
+        if self.immediate_successor is not None:
+            kwargs["immediate_successor"] = self.immediate_successor
+        return make_scheduler(self.name, self.n_workers, **kwargs)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cacheable engine run: program x scheduler x backend x seed.
+
+    ``mode="real"`` runs against the machine-model backend; the calibration
+    fields are ignored.  ``mode="simulated"`` first obtains a calibration
+    trace (itself an ordinary cacheable *real* run of ``cal_scheduler`` on a
+    ``cal_nt``-sized problem), fits the per-kernel timing models, and runs
+    against the simulation backend.
+    """
+
+    program: ProgramSpec
+    scheduler: SchedulerSpec
+    machine: str
+    seed: int = 0
+    mode: str = "real"  # real | simulated
+
+    # -- calibration recipe (simulated mode only) --------------------------
+    cal_nt: Optional[int] = None
+    cal_seed: int = 0
+    cal_scheduler: Optional[SchedulerSpec] = None  # default: ``scheduler``
+    cal_drop_first: bool = True  # drop each worker's first task (warm-up)
+    cal_trim: bool = True  # trim warm-up outliers during fitting
+    family: str = "lognormal"
+    warmup: bool = True  # apply the machine's warm-up penalty in sim
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("real", "simulated"):
+            raise ValueError(f"unknown mode {self.mode!r}; choose real/simulated")
+        if self.mode == "simulated" and self.cal_nt is None:
+            raise ValueError("simulated runs need cal_nt (calibration problem size)")
+
+    # -- derived specs -----------------------------------------------------
+    def calibration_spec(self) -> "RunSpec":
+        """The real run whose trace calibrates this simulated run."""
+        if self.mode != "simulated":
+            raise ValueError("only simulated runs have a calibration spec")
+        return RunSpec(
+            program=replace(self.program, nt=self.cal_nt),
+            scheduler=self.cal_scheduler if self.cal_scheduler is not None else self.scheduler,
+            machine=self.machine,
+            seed=self.cal_seed,
+            mode="real",
+        )
+
+    # -- identity ----------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def cache_key(self) -> str:
+        """Stable content-addressed identity of this run."""
+        doc = self.to_dict()
+        doc["cache_version"] = CACHE_VERSION
+        doc["program_digest"] = self.program.content_digest()
+        if self.mode == "simulated":
+            cal = self.calibration_spec()
+            doc["cal_program_digest"] = cal.program.content_digest()
+        else:
+            # Calibration fields are inert for real runs: normalise them out
+            # so e.g. ``family`` never splits identical real runs.
+            for k in (
+                "cal_nt", "cal_seed", "cal_scheduler", "cal_drop_first",
+                "cal_trim", "family", "warmup",
+            ):
+                doc.pop(k, None)
+        canon = json.dumps(doc, sort_keys=True, default=str)
+        return hashlib.sha256(canon.encode()).hexdigest()

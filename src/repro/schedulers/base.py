@@ -35,6 +35,7 @@ import numpy as np
 from ..core.task import Program, TaskSpec
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..core.metrics import RunMetrics
     from ..trace.events import Trace
 
 __all__ = ["TaskState", "TaskNode", "Backend", "SchedulerBase"]
@@ -177,16 +178,20 @@ class SchedulerBase:
         *,
         seed: int = 0,
         trace_meta: Optional[Dict[str, object]] = None,
+        metrics: Optional["RunMetrics"] = None,
     ) -> "Trace":
         """Execute ``program`` against ``backend`` and return the trace.
 
         Deterministic given ``seed``: all engine decisions are tie-broken
         deterministically and all randomness flows through one
-        ``numpy`` generator handed to the backend.
+        ``numpy`` generator handed to the backend.  ``metrics``, when given,
+        collects the run's :class:`~repro.core.metrics.RunMetrics` counters.
         """
         from .engine import Engine  # local import to avoid a cycle
 
-        engine = Engine(self, program, backend, seed=seed, trace_meta=trace_meta)
+        engine = Engine(
+            self, program, backend, seed=seed, trace_meta=trace_meta, metrics=metrics
+        )
         return engine.run()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

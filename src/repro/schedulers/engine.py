@@ -17,10 +17,12 @@ from __future__ import annotations
 import bisect
 import heapq
 import itertools
+import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..core.metrics import RunMetrics
 from ..core.task import Program
 from ..trace.events import Trace
 from .base import Backend, SchedulerBase, TaskNode, TaskState
@@ -43,12 +45,14 @@ class Engine:
         *,
         seed: int = 0,
         trace_meta: Optional[Dict[str, object]] = None,
+        metrics: Optional[RunMetrics] = None,
     ) -> None:
         self.sched = scheduler
         self.program = program
         self.backend = backend
         self.seed = seed
         self.n_workers = scheduler.n_workers
+        self.metrics = metrics if metrics is not None else RunMetrics()
 
         meta = {
             "scheduler": scheduler.name,
@@ -82,6 +86,10 @@ class Engine:
     # -- helpers -------------------------------------------------------------
     def _push(self, t: float, kind: int, node_idx: int = -1) -> None:
         heapq.heappush(self._heap, (t, next(self._seq), kind, node_idx))
+        m = self.metrics
+        m.heap_pushes += 1
+        if len(self._heap) > m.peak_heap_depth:
+            m.peak_heap_depth = len(self._heap)
 
     def _master_idle(self) -> bool:
         """Can the master start an insertion right now?"""
@@ -101,6 +109,7 @@ class Engine:
         if self._next_insert >= len(self.nodes):
             return
         if self._in_flight >= self.sched.window:
+            self.metrics.window_stalls += 1
             return
         if not self._master_idle():
             return
@@ -215,6 +224,7 @@ class Engine:
             if self._pending_wide is not None:
                 # Head-of-line: the wide task must be placed first.
                 if not self._try_place_wide():
+                    self.metrics.dispatch_stalls += 1
                     return
                 continue
             if not self.sched.has_ready():
@@ -233,6 +243,7 @@ class Engine:
                 self._assign(node, worker)
                 progress = True
             if not progress:
+                self.metrics.dispatch_stalls += 1
                 break
 
     def _assign(self, node: TaskNode, worker: int) -> None:
@@ -254,6 +265,7 @@ class Engine:
         for w in range(worker, worker + node.spec.width):
             self._running[w] = node
             self._idle.remove(w)
+        self.metrics.tasks_executed += 1
         self.trace.record(
             worker=worker,
             task_id=node.task_id,
@@ -267,24 +279,35 @@ class Engine:
 
     # -- main loop ---------------------------------------------------------------
     def run(self) -> Trace:
+        wall_start = time.perf_counter()
+        m = self.metrics
+        m.n_tasks = len(self.nodes)
+        m.n_workers = self.n_workers
         rng = np.random.default_rng(self.seed)
         self.backend.reset(rng, self.n_workers)
         self.sched.setup(self.nodes)
 
         if not self.nodes:
+            m.wall_time_s = time.perf_counter() - wall_start
             return self.trace
 
         self._maybe_start_insertion()
         while self._heap:
             t, _, kind, node_idx = heapq.heappop(self._heap)
+            m.heap_pops += 1
+            m.events_processed += 1
             if t < self.now - 1e-12:
                 raise RuntimeError("event time went backwards — engine bug")
             self.now = max(self.now, t)
             if kind == _INSERT:
+                m.insert_events += 1
                 self._handle_insert()
             else:
+                m.finish_events += 1
                 self._handle_finish(node_idx)
 
+        m.makespan = self.trace.makespan
+        m.wall_time_s = time.perf_counter() - wall_start
         if self._done != len(self.nodes):
             stuck = [n for n in self.nodes if n.state is not TaskState.DONE]
             raise RuntimeError(

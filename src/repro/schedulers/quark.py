@@ -19,7 +19,7 @@ behaviours reproduced here:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .base import SchedulerBase, TaskNode
 from .policies import LifoQueue, PriorityQueue

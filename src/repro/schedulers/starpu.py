@@ -25,8 +25,8 @@ StarPU's distinguishing features reproduced here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from .base import SchedulerBase, TaskNode
 from .policies import FifoQueue, HistoryPerfModel, PriorityQueue, WorkStealingDeques

@@ -9,7 +9,7 @@ directly visible in test logs and CLI output.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from .events import Trace
 

@@ -19,7 +19,7 @@ numbers:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict
 
 import numpy as np
 from scipy import stats

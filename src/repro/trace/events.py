@@ -10,8 +10,8 @@ needs: makespan, per-worker rows, utilisation, per-kernel duration samples
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["TraceEvent", "Trace"]
 

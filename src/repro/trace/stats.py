@@ -9,7 +9,7 @@ tail by active-core thresholds), and scheduling-gap totals.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

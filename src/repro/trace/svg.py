@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import html
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 from ..dag.export import KERNEL_COLORS
 from .events import Trace

@@ -16,7 +16,7 @@ violation; returns a small summary on success.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from ..core.task import Program
 from .events import Trace

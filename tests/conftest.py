@@ -10,9 +10,9 @@ import numpy as np
 import pytest
 
 from repro.algorithms import cholesky_program, qr_program
-from repro.kernels.distributions import ConstantModel, NormalModel
+from repro.kernels.distributions import ConstantModel
 from repro.kernels.timing import KernelModelSet
-from repro.machine import MachineBackend, calibrate, get_machine
+from repro.machine import calibrate, get_machine
 from repro.schedulers import QuarkScheduler
 
 

@@ -112,7 +112,7 @@ class TestGetrfNopiv:
         packed = blas.getrf_nopiv(a.copy())
         from scipy.linalg import lu
 
-        p, l, u = lu(a)
+        p, _, u = lu(a)
         assert np.allclose(p, np.eye(3))
         assert np.allclose(np.triu(packed), u)
 

@@ -1,6 +1,5 @@
 """Correctness tests of the event-driven scheduler engine."""
 
-import numpy as np
 import pytest
 
 from repro.core.simbackend import SimulationBackend

@@ -4,7 +4,6 @@ The full-scale versions live under benchmarks/; these tests verify the
 drivers' logic and output structure quickly.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -17,9 +17,9 @@ from repro import (
     simulate,
     validate,
 )
-from repro.algorithms import random_diagdom, random_spd
+from repro.algorithms import random_spd
 from repro.core.threaded import ThreadedRuntime
-from repro.dag import build_dag, dag_stats, makespan_lower_bound
+from repro.dag import build_dag, makespan_lower_bound
 from repro.trace import compare_traces, load_trace, save_trace
 
 
@@ -99,7 +99,9 @@ class TestFullPipeline:
 class TestCrossSchedulerProperties:
     def test_all_schedulers_same_task_set_different_schedules(self):
         machine = get_machine("magny_cours_48")
-        prog_factory = lambda: cholesky_program(10, 180)
+        def prog_factory():
+            return cholesky_program(10, 180)
+
         traces = {}
         for name, sched in [
             ("quark", QuarkScheduler(48)),
@@ -121,7 +123,9 @@ class TestCrossSchedulerProperties:
         models, _ = calibrate(
             cholesky_program(10, 180), QuarkScheduler(48), machine, seed=0
         )
-        prog = lambda: cholesky_program(12, 180)
+        def prog():
+            return cholesky_program(12, 180)
+
         real_small = QuarkScheduler(48, window=8).run(
             prog(), MachineBackend(machine), seed=1
         )

@@ -1,6 +1,5 @@
 """Tests for multi-threaded (gang-scheduled) tasks — §VII extension."""
 
-import numpy as np
 import pytest
 
 from repro.core.simbackend import SimulationBackend

@@ -11,7 +11,6 @@ randomly generated programs, scheduler configurations, and machines:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,230 @@
+"""Tests for the parallel sweep runner: specs, cache, metrics, determinism."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.metrics import METRICS_SCHEMA, RunMetrics
+from repro.core.threaded import ThreadedRuntime
+from repro.algorithms import cholesky_program
+from repro.runner import (
+    ProgramSpec,
+    ResultCache,
+    RunSpec,
+    SchedulerSpec,
+    execute_spec,
+    run_cached,
+    sweep,
+)
+
+
+def _spec(nt=4, seed=0, mode="real", scheduler="quark", **kwargs):
+    n_workers = 48 if scheduler == "quark" else 47
+    sched_kwargs = {"policy": "prio"} if scheduler == "starpu" else {}
+    return RunSpec(
+        program=ProgramSpec("cholesky", nt, 100),
+        scheduler=SchedulerSpec(scheduler, n_workers, **sched_kwargs),
+        machine="magny_cours_48",
+        seed=seed,
+        mode=mode,
+        **({"cal_nt": 4} if mode == "simulated" else {}),
+        **kwargs,
+    )
+
+
+class TestSpecs:
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(KeyError):
+            ProgramSpec("lu_pp", 4, 100)
+
+    def test_cache_key_stable(self):
+        assert _spec().cache_key() == _spec().cache_key()
+
+    def test_cache_key_sensitive_to_every_param(self):
+        base = _spec().cache_key()
+        assert _spec(nt=5).cache_key() != base
+        assert _spec(seed=1).cache_key() != base
+        assert _spec(scheduler="starpu").cache_key() != base
+        assert _spec(mode="simulated").cache_key() != base
+
+    def test_real_key_ignores_calibration_fields(self):
+        # Calibration settings do not affect a real run, so they must not
+        # fragment the cache.
+        a = _spec(mode="real")
+        b = RunSpec(
+            program=a.program, scheduler=a.scheduler, machine=a.machine,
+            seed=a.seed, mode="real", cal_nt=8, cal_seed=7, family="gamma",
+        )
+        assert a.cache_key() == b.cache_key()
+
+    def test_calibration_spec_is_real(self):
+        cal = _spec(mode="simulated").calibration_spec()
+        assert cal.mode == "real"
+        assert cal.program.nt == 4
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        assert spec.cache_key() not in cache
+        run_cached(spec, cache)
+        run_cached(spec, cache)
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert len(cache) >= 1
+
+    def test_param_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_cached(_spec(), cache)
+        run_cached(_spec(seed=1), cache)
+        assert cache.misses == 2
+        assert cache.hits == 0
+
+    def test_cached_trace_identical_to_fresh(self, tmp_path):
+        from repro.trace.textio import dumps_trace
+
+        spec = _spec()
+        fresh, _ = execute_spec(spec)
+        cached = run_cached(spec, ResultCache(tmp_path)).load_trace()
+        assert dumps_trace(cached) == dumps_trace(fresh)
+
+    def test_entry_files_on_disk(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = run_cached(_spec(), cache)
+        assert result.trace_path is not None
+        entry = cache.get(_spec().cache_key())
+        assert entry.trace_path.exists()
+        assert entry.metrics_path.exists()
+        spec_dict = entry.load_spec_dict()
+        assert spec_dict["program"]["algorithm"] == "cholesky"
+        payload = json.loads(entry.metrics_path.read_text())
+        assert payload["schema"] == METRICS_SCHEMA
+
+    def test_partial_entry_recomputed_and_replaced(self, tmp_path):
+        # A stale entry directory missing its trace (interrupted writer,
+        # manual deletion) must be treated as a miss and overwritten.
+        cache = ResultCache(tmp_path)
+        entry = run_cached(_spec(), cache)
+        ResultCache(tmp_path).get(_spec().cache_key()).trace_path.unlink()
+        healed = run_cached(_spec(), ResultCache(tmp_path))
+        assert not healed.cached
+        assert healed.trace_dump() == entry.trace_dump()
+        assert _spec().cache_key() in ResultCache(tmp_path)
+
+    def test_simulated_run_caches_calibration(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_cached(_spec(mode="simulated", seed=3), cache)
+        # calibration (real) run + simulated run
+        assert cache.misses == 2
+        # A second simulated spec sharing cal settings hits the calibration.
+        cache2 = ResultCache(tmp_path)
+        run_cached(_spec(mode="simulated", seed=4), cache2)
+        assert cache2.hits == 1  # the shared calibration run
+        assert cache2.misses == 1
+
+
+class TestMetrics:
+    def test_engine_metrics_populated(self):
+        _, metrics = execute_spec(_spec())
+        assert metrics.events_processed > 0
+        assert metrics.heap_pushes == metrics.heap_pops
+        assert metrics.tasks_executed == metrics.n_tasks == 20  # nt=4 Cholesky
+        assert metrics.peak_heap_depth > 0
+        assert metrics.makespan > 0
+        assert metrics.wall_time_s > 0
+
+    def test_metrics_json_roundtrip(self, tmp_path):
+        _, metrics = execute_spec(_spec())
+        path = metrics.write_json(tmp_path / "m.json")
+        back = RunMetrics.read_json(path)
+        assert back.to_dict() == metrics.to_dict()
+
+    def test_teq_metrics_via_threaded_runtime(self):
+        metrics = RunMetrics()
+        runtime = ThreadedRuntime(2, mode="simulate", guard="quiesce")
+        from repro.kernels.timing import KernelModelSet
+        from repro.machine.calibration import collect_samples
+
+        trace, cal_metrics = execute_spec(_spec())
+        models = KernelModelSet.from_samples(collect_samples(trace))
+        runtime.run(cholesky_program(4, 100), models=models, seed=1, metrics=metrics)
+        assert metrics.teq_inserts > 0
+        assert metrics.teq_pops == metrics.teq_inserts
+        assert metrics.peak_teq_depth >= 1
+
+
+class TestSweep:
+    def test_serial_parallel_traces_byte_identical(self, tmp_path):
+        specs = [_spec(seed=s, scheduler=n)
+                 for s in (0, 1) for n in ("quark", "starpu", "ompss")]
+        serial = sweep(specs, jobs=1, cache=tmp_path / "a")
+        parallel = sweep(specs, jobs=4, cache=tmp_path / "b")
+        for rs, rp in zip(serial.results, parallel.results):
+            assert rs.trace_dump() == rp.trace_dump()
+
+    def test_repeat_sweep_reports_cache_hits(self, tmp_path):
+        # Acceptance: an N-point grid rerun reports >= N-1 hits.
+        specs = [_spec(nt=nt, seed=nt) for nt in (3, 4, 5, 6)]
+        cold = sweep(specs, jobs=2, cache=tmp_path)
+        assert cold.cache_hits == 0 and cold.cache_misses == len(specs)
+        warm = sweep(specs, jobs=2, cache=tmp_path)
+        assert warm.cache_hits >= len(specs) - 1
+        assert warm.cache_misses == 0
+
+    def test_results_in_spec_order(self, tmp_path):
+        specs = [_spec(nt=nt) for nt in (6, 3, 5)]
+        outcome = sweep(specs, jobs=3, cache=tmp_path)
+        assert [r.spec.program.nt for r in outcome.results] == [6, 3, 5]
+
+    def test_sim_specs_share_one_calibration_entry(self, tmp_path):
+        specs = [_spec(mode="simulated", seed=s) for s in (10, 11)]
+        sweep(specs, jobs=1, cache=tmp_path)
+        # 2 simulated entries + ONE shared calibration entry, not two.
+        assert len(ResultCache(tmp_path)) == 3
+
+    def test_ephemeral_cache_traces_survive_cleanup(self):
+        specs = [_spec(mode="simulated", seed=s) for s in (10, 11)]
+        outcome = sweep(specs, jobs=1)  # no cache given
+        assert outcome.cache_misses == len(specs)
+        for r in outcome.results:
+            assert r.trace_dump()  # pulled in-memory before the tmp dir died
+            assert r.load_trace().makespan > 0
+
+    def test_metrics_document(self, tmp_path):
+        outcome = sweep([_spec()], cache=tmp_path / "c")
+        path = outcome.write_metrics(tmp_path / "sweep.json")
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro.sweep_metrics/v1"
+        assert len(doc["runs"]) == 1
+        run = doc["runs"][0]
+        assert run["cached"] is False
+        assert run["metrics"]["schema"] == METRICS_SCHEMA
+        assert run["spec"]["mode"] == "real"
+
+
+class TestCliSweep:
+    def test_sweep_command_cold_then_warm(self, tmp_path, capsys):
+        argv = ["sweep", "--algorithm", "cholesky", "--nts", "4", "--nb", "100",
+                "--schedulers", "quark", "--seeds", "0", "--mode", "real",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--metrics-out", str(tmp_path / "m.json")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 hits, 1 misses" in out
+        assert (tmp_path / "m.json").exists()
+        assert main(argv) == 0
+        assert "1 hits, 0 misses" in capsys.readouterr().out
+
+    def test_sweep_validate_mode_table(self, tmp_path, capsys):
+        assert main(
+            ["sweep", "--nts", "4", "--nb", "100", "--seeds", "0",
+             "--cal-nt", "4", "--cache-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "real GF/s" in out
+        assert "sim GF/s" in out
+
+    def test_sweep_rejects_bad_jobs(self, capsys):
+        assert main(["sweep", "--jobs", "0", "--no-cache"]) == 2
