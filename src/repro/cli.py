@@ -17,6 +17,10 @@ Commands
 ``sweep``
     Run a (scheduler x size x seed) grid through the parallel runner with
     result caching; export per-run metrics JSON.
+``stress``
+    Randomized stress sweep of the threaded runtime: programs x race
+    guards x worker counts, optionally with injected faults, every trace
+    verified.  Exit status 1 when any combination fails.
 
 Every command is pure offline computation on the bundled machine models.
 """
@@ -262,6 +266,47 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_stress(args) -> int:
+    from .core.faults import FaultPlan
+    from .core.threaded import RACE_GUARDS
+    from .core.watchdog import StallPolicy
+    from .experiments.stress import run_stress
+
+    for g in args.guards:
+        if g not in RACE_GUARDS:
+            print(f"unknown guard {g!r}; choose from {RACE_GUARDS}", file=sys.stderr)
+            return 2
+    faults = None
+    if args.drop_notify_rate > 0.0 or args.wait_delay > 0.0 or args.kill_worker is not None:
+        faults = FaultPlan(
+            wait_delay=args.wait_delay,
+            drop_notify_rate=args.drop_notify_rate,
+            kill_worker=args.kill_worker,
+            seed=args.fault_seed,
+        )
+    stall = StallPolicy(
+        timeout_s=args.stall_timeout,
+        on_stall=args.on_stall,
+        poll_s=min(0.25, args.stall_timeout / 4.0),
+    )
+    progress = (lambda msg: print(msg, file=sys.stderr)) if args.verbose else None
+    report = run_stress(
+        n_programs=args.programs,
+        n_tasks=args.tasks,
+        guards=args.guards,
+        worker_counts=args.workers,
+        base_seed=args.base_seed,
+        faults=faults,
+        stall=stall,
+        progress=progress,
+    )
+    print(report.table())
+    if not report.all_ok:
+        print(f"{len(report.failures)} failing combinations", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -330,6 +375,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="print per-run progress to stderr")
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser(
+        "stress",
+        help="randomized stress sweep of the threaded runtime (all race guards)",
+    )
+    p.add_argument("--programs", type=int, default=25,
+                   help="number of random task streams")
+    p.add_argument("--tasks", type=int, default=14, help="tasks per stream")
+    p.add_argument("--guards", nargs="+",
+                   default=["quiesce", "sleep", "yield", "none"],
+                   help="race guards to sweep")
+    p.add_argument("--workers", type=int, nargs="+", default=[2, 4],
+                   help="worker-count grid points")
+    p.add_argument("--base-seed", type=int, default=0, dest="base_seed")
+    p.add_argument("--stall-timeout", type=float, default=30.0, dest="stall_timeout",
+                   help="watchdog budget per run (seconds of real time)")
+    p.add_argument("--on-stall", choices=("raise", "recover"), default="raise",
+                   dest="on_stall")
+    p.add_argument("--drop-notify-rate", type=float, default=0.0,
+                   dest="drop_notify_rate",
+                   help="inject: probability of losing each TEQ wake-up")
+    p.add_argument("--wait-delay", type=float, default=0.0, dest="wait_delay",
+                   help="inject: sleep between TEQ insert and front wait (s)")
+    p.add_argument("--kill-worker", type=int, default=None, dest="kill_worker",
+                   help="inject: this worker dies on its first claim")
+    p.add_argument("--fault-seed", type=int, default=0, dest="fault_seed")
+    p.add_argument("--verbose", action="store_true",
+                   help="print per-combination progress to stderr")
+    p.set_defaults(fn=_cmd_stress)
 
     return parser
 

@@ -1,16 +1,29 @@
 """Simulator core: task model, clock, TEQ, backends, and the high-level API."""
 
 from .clock import SimClock
+from .faults import FaultPlan, FaultState
 from .metrics import METRICS_SCHEMA, RunMetrics
 from .simbackend import HeterogeneousSimulationBackend, SimulationBackend
 from .simulator import ValidationResult, run_real, simulate, validate
 from .task import READ, RW, WRITE, Access, AccessMode, DataRef, DataRegistry, Program, TaskSpec
 from .teq import TaskExecutionQueue
+from .watchdog import (
+    STALL_DIAGNOSTIC_SCHEMA,
+    STALL_POLICIES,
+    RuntimeStallError,
+    StallPolicy,
+)
 
 __all__ = [
     "SimClock",
+    "FaultPlan",
+    "FaultState",
     "METRICS_SCHEMA",
     "RunMetrics",
+    "STALL_DIAGNOSTIC_SCHEMA",
+    "STALL_POLICIES",
+    "RuntimeStallError",
+    "StallPolicy",
     "HeterogeneousSimulationBackend",
     "SimulationBackend",
     "ValidationResult",

@@ -1,0 +1,133 @@
+"""Deterministic fault injection for the threaded runtime.
+
+The §V-E race guards and the stall watchdog are only trustworthy if they can
+be exercised on demand: a race window that opens once in a thousand runs is
+untestable, and a watchdog that has never seen a deadlock is decoration.
+A :class:`FaultPlan` describes, as plain frozen data, the faults one
+threaded run should suffer:
+
+``dispatch_delay`` / ``delay_kernels``
+    Real-time sleep between a worker claiming a task and the task body
+    starting.  Widens the §V-E race window (the Fig. 5 experiment injects
+    this around task C's dispatch).
+``wait_delay`` / ``wait_delay_kernels``
+    Real-time sleep between a simulated task registering in the Task
+    Execution Queue (§V-D step 3) and it starting to wait for the front
+    (step 4).  Holds the front slot occupied so later tasks demonstrably
+    queue up behind it — the window in which a lost wake-up strands them.
+``drop_notify_rate``
+    Probability that one TEQ wake-up (``notify_all`` after an insert, a
+    pop, or an external guard-state change) is silently swallowed.  A rate
+    of ``1.0`` loses every notification: waiters strand deterministically
+    and only the watchdog's forced notify can free them.
+``kill_worker`` / ``kill_after_claims``
+    Worker ``kill_worker`` dies (its thread exits) the moment it claims its
+    ``kill_after_claims``-th task.  The claimed task is leaked: it never
+    registers in the TEQ and never completes, so the run stalls — the
+    "worker death" failure PDES engines must self-diagnose.
+
+Plans are immutable and seeded; the mutable per-run companion
+:class:`FaultState` owns the RNG and the counters, so one plan can be
+replayed across runs and guards with identical fault sequences.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["FaultPlan", "FaultState"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Immutable description of the faults to inject into one threaded run."""
+
+    dispatch_delay: float = 0.0
+    delay_kernels: Optional[Tuple[str, ...]] = None
+    wait_delay: float = 0.0
+    wait_delay_kernels: Optional[Tuple[str, ...]] = None
+    drop_notify_rate: float = 0.0
+    kill_worker: Optional[int] = None
+    kill_after_claims: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dispatch_delay < 0.0 or self.wait_delay < 0.0:
+            raise ValueError("fault delays must be non-negative")
+        if not 0.0 <= self.drop_notify_rate <= 1.0:
+            raise ValueError("drop_notify_rate must be within [0, 1]")
+        if self.kill_worker is not None and self.kill_worker < 0:
+            raise ValueError("kill_worker must be a worker index")
+        if self.kill_after_claims < 1:
+            raise ValueError("kill_after_claims must be at least 1")
+        for name in ("delay_kernels", "wait_delay_kernels"):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(self, name, tuple(value))
+
+    def active(self) -> bool:
+        """Does this plan inject anything at all?"""
+        return (
+            self.dispatch_delay > 0.0
+            or self.wait_delay > 0.0
+            or self.drop_notify_rate > 0.0
+            or self.kill_worker is not None
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering (stall diagnostics embed the active plan)."""
+        return asdict(self)
+
+
+class FaultState:
+    """Mutable per-run companion of a :class:`FaultPlan`: RNG and counters."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = np.random.default_rng(plan.seed)
+        self._lock = threading.Lock()
+        self._claims: Dict[int, int] = {}
+        self.notify_drops = 0
+
+    def dispatch_delay(self, kernel: str) -> float:
+        """Seconds to stall between claim and body start for ``kernel``."""
+        p = self.plan
+        if p.dispatch_delay <= 0.0:
+            return 0.0
+        if p.delay_kernels is not None and kernel not in p.delay_kernels:
+            return 0.0
+        return p.dispatch_delay
+
+    def wait_delay(self, kernel: str) -> float:
+        """Seconds to stall between TEQ insert and the front wait."""
+        p = self.plan
+        if p.wait_delay <= 0.0:
+            return 0.0
+        if p.wait_delay_kernels is not None and kernel not in p.wait_delay_kernels:
+            return 0.0
+        return p.wait_delay
+
+    def drop_notify(self) -> bool:
+        """Should the next TEQ notification be swallowed?"""
+        p = self.plan
+        if p.drop_notify_rate <= 0.0:
+            return False
+        with self._lock:
+            if p.drop_notify_rate >= 1.0 or self._rng.random() < p.drop_notify_rate:
+                self.notify_drops += 1
+                return True
+        return False
+
+    def should_die(self, worker: int) -> bool:
+        """Record one claim by ``worker``; ``True`` when it must now die."""
+        p = self.plan
+        if p.kill_worker is None or worker != p.kill_worker:
+            return False
+        with self._lock:
+            n = self._claims.get(worker, 0) + 1
+            self._claims[worker] = n
+        return n == p.kill_after_claims

@@ -51,6 +51,16 @@ class RunMetrics:
     -------------------------------
     ``teq_inserts`` / ``teq_pops`` / ``peak_teq_depth``
         Traffic and high-water mark of the Task Execution Queue.
+    ``teq_notify_drops``
+        TEQ wake-ups swallowed by an injected notify fault (zero outside
+        fault-injection runs).
+
+    Robustness counters (threaded runtime)
+    --------------------------------------
+    ``stall_recoveries``
+        Stall episodes the watchdog healed with a forced TEQ notification
+        under the ``on_stall="recover"`` policy.  A fatal stall instead
+        stores its diagnostic document under ``extra["stall"]``.
 
     Run summary
     -----------
@@ -70,6 +80,8 @@ class RunMetrics:
     teq_inserts: int = 0
     teq_pops: int = 0
     peak_teq_depth: int = 0
+    teq_notify_drops: int = 0
+    stall_recoveries: int = 0
     n_tasks: int = 0
     n_workers: int = 0
     makespan: float = 0.0
@@ -84,6 +96,19 @@ class RunMetrics:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunMetrics":
+        """Parse a document produced by :meth:`to_dict`.
+
+        The document must carry the :data:`METRICS_SCHEMA` tag; a missing
+        or foreign tag raises ``ValueError`` naming the offending tag, so
+        that e.g. a sweep document or a stall diagnostic fed to this parser
+        fails loudly instead of silently yielding all-zero metrics.
+        """
+        tag = data.get("schema")
+        if tag != METRICS_SCHEMA:
+            raise ValueError(
+                f"not a RunMetrics document: schema tag {tag!r} "
+                f"(expected {METRICS_SCHEMA!r})"
+            )
         known = {f for f in cls.__dataclass_fields__}
         kwargs = {k: v for k, v in data.items() if k in known}
         return cls(**kwargs)

@@ -7,9 +7,17 @@ control to the scheduler when they reach the front — guaranteeing that the
 scheduler observes task completions in simulated-time order even though the
 worker threads hosting those tasks run in arbitrary real-time order.
 
-The queue is thread-safe and supports the two operations the protocol needs:
-``insert`` and ``wait_until_front`` / ``pop_front``.  A condition variable
-wakes blocked tasks whenever the front changes.
+The queue is thread-safe and supports the operations the protocol needs:
+``insert``, ``wait_until_front`` / ``pop_front``, and the atomic
+:meth:`wait_pop_front` the threaded runtime uses (waiting and popping as
+separate steps leaves a window in which a newly inserted task can steal the
+front and turn the pop into a crash).  A condition variable wakes blocked
+tasks whenever the front changes.
+
+Robustness hooks: ``notify_fault`` lets a fault plan swallow wake-ups (to
+rehearse lost-notify deadlocks), ``escape`` predicates let the stall
+watchdog abort open-ended waits, and :meth:`snapshot` feeds the stall
+diagnostic.
 """
 
 from __future__ import annotations
@@ -17,7 +25,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from .metrics import RunMetrics
 
@@ -28,15 +36,31 @@ class TaskExecutionQueue:
     """Thread-safe priority queue keyed by simulated completion time.
 
     ``metrics``, when given, accumulates TEQ traffic (inserts, pops, peak
-    depth) under the queue's own lock.
+    depth, dropped notifications) under the queue's own lock.
+    ``notify_fault`` is the fault-injection hook: a callable consulted on
+    every notification; returning ``True`` swallows that wake-up.
     """
 
-    def __init__(self, metrics: Optional[RunMetrics] = None) -> None:
+    def __init__(
+        self,
+        metrics: Optional[RunMetrics] = None,
+        *,
+        notify_fault: Optional[Callable[[], bool]] = None,
+    ) -> None:
         self._heap: List[Tuple[float, int, int]] = []  # (end_time, seq, task_id)
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._seq = itertools.count()
         self.metrics = metrics
+        self.notify_fault = notify_fault
+
+    def _notify_locked(self, *, force: bool = False) -> None:
+        """Wake waiters; the fault hook may swallow non-forced wake-ups."""
+        if not force and self.notify_fault is not None and self.notify_fault():
+            if self.metrics is not None:
+                self.metrics.teq_notify_drops += 1
+            return
+        self._cond.notify_all()
 
     def insert(self, task_id: int, end_time: float) -> None:
         """Add a task with its simulated completion time."""
@@ -46,7 +70,7 @@ class TaskExecutionQueue:
                 self.metrics.teq_inserts += 1
                 if len(self._heap) > self.metrics.peak_teq_depth:
                     self.metrics.peak_teq_depth = len(self._heap)
-            self._cond.notify_all()
+            self._notify_locked()
 
     def front(self) -> Optional[int]:
         """Task id currently at the front (soonest completion), or ``None``."""
@@ -68,11 +92,14 @@ class TaskExecutionQueue:
                 raise RuntimeError(
                     f"task {task_id} attempted to pop while not at the front"
                 )
-            end, _, _ = heapq.heappop(self._heap)
-            if self.metrics is not None:
-                self.metrics.teq_pops += 1
-            self._cond.notify_all()
-            return end
+            return self._pop_locked()
+
+    def _pop_locked(self) -> float:
+        end, _, _ = heapq.heappop(self._heap)
+        if self.metrics is not None:
+            self.metrics.teq_pops += 1
+        self._notify_locked()
+        return end
 
     def wait_until_front(
         self,
@@ -80,24 +107,71 @@ class TaskExecutionQueue:
         *,
         timeout: Optional[float] = None,
         predicate=None,
+        escape: Optional[Callable[[], bool]] = None,
     ) -> bool:
         """Block until ``task_id`` is at the front (and ``predicate()`` holds).
 
         ``predicate`` is the race-condition guard hook: when supplied, the
         task additionally waits until it returns ``True`` (e.g. QUARK's
-        bookkeeping-complete query).  Returns ``False`` on timeout.
+        bookkeeping-complete query).  ``escape`` is the watchdog's abort
+        hatch: when it returns ``True`` the wait ends regardless of the
+        front (callers must re-check it).  Returns ``False`` on timeout.
         """
         with self._cond:
-            def ok() -> bool:
-                at_front = bool(self._heap) and self._heap[0][2] == task_id
-                return at_front and (predicate() if predicate is not None else True)
+            return self._cond.wait_for(
+                self._ready_check(task_id, predicate, escape), timeout=timeout
+            )
 
-            return self._cond.wait_for(ok, timeout=timeout)
+    def wait_pop_front(
+        self,
+        task_id: int,
+        *,
+        timeout: Optional[float] = None,
+        predicate=None,
+        escape: Optional[Callable[[], bool]] = None,
+        before_pop: Optional[Callable[[], None]] = None,
+    ) -> Optional[float]:
+        """Atomically wait until ``task_id`` may return, then pop it.
 
-    def notify(self) -> None:
-        """Wake waiters to re-evaluate (used when external guard state changes)."""
+        The front check and the pop happen under one lock hold, closing the
+        race in which another task with an earlier completion time is
+        inserted between the wake-up and the pop.  ``before_pop`` runs under
+        the queue lock just before the pop (the runtime advances the shared
+        clock there, preserving the §V-D ordering "advance, then pop").
+        Returns the completion time, or ``None`` on timeout or escape.
+        """
         with self._cond:
-            self._cond.notify_all()
+            ok = self._ready_check(task_id, predicate, escape)
+            if not self._cond.wait_for(ok, timeout=timeout):
+                return None
+            if escape is not None and escape():
+                return None
+            if before_pop is not None:
+                before_pop()
+            return self._pop_locked()
+
+    def _ready_check(self, task_id, predicate, escape) -> Callable[[], bool]:
+        def ok() -> bool:
+            if escape is not None and escape():
+                return True
+            at_front = bool(self._heap) and self._heap[0][2] == task_id
+            return at_front and (predicate() if predicate is not None else True)
+
+        return ok
+
+    def notify(self, *, force: bool = False) -> None:
+        """Wake waiters to re-evaluate (used when external guard state changes).
+
+        ``force=True`` bypasses the fault hook — the stall watchdog's
+        recovery notify must not itself be droppable.
+        """
+        with self._cond:
+            self._notify_locked(force=force)
+
+    def snapshot(self) -> List[Tuple[int, float]]:
+        """``(task_id, end_time)`` pairs in completion order (front first)."""
+        with self._lock:
+            return [(tid, end) for end, _, tid in sorted(self._heap)]
 
     def __len__(self) -> int:
         with self._lock:

@@ -40,13 +40,27 @@ already-advanced clock and lands too late in the trace.  Guards:
   runtime time to finish its bookkeeping, then re-check;
 * ``"none"`` — no guard: reproduces the race (used by the Fig. 5
   experiment, usually together with ``dispatch_delay``).
+
+**Robustness layer.**  Every run is overseen by a stall watchdog (see
+:mod:`repro.core.watchdog`): a daemon thread that samples the run's
+progress counter against a real-time budget and, on expiry, captures a
+structured diagnostic (per-worker state, TEQ contents, the ``limbo`` /
+``idle`` / ``n_ready`` counters), stores it under
+``RunMetrics.extra["stall"]``, and either raises
+:class:`~repro.core.watchdog.RuntimeStallError` or — under
+``on_stall="recover"`` — force-notifies the TEQ with bounded backoff
+first.  Faults (lost notifies, dispatch/wait delays, worker death) can be
+injected deterministically through a :class:`~repro.core.faults.FaultPlan`
+to rehearse exactly the failures the watchdog exists to catch.  Worker
+threads that crash no longer hang the run: the first exception aborts all
+threads and re-raises from :meth:`ThreadedRuntime.run`.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -57,13 +71,30 @@ from ..schedulers.policies import PriorityQueue
 from ..schedulers.taskdep import HazardTracker
 from ..trace.events import Trace
 from .clock import SimClock
+from .faults import FaultPlan, FaultState
 from .metrics import RunMetrics
 from .task import Program, TaskSpec
 from .teq import TaskExecutionQueue
+from .watchdog import STALL_DIAGNOSTIC_SCHEMA, RuntimeStallError, StallPolicy
 
-__all__ = ["ThreadedRuntime", "RACE_GUARDS"]
+__all__ = [
+    "ThreadedRuntime",
+    "RACE_GUARDS",
+    "DEFAULT_STALL_POLICY",
+    "FaultPlan",
+    "StallPolicy",
+    "RuntimeStallError",
+]
 
 RACE_GUARDS = ("quiesce", "sleep", "yield", "none")
+
+#: Watchdog applied when the caller does not choose one (pass ``stall=None``
+#: to run unsupervised, reproducing the pre-watchdog behaviour).
+DEFAULT_STALL_POLICY = StallPolicy()
+
+
+class _RunAborted(Exception):
+    """Internal: the watchdog (or a crashing peer) aborted this run."""
 
 
 class _Node:
@@ -102,6 +133,8 @@ class ThreadedRuntime:
         window: int = 4096,
         dispatch_delay: float = 0.0,
         delay_kernels: Optional[Tuple[str, ...]] = None,
+        faults: Optional[FaultPlan] = None,
+        stall: Optional[StallPolicy] = DEFAULT_STALL_POLICY,
     ) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
@@ -111,17 +144,30 @@ class ThreadedRuntime:
             raise ValueError(f"unknown race guard {guard!r}; choose from {RACE_GUARDS}")
         if window < 1:
             raise ValueError("window must be at least 1")
+        if stall is not None and not isinstance(stall, StallPolicy):
+            raise TypeError("stall must be a StallPolicy or None")
+        if faults is not None and (dispatch_delay > 0.0 or delay_kernels is not None):
+            raise ValueError(
+                "give dispatch delays through faults= or through the "
+                "dispatch_delay/delay_kernels shorthand, not both"
+            )
+        if faults is None and (dispatch_delay > 0.0 or delay_kernels is not None):
+            # Legacy shorthand for the Fig. 5 race-window injection.
+            faults = FaultPlan(
+                dispatch_delay=dispatch_delay,
+                delay_kernels=tuple(delay_kernels) if delay_kernels else None,
+            )
         self.n_workers = n_workers
         self.mode = mode
         self.guard = guard
         self.sleep_time = sleep_time
         self.window = window
-        #: artificial real-time delay between a worker claiming a task and
-        #: the task body starting — widens the §V-E race window for tests.
-        #: ``delay_kernels`` restricts the injection to specific kernel
-        #: classes so a test can target one dispatch (e.g. Fig. 5's task C).
-        self.dispatch_delay = dispatch_delay
-        self.delay_kernels = delay_kernels
+        #: the fault-injection plan for this runtime (None = no faults); the
+        #: legacy ``dispatch_delay`` / ``delay_kernels`` attributes mirror it.
+        self.faults = faults
+        self.stall = stall
+        self.dispatch_delay = faults.dispatch_delay if faults is not None else 0.0
+        self.delay_kernels = faults.delay_kernels if faults is not None else None
 
     # -- public entry -------------------------------------------------------
     def run(
@@ -138,7 +184,9 @@ class ThreadedRuntime:
         ``simulate`` mode requires ``models``; ``execute`` mode requires
         ``store`` holding the input tiles (``program.meta['nb']`` gives the
         tile order).  ``metrics``, when given, collects TEQ traffic and the
-        run's wall-clock/makespan summary.
+        run's wall-clock/makespan summary; on a fatal stall it additionally
+        receives the diagnostic under ``extra["stall"]`` before
+        :class:`RuntimeStallError` propagates.
         """
         if self.mode == "simulate" and models is None:
             raise ValueError("simulate mode requires kernel timing models")
@@ -162,13 +210,17 @@ class ThreadedRuntime:
         )
         wall_start = time.perf_counter()
         state = _RunState(self, program, trace, models, store, seed, metrics=metrics)
-        state.run()
-        if metrics is not None:
-            metrics.n_tasks = len(program)
-            metrics.n_workers = self.n_workers
-            metrics.tasks_executed = len(trace)
-            metrics.makespan = trace.makespan
-            metrics.wall_time_s = time.perf_counter() - wall_start
+        try:
+            state.run()
+        finally:
+            # Even a stalled run reports what it managed (the partial trace
+            # and the TEQ traffic are exactly what the diagnostic refers to).
+            if metrics is not None:
+                metrics.n_tasks = len(program)
+                metrics.n_workers = self.n_workers
+                metrics.tasks_executed = len(trace)
+                metrics.makespan = trace.makespan
+                metrics.wall_time_s = time.perf_counter() - wall_start
         return trace
 
 
@@ -209,9 +261,89 @@ class _RunState:
         self.in_flight = 0
         self.shutdown = False
 
+        # -- robustness state ------------------------------------------------
+        self.metrics = metrics
+        self.faults = FaultState(rt.faults) if rt.faults is not None else None
+        #: monotone heartbeat the watchdog samples; bumped on every claim,
+        #: TEQ insert/pop, ready release, and completion.  Increments may
+        #: race and collapse, but any single bump still changes the value,
+        #: which is all change-detection needs.
+        self.progress = 0
+        self.aborted = False
+        self.stall_diagnostic: Optional[Dict[str, Any]] = None
+        self.worker_errors: List[Tuple[int, BaseException]] = []
+        #: per-worker view for the stall diagnostic; each entry is replaced
+        #: wholesale so readers never observe a half-written record.
+        self.worker_state: List[Dict[str, Any]] = [
+            {"state": "new", "task_id": None, "kernel": None}
+            for _ in range(rt.n_workers)
+        ]
+
         self.clock = SimClock()
-        self.teq = TaskExecutionQueue(metrics=metrics)
+        self.teq = TaskExecutionQueue(
+            metrics=metrics,
+            notify_fault=self.faults.drop_notify if self.faults is not None else None,
+        )
         self.t0_real = 0.0
+
+    # -- progress / diagnostics ---------------------------------------------
+    def _progressed(self) -> None:
+        self.progress += 1
+
+    def _mark_worker(self, worker: int, state: str, node: Optional[_Node] = None) -> None:
+        self.worker_state[worker] = {
+            "state": state,
+            "task_id": node.task_id if node is not None else None,
+            "kernel": node.kernel if node is not None else None,
+        }
+
+    def _escape(self) -> bool:
+        return self.aborted
+
+    def force_wake(self) -> None:
+        """Watchdog recovery: wake every TEQ waiter and monitor sleeper."""
+        self.teq.notify(force=True)
+        with self.cond:
+            self.cond.notify_all()
+
+    def abort(self) -> None:
+        """Unblock every thread so the run can fail fast with a diagnosis."""
+        with self.cond:
+            self.aborted = True
+            self.shutdown = True
+            self.cond.notify_all()
+        self.teq.notify(force=True)
+
+    def diagnose(self, policy: StallPolicy, recover_attempts: int) -> Dict[str, Any]:
+        """Structured snapshot of why the run is stuck (JSON-ready)."""
+        with self.lock:
+            counters = {
+                "n_tasks": len(self.nodes),
+                "done": self.done_count,
+                "in_flight": self.in_flight,
+                "n_ready": self.n_ready,
+                "idle": self.idle,
+                "limbo": self.limbo,
+                "shutdown": self.shutdown,
+            }
+            workers = [
+                dict(record, worker=w) for w, record in enumerate(self.worker_state)
+            ]
+        return {
+            "schema": STALL_DIAGNOSTIC_SCHEMA,
+            "guard": self.rt.guard,
+            "mode": self.rt.mode,
+            "program": self.program.name,
+            "elapsed_s": time.perf_counter() - self.t0_real,
+            "policy": policy.to_dict(),
+            "recover_attempts_made": recover_attempts,
+            "counters": counters,
+            "teq": [
+                {"task_id": tid, "end_time": end} for tid, end in self.teq.snapshot()
+            ],
+            "workers": workers,
+            "faults": self.faults.plan.to_dict() if self.faults is not None else None,
+        }
 
     # -- guard predicate (quiesce) --------------------------------------------
     def _quiesce_ok(self) -> bool:
@@ -248,6 +380,7 @@ class _RunState:
         node.ready_clock = self.clock.now()
         self.ready.push(node)
         self.n_ready += 1
+        self._progressed()
         self.cond.notify_all()
         self._notify_teq()
 
@@ -257,6 +390,7 @@ class _RunState:
             node.done = True
             self.done_count += 1
             self.in_flight -= 1
+            self._progressed()
             for succ in node.successors:
                 succ.n_deps -= 1
                 if succ.n_deps == 0:
@@ -285,85 +419,223 @@ class _RunState:
         end = start + duration
         # 3. register in the Task Execution Queue and the simulated trace.
         self.teq.insert(node.task_id, end)
+        self._progressed()
         with self.cond:
             self.limbo -= 1  # now visible to the scheduler via the TEQ
             self.cond.notify_all()
         self._notify_teq()
         with self.trace_lock:
             self.trace.record(worker, node.task_id, node.kernel, start, end, node.spec.label)
-        # 4. wait for our turn to "complete".
-        self._wait_for_front(node)
-        # 5. advance the clock and return to the scheduler.
-        self.clock.advance_to(end)
-        self.teq.pop_front(node.task_id)
+        if self.faults is not None:
+            pause = self.faults.wait_delay(node.kernel)
+            if pause > 0.0:
+                time.sleep(pause)  # §V-D step 3→4 window injection
+        # 4./5. wait for our turn, advance the clock, pop, return.
+        self._mark_worker(worker, "waiting_front", node)
+        self._wait_for_front(node, end)
 
-    def _wait_for_front(self, node: _Node) -> None:
+    def _wait_for_front(self, node: _Node, end: float) -> None:
+        """Steps 4-5 of the §V-D protocol under the configured race guard.
+
+        The front check and the pop are one atomic TEQ operation
+        (:meth:`TaskExecutionQueue.wait_pop_front`): between a bare wait
+        and a later pop, a racing task with an earlier completion time can
+        be inserted and steal the front, which used to crash the popping
+        worker (and then hang the run).  The clock advance runs under the
+        TEQ lock just before the pop, preserving the paper's "advance,
+        then pop" ordering.
+        """
+        tid = node.task_id
+
+        def advance() -> None:
+            self.clock.advance_to(end)
+
         guard = self.rt.guard
         if guard == "quiesce":
-            self.teq.wait_until_front(node.task_id, predicate=self._quiesce_ok)
-            return
-        if guard in ("sleep", "yield"):
+            popped = self.teq.wait_pop_front(
+                tid, predicate=self._quiesce_ok, escape=self._escape, before_pop=advance
+            )
+        elif guard in ("sleep", "yield"):
             # Portable guard: reach the front, pause to let the runtime
-            # finish bookkeeping, confirm we are still at the front.
+            # finish bookkeeping, then pop only if still at the front —
+            # otherwise a racing task overtook us and we go back to waiting.
             while True:
-                self.teq.wait_until_front(node.task_id)
+                self.teq.wait_until_front(tid, escape=self._escape)
+                if self.aborted:
+                    raise _RunAborted()
                 if guard == "sleep":
                     time.sleep(self.rt.sleep_time)
                 else:
                     time.sleep(0)  # sched_yield equivalent
-                if self.teq.front() == node.task_id:
-                    return
-            # unreachable
-        # guard == "none": return as soon as we reach the front.
-        self.teq.wait_until_front(node.task_id)
+                popped = self.teq.wait_pop_front(
+                    tid, timeout=0.0, escape=self._escape, before_pop=advance
+                )
+                if popped is not None or self.aborted:
+                    break
+        else:
+            # guard == "none": return as soon as we reach the front.
+            popped = self.teq.wait_pop_front(tid, escape=self._escape, before_pop=advance)
+        if popped is None or self.aborted:
+            raise _RunAborted()
+        self._progressed()
 
     # -- threads -------------------------------------------------------------
     def _worker_loop(self, worker: int) -> None:
         body = self._body_execute if self.rt.mode == "execute" else self._body_simulate
-        while True:
-            with self.cond:
-                self.idle += 1
-                self._notify_teq()
-                while self.n_ready == 0 and not self.shutdown:
-                    self.cond.wait()
-                if self.n_ready == 0 and self.shutdown:
-                    self.idle -= 1
+        try:
+            while True:
+                with self.cond:
+                    if self.aborted:
+                        break
+                    self.idle += 1
+                    self._mark_worker(worker, "idle")
                     self._notify_teq()
+                    while self.n_ready == 0 and not self.shutdown:
+                        self.cond.wait()
+                    if self.aborted or (self.n_ready == 0 and self.shutdown):
+                        self.idle -= 1
+                        self._notify_teq()
+                        break
+                    node = self.ready.pop()
+                    self.n_ready -= 1
+                    self.idle -= 1
+                    if self.rt.mode == "simulate":
+                        self.limbo += 1
+                    self._progressed()
+                    self._mark_worker(worker, "claimed", node)
+                    self._notify_teq()
+                if self.faults is not None and self.faults.should_die(worker):
+                    # Injected worker death: the thread exits still holding
+                    # its claimed task, which therefore never completes.
+                    self._mark_worker(worker, "dead", node)
                     return
-                node = self.ready.pop()
-                self.n_ready -= 1
-                self.idle -= 1
-                if self.rt.mode == "simulate":
-                    self.limbo += 1
-                self._notify_teq()
-            if self.rt.dispatch_delay > 0.0 and (
-                self.rt.delay_kernels is None or node.kernel in self.rt.delay_kernels
-            ):
-                time.sleep(self.rt.dispatch_delay)  # race-window injection
-            body(node, worker)
-            self._complete(node)
+                if self.faults is not None:
+                    delay = self.faults.dispatch_delay(node.kernel)
+                    if delay > 0.0:
+                        time.sleep(delay)  # race-window injection
+                self._mark_worker(worker, "running", node)
+                body(node, worker)
+                self._complete(node)
+            self._mark_worker(worker, "exited")
+        except _RunAborted:
+            self._mark_worker(worker, "aborted")
+        except BaseException as exc:  # propagate instead of hanging the run
+            with self.cond:
+                self.worker_errors.append((worker, exc))
+            self._mark_worker(worker, "crashed")
+            self.abort()
 
     def _master_loop(self) -> None:
         for node in self.nodes:
             with self.cond:
                 while self.in_flight >= self.rt.window and not self.shutdown:
                     self.cond.wait()
+                if self.aborted:
+                    return
                 self._insert_task(node)
 
     def run(self) -> None:
         if not self.nodes:
             return
         self.t0_real = time.perf_counter()
+        watchdog = _Watchdog(self, self.rt.stall) if self.rt.stall is not None else None
         workers = [
-            threading.Thread(target=self._worker_loop, args=(w,), daemon=True)
+            threading.Thread(
+                target=self._worker_loop,
+                args=(w,),
+                daemon=True,
+                name=f"repro-worker-{w}",
+            )
             for w in range(self.rt.n_workers)
         ]
-        for t in workers:
-            t.start()
-        self._master_loop()
-        for t in workers:
-            t.join()
+        if watchdog is not None:
+            watchdog.start()
+        try:
+            for t in workers:
+                t.start()
+            self._master_loop()
+            for t in workers:
+                t.join()
+        finally:
+            if watchdog is not None:
+                watchdog.stop()
+                watchdog.join()
+        if self.worker_errors:
+            worker, exc = self.worker_errors[0]
+            raise RuntimeError(
+                f"worker {worker} crashed with {type(exc).__name__}: {exc}"
+            ) from exc
+        if self.stall_diagnostic is not None:
+            if self.metrics is not None:
+                self.metrics.extra["stall"] = self.stall_diagnostic
+            counters = self.stall_diagnostic["counters"]
+            raise RuntimeStallError(
+                f"threaded run stalled: no progress within "
+                f"{self.rt.stall.timeout_s:.3g}s, "
+                f"{counters['done']}/{counters['n_tasks']} tasks done under "
+                f"guard {self.rt.guard!r} "
+                f"(on_stall={self.rt.stall.on_stall!r}, "
+                f"{self.stall_diagnostic['recover_attempts_made']} recovery "
+                f"attempts); see RunMetrics.extra['stall']",
+                diagnostic=self.stall_diagnostic,
+            )
         if self.done_count != len(self.nodes):
             raise RuntimeError(
                 f"threaded run finished with {self.done_count}/{len(self.nodes)} tasks"
             )
+
+
+class _Watchdog(threading.Thread):
+    """Daemon thread that turns silent deadlocks into diagnosed failures.
+
+    Samples :attr:`_RunState.progress` against the policy's real-time
+    budget.  On expiry it either force-notifies the TEQ (``"recover"``,
+    with doubling backoff, crediting ``RunMetrics.stall_recoveries`` when
+    progress resumes) or captures a diagnostic and aborts the run.
+    """
+
+    def __init__(self, state: _RunState, policy: StallPolicy) -> None:
+        super().__init__(name="repro-stall-watchdog", daemon=True)
+        self.state = state
+        self.policy = policy
+        # N.B. not named ``_stop``: that would shadow threading.Thread's
+        # internal ``_stop()`` method and break ``join()``.
+        self._halt = threading.Event()
+
+    def stop(self) -> None:
+        self._halt.set()
+
+    def run(self) -> None:
+        state, policy = self.state, self.policy
+        last = state.progress
+        deadline = time.monotonic() + policy.timeout_s
+        attempts = 0
+        backoff = policy.recover_backoff_s
+        while True:
+            wait_s = max(
+                0.005,
+                min(policy.poll_s, policy.timeout_s / 4.0, deadline - time.monotonic()),
+            )
+            if self._halt.wait(wait_s):
+                return
+            now = time.monotonic()
+            current = state.progress
+            if current != last:
+                if attempts > 0 and state.metrics is not None:
+                    state.metrics.stall_recoveries += 1
+                last = current
+                deadline = now + policy.timeout_s
+                attempts = 0
+                backoff = policy.recover_backoff_s
+                continue
+            if now < deadline or state.aborted:
+                continue
+            if policy.on_stall == "recover" and attempts < policy.recover_attempts:
+                attempts += 1
+                state.force_wake()
+                deadline = now + backoff
+                backoff *= 2.0
+                continue
+            state.stall_diagnostic = state.diagnose(policy, attempts)
+            state.abort()
+            return

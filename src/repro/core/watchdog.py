@@ -1,0 +1,106 @@
+"""Stall detection policy for the threaded runtime.
+
+A threaded simulation can deadlock in ways the protocol cannot see from the
+inside: a race-guard bug leaves the quiesce predicate permanently false, a
+lost ``notify`` strands a task that is already at the TEQ front, a dead
+worker leaks a claimed task that never completes.  Before this layer the
+symptom was a silent hang of :meth:`ThreadedRuntime.run` — every TEQ wait
+is open-ended and nothing watched real time.
+
+The watchdog thread (see :mod:`repro.core.threaded`) samples the run's
+progress counter — bumped on every claim, TEQ insert/pop, ready-queue
+release, and completion — against a real-time budget.  When the budget
+expires with no progress:
+
+``on_stall="raise"``
+    Capture a structured diagnostic (see :data:`STALL_DIAGNOSTIC_SCHEMA`),
+    store it under ``RunMetrics.extra["stall"]``, abort every blocked
+    thread, and raise :class:`RuntimeStallError` from ``run()``.
+``on_stall="recover"``
+    First force a TEQ notification (bypassing injected notify drops) and
+    wait with doubling backoff, up to ``recover_attempts`` times — this
+    heals pure lost-wakeup stalls, whose shared state is consistent and
+    merely unobserved.  Episodes that resume count into
+    ``RunMetrics.stall_recoveries``; if no attempt restores progress the
+    policy degenerates to ``"raise"``.
+
+The diagnostic document is plain JSON-ready data::
+
+    {"schema": "repro.stall_diagnostic/v1",
+     "guard": ..., "mode": ..., "program": ..., "elapsed_s": ...,
+     "policy": {"timeout_s": ..., "on_stall": ..., ...},
+     "recover_attempts_made": ...,
+     "counters": {"n_tasks", "done", "in_flight", "n_ready",
+                  "idle", "limbo", "shutdown"},
+     "teq": [{"task_id": ..., "end_time": ...}, ...]   # front first
+     "workers": [{"worker": 0, "state": "waiting_front",
+                  "task_id": ..., "kernel": ...}, ...],
+     "faults": {...} | None}
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "STALL_DIAGNOSTIC_SCHEMA",
+    "STALL_POLICIES",
+    "RuntimeStallError",
+    "StallPolicy",
+]
+
+#: Schema tag stamped into every stall diagnostic document.
+STALL_DIAGNOSTIC_SCHEMA = "repro.stall_diagnostic/v1"
+
+#: Recognised ``on_stall`` behaviours.
+STALL_POLICIES = ("raise", "recover")
+
+
+@dataclass(frozen=True)
+class StallPolicy:
+    """When and how the watchdog intervenes in a stalled threaded run.
+
+    ``timeout_s`` is the real-time budget: a run that makes no progress
+    (no claim, TEQ insert/pop, release, or completion) for this long is
+    declared stalled.  ``poll_s`` bounds the watchdog's sampling interval
+    (it also adapts to the budget).  ``recover_attempts`` and
+    ``recover_backoff_s`` shape the forced-notify retry loop of the
+    ``"recover"`` policy; the backoff doubles per attempt.
+    """
+
+    timeout_s: float = 60.0
+    on_stall: str = "raise"
+    poll_s: float = 0.25
+    recover_attempts: int = 3
+    recover_backoff_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.timeout_s <= 0.0:
+            raise ValueError("timeout_s must be positive")
+        if self.on_stall not in STALL_POLICIES:
+            raise ValueError(
+                f"unknown on_stall policy {self.on_stall!r}; choose from {STALL_POLICIES}"
+            )
+        if self.poll_s <= 0.0:
+            raise ValueError("poll_s must be positive")
+        if self.recover_attempts < 1:
+            raise ValueError("recover_attempts must be at least 1")
+        if self.recover_backoff_s <= 0.0:
+            raise ValueError("recover_backoff_s must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+class RuntimeStallError(RuntimeError):
+    """The threaded runtime made no progress within the watchdog budget.
+
+    ``diagnostic`` carries the structured stall document described in the
+    module docstring; the same document is stored under
+    ``RunMetrics.extra["stall"]`` when the run carries metrics.
+    """
+
+    def __init__(self, message: str, diagnostic: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(message)
+        self.diagnostic: Dict[str, Any] = diagnostic or {}

@@ -31,6 +31,7 @@ from .performance import (
 from .race import race_experiment, run_scenario
 from .reporting import artifact_dir, format_table, write_artifact
 from .speedup import speedup_experiment
+from .stress import StressOutcome, StressReport, random_program, run_stress, stress_models
 from .traces import trace_experiment
 
 __all__ = [
@@ -65,5 +66,10 @@ __all__ = [
     "format_table",
     "write_artifact",
     "speedup_experiment",
+    "StressOutcome",
+    "StressReport",
+    "random_program",
+    "run_stress",
+    "stress_models",
     "trace_experiment",
 ]

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from ..core.faults import FaultPlan
 from ..core.task import Program
 from ..core.threaded import ThreadedRuntime
 from ..kernels.distributions import ConstantModel
@@ -83,14 +84,17 @@ def run_scenario(
     dispatch_delay: float = 3e-3,
     seed: int = 0,
 ) -> RaceOutcome:
-    """One threaded-runtime execution of the Fig. 5 scenario."""
+    """One threaded-runtime execution of the Fig. 5 scenario.
+
+    The race window is opened deterministically through the fault-injection
+    layer: a real-time dispatch delay around task C only.
+    """
     runtime = ThreadedRuntime(
         2,
         mode="simulate",
         guard=guard,
         sleep_time=sleep_time,
-        dispatch_delay=dispatch_delay,
-        delay_kernels=("KC",),
+        faults=FaultPlan(dispatch_delay=dispatch_delay, delay_kernels=("KC",)),
     )
     trace = runtime.run(fig5_program(), models=fig5_models(), seed=seed)
     c_event = next(e for e in trace.events if e.kernel == "KC")

@@ -1,0 +1,230 @@
+"""Randomized stress harness for the threaded runtime.
+
+The §V-E race guards and the stall watchdog are concurrency code: their
+failure modes are interleaving-dependent and will not show up in three
+hand-written scenarios.  This harness sweeps randomized task streams across
+every race guard and several worker counts, runs each combination on the
+real threaded runtime, and verifies every produced trace with
+:func:`~repro.trace.verify.verify_trace` (completeness, physical
+consistency, dependence respect — the properties that hold under *any*
+guard, including ``"none"``, whose permitted inaccuracy is timing, never
+structure).
+
+Fault injection composes: pass a :class:`~repro.core.faults.FaultPlan` to
+rehearse lost notifies or dispatch delays under load, usually together with
+``on_stall="recover"`` so healable stalls stay failures of the *fault*, not
+of the sweep.
+
+Entry points: :func:`random_program` (seeded generator of dependence-rich
+streams), :func:`run_stress` (the sweep), and the ``repro stress`` CLI
+subcommand built on top.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.faults import FaultPlan
+from ..core.task import Program
+from ..core.threaded import RACE_GUARDS, ThreadedRuntime
+from ..core.metrics import RunMetrics
+from ..core.watchdog import StallPolicy
+from ..kernels.distributions import UniformModel
+from ..kernels.timing import KernelModelSet
+from ..trace.verify import TraceVerificationError, verify_trace
+from .reporting import format_table
+
+__all__ = ["StressOutcome", "StressReport", "random_program", "stress_models", "run_stress"]
+
+#: Kernel classes of the random streams (durations drawn per class).
+STRESS_KERNELS = ("KA", "KB", "KC")
+
+
+def random_program(
+    n_tasks: int,
+    *,
+    n_refs: int = 6,
+    seed: int = 0,
+    kernels: Sequence[str] = STRESS_KERNELS,
+) -> Program:
+    """A seeded random task stream with a dense, varied dependence structure.
+
+    Each task touches one to three distinct refs from a small pool with
+    random read/write/rw modes, so the stream mixes true, anti and output
+    dependences with independent runs — the shapes that stress the TEQ
+    ordering and the guards.  Deterministic for a given ``(n_tasks,
+    n_refs, seed)``.
+    """
+    if n_tasks < 1:
+        raise ValueError("n_tasks must be positive")
+    if n_refs < 1:
+        raise ValueError("n_refs must be positive")
+    rng = np.random.default_rng(seed)
+    prog = Program(name=f"stress-n{n_tasks}-s{seed}", meta={"nb": 1})
+    refs = [prog.registry.alloc(f"r{i}", 64, key=("r", i)) for i in range(n_refs)]
+    for _ in range(n_tasks):
+        n_acc = int(rng.integers(1, min(3, n_refs) + 1))
+        chosen = rng.choice(len(refs), size=n_acc, replace=False)
+        accesses = []
+        for idx in chosen:
+            mode = rng.choice(("r", "w", "rw"))
+            ref = refs[int(idx)]
+            accesses.append(
+                ref.read() if mode == "r" else ref.write() if mode == "w" else ref.rw()
+            )
+        kernel = str(kernels[int(rng.integers(0, len(kernels)))])
+        prog.add_task(kernel, accesses, priority=int(rng.integers(0, 4)))
+    return prog
+
+
+def stress_models(
+    kernels: Sequence[str] = STRESS_KERNELS,
+    *,
+    lo: float = 0.5,
+    hi: float = 2.0,
+) -> KernelModelSet:
+    """Uniform duration models — wide enough to shuffle TEQ orderings."""
+    return KernelModelSet(
+        models={k: UniformModel(lo=lo, hi=hi) for k in kernels}, family="uniform"
+    )
+
+
+@dataclass(frozen=True)
+class StressOutcome:
+    """Result of one (program, guard, workers) stress combination."""
+
+    program_seed: int
+    n_tasks: int
+    guard: str
+    n_workers: int
+    ok: bool
+    error: str = ""
+    makespan: float = 0.0
+    wall_s: float = 0.0
+    stall_recoveries: int = 0
+    notify_drops: int = 0
+
+
+@dataclass
+class StressReport:
+    """Aggregate of one :func:`run_stress` sweep."""
+
+    outcomes: List[StressOutcome] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def all_ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    @property
+    def failures(self) -> List[StressOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def table(self, *, max_rows: int = 40) -> str:
+        shown = self.outcomes[:max_rows]
+        body = format_table(
+            ("seed", "tasks", "guard", "workers", "ok", "recov", "drops", "error"),
+            [
+                (
+                    o.program_seed,
+                    o.n_tasks,
+                    o.guard,
+                    o.n_workers,
+                    "yes" if o.ok else "NO",
+                    o.stall_recoveries,
+                    o.notify_drops,
+                    o.error[:48],
+                )
+                for o in shown
+            ],
+            title=(
+                f"threaded stress sweep: {len(self.outcomes)} combos, "
+                f"{len(self.failures)} failures, {self.wall_s:.1f}s"
+            ),
+        )
+        if len(self.outcomes) > max_rows:
+            body += f"\n... ({len(self.outcomes) - max_rows} more rows)"
+        return body
+
+
+def run_stress(
+    *,
+    n_programs: int = 25,
+    n_tasks: int = 14,
+    guards: Sequence[str] = RACE_GUARDS,
+    worker_counts: Sequence[int] = (2, 4),
+    base_seed: int = 0,
+    sleep_time: float = 1e-4,
+    faults: Optional[FaultPlan] = None,
+    stall: Optional[StallPolicy] = None,
+    progress=None,
+) -> StressReport:
+    """Sweep randomized programs x guards x worker counts on real threads.
+
+    Every combination must complete within the watchdog budget and produce
+    a trace that passes :func:`verify_trace`; anything else (stall, crash,
+    verification failure) is recorded as a failing outcome with the error
+    message.  ``stall`` defaults to a 30 s ``"raise"`` budget — generous
+    for healthy runs, finite for deadlocks, so the sweep itself can never
+    hang.  Returns a :class:`StressReport`; the sweep never raises for a
+    failing combination.
+    """
+    for g in guards:
+        if g not in RACE_GUARDS:
+            raise ValueError(f"unknown race guard {g!r}; choose from {RACE_GUARDS}")
+    if stall is None:
+        stall = StallPolicy(timeout_s=30.0, poll_s=0.05)
+    models = stress_models()
+    report = StressReport()
+    t_sweep = time.perf_counter()
+    combo = 0
+    for p in range(n_programs):
+        seed = base_seed + p
+        prog = random_program(n_tasks, seed=seed)
+        for guard in guards:
+            for workers in worker_counts:
+                combo += 1
+                metrics = RunMetrics()
+                runtime = ThreadedRuntime(
+                    workers,
+                    mode="simulate",
+                    guard=guard,
+                    sleep_time=sleep_time,
+                    faults=faults,
+                    stall=stall,
+                )
+                t0 = time.perf_counter()
+                ok, err, makespan = True, "", 0.0
+                try:
+                    trace = runtime.run(prog, models=models, seed=seed, metrics=metrics)
+                    verify_trace(prog, trace)
+                    makespan = trace.makespan
+                except (RuntimeError, TraceVerificationError) as exc:
+                    # RuntimeStallError is a RuntimeError; verification and
+                    # worker-crash failures land here too.
+                    ok, err = False, f"{type(exc).__name__}: {exc}"
+                outcome = StressOutcome(
+                    program_seed=seed,
+                    n_tasks=len(prog),
+                    guard=guard,
+                    n_workers=workers,
+                    ok=ok,
+                    error=err,
+                    makespan=makespan,
+                    wall_s=time.perf_counter() - t0,
+                    stall_recoveries=metrics.stall_recoveries,
+                    notify_drops=metrics.teq_notify_drops,
+                )
+                report.outcomes.append(outcome)
+                if progress is not None:
+                    progress(
+                        f"[{combo}] seed={seed} guard={guard} workers={workers} "
+                        f"{'ok' if ok else 'FAIL ' + err[:60]} "
+                        f"({outcome.wall_s:.2f}s)"
+                    )
+    report.wall_s = time.perf_counter() - t_sweep
+    return report

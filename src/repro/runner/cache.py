@@ -134,22 +134,34 @@ class ResultCache:
         return CachedRun(key=key, path=final)
 
     # -- maintenance -------------------------------------------------------
-    def entries(self) -> Iterator[CachedRun]:
+    def _entry_dirs(self) -> Iterator[Path]:
+        """Every entry directory, complete or not (maintenance view)."""
         for shard in sorted(self.root.glob("??")):
             if not shard.is_dir():
                 continue
-            for entry in sorted(shard.iterdir()):
-                if (entry / _TRACE).is_file():
-                    yield CachedRun(key=entry.name, path=entry)
+            yield from sorted(p for p in shard.iterdir() if p.is_dir())
+
+    def entries(self) -> Iterator[CachedRun]:
+        """Every *complete* entry — same definition of valid as :meth:`get`.
+
+        A directory holding only a trace (an interrupted writer, or a
+        manually truncated entry) is not yielded: handing out a
+        :class:`CachedRun` whose ``load_metrics`` would fail while ``get``
+        reports the same key as a miss made ``len(cache)`` disagree with
+        what lookups can actually see.
+        """
+        for entry in self._entry_dirs():
+            if (entry / _TRACE).is_file() and (entry / _METRICS).is_file():
+                yield CachedRun(key=entry.name, path=entry)
 
     def __len__(self) -> int:
         return sum(1 for _ in self.entries())
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry, partial ones included; returns the count."""
         n = 0
-        for run in list(self.entries()):
-            shutil.rmtree(run.path, ignore_errors=True)
+        for path in list(self._entry_dirs()):
+            shutil.rmtree(path, ignore_errors=True)
             n += 1
         return n
 

@@ -53,13 +53,13 @@ def execute_spec(
     once.
     """
     program = spec.program.build()
-    scheduler = spec.scheduler.build()
     machine = get_machine(spec.machine)
     metrics = RunMetrics()
 
     if spec.mode == "real":
         backend = MachineBackend(machine)
         trace_meta: Dict[str, object] = {"mode": "real"}
+        models = None
     else:
         cal = run_cached(spec.calibration_spec(), cache)
         samples = collect_samples(
@@ -75,9 +75,24 @@ def execute_spec(
         )
         trace_meta = {"mode": "simulated"}
 
-    trace = scheduler.run(
-        program, backend, seed=spec.seed, trace_meta=trace_meta, metrics=metrics
-    )
+    if spec.runtime == "threaded":
+        # Replay on real worker threads (§V-D protocol) under the spec's
+        # race guard, supervised by the spec's stall watchdog.
+        from ..core.threaded import ThreadedRuntime
+
+        runtime = ThreadedRuntime(
+            spec.scheduler.n_workers,
+            mode="simulate",
+            guard=spec.guard if spec.guard is not None else "quiesce",
+            window=spec.scheduler.window if spec.scheduler.window is not None else 4096,
+            stall=spec.stall_policy(),
+        )
+        trace = runtime.run(program, models=models, seed=spec.seed, metrics=metrics)
+    else:
+        scheduler = spec.scheduler.build()
+        trace = scheduler.run(
+            program, backend, seed=spec.seed, trace_meta=trace_meta, metrics=metrics
+        )
     metrics.extra.update(
         {
             "algorithm": spec.program.algorithm,
@@ -87,6 +102,7 @@ def execute_spec(
             "machine": spec.machine,
             "seed": spec.seed,
             "mode": spec.mode,
+            "runtime": spec.runtime,
         }
     )
     return trace, metrics

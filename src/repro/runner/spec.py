@@ -24,13 +24,19 @@ from typing import Any, Dict, Optional
 
 from ..algorithms import cholesky_program, lu_program, qr_program
 from ..core.task import Program
+from ..core.watchdog import STALL_POLICIES, StallPolicy
 from ..schedulers import make_scheduler
 from ..schedulers.base import SchedulerBase
 
-__all__ = ["ProgramSpec", "SchedulerSpec", "RunSpec", "CACHE_VERSION"]
+__all__ = ["ProgramSpec", "SchedulerSpec", "RunSpec", "CACHE_VERSION", "RUNTIMES"]
 
 #: Bump to invalidate every cached result (engine semantics changed).
-CACHE_VERSION = 1
+#: v2: window_stalls became episode-based and specs grew the threaded
+#: runtime / race-guard fields.
+CACHE_VERSION = 2
+
+#: Execution engines a spec can target.
+RUNTIMES = ("engine", "threaded")
 
 _GENERATORS = {
     "cholesky": cholesky_program,
@@ -108,6 +114,16 @@ class RunSpec:
     trace (itself an ordinary cacheable *real* run of ``cal_scheduler`` on a
     ``cal_nt``-sized problem), fits the per-kernel timing models, and runs
     against the simulation backend.
+
+    ``runtime="engine"`` (default) uses the deterministic discrete-event
+    engine.  ``runtime="threaded"`` replays the spec on the *threaded*
+    runtime (real worker threads, §V-D protocol) under race guard ``guard``
+    and the stall watchdog configured by ``stall_timeout`` / ``on_stall``;
+    it requires ``mode="simulated"``.  Threaded traces are representative,
+    not byte-canonical: real thread interleaving decides RNG draw order, so
+    only the engine's byte-identical caching contract applies to them
+    loosely.  The watchdog settings never change a (successful) trace, so
+    they are normalised out of the cache key; the guard can, so it stays in.
     """
 
     program: ProgramSpec
@@ -115,6 +131,12 @@ class RunSpec:
     machine: str
     seed: int = 0
     mode: str = "real"  # real | simulated
+
+    # -- execution runtime -------------------------------------------------
+    runtime: str = "engine"  # engine | threaded
+    guard: Optional[str] = None  # threaded only; default "quiesce"
+    stall_timeout: Optional[float] = None  # threaded only; None = default budget
+    on_stall: str = "raise"  # threaded only; raise | recover
 
     # -- calibration recipe (simulated mode only) --------------------------
     cal_nt: Optional[int] = None
@@ -130,6 +152,30 @@ class RunSpec:
             raise ValueError(f"unknown mode {self.mode!r}; choose real/simulated")
         if self.mode == "simulated" and self.cal_nt is None:
             raise ValueError("simulated runs need cal_nt (calibration problem size)")
+        if self.runtime not in RUNTIMES:
+            raise ValueError(f"unknown runtime {self.runtime!r}; choose from {RUNTIMES}")
+        if self.runtime == "threaded":
+            from ..core.threaded import RACE_GUARDS  # deferred: heavy module
+
+            if self.mode != "simulated":
+                raise ValueError("the threaded runtime replays simulated runs only")
+            if self.guard is not None and self.guard not in RACE_GUARDS:
+                raise ValueError(
+                    f"unknown race guard {self.guard!r}; choose from {RACE_GUARDS}"
+                )
+            if self.stall_timeout is not None and self.stall_timeout <= 0.0:
+                raise ValueError("stall_timeout must be positive")
+            if self.on_stall not in STALL_POLICIES:
+                raise ValueError(
+                    f"unknown on_stall policy {self.on_stall!r}; "
+                    f"choose from {STALL_POLICIES}"
+                )
+
+    def stall_policy(self) -> StallPolicy:
+        """The watchdog configuration for a threaded replay of this spec."""
+        if self.stall_timeout is None:
+            return StallPolicy(on_stall=self.on_stall)
+        return StallPolicy(timeout_s=self.stall_timeout, on_stall=self.on_stall)
 
     # -- derived specs -----------------------------------------------------
     def calibration_spec(self) -> "RunSpec":
@@ -164,5 +210,12 @@ class RunSpec:
                 "cal_trim", "family", "warmup",
             ):
                 doc.pop(k, None)
+        # The stall watchdog never alters a successful trace, and the race
+        # guard only matters on the threaded runtime: normalise both so
+        # inert knobs never split identical runs.
+        doc.pop("stall_timeout", None)
+        doc.pop("on_stall", None)
+        if self.runtime != "threaded":
+            doc.pop("guard", None)
         canon = json.dumps(doc, sort_keys=True, default=str)
         return hashlib.sha256(canon.encode()).hexdigest()

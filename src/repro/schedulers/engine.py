@@ -75,6 +75,7 @@ class Engine:
         self._next_insert = 0
         self._in_flight = 0
         self._insert_pending = False  # an INSERT event is on the heap
+        self._window_stalled = False  # currently inside one window-stall episode
         self._master_free = 0.0  # dedicated-master timeline
         self._master_debt = 0.0  # accrued per-completion bookkeeping cost
         # Multi-threaded task waiting for a contiguous block of idle workers
@@ -105,12 +106,21 @@ class Engine:
         return max(self.now, self._master_free)
 
     def _maybe_start_insertion(self) -> None:
-        """Begin inserting the next task if the window and master allow it."""
+        """Begin inserting the next task if the window and master allow it.
+
+        ``window_stalls`` counts *episodes*: one increment per contiguous
+        period in which insertion is blocked by a full window, however many
+        times this poll runs inside it.  Counting every poll made the
+        metric scale with event traffic instead of with actual throttling.
+        """
         if self._next_insert >= len(self.nodes):
             return
         if self._in_flight >= self.sched.window:
-            self.metrics.window_stalls += 1
+            if not self._window_stalled:
+                self.metrics.window_stalls += 1
+                self._window_stalled = True
             return
+        self._window_stalled = False
         if not self._master_idle():
             return
         # Outstanding completion bookkeeping is paid before the next insert.

@@ -21,11 +21,40 @@ from .events import Trace
 __all__ = ["save_trace", "load_trace", "dumps_trace", "loads_trace"]
 
 
+def _check_round_trippable(kernel: str, label: str) -> None:
+    """Reject event fields the line format cannot represent.
+
+    Records are whitespace-split on load, so a kernel containing whitespace
+    (or an empty kernel) shifts every following field; a label with a
+    newline splits one record in two; leading/trailing label whitespace is
+    eaten by the split.  All of these used to round-trip *silently wrong* —
+    failing at save time names the offending value instead.
+    """
+    if not kernel or kernel.split() != [kernel]:
+        raise ValueError(
+            f"kernel name {kernel!r} cannot be saved: the plain-text trace "
+            "format requires a non-empty kernel without whitespace"
+        )
+    if "\n" in label or "\r" in label:
+        raise ValueError(f"label {label!r} cannot be saved: newlines break the line format")
+    if label != label.strip():
+        raise ValueError(
+            f"label {label!r} cannot be saved: leading/trailing whitespace "
+            "is lost by the plain-text trace format"
+        )
+
+
 def dumps_trace(trace: Trace) -> str:
-    """Serialise ``trace`` to the plain-text format."""
+    """Serialise ``trace`` to the plain-text format.
+
+    Raises ``ValueError`` for events the format cannot represent
+    losslessly (whitespace in kernel names, newlines or edge whitespace in
+    labels) instead of producing text that parses back differently.
+    """
     header = json.dumps({"n_workers": trace.n_workers, "meta": trace.meta}, sort_keys=True)
     lines = [f"# {header}"]
     for e in sorted(trace.events):
+        _check_round_trippable(e.kernel, e.label)
         record = f"{e.worker} {e.task_id} {e.kernel} {e.start!r} {e.end!r} {e.width}"
         if e.label:
             record += f" {e.label}"

@@ -123,6 +123,83 @@ class TestTaskExecutionQueue:
         t.join()
         assert result["ok"]
 
+    def test_snapshot_front_first(self):
+        teq = TaskExecutionQueue()
+        teq.insert(1, 5.0)
+        teq.insert(2, 3.0)
+        teq.insert(3, 7.0)
+        assert teq.snapshot() == [(2, 3.0), (1, 5.0), (3, 7.0)]
+        assert teq.front() == 2  # snapshot does not disturb the queue
+
+    def test_escape_ends_wait_for_non_front_task(self):
+        # The watchdog's abort hatch: a waiter stuck behind the front must
+        # return as soon as escape() flips, without the front ever popping.
+        teq = TaskExecutionQueue()
+        teq.insert(1, 1.0)
+        teq.insert(2, 2.0)
+        abort = threading.Event()
+        result = {}
+
+        def waiter():
+            result["end"] = teq.wait_pop_front(
+                2, timeout=5.0, escape=abort.is_set
+            )
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.02)
+        abort.set()
+        teq.notify(force=True)
+        t.join(timeout=2.0)
+        assert not t.is_alive()
+        assert result["end"] is None  # escaped, not popped
+        assert len(teq) == 2  # nothing was removed
+
+    def test_force_notify_bypasses_drop_fault(self):
+        # With a notify hook that drops every wake-up, an ordinary notify
+        # leaves the waiter asleep; notify(force=True) must get through.
+        teq = TaskExecutionQueue(notify_fault=lambda: True)
+        teq.insert(1, 1.0)
+        gate = {"open": False}
+        result = {}
+
+        def waiter():
+            result["end"] = teq.wait_pop_front(
+                1, timeout=5.0, predicate=lambda: gate["open"]
+            )
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.02)
+        gate["open"] = True
+        teq.notify()  # dropped by the fault hook
+        t.join(timeout=0.1)
+        assert t.is_alive(), "dropped notify must not wake the waiter"
+        teq.notify(force=True)
+        t.join(timeout=2.0)
+        assert not t.is_alive()
+        assert result["end"] == 1.0
+
+    def test_wait_pop_front_pops_atomically(self):
+        teq = TaskExecutionQueue()
+        teq.insert(1, 2.5)
+        seen = []
+        # before_pop runs with the queue lock held, so it must not call
+        # locking TEQ methods; peek at the heap directly.
+        end = teq.wait_pop_front(
+            1, timeout=0.5, before_pop=lambda: seen.append(len(teq._heap))
+        )
+        assert end == 2.5
+        assert seen == [1], "before_pop runs under the lock, pre-pop"
+        assert len(teq) == 0
+
+    def test_wait_pop_front_timeout_leaves_queue_intact(self):
+        teq = TaskExecutionQueue()
+        teq.insert(1, 1.0)
+        teq.insert(2, 2.0)
+        assert teq.wait_pop_front(2, timeout=0.05) is None
+        assert len(teq) == 2
+
     def test_completion_order_respects_end_times(self):
         teq = TaskExecutionQueue()
         ends = {1: 3.0, 2: 1.0, 3: 2.0}

@@ -174,6 +174,54 @@ class TestWindow:
         with pytest.raises(ValueError):
             QuarkScheduler(2, window=0)
 
+    def test_window_stalls_count_episodes(self):
+        # 6 independent tasks through window=1: after each of the first 5
+        # inserts the window is full with work remaining — exactly 5 stall
+        # episodes (the 6th insert leaves nothing left to block).
+        from repro.core.metrics import RunMetrics
+
+        def _independent(n):
+            prog = Program("indep", meta={"nb": 1})
+            for i in range(n):
+                y = prog.registry.alloc(f"y{i}", 64)
+                prog.add_task("K", [y.write()])
+            return prog
+
+        metrics = RunMetrics()
+        sched = OmpSsScheduler(4, window=1, insert_cost=0.0, dispatch_overhead=0.0)
+        sched.run(_independent(6), SimulationBackend(_const_models()), metrics=metrics)
+        assert metrics.window_stalls == 5
+
+        # A window that never fills records zero episodes.
+        metrics = RunMetrics()
+        sched = OmpSsScheduler(4, window=100, insert_cost=0.0, dispatch_overhead=0.0)
+        sched.run(_independent(6), SimulationBackend(_const_models()), metrics=metrics)
+        assert metrics.window_stalls == 0
+
+    def test_window_stall_polling_does_not_inflate(self):
+        # Regression: repeated insertion polls during ONE full-window
+        # episode must count once, not once per poll.
+        from repro.core.metrics import RunMetrics
+        from repro.schedulers.engine import Engine
+
+        prog = _fan(4)
+        sched = OmpSsScheduler(2, window=2, insert_cost=0.0, dispatch_overhead=0.0)
+        metrics = RunMetrics()
+        eng = Engine(sched, prog, SimulationBackend(_const_models()), metrics=metrics)
+
+        # Simulate a full window mid-run and poll repeatedly.
+        eng._in_flight = sched.window
+        for _ in range(5):
+            eng._maybe_start_insertion()
+        assert metrics.window_stalls == 1
+
+        # The window reopening ends the episode; refilling starts a new one.
+        eng._in_flight = sched.window - 1
+        eng._maybe_start_insertion()
+        eng._in_flight = sched.window
+        eng._maybe_start_insertion()
+        assert metrics.window_stalls == 2
+
 
 class TestMasterBehaviour:
     def test_quark_master_executes_after_insertion(self):

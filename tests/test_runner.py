@@ -63,6 +63,45 @@ class TestSpecs:
         assert cal.mode == "real"
         assert cal.program.nt == 4
 
+    def test_threaded_runtime_requires_simulated(self):
+        with pytest.raises(ValueError, match="simulated"):
+            _spec(mode="real", runtime="threaded")
+
+    def test_threaded_spec_validates_guard_and_policy(self):
+        with pytest.raises(ValueError, match="race guard"):
+            _spec(mode="simulated", runtime="threaded", guard="mutex")
+        with pytest.raises(ValueError, match="on_stall"):
+            _spec(mode="simulated", runtime="threaded", on_stall="retry")
+        with pytest.raises(ValueError, match="stall_timeout"):
+            _spec(mode="simulated", runtime="threaded", stall_timeout=-1.0)
+        with pytest.raises(ValueError, match="runtime"):
+            _spec(runtime="hybrid")
+
+    def test_threaded_key_includes_guard_but_not_stall_policy(self):
+        base = _spec(mode="simulated", runtime="threaded")
+        assert base.cache_key() != _spec(mode="simulated").cache_key()
+        assert base.cache_key() != _spec(
+            mode="simulated", runtime="threaded", guard="none"
+        ).cache_key()
+        # The watchdog never alters a successful trace: inert for identity.
+        assert base.cache_key() == _spec(
+            mode="simulated", runtime="threaded",
+            stall_timeout=5.0, on_stall="recover",
+        ).cache_key()
+
+    def test_engine_key_ignores_guard(self):
+        # The race guard only exists on the threaded runtime.
+        assert _spec().cache_key() == _spec(guard="none").cache_key()
+
+    def test_stall_policy_helper(self):
+        spec = _spec(
+            mode="simulated", runtime="threaded",
+            stall_timeout=7.5, on_stall="recover",
+        )
+        policy = spec.stall_policy()
+        assert policy.timeout_s == 7.5
+        assert policy.on_stall == "recover"
+
 
 class TestCache:
     def test_miss_then_hit(self, tmp_path):
@@ -113,6 +152,37 @@ class TestCache:
         assert healed.trace_dump() == entry.trace_dump()
         assert _spec().cache_key() in ResultCache(tmp_path)
 
+    def test_truncated_entry_invisible_to_entries_and_len(self, tmp_path):
+        # Regression: an entry missing its metrics file counts as a miss in
+        # get(), so entries()/len() must not report it either — they used
+        # to require only the trace file, making len(cache) disagree with
+        # what lookups could see and handing out entries whose
+        # load_metrics() would blow up.
+        cache = ResultCache(tmp_path)
+        run_cached(_spec(), cache)
+        run_cached(_spec(seed=1), cache)
+        assert len(cache) == 2
+
+        victim = cache.get(_spec().cache_key())
+        victim.metrics_path.unlink()  # hand-truncated entry: trace only
+
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(_spec().cache_key()) is None  # miss, as before
+        assert len(fresh) == 1
+        listed = list(fresh.entries())
+        assert [e.key for e in listed] == [_spec(seed=1).cache_key()]
+        for entry in listed:
+            entry.load_metrics()  # every listed entry is fully loadable
+
+    def test_clear_removes_partial_entries_too(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_cached(_spec(), cache)
+        run_cached(_spec(seed=1), cache)
+        cache.get(_spec().cache_key()).metrics_path.unlink()
+        assert len(cache) == 1
+        assert cache.clear() == 2  # the partial directory is swept as well
+        assert len(list(ResultCache(tmp_path)._entry_dirs())) == 0
+
     def test_simulated_run_caches_calibration(self, tmp_path):
         cache = ResultCache(tmp_path)
         run_cached(_spec(mode="simulated", seed=3), cache)
@@ -140,6 +210,22 @@ class TestMetrics:
         path = metrics.write_json(tmp_path / "m.json")
         back = RunMetrics.read_json(path)
         assert back.to_dict() == metrics.to_dict()
+
+    def test_from_dict_rejects_foreign_schema_tag(self):
+        # Feeding another artifact kind (here a sweep document) used to
+        # produce a silently-default RunMetrics; now it is an error that
+        # names both tags.
+        with pytest.raises(ValueError, match=r"repro\.sweep/v1.*repro\.run_metrics/v1"):
+            RunMetrics.from_dict({"schema": "repro.sweep/v1", "makespan": 1.0})
+
+    def test_from_dict_rejects_missing_schema_tag(self):
+        with pytest.raises(ValueError, match="schema tag None"):
+            RunMetrics.from_dict({"makespan": 1.0})
+
+    def test_from_dict_ignores_unknown_fields(self):
+        doc = RunMetrics(makespan=2.5).to_dict()
+        doc["added_in_v2"] = "future"
+        assert RunMetrics.from_dict(doc).makespan == 2.5
 
     def test_teq_metrics_via_threaded_runtime(self):
         metrics = RunMetrics()

@@ -1,0 +1,293 @@
+"""Stress and fault-injection tests for the threaded runtime robustness layer.
+
+Covers the fault plan, the stall watchdog (detection, diagnostics, the
+``recover`` policy, worker death), and the randomized stress sweep that
+drives every race guard across many programs and worker counts.
+"""
+
+import time
+
+import pytest
+
+from repro.core.faults import FaultPlan, FaultState
+from repro.core.metrics import RunMetrics
+from repro.core.threaded import RACE_GUARDS, ThreadedRuntime
+from repro.core.watchdog import (
+    STALL_DIAGNOSTIC_SCHEMA,
+    RuntimeStallError,
+    StallPolicy,
+)
+from repro.experiments.stress import random_program, run_stress, stress_models
+from repro.trace.verify import verify_trace
+
+#: Faults that deterministically strand a waiter: every TEQ wake-up is
+#: dropped, and each task lingers between registering and waiting so later
+#: tasks demonstrably queue up behind it.
+LOST_NOTIFY = FaultPlan(drop_notify_rate=1.0, wait_delay=0.05)
+
+#: A tight watchdog for tests: generous for these tiny runs, quick to fire.
+FAST_STALL = StallPolicy(timeout_s=1.0, poll_s=0.05)
+
+
+class TestFaultPlan:
+    def test_defaults_inactive(self):
+        assert not FaultPlan().active()
+
+    def test_any_knob_activates(self):
+        assert FaultPlan(dispatch_delay=1e-3).active()
+        assert FaultPlan(wait_delay=1e-3).active()
+        assert FaultPlan(drop_notify_rate=0.5).active()
+        assert FaultPlan(kill_worker=0).active()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(dispatch_delay=-1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(wait_delay=-1.0)
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_notify_rate=1.5)
+
+    def test_kernel_lists_normalised_to_tuples(self):
+        plan = FaultPlan(dispatch_delay=1e-3, delay_kernels=["KA", "KB"])
+        assert plan.delay_kernels == ("KA", "KB")
+
+    def test_state_counts_drops(self):
+        state = FaultState(FaultPlan(drop_notify_rate=1.0))
+        assert state.drop_notify() and state.drop_notify()
+        assert state.notify_drops == 2
+
+    def test_state_zero_rate_never_drops(self):
+        state = FaultState(FaultPlan())
+        assert not any(state.drop_notify() for _ in range(50))
+
+    def test_kernel_filter_scopes_delays(self):
+        state = FaultState(FaultPlan(dispatch_delay=2e-3, delay_kernels=("KC",)))
+        assert state.dispatch_delay("KC") == 2e-3
+        assert state.dispatch_delay("KA") == 0.0
+
+    def test_should_die_counts_claims(self):
+        state = FaultState(FaultPlan(kill_worker=1, kill_after_claims=2))
+        assert not state.should_die(0)  # wrong worker
+        assert not state.should_die(1)  # first claim survives
+        assert state.should_die(1)  # second claim dies
+
+
+class TestStallPolicy:
+    def test_defaults_valid(self):
+        policy = StallPolicy()
+        assert policy.timeout_s > 0 and policy.on_stall == "raise"
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            StallPolicy(on_stall="retry")
+        with pytest.raises(ValueError):
+            StallPolicy(timeout_s=0.0)
+        with pytest.raises(ValueError):
+            StallPolicy(recover_attempts=0)
+
+    def test_runtime_rejects_non_policy(self):
+        with pytest.raises(TypeError):
+            ThreadedRuntime(2, stall=5.0)
+
+
+class TestWatchdogStall:
+    def test_lost_notify_stall_detected_under_none_guard(self):
+        # The acceptance scenario: with every TEQ notification dropped and
+        # no race guard, a task stranded behind the front can never wake.
+        # The watchdog must detect the stall within its real-time budget
+        # and leave a structured diagnostic in the metrics.
+        prog = random_program(8, seed=3)
+        rt = ThreadedRuntime(2, guard="none", faults=LOST_NOTIFY, stall=FAST_STALL)
+        metrics = RunMetrics()
+        t0 = time.monotonic()
+        with pytest.raises(RuntimeStallError, match="stalled"):
+            rt.run(prog, models=stress_models(), metrics=metrics, seed=1)
+        # budget 1s + watchdog poll slack; far below a hung-forever run
+        assert time.monotonic() - t0 < 10.0
+
+        diag = metrics.extra["stall"]
+        assert diag["schema"] == STALL_DIAGNOSTIC_SCHEMA
+        assert diag["guard"] == "none"
+        assert diag["policy"]["on_stall"] == "raise"
+        counters = diag["counters"]
+        assert counters["n_tasks"] == 8
+        assert counters["done"] < 8
+        # The stranded tasks are visible: TEQ contents and per-worker state.
+        assert diag["teq"], "stalled TEQ should hold the stranded tasks"
+        assert all({"task_id", "end_time"} <= set(e) for e in diag["teq"])
+        states = [w["state"] for w in diag["workers"]]
+        assert "waiting_front" in states
+        assert diag["faults"]["drop_notify_rate"] == 1.0
+        assert metrics.teq_notify_drops > 0
+
+    def test_stall_error_carries_diagnostic(self):
+        prog = random_program(8, seed=3)
+        rt = ThreadedRuntime(2, guard="none", faults=LOST_NOTIFY, stall=FAST_STALL)
+        with pytest.raises(RuntimeStallError) as excinfo:
+            rt.run(prog, models=stress_models(), seed=1)
+        assert excinfo.value.diagnostic["schema"] == STALL_DIAGNOSTIC_SCHEMA
+
+    def test_recover_policy_heals_lost_notifies(self):
+        # Same fault, but the watchdog may force-notify: the run completes,
+        # the trace verifies, and the healed episodes are counted.
+        prog = random_program(8, seed=3)
+        rt = ThreadedRuntime(
+            2,
+            guard="none",
+            faults=LOST_NOTIFY,
+            stall=StallPolicy(
+                timeout_s=0.5,
+                on_stall="recover",
+                poll_s=0.05,
+                recover_attempts=100,
+                recover_backoff_s=0.05,
+            ),
+        )
+        metrics = RunMetrics()
+        trace = rt.run(prog, models=stress_models(), metrics=metrics, seed=1)
+        verify_trace(prog, trace)
+        assert len(trace) == 8
+        assert metrics.stall_recoveries >= 1
+        assert "stall" not in metrics.extra
+
+    def test_recover_exhaustion_degenerates_to_raise(self):
+        # Worker death is not a lost wake-up: forced notifies cannot heal
+        # it, so the recover policy must eventually raise with the attempts
+        # it made on record.
+        prog = random_program(8, seed=3)
+        rt = ThreadedRuntime(
+            2,
+            guard="quiesce",
+            faults=FaultPlan(kill_worker=0, kill_after_claims=1),
+            stall=StallPolicy(
+                timeout_s=0.5, on_stall="recover", poll_s=0.05,
+                recover_attempts=2, recover_backoff_s=0.05,
+            ),
+        )
+        with pytest.raises(RuntimeStallError) as excinfo:
+            rt.run(prog, models=stress_models(), seed=1)
+        assert excinfo.value.diagnostic["recover_attempts_made"] == 2
+
+    def test_worker_death_detected_with_diagnostic(self):
+        prog = random_program(8, seed=3)
+        rt = ThreadedRuntime(
+            2,
+            guard="quiesce",
+            faults=FaultPlan(kill_worker=0, kill_after_claims=1),
+            stall=FAST_STALL,
+        )
+        metrics = RunMetrics()
+        with pytest.raises(RuntimeStallError):
+            rt.run(prog, models=stress_models(), metrics=metrics, seed=1)
+        states = [w["state"] for w in metrics.extra["stall"]["workers"]]
+        assert "dead" in states
+
+    def test_worker_crash_propagates_instead_of_hanging(self):
+        # A crashing task body used to kill its thread silently and hang
+        # the join; now the first error aborts the run and re-raises.
+        prog = random_program(6, seed=4)
+
+        class BoomModels:
+            def duration(self, kernel, rng):
+                raise ZeroDivisionError("injected model failure")
+
+        rt = ThreadedRuntime(2, guard="quiesce", stall=FAST_STALL)
+        with pytest.raises(RuntimeError, match="worker .* crashed"):
+            rt.run(prog, models=BoomModels(), seed=0)
+
+    def test_watchdog_silent_on_healthy_run(self):
+        prog = random_program(10, seed=5)
+        metrics = RunMetrics()
+        rt = ThreadedRuntime(2, guard="quiesce", stall=FAST_STALL)
+        trace = rt.run(prog, models=stress_models(), metrics=metrics, seed=2)
+        verify_trace(prog, trace)
+        assert metrics.stall_recoveries == 0
+        assert "stall" not in metrics.extra
+
+    def test_watchdog_disabled_with_none(self):
+        prog = random_program(6, seed=6)
+        rt = ThreadedRuntime(2, guard="quiesce", stall=None)
+        trace = rt.run(prog, models=stress_models(), seed=0)
+        assert len(trace) == 6
+
+
+class TestLegacyFaultKwargs:
+    def test_dispatch_delay_folds_into_plan(self):
+        rt = ThreadedRuntime(2, dispatch_delay=3e-3, delay_kernels=("KC",))
+        assert rt.faults == FaultPlan(dispatch_delay=3e-3, delay_kernels=("KC",))
+        assert rt.dispatch_delay == 3e-3
+        assert rt.delay_kernels == ("KC",)
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            ThreadedRuntime(2, dispatch_delay=1e-3, faults=FaultPlan())
+
+
+class TestStressSweep:
+    def test_sweep_all_guards_200_combos(self):
+        # The acceptance sweep: 25 random programs x 4 guards x 2 worker
+        # counts = 200 combinations, every trace verified.
+        report = run_stress(
+            n_programs=25,
+            n_tasks=12,
+            guards=RACE_GUARDS,
+            worker_counts=(2, 3),
+            base_seed=100,
+            stall=StallPolicy(timeout_s=20.0, poll_s=0.05),
+        )
+        assert len(report.outcomes) == 200
+        assert report.all_ok, report.table()
+        assert {o.guard for o in report.outcomes} == set(RACE_GUARDS)
+        assert {o.n_workers for o in report.outcomes} == {2, 3}
+
+    def test_sweep_reports_failures_without_raising(self):
+        # A sweep over a deterministically-stalling configuration records
+        # the failures instead of aborting the harness.
+        report = run_stress(
+            n_programs=1,
+            n_tasks=8,
+            guards=("none",),
+            worker_counts=(2,),
+            base_seed=3,
+            faults=LOST_NOTIFY,
+            stall=FAST_STALL,
+        )
+        assert not report.all_ok
+        assert report.failures[0].error.startswith("RuntimeStallError")
+
+    def test_sweep_rejects_unknown_guard(self):
+        with pytest.raises(ValueError, match="unknown race guard"):
+            run_stress(n_programs=1, guards=("mutex",))
+
+    def test_random_program_deterministic(self):
+        a = random_program(10, seed=9)
+        b = random_program(10, seed=9)
+        assert [t.describe() for t in a] == [t.describe() for t in b]
+        c = random_program(10, seed=10)
+        assert [t.describe() for t in a] != [t.describe() for t in c]
+
+
+class TestStressCli:
+    def test_cli_smoke_exits_zero(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["stress", "--programs", "2", "--tasks", "6", "--workers", "2",
+             "--stall-timeout", "10"]
+        )
+        assert code == 0
+        assert "stress sweep" in capsys.readouterr().out
+
+    def test_cli_reports_failure_exit_code(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["stress", "--programs", "1", "--tasks", "8", "--workers", "2",
+             "--guards", "none", "--base-seed", "3",
+             "--drop-notify-rate", "1.0", "--wait-delay", "0.05",
+             "--stall-timeout", "1"]
+        )
+        assert code == 1
+        assert "failing combinations" in capsys.readouterr().err

@@ -192,3 +192,66 @@ class TestRaceCondition:
                                completion_cost=0.0)
         event = sched.run(qr_program(5, 16), SimulationBackend(models), seed=0)
         assert threaded.makespan == pytest.approx(event.makespan, rel=0.05)
+
+
+class TestFrontStealReWait:
+    """White-box coverage of the sleep/yield guard's re-wait loop.
+
+    During the guard pause a racing task with an earlier completion time
+    can be inserted and steal the TEQ front; the pausing task must notice
+    (its conditional pop fails) and go back to waiting rather than pop a
+    queue position it no longer holds.
+    """
+
+    @pytest.mark.parametrize("guard", ["sleep", "yield"])
+    def test_front_stolen_during_pause_causes_rewait(self, guard):
+        import threading
+
+        from repro.core import threaded as thr
+        from repro.core.task import Program
+        from repro.trace import Trace
+
+        prog = Program("steal", meta={"nb": 1})
+        for i in range(2):
+            y = prog.registry.alloc(f"y{i}", 64)
+            prog.add_task("K", [y.write()])
+
+        rt = ThreadedRuntime(1, mode="simulate", guard=guard,
+                             sleep_time=0.037, stall=None)
+        state = thr._RunState(rt, prog, Trace(1), None, None, seed=0)
+        state.teq.insert(0, 10.0)
+
+        real_sleep = thr.time.sleep
+        calls = []
+
+        def stealing_sleep(seconds):
+            # First guard pause only: task 1 (end 5.0) steals the front.
+            calls.append(seconds)
+            if len(calls) == 1:
+                state.teq.insert(1, 5.0)
+
+        # Patch the module's time.sleep so only the guard pause is faked;
+        # the driving thread below never calls time.sleep itself.
+        thr.time.sleep = stealing_sleep
+        try:
+            waiter = threading.Thread(
+                target=lambda: state._wait_for_front(state.nodes[0], 10.0),
+                daemon=True,
+            )
+            waiter.start()
+            waiter.join(timeout=0.3)
+            # The steal must have sent task 0 back to waiting, not popped.
+            assert waiter.is_alive(), "waiter should re-wait behind the stolen front"
+            assert state.teq.front() == 1
+
+            # Retire the stealing task; task 0 regains the front and pops.
+            state.clock.advance_to(5.0)
+            state.teq.pop_front(1)
+            waiter.join(timeout=5.0)
+            assert not waiter.is_alive()
+        finally:
+            thr.time.sleep = real_sleep
+
+        assert len(calls) >= 2, "guard pause must run again after the re-wait"
+        assert state.clock.now() == 10.0
+        assert len(state.teq) == 0

@@ -170,6 +170,67 @@ class TestTextIO:
         back = loads_trace(dumps_trace(tr))
         assert sorted(back.events) == sorted(tr.events)
 
+    def test_kernel_with_whitespace_rejected(self):
+        # A space in the kernel shifts every later field on reload; the
+        # save must refuse instead of producing a wrong-but-parseable file.
+        tr = Trace(1)
+        tr.record(0, 0, "DGEMM v2", 0.0, 1.0)
+        with pytest.raises(ValueError, match="kernel name"):
+            dumps_trace(tr)
+        tr = Trace(1)
+        tr.record(0, 0, "K\tB", 0.0, 1.0)
+        with pytest.raises(ValueError, match="kernel name"):
+            dumps_trace(tr)
+
+    def test_empty_kernel_rejected(self):
+        tr = Trace(1)
+        tr.record(0, 0, "", 0.0, 1.0)
+        with pytest.raises(ValueError, match="kernel name"):
+            dumps_trace(tr)
+
+    def test_label_with_newline_rejected(self):
+        tr = Trace(1)
+        tr.record(0, 0, "K", 0.0, 1.0, label="line1\nline2")
+        with pytest.raises(ValueError, match="newlines"):
+            dumps_trace(tr)
+
+    def test_label_with_edge_whitespace_rejected(self):
+        # Leading/trailing whitespace would be eaten by the split on load.
+        tr = Trace(1)
+        tr.record(0, 0, "K", 0.0, 1.0, label=" padded ")
+        with pytest.raises(ValueError, match="whitespace"):
+            dumps_trace(tr)
+
+    @given(
+        kernel=st.text(
+            alphabet=st.characters(
+                codec="ascii", categories=("L", "N", "P"), exclude_characters="#"
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        label=st.text(
+            alphabet=st.characters(
+                codec="ascii", categories=("L", "N", "P", "Zs"), exclude_characters="#"
+            ),
+            max_size=16,
+        ).map(str.strip),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_text_fields_roundtrip_property(self, kernel, label):
+        # Every kernel/label pair the validator accepts must round-trip
+        # byte-for-byte; the rest must raise at save time, never corrupt.
+        tr = Trace(1)
+        tr.record(0, 0, kernel, 0.0, 1.0, label=label)
+        try:
+            text = dumps_trace(tr)
+        except ValueError:
+            assert kernel.split() != [kernel] or label != label.strip()
+            return
+        back = loads_trace(text)
+        assert back.events[0].kernel == kernel
+        assert back.events[0].label == label
+
 
 class TestSvg:
     def test_svg_well_formed(self):
