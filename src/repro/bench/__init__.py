@@ -1,0 +1,29 @@
+"""Benchmark subsystem: hot-path micro/macro timings and the CI perf gate.
+
+* :mod:`repro.bench.harness` — timing machinery and the schema-tagged
+  :class:`BenchReport` document (``BENCH_*.json``);
+* :mod:`repro.bench.suites` — the standard micro (TEQ, dispatch loop,
+  duration sampling, hazard tracking) and macro (end-to-end ``simulate()``)
+  benchmark suite;
+* :mod:`repro.bench.compare` — baseline comparison backing the CI
+  ``bench-gate`` job.
+"""
+
+from .compare import BenchDelta, BenchGateResult, compare_reports
+from .harness import BENCH_SCHEMA, BenchReport, BenchResult, environment_metadata, run_benchmark
+from .suites import BenchSpec, default_suite, run_suite, synthetic_models
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchReport",
+    "BenchResult",
+    "BenchSpec",
+    "BenchDelta",
+    "BenchGateResult",
+    "compare_reports",
+    "default_suite",
+    "environment_metadata",
+    "run_benchmark",
+    "run_suite",
+    "synthetic_models",
+]

@@ -1,0 +1,114 @@
+"""Baseline comparison: the CI performance-regression gate.
+
+``repro bench --compare benchmarks/baseline_bench.json`` re-runs the suite
+and diffs throughput against the committed baseline.  A benchmark regresses
+when its fresh throughput falls below ``(1 - max_regression)`` times the
+baseline; the gate's exit status is the number of regressed benchmarks
+(clamped by the CLI to 1), so one slow hot path fails the PR.
+
+Benchmarks present on only one side never fail the gate — a renamed or new
+benchmark should be a review conversation, not a red build — but they are
+listed so the drift is visible.  The baseline's environment block is echoed
+next to the fresh one because cross-machine throughput ratios are noise:
+refresh the baseline (``repro bench --out benchmarks/baseline_bench.json``)
+whenever the reference machine changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .harness import BenchReport
+
+__all__ = ["BenchDelta", "BenchGateResult", "compare_reports"]
+
+
+@dataclass
+class BenchDelta:
+    """One benchmark's baseline-vs-fresh throughput comparison."""
+
+    name: str
+    baseline_ops_per_s: Optional[float]
+    fresh_ops_per_s: Optional[float]
+    unit: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """fresh / baseline throughput; ``None`` when either side is missing."""
+        if not self.baseline_ops_per_s or self.fresh_ops_per_s is None:
+            return None
+        return self.fresh_ops_per_s / self.baseline_ops_per_s
+
+    @property
+    def status(self) -> str:
+        if self.baseline_ops_per_s is None:
+            return "new"
+        if self.fresh_ops_per_s is None:
+            return "missing"
+        return "compared"
+
+
+@dataclass
+class BenchGateResult:
+    """Outcome of one gate evaluation."""
+
+    deltas: List[BenchDelta]
+    max_regression: float
+
+    @property
+    def regressions(self) -> List[BenchDelta]:
+        floor = 1.0 - self.max_regression
+        return [d for d in self.deltas if d.ratio is not None and d.ratio < floor]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def table(self) -> str:
+        header = (
+            f"{'benchmark':<44s} {'baseline':>14s} {'fresh':>14s} "
+            f"{'ratio':>7s}  status"
+        )
+        lines = [header, "-" * len(header)]
+        floor = 1.0 - self.max_regression
+        for d in self.deltas:
+            base = f"{d.baseline_ops_per_s:,.0f}" if d.baseline_ops_per_s else "-"
+            fresh = f"{d.fresh_ops_per_s:,.0f}" if d.fresh_ops_per_s is not None else "-"
+            if d.ratio is None:
+                ratio, status = "-", d.status
+            else:
+                ratio = f"{d.ratio:.2f}x"
+                status = "REGRESSED" if d.ratio < floor else "ok"
+            lines.append(f"{d.name:<44s} {base:>14s} {fresh:>14s} {ratio:>7s}  {status}")
+        lines.append(
+            f"gate: {len(self.regressions)} regression(s) beyond "
+            f"{self.max_regression:.0%} of {len(self.deltas)} benchmark(s)"
+        )
+        return "\n".join(lines)
+
+
+def compare_reports(
+    baseline: BenchReport,
+    fresh: BenchReport,
+    *,
+    max_regression: float = 0.30,
+) -> BenchGateResult:
+    """Diff ``fresh`` against ``baseline`` benchmark-by-benchmark."""
+    if not 0.0 < max_regression < 1.0:
+        raise ValueError("max_regression must be in (0, 1)")
+    base_by: Dict[str, object] = baseline.by_name()
+    fresh_by: Dict[str, object] = fresh.by_name()
+    deltas: List[BenchDelta] = []
+    for name in sorted(set(base_by) | set(fresh_by)):
+        b = base_by.get(name)
+        f = fresh_by.get(name)
+        deltas.append(
+            BenchDelta(
+                name=name,
+                baseline_ops_per_s=b.ops_per_s if b is not None else None,
+                fresh_ops_per_s=f.ops_per_s if f is not None else None,
+                unit=(f or b).unit,
+            )
+        )
+    return BenchGateResult(deltas=deltas, max_regression=max_regression)

@@ -1,0 +1,209 @@
+"""Benchmark harness: timed runs, machine-readable reports, baselines.
+
+The subsystem answers the question the ROADMAP keeps asking — *how fast is
+the simulation core, in simulated tasks per second?* — with the same rigour
+the trace layer applies to correctness:
+
+* every benchmark is a named callable timed over ``repeats`` repetitions
+  (best-of, after a warm-up pass, so one scheduler hiccup or allocator
+  stall cannot poison the number);
+* results carry their operation count and unit, so throughput is always
+  ``ops / best wall time`` and comparable across commits;
+* a :class:`BenchReport` bundles the results with environment metadata
+  (interpreter, platform, NumPy/SciPy versions, CPU count) under the
+  :data:`BENCH_SCHEMA` tag, mirroring the ``RunMetrics`` document
+  discipline, and serialises to the ``BENCH_*.json`` artifacts CI uploads.
+
+The report format is the contract between ``repro bench`` and the CI
+``bench-gate`` job: the gate re-runs the suite and calls
+:func:`repro.bench.compare.compare_reports` against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchResult",
+    "BenchReport",
+    "environment_metadata",
+    "run_benchmark",
+]
+
+#: Schema tag stamped into every exported benchmark document.
+BENCH_SCHEMA = "repro.bench/v1"
+
+
+def environment_metadata() -> Dict[str, Any]:
+    """Provenance of a benchmark run: enough to judge comparability.
+
+    Two reports are only meaningfully comparable when this block matches;
+    the CI gate therefore records both sides' environments in its output.
+    """
+    import numpy
+    import scipy
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "argv": list(sys.argv),
+    }
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's outcome.
+
+    ``ops`` is the number of semantic operations one repetition performs
+    (tasks simulated, TEQ push+pop pairs, duration draws, ...) and ``unit``
+    names them; ``ops_per_s`` is ``ops / wall_s`` where ``wall_s`` is the
+    *best* repetition — the least-noise estimate of the code's speed.
+    """
+
+    name: str
+    group: str  # "micro" | "macro"
+    ops: int
+    unit: str
+    repeats: int
+    wall_s: float  # best repetition
+    ops_per_s: float
+    mean_wall_s: float
+    all_wall_s: List[float] = field(default_factory=list)
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BenchResult":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def summary(self) -> str:
+        return (
+            f"{self.name:<44s} {self.ops_per_s:>14,.0f} {self.unit:<10s} "
+            f"best {self.wall_s * 1e3:9.2f}ms  x{self.repeats}"
+        )
+
+
+def run_benchmark(
+    name: str,
+    fn: Callable[[], Optional[int]],
+    *,
+    group: str,
+    ops: int,
+    unit: str,
+    repeats: int = 5,
+    warmup: int = 1,
+    params: Optional[Dict[str, Any]] = None,
+) -> BenchResult:
+    """Time ``fn`` over ``warmup + repeats`` calls and report throughput.
+
+    ``fn`` may return an operation count to override ``ops`` (useful when
+    the workload size is only known after running, e.g. events processed);
+    returning ``None`` keeps the declared count.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    if ops < 1:
+        raise ValueError("ops must be at least 1")
+    for _ in range(warmup):
+        fn()
+    walls: List[float] = []
+    measured_ops = ops
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        walls.append(time.perf_counter() - t0)
+        if out is not None:
+            measured_ops = int(out)
+    best = min(walls)
+    return BenchResult(
+        name=name,
+        group=group,
+        ops=measured_ops,
+        unit=unit,
+        repeats=repeats,
+        wall_s=best,
+        ops_per_s=measured_ops / best if best > 0 else float("inf"),
+        mean_wall_s=sum(walls) / len(walls),
+        all_wall_s=walls,
+        params=dict(params or {}),
+    )
+
+
+@dataclass
+class BenchReport:
+    """A full benchmark run: results plus environment, schema-tagged."""
+
+    results: List[BenchResult] = field(default_factory=list)
+    env: Dict[str, Any] = field(default_factory=environment_metadata)
+    label: str = ""
+
+    def add(self, result: BenchResult) -> BenchResult:
+        self.results.append(result)
+        return result
+
+    def by_name(self) -> Dict[str, BenchResult]:
+        return {r.name: r for r in self.results}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": BENCH_SCHEMA,
+            "label": self.label,
+            "env": self.env,
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BenchReport":
+        """Parse a document produced by :meth:`to_dict`.
+
+        A missing or foreign schema tag raises ``ValueError`` so that a
+        sweep-metrics or RunMetrics document fed to the comparison gate
+        fails loudly instead of comparing junk.
+        """
+        tag = data.get("schema")
+        if tag != BENCH_SCHEMA:
+            raise ValueError(
+                f"not a benchmark report: schema tag {tag!r} (expected {BENCH_SCHEMA!r})"
+            )
+        return cls(
+            results=[BenchResult.from_dict(r) for r in data.get("results", [])],
+            env=dict(data.get("env", {})),
+            label=str(data.get("label", "")),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    def write_json(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def read_json(cls, path: Union[str, Path]) -> "BenchReport":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def table(self) -> str:
+        lines = [f"{'benchmark':<44s} {'throughput':>14s} {'unit':<10s} {'best':>11s}"]
+        lines.append("-" * len(lines[0]))
+        for r in self.results:
+            lines.append(r.summary())
+        return "\n".join(lines)

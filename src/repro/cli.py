@@ -21,6 +21,10 @@ Commands
     Randomized stress sweep of the threaded runtime: programs x race
     guards x worker counts, optionally with injected faults, every trace
     verified.  Exit status 1 when any combination fails.
+``bench``
+    Micro/macro benchmark suite over the simulation hot paths; writes a
+    schema-tagged ``BENCH_*.json`` report and optionally gates against a
+    committed baseline (exit status 1 on regression).
 
 Every command is pure offline computation on the bundled machine models.
 """
@@ -29,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from importlib import metadata as _importlib_metadata
 from typing import Callable, Dict, Optional, Sequence
 
 from .algorithms import cholesky_program, lu_program, qr_program
@@ -307,13 +312,53 @@ def _cmd_stress(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .bench import compare_reports, default_suite, run_suite
+    from .bench.harness import BenchReport
+
+    if args.repeats is not None and args.repeats < 1:
+        print("--repeats must be at least 1", file=sys.stderr)
+        return 2
+    specs = default_suite(quick=args.quick, workers=args.workers)
+    if args.repeats is not None:
+        for spec in specs:
+            spec.repeats = args.repeats
+    progress = (lambda msg: print(msg, file=sys.stderr)) if args.verbose else None
+    try:
+        report = run_suite(specs, only=args.only, label=args.label, progress=progress)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(report.table())
+    if args.out:
+        print(f"wrote {report.write_json(args.out)}")
+    if args.compare:
+        baseline = BenchReport.read_json(args.compare)
+        gate = compare_reports(baseline, report, max_regression=args.max_regression)
+        print()
+        print(gate.table())
+        if not gate.ok:
+            return 1
+    return 0
+
+
+def _package_version() -> str:
+    try:
+        return _importlib_metadata.version("repro")
+    except _importlib_metadata.PackageNotFoundError:  # running from a checkout
+        return "unknown"
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Parallel Simulation of Superscalar Scheduling "
         "(ICPP 2014 reproduction)",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
+    )
+    sub = parser.add_subparsers(dest="command")
 
     p = sub.add_parser("simulate", help="calibrate, simulate, and validate")
     _add_problem_args(p)
@@ -405,11 +450,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print per-combination progress to stderr")
     p.set_defaults(fn=_cmd_stress)
 
+    p = sub.add_parser(
+        "bench",
+        help="micro/macro benchmarks of the simulation hot paths",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="reduced sizes/repeats (the CI bench-gate profile)")
+    p.add_argument("--out", default=None,
+                   help="write the BENCH_*.json report here")
+    p.add_argument("--only", nargs="+", default=None,
+                   help="glob patterns selecting benchmarks, e.g. 'macro/*'")
+    p.add_argument("--repeats", type=int, default=None,
+                   help="override per-benchmark repetition count")
+    p.add_argument("--workers", type=int, default=48,
+                   help="simulated workers for macro benchmarks")
+    p.add_argument("--label", default="",
+                   help="free-form label recorded in the report")
+    p.add_argument("--compare", default=None,
+                   help="baseline BENCH_*.json to gate against")
+    p.add_argument("--max-regression", type=float, default=0.30,
+                   dest="max_regression",
+                   help="gate threshold: fail when throughput falls below "
+                   "(1 - this) x baseline")
+    p.add_argument("--verbose", action="store_true",
+                   help="print per-benchmark progress to stderr")
+    p.set_defaults(fn=_cmd_bench)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "fn", None) is None:
+        # No subcommand: show usage and signal misuse (argparse would accept
+        # the bare invocation since subcommands are optional for --version).
+        parser.print_help(sys.stderr)
+        return 2
     return args.fn(args)
 
 

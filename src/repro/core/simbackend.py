@@ -35,22 +35,30 @@ class SimulationBackend:
         models: KernelModelSet,
         *,
         warmup_penalty: float = 0.0,
+        batched: bool = True,
     ) -> None:
         if warmup_penalty < 0:
             raise ValueError("warmup_penalty must be non-negative")
         self.models = models
         self.warmup_penalty = warmup_penalty
+        self.batched = batched
         self._rng: Optional[np.random.Generator] = None
+        self._sampler = None
         self._warmed: Set[int] = set()
 
     def reset(self, rng: np.random.Generator, n_workers: int) -> None:
         self._rng = rng
+        # Sampler choice never changes the draw sequence (the batched one is
+        # bit-identical to per-call sampling); ``batched=False`` exists so
+        # tests can pin the reference path and compare traces.
+        self._sampler = self.models.make_sampler(rng, batched=self.batched)
         self._warmed = set()
 
     def duration(self, node: TaskNode, worker: int, now: float, active_workers: int) -> float:
-        if self._rng is None:
+        sampler = self._sampler
+        if sampler is None:
             raise RuntimeError("SimulationBackend.duration called before reset()")
-        d = self.models.duration(node.kernel, self._rng)
+        d = sampler.draw(node.kernel)
         if self.warmup_penalty > 0.0 and worker not in self._warmed:
             self._warmed.add(worker)
             d += self.warmup_penalty

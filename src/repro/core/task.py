@@ -47,13 +47,13 @@ class AccessMode(Enum):
     RW = "rw"
     VALUE = "v"
 
-    @property
-    def reads(self) -> bool:
-        return self in (AccessMode.READ, AccessMode.RW)
-
-    @property
-    def writes(self) -> bool:
-        return self in (AccessMode.WRITE, AccessMode.RW)
+    def __init__(self, code: str) -> None:
+        # Plain attributes, not properties: hazard analysis consults these
+        # once per access per task, and a property call builds a tuple each
+        # time.  ``rw_flags`` bundles both for single-lookup unpacking.
+        self.reads: bool = code in ("r", "rw")
+        self.writes: bool = code in ("w", "rw")
+        self.rw_flags: Tuple[bool, bool] = (self.reads, self.writes)
 
 
 #: Convenience aliases so task generators read like the paper's pseudocode
@@ -63,7 +63,7 @@ WRITE = AccessMode.WRITE
 RW = AccessMode.RW
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DataRef:
     """A handle to a region of (virtual) memory, typically one matrix tile.
 
@@ -79,6 +79,15 @@ class DataRef:
     size: int
     key: Tuple[Any, ...] = ()
 
+    # Python 3.10 restores slot state with setattr, which a frozen dataclass
+    # rejects; 3.11+ generates equivalent hooks itself.
+    def __getstate__(self):
+        return tuple(getattr(self, f) for f in self.__slots__)
+
+    def __setstate__(self, state) -> None:
+        for f, v in zip(self.__slots__, state):
+            object.__setattr__(self, f, v)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DataRef({self.name}@0x{self.addr:x},{self.size}B)"
 
@@ -92,18 +101,25 @@ class DataRef:
         return Access(self, AccessMode.RW)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Access:
     """One data parameter of a task: a :class:`DataRef` plus its usage mode."""
 
     ref: DataRef
     mode: AccessMode
 
+    def __getstate__(self):
+        return (self.ref, self.mode)
+
+    def __setstate__(self, state) -> None:
+        object.__setattr__(self, "ref", state[0])
+        object.__setattr__(self, "mode", state[1])
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.ref.name}^{self.mode.value}"
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskSpec:
     """One task in a serial superscalar task stream.
 

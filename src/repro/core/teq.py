@@ -65,12 +65,18 @@ class TaskExecutionQueue:
     def insert(self, task_id: int, end_time: float) -> None:
         """Add a task with its simulated completion time."""
         with self._cond:
-            heapq.heappush(self._heap, (end_time, next(self._seq), task_id))
+            seq = next(self._seq)
+            heapq.heappush(self._heap, (end_time, seq, task_id))
             if self.metrics is not None:
                 self.metrics.teq_inserts += 1
                 if len(self._heap) > self.metrics.peak_teq_depth:
                     self.metrics.peak_teq_depth = len(self._heap)
-            self._notify_locked()
+            # Waiters only test their at-front status, so an insert that does
+            # not displace the front cannot satisfy any of them; skipping the
+            # broadcast avoids a thundering herd on every registration.
+            # External guard-state changes get their own notify() calls.
+            if self._heap[0][1] == seq:
+                self._notify_locked()
 
     def front(self) -> Optional[int]:
         """Task id currently at the front (soonest completion), or ``None``."""
@@ -171,7 +177,10 @@ class TaskExecutionQueue:
     def snapshot(self) -> List[Tuple[int, float]]:
         """``(task_id, end_time)`` pairs in completion order (front first)."""
         with self._lock:
-            return [(tid, end) for end, _, tid in sorted(self._heap)]
+            entries = list(self._heap)
+        # Sort outside the lock: the snapshot feeds diagnostics, and an
+        # O(n log n) hold would stall every worker at the insert/pop path.
+        return [(tid, end) for end, _, tid in sorted(entries)]
 
     def __len__(self) -> int:
         with self._lock:

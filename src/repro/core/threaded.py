@@ -97,6 +97,21 @@ class _RunAborted(Exception):
     """Internal: the watchdog (or a crashing peer) aborted this run."""
 
 
+class _LegacySamplerAdapter:
+    """Per-call draws for model sets that only expose ``duration``."""
+
+    __slots__ = ("_models", "_rng")
+
+    batched = False
+
+    def __init__(self, models, rng) -> None:
+        self._models = models
+        self._rng = rng
+
+    def draw(self, kernel: str) -> float:
+        return self._models.duration(kernel, self._rng)
+
+
 class _Node:
     __slots__ = ("spec", "n_deps", "successors", "done", "ready_clock")
 
@@ -244,11 +259,23 @@ class _RunState:
         self.store = store
         self.nb = int(program.meta.get("nb", 0))
         self.rng = np.random.default_rng(seed)
+        # Draws happen under rng_lock, so the shared sampler needs no
+        # synchronisation of its own; batching only shortens the critical
+        # section (same draw sequence, see KernelModelSet.make_sampler).
+        # Duck-typed model sets that only expose ``duration`` (fault-injection
+        # test doubles) get a per-call adapter.
+        if models is None:
+            self.sampler = None
+        elif hasattr(models, "make_sampler"):
+            self.sampler = models.make_sampler(self.rng)
+        else:
+            self.sampler = _LegacySamplerAdapter(models, self.rng)
         self.rng_lock = threading.Lock()
         self.trace_lock = threading.Lock()
 
         self.nodes = [_Node(spec) for spec in program]
-        self.tracker = HazardTracker()
+        # Only the dependence structure is consumed here (as in the engine).
+        self.tracker = HazardTracker(record_edges=False)
 
         # Monitor protecting ready queue, counters, and dependence state.
         self.lock = threading.Lock()
@@ -364,7 +391,7 @@ class _RunState:
     def _insert_task(self, node: _Node) -> None:
         """Master-side hazard analysis of one task (holds the monitor)."""
         self.tracker.add_task(node.spec)
-        preds = self.tracker.predecessors(node.task_id)
+        preds = self.tracker.predecessors_view(node.task_id)
         outstanding = 0
         for pid in preds:
             pred = self.nodes[pid]
@@ -415,7 +442,7 @@ class _RunState:
         start = self.clock.now()
         # 2. duration from the kernel's fitted model.
         with self.rng_lock:
-            duration = self.models.duration(node.kernel, self.rng)
+            duration = self.sampler.draw(node.kernel)
         end = start + duration
         # 3. register in the Task Execution Queue and the simulated trace.
         self.teq.insert(node.task_id, end)

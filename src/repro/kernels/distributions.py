@@ -64,6 +64,12 @@ class DurationModel:
     family: ClassVar[str] = "base"
     #: number of fitted parameters, for AIC
     n_params: ClassVar[int] = 0
+    #: what :meth:`sample` consumes from the generator per draw:
+    #: ``"normal"`` — exactly one standard-normal variate (the model can be
+    #: driven from a pre-drawn batch via :meth:`from_standard_normal`);
+    #: ``"none"`` — nothing (deterministic); ``"other"`` — anything else
+    #: (uniforms, gammas, integers), which rules out batched driving.
+    rng_use: ClassVar[str] = "other"
 
     @classmethod
     def fit(cls, samples: Sequence[float]) -> "DurationModel":
@@ -71,6 +77,16 @@ class DurationModel:
 
     def sample(self, rng: np.random.Generator) -> float:
         raise NotImplementedError
+
+    def from_standard_normal(self, z: float) -> float:
+        """Map one standard-normal variate to a duration.
+
+        Only meaningful for models with ``rng_use == "normal"``; must be
+        bit-identical to :meth:`sample` consuming the same variate — the
+        batched fast path in :class:`~repro.kernels.timing.KernelModelSet`
+        relies on that equivalence (guarded by a property test).
+        """
+        raise NotImplementedError(f"{self.family} model is not normal-driven")
 
     def pdf(self, x: np.ndarray) -> np.ndarray:
         raise NotImplementedError
@@ -120,6 +136,7 @@ class ConstantModel(DurationModel):
     value: float
     family: ClassVar[str] = "constant"
     n_params: ClassVar[int] = 1
+    rng_use: ClassVar[str] = "none"
 
     @classmethod
     def fit(cls, samples: Sequence[float]) -> "ConstantModel":
@@ -189,6 +206,7 @@ class NormalModel(DurationModel):
     sigma: float
     family: ClassVar[str] = "normal"
     n_params: ClassVar[int] = 2
+    rng_use: ClassVar[str] = "normal"
 
     @classmethod
     def fit(cls, samples: Sequence[float]) -> "NormalModel":
@@ -199,6 +217,11 @@ class NormalModel(DurationModel):
 
     def sample(self, rng: np.random.Generator) -> float:
         return self._clamp(rng.normal(self.mu, self.sigma))
+
+    def from_standard_normal(self, z: float) -> float:
+        # NumPy's normal(loc, scale) computes loc + scale * gauss with the
+        # same double operations, so this is bit-identical to sample().
+        return self._clamp(self.mu + self.sigma * z)
 
     def pdf(self, x: np.ndarray) -> np.ndarray:
         return stats.norm.pdf(np.asarray(x, dtype=float), loc=self.mu, scale=self.sigma)
@@ -268,6 +291,7 @@ class LognormalModel(DurationModel):
     sigma_log: float
     family: ClassVar[str] = "lognormal"
     n_params: ClassVar[int] = 2
+    rng_use: ClassVar[str] = "normal"
 
     @classmethod
     def fit(cls, samples: Sequence[float]) -> "LognormalModel":
@@ -279,6 +303,11 @@ class LognormalModel(DurationModel):
 
     def sample(self, rng: np.random.Generator) -> float:
         return self._clamp(rng.lognormal(self.mu_log, self.sigma_log))
+
+    def from_standard_normal(self, z: float) -> float:
+        # NumPy's lognormal is exp(normal(mean, sigma)); libm's exp on the
+        # identical double argument makes this bit-identical to sample().
+        return self._clamp(math.exp(self.mu_log + self.sigma_log * z))
 
     def pdf(self, x: np.ndarray) -> np.ndarray:
         return stats.lognorm.pdf(

@@ -28,7 +28,95 @@ from .distributions import DurationModel, best_fit, fit_family
 __all__ = [
     "trim_warmup_outliers",
     "KernelModelSet",
+    "DirectSampler",
+    "BatchedNormalSampler",
 ]
+
+
+class DirectSampler:
+    """Per-call duration draws — the reference sampling path.
+
+    One Python→NumPy round trip per draw.  Kept both as the fallback for
+    model sets the batched path cannot drive and as the oracle the batched
+    path is property-tested against.
+    """
+
+    __slots__ = ("_models", "_rng")
+
+    batched = False
+
+    def __init__(self, models: Dict[str, DurationModel], rng: np.random.Generator) -> None:
+        self._models = models
+        self._rng = rng
+
+    def draw(self, kernel: str) -> float:
+        try:
+            model = self._models[kernel]
+        except KeyError:
+            raise KeyError(
+                f"no timing model for kernel {kernel!r}; "
+                f"calibrated kernels: {sorted(self._models)}"
+            ) from None
+        return model.sample(self._rng)
+
+
+class BatchedNormalSampler:
+    """Batched duration draws for normal-driven model sets.
+
+    Kernel-duration sampling is the innermost per-task cost of a simulated
+    run, and the per-call path pays a Python→NumPy dispatch for every task.
+    When *every* model in the set consumes either exactly one standard
+    normal per draw (``rng_use == "normal"``: normal, lognormal) or nothing
+    (``rng_use == "none"``: constant), the whole run's randomness reduces to
+    one standard-normal stream — so variates are pulled from the generator
+    in vectorised blocks and each draw is a dict lookup plus a scalar
+    transform.
+
+    Bit-identical to :class:`DirectSampler` by construction: NumPy fills
+    ``standard_normal(size=n)`` with the same ziggurat sequence as ``n``
+    scalar calls, and each model's ``from_standard_normal`` applies the
+    same double-precision operations as its ``sample``.  The equivalence is
+    enforced by a property test (`tests/test_bench_and_sampling.py`).
+    """
+
+    __slots__ = ("_models", "_rng", "_block", "_buf", "_pos")
+
+    batched = True
+
+    def __init__(
+        self,
+        models: Dict[str, DurationModel],
+        rng: np.random.Generator,
+        *,
+        block: int = 512,
+    ) -> None:
+        if block < 1:
+            raise ValueError("block must be at least 1")
+        self._models = models
+        self._rng = rng
+        self._block = block
+        # tolist() converts each float64 to the bit-identical Python float;
+        # the per-draw transform then runs on native floats, which is
+        # measurably faster than operating on NumPy scalars.
+        self._buf = rng.standard_normal(block).tolist()
+        self._pos = 0
+
+    def draw(self, kernel: str) -> float:
+        try:
+            model = self._models[kernel]
+        except KeyError:
+            raise KeyError(
+                f"no timing model for kernel {kernel!r}; "
+                f"calibrated kernels: {sorted(self._models)}"
+            ) from None
+        if model.rng_use == "none":
+            return model.sample(self._rng)
+        pos = self._pos
+        if pos == self._block:
+            self._buf = self._rng.standard_normal(self._block).tolist()
+            pos = 0
+        self._pos = pos + 1
+        return model.from_standard_normal(self._buf[pos])
 
 
 def trim_warmup_outliers(
@@ -118,6 +206,30 @@ class KernelModelSet:
                 f"calibrated kernels: {sorted(self.models)}"
             ) from None
         return model.sample(rng)
+
+    @property
+    def batchable(self) -> bool:
+        """Can a :class:`BatchedNormalSampler` drive every model in the set?
+
+        True when each model draws exactly one standard normal per sample
+        (``rng_use == "normal"``) or none (``"none"``).  A single
+        ``"other"`` model (uniform, gamma, empirical) would interleave its
+        own generator consumption with the pre-pulled normal batch and
+        break draw-sequence equivalence, so such sets fall back wholesale.
+        """
+        return all(m.rng_use in ("normal", "none") for m in self.models.values())
+
+    def make_sampler(self, rng: np.random.Generator, *, batched: bool = True):
+        """A draw-per-kernel sampler bound to ``rng``.
+
+        Returns a :class:`BatchedNormalSampler` when the set is
+        :attr:`batchable` (and ``batched`` is not suppressed), otherwise a
+        :class:`DirectSampler`.  Both produce identical draw sequences for
+        the same generator state; the batched one is several times faster.
+        """
+        if batched and self.batchable:
+            return BatchedNormalSampler(self.models, rng)
+        return DirectSampler(self.models, rng)
 
     def mean_duration(self, kernel: str) -> float:
         return self.models[kernel].mean

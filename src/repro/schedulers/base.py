@@ -51,7 +51,7 @@ class TaskState(Enum):
     DONE = "done"
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskNode:
     """Runtime bookkeeping wrapped around one :class:`TaskSpec`."""
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import bisect
 import heapq
 import itertools
+import math
 import time
 from typing import Dict, List, Optional, Tuple
 
@@ -66,7 +67,10 @@ class Engine:
 
         # -- run state -----------------------------------------------------
         self.nodes: List[TaskNode] = [TaskNode(spec) for spec in program]
-        self.tracker = HazardTracker()
+        self._n_nodes = len(self.nodes)
+        # The engine only consumes the dependence *structure*; skipping the
+        # per-edge Dependence records saves an allocation per hazard.
+        self.tracker = HazardTracker(record_edges=False)
         self.now = 0.0
         self._heap: List[Tuple[float, int, int, int]] = []  # (t, seq, kind, node_idx)
         self._seq = itertools.count()
@@ -113,7 +117,7 @@ class Engine:
         times this poll runs inside it.  Counting every poll made the
         metric scale with event traffic instead of with actual throttling.
         """
-        if self._next_insert >= len(self.nodes):
+        if self._next_insert >= self._n_nodes:
             return
         if self._in_flight >= self.sched.window:
             if not self._window_stalled:
@@ -144,7 +148,7 @@ class Engine:
             )
 
         self.tracker.add_task(node.spec)
-        preds = self.tracker.predecessors(node.task_id)
+        preds = self.tracker.predecessors_view(node.task_id)
         outstanding = 0
         for pid in preds:
             pred = self.nodes[pid]
@@ -191,7 +195,7 @@ class Engine:
             # The master only executes tasks once insertion is finished or
             # stalled on a full window (QUARK behaviour).
             inserting = self._insert_pending
-            more_to_insert = self._next_insert < len(self.nodes)
+            more_to_insert = self._next_insert < self._n_nodes
             window_full = self._in_flight >= self.sched.window
             if inserting:
                 return False
@@ -230,6 +234,7 @@ class Engine:
 
     def _dispatch(self) -> None:
         """Offer work to idle workers until nothing more can be placed."""
+        sched = self.sched
         while self._idle:
             if self._pending_wide is not None:
                 # Head-of-line: the wide task must be placed first.
@@ -237,14 +242,29 @@ class Engine:
                     self.metrics.dispatch_stalls += 1
                     return
                 continue
-            if not self.sched.has_ready():
+            if not sched.has_ready():
                 return
+            # Master eligibility is loop-invariant across one sweep: it
+            # depends only on insertion state, which dispatch never changes.
+            master_blocked = sched.master_is_worker and (
+                self._insert_pending
+                or (
+                    self._next_insert < self._n_nodes
+                    and self._in_flight < sched.window
+                )
+            )
             progress = False
+            running = self._running
             for worker in list(self._idle):
-                if not self._worker_eligible(worker):
+                if worker in running or (master_blocked and worker == 0):
                     continue
-                node = self.sched.pop_ready(worker, self.now)
+                node = sched.pop_ready(worker, self.now)
                 if node is None:
+                    if not sched.has_ready():
+                        # The sweep drained the queue: every remaining poll
+                        # would be a no-op (pop_ready never consumes on a
+                        # None return, so an empty queue stays empty).
+                        return
                     continue
                 if node.spec.width > 1:
                     self._pending_wide = node
@@ -252,6 +272,8 @@ class Engine:
                     break  # restart the loop to place it head-of-line
                 self._assign(node, worker)
                 progress = True
+                if not sched.has_ready():
+                    return
             if not progress:
                 self.metrics.dispatch_stalls += 1
                 break
@@ -268,7 +290,7 @@ class Engine:
             self._master_debt = 0.0
         active = len(self._running) + node.spec.width
         duration = self.backend.duration(node, worker, start, active)
-        if duration < 0 or not np.isfinite(duration):
+        if duration < 0 or not math.isfinite(duration):
             raise ValueError(f"backend produced invalid duration {duration!r} for {node!r}")
         node.start_time = start
         node.end_time = start + duration
@@ -302,19 +324,24 @@ class Engine:
             return self.trace
 
         self._maybe_start_insertion()
-        while self._heap:
-            t, _, kind, node_idx = heapq.heappop(self._heap)
+        heap = self._heap
+        heappop = heapq.heappop
+        handle_insert = self._handle_insert
+        handle_finish = self._handle_finish
+        while heap:
+            t, _, kind, node_idx = heappop(heap)
             m.heap_pops += 1
             m.events_processed += 1
             if t < self.now - 1e-12:
                 raise RuntimeError("event time went backwards — engine bug")
-            self.now = max(self.now, t)
+            if t > self.now:
+                self.now = t
             if kind == _INSERT:
                 m.insert_events += 1
-                self._handle_insert()
+                handle_insert()
             else:
                 m.finish_events += 1
-                self._handle_finish(node_idx)
+                handle_finish(node_idx)
 
         m.makespan = self.trace.makespan
         m.wall_time_s = time.perf_counter() - wall_start

@@ -62,11 +62,13 @@ class OmpSsScheduler(SchedulerBase):
         self._central: Optional[object] = None
         self._bounce: Dict[int, List[TaskNode]] = {}
         self._n_ready = 0
+        self._n_bounced = 0  # tasks sitting in bounce slots
 
     def setup(self, nodes: Sequence[TaskNode]) -> None:
         self._central = FifoQueue() if self.queue_kind == "fifo" else PriorityQueue()
         self._bounce = {}
         self._n_ready = 0
+        self._n_bounced = 0
 
     def push_ready(self, node: TaskNode, releasing_worker: Optional[int]) -> None:
         self._n_ready += 1
@@ -74,6 +76,7 @@ class OmpSsScheduler(SchedulerBase):
             # Offer the task to the releasing worker first (it is idle at
             # this instant — it just finished the predecessor).
             self._bounce.setdefault(releasing_worker, []).append(node)
+            self._n_bounced += 1
             return
         self._central.push(node)  # type: ignore[union-attr]
 
@@ -81,14 +84,16 @@ class OmpSsScheduler(SchedulerBase):
         bounce = self._bounce.get(worker)
         if bounce:
             self._n_ready -= 1
+            self._n_bounced -= 1
             return bounce.pop(0)
         node = self._central.pop()  # type: ignore[union-attr]
-        if node is None:
+        if node is None and self._n_bounced > 0:
             # Drain other workers' unclaimed bounce slots so no task is lost
             # if its preferred worker picked up different work first.
             for w in sorted(self._bounce):
                 if self._bounce[w]:
                     node = self._bounce[w].pop(0)
+                    self._n_bounced -= 1
                     break
         if node is not None:
             self._n_ready -= 1

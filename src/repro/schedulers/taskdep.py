@@ -20,12 +20,15 @@ only order against the *next* writer.
 
 The tracker reports each dependence with its hazard kind so DAG exports can
 show edge multiplicity the way the paper's Fig. 1 does, while schedulers
-de-duplicate to one wait per predecessor.
+de-duplicate to one wait per predecessor.  Runtimes that only need the
+dependence *structure* (the engine's hot path) construct the tracker with
+``record_edges=False``, which skips :class:`Dependence` materialisation —
+the analysis itself is identical either way.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Set, Tuple
 
@@ -55,12 +58,14 @@ class Dependence:
         return f"{self.src}->{self.dst} [{self.kind.value} on {self.ref.name}]"
 
 
-@dataclass
 class _RefState:
     """Hazard bookkeeping for one data address."""
 
-    last_writer: int = -1
-    readers: Set[int] = field(default_factory=set)
+    __slots__ = ("last_writer", "readers")
+
+    def __init__(self) -> None:
+        self.last_writer = -1
+        self.readers: Set[int] = set()
 
 
 class HazardTracker:
@@ -68,13 +73,24 @@ class HazardTracker:
 
     ``add_task`` must be called in submission order; it returns the full list
     of dependence edges (with hazard kinds) terminating at the new task.
-    ``predecessors`` of a task is the de-duplicated set of source task ids.
+    ``predecessors`` of a task is the de-duplicated set of source task ids;
+    ``successors`` is the memoized inverse, maintained incrementally so DAG
+    traversals and dependence release need no rescan.
+
+    With ``record_edges=False`` the per-edge :class:`Dependence` records are
+    not materialised (``add_task`` returns an empty list and :attr:`edges` /
+    :meth:`edge_multiplicity` raise) — the structural queries behave
+    identically.  The discrete-event engine and the threaded runtime use
+    this mode; DAG construction keeps the default.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, record_edges: bool = True) -> None:
         self._state: Dict[int, _RefState] = {}
+        self._record_edges = record_edges
         self._edges: List[Dependence] = []
+        self._edge_count: Dict[Tuple[int, int], int] = {}
         self._preds: Dict[int, Set[int]] = {}
+        self._succs: Dict[int, List[int]] = {}
         self._n_tasks = 0
 
     def add_task(self, task: TaskSpec) -> List[Dependence]:
@@ -89,40 +105,62 @@ class HazardTracker:
             )
         self._n_tasks += 1
 
+        record = self._record_edges
         new_edges: List[Dependence] = []
         preds: Set[int] = set()
+        state = self._state
 
         # Pass 1: derive edges from the pre-insertion state.
         for acc in task.accesses:
-            st = self._state.get(acc.ref.addr)
+            st = state.get(acc.ref.addr)
             if st is None:
                 continue
-            if acc.mode.reads and st.last_writer >= 0 and st.last_writer != tid:
-                new_edges.append(Dependence(st.last_writer, tid, HazardKind.RAW, acc.ref))
-                preds.add(st.last_writer)
-            if acc.mode.writes:
-                if st.last_writer >= 0 and st.last_writer != tid:
-                    new_edges.append(Dependence(st.last_writer, tid, HazardKind.WAW, acc.ref))
-                    preds.add(st.last_writer)
+            reads, writes = acc.mode.rw_flags
+            last_writer = st.last_writer
+            if reads and last_writer >= 0 and last_writer != tid:
+                preds.add(last_writer)
+                if record:
+                    new_edges.append(Dependence(last_writer, tid, HazardKind.RAW, acc.ref))
+            if writes:
+                if last_writer >= 0 and last_writer != tid:
+                    preds.add(last_writer)
+                    if record:
+                        new_edges.append(Dependence(last_writer, tid, HazardKind.WAW, acc.ref))
                 for reader in st.readers:
                     if reader != tid:
-                        new_edges.append(Dependence(reader, tid, HazardKind.WAR, acc.ref))
                         preds.add(reader)
+                        if record:
+                            new_edges.append(Dependence(reader, tid, HazardKind.WAR, acc.ref))
 
         # Pass 2: advance the state.  Writes win over reads for the same ref
         # within one task (an RW access makes the task the new last writer).
         for acc in task.accesses:
-            if not (acc.mode.reads or acc.mode.writes):
+            reads, writes = acc.mode.rw_flags
+            if not (reads or writes):
                 continue
-            st = self._state.setdefault(acc.ref.addr, _RefState())
-            if acc.mode.writes:
+            st = state.get(acc.ref.addr)
+            if st is None:
+                st = state[acc.ref.addr] = _RefState()
+            if writes:
                 st.last_writer = tid
-                st.readers = set()
-            elif acc.mode.reads:
+                st.readers.clear()
+            else:
                 st.readers.add(tid)
 
-        self._edges.extend(new_edges)
+        if record:
+            self._edges.extend(new_edges)
+            edge_count = self._edge_count
+            for e in new_edges:
+                key = (e.src, e.dst)
+                edge_count[key] = edge_count.get(key, 0) + 1
         self._preds[tid] = preds
+        succs = self._succs
+        for pid in preds:
+            lst = succs.get(pid)
+            if lst is None:
+                succs[pid] = [tid]
+            else:
+                lst.append(tid)
         return new_edges
 
     # -- queries ----------------------------------------------------------
@@ -133,16 +171,46 @@ class HazardTracker:
     @property
     def edges(self) -> Tuple[Dependence, ...]:
         """All dependence edges discovered so far, in discovery order."""
+        if not self._record_edges:
+            raise RuntimeError(
+                "edge records were disabled (record_edges=False); construct "
+                "the tracker with record_edges=True for DAG exports"
+            )
         return tuple(self._edges)
 
     def predecessors(self, task_id: int) -> Set[int]:
-        """De-duplicated predecessor task ids of ``task_id``."""
+        """De-duplicated predecessor task ids of ``task_id`` (a fresh set)."""
         return set(self._preds[task_id])
+
+    def predecessors_view(self, task_id: int) -> Set[int]:
+        """The internal predecessor set of ``task_id`` — do not mutate.
+
+        Hot-path variant of :meth:`predecessors`: the engine and the
+        threaded runtime call this once per inserted task, and the copy was
+        measurable on large programs.
+        """
+        return self._preds[task_id]
+
+    def successors(self, task_id: int) -> Tuple[int, ...]:
+        """De-duplicated successor task ids of ``task_id``, ascending.
+
+        Maintained incrementally by :meth:`add_task` (one append per
+        dependence source), so the lookup is allocation-only — no rescan of
+        the edge list.  Only tasks inserted so far appear, matching the
+        incremental semantics of the rest of the tracker.
+        """
+        return tuple(self._succs.get(task_id, ()))
 
     def edge_multiplicity(self, src: int, dst: int) -> int:
         """How many distinct data hazards connect ``src`` to ``dst``.
 
         Fig. 1 of the paper draws one edge per hazard, so a QR ``tsmqr`` can
-        have several edges from the same parent.
+        have several edges from the same parent.  O(1): the count is
+        maintained as edges are discovered.
         """
-        return sum(1 for e in self._edges if e.src == src and e.dst == dst)
+        if not self._record_edges:
+            raise RuntimeError(
+                "edge records were disabled (record_edges=False); construct "
+                "the tracker with record_edges=True for multiplicity queries"
+            )
+        return self._edge_count.get((src, dst), 0)

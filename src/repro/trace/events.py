@@ -16,7 +16,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 __all__ = ["TraceEvent", "Trace"]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class TraceEvent:
     """One executed task: ``[start, end)`` on ``worker``.
 
@@ -41,6 +41,15 @@ class TraceEvent:
             raise ValueError("worker index must be non-negative")
         if self.width < 1:
             raise ValueError("width must be at least 1")
+
+    # Python 3.10 restores slot state with setattr, which a frozen dataclass
+    # rejects; 3.11+ generates equivalent hooks itself.
+    def __getstate__(self):
+        return tuple(getattr(self, f) for f in self.__slots__)
+
+    def __setstate__(self, state) -> None:
+        for f, v in zip(self.__slots__, state):
+            object.__setattr__(self, f, v)
 
     @property
     def duration(self) -> float:

@@ -1,0 +1,305 @@
+"""Tests for the benchmark subsystem and the batched duration sampler.
+
+The sampling tests enforce the contract the whole optimization pass rests
+on: for a fixed seed, the batched sampler's draw sequence is *bit-identical*
+to per-call sampling, and therefore optimized `simulate()` traces are
+byte-identical to the reference path.  The golden-digest test extends that
+guarantee across commits: the digests in ``tests/data/preopt_trace_digests.json``
+were captured from the pre-optimization simulator.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.algorithms import cholesky_program, qr_program
+from repro.bench import (
+    BENCH_SCHEMA,
+    BenchReport,
+    BenchResult,
+    compare_reports,
+    default_suite,
+    run_benchmark,
+    run_suite,
+    synthetic_models,
+)
+from repro.core.simbackend import SimulationBackend
+from repro.core.simulator import run_real, simulate
+from repro.kernels.distributions import (
+    ConstantModel,
+    GammaModel,
+    LognormalModel,
+    NormalModel,
+)
+from repro.kernels.timing import BatchedNormalSampler, DirectSampler, KernelModelSet
+from repro.schedulers import make_scheduler
+from repro.trace.compare import compare_traces
+from repro.trace.textio import dumps_trace
+
+DATA = Path(__file__).parent / "data"
+
+
+def _normal_models() -> KernelModelSet:
+    return KernelModelSet(
+        models={
+            "A": LognormalModel(mu_log=-9.0, sigma_log=0.1),
+            "B": NormalModel(mu=2e-4, sigma=1e-5),
+            "C": ConstantModel(value=5e-5),
+            "D": LognormalModel(mu_log=-8.0, sigma_log=0.2),
+        },
+        family="mixed",
+    )
+
+
+class TestBatchedSampler:
+    def test_batchable_classification(self):
+        assert _normal_models().batchable
+        with_gamma = KernelModelSet(
+            models={
+                "A": NormalModel(mu=1e-4, sigma=1e-5),
+                "G": GammaModel(shape=4.0, scale=1e-5),
+            },
+            family="mixed",
+        )
+        assert not with_gamma.batchable
+        assert isinstance(with_gamma.make_sampler(np.random.default_rng(0)), DirectSampler)
+        assert isinstance(_normal_models().make_sampler(np.random.default_rng(0)), BatchedNormalSampler)
+
+    def test_batched_flag_forces_direct(self):
+        sampler = _normal_models().make_sampler(np.random.default_rng(0), batched=False)
+        assert isinstance(sampler, DirectSampler)
+
+    @pytest.mark.parametrize("seed", [0, 1, 1234, 999])
+    def test_draw_sequences_bit_identical(self, seed):
+        """Property: batched and direct sampling yield the same floats.
+
+        The kernel sequence interleaves all four model kinds (including the
+        rng-free ConstantModel) and crosses several refill boundaries.
+        """
+        models = _normal_models()
+        rng = np.random.default_rng(seed)
+        kernels = [["A", "B", "C", "D"][int(rng.integers(4))] for _ in range(2000)]
+
+        direct = models.make_sampler(np.random.default_rng(seed), batched=False)
+        batched = models.make_sampler(np.random.default_rng(seed))
+        assert isinstance(batched, BatchedNormalSampler)
+        for kernel in kernels:
+            assert direct.draw(kernel) == batched.draw(kernel)
+
+    def test_unknown_kernel_raises(self):
+        sampler = _normal_models().make_sampler(np.random.default_rng(0))
+        with pytest.raises(KeyError, match="no timing model"):
+            sampler.draw("NOPE")
+
+    def test_small_block_refills(self):
+        models = KernelModelSet(
+            models={"A": LognormalModel(mu_log=-9.0, sigma_log=0.1)}, family="lognormal"
+        )
+        batched = BatchedNormalSampler(models.models, np.random.default_rng(7), block=3)
+        direct = models.make_sampler(np.random.default_rng(7), batched=False)
+        for _ in range(20):
+            assert batched.draw("A") == direct.draw("A")
+
+    def test_block_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BatchedNormalSampler({}, np.random.default_rng(0), block=0)
+
+
+class TestTraceEquivalence:
+    @pytest.mark.parametrize("scheduler", ["quark", "starpu", "ompss"])
+    def test_batched_vs_direct_traces_identical(self, scheduler):
+        program = cholesky_program(8, 200)
+        models = synthetic_models(program)
+        traces = []
+        for batched in (True, False):
+            sched = make_scheduler(scheduler, 16)
+            backend = SimulationBackend(models, warmup_penalty=1e-3, batched=batched)
+            trace = sched.run(program, backend, seed=1234, trace_meta={"mode": "simulated"})
+            traces.append(trace)
+        assert dumps_trace(traces[0]) == dumps_trace(traces[1])
+        assert compare_traces(traces[0], traces[1]).abs_error_percent == 0.0
+
+    def test_golden_digests_from_pre_optimization_commit(self):
+        """Optimized runs reproduce pre-optimization traces byte-for-byte."""
+        golden = json.loads((DATA / "preopt_trace_digests.json").read_text())
+        digests = golden["digests"]
+        for algorithm, gen in (("cholesky", cholesky_program), ("qr", qr_program)):
+            program = gen(8, 200)
+            models = synthetic_models(program)
+            for scheduler in ("quark", "starpu", "ompss"):
+                sim_trace = simulate(
+                    program,
+                    make_scheduler(scheduler, 16),
+                    models,
+                    seed=1234,
+                    warmup_penalty=1e-3,
+                )
+                got = hashlib.sha256(dumps_trace(sim_trace).encode()).hexdigest()
+                assert got == digests[f"sim/{algorithm}/{scheduler}/nt8"], (
+                    f"simulated trace drifted: {algorithm}/{scheduler}"
+                )
+                real_trace = run_real(
+                    program, make_scheduler(scheduler, 16), "magny_cours_48", seed=77
+                )
+                got = hashlib.sha256(dumps_trace(real_trace).encode()).hexdigest()
+                assert got == digests[f"real/{algorithm}/{scheduler}/nt8"], (
+                    f"real-mode trace drifted: {algorithm}/{scheduler}"
+                )
+
+
+class TestBenchHarness:
+    def test_run_benchmark_records_best_and_mean(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+
+        result = run_benchmark("t/x", fn, group="micro", ops=10, unit="ops/s", repeats=3, warmup=1)
+        assert len(calls) == 4  # warmup + repeats
+        assert result.repeats == 3
+        assert len(result.all_wall_s) == 3
+        assert result.wall_s == min(result.all_wall_s)
+        assert result.ops_per_s == pytest.approx(10 / result.wall_s)
+
+    def test_ops_override_from_fn(self):
+        result = run_benchmark("t/y", lambda: 42, group="micro", ops=1, unit="events/s", repeats=2)
+        assert result.ops == 42
+
+    def test_report_roundtrip_and_schema(self, tmp_path):
+        report = BenchReport(label="test")
+        report.add(
+            BenchResult(
+                name="a", group="micro", ops=5, unit="ops/s", repeats=1,
+                wall_s=0.5, ops_per_s=10.0, mean_wall_s=0.5, all_wall_s=[0.5],
+            )
+        )
+        path = report.write_json(tmp_path / "b.json")
+        loaded = BenchReport.read_json(path)
+        assert loaded.to_dict()["schema"] == BENCH_SCHEMA
+        assert loaded.by_name()["a"].ops_per_s == 10.0
+
+        doc = json.loads(Path(path).read_text())
+        doc["schema"] = "something/else"
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="schema"):
+            BenchReport.read_json(bad)
+
+    def test_default_suite_composition(self):
+        quick = default_suite(quick=True)
+        full = default_suite()
+        names_quick = {s.name for s in quick}
+        names_full = {s.name for s in full}
+        assert "micro/teq-push-pop" in names_quick
+        assert "macro/simulate/cholesky-nt28/quark" in names_full
+        assert names_quick < names_full
+
+    def test_run_suite_filter_and_no_match(self):
+        specs = default_suite(quick=True)
+        with pytest.raises(ValueError, match="no benchmarks match"):
+            run_suite(specs, only=["nothing/*"])
+
+        for spec in specs:
+            spec.repeats = 1
+        report = run_suite(specs, only=["micro/hazard*"], label="t")
+        assert [r.name for r in report.results] == ["micro/hazard-tracking"]
+
+
+class TestBenchGate:
+    def _report(self, throughput):
+        report = BenchReport(label="x")
+        for name, ops_per_s in throughput.items():
+            report.add(
+                BenchResult(
+                    name=name, group="macro", ops=1, unit="tasks/s", repeats=1,
+                    wall_s=1.0, ops_per_s=ops_per_s, mean_wall_s=1.0, all_wall_s=[1.0],
+                )
+            )
+        return report
+
+    def test_regression_detected(self):
+        baseline = self._report({"a": 100.0, "b": 100.0})
+        fresh = self._report({"a": 95.0, "b": 60.0})  # b lost 40% > 30%
+        gate = compare_reports(baseline, fresh, max_regression=0.30)
+        assert not gate.ok
+        assert [d.name for d in gate.regressions] == ["b"]
+        assert "REGRESSED" in gate.table()
+
+    def test_within_threshold_passes(self):
+        gate = compare_reports(
+            self._report({"a": 100.0}), self._report({"a": 75.0}), max_regression=0.30
+        )
+        assert gate.ok
+
+    def test_one_sided_benchmarks_never_fail(self):
+        gate = compare_reports(
+            self._report({"old": 100.0}), self._report({"new": 1.0}), max_regression=0.30
+        )
+        assert gate.ok
+        statuses = {d.name: d.status for d in gate.deltas}
+        assert statuses == {"old": "missing", "new": "new"}
+
+    def test_threshold_validated(self):
+        report = self._report({"a": 1.0})
+        with pytest.raises(ValueError):
+            compare_reports(report, report, max_regression=0.0)
+        with pytest.raises(ValueError):
+            compare_reports(report, report, max_regression=1.0)
+
+
+class TestBenchCli:
+    def test_no_subcommand_prints_help_and_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main([]) == 2
+        assert "usage: repro" in capsys.readouterr().err
+
+    def test_version_flag(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_bench_writes_schema_tagged_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_test.json"
+        code = main(
+            ["bench", "--quick", "--only", "micro/hazard*", "--repeats", "1",
+             "--out", str(out)]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == BENCH_SCHEMA
+        assert doc["results"][0]["name"] == "micro/hazard-tracking"
+        assert "env" in doc
+
+    def test_bench_gate_fails_on_artificial_slowdown(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "fresh.json"
+        assert main(
+            ["bench", "--quick", "--only", "micro/hazard*", "--repeats", "1",
+             "--out", str(out)]
+        ) == 0
+        doc = json.loads(out.read_text())
+        for r in doc["results"]:
+            r["ops_per_s"] *= 2.0  # baseline pretends to be 2x faster
+        doctored = tmp_path / "doctored.json"
+        doctored.write_text(json.dumps(doc))
+        code = main(
+            ["bench", "--quick", "--only", "micro/hazard*", "--repeats", "1",
+             "--compare", str(doctored)]
+        )
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_bench_unknown_filter_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "--quick", "--only", "zzz/*"]) == 2

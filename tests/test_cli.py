@@ -6,9 +6,13 @@ from repro.cli import build_parser, main
 
 
 class TestParser:
-    def test_requires_command(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args([])
+    def test_no_command_parses_then_main_exits_2(self, capsys):
+        # The bare invocation is valid at parse time; main() prints usage
+        # to stderr and returns 2 instead of tracebacking.
+        args = build_parser().parse_args([])
+        assert args.command is None
+        assert main([]) == 2
+        assert "usage: repro" in capsys.readouterr().err
 
     def test_unknown_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,149 @@
+"""Heap-invariant tests for the Task Execution Queue under interleaved
+push/pop traffic, including the notify-only-on-front-change fast path.
+
+The TEQ's contract (paper §V-C): whatever the real-time interleaving of
+inserts, tasks leave the queue in simulated-completion-time order, ties
+broken by insertion sequence.  These tests drive deterministic interleaved
+single-thread traffic and a multi-threaded waiter pile-up to check the
+protocol still wakes everyone after the insert-notify optimization.
+"""
+
+import heapq
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.teq import TaskExecutionQueue
+
+
+def _drain(teq: TaskExecutionQueue):
+    out = []
+    while True:
+        front = teq.front()
+        if front is None:
+            return out
+        end = teq.pop_front(front)
+        out.append((front, end))
+
+
+class TestInterleavedPushPop:
+    def test_pops_in_completion_time_order(self):
+        teq = TaskExecutionQueue()
+        rng = np.random.default_rng(42)
+        reference = []  # mirror heap: (end, seq, tid)
+        seq = 0
+        next_tid = 0
+        popped = []
+        # Interleave 500 operations: 60% inserts, 40% front pops.
+        for _ in range(500):
+            if reference and rng.random() < 0.4:
+                end, _, tid = heapq.heappop(reference)
+                assert teq.front() == tid
+                assert teq.pop_front(tid) == end
+                popped.append((tid, end))
+            else:
+                end = float(rng.integers(0, 50))  # many ties -> seq ordering
+                teq.insert(next_tid, end)
+                heapq.heappush(reference, (end, seq, next_tid))
+                seq += 1
+                next_tid += 1
+        drained = _drain(teq)
+        # The final drain empties a static queue: completion times must be
+        # non-decreasing.  (The interleaved pops above are each checked
+        # against the mirror heap at the moment they happen — the *global*
+        # pop sequence is not sorted, since later inserts may complete
+        # earlier than tasks already popped.)
+        drain_ends = [end for _, end in drained]
+        assert drain_ends == sorted(drain_ends)
+        popped.extend(drained)
+        # Ties preserve insertion order across the whole run.
+        seen_at_end = {}
+        for tid, end in popped:
+            if end in seen_at_end:
+                assert tid > seen_at_end[end], "FIFO tie-break violated"
+            seen_at_end[end] = tid
+        assert len(popped) == next_tid
+
+    def test_front_tracks_minimum_after_every_operation(self):
+        teq = TaskExecutionQueue()
+        rng = np.random.default_rng(7)
+        alive = {}
+        for tid in range(100):
+            end = float(rng.random())
+            teq.insert(tid, end)
+            alive[tid] = end
+            best = min(alive, key=lambda t: (alive[t], t))
+            assert teq.front() == best
+            assert teq.front_end_time() == alive[best]
+            if rng.random() < 0.5:
+                teq.pop_front(best)
+                del alive[best]
+
+    def test_non_front_pop_rejected(self):
+        teq = TaskExecutionQueue()
+        teq.insert(1, 1.0)
+        teq.insert(2, 2.0)
+        with pytest.raises(RuntimeError, match="not at the front"):
+            teq.pop_front(2)
+        assert teq.pop_front(1) == 1.0
+
+    def test_len_and_snapshot_sorted(self):
+        teq = TaskExecutionQueue()
+        for tid, end in ((3, 30.0), (1, 10.0), (2, 20.0)):
+            teq.insert(tid, end)
+        assert len(teq) == 3
+        assert teq.snapshot() == [(1, 10.0), (2, 20.0), (3, 30.0)]
+
+
+class TestWaiterWakeups:
+    def test_insert_behind_front_does_not_strand_waiters(self):
+        """Waiters for later tasks must still drain after non-front inserts.
+
+        The insert fast path only broadcasts when the front changes; this
+        pile-up (every waiter blocked, inserts arriving in both orders)
+        deadlocks within the timeout if a required wake-up is skipped.
+        """
+        teq = TaskExecutionQueue()
+        n = 24
+        order = []
+        lock = threading.Lock()
+
+        def waiter(tid: int):
+            end = teq.wait_pop_front(tid, timeout=10.0)
+            with lock:
+                order.append((tid, end))
+
+        threads = [threading.Thread(target=waiter, args=(tid,)) for tid in range(n)]
+        for t in threads:
+            t.start()
+        # Insert in an order that alternates front-changing and back inserts.
+        for tid in range(n - 1, -1, -1) if n % 2 else list(range(n // 2, n)) + list(range(n // 2)):
+            teq.insert(tid, float(tid))
+        for t in threads:
+            t.join(timeout=10.0)
+            assert not t.is_alive(), "TEQ waiter stranded — missed wake-up"
+        assert [tid for tid, _ in order] == list(range(n))
+        assert all(end == float(tid) for tid, end in order)
+
+    def test_concurrent_inserts_then_ordered_drain(self):
+        teq = TaskExecutionQueue()
+        n_threads, per_thread = 8, 50
+        barrier = threading.Barrier(n_threads)
+
+        def inserter(base: int):
+            rng = np.random.default_rng(base)
+            barrier.wait()
+            for i in range(per_thread):
+                teq.insert(base * per_thread + i, float(rng.random()))
+
+        threads = [threading.Thread(target=inserter, args=(b,)) for b in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(teq) == n_threads * per_thread
+        drained = _drain(teq)
+        ends = [end for _, end in drained]
+        assert ends == sorted(ends)
+        assert len(drained) == n_threads * per_thread
