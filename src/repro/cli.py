@@ -25,6 +25,11 @@ Commands
     Micro/macro benchmark suite over the simulation hot paths; writes a
     schema-tagged ``BENCH_*.json`` report and optionally gates against a
     committed baseline (exit status 1 on regression).
+``timeline``
+    One observed run with a recording probe attached: exports the Chrome
+    ``trace_event`` JSON (open at https://ui.perfetto.dev), the virtual-time
+    counter series (CSV + JSON), the per-task wait attribution report, and
+    the run metrics.
 
 Every command is pure offline computation on the bundled machine models.
 """
@@ -110,12 +115,31 @@ def _cmd_simulate(args) -> int:
         _program(args, nt=args.cal_nt), _scheduler(args), machine,
         family=args.family, seed=args.seed,
     )
+    metrics_real = metrics_sim = None
+    if args.metrics_out:
+        from .core.metrics import RunMetrics
+
+        metrics_real, metrics_sim = RunMetrics(), RunMetrics()
     result = validate(
         _program(args), _scheduler(args), machine, models,
         seed_real=args.seed + 1, seed_sim=args.seed + 2,
         warmup_penalty=machine.warmup_penalty,
+        metrics_real=metrics_real, metrics_sim=metrics_sim,
     )
     print(result.report())
+    if args.metrics_out:
+        import json
+        from pathlib import Path
+
+        path = Path(args.metrics_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "schema": "repro.validate_metrics/v1",
+            "real": metrics_real.to_dict(),
+            "simulated": metrics_sim.to_dict(),
+        }
+        path.write_text(json.dumps(doc, sort_keys=True, indent=2) + "\n")
+        print(f"wrote {path}")
     if args.svg:
         path = write_comparison_svg(result.real, result.simulated, args.svg)
         print(f"wrote {path}")
@@ -129,8 +153,17 @@ def _cmd_simulate(args) -> int:
 
 def _cmd_run(args) -> int:
     machine = get_machine(args.machine)
-    trace = run_real(_program(args), _scheduler(args), machine, seed=args.seed)
+    metrics = None
+    if args.metrics_out:
+        from .core.metrics import RunMetrics
+
+        metrics = RunMetrics()
+    trace = run_real(
+        _program(args), _scheduler(args), machine, seed=args.seed, metrics=metrics
+    )
     trace.validate()
+    if args.metrics_out:
+        print(f"wrote {metrics.write_json(args.metrics_out)}")
     stats = trace_statistics(trace)
     print(stats.report())
     print(f"achieved {trace.gflops(_program(args).total_flops):.2f} GFLOP/s "
@@ -238,7 +271,10 @@ def _cmd_sweep(args) -> int:
     if not args.no_cache:
         cache = ResultCache(args.cache_dir if args.cache_dir else default_cache_dir())
     progress = (lambda msg: print(msg, file=sys.stderr)) if args.verbose else None
-    outcome = runner_sweep(specs, jobs=args.jobs, cache=cache, progress=progress)
+    outcome = runner_sweep(
+        specs, jobs=args.jobs, cache=cache, progress=progress,
+        probe_dir=args.probe_dir,
+    )
 
     rows = []
     for name, nt, seed, idx in points:
@@ -304,11 +340,70 @@ def _cmd_stress(args) -> int:
         faults=faults,
         stall=stall,
         progress=progress,
+        probe_dir=args.probe_dir,
     )
     print(report.table())
     if not report.all_ok:
         print(f"{len(report.failures)} failing combinations", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    from .core.metrics import RunMetrics
+    from .obs import RecordingProbe, load_trace_event
+    from .obs.timeline import export_timeline
+
+    machine = get_machine(args.machine)
+    program = _program(args)
+    probe = RecordingProbe()
+    metrics = RunMetrics()
+
+    if args.runtime == "threaded":
+        if args.mode != "simulated":
+            print("--runtime threaded requires --mode simulated", file=sys.stderr)
+            return 2
+        from .core.threaded import ThreadedRuntime
+
+        models, _ = calibrate(
+            _program(args, nt=args.cal_nt), _scheduler(args), machine,
+            family=args.family, seed=args.seed,
+        )
+        runtime = ThreadedRuntime(
+            args.workers,
+            mode="simulate",
+            guard=args.guard,
+            window=args.window if args.window else 4096,
+        )
+        trace = runtime.run(
+            program, models=models, seed=args.seed, metrics=metrics, probe=probe
+        )
+    elif args.mode == "simulated":
+        from .core.simulator import simulate
+
+        models, _ = calibrate(
+            _program(args, nt=args.cal_nt), _scheduler(args), machine,
+            family=args.family, seed=args.seed,
+        )
+        trace = simulate(
+            program, _scheduler(args), models, seed=args.seed,
+            warmup_penalty=machine.warmup_penalty, metrics=metrics, probe=probe,
+        )
+    else:
+        trace = run_real(
+            program, _scheduler(args), machine, seed=args.seed,
+            metrics=metrics, probe=probe,
+        )
+
+    art = export_timeline(args.out_dir, trace, probe, metrics=metrics, prefix=args.prefix)
+    # Self-check: the emitted document must round-trip through our own
+    # strict loader before we point anyone at ui.perfetto.dev with it.
+    load_trace_event(art.perfetto)
+    print(art.report.report())
+    print()
+    for path in art.paths():
+        print(f"wrote {path}")
+    print(f"open {art.perfetto} at https://ui.perfetto.dev")
     return 0
 
 
@@ -367,6 +462,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--svg", default=None, help="write real/sim comparison SVG")
     p.add_argument("--gantt", action="store_true", help="print ASCII Gantt charts")
     p.add_argument("--gantt-width", type=int, default=100, dest="gantt_width")
+    p.add_argument("--metrics-out", default=None, dest="metrics_out",
+                   help="write both runs' RunMetrics documents (JSON) here")
     p.set_defaults(fn=_cmd_simulate)
 
     p = sub.add_parser("run", help="one real run on the machine model")
@@ -374,6 +471,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--svg", default=None)
     p.add_argument("--gantt", action="store_true")
     p.add_argument("--gantt-width", type=int, default=100, dest="gantt_width")
+    p.add_argument("--metrics-out", default=None, dest="metrics_out",
+                   help="write the run's RunMetrics document (JSON) here")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("dag", help="build and analyse a dependence DAG")
@@ -417,6 +516,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the on-disk cache (ephemeral per-sweep cache only)")
     p.add_argument("--metrics-out", default=None, dest="metrics_out",
                    help="write the sweep metrics document (JSON) here")
+    p.add_argument("--probe-dir", default=None, dest="probe_dir",
+                   help="attach a recording probe to every run and write "
+                   "timeline artifacts (Perfetto/series/attribution) here")
     p.add_argument("--verbose", action="store_true",
                    help="print per-run progress to stderr")
     p.set_defaults(fn=_cmd_sweep)
@@ -446,6 +548,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kill-worker", type=int, default=None, dest="kill_worker",
                    help="inject: this worker dies on its first claim")
     p.add_argument("--fault-seed", type=int, default=0, dest="fault_seed")
+    p.add_argument("--probe-dir", default=None, dest="probe_dir",
+                   help="write per-combination timeline artifacts here")
     p.add_argument("--verbose", action="store_true",
                    help="print per-combination progress to stderr")
     p.set_defaults(fn=_cmd_stress)
@@ -475,6 +579,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="print per-benchmark progress to stderr")
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "timeline",
+        help="one observed run: Perfetto trace, counter series, wait attribution",
+    )
+    _add_problem_args(p)
+    p.add_argument("--mode", choices=("real", "simulated"), default="real",
+                   help="duration source: machine model (real) or calibrated "
+                   "timing models (simulated)")
+    p.add_argument("--runtime", choices=("engine", "threaded"), default="engine",
+                   help="discrete-event engine or the real-thread runtime "
+                   "(threaded requires --mode simulated)")
+    p.add_argument("--guard", choices=("quiesce", "sleep", "yield", "none"),
+                   default="quiesce", help="race guard for --runtime threaded")
+    p.add_argument("--cal-nt", type=int, default=8, dest="cal_nt",
+                   help="calibration problem size for --mode simulated")
+    p.add_argument("--family", default="lognormal")
+    p.add_argument("--out-dir", default="timeline-artifacts", dest="out_dir",
+                   help="directory receiving the artifact files")
+    p.add_argument("--prefix", default="timeline",
+                   help="artifact filename prefix")
+    p.set_defaults(fn=_cmd_timeline)
 
     return parser
 

@@ -17,6 +17,7 @@ concrete execution that produced them.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Union
@@ -46,6 +47,10 @@ class RunMetrics:
         (QUARK-style throttling at work).
     ``tasks_executed``
         Tasks assigned to workers (equals the trace length at the end).
+    ``peak_ready_depth``
+        High-water mark of the ready queue (tasks released but not yet
+        claimed by a worker) — the cross-check for the observability
+        layer's ready-depth time series.
 
     TEQ counters (threaded runtime)
     -------------------------------
@@ -77,6 +82,7 @@ class RunMetrics:
     dispatch_stalls: int = 0
     window_stalls: int = 0
     tasks_executed: int = 0
+    peak_ready_depth: int = 0
     teq_inserts: int = 0
     teq_pops: int = 0
     peak_teq_depth: int = 0
@@ -102,6 +108,12 @@ class RunMetrics:
         or foreign tag raises ``ValueError`` naming the offending tag, so
         that e.g. a sweep document or a stall diagnostic fed to this parser
         fails loudly instead of silently yielding all-zero metrics.
+
+        Unknown non-schema keys (a document written by a newer version of
+        this package, say) are *kept*, not dropped: they are collected under
+        ``extra["unknown_fields"]`` and reported once via ``warnings.warn``,
+        so forward-compat documents survive a parse/serialise round trip
+        with their data intact.
         """
         tag = data.get("schema")
         if tag != METRICS_SCHEMA:
@@ -111,6 +123,18 @@ class RunMetrics:
             )
         known = {f for f in cls.__dataclass_fields__}
         kwargs = {k: v for k, v in data.items() if k in known}
+        # Never alias the caller's dict into the instance.
+        kwargs["extra"] = dict(kwargs.get("extra") or {})
+        unknown = {k: v for k, v in data.items() if k not in known and k != "schema"}
+        if unknown:
+            warnings.warn(
+                f"RunMetrics document carries {len(unknown)} unknown field(s) "
+                f"{sorted(unknown)}; kept under extra['unknown_fields']",
+                stacklevel=2,
+            )
+            merged = dict(kwargs["extra"].get("unknown_fields") or {})
+            merged.update(unknown)
+            kwargs["extra"]["unknown_fields"] = merged
         return cls(**kwargs)
 
     def to_json(self) -> str:
@@ -127,10 +151,23 @@ class RunMetrics:
         return cls.from_dict(json.loads(Path(path).read_text()))
 
     def summary(self) -> str:
-        """One-line human rendering for sweep reports and logs."""
-        return (
+        """One-line human rendering for sweep reports and logs.
+
+        Engine counters always appear; TEQ traffic and watchdog recoveries
+        (threaded-runtime territory) are appended only when nonzero, so
+        engine-run summaries stay unchanged.
+        """
+        line = (
             f"{self.tasks_executed} tasks, {self.events_processed} events, "
             f"heap peak {self.peak_heap_depth}, "
-            f"stalls {self.dispatch_stalls}d/{self.window_stalls}w, "
-            f"makespan {self.makespan:.6f}s, wall {self.wall_time_s * 1e3:.1f}ms"
+            f"stalls {self.dispatch_stalls}d/{self.window_stalls}w"
         )
+        if self.teq_inserts or self.teq_pops or self.peak_teq_depth:
+            line += (
+                f", teq {self.teq_inserts}i/{self.teq_pops}p "
+                f"peak {self.peak_teq_depth}"
+            )
+        if self.stall_recoveries:
+            line += f", recovered {self.stall_recoveries} stalls"
+        line += f", makespan {self.makespan:.6f}s, wall {self.wall_time_s * 1e3:.1f}ms"
+        return line

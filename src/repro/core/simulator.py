@@ -14,7 +14,7 @@ This is the user-facing surface of the reproduction:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 from ..kernels.timing import KernelModelSet
 from ..machine.backend import MachineBackend
@@ -22,6 +22,7 @@ from ..machine.topology import Machine
 from ..schedulers.base import SchedulerBase
 from ..trace.compare import TraceComparison, compare_traces
 from ..trace.events import Trace
+from .metrics import RunMetrics
 from .simbackend import SimulationBackend
 from .task import Program
 
@@ -34,10 +35,20 @@ def run_real(
     machine: Union[Machine, str, MachineBackend],
     *,
     seed: int = 0,
+    metrics: Optional[RunMetrics] = None,
+    probe=None,
 ) -> Trace:
-    """A ground-truth run: scheduler + machine-model durations."""
+    """A ground-truth run: scheduler + machine-model durations.
+
+    ``metrics`` and ``probe`` are the observability hooks: run counters and
+    the scheduler-internal event stream (:mod:`repro.obs`).  Neither changes
+    the trace.
+    """
     backend = machine if isinstance(machine, MachineBackend) else MachineBackend(machine)
-    return scheduler.run(program, backend, seed=seed, trace_meta={"mode": "real"})
+    return scheduler.run(
+        program, backend, seed=seed, trace_meta={"mode": "real"},
+        metrics=metrics, probe=probe,
+    )
 
 
 def simulate(
@@ -47,15 +58,21 @@ def simulate(
     *,
     seed: int = 0,
     warmup_penalty: float = 0.0,
+    metrics: Optional[RunMetrics] = None,
+    probe=None,
 ) -> Trace:
     """A simulated run: scheduler + timing-model durations (paper §V).
 
     ``warmup_penalty`` optionally reproduces the per-worker first-kernel
     initialisation cost in the simulated trace (the paper notes its absence
     as one of the two visible differences between Figs. 6 and 7).
+    ``metrics`` / ``probe`` observe the run without perturbing it.
     """
     backend = SimulationBackend(models, warmup_penalty=warmup_penalty)
-    return scheduler.run(program, backend, seed=seed, trace_meta={"mode": "simulated"})
+    return scheduler.run(
+        program, backend, seed=seed, trace_meta={"mode": "simulated"},
+        metrics=metrics, probe=probe,
+    )
 
 
 @dataclass
@@ -90,15 +107,22 @@ def validate(
     seed_real: int = 1,
     seed_sim: int = 2,
     warmup_penalty: float = 0.0,
+    metrics_real: Optional[RunMetrics] = None,
+    metrics_sim: Optional[RunMetrics] = None,
 ) -> ValidationResult:
     """Run real and simulated executions of ``program`` and compare them.
 
     Distinct seeds are deliberate: the paper's runs and simulations are
     *different stochastic realisations* whose agreement is the claim under
     test, so validating with shared randomness would be self-deception.
+    ``metrics_real`` / ``metrics_sim``, when given, collect each side's run
+    counters.
     """
-    real = run_real(program, scheduler, machine, seed=seed_real)
-    sim = simulate(program, scheduler, models, seed=seed_sim, warmup_penalty=warmup_penalty)
+    real = run_real(program, scheduler, machine, seed=seed_real, metrics=metrics_real)
+    sim = simulate(
+        program, scheduler, models, seed=seed_sim, warmup_penalty=warmup_penalty,
+        metrics=metrics_sim,
+    )
     comparison = compare_traces(real, sim)
     flops = program.total_flops
     return ValidationResult(

@@ -17,7 +17,9 @@ tasks whenever the front changes.
 Robustness hooks: ``notify_fault`` lets a fault plan swallow wake-ups (to
 rehearse lost-notify deadlocks), ``escape`` predicates let the stall
 watchdog abort open-ended waits, and :meth:`snapshot` feeds the stall
-diagnostic.
+diagnostic.  A :class:`~repro.obs.probe.Probe` can additionally observe
+every insert/pop with the queue depth, under the queue's own lock so the
+recorded depths are exact.
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ import itertools
 import threading
 from typing import Callable, List, Optional, Tuple
 
+from ..obs.probe import active_probe
 from .metrics import RunMetrics
 
 __all__ = ["TaskExecutionQueue"]
@@ -39,6 +42,11 @@ class TaskExecutionQueue:
     depth, dropped notifications) under the queue's own lock.
     ``notify_fault`` is the fault-injection hook: a callable consulted on
     every notification; returning ``True`` swallows that wake-up.
+    ``probe`` (see :mod:`repro.obs.probe`) observes inserts and pops with
+    the exact post-operation depth; ``now_fn``, when given, timestamps
+    insert events with the current virtual time (otherwise the task's
+    completion time is used — pops always carry the popped end time, since
+    the runtime advances the clock to it just before popping).
     """
 
     def __init__(
@@ -46,6 +54,8 @@ class TaskExecutionQueue:
         metrics: Optional[RunMetrics] = None,
         *,
         notify_fault: Optional[Callable[[], bool]] = None,
+        probe=None,
+        now_fn: Optional[Callable[[], float]] = None,
     ) -> None:
         self._heap: List[Tuple[float, int, int]] = []  # (end_time, seq, task_id)
         self._lock = threading.Lock()
@@ -53,6 +63,8 @@ class TaskExecutionQueue:
         self._seq = itertools.count()
         self.metrics = metrics
         self.notify_fault = notify_fault
+        self._probe = active_probe(probe)
+        self._now = now_fn
 
     def _notify_locked(self, *, force: bool = False) -> None:
         """Wake waiters; the fault hook may swallow non-forced wake-ups."""
@@ -71,6 +83,9 @@ class TaskExecutionQueue:
                 self.metrics.teq_inserts += 1
                 if len(self._heap) > self.metrics.peak_teq_depth:
                     self.metrics.peak_teq_depth = len(self._heap)
+            if self._probe is not None:
+                t = self._now() if self._now is not None else end_time
+                self._probe.teq_insert(t, task_id, len(self._heap))
             # Waiters only test their at-front status, so an insert that does
             # not displace the front cannot satisfy any of them; skipping the
             # broadcast avoids a thundering herd on every registration.
@@ -101,9 +116,11 @@ class TaskExecutionQueue:
             return self._pop_locked()
 
     def _pop_locked(self) -> float:
-        end, _, _ = heapq.heappop(self._heap)
+        end, _, tid = heapq.heappop(self._heap)
         if self.metrics is not None:
             self.metrics.teq_pops += 1
+        if self._probe is not None:
+            self._probe.teq_pop(end, tid, len(self._heap))
         self._notify_locked()
         return end
 

@@ -67,6 +67,7 @@ import numpy as np
 from ..algorithms.numeric import run_task
 from ..algorithms.tiled_matrix import TileStore
 from ..kernels.timing import KernelModelSet
+from ..obs.probe import active_probe
 from ..schedulers.policies import PriorityQueue
 from ..schedulers.taskdep import HazardTracker
 from ..trace.events import Trace
@@ -193,6 +194,7 @@ class ThreadedRuntime:
         store: Optional[TileStore] = None,
         seed: int = 0,
         metrics: Optional[RunMetrics] = None,
+        probe=None,
     ) -> Trace:
         """Execute or simulate ``program``; returns the trace.
 
@@ -201,7 +203,10 @@ class ThreadedRuntime:
         tile order).  ``metrics``, when given, collects TEQ traffic and the
         run's wall-clock/makespan summary; on a fatal stall it additionally
         receives the diagnostic under ``extra["stall"]`` before
-        :class:`RuntimeStallError` propagates.
+        :class:`RuntimeStallError` propagates.  ``probe`` (see
+        :mod:`repro.obs.probe`) receives the runtime-internal event stream —
+        lifecycle transitions, TEQ traffic, window stalls, watchdog
+        recoveries; probes observe only and never change the trace.
         """
         if self.mode == "simulate" and models is None:
             raise ValueError("simulate mode requires kernel timing models")
@@ -224,7 +229,9 @@ class ThreadedRuntime:
             },
         )
         wall_start = time.perf_counter()
-        state = _RunState(self, program, trace, models, store, seed, metrics=metrics)
+        state = _RunState(
+            self, program, trace, models, store, seed, metrics=metrics, probe=probe
+        )
         try:
             state.run()
         finally:
@@ -251,6 +258,7 @@ class _RunState:
         store: Optional[TileStore],
         seed: int,
         metrics: Optional[RunMetrics] = None,
+        probe=None,
     ) -> None:
         self.rt = rt
         self.program = program
@@ -273,9 +281,12 @@ class _RunState:
         self.rng_lock = threading.Lock()
         self.trace_lock = threading.Lock()
 
+        # Normalised once: hook sites below pay one ``is not None`` check.
+        self.probe = active_probe(probe)
+
         self.nodes = [_Node(spec) for spec in program]
         # Only the dependence structure is consumed here (as in the engine).
-        self.tracker = HazardTracker(record_edges=False)
+        self.tracker = HazardTracker(record_edges=False, probe=self.probe)
 
         # Monitor protecting ready queue, counters, and dependence state.
         self.lock = threading.Lock()
@@ -310,6 +321,8 @@ class _RunState:
         self.teq = TaskExecutionQueue(
             metrics=metrics,
             notify_fault=self.faults.drop_notify if self.faults is not None else None,
+            probe=self.probe,
+            now_fn=self.clock.now,
         )
         self.t0_real = 0.0
 
@@ -400,6 +413,8 @@ class _RunState:
                 outstanding += 1
         node.n_deps = outstanding
         self.in_flight += 1
+        if self.probe is not None:
+            self.probe.task_inserted(self.clock.now(), node.task_id, outstanding)
         if outstanding == 0:
             self._enqueue_ready(node)
 
@@ -407,6 +422,10 @@ class _RunState:
         node.ready_clock = self.clock.now()
         self.ready.push(node)
         self.n_ready += 1
+        if self.metrics is not None and self.n_ready > self.metrics.peak_ready_depth:
+            self.metrics.peak_ready_depth = self.n_ready
+        if self.probe is not None:
+            self.probe.task_ready(node.ready_clock, node.task_id)
         self._progressed()
         self.cond.notify_all()
         self._notify_teq()
@@ -430,12 +449,16 @@ class _RunState:
     # -- task bodies ------------------------------------------------------------
     def _body_execute(self, node: _Node, worker: int) -> None:
         start = time.perf_counter() - self.t0_real
+        if self.probe is not None:
+            self.probe.task_dispatched(start, node.task_id, worker, start, 1)
         run_task(node.spec, self.store, self.nb)
         end = time.perf_counter() - self.t0_real
         with self.trace_lock:
             self.trace.record(
                 worker, node.task_id, node.kernel, start, end, node.spec.label
             )
+        if self.probe is not None:
+            self.probe.task_finished(end, node.task_id, worker, 1)
 
     def _body_simulate(self, node: _Node, worker: int) -> None:
         # 1. virtual start time: the current simulation clock.
@@ -444,6 +467,8 @@ class _RunState:
         with self.rng_lock:
             duration = self.sampler.draw(node.kernel)
         end = start + duration
+        if self.probe is not None:
+            self.probe.task_dispatched(start, node.task_id, worker, start, 1)
         # 3. register in the Task Execution Queue and the simulated trace.
         self.teq.insert(node.task_id, end)
         self._progressed()
@@ -460,6 +485,8 @@ class _RunState:
         # 4./5. wait for our turn, advance the clock, pop, return.
         self._mark_worker(worker, "waiting_front", node)
         self._wait_for_front(node, end)
+        if self.probe is not None:
+            self.probe.task_finished(end, node.task_id, worker, 1)
 
     def _wait_for_front(self, node: _Node, end: float) -> None:
         """Steps 4-5 of the §V-D protocol under the configured race guard.
@@ -499,6 +526,10 @@ class _RunState:
                 )
                 if popped is not None or self.aborted:
                     break
+                # Overtaken: a racing insert displaced us from the front
+                # between the wake-up and the guarded pop; wait again.
+                if self.probe is not None:
+                    self.probe.teq_bounce(self.clock.now(), tid)
         else:
             # guard == "none": return as soon as we reach the front.
             popped = self.teq.wait_pop_front(tid, escape=self._escape, before_pop=advance)
@@ -555,8 +586,16 @@ class _RunState:
     def _master_loop(self) -> None:
         for node in self.nodes:
             with self.cond:
+                stalled = self.in_flight >= self.rt.window and not self.shutdown
+                if stalled:
+                    if self.metrics is not None:
+                        self.metrics.window_stalls += 1
+                    if self.probe is not None:
+                        self.probe.window_stall(self.clock.now(), True)
                 while self.in_flight >= self.rt.window and not self.shutdown:
                     self.cond.wait()
+                if stalled and self.probe is not None:
+                    self.probe.window_stall(self.clock.now(), False)
                 if self.aborted:
                     return
                 self._insert_task(node)
@@ -648,8 +687,11 @@ class _Watchdog(threading.Thread):
             now = time.monotonic()
             current = state.progress
             if current != last:
-                if attempts > 0 and state.metrics is not None:
-                    state.metrics.stall_recoveries += 1
+                if attempts > 0:
+                    if state.metrics is not None:
+                        state.metrics.stall_recoveries += 1
+                    if state.probe is not None:
+                        state.probe.stall_episode(state.clock.now(), attempts)
                 last = current
                 deadline = now + policy.timeout_s
                 attempts = 0

@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -162,6 +163,7 @@ def run_stress(
     faults: Optional[FaultPlan] = None,
     stall: Optional[StallPolicy] = None,
     progress=None,
+    probe_dir: Union[str, Path, None] = None,
 ) -> StressReport:
     """Sweep randomized programs x guards x worker counts on real threads.
 
@@ -172,6 +174,11 @@ def run_stress(
     for healthy runs, finite for deadlocks, so the sweep itself can never
     hang.  Returns a :class:`StressReport`; the sweep never raises for a
     failing combination.
+
+    ``probe_dir``, when given, attaches a recording probe to every
+    combination and writes its timeline artifact set there (named
+    ``s<seed>-<guard>-w<workers>``) — the post-mortem view of exactly the
+    interleavings this harness exists to shake out.
     """
     for g in guards:
         if g not in RACE_GUARDS:
@@ -197,16 +204,34 @@ def run_stress(
                     faults=faults,
                     stall=stall,
                 )
+                probe = None
+                if probe_dir is not None:
+                    from ..obs.probe import RecordingProbe
+
+                    probe = RecordingProbe()
                 t0 = time.perf_counter()
                 ok, err, makespan = True, "", 0.0
+                trace = None
                 try:
-                    trace = runtime.run(prog, models=models, seed=seed, metrics=metrics)
+                    trace = runtime.run(
+                        prog, models=models, seed=seed, metrics=metrics, probe=probe
+                    )
                     verify_trace(prog, trace)
                     makespan = trace.makespan
                 except (RuntimeError, TraceVerificationError) as exc:
                     # RuntimeStallError is a RuntimeError; verification and
                     # worker-crash failures land here too.
                     ok, err = False, f"{type(exc).__name__}: {exc}"
+                if probe is not None and trace is not None:
+                    from ..obs.timeline import export_timeline
+
+                    export_timeline(
+                        probe_dir,
+                        trace,
+                        probe,
+                        metrics=metrics,
+                        prefix=f"s{seed}-{guard}-w{workers}",
+                    )
                 outcome = StressOutcome(
                     program_seed=seed,
                     n_tasks=len(prog),

@@ -1,0 +1,82 @@
+"""Scheduler introspection layer (probe bus + derived products).
+
+The package splits observation from interpretation:
+
+* :mod:`~repro.obs.probe` — the :class:`Probe` event bus the runtimes call
+  into (hook sites in the engine, the TEQ, and the threaded runtime), plus
+  the :class:`NullProbe` / :class:`RecordingProbe` implementations;
+* :mod:`~repro.obs.series` — virtual-time counter series (ready-queue
+  depth, TEQ depth, window occupancy, active workers) replayed from a
+  recorded stream;
+* :mod:`~repro.obs.attribution` — per-task wait attribution: each task's
+  insert-to-start latency split into dependence wait, worker wait, and
+  window-throttle wait, aggregated into a "where did the makespan go"
+  report;
+* :mod:`~repro.obs.perfetto` — Chrome ``trace_event`` JSON export for
+  https://ui.perfetto.dev, with per-worker task lanes, scheduler-internal
+  spans, and counter tracks;
+* :mod:`~repro.obs.timeline` — one-call artifact export bundling all of the
+  above (what ``repro timeline`` and the sweep/stress ``--probe-dir`` flags
+  write).
+
+Probes observe and never perturb: with no probe attached every hook site
+costs a single ``is not None`` check, and traces produced with a recording
+probe are byte-identical to traces produced without one.
+"""
+
+# ``probe`` must come first: the engine imports ``repro.obs.probe``, which
+# triggers this package __init__ — anything imported above it that reached
+# back into the schedulers would cycle.
+from .probe import (  # noqa: F401
+    PROBE_STREAM_SCHEMA,
+    NullProbe,
+    Probe,
+    ProbeEvent,
+    RecordingProbe,
+    active_probe,
+)
+
+from .attribution import (  # noqa: F401
+    ATTRIBUTION_SCHEMA,
+    AttributionReport,
+    TaskWait,
+    attribute_waits,
+    stall_episodes,
+)
+from .perfetto import (  # noqa: F401
+    load_trace_event,
+    loads_trace_event,
+    trace_event_document,
+    write_trace_event,
+)
+from .series import (  # noqa: F401
+    SERIES_SCHEMA,
+    TimeSeries,
+    TimeSeriesSet,
+    build_series,
+)
+from .timeline import TimelineArtifacts, export_timeline  # noqa: F401
+
+__all__ = [
+    "PROBE_STREAM_SCHEMA",
+    "Probe",
+    "ProbeEvent",
+    "NullProbe",
+    "RecordingProbe",
+    "active_probe",
+    "SERIES_SCHEMA",
+    "TimeSeries",
+    "TimeSeriesSet",
+    "build_series",
+    "ATTRIBUTION_SCHEMA",
+    "TaskWait",
+    "AttributionReport",
+    "attribute_waits",
+    "stall_episodes",
+    "trace_event_document",
+    "write_trace_event",
+    "loads_trace_event",
+    "load_trace_event",
+    "TimelineArtifacts",
+    "export_timeline",
+]

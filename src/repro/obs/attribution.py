@@ -1,0 +1,293 @@
+"""Per-task wait attribution: where did each task's latency — and in
+aggregate, the makespan — go?
+
+For every task the probe stream gives three lifecycle instants in virtual
+time: *insert* (the master finished its hazard analysis), *ready* (the last
+dependence was released), and *start* (a worker began executing, dispatch
+overhead included).  The insert→start latency decomposes exactly into:
+
+``dep_wait``
+    ``ready − insert``: time spent waiting on unfinished predecessors.
+``throttle_wait``
+    The part of ``start − ready`` that elapsed while the runtime's task
+    window was saturated (a window-stall episode was open): the runtime was
+    at maximum in-flight capacity, so this wait is charged to the window
+    throttle rather than to worker scarcity.
+``worker_wait``
+    The remainder of ``start − ready``: ready with window headroom but no
+    eligible worker took the task (includes the per-dispatch scheduler
+    overhead).
+
+By construction ``dep_wait + throttle_wait + worker_wait`` equals each
+task's insert→start latency to float precision.  The aggregate report adds
+the execution time itself and frames the totals against the run's total
+core-time (``n_workers × makespan``) — a critical-path-style "where did the
+makespan go" accounting in the spirit of the paper's Figs. 6-7 lane
+comparisons.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..trace.events import Trace
+from .probe import (
+    DISPATCHED,
+    INSERTED,
+    READY,
+    WINDOW_STALL_BEGIN,
+    WINDOW_STALL_END,
+    RecordingProbe,
+)
+
+__all__ = [
+    "TaskWait",
+    "AttributionReport",
+    "attribute_waits",
+    "stall_episodes",
+    "ATTRIBUTION_SCHEMA",
+]
+
+#: Schema tag of the exported attribution document.
+ATTRIBUTION_SCHEMA = "repro.wait_attribution/v1"
+
+
+@dataclass(frozen=True)
+class TaskWait:
+    """The latency decomposition of one task."""
+
+    task_id: int
+    kernel: str
+    insert_t: float
+    ready_t: float
+    start_t: float
+    end_t: float
+    dep_wait: float
+    throttle_wait: float
+    worker_wait: float
+    n_deps: int
+
+    @property
+    def latency(self) -> float:
+        """Insert→start latency (the sum of the three wait components)."""
+        return self.start_t - self.insert_t
+
+    @property
+    def run_time(self) -> float:
+        return self.end_t - self.start_t
+
+
+def stall_episodes(
+    probe: RecordingProbe, *, end_of_run: Optional[float] = None
+) -> List[Tuple[float, float]]:
+    """Window-stall episodes as ``(begin, end)`` intervals in virtual time.
+
+    An episode still open at the end of the stream is closed at
+    ``end_of_run`` (default: the last event time), mirroring how the engine
+    counts episodes rather than polls.
+    """
+    episodes: List[Tuple[float, float]] = []
+    begin: Optional[float] = None
+    last_t = 0.0
+    for e in probe.sorted_events():
+        last_t = e.t
+        if e.kind == WINDOW_STALL_BEGIN and begin is None:
+            begin = e.t
+        elif e.kind == WINDOW_STALL_END and begin is not None:
+            episodes.append((begin, e.t))
+            begin = None
+    if begin is not None:
+        episodes.append((begin, end_of_run if end_of_run is not None else last_t))
+    return episodes
+
+
+def _overlap(
+    lo: float, hi: float, episodes: List[Tuple[float, float]], starts: List[float]
+) -> float:
+    """Total overlap of ``[lo, hi)`` with the (sorted, disjoint) episodes."""
+    if hi <= lo or not episodes:
+        return 0.0
+    total = 0.0
+    # Episodes are disjoint and sorted; start from the first that can overlap.
+    i = max(0, bisect_right(starts, lo) - 1)
+    for b, e in episodes[i:]:
+        if b >= hi:
+            break
+        total += max(0.0, min(hi, e) - max(lo, b))
+    return total
+
+
+@dataclass
+class AttributionReport:
+    """Aggregate wait attribution of one run."""
+
+    tasks: List[TaskWait]
+    n_workers: int
+    makespan: float
+    episodes: List[Tuple[float, float]] = field(default_factory=list)
+
+    # -- aggregates -------------------------------------------------------
+    def totals(self) -> Dict[str, float]:
+        return {
+            "dep_wait": sum(t.dep_wait for t in self.tasks),
+            "throttle_wait": sum(t.throttle_wait for t in self.tasks),
+            "worker_wait": sum(t.worker_wait for t in self.tasks),
+            "run_time": sum(t.run_time for t in self.tasks),
+        }
+
+    def by_kernel(self) -> Dict[str, Dict[str, float]]:
+        out: Dict[str, Dict[str, float]] = {}
+        for t in self.tasks:
+            agg = out.setdefault(
+                t.kernel,
+                {
+                    "count": 0,
+                    "dep_wait": 0.0,
+                    "throttle_wait": 0.0,
+                    "worker_wait": 0.0,
+                    "run_time": 0.0,
+                },
+            )
+            agg["count"] += 1
+            agg["dep_wait"] += t.dep_wait
+            agg["throttle_wait"] += t.throttle_wait
+            agg["worker_wait"] += t.worker_wait
+            agg["run_time"] += t.run_time
+        return out
+
+    def slowest(self, n: int = 5) -> List[TaskWait]:
+        """The ``n`` tasks with the largest insert→start latency."""
+        return sorted(self.tasks, key=lambda t: (-t.latency, t.task_id))[:n]
+
+    # -- serialisation ----------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": ATTRIBUTION_SCHEMA,
+            "n_tasks": len(self.tasks),
+            "n_workers": self.n_workers,
+            "makespan": self.makespan,
+            "window_stall_episodes": [list(ep) for ep in self.episodes],
+            "totals": self.totals(),
+            "by_kernel": self.by_kernel(),
+            "tasks": [
+                {
+                    "task_id": t.task_id,
+                    "kernel": t.kernel,
+                    "insert_t": t.insert_t,
+                    "ready_t": t.ready_t,
+                    "start_t": t.start_t,
+                    "end_t": t.end_t,
+                    "dep_wait": t.dep_wait,
+                    "throttle_wait": t.throttle_wait,
+                    "worker_wait": t.worker_wait,
+                    "n_deps": t.n_deps,
+                }
+                for t in self.tasks
+            ],
+        }
+
+    def write_json(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n")
+        return path
+
+    def report(self) -> str:
+        """Human rendering: the "where did the makespan go" table."""
+        lines = []
+        total_core = self.n_workers * self.makespan
+        totals = self.totals()
+        busy = totals["run_time"]
+        lines.append(
+            f"wait attribution: {len(self.tasks)} tasks, {self.n_workers} workers, "
+            f"makespan {self.makespan:.6f}s"
+        )
+        if total_core > 0:
+            idle = max(0.0, total_core - busy)
+            lines.append(
+                f"core-time {total_core:.6f}s = busy {busy:.6f}s "
+                f"({100 * busy / total_core:.1f}%) + idle {idle:.6f}s"
+            )
+        lines.append(
+            f"aggregate waits: dependence {totals['dep_wait']:.6f}s, "
+            f"worker {totals['worker_wait']:.6f}s, "
+            f"window throttle {totals['throttle_wait']:.6f}s "
+            f"({len(self.episodes)} stall episodes)"
+        )
+        lines.append(f"{'kernel':<10} {'count':>6} {'dep':>12} {'worker':>12} "
+                     f"{'throttle':>12} {'run':>12}")
+        for kernel, agg in sorted(self.by_kernel().items()):
+            lines.append(
+                f"{kernel:<10} {agg['count']:>6} {agg['dep_wait']:>12.6f} "
+                f"{agg['worker_wait']:>12.6f} {agg['throttle_wait']:>12.6f} "
+                f"{agg['run_time']:>12.6f}"
+            )
+        slow = self.slowest(5)
+        if slow:
+            lines.append("slowest insert->start latencies:")
+            for t in slow:
+                lines.append(
+                    f"  task {t.task_id} ({t.kernel}): {t.latency:.6f}s = "
+                    f"dep {t.dep_wait:.6f} + worker {t.worker_wait:.6f} "
+                    f"+ throttle {t.throttle_wait:.6f}"
+                )
+        return "\n".join(lines)
+
+
+def attribute_waits(probe: RecordingProbe, trace: Trace) -> AttributionReport:
+    """Build the wait-attribution report for one recorded run.
+
+    ``trace`` supplies the kernel names, end times, and run geometry; the
+    probe stream supplies the insert/ready/start instants and the
+    window-stall episodes.  Tasks missing any lifecycle instant (possible
+    only on aborted threaded runs) are skipped.
+    """
+    insert_t: Dict[int, float] = {}
+    ready_t: Dict[int, float] = {}
+    start_t: Dict[int, float] = {}
+    n_deps: Dict[int, int] = {}
+    for e in probe.events:
+        if e.kind == INSERTED:
+            insert_t[e.task_id] = e.t
+            n_deps[e.task_id] = int(e.value)
+        elif e.kind == READY:
+            ready_t[e.task_id] = e.t
+        elif e.kind == DISPATCHED:
+            start_t[e.task_id] = e.value
+
+    episodes = stall_episodes(probe, end_of_run=trace.makespan + trace.start_time)
+    starts = [b for b, _ in episodes]
+
+    tasks: List[TaskWait] = []
+    for ev in sorted(trace.events, key=lambda e: e.task_id):
+        tid = ev.task_id
+        if tid not in insert_t or tid not in ready_t or tid not in start_t:
+            continue
+        t_ins, t_rdy, t_sta = insert_t[tid], ready_t[tid], start_t[tid]
+        dep = t_rdy - t_ins
+        post_ready = t_sta - t_rdy
+        throttle = min(_overlap(t_rdy, t_sta, episodes, starts), post_ready)
+        tasks.append(
+            TaskWait(
+                task_id=tid,
+                kernel=ev.kernel,
+                insert_t=t_ins,
+                ready_t=t_rdy,
+                start_t=t_sta,
+                end_t=ev.end,
+                dep_wait=dep,
+                throttle_wait=throttle,
+                worker_wait=post_ready - throttle,
+                n_deps=n_deps.get(tid, 0),
+            )
+        )
+    return AttributionReport(
+        tasks=tasks,
+        n_workers=trace.n_workers,
+        makespan=trace.makespan,
+        episodes=episodes,
+    )

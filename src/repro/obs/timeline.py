@@ -1,0 +1,94 @@
+"""One-call timeline artifact export.
+
+:func:`export_timeline` turns one observed run — its :class:`Trace`, its
+:class:`RecordingProbe` stream, and optionally its :class:`RunMetrics` —
+into the full artifact set the ``repro timeline`` CLI and the sweep/stress
+``--probe-dir`` flags publish:
+
+========================================  =====================================
+``<prefix>.perfetto.json``                Chrome ``trace_event`` document for
+                                          https://ui.perfetto.dev
+``<prefix>.series.json``                  virtual-time counter series
+``<prefix>.series.csv``                   same series, long-format CSV
+``<prefix>.attribution.json``             per-task wait attribution
+``<prefix>.metrics.json``                 RunMetrics counters (when given)
+========================================  =====================================
+
+Everything here is derived from the recorded stream after the run — this
+module must stay import-light (no scheduler/runtime imports) so attaching
+observability never drags execution machinery into readers of the results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from .attribution import AttributionReport, attribute_waits
+from .perfetto import write_trace_event
+from .probe import RecordingProbe
+from .series import TimeSeriesSet, build_series
+
+__all__ = ["TimelineArtifacts", "export_timeline"]
+
+
+@dataclass(frozen=True)
+class TimelineArtifacts:
+    """Paths written by :func:`export_timeline`, plus the derived products."""
+
+    perfetto: Path
+    series_json: Path
+    series_csv: Path
+    attribution_json: Path
+    metrics_json: Optional[Path]
+    series: TimeSeriesSet
+    report: AttributionReport
+
+    def paths(self) -> tuple:
+        """All written paths, in a stable order (metrics last, if any)."""
+        out = [self.perfetto, self.series_json, self.series_csv, self.attribution_json]
+        if self.metrics_json is not None:
+            out.append(self.metrics_json)
+        return tuple(out)
+
+
+def export_timeline(
+    out_dir: Union[str, Path],
+    trace,
+    probe: RecordingProbe,
+    *,
+    metrics=None,
+    prefix: str = "timeline",
+) -> TimelineArtifacts:
+    """Write the full timeline artifact set for one observed run.
+
+    ``trace`` is the run's :class:`~repro.trace.events.Trace` (worker lanes
+    and kernel names come from it); ``probe`` the :class:`RecordingProbe`
+    that rode along; ``metrics`` the optional
+    :class:`~repro.core.metrics.RunMetrics` to publish next to them.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    series = build_series(probe)
+    report = attribute_waits(probe, trace)
+
+    perfetto = out_dir / f"{prefix}.perfetto.json"
+    write_trace_event(perfetto, trace, probe, series=series)
+    series_json = series.write_json(out_dir / f"{prefix}.series.json")
+    series_csv = series.write_csv(out_dir / f"{prefix}.series.csv")
+    attribution_json = report.write_json(out_dir / f"{prefix}.attribution.json")
+    metrics_json = None
+    if metrics is not None:
+        metrics_json = metrics.write_json(out_dir / f"{prefix}.metrics.json")
+
+    return TimelineArtifacts(
+        perfetto=perfetto,
+        series_json=series_json,
+        series_csv=series_csv,
+        attribution_json=attribution_json,
+        metrics_json=metrics_json,
+        series=series,
+        report=report,
+    )

@@ -43,14 +43,15 @@ __all__ = ["RunResult", "SweepResult", "execute_spec", "run_cached", "sweep"]
 
 
 def execute_spec(
-    spec: RunSpec, cache: Optional[ResultCache] = None
+    spec: RunSpec, cache: Optional[ResultCache] = None, *, probe=None
 ) -> Tuple[Trace, RunMetrics]:
     """Run ``spec`` in this process and return its trace and metrics.
 
     For simulated specs the calibration run goes through :func:`run_cached`
     with the same ``cache``, so repeated sweeps (and the many simulated
     points sharing one calibration recipe) pay for the calibration trace
-    once.
+    once.  ``probe`` (see :mod:`repro.obs.probe`) observes the main run —
+    never the calibration run, whose stream would otherwise pollute it.
     """
     program = spec.program.build()
     machine = get_machine(spec.machine)
@@ -87,11 +88,14 @@ def execute_spec(
             window=spec.scheduler.window if spec.scheduler.window is not None else 4096,
             stall=spec.stall_policy(),
         )
-        trace = runtime.run(program, models=models, seed=spec.seed, metrics=metrics)
+        trace = runtime.run(
+            program, models=models, seed=spec.seed, metrics=metrics, probe=probe
+        )
     else:
         scheduler = spec.scheduler.build()
         trace = scheduler.run(
-            program, backend, seed=spec.seed, trace_meta=trace_meta, metrics=metrics
+            program, backend, seed=spec.seed, trace_meta=trace_meta,
+            metrics=metrics, probe=probe,
         )
     metrics.extra.update(
         {
@@ -139,15 +143,20 @@ class RunResult:
         return loads_trace(self.trace_dump())
 
 
-def run_cached(spec: RunSpec, cache: Optional[ResultCache] = None) -> RunResult:
+def run_cached(
+    spec: RunSpec, cache: Optional[ResultCache] = None, *, probe=None
+) -> RunResult:
     """Return the cached result for ``spec``, executing and publishing on miss.
 
     With ``cache=None`` the spec always executes and the trace travels
-    in-memory with the result.
+    in-memory with the result.  An enabled ``probe`` forces execution (a
+    cached trace carries no scheduler-internal event stream to replay) but
+    still publishes the result, so later unobserved runs hit the cache.
     """
     t0 = time.perf_counter()
     key = spec.cache_key()
-    if cache is not None:
+    observing = probe is not None and getattr(probe, "enabled", True)
+    if cache is not None and not observing:
         hit = cache.get(key)
         if hit is not None:
             return RunResult(
@@ -158,7 +167,7 @@ def run_cached(spec: RunSpec, cache: Optional[ResultCache] = None) -> RunResult:
                 wall_s=time.perf_counter() - t0,
                 trace_path=str(hit.trace_path),
             )
-    trace, metrics = execute_spec(spec, cache)
+    trace, metrics = execute_spec(spec, cache, probe=probe)
     if cache is not None:
         entry: CachedRun = cache.put(key, trace, metrics, spec.to_dict())
         return RunResult(
@@ -179,11 +188,39 @@ def run_cached(spec: RunSpec, cache: Optional[ResultCache] = None) -> RunResult:
     )
 
 
-def _sweep_worker(payload: Tuple[RunSpec, Optional[str]]) -> RunResult:
+def _run_observed(
+    spec: RunSpec, cache: Optional[ResultCache], probe_dir: Optional[str]
+) -> RunResult:
+    """One spec, optionally with a recording probe + timeline artifact export.
+
+    With ``probe_dir`` set, the run executes under a fresh
+    :class:`~repro.obs.probe.RecordingProbe` and its timeline artifact set
+    (Perfetto JSON, counter series, wait attribution, metrics) lands in
+    ``probe_dir`` under the run's cache-key prefix — one artifact family per
+    distinct spec, stable across re-runs.
+    """
+    if probe_dir is None:
+        return run_cached(spec, cache)
+    from ..obs.probe import RecordingProbe
+    from ..obs.timeline import export_timeline
+
+    probe = RecordingProbe()
+    result = run_cached(spec, cache, probe=probe)
+    export_timeline(
+        probe_dir,
+        result.load_trace(),
+        probe,
+        metrics=result.metrics,
+        prefix=result.key[:16],
+    )
+    return result
+
+
+def _sweep_worker(payload: Tuple[RunSpec, Optional[str], Optional[str]]) -> RunResult:
     """Pool entry point: one spec against the shared on-disk cache."""
-    spec, cache_dir = payload
+    spec, cache_dir, probe_dir = payload
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    return run_cached(spec, cache)
+    return _run_observed(spec, cache, probe_dir)
 
 
 @dataclass
@@ -253,6 +290,7 @@ def sweep(
     cache: Union[ResultCache, str, Path, None] = None,
     ephemeral_cache: bool = True,
     progress: Optional[Callable[[str], None]] = None,
+    probe_dir: Union[str, Path, None] = None,
 ) -> SweepResult:
     """Run every spec, fanning out over ``jobs`` worker processes.
 
@@ -265,11 +303,18 @@ def sweep(
     :func:`~repro.runner.cache.default_cache_dir` for the conventional
     location.
 
+    ``probe_dir``, when given, attaches a recording probe to every run and
+    writes each run's timeline artifact set there (named by cache-key
+    prefix); observed runs always execute — the cache cannot replay a probe
+    stream — but still publish, so the artifacts and the cache stay in sync.
+
     Results come back in spec order regardless of completion order.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
     t0 = time.perf_counter()
+    if probe_dir is not None:
+        probe_dir = str(probe_dir)
 
     tmp_root: Optional[str] = None
     if isinstance(cache, (str, Path)):
@@ -284,7 +329,7 @@ def sweep(
         if n_jobs == 1:
             results = []
             for i, spec in enumerate(specs):
-                r = run_cached(spec, cache)
+                r = _run_observed(spec, cache, probe_dir)
                 results.append(r)
                 if progress is not None:
                     progress(
@@ -295,7 +340,7 @@ def sweep(
         else:
             methods = multiprocessing.get_all_start_methods()
             ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-            payloads = [(spec, cache_dir) for spec in specs]
+            payloads = [(spec, cache_dir, probe_dir) for spec in specs]
             with ctx.Pool(processes=n_jobs) as pool:
                 results = []
                 for i, r in enumerate(pool.imap(_sweep_worker, payloads)):

@@ -179,6 +179,7 @@ class SchedulerBase:
         seed: int = 0,
         trace_meta: Optional[Dict[str, object]] = None,
         metrics: Optional["RunMetrics"] = None,
+        probe: Optional[object] = None,
     ) -> "Trace":
         """Execute ``program`` against ``backend`` and return the trace.
 
@@ -186,11 +187,20 @@ class SchedulerBase:
         deterministically and all randomness flows through one
         ``numpy`` generator handed to the backend.  ``metrics``, when given,
         collects the run's :class:`~repro.core.metrics.RunMetrics` counters.
+        ``probe``, when given and enabled, receives the scheduler-internal
+        event stream (see :mod:`repro.obs.probe`); probes observe only and
+        never change the trace.
         """
         from .engine import Engine  # local import to avoid a cycle
 
         engine = Engine(
-            self, program, backend, seed=seed, trace_meta=trace_meta, metrics=metrics
+            self,
+            program,
+            backend,
+            seed=seed,
+            trace_meta=trace_meta,
+            metrics=metrics,
+            probe=probe,
         )
         return engine.run()
 

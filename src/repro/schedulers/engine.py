@@ -25,6 +25,7 @@ import numpy as np
 
 from ..core.metrics import RunMetrics
 from ..core.task import Program
+from ..obs.probe import Probe, active_probe
 from ..trace.events import Trace
 from .base import Backend, SchedulerBase, TaskNode, TaskState
 from .taskdep import HazardTracker
@@ -47,6 +48,7 @@ class Engine:
         seed: int = 0,
         trace_meta: Optional[Dict[str, object]] = None,
         metrics: Optional[RunMetrics] = None,
+        probe: Optional[Probe] = None,
     ) -> None:
         self.sched = scheduler
         self.program = program
@@ -54,6 +56,9 @@ class Engine:
         self.seed = seed
         self.n_workers = scheduler.n_workers
         self.metrics = metrics if metrics is not None else RunMetrics()
+        # Observation hooks: ``None`` unless an *enabled* probe was supplied,
+        # so every hook site below costs one attribute check by default.
+        self.probe = active_probe(probe)
 
         meta = {
             "scheduler": scheduler.name,
@@ -70,7 +75,7 @@ class Engine:
         self._n_nodes = len(self.nodes)
         # The engine only consumes the dependence *structure*; skipping the
         # per-edge Dependence records saves an allocation per hazard.
-        self.tracker = HazardTracker(record_edges=False)
+        self.tracker = HazardTracker(record_edges=False, probe=self.probe)
         self.now = 0.0
         self._heap: List[Tuple[float, int, int, int]] = []  # (t, seq, kind, node_idx)
         self._seq = itertools.count()
@@ -87,6 +92,7 @@ class Engine:
         # wide tasks cannot be starved by streams of narrow ones).
         self._pending_wide: Optional[TaskNode] = None
         self._done = 0
+        self._n_ready = 0  # tasks pushed to the policy queue, not yet popped
 
     # -- helpers -------------------------------------------------------------
     def _push(self, t: float, kind: int, node_idx: int = -1) -> None:
@@ -95,6 +101,11 @@ class Engine:
         m.heap_pushes += 1
         if len(self._heap) > m.peak_heap_depth:
             m.peak_heap_depth = len(self._heap)
+
+    def _mark_ready(self) -> None:
+        self._n_ready += 1
+        if self._n_ready > self.metrics.peak_ready_depth:
+            self.metrics.peak_ready_depth = self._n_ready
 
     def _master_idle(self) -> bool:
         """Can the master start an insertion right now?"""
@@ -123,7 +134,11 @@ class Engine:
             if not self._window_stalled:
                 self.metrics.window_stalls += 1
                 self._window_stalled = True
+                if self.probe is not None:
+                    self.probe.window_stall(self.now, True)
             return
+        if self._window_stalled and self.probe is not None:
+            self.probe.window_stall(self.now, False)
         self._window_stalled = False
         if not self._master_idle():
             return
@@ -157,10 +172,15 @@ class Engine:
                 outstanding += 1
         node.n_deps = outstanding
         node.state = TaskState.WAITING
+        if self.probe is not None:
+            self.probe.task_inserted(self.now, node.task_id, outstanding)
         if outstanding == 0:
             node.state = TaskState.READY
             node.ready_time = self.now
+            self._mark_ready()
             self.sched.push_ready(node, None)
+            if self.probe is not None:
+                self.probe.task_ready(self.now, node.task_id)
 
         self._maybe_start_insertion()
         self._dispatch()
@@ -177,13 +197,18 @@ class Engine:
         self._master_debt += self.sched.completion_cost
 
         self.sched.on_finish(node, worker, node.end_time - node.start_time)
+        if self.probe is not None:
+            self.probe.task_finished(self.now, node.task_id, worker, node.spec.width)
 
         for succ in node.successors:
             succ.n_deps -= 1
             if succ.n_deps == 0 and succ.state is TaskState.WAITING:
                 succ.state = TaskState.READY
                 succ.ready_time = self.now
+                self._mark_ready()
                 self.sched.push_ready(succ, worker)
+                if self.probe is not None:
+                    self.probe.task_ready(self.now, succ.task_id)
 
         self._maybe_start_insertion()
         self._dispatch()
@@ -234,6 +259,19 @@ class Engine:
 
     def _dispatch(self) -> None:
         """Offer work to idle workers until nothing more can be placed."""
+        if self.probe is None:
+            self._dispatch_sweep()
+            return
+        # Instrumented path: report the sweep as one span (how many tasks it
+        # placed and whether work was left queued) without touching the
+        # sweep logic itself.
+        before = self.metrics.tasks_executed
+        self._dispatch_sweep()
+        self.probe.dispatch_sweep(
+            self.now, self.metrics.tasks_executed - before, self._n_ready
+        )
+
+    def _dispatch_sweep(self) -> None:
         sched = self.sched
         while self._idle:
             if self._pending_wide is not None:
@@ -259,6 +297,8 @@ class Engine:
                 if worker in running or (master_blocked and worker == 0):
                     continue
                 node = sched.pop_ready(worker, self.now)
+                if node is not None:
+                    self._n_ready -= 1
                 if node is None:
                     if not sched.has_ready():
                         # The sweep drained the queue: every remaining poll
@@ -298,6 +338,10 @@ class Engine:
             self._running[w] = node
             self._idle.remove(w)
         self.metrics.tasks_executed += 1
+        if self.probe is not None:
+            self.probe.task_dispatched(
+                self.now, node.task_id, worker, start, node.spec.width
+            )
         self.trace.record(
             worker=worker,
             task_id=node.task_id,

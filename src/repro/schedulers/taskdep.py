@@ -84,9 +84,13 @@ class HazardTracker:
     this mode; DAG construction keeps the default.
     """
 
-    def __init__(self, *, record_edges: bool = True) -> None:
+    def __init__(self, *, record_edges: bool = True, probe=None) -> None:
         self._state: Dict[int, _RefState] = {}
         self._record_edges = record_edges
+        # Observation hook (repro.obs.probe): reports each task's
+        # de-duplicated predecessor set as it is discovered.  Normalised to
+        # ``None`` when absent/disabled so add_task pays one check.
+        self._probe = probe if probe is not None and getattr(probe, "enabled", True) else None
         self._edges: List[Dependence] = []
         self._edge_count: Dict[Tuple[int, int], int] = {}
         self._preds: Dict[int, Set[int]] = {}
@@ -154,6 +158,8 @@ class HazardTracker:
                 key = (e.src, e.dst)
                 edge_count[key] = edge_count.get(key, 0) + 1
         self._preds[tid] = preds
+        if self._probe is not None:
+            self._probe.task_deps(tid, tuple(sorted(preds)))
         succs = self._succs
         for pid in preds:
             lst = succs.get(pid)

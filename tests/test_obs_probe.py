@@ -1,0 +1,277 @@
+"""Tests for the probe bus: hook wiring, no-perturbation, determinism.
+
+The contract under test is the one the observability layer is built on:
+probes observe scheduler internals without changing them (golden digests
+stay byte-identical with a probe attached), the engine's recorded stream is
+a pure function of ``(program, scheduler, backend, seed)``, and the default
+``probe=None`` path stays the uninstrumented hot path.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.algorithms import cholesky_program
+from repro.bench.suites import synthetic_models
+from repro.core.metrics import RunMetrics
+from repro.core.simulator import run_real, simulate
+from repro.core.teq import TaskExecutionQueue
+from repro.core.threaded import ThreadedRuntime
+from repro.kernels.distributions import ConstantModel
+from repro.kernels.timing import KernelModelSet
+from repro.obs.probe import (
+    DISPATCHED,
+    FINISHED,
+    INSERTED,
+    READY,
+    SWEEP,
+    NullProbe,
+    Probe,
+    ProbeEvent,
+    RecordingProbe,
+    active_probe,
+)
+from repro.schedulers import make_scheduler
+from repro.schedulers.taskdep import HazardTracker
+from repro.trace.textio import dumps_trace
+
+DATA = Path(__file__).parent / "data"
+
+
+def _run(scheduler="quark", *, seed=3, probe=None, metrics=None):
+    return run_real(
+        cholesky_program(5, 100),
+        make_scheduler(scheduler, 4),
+        "uniform_4",
+        seed=seed,
+        probe=probe,
+        metrics=metrics,
+    )
+
+
+class TestActiveProbe:
+    def test_none_stays_none(self):
+        assert active_probe(None) is None
+
+    def test_null_probe_is_normalised_away(self):
+        assert active_probe(NullProbe()) is None
+
+    def test_recording_probe_passes_through(self):
+        p = RecordingProbe()
+        assert active_probe(p) is p
+
+    def test_recording_probe_satisfies_protocol(self):
+        assert isinstance(RecordingProbe(), Probe)
+        assert isinstance(NullProbe(), Probe)
+
+
+class TestEngineHooks:
+    def test_lifecycle_hooks_fire_once_per_task(self):
+        probe = RecordingProbe()
+        trace = _run(probe=probe)
+        n = len(trace)
+        for kind in (INSERTED, READY, DISPATCHED, FINISHED):
+            assert len(probe.by_kind(kind)) == n, kind
+
+    def test_dispatch_sweeps_account_for_every_task(self):
+        probe = RecordingProbe()
+        trace = _run(probe=probe)
+        placed = sum(int(e.value) for e in probe.by_kind(SWEEP))
+        assert placed == len(trace)
+
+    def test_dependence_sets_recorded(self):
+        probe = RecordingProbe()
+        _run(probe=probe)
+        # Task 0 (the first POTRF) has no predecessors; some task must.
+        assert probe.deps[0] == ()
+        assert any(preds for preds in probe.deps.values())
+
+    def test_lifecycle_ordering_per_task(self):
+        probe = RecordingProbe()
+        _run(probe=probe)
+        instants = {}
+        for e in probe.events:
+            if e.kind in (INSERTED, READY, DISPATCHED, FINISHED):
+                instants.setdefault(e.task_id, {})[e.kind] = e.t
+        for tid, by_kind in instants.items():
+            assert by_kind[INSERTED] <= by_kind[READY] <= by_kind[DISPATCHED], tid
+            assert by_kind[DISPATCHED] <= by_kind[FINISHED], tid
+
+    def test_window_stall_episodes_balanced(self):
+        probe = RecordingProbe()
+        run_real(
+            cholesky_program(6, 100),
+            make_scheduler("quark", 4, window=4),
+            "uniform_4",
+            seed=3,
+            probe=probe,
+        )
+        begins = probe.by_kind("window_stall_begin")
+        ends = probe.by_kind("window_stall_end")
+        assert begins, "window=4 on nt=6 Cholesky must throttle"
+        assert len(begins) == len(ends)
+
+
+class TestNoPerturbation:
+    @pytest.mark.parametrize("scheduler", ["quark", "starpu", "ompss"])
+    def test_real_trace_identical_with_probe(self, scheduler):
+        plain = dumps_trace(_run(scheduler))
+        observed = dumps_trace(_run(scheduler, probe=RecordingProbe()))
+        assert plain == observed
+
+    def test_simulated_trace_identical_with_probe(self):
+        program = cholesky_program(6, 100)
+        models = synthetic_models(program)
+        traces = [
+            simulate(
+                program,
+                make_scheduler("starpu", 8),
+                models,
+                seed=11,
+                probe=probe,
+            )
+            for probe in (None, RecordingProbe(), NullProbe())
+        ]
+        assert dumps_trace(traces[0]) == dumps_trace(traces[1]) == dumps_trace(traces[2])
+
+    def test_golden_digests_hold_with_probe_attached(self):
+        """The committed pre-optimization digests still match observed runs."""
+        golden = json.loads((DATA / "preopt_trace_digests.json").read_text())
+        program = cholesky_program(8, 200)
+        models = synthetic_models(program)
+        for scheduler in ("quark", "starpu", "ompss"):
+            sim = simulate(
+                program,
+                make_scheduler(scheduler, 16),
+                models,
+                seed=1234,
+                warmup_penalty=1e-3,
+                probe=RecordingProbe(),
+            )
+            got = hashlib.sha256(dumps_trace(sim).encode()).hexdigest()
+            assert got == golden["digests"][f"sim/cholesky/{scheduler}/nt8"], scheduler
+
+
+class TestDeterminism:
+    def test_engine_stream_digest_reproducible(self):
+        digests = set()
+        for _ in range(2):
+            probe = RecordingProbe()
+            _run(probe=probe)
+            digests.add(probe.digest())
+        assert len(digests) == 1
+
+    def test_engine_stream_digest_depends_on_seed(self):
+        # The quiet uniform_4 model is seed-independent by design, so the
+        # seed sensitivity check needs the noisy machine.
+        digests = []
+        for seed in (3, 4):
+            probe = RecordingProbe()
+            run_real(
+                cholesky_program(5, 100),
+                make_scheduler("quark", 4),
+                "magny_cours_48",
+                seed=seed,
+                probe=probe,
+            )
+            digests.append(probe.digest())
+        assert digests[0] != digests[1]
+
+    def test_to_dict_carries_schema_and_events(self):
+        probe = RecordingProbe()
+        _run(probe=probe)
+        doc = probe.to_dict()
+        assert doc["schema"] == "repro.probe_stream/v1"
+        assert doc["n_events"] == len(doc["events"]) > 0
+
+
+class TestMetricsConsistency:
+    def test_ready_events_match_peak_ready_depth_accounting(self):
+        probe = RecordingProbe()
+        metrics = RunMetrics()
+        _run(probe=probe, metrics=metrics)
+        assert metrics.peak_ready_depth >= 1
+        # Replay the probe's ready/dispatch transitions; the running count's
+        # peak is exactly what the engine recorded.
+        depth = peak = 0
+        for e in probe.events:
+            if e.kind == READY:
+                depth += 1
+                peak = max(peak, depth)
+            elif e.kind == DISPATCHED:
+                depth -= 1
+        assert peak == metrics.peak_ready_depth
+
+
+class TestTeqHooks:
+    def test_insert_and_pop_record_exact_depths(self):
+        probe = RecordingProbe()
+        teq = TaskExecutionQueue(probe=probe)
+        teq.insert(0, 3.0)
+        teq.insert(1, 1.0)
+        teq.insert(2, 2.0)
+        assert [int(e.value) for e in probe.by_kind("teq_insert")] == [1, 2, 3]
+        assert teq.pop_front(1) == 1.0
+        pops = probe.by_kind("teq_pop")
+        assert [(e.task_id, e.t, int(e.value)) for e in pops] == [(1, 1.0, 2)]
+
+    def test_now_fn_timestamps_inserts(self):
+        probe = RecordingProbe()
+        teq = TaskExecutionQueue(probe=probe, now_fn=lambda: 0.25)
+        teq.insert(7, 9.0)
+        (ev,) = probe.by_kind("teq_insert")
+        assert ev.t == 0.25 and ev.task_id == 7
+
+    def test_disabled_probe_is_free(self):
+        teq = TaskExecutionQueue(probe=NullProbe())
+        assert teq._probe is None
+
+
+class TestThreadedHooks:
+    def _models(self):
+        return KernelModelSet(
+            models={k: ConstantModel(1e-3) for k in ("DPOTRF", "DTRSM", "DSYRK", "DGEMM")},
+            family="constant",
+        )
+
+    def test_threaded_stream_covers_lifecycle_and_teq(self):
+        probe = RecordingProbe()
+        metrics = RunMetrics()
+        rt = ThreadedRuntime(2, mode="simulate", guard="quiesce")
+        trace = rt.run(
+            cholesky_program(4, 100),
+            models=self._models(),
+            seed=1,
+            metrics=metrics,
+            probe=probe,
+        )
+        n = len(trace)
+        for kind in (INSERTED, READY, DISPATCHED, FINISHED, "teq_insert", "teq_pop"):
+            assert len(probe.by_kind(kind)) == n, kind
+        assert metrics.peak_ready_depth >= 1
+
+    def test_threaded_trace_unperturbed_by_probe(self):
+        def makespan(probe):
+            rt = ThreadedRuntime(2, mode="simulate", guard="quiesce")
+            tr = rt.run(
+                cholesky_program(4, 100), models=self._models(), seed=1, probe=probe
+            )
+            return tr.makespan
+
+        # Constant durations: virtual makespan is schedule-determined and
+        # must not move when observation is attached.
+        assert makespan(None) == makespan(RecordingProbe())
+
+    def test_hazard_tracker_reports_deps_to_probe(self):
+        probe = RecordingProbe()
+        tracker = HazardTracker(record_edges=False, probe=probe)
+        for spec in cholesky_program(3, 64):
+            tracker.add_task(spec)
+        assert set(probe.deps) == set(range(tracker.n_tasks))
+        assert probe.deps[0] == ()
+
+    def test_probe_event_defaults(self):
+        e = ProbeEvent(1.0, "ready", 5)
+        assert (e.worker, e.value, e.width) == (-1, 0.0, 1)

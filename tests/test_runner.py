@@ -222,10 +222,35 @@ class TestMetrics:
         with pytest.raises(ValueError, match="schema tag None"):
             RunMetrics.from_dict({"makespan": 1.0})
 
-    def test_from_dict_ignores_unknown_fields(self):
+    def test_from_dict_keeps_unknown_fields_with_warning(self):
+        # Forward compat: a document written by a newer version must not
+        # silently lose its extra fields on the way through this parser.
         doc = RunMetrics(makespan=2.5).to_dict()
         doc["added_in_v2"] = "future"
-        assert RunMetrics.from_dict(doc).makespan == 2.5
+        with pytest.warns(UserWarning, match="added_in_v2"):
+            back = RunMetrics.from_dict(doc)
+        assert back.makespan == 2.5
+        assert back.extra["unknown_fields"] == {"added_in_v2": "future"}
+
+    def test_from_dict_does_not_mutate_caller_document(self):
+        doc = RunMetrics(extra={"a": 1}).to_dict()
+        doc["new_key"] = 7
+        with pytest.warns(UserWarning):
+            back = RunMetrics.from_dict(doc)
+        assert doc["extra"] == {"a": 1}
+        assert back.extra["a"] == 1
+        assert back.extra["unknown_fields"] == {"new_key": 7}
+
+    def test_summary_includes_teq_and_recovery_counters_when_nonzero(self):
+        m = RunMetrics(teq_inserts=5, teq_pops=5, peak_teq_depth=3, stall_recoveries=2)
+        line = m.summary()
+        assert "teq 5i/5p peak 3" in line
+        assert "recovered 2 stalls" in line
+
+    def test_summary_omits_threaded_counters_for_engine_runs(self):
+        line = RunMetrics(tasks_executed=4).summary()
+        assert "teq" not in line
+        assert "recovered" not in line
 
     def test_teq_metrics_via_threaded_runtime(self):
         metrics = RunMetrics()

@@ -1,0 +1,129 @@
+"""End-to-end tests for the ``repro timeline`` CLI and the probe/metrics
+flags added to the other subcommands."""
+
+import json
+
+from repro.cli import build_parser, main
+from repro.obs import load_trace_event
+
+
+def _timeline(tmp_path, *extra):
+    argv = [
+        "timeline",
+        "--algorithm", "cholesky",
+        "--nt", "4",
+        "--nb", "64",
+        "--workers", "4",
+        "--machine", "uniform_4",
+        "--out-dir", str(tmp_path),
+        *extra,
+    ]
+    return main(argv)
+
+
+class TestTimelineParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["timeline"])
+        assert args.mode == "real"
+        assert args.runtime == "engine"
+        assert args.out_dir == "timeline-artifacts"
+        assert args.prefix == "timeline"
+
+
+class TestTimelineCommand:
+    def test_real_engine_run_writes_validated_artifacts(self, tmp_path, capsys):
+        assert _timeline(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "wait attribution" in out
+        assert "ui.perfetto.dev" in out
+
+        perfetto = tmp_path / "timeline.perfetto.json"
+        doc = load_trace_event(perfetto)
+        n_tasks = doc["otherData"]["n_tasks"]
+        assert n_tasks == sum(
+            1 for e in doc["traceEvents"] if e.get("cat") == "task"
+        ) > 0
+
+        metrics = json.loads((tmp_path / "timeline.metrics.json").read_text())
+        series = json.loads((tmp_path / "timeline.series.json").read_text())
+        assert series["peaks"]["ready_depth"] == metrics["peak_ready_depth"]
+
+        attribution = json.loads((tmp_path / "timeline.attribution.json").read_text())
+        assert attribution["n_tasks"] == n_tasks
+
+    def test_simulated_mode(self, tmp_path, capsys):
+        code = _timeline(
+            tmp_path, "--mode", "simulated", "--cal-nt", "3", "--prefix", "sim"
+        )
+        assert code == 0
+        load_trace_event(tmp_path / "sim.perfetto.json")
+
+    def test_threaded_runtime(self, tmp_path, capsys):
+        code = _timeline(
+            tmp_path,
+            "--mode", "simulated",
+            "--runtime", "threaded",
+            "--workers", "2",
+            "--cal-nt", "3",
+            "--prefix", "thr",
+        )
+        assert code == 0
+        series = json.loads((tmp_path / "thr.series.json").read_text())
+        assert "teq_depth" in series["series"]
+
+    def test_threaded_requires_simulated_mode(self, tmp_path, capsys):
+        assert _timeline(tmp_path, "--runtime", "threaded") == 2
+        assert "requires --mode simulated" in capsys.readouterr().err
+
+
+class TestMetricsOutFlags:
+    def test_run_writes_metrics_document(self, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        code = main([
+            "run", "--nt", "4", "--nb", "64", "--workers", "4",
+            "--machine", "uniform_4", "--metrics-out", str(out),
+        ])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro.run_metrics/v1"
+        assert doc["tasks_executed"] > 0
+
+    def test_simulate_writes_real_and_sim_metrics(self, tmp_path, capsys):
+        out = tmp_path / "v.json"
+        code = main([
+            "simulate", "--nt", "4", "--nb", "64", "--workers", "4",
+            "--machine", "uniform_4", "--cal-nt", "3",
+            "--metrics-out", str(out),
+        ])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro.validate_metrics/v1"
+        assert doc["real"]["tasks_executed"] == doc["simulated"]["tasks_executed"] > 0
+
+
+class TestProbeDirFlags:
+    def test_sweep_probe_dir_writes_artifacts(self, tmp_path, capsys):
+        probes = tmp_path / "probes"
+        code = main([
+            "sweep", "--algorithm", "cholesky", "--nts", "4", "--nb", "64",
+            "--workers", "4", "--machine", "uniform_4",
+            "--schedulers", "quark", "--mode", "real",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--jobs", "1",
+            "--probe-dir", str(probes),
+        ])
+        assert code == 0
+        traces = sorted(probes.glob("*.perfetto.json"))
+        assert traces
+        for t in traces:
+            load_trace_event(t)
+
+    def test_stress_probe_dir_writes_artifacts(self, tmp_path, capsys):
+        probes = tmp_path / "probes"
+        code = main([
+            "stress", "--programs", "1", "--tasks", "6",
+            "--guards", "quiesce", "--workers", "2",
+            "--probe-dir", str(probes),
+        ])
+        assert code == 0
+        assert sorted(probes.glob("*.perfetto.json"))

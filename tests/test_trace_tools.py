@@ -124,3 +124,66 @@ class TestAsciiGantt:
         tr = _trace([(0, 0.0, 1.0, "AAA"), (1, 0.0, 1.0, "BBB")])
         legend = ascii_gantt(tr, width=20).splitlines()[-1]
         assert "AAA" in legend and "BBB" in legend
+
+
+class TestSvgRendering:
+    def test_empty_trace_renders_valid_document(self):
+        import xml.etree.ElementTree as ET
+
+        from repro.trace.svg import render_svg
+
+        svg = render_svg(Trace(3), title="empty")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+        # Lane labels still present even with no events.
+        texts = [t.text for t in root.iter() if t.tag.endswith("text")]
+        assert "core 2" in texts
+
+    def test_wide_task_spans_multiple_lanes(self):
+        import xml.etree.ElementTree as ET
+
+        from repro.trace.svg import render_svg
+
+        tr = _trace([(0, 0.0, 1.0, "PANEL", 2), (0, 1.0, 2.0, "A")], n_workers=2)
+        root = ET.fromstring(render_svg(tr))
+        rects = [r for r in root.iter() if r.tag.endswith("rect")]
+        heights = sorted(float(r.get("height")) for r in rects if r.get("height"))
+        # The width-2 rectangle is taller than a one-lane rectangle.
+        assert heights[-1] > heights[-2] >= 14
+
+    def test_time_span_fixes_the_scale(self):
+        from repro.trace.svg import render_svg
+
+        tr = _trace([(0, 0.0, 1.0, "A")], n_workers=1)
+        natural = render_svg(tr)
+        stretched = render_svg(tr, time_span=2.0)
+        # Same events, half the pixels per second under the longer span.
+        def rect_width(svg):
+            for line in svg.splitlines():
+                if "<rect" in line and "fill=\"white\"" not in line:
+                    return float(line.split('width="')[1].split('"')[0])
+            raise AssertionError("no task rect")
+
+        assert rect_width(stretched) == pytest.approx(rect_width(natural) / 2, rel=1e-3)
+
+    def test_write_svg_creates_parent_dirs(self, tmp_path):
+        from repro.trace.svg import write_svg
+
+        out = write_svg(_trace([(0, 0.0, 1.0, "A")]), tmp_path / "deep" / "t.svg")
+        assert out.exists()
+        assert out.read_text().startswith("<svg")
+
+    def test_comparison_stacks_on_shared_scale(self, tmp_path):
+        import xml.etree.ElementTree as ET
+
+        from repro.trace.svg import write_comparison_svg
+
+        fast = _trace([(0, 0.0, 1.0, "A")], n_workers=1)
+        slow = _trace([(0, 0.0, 4.0, "A")], n_workers=1)
+        out = write_comparison_svg(fast, slow, tmp_path / "cmp.svg")
+        root = ET.fromstring(out.read_text())
+        texts = [t.text for t in root.iter() if t.tag.endswith("text")]
+        assert "real execution" in texts and "simulated execution" in texts
+        # Both axes run to the longer makespan: the final tick label of each
+        # block reads the shared 4s extent.
+        assert texts.count("4s") == 2
