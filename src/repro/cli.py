@@ -30,6 +30,13 @@ Commands
     ``trace_event`` JSON (open at https://ui.perfetto.dev), the virtual-time
     counter series (CSV + JSON), the per-task wait attribution report, and
     the run metrics.
+``serve``
+    Persistent simulation service over local HTTP/JSON: coalesces identical
+    in-flight requests, shares the result cache across clients, applies
+    backpressure past a pending limit, and drains gracefully on SIGTERM.
+``client``
+    Query a running ``serve`` daemon: health/stats probes, or fan a
+    (scheduler x size x seed) grid out over the service.
 
 Every command is pure offline computation on the bundled machine models.
 """
@@ -325,11 +332,7 @@ def _cmd_stress(args) -> int:
             kill_worker=args.kill_worker,
             seed=args.fault_seed,
         )
-    stall = StallPolicy(
-        timeout_s=args.stall_timeout,
-        on_stall=args.on_stall,
-        poll_s=min(0.25, args.stall_timeout / 4.0),
-    )
+    stall = StallPolicy.for_deadline(args.stall_timeout, on_stall=args.on_stall)
     progress = (lambda msg: print(msg, file=sys.stderr)) if args.verbose else None
     report = run_stress(
         n_programs=args.programs,
@@ -404,6 +407,117 @@ def _cmd_timeline(args) -> int:
     for path in art.paths():
         print(f"wrote {path}")
     print(f"open {art.perfetto} at https://ui.perfetto.dev")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .service import serve
+
+    cache = None
+    if not args.no_cache:
+        cache = args.cache_dir if args.cache_dir else default_cache_dir()
+    log = None if args.quiet else (lambda msg: print(msg, file=sys.stderr, flush=True))
+    serve(
+        host=args.host,
+        port=args.port,
+        workers=args.pool_workers,
+        max_pending=args.max_pending,
+        cache=cache,
+        probe_dir=args.probe_dir,
+        default_timeout_s=args.timeout,
+        log=log,
+    )
+    return 0
+
+
+def _cmd_client(args) -> int:
+    import json
+
+    from .service import ServiceClient, ServiceError, sweep_via_service
+
+    client = ServiceClient(args.host, args.port, max_retries=args.max_retries)
+    if args.health or args.stats:
+        try:
+            doc = client.health() if args.health else client.stats()
+        except (OSError, ServiceError) as exc:
+            print(f"service unreachable: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(doc, sort_keys=True, indent=2))
+        return 0 if doc.get("ok", False) or args.health else 1
+
+    sched_spec = {
+        name: experiment_scheduler_spec(name, n_cores=args.workers)
+        for name in args.schedulers
+    }
+    specs = []
+    for name in args.schedulers:
+        for nt in args.nts:
+            for seed in args.seeds:
+                kwargs = {}
+                if args.mode == "simulated":
+                    kwargs.update(cal_nt=args.cal_nt, cal_seed=seed, family=args.family)
+                specs.append(
+                    RunSpec(
+                        program=ProgramSpec(args.algorithm, nt, args.nb),
+                        scheduler=sched_spec[name],
+                        machine=args.machine,
+                        seed=seed * 1000 + nt,
+                        mode=args.mode,
+                        **kwargs,
+                    )
+                )
+    progress = (lambda msg: print(msg, file=sys.stderr)) if args.verbose else None
+    try:
+        docs = sweep_via_service(
+            specs, client, jobs=args.jobs, timeline=args.timeline,
+            timeout_s=args.timeout, progress=progress,
+        )
+    except OSError as exc:
+        print(f"service unreachable at {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+
+    from .experiments.reporting import format_table
+
+    rows = []
+    failures = 0
+    for spec, doc in zip(specs, docs):
+        if doc.get("ok"):
+            rows.append(
+                (spec.scheduler.name, spec.program.nt, spec.seed,
+                 "hit" if doc["cached"] else "run",
+                 "coalesced" if doc.get("coalesced") else "-",
+                 f"{doc['wall_s']:.3f}")
+            )
+        else:
+            failures += 1
+            rows.append(
+                (spec.scheduler.name, spec.program.nt, spec.seed,
+                 doc.get("error", "failed"), "-", "-")
+            )
+    print(
+        format_table(
+            ("scheduler", "nt", "seed", "cache", "flight", "wall s"),
+            rows,
+            title=f"served: {args.algorithm} nb={args.nb} mode={args.mode} "
+            f"via {args.host}:{args.port}",
+        )
+    )
+    if args.metrics_out:
+        from pathlib import Path
+
+        path = Path(args.metrics_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        out = {
+            "schema": "repro.client_sweep/v1",
+            "responses": [
+                {"spec": spec.to_dict(), **doc} for spec, doc in zip(specs, docs)
+            ],
+        }
+        path.write_text(json.dumps(out, sort_keys=True, indent=2, default=str) + "\n")
+        print(f"wrote {path}")
+    if failures:
+        print(f"{failures}/{len(specs)} requests failed", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -579,6 +693,68 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="print per-benchmark progress to stderr")
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="persistent simulation service over local HTTP/JSON "
+        "(single-flight, shared cache, backpressure, SIGTERM drain)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8425,
+                   help="listening port (0 binds an ephemeral port)")
+    p.add_argument("--workers", type=int, default=2, dest="pool_workers",
+                   help="simulation threads executing requests")
+    p.add_argument("--max-pending", type=int, default=16, dest="max_pending",
+                   help="distinct in-flight requests admitted before "
+                   "backpressure (429 + Retry-After)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="default per-request deadline in seconds "
+                   "(threaded specs inherit it as their stall budget)")
+    p.add_argument("--cache-dir", default=None, dest="cache_dir",
+                   help="shared result cache (default: $REPRO_CACHE or .repro_cache)")
+    p.add_argument("--no-cache", action="store_true", dest="no_cache",
+                   help="serve without a shared on-disk cache")
+    p.add_argument("--probe-dir", default=None, dest="probe_dir",
+                   help="enable timeline=true requests: artifacts land here")
+    p.add_argument("--quiet", action="store_true", help="suppress the serve log")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="query a running serve daemon (health/stats or a run grid)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8425)
+    p.add_argument("--health", action="store_true",
+                   help="print the health document and exit")
+    p.add_argument("--stats", action="store_true",
+                   help="print the service counters and exit")
+    p.add_argument("--algorithm", choices=sorted(_GENERATORS), default="cholesky")
+    p.add_argument("--nts", type=int, nargs="+", default=[4],
+                   help="tiles-per-side grid points")
+    p.add_argument("--nb", type=int, default=200, help="tile order")
+    p.add_argument("--schedulers", nargs="+", choices=("quark", "starpu", "ompss"),
+                   default=["quark"])
+    p.add_argument("--seeds", type=int, nargs="+", default=[0])
+    p.add_argument("--mode", choices=("real", "simulated"), default="real")
+    p.add_argument("--machine", default="magny_cours_48")
+    p.add_argument("--workers", type=int, default=48,
+                   help="cores per scheduler configuration")
+    p.add_argument("--cal-nt", type=int, default=CAL_NT, dest="cal_nt")
+    p.add_argument("--family", default="lognormal")
+    p.add_argument("--jobs", type=int, default=4,
+                   help="concurrent client threads issuing requests")
+    p.add_argument("--timeline", action="store_true",
+                   help="request timeline artifacts (server needs --probe-dir)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-request deadline in seconds")
+    p.add_argument("--max-retries", type=int, default=5, dest="max_retries",
+                   help="retries for retriable rejections (backpressure/drain)")
+    p.add_argument("--metrics-out", default=None, dest="metrics_out",
+                   help="write every response document (JSON) here")
+    p.add_argument("--verbose", action="store_true",
+                   help="print per-request progress to stderr")
+    p.set_defaults(fn=_cmd_client)
 
     p = sub.add_parser(
         "timeline",

@@ -94,6 +94,27 @@ class RunMetrics:
     wall_time_s: float = 0.0
     extra: Dict[str, Any] = field(default_factory=dict)
 
+    def stamp(self, section: str, **fields: Any) -> "RunMetrics":
+        """Merge ``fields`` into ``extra[section]``; returns ``self``.
+
+        Layers above the runtimes annotate the run they observed — the
+        runner stamps spec provenance, the serving layer stamps queue wait
+        and coalescing facts — without clobbering what another layer wrote
+        under the same section.  Values must be JSON-ready: the document is
+        exported verbatim.
+        """
+        current = self.extra.get(section)
+        if current is None:
+            current = {}
+            self.extra[section] = current
+        elif not isinstance(current, dict):
+            raise ValueError(
+                f"extra[{section!r}] holds a non-mapping value {current!r}; "
+                "stamp() only extends mapping sections"
+            )
+        current.update(fields)
+        return self
+
     # -- serialisation -----------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"schema": METRICS_SCHEMA}

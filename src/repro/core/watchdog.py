@@ -92,6 +92,22 @@ class StallPolicy:
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
 
+    @classmethod
+    def for_deadline(cls, timeout_s: float, *, on_stall: str = "raise") -> "StallPolicy":
+        """A policy sized to an external real-time deadline.
+
+        Callers that supervise a run against a caller-supplied budget — the
+        ``repro stress`` CLI, a ``repro serve`` request timeout — want the
+        watchdog to fire *within* that budget, which means the sampling
+        interval must shrink along with it.  This keeps the quarter-budget
+        poll rule in one place instead of at every call site.
+        """
+        return cls(
+            timeout_s=timeout_s,
+            on_stall=on_stall,
+            poll_s=max(0.005, min(0.25, timeout_s / 4.0)),
+        )
+
 
 class RuntimeStallError(RuntimeError):
     """The threaded runtime made no progress within the watchdog budget.

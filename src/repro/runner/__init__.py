@@ -10,7 +10,7 @@ API, the cache layout, and the metrics schema.
 
 from ..core.metrics import METRICS_SCHEMA, RunMetrics
 from .cache import CachedRun, ResultCache, default_cache_dir
-from .runner import RunResult, SweepResult, execute_spec, run_cached, sweep
+from .runner import RunResult, SweepResult, execute_spec, run_cached, run_observed, sweep
 from .spec import CACHE_VERSION, ProgramSpec, RunSpec, SchedulerSpec
 
 __all__ = [
@@ -23,6 +23,7 @@ __all__ = [
     "SweepResult",
     "execute_spec",
     "run_cached",
+    "run_observed",
     "sweep",
     "CACHE_VERSION",
     "ProgramSpec",

@@ -79,20 +79,25 @@ class ResultCache:
     def _entry_dir(self, key: str) -> Path:
         return self.root / key[:2] / key
 
+    @staticmethod
+    def _complete(path: Path) -> bool:
+        """One definition of "published" for lookups, listing, and publish
+        conflicts: both the trace and the metrics survived the rename."""
+        return (path / _TRACE).is_file() and (path / _METRICS).is_file()
+
     # -- lookup ------------------------------------------------------------
     def get(self, key: str) -> Optional[CachedRun]:
         """The entry for ``key``, or ``None`` (incomplete entries count as
         misses — an interrupted writer never published its rename)."""
         path = self._entry_dir(key)
-        if (path / _TRACE).is_file() and (path / _METRICS).is_file():
+        if self._complete(path):
             self.hits += 1
             return CachedRun(key=key, path=path)
         self.misses += 1
         return None
 
     def __contains__(self, key: str) -> bool:
-        path = self._entry_dir(key)
-        return (path / _TRACE).is_file() and (path / _METRICS).is_file()
+        return self._complete(self._entry_dir(key))
 
     # -- publish -----------------------------------------------------------
     def put(
@@ -116,17 +121,21 @@ class ResultCache:
             try:
                 os.rename(stage, final)
             except OSError:
-                if (final / _TRACE).is_file():
+                if self._complete(final):
                     # Somebody else published this key first; keep theirs.
                     shutil.rmtree(stage, ignore_errors=True)
                 else:
-                    # Stale partial entry (interrupted writer or manual
-                    # deletion inside the directory): replace it.
+                    # Stale *partial* entry (interrupted writer or manual
+                    # deletion inside the directory): replace it.  The test
+                    # must be completeness, not existence — a directory
+                    # holding only a trace reads as a permanent miss, and
+                    # keeping it would wedge the key into re-executing
+                    # forever.
                     shutil.rmtree(final, ignore_errors=True)
                     try:
                         os.rename(stage, final)
                     except OSError:
-                        if not (final / _TRACE).is_file():
+                        if not self._complete(final):
                             raise
                         shutil.rmtree(stage, ignore_errors=True)
         finally:
@@ -151,7 +160,7 @@ class ResultCache:
         what lookups can actually see.
         """
         for entry in self._entry_dirs():
-            if (entry / _TRACE).is_file() and (entry / _METRICS).is_file():
+            if self._complete(entry):
                 yield CachedRun(key=entry.name, path=entry)
 
     def __len__(self) -> int:

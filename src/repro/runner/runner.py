@@ -39,7 +39,7 @@ from ..trace.textio import dumps_trace, loads_trace
 from .cache import CachedRun, ResultCache
 from .spec import RunSpec
 
-__all__ = ["RunResult", "SweepResult", "execute_spec", "run_cached", "sweep"]
+__all__ = ["RunResult", "SweepResult", "execute_spec", "run_cached", "run_observed", "sweep"]
 
 
 def execute_spec(
@@ -188,16 +188,23 @@ def run_cached(
     )
 
 
-def _run_observed(
-    spec: RunSpec, cache: Optional[ResultCache], probe_dir: Optional[str]
+def run_observed(
+    spec: RunSpec,
+    cache: Optional[ResultCache] = None,
+    probe_dir: Union[str, Path, None] = None,
+    *,
+    prefix: Optional[str] = None,
 ) -> RunResult:
     """One spec, optionally with a recording probe + timeline artifact export.
 
     With ``probe_dir`` set, the run executes under a fresh
     :class:`~repro.obs.probe.RecordingProbe` and its timeline artifact set
     (Perfetto JSON, counter series, wait attribution, metrics) lands in
-    ``probe_dir`` under the run's cache-key prefix — one artifact family per
-    distinct spec, stable across re-runs.
+    ``probe_dir`` under ``prefix`` (default: the run's cache-key prefix —
+    one artifact family per distinct spec, stable across re-runs).  Observed
+    runs always execute (a cached trace carries no probe stream to replay)
+    but still publish to ``cache``, so the next unobserved run hits.  This
+    is the execution path shared by the sweep workers and the serving layer.
     """
     if probe_dir is None:
         return run_cached(spec, cache)
@@ -207,11 +214,11 @@ def _run_observed(
     probe = RecordingProbe()
     result = run_cached(spec, cache, probe=probe)
     export_timeline(
-        probe_dir,
+        str(probe_dir),
         result.load_trace(),
         probe,
         metrics=result.metrics,
-        prefix=result.key[:16],
+        prefix=prefix if prefix is not None else result.key[:16],
     )
     return result
 
@@ -220,7 +227,7 @@ def _sweep_worker(payload: Tuple[RunSpec, Optional[str], Optional[str]]) -> RunR
     """Pool entry point: one spec against the shared on-disk cache."""
     spec, cache_dir, probe_dir = payload
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    return _run_observed(spec, cache, probe_dir)
+    return run_observed(spec, cache, probe_dir)
 
 
 @dataclass
@@ -329,7 +336,7 @@ def sweep(
         if n_jobs == 1:
             results = []
             for i, spec in enumerate(specs):
-                r = _run_observed(spec, cache, probe_dir)
+                r = run_observed(spec, cache, probe_dir)
                 results.append(r)
                 if progress is not None:
                     progress(

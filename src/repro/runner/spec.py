@@ -45,6 +45,23 @@ _GENERATORS = {
 }
 
 
+def _known_fields(cls, data: Dict[str, Any], what: str) -> Dict[str, Any]:
+    """Validate that ``data`` holds only fields of dataclass ``cls``.
+
+    Spec documents arrive over the wire (the ``repro serve`` protocol) and
+    from provenance files; an unknown key is far more likely a client typo
+    (``"sheduler"``) than a forward-compat field, and silently dropping it
+    would run a *different* spec than the caller asked for.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"{what} document must be a JSON object, got {type(data).__name__}")
+    known = set(cls.__dataclass_fields__)
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(f"unknown {what} field(s) {unknown}; known fields: {sorted(known)}")
+    return dict(data)
+
+
 @dataclass(frozen=True)
 class ProgramSpec:
     """Parameters of one algorithm-generated task stream."""
@@ -70,6 +87,10 @@ class ProgramSpec:
         if self.panel_width != 1:
             kwargs["panel_width"] = self.panel_width
         return gen(self.nt, self.nb, **kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ProgramSpec":
+        return cls(**_known_fields(cls, data, "ProgramSpec"))
 
     def content_digest(self) -> str:
         """SHA-256 over the generated stream's semantic content."""
@@ -103,6 +124,10 @@ class SchedulerSpec:
         if self.immediate_successor is not None:
             kwargs["immediate_successor"] = self.immediate_successor
         return make_scheduler(self.name, self.n_workers, **kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SchedulerSpec":
+        return cls(**_known_fields(cls, data, "SchedulerSpec"))
 
 
 @dataclass(frozen=True)
@@ -193,6 +218,23 @@ class RunSpec:
     # -- identity ----------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunSpec":
+        """Rebuild a spec from its :meth:`to_dict` document.
+
+        This is the wire format of the ``repro serve`` protocol and the
+        ``spec.json`` provenance files: nested ``program`` / ``scheduler`` /
+        ``cal_scheduler`` objects are reconstructed recursively, every
+        field is validated by the dataclass ``__post_init__`` checks, and
+        unknown keys raise ``ValueError`` instead of being dropped.
+        """
+        fields = _known_fields(cls, data, "RunSpec")
+        fields["program"] = ProgramSpec.from_dict(fields.get("program") or {})
+        fields["scheduler"] = SchedulerSpec.from_dict(fields.get("scheduler") or {})
+        if fields.get("cal_scheduler") is not None:
+            fields["cal_scheduler"] = SchedulerSpec.from_dict(fields["cal_scheduler"])
+        return cls(**fields)
 
     def cache_key(self) -> str:
         """Stable content-addressed identity of this run."""

@@ -1,0 +1,61 @@
+"""Simulation-as-a-service: the ``repro serve`` daemon and its client.
+
+Every other entry point in this repository launches a fresh process per
+prediction; this package keeps one process resident and turns simulation
+into a queryable service (the serving shape the ROADMAP asks for):
+
+* :mod:`~repro.service.protocol` — the JSON wire format: request/response
+  documents, error codes, and the schema tag;
+* :mod:`~repro.service.core` — :class:`SimulationService`, the
+  transport-agnostic heart: a bounded worker pool with single-flight
+  coalescing of identical in-flight specs, shared-:class:`ResultCache`
+  reuse, admission control (queue-depth limit → retriable rejection with a
+  retry-after hint), per-request deadlines wired into the stall-watchdog
+  machinery, and graceful draining;
+* :mod:`~repro.service.server` — the stdlib ``http.server`` front end
+  (``repro serve``), including the SIGTERM drain protocol;
+* :mod:`~repro.service.client` — the stdlib ``http.client`` consumer
+  (``repro client``) plus :func:`sweep_via_service` for fanning a sweep
+  out over a running daemon.
+
+No dependency beyond the standard library is introduced: transport is
+``http.server`` / ``http.client``, payloads are JSON.
+"""
+
+from .client import ServiceClient, sweep_via_service  # noqa: F401
+from .core import (  # noqa: F401
+    ServedResult,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceStats,
+    ServiceTimeout,
+    SimulationService,
+)
+from .protocol import (  # noqa: F401
+    ERROR_CODES,
+    SERVICE_SCHEMA,
+    RunRequest,
+    error_document,
+    response_document,
+)
+from .server import ReproServer, serve  # noqa: F401
+
+__all__ = [
+    "SERVICE_SCHEMA",
+    "ERROR_CODES",
+    "RunRequest",
+    "error_document",
+    "response_document",
+    "SimulationService",
+    "ServedResult",
+    "ServiceStats",
+    "ServiceError",
+    "ServiceOverloaded",
+    "ServiceTimeout",
+    "ServiceClosed",
+    "ReproServer",
+    "serve",
+    "ServiceClient",
+    "sweep_via_service",
+]

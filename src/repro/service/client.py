@@ -1,0 +1,209 @@
+"""The stdlib consumer of a running ``repro serve`` daemon.
+
+:class:`ServiceClient` speaks the :mod:`~repro.service.protocol` documents
+over ``http.client`` — no dependency beyond the standard library — and
+converts error documents back into the same exception types the in-process
+:class:`~repro.service.core.SimulationService` raises, so calling code is
+indifferent to whether the service is local or remote.
+
+Retriable rejections (429 backpressure, 503 draining, 504 deadline) are
+retried with the server's own ``retry_after_s`` hint (falling back to
+capped exponential back-off), which makes :func:`sweep_via_service` safe to
+point at an intentionally small daemon: excess load degrades into waiting,
+not failures.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..runner.spec import RunSpec
+from .core import ServiceClosed, ServiceError, ServiceOverloaded, ServiceTimeout
+from .protocol import SERVICE_SCHEMA, RunRequest
+
+__all__ = ["ServiceClient", "sweep_via_service"]
+
+_ERROR_TYPES = {
+    "overloaded": ServiceOverloaded,
+    "draining": ServiceClosed,
+    "timeout": ServiceTimeout,
+}
+
+
+def _error_from_document(doc: Dict[str, Any]) -> ServiceError:
+    code = doc.get("error", "failed")
+    exc_type = _ERROR_TYPES.get(code, ServiceError)
+    exc = exc_type(
+        str(doc.get("message", "service error")),
+        retry_after_s=doc.get("retry_after_s"),
+    )
+    exc.code = code
+    return exc
+
+
+class ServiceClient:
+    """A thin, retrying JSON client for one ``repro serve`` endpoint.
+
+    ``max_retries`` bounds how many times a *retriable* rejection is
+    retried (non-retriable errors raise immediately); ``backoff_s`` seeds
+    the exponential fallback used when the server sends no hint.  A fresh
+    connection is opened per request, so one client instance may be shared
+    freely across threads.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8425,
+        *,
+        max_retries: int = 5,
+        backoff_s: float = 0.1,
+        connect_timeout_s: float = 10.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.host = host
+        self.port = port
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.connect_timeout_s = connect_timeout_s
+        self._sleep = sleep
+
+    # -- transport ---------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        *,
+        timeout_s: Optional[float] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        # The socket must outlive the server-side run: pad the request
+        # deadline so the service's own timeout error arrives as a document
+        # rather than as a dropped connection.
+        sock_timeout = self.connect_timeout_s + (timeout_s if timeout_s else 0.0) + 5.0
+        conn = HTTPConnection(self.host, self.port, timeout=sock_timeout)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body, sort_keys=True, default=str).encode()
+                headers = {"Content-Type": "application/json"}
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+            try:
+                doc = json.loads(raw.decode()) if raw else {}
+            except json.JSONDecodeError as exc:
+                raise ServiceError(
+                    f"non-JSON response (HTTP {resp.status}): {raw[:200]!r}"
+                ) from exc
+            return resp.status, doc
+        finally:
+            conn.close()
+
+    def _call(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        *,
+        timeout_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """One endpoint call with retriable-error back-off."""
+        attempt = 0
+        while True:
+            status, doc = self._request(method, path, body, timeout_s=timeout_s)
+            if status < 400 and doc.get("ok", False):
+                return doc
+            error = _error_from_document(doc)
+            if not error.retriable or attempt >= self.max_retries:
+                raise error
+            pause = error.retry_after_s
+            if pause is None:
+                pause = min(2.0, self.backoff_s * (2**attempt))
+            self._sleep(max(0.0, float(pause)))
+            attempt += 1
+
+    # -- endpoints ---------------------------------------------------------
+    def run(
+        self,
+        spec: Union[RunSpec, Dict[str, Any]],
+        *,
+        timeline: bool = False,
+        timeout_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Serve one spec; returns the success document (trace + metrics)."""
+        if isinstance(spec, dict):
+            spec = RunSpec.from_dict(spec)
+        request = RunRequest(spec=spec, timeline=timeline, timeout_s=timeout_s)
+        return self._call("POST", "/v1/run", request.to_document(), timeout_s=timeout_s)
+
+    def batch(self, requests: Sequence[RunRequest]) -> List[Dict[str, Any]]:
+        """One ``/v1/batch`` round-trip; per-item success/error documents."""
+        doc = self._call(
+            "POST",
+            "/v1/batch",
+            {
+                "schema": SERVICE_SCHEMA,
+                "requests": [r.to_document() for r in requests],
+            },
+        )
+        return list(doc.get("responses", []))
+
+    def health(self) -> Dict[str, Any]:
+        """Raw health document — no retries, draining is a valid answer."""
+        return self._request("GET", "/v1/health")[1]
+
+    def stats(self) -> Dict[str, Any]:
+        return self._call("GET", "/v1/stats")
+
+
+def sweep_via_service(
+    specs: Sequence[RunSpec],
+    client: ServiceClient,
+    *,
+    jobs: int = 4,
+    timeline: bool = False,
+    timeout_s: Optional[float] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[Dict[str, Any]]:
+    """Fan a sweep out over a running daemon instead of a local pool.
+
+    Returns one response document per spec, in spec order.  ``jobs`` client
+    threads issue requests concurrently; the daemon's single-flight layer
+    de-duplicates identical specs and its admission control turns excess
+    concurrency into back-off (which :class:`ServiceClient` honours), so
+    ``jobs`` may comfortably exceed the server's worker count.  A
+    non-retriable failure for one spec surfaces as an error document in its
+    slot rather than aborting the sweep.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+
+    def one(indexed: Tuple[int, RunSpec]) -> Dict[str, Any]:
+        i, spec = indexed
+        try:
+            doc = client.run(spec, timeline=timeline, timeout_s=timeout_s)
+        except ServiceError as exc:
+            doc = {
+                "schema": SERVICE_SCHEMA,
+                "ok": False,
+                "error": exc.code,
+                "message": str(exc),
+                "retry_after_s": exc.retry_after_s,
+            }
+        if progress is not None:
+            tag = "ok  " if doc.get("ok") else "fail"
+            progress(f"[{i + 1}/{len(specs)}] {tag} {spec.program.algorithm} "
+                     f"nt={spec.program.nt} seed={spec.seed}")
+        return doc
+
+    with ThreadPoolExecutor(max_workers=min(jobs, max(1, len(specs)))) as pool:
+        return list(pool.map(one, enumerate(specs)))

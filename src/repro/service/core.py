@@ -1,0 +1,386 @@
+"""The transport-agnostic simulation service.
+
+:class:`SimulationService` is the heart of ``repro serve``, deliberately
+separated from HTTP so tests can drive every concurrency edge (coalescing,
+backpressure, deadlines, draining) deterministically with an injected
+``run_fn`` and plain threads.
+
+Request lifecycle::
+
+    submit(RunRequest)
+      │ closed/draining?  ──► ServiceClosed        (retriable: elsewhere)
+      │ identical spec already in flight?
+      │    yes ──► join that flight (coalesced=True, no new work queued)
+      │    no  ──► pending full? ──► ServiceOverloaded(retry_after_s)
+      │            else create flight, hand it to the bounded worker pool
+      ▼
+    wait for the flight (bounded by the request deadline)
+      │ deadline passed ──► ServiceTimeout — the run keeps going and still
+      │                     publishes to the cache, so retries tend to hit
+      ▼
+    ServedResult(result, coalesced, queue_wait_s, artifacts)
+
+Single-flight keys on ``(spec.cache_key(), timeline)``: two requests for the
+same content-addressed spec share one execution, and the shared
+:class:`~repro.runner.cache.ResultCache` extends that de-duplication across
+service restarts and across concurrent sweep processes.  A ``timeline``
+request never coalesces onto a plain one (it must execute under a probe),
+and vice versa.
+
+Per-request deadlines reuse the existing watchdog machinery rather than
+inventing a second timeout system: a threaded-runtime spec with no explicit
+``stall_timeout`` inherits the request deadline as its stall budget (the
+stall fields are normalised out of the cache key, so this never splits
+cache entries).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from ..runner.cache import ResultCache
+from ..runner.runner import RunResult, run_cached
+from .protocol import RunRequest
+
+__all__ = [
+    "ServedResult",
+    "ServiceError",
+    "ServiceOverloaded",
+    "ServiceTimeout",
+    "ServiceClosed",
+    "ServiceStats",
+    "SimulationService",
+]
+
+
+class ServiceError(Exception):
+    """Base of every service-level failure; maps onto a protocol error code."""
+
+    code = "failed"
+    retriable = False
+
+    def __init__(self, message: str, *, retry_after_s: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceOverloaded(ServiceError):
+    """Admission control rejected the request: the pending queue is full.
+
+    Nothing was started — re-sending after ``retry_after_s`` is always safe.
+    """
+
+    code = "overloaded"
+    retriable = True
+
+
+class ServiceTimeout(ServiceError):
+    """The request deadline passed while its flight was still executing.
+
+    The flight is *not* cancelled: it finishes server-side and publishes to
+    the shared cache, so an identical retry typically hits.
+    """
+
+    code = "timeout"
+    retriable = True
+
+
+class ServiceClosed(ServiceError):
+    """The service is draining (or closed) and admits no new work."""
+
+    code = "draining"
+    retriable = True
+
+
+@dataclass(frozen=True)
+class ServedResult:
+    """One request's outcome: the run result plus serving-side accounting."""
+
+    result: RunResult
+    coalesced: bool
+    queue_wait_s: float
+    artifacts: Tuple[Path, ...] = ()
+
+
+@dataclass
+class ServiceStats:
+    """Monotonic counters plus a point-in-time load snapshot."""
+
+    requests: int = 0
+    executed: int = 0
+    coalesced: int = 0
+    cache_hits: int = 0
+    rejected_overload: int = 0
+    rejected_closed: int = 0
+    timeouts: int = 0
+    failures: int = 0
+    # snapshot fields, refreshed by SimulationService.stats()
+    in_flight: int = 0
+    max_pending: int = 0
+    workers: int = 0
+    draining: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dict(self.__dict__)
+
+
+class _Flight:
+    """One in-flight execution that any number of requests may join."""
+
+    __slots__ = ("done", "result", "artifacts", "error", "started_at")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: Optional[RunResult] = None
+        self.artifacts: Tuple[Path, ...] = ()
+        self.error: Optional[BaseException] = None
+        self.started_at = time.perf_counter()
+
+
+#: An injectable execution function: request → result (+ artifact paths).
+RunFn = Callable[[RunRequest], Union[RunResult, Tuple[RunResult, Any]]]
+
+
+class SimulationService:
+    """Bounded, coalescing, cache-backed executor of :class:`RunRequest`\\ s.
+
+    ``workers`` sizes the thread pool actually executing runs;
+    ``max_pending`` bounds how many *distinct* flights may be admitted but
+    unfinished (joining an existing flight is always free — coalesced
+    requests add no load).  ``cache`` (a :class:`ResultCache`, a directory,
+    or ``None``) is shared across every flight; ``probe_dir`` enables
+    ``timeline=True`` requests to export their artifact set there.
+
+    ``run_fn`` overrides the execution function for tests; it receives the
+    (deadline-adjusted) request and returns a :class:`RunResult`, optionally
+    paired with a sequence of artifact paths.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        max_pending: int = 16,
+        cache: Union[ResultCache, str, Path, None] = None,
+        probe_dir: Union[str, Path, None] = None,
+        default_timeout_s: Optional[float] = None,
+        run_fn: Optional[RunFn] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        if isinstance(cache, (str, Path)):
+            cache = ResultCache(cache)
+        self.workers = workers
+        self.max_pending = max_pending
+        self.cache = cache
+        self.probe_dir = Path(probe_dir) if probe_dir is not None else None
+        self.default_timeout_s = default_timeout_s
+        self._run_fn: RunFn = run_fn if run_fn is not None else self._default_run
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._lock = threading.Lock()
+        self._flights: Dict[Tuple[str, bool], _Flight] = {}
+        self._draining = False
+        self._closed = False
+        self._stats = ServiceStats()
+        self._recent_wall: deque = deque(maxlen=32)
+
+    # -- execution ---------------------------------------------------------
+    def _default_run(self, request: RunRequest) -> Tuple[RunResult, Tuple[Path, ...]]:
+        if request.timeline and self.probe_dir is not None:
+            from ..obs.probe import RecordingProbe
+            from ..obs.timeline import export_timeline
+
+            probe = RecordingProbe()
+            result = run_cached(request.spec, self.cache, probe=probe)
+            arts = export_timeline(
+                str(self.probe_dir),
+                result.load_trace(),
+                probe,
+                metrics=result.metrics,
+                prefix=result.key[:16],
+            )
+            return result, tuple(arts.paths())
+        return run_cached(request.spec, self.cache), ()
+
+    def _with_deadline(self, request: RunRequest) -> Tuple[RunRequest, Optional[float]]:
+        """Resolve the effective deadline and push it into the spec's watchdog.
+
+        A threaded spec with no explicit stall budget inherits the request
+        deadline, so a wedged replay trips
+        :class:`~repro.core.watchdog.RuntimeStallError` server-side instead
+        of holding a pool slot until the client gives up.  Stall fields are
+        normalised out of ``cache_key``, so the flight key is unchanged.
+        """
+        timeout_s = (
+            request.timeout_s if request.timeout_s is not None else self.default_timeout_s
+        )
+        spec = request.spec
+        if (
+            timeout_s is not None
+            and spec.runtime == "threaded"
+            and spec.stall_timeout is None
+        ):
+            request = replace(request, spec=replace(spec, stall_timeout=timeout_s))
+        return request, timeout_s
+
+    def _execute(
+        self, flight: _Flight, request: RunRequest, key: Tuple[str, bool]
+    ) -> None:
+        t0 = time.perf_counter()
+        try:
+            out = self._run_fn(request)
+            if isinstance(out, tuple):
+                result, artifacts = out
+            else:
+                result, artifacts = out, ()
+            result.metrics.stamp(
+                "service",
+                exec_wall_s=time.perf_counter() - t0,
+                queue_wait_s=t0 - flight.started_at,
+            )
+            flight.result = result
+            flight.artifacts = tuple(Path(p) for p in artifacts)
+        except BaseException as exc:  # propagated to every waiter
+            flight.error = exc
+        finally:
+            with self._lock:
+                self._flights.pop(key, None)
+                if flight.error is None:
+                    self._stats.executed += 1
+                    if flight.result is not None and flight.result.cached:
+                        self._stats.cache_hits += 1
+                    self._recent_wall.append(time.perf_counter() - flight.started_at)
+                else:
+                    self._stats.failures += 1
+            flight.done.set()
+
+    # -- admission ---------------------------------------------------------
+    def _retry_after(self) -> float:
+        """A retry hint: how long until a pool slot plausibly frees up."""
+        wall = (
+            sum(self._recent_wall) / len(self._recent_wall) if self._recent_wall else 0.25
+        )
+        backlog = max(1, len(self._flights) - self.workers + 1)
+        return max(0.05, wall * backlog / max(1, self.workers))
+
+    def submit(self, request: RunRequest) -> ServedResult:
+        """Serve one request, blocking until its flight completes.
+
+        Raises :class:`ServiceClosed` while draining,
+        :class:`ServiceOverloaded` when ``max_pending`` distinct flights are
+        already admitted, :class:`ServiceTimeout` when the effective deadline
+        passes first, and :class:`ServiceError` when the run itself fails.
+        """
+        request, timeout_s = self._with_deadline(request)
+        key = (request.spec.cache_key(), request.timeline)
+        t_submit = time.perf_counter()
+        with self._lock:
+            self._stats.requests += 1
+            if self._draining or self._closed:
+                self._stats.rejected_closed += 1
+                raise ServiceClosed(
+                    "service is draining and admits no new work",
+                    retry_after_s=self._retry_after(),
+                )
+            flight = self._flights.get(key)
+            coalesced = flight is not None
+            if coalesced:
+                self._stats.coalesced += 1
+            else:
+                if len(self._flights) >= self.max_pending:
+                    self._stats.rejected_overload += 1
+                    raise ServiceOverloaded(
+                        f"{len(self._flights)} flights pending "
+                        f"(limit {self.max_pending}); retry later",
+                        retry_after_s=self._retry_after(),
+                    )
+                flight = _Flight()
+                self._flights[key] = flight
+                self._pool.submit(self._execute, flight, request, key)
+        if not flight.done.wait(timeout_s):
+            with self._lock:
+                self._stats.timeouts += 1
+            raise ServiceTimeout(
+                f"deadline of {timeout_s}s passed; the run continues server-side "
+                "and will publish to the cache",
+                retry_after_s=timeout_s,
+            )
+        if flight.error is not None:
+            if isinstance(flight.error, ServiceError):
+                raise flight.error
+            raise ServiceError(
+                f"run failed: {type(flight.error).__name__}: {flight.error}"
+            ) from flight.error
+        assert flight.result is not None
+        return ServedResult(
+            result=flight.result,
+            coalesced=coalesced,
+            queue_wait_s=time.perf_counter() - t_submit
+            if coalesced
+            else max(0.0, flight.started_at - t_submit),
+            artifacts=flight.artifacts,
+        )
+
+    def submit_document(self, doc: Any) -> ServedResult:
+        """Parse-and-serve convenience; ``ValueError`` on a malformed doc."""
+        return self.submit(RunRequest.from_document(doc))
+
+    # -- lifecycle ---------------------------------------------------------
+    def drain(self, timeout_s: Optional[float] = None) -> bool:
+        """Stop admitting work; wait for in-flight requests to finish.
+
+        Idempotent.  Returns ``True`` once every flight has completed
+        (``False`` on a timeout — flights keep running regardless).
+        """
+        with self._lock:
+            self._draining = True
+            pending = list(self._flights.values())
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        for flight in pending:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                return False
+            if not flight.done.wait(remaining):
+                return False
+        return True
+
+    def close(self, timeout_s: Optional[float] = None) -> bool:
+        """Drain, then shut the worker pool down.  Idempotent."""
+        drained = self.drain(timeout_s)
+        with self._lock:
+            if self._closed:
+                return drained
+            self._closed = True
+        self._pool.shutdown(wait=drained)
+        return drained
+
+    def __enter__(self) -> "SimulationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def stats(self) -> ServiceStats:
+        """A consistent copy of the counters with the load snapshot filled."""
+        with self._lock:
+            snap = ServiceStats(**self._stats.to_dict())
+            snap.in_flight = len(self._flights)
+            snap.max_pending = self.max_pending
+            snap.workers = self.workers
+            snap.draining = self._draining or self._closed
+            return snap

@@ -1,0 +1,150 @@
+"""The ``repro serve`` wire format.
+
+Requests and responses are JSON documents tagged with
+:data:`SERVICE_SCHEMA`; specs travel as their :meth:`RunSpec.to_dict`
+rendering and are validated by :meth:`RunSpec.from_dict` at the server
+boundary.  The format is deliberately transport-poor: any carrier that can
+move a JSON object (the bundled HTTP front end, a unix socket, a test
+calling the service object directly) speaks the same documents.
+
+Request (``POST /v1/run``)::
+
+    {"spec": {...RunSpec.to_dict()...},
+     "timeline": false,          # record a probe + export timeline artifacts
+     "timeout_s": 30.0}          # per-request deadline (optional)
+
+Success response::
+
+    {"schema": "repro.service/v1", "ok": true,
+     "key": "<cache key>", "cached": false, "coalesced": false,
+     "wall_s": 0.12, "queue_wait_s": 0.01,
+     "trace": "<plain-text trace>", "metrics": {...RunMetrics.to_dict()...},
+     "artifacts": ["..."] | null}
+
+Error response (the HTTP layer mirrors ``code`` onto a status)::
+
+    {"schema": "repro.service/v1", "ok": false,
+     "error": "overloaded" | "timeout" | "draining" | "bad_request" | "failed",
+     "message": "...", "retry_after_s": 0.5 | null}
+
+``overloaded`` and ``draining`` are *retriable*: the request was never
+started and re-sending it after ``retry_after_s`` is always safe.
+``timeout`` means the deadline passed while the run was still executing;
+the run keeps going server-side and publishes to the cache, so a retry
+typically hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..runner.spec import RunSpec
+
+__all__ = [
+    "SERVICE_SCHEMA",
+    "ERROR_CODES",
+    "HTTP_STATUS",
+    "RunRequest",
+    "error_document",
+    "response_document",
+]
+
+#: Schema tag stamped into every service document (requests and responses).
+SERVICE_SCHEMA = "repro.service/v1"
+
+#: Error codes a response may carry; ``retriable`` drives client back-off.
+ERROR_CODES = {
+    "bad_request": {"retriable": False},
+    "overloaded": {"retriable": True},
+    "draining": {"retriable": True},
+    "timeout": {"retriable": True},
+    "failed": {"retriable": False},
+}
+
+#: HTTP status the bundled server uses for each error code (429-style
+#: backpressure, 503 while draining, 504 for an expired deadline).
+HTTP_STATUS = {
+    "bad_request": 400,
+    "overloaded": 429,
+    "draining": 503,
+    "timeout": 504,
+    "failed": 500,
+}
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One parsed, validated ``/v1/run`` request."""
+
+    spec: RunSpec
+    timeline: bool = False
+    timeout_s: Optional[float] = None
+
+    @classmethod
+    def from_document(cls, doc: Any) -> "RunRequest":
+        """Parse a request document; raises ``ValueError`` on any defect."""
+        if not isinstance(doc, dict):
+            raise ValueError(f"request must be a JSON object, got {type(doc).__name__}")
+        tag = doc.get("schema", SERVICE_SCHEMA)
+        if tag != SERVICE_SCHEMA:
+            raise ValueError(f"unknown request schema {tag!r} (expected {SERVICE_SCHEMA!r})")
+        unknown = sorted(set(doc) - {"schema", "spec", "timeline", "timeout_s"})
+        if unknown:
+            raise ValueError(f"unknown request field(s) {unknown}")
+        if "spec" not in doc:
+            raise ValueError("request carries no 'spec'")
+        try:
+            spec = RunSpec.from_dict(doc["spec"])
+        except (TypeError, KeyError, ValueError) as exc:
+            raise ValueError(f"invalid spec: {exc}") from exc
+        timeline = doc.get("timeline", False)
+        if not isinstance(timeline, bool):
+            raise ValueError("'timeline' must be a boolean")
+        timeout_s = doc.get("timeout_s")
+        if timeout_s is not None:
+            if not isinstance(timeout_s, (int, float)) or isinstance(timeout_s, bool):
+                raise ValueError("'timeout_s' must be a number")
+            if timeout_s <= 0.0:
+                raise ValueError("'timeout_s' must be positive")
+            timeout_s = float(timeout_s)
+        return cls(spec=spec, timeline=timeline, timeout_s=timeout_s)
+
+    def to_document(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"schema": SERVICE_SCHEMA, "spec": self.spec.to_dict()}
+        if self.timeline:
+            doc["timeline"] = True
+        if self.timeout_s is not None:
+            doc["timeout_s"] = self.timeout_s
+        return doc
+
+
+def response_document(served) -> Dict[str, Any]:
+    """Success document for one :class:`~repro.service.core.ServedResult`."""
+    return {
+        "schema": SERVICE_SCHEMA,
+        "ok": True,
+        "key": served.result.key,
+        "cached": served.result.cached,
+        "coalesced": served.coalesced,
+        "wall_s": served.result.wall_s,
+        "queue_wait_s": served.queue_wait_s,
+        "trace": served.result.trace_dump(),
+        "metrics": served.result.metrics.to_dict(),
+        "artifacts": [str(p) for p in served.artifacts] if served.artifacts else None,
+    }
+
+
+def error_document(
+    code: str, message: str, *, retry_after_s: Optional[float] = None
+) -> Dict[str, Any]:
+    """Error document; ``code`` must be one of :data:`ERROR_CODES`."""
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}; choose from {sorted(ERROR_CODES)}")
+    return {
+        "schema": SERVICE_SCHEMA,
+        "ok": False,
+        "error": code,
+        "message": message,
+        "retry_after_s": retry_after_s,
+    }

@@ -1,0 +1,260 @@
+"""The stdlib HTTP front end of the simulation service (``repro serve``).
+
+A :class:`ReproServer` pairs one :class:`~repro.service.core.SimulationService`
+with a ``http.server.ThreadingHTTPServer``.  Endpoints:
+
+* ``GET /v1/health`` — liveness plus drain state (load balancers / scripts);
+* ``GET /v1/stats``  — the service counters as JSON;
+* ``POST /v1/run``   — one request document → one response document;
+* ``POST /v1/batch`` — ``{"requests": [...]}`` → ``{"responses": [...]}``,
+  each element independently a success or error document (one overloaded
+  point does not fail its siblings).
+
+Service errors map onto transport statuses via
+:data:`~repro.service.protocol.HTTP_STATUS` — notably 429 with a
+``Retry-After`` header for backpressure and 503 while draining, so generic
+HTTP clients back off correctly without understanding the body.
+
+Graceful shutdown (the SIGTERM protocol): the signal flips the service into
+draining (new work is refused with a retriable 503), a helper thread waits
+for in-flight requests to finish and then stops the accept loop; the
+``block_on_close`` join guarantees every handler thread has flushed its
+response before the process exits.  The handler itself must not block — it
+runs inside ``serve_forever`` and calling ``shutdown()`` there deadlocks.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from .core import ServiceError, SimulationService
+from .protocol import HTTP_STATUS, SERVICE_SCHEMA, error_document, response_document
+
+__all__ = ["ReproServer", "serve"]
+
+_MAX_BODY = 16 * 1024 * 1024  # a request is a spec document, not a payload
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1"
+
+    # -- plumbing ----------------------------------------------------------
+    @property
+    def service(self) -> SimulationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args) -> None:
+        log = getattr(self.server, "log", None)  # type: ignore[attr-defined]
+        if log is not None:
+            log(f"{self.address_string()} {fmt % args}")
+
+    def _send_json(
+        self, status: int, doc: Dict[str, Any], *, retry_after_s: Optional[float] = None
+    ) -> None:
+        body = json.dumps(doc, sort_keys=True, default=str).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after_s is not None:
+            self.send_header("Retry-After", f"{max(0.0, retry_after_s):.3f}")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_doc(self, code: str, message: str, retry_after_s=None) -> None:
+        self._send_json(
+            HTTP_STATUS[code],
+            error_document(code, message, retry_after_s=retry_after_s),
+            retry_after_s=retry_after_s,
+        )
+
+    def _read_document(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            raise ValueError("request carries no body")
+        if length > _MAX_BODY:
+            raise ValueError(f"request body of {length} bytes exceeds {_MAX_BODY}")
+        return json.loads(self.rfile.read(length).decode())
+
+    # -- GET ---------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        if self.path == "/v1/health":
+            draining = self.service.stats().draining
+            self._send_json(
+                503 if draining else 200,
+                {
+                    "schema": SERVICE_SCHEMA,
+                    "ok": not draining,
+                    "status": "draining" if draining else "serving",
+                },
+            )
+        elif self.path == "/v1/stats":
+            self._send_json(
+                200, {"schema": SERVICE_SCHEMA, "ok": True, **self.service.stats().to_dict()}
+            )
+        else:
+            self._send_error_doc("bad_request", f"unknown path {self.path!r}")
+
+    # -- POST --------------------------------------------------------------
+    def _serve_one(self, doc: Any) -> Tuple[int, Dict[str, Any], Optional[float]]:
+        """One request document → (status, response document, retry-after)."""
+        try:
+            served = self.service.submit_document(doc)
+        except ValueError as exc:
+            return HTTP_STATUS["bad_request"], error_document("bad_request", str(exc)), None
+        except ServiceError as exc:
+            return (
+                HTTP_STATUS[exc.code],
+                error_document(exc.code, str(exc), retry_after_s=exc.retry_after_s),
+                exc.retry_after_s,
+            )
+        return 200, response_document(served), None
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        try:
+            doc = self._read_document()
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_error_doc("bad_request", f"unreadable request: {exc}")
+            return
+        if self.path == "/v1/run":
+            status, out, retry_after = self._serve_one(doc)
+            self._send_json(status, out, retry_after_s=retry_after)
+        elif self.path == "/v1/batch":
+            requests = doc.get("requests") if isinstance(doc, dict) else None
+            if not isinstance(requests, list):
+                self._send_error_doc("bad_request", "batch body needs a 'requests' list")
+                return
+            responses = [self._serve_one(item)[1] for item in requests]
+            self._send_json(
+                200,
+                {"schema": SERVICE_SCHEMA, "ok": True, "responses": responses},
+            )
+        else:
+            self._send_error_doc("bad_request", f"unknown path {self.path!r}")
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = False  # join handler threads on close: responses flush
+    block_on_close = True
+    allow_reuse_address = True
+
+
+class ReproServer:
+    """One service bound to one listening socket, with the drain protocol.
+
+    ``port=0`` binds an ephemeral port (tests); read it back from
+    :attr:`address`.  :meth:`start` runs the accept loop on a background
+    thread, :meth:`serve_forever` runs it in the caller (the CLI path).
+    """
+
+    def __init__(
+        self,
+        service: SimulationService,
+        host: str = "127.0.0.1",
+        port: int = 8425,
+        *,
+        log=None,
+    ) -> None:
+        self.service = service
+        self._httpd = _HTTPServer((host, port), _Handler)
+        self._httpd.service = service  # type: ignore[attr-defined]
+        self._httpd.log = log  # type: ignore[attr-defined]
+        self._log = log
+        self._thread: Optional[threading.Thread] = None
+        self._shutdown_started = threading.Event()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    # -- run ---------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Run the accept loop until :meth:`shutdown` (or a drain signal)."""
+        try:
+            self._httpd.serve_forever(poll_interval=0.1)
+        finally:
+            self._httpd.server_close()  # joins handler threads
+            self.service.close()
+
+    def start(self) -> "ReproServer":
+        """Run the accept loop on a daemon thread (test harness path)."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve-accept", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    # -- drain / stop ------------------------------------------------------
+    def shutdown(self, *, drain_timeout_s: Optional[float] = None) -> None:
+        """Drain in-flight work, then stop the accept loop.
+
+        Safe from any thread *including* a signal handler running inside
+        ``serve_forever``: the blocking part runs on a helper thread.
+        Idempotent — later calls are no-ops.
+        """
+        if self._shutdown_started.is_set():
+            return
+        self._shutdown_started.set()
+
+        def _drain_then_stop() -> None:
+            if self._log is not None:
+                self._log("draining: refusing new work, waiting for in-flight runs")
+            self.service.drain(drain_timeout_s)
+            self._httpd.shutdown()
+
+        threading.Thread(target=_drain_then_stop, name="repro-serve-drain").start()
+
+    def wait_closed(self, timeout_s: Optional[float] = None) -> bool:
+        """Join the background accept thread (only meaningful after start())."""
+        if self._thread is None:
+            return True
+        self._thread.join(timeout_s)
+        return not self._thread.is_alive()
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain.  Main thread only."""
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(sig, lambda _sig, _frm: self.shutdown())
+
+
+def serve(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8425,
+    workers: int = 2,
+    max_pending: int = 16,
+    cache=None,
+    probe_dir=None,
+    default_timeout_s: Optional[float] = None,
+    log=print,
+) -> None:
+    """Build a service + server, wire the signals, and serve until drained.
+
+    This is the body of ``repro serve``; it returns only after a drain
+    signal has been honoured (in-flight runs finished, socket closed).
+    """
+    service = SimulationService(
+        workers=workers,
+        max_pending=max_pending,
+        cache=cache,
+        probe_dir=probe_dir,
+        default_timeout_s=default_timeout_s,
+    )
+    server = ReproServer(service, host, port, log=log)
+    server.install_signal_handlers()
+    if log is not None:
+        bound_host, bound_port = server.address
+        log(
+            f"repro serve: listening on http://{bound_host}:{bound_port} "
+            f"(workers={workers}, max_pending={max_pending}"
+            + (f", cache={cache}" if cache is not None else "")
+            + ") — SIGTERM drains gracefully"
+        )
+    server.serve_forever()
+    if log is not None:
+        log("repro serve: drained and stopped")

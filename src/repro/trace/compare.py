@@ -32,9 +32,41 @@ __all__ = [
     "activity_profile",
     "activity_rmse",
     "kernel_time_drift",
+    "canonicalize_workers",
     "TraceComparison",
     "compare_traces",
 ]
+
+
+def canonicalize_workers(trace: Trace) -> Trace:
+    """The same schedule with worker lanes relabelled deterministically.
+
+    On the threaded runtime, *which* OS thread claims a given task is an
+    arbitrary race outcome — the simulated semantics pin every task's
+    virtual ``(start, end)`` but permute the worker column run to run.  For
+    byte-level comparison of two threaded traces (e.g. the §V-E golden
+    digests) the lanes must be named canonically: workers are renumbered in
+    order of their first event under the chronological event order
+    ``(start, end, task_id)``, preserving which events share a lane.
+
+    Engine traces are already deterministic; canonicalising one is a no-op
+    permutation at most.  Multi-threaded tasks (``width > 1``) occupy
+    adjacent lanes and are not relabelled — the threaded runtime rejects
+    them anyway.
+    """
+    if any(e.width > 1 for e in trace.events):
+        raise ValueError("canonicalize_workers supports width-1 events only")
+    mapping: Dict[int, int] = {}
+    ordered = sorted(trace.events, key=lambda e: (e.start, e.end, e.task_id))
+    for e in ordered:
+        if e.worker not in mapping:
+            mapping[e.worker] = len(mapping)
+    out = Trace(trace.n_workers, meta=dict(trace.meta))
+    for e in ordered:
+        out.record(
+            mapping[e.worker], e.task_id, e.kernel, e.start, e.end, e.label, e.width
+        )
+    return out
 
 
 def makespan_error(real: Trace, simulated: Trace) -> float:

@@ -1,0 +1,141 @@
+"""Property test: the ResultCache under concurrent multi-process traffic.
+
+The cache's contract (``runner/cache.py``) is that concurrent writers race
+*benignly*: entries are staged privately and published with one atomic
+rename, so a reader — in any process — must only ever observe a clean miss
+or a complete, schema-valid entry whose bytes equal what a lone writer
+would have produced.  This file hammers one cache directory from several
+``multiprocessing`` workers doing randomized put/get/scan traffic against a
+small, contended key set and asserts exactly that contract, including
+recovery from pre-seeded *partial* entries (an interrupted writer's
+directory holding a trace but no metrics must be repaired by the next put,
+never returned by a lookup).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import random
+from typing import List, Tuple
+
+from repro.core.metrics import RunMetrics
+from repro.runner.cache import ResultCache
+from repro.trace.events import Trace
+from repro.trace.textio import dumps_trace
+
+N_KEYS = 6
+_TRACE = "trace.txt"
+
+
+def payload(i: int) -> Tuple[str, Trace, RunMetrics]:
+    """Deterministic (key, trace, metrics) for slot ``i`` — the cache stores
+    pure functions of the spec, so every process writes identical bytes and
+    any divergence a reader sees is corruption by definition."""
+    key = hashlib.sha256(f"cache-stress-{i}".encode()).hexdigest()
+    trace = Trace(2, meta={"slot": i, "mode": "test"})
+    for t in range(3 + i):
+        trace.record(t % 2, t, "KA" if t % 2 else "KB", float(t), float(t) + 1.5 + i)
+    metrics = RunMetrics(tasks_executed=3 + i)
+    metrics.extra["slot"] = i
+    return key, trace, metrics
+
+
+def expected_trace_bytes(i: int) -> str:
+    return dumps_trace(payload(i)[1])
+
+
+def hammer(args: Tuple[str, int, int]) -> List[str]:
+    """One worker process: randomized put/get/scan ops; returns violations."""
+    root, n_ops, seed = args
+    cache = ResultCache(root)
+    rng = random.Random(seed)
+    violations: List[str] = []
+    for op in range(n_ops):
+        i = rng.randrange(N_KEYS)
+        key, trace, metrics = payload(i)
+        roll = rng.random()
+        if roll < 0.45:
+            entry = cache.put(key, trace, metrics, {"slot": i})
+            if entry.trace_path.read_text() != expected_trace_bytes(i):
+                violations.append(f"put#{op}: published bytes differ for slot {i}")
+        elif roll < 0.9:
+            hit = cache.get(key)
+            if hit is None:
+                continue  # a miss is always a legal answer
+            try:
+                if hit.trace_path.read_text() != expected_trace_bytes(i):
+                    violations.append(f"get#{op}: trace bytes differ for slot {i}")
+                if hit.load_metrics().extra.get("slot") != i:
+                    violations.append(f"get#{op}: metrics mismatch for slot {i}")
+                if json.loads((hit.path / "spec.json").read_text())["slot"] != i:
+                    violations.append(f"get#{op}: spec provenance mismatch for slot {i}")
+            except Exception as exc:  # corrupt entry visible to a reader
+                violations.append(f"get#{op}: unreadable entry for slot {i}: {exc}")
+        else:
+            # Scans must only surface complete entries, never partials.
+            for entry in cache.entries():
+                try:
+                    entry.load_trace()
+                    entry.load_metrics()
+                except Exception as exc:
+                    violations.append(f"scan#{op}: incomplete entry surfaced: {exc}")
+    return violations
+
+
+def seed_partial_entry(cache: ResultCache, i: int) -> None:
+    """Fake an interrupted writer: an entry directory holding only a trace."""
+    key, trace, _ = payload(i)
+    path = cache._entry_dir(key)
+    path.mkdir(parents=True, exist_ok=True)
+    (path / _TRACE).write_text(dumps_trace(trace))
+
+
+class TestCacheMultiprocessConcurrency:
+    def test_concurrent_writers_and_readers_never_corrupt_entries(self, tmp_path):
+        root = str(tmp_path / "cache")
+        cache = ResultCache(root)
+        # Two keys start as stale partials (interrupted writers): lookups
+        # must treat them as misses and concurrent puts must repair them.
+        seed_partial_entry(cache, 0)
+        seed_partial_entry(cache, 1)
+        assert cache.get(payload(0)[0]) is None
+
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        n_procs, n_ops = 4, 80
+        with ctx.Pool(processes=n_procs) as pool:
+            results = pool.map(
+                hammer, [(root, n_ops, 1000 + p) for p in range(n_procs)]
+            )
+        violations = [v for sub in results for v in sub]
+        assert violations == [], violations[:10]
+
+        # Post-mortem: every key is either absent or complete-and-correct,
+        # and the seeded partials were repaired by the first winning put.
+        complete = 0
+        for i in range(N_KEYS):
+            key, _, _ = payload(i)
+            hit = cache.get(key)
+            if hit is None:
+                continue
+            complete += 1
+            assert hit.trace_path.read_text() == expected_trace_bytes(i)
+            assert hit.load_metrics().extra["slot"] == i
+        assert complete >= 2  # 4x80 randomized ops certainly published some
+        assert len(cache) == complete
+
+    def test_single_process_interleaved_put_get_is_consistent(self, tmp_path):
+        """The same property holds trivially in-process (fast sanity path)."""
+        cache = ResultCache(tmp_path / "cache")
+        rng = random.Random(7)
+        for op in range(120):
+            i = rng.randrange(N_KEYS)
+            key, trace, metrics = payload(i)
+            if rng.random() < 0.5:
+                cache.put(key, trace, metrics, {"slot": i})
+            else:
+                hit = cache.get(key)
+                if hit is not None:
+                    assert hit.trace_path.read_text() == expected_trace_bytes(i)

@@ -339,3 +339,60 @@ class TestCliSweep:
 
     def test_sweep_rejects_bad_jobs(self, capsys):
         assert main(["sweep", "--jobs", "0", "--no-cache"]) == 2
+
+
+class TestObservedRunsAndCache:
+    """Pin the probe/cache interplay: an observed run must bypass cache
+    *reads* (a cached trace carries no probe stream to replay) while still
+    *publishing* its result, so the artifacts and the cache stay in sync and
+    the next unobserved run hits."""
+
+    def test_observed_run_bypasses_read_but_still_publishes(self, tmp_path):
+        from repro.runner import run_observed
+
+        cache = ResultCache(tmp_path / "cache")
+        spec = _spec(seed=21)
+        observed = run_observed(spec, cache, tmp_path / "probes")
+        assert observed.cached is False
+        artifacts = list((tmp_path / "probes").iterdir())
+        assert artifacts, "observed run exported no timeline artifacts"
+        # The observed run published: the plain rerun is a hit with the
+        # exact same bytes.
+        warm = run_cached(spec, cache)
+        assert warm.cached is True
+        assert warm.trace_dump() == observed.trace_dump()
+
+    def test_observed_run_executes_even_when_cache_is_warm(self, tmp_path):
+        from repro.runner import run_observed
+
+        cache = ResultCache(tmp_path / "cache")
+        spec = _spec(seed=22)
+        run_cached(spec, cache)  # warm the key first
+        observed = run_observed(spec, cache, tmp_path / "probes")
+        assert observed.cached is False  # probes force execution
+        assert list((tmp_path / "probes").iterdir())
+        # Purity: re-executing over a warm key reproduced the same bytes.
+        assert observed.trace_dump() == run_cached(spec, cache).trace_dump()
+
+    def test_observed_sweep_publishes_for_next_unobserved_sweep(self, tmp_path):
+        specs = [_spec(seed=s) for s in (31, 32)]
+        probed = sweep(specs, jobs=1, cache=tmp_path / "cache",
+                       probe_dir=tmp_path / "probes")
+        assert probed.cache_hits == 0 and probed.cache_misses == 2
+        # Artifact families are named by cache-key prefix: one per spec.
+        prefixes = {p.name.split(".")[0] for p in (tmp_path / "probes").iterdir()}
+        assert prefixes == {r.key[:16] for r in probed.results}
+        unobserved = sweep(specs, jobs=1, cache=tmp_path / "cache")
+        assert unobserved.cache_hits == 2 and unobserved.cache_misses == 0
+        for ro, ru in zip(probed.results, unobserved.results):
+            assert ro.trace_dump() == ru.trace_dump()
+
+    def test_sweep_cli_probe_dir_then_warm_cache(self, tmp_path, capsys):
+        base = ["sweep", "--nts", "4", "--nb", "100", "--seeds", "3",
+                "--mode", "real", "--cache-dir", str(tmp_path / "cache")]
+        assert main(base + ["--probe-dir", str(tmp_path / "probes")]) == 0
+        assert "0 hits, 1 misses" in capsys.readouterr().out
+        assert list((tmp_path / "probes").iterdir())
+        # The observed sweep published: the unobserved rerun is all hits.
+        assert main(base) == 0
+        assert "1 hits, 0 misses" in capsys.readouterr().out
