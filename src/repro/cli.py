@@ -37,6 +37,16 @@ Commands
 ``client``
     Query a running ``serve`` daemon: health/stats probes, or fan a
     (scheduler x size x seed) grid out over the service.
+``fleet``
+    Sharded service fleet: N ``serve`` daemons (one process and one cache
+    partition each) behind a router that consistent-hashes ``cache_key``
+    across them, with fleet-level admission control, shard mark-down +
+    failover retry, and whole-fleet SIGTERM drain.
+``loadgen``
+    Open- or closed-loop load generator: replay a spec grid (or a recorded
+    request log) against a live ``serve`` daemon or ``fleet`` router and
+    report throughput, latency quantiles, 429 rate, and per-shard balance
+    as a ``repro.loadgen/v1`` JSON document.
 
 Every command is pure offline computation on the bundled machine models.
 """
@@ -430,21 +440,8 @@ def _cmd_serve(args) -> int:
     return 0
 
 
-def _cmd_client(args) -> int:
-    import json
-
-    from .service import ServiceClient, ServiceError, sweep_via_service
-
-    client = ServiceClient(args.host, args.port, max_retries=args.max_retries)
-    if args.health or args.stats:
-        try:
-            doc = client.health() if args.health else client.stats()
-        except (OSError, ServiceError) as exc:
-            print(f"service unreachable: {exc}", file=sys.stderr)
-            return 1
-        print(json.dumps(doc, sort_keys=True, indent=2))
-        return 0 if doc.get("ok", False) or args.health else 1
-
+def _grid_specs(args) -> list:
+    """The (scheduler x nt x seed) grid shared by client and loadgen."""
     sched_spec = {
         name: experiment_scheduler_spec(name, n_cores=args.workers)
         for name in args.schedulers
@@ -466,6 +463,25 @@ def _cmd_client(args) -> int:
                         **kwargs,
                     )
                 )
+    return specs
+
+
+def _cmd_client(args) -> int:
+    import json
+
+    from .service import ServiceClient, ServiceError, sweep_via_service
+
+    client = ServiceClient(args.host, args.port, max_retries=args.max_retries)
+    if args.health or args.stats:
+        try:
+            doc = client.health() if args.health else client.stats()
+        except (OSError, ServiceError) as exc:
+            print(f"service unreachable: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(doc, sort_keys=True, indent=2))
+        return 0 if doc.get("ok", False) or args.health else 1
+
+    specs = _grid_specs(args)
     progress = (lambda msg: print(msg, file=sys.stderr)) if args.verbose else None
     try:
         docs = sweep_via_service(
@@ -521,6 +537,84 @@ def _cmd_client(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    from .service import run_fleet
+
+    if args.shards < 1:
+        print("--shards must be at least 1", file=sys.stderr)
+        return 2
+    cache = None
+    if not args.no_cache:
+        cache = args.cache_dir if args.cache_dir else default_cache_dir()
+    log = None if args.quiet else (lambda msg: print(msg, file=sys.stderr, flush=True))
+    return run_fleet(
+        shards=args.shards,
+        host=args.host,
+        port=args.port,
+        cache_dir=cache,
+        shard_workers=args.pool_workers,
+        max_pending=args.max_pending,
+        max_inflight=args.max_inflight,
+        retries=args.retries,
+        revive_after_s=args.revive_after,
+        default_timeout_s=args.timeout,
+        vnodes=args.vnodes,
+        log_dir=args.log_dir,
+        state_file=args.state_file,
+        log=log,
+    )
+
+
+def _cmd_loadgen(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .service import RunRequest, load_request_log
+    from .service.loadgen import run_loadgen, summarize
+
+    loop = args.loop or ("open" if args.rate is not None else "closed")
+    if loop == "open" and args.rate is None:
+        print("open-loop load needs --rate", file=sys.stderr)
+        return 2
+    if args.requests:
+        try:
+            docs = load_request_log(args.requests)
+        except (OSError, ValueError) as exc:
+            print(f"unusable request log: {exc}", file=sys.stderr)
+            return 2
+    else:
+        docs = [
+            RunRequest(spec=spec, timeout_s=args.timeout).to_document()
+            for spec in _grid_specs(args)
+        ]
+    progress = (lambda msg: print(msg, file=sys.stderr)) if args.verbose else None
+    report = run_loadgen(
+        args.host,
+        args.port,
+        docs,
+        loop=loop,
+        duration_s=args.duration,
+        rate=args.rate,
+        concurrency=args.concurrency,
+        timeout_s=args.timeout,
+        max_retries=args.max_retries,
+        label=args.label,
+        progress=progress,
+    )
+    print(summarize(report))
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, sort_keys=True, indent=2) + "\n")
+        print(f"wrote {path}")
+    if report["failed"]:
+        print(
+            f"{report['failed']}/{report['requests']} requests failed", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from .bench import compare_reports, default_suite, run_suite
     from .bench.harness import BenchReport
@@ -556,6 +650,23 @@ def _package_version() -> str:
         return _importlib_metadata.version("repro")
     except _importlib_metadata.PackageNotFoundError:  # running from a checkout
         return "unknown"
+
+
+def _add_service_grid_args(p: argparse.ArgumentParser) -> None:
+    """The (scheduler x nt x seed) grid flags shared by client and loadgen."""
+    p.add_argument("--algorithm", choices=sorted(_GENERATORS), default="cholesky")
+    p.add_argument("--nts", type=int, nargs="+", default=[4],
+                   help="tiles-per-side grid points")
+    p.add_argument("--nb", type=int, default=200, help="tile order")
+    p.add_argument("--schedulers", nargs="+", choices=("quark", "starpu", "ompss"),
+                   default=["quark"])
+    p.add_argument("--seeds", type=int, nargs="+", default=[0])
+    p.add_argument("--mode", choices=("real", "simulated"), default="real")
+    p.add_argument("--machine", default="magny_cours_48")
+    p.add_argument("--workers", type=int, default=48,
+                   help="cores per scheduler configuration")
+    p.add_argument("--cal-nt", type=int, default=CAL_NT, dest="cal_nt")
+    p.add_argument("--family", default="lognormal")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -729,19 +840,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the health document and exit")
     p.add_argument("--stats", action="store_true",
                    help="print the service counters and exit")
-    p.add_argument("--algorithm", choices=sorted(_GENERATORS), default="cholesky")
-    p.add_argument("--nts", type=int, nargs="+", default=[4],
-                   help="tiles-per-side grid points")
-    p.add_argument("--nb", type=int, default=200, help="tile order")
-    p.add_argument("--schedulers", nargs="+", choices=("quark", "starpu", "ompss"),
-                   default=["quark"])
-    p.add_argument("--seeds", type=int, nargs="+", default=[0])
-    p.add_argument("--mode", choices=("real", "simulated"), default="real")
-    p.add_argument("--machine", default="magny_cours_48")
-    p.add_argument("--workers", type=int, default=48,
-                   help="cores per scheduler configuration")
-    p.add_argument("--cal-nt", type=int, default=CAL_NT, dest="cal_nt")
-    p.add_argument("--family", default="lognormal")
+    _add_service_grid_args(p)
     p.add_argument("--jobs", type=int, default=4,
                    help="concurrent client threads issuing requests")
     p.add_argument("--timeline", action="store_true",
@@ -755,6 +854,77 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="print per-request progress to stderr")
     p.set_defaults(fn=_cmd_client)
+
+    p = sub.add_parser(
+        "fleet",
+        help="sharded service fleet: N serve daemons behind a "
+        "consistent-hash router",
+    )
+    p.add_argument("--shards", type=int, default=2,
+                   help="shard daemons to spawn (one process each)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8430,
+                   help="router listening port (0 binds an ephemeral port)")
+    p.add_argument("--workers", type=int, default=2, dest="pool_workers",
+                   help="simulation threads per shard")
+    p.add_argument("--max-pending", type=int, default=16, dest="max_pending",
+                   help="per-shard admission limit (shard-side 429)")
+    p.add_argument("--max-inflight", type=int, default=32, dest="max_inflight",
+                   help="router-side in-flight cap per shard (fleet-level 429)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="forward retries to the rehash successor when a "
+                   "shard is down")
+    p.add_argument("--revive-after", type=float, default=5.0, dest="revive_after",
+                   help="seconds a marked-down shard stays out of the ring "
+                   "before the next forward probes it")
+    p.add_argument("--vnodes", type=int, default=64,
+                   help="virtual nodes per shard on the hash ring")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="default per-request deadline passed to every shard")
+    p.add_argument("--cache-dir", default=None, dest="cache_dir",
+                   help="cache root; each shard gets its own partition "
+                   "under it (default: $REPRO_CACHE or .repro_cache)")
+    p.add_argument("--no-cache", action="store_true", dest="no_cache",
+                   help="run every shard without an on-disk cache")
+    p.add_argument("--log-dir", default=None, dest="log_dir",
+                   help="write per-shard stderr logs here")
+    p.add_argument("--state-file", default=None, dest="state_file",
+                   help="write the repro.fleet/v1 topology document "
+                   "(router + shard pids/ports) here")
+    p.add_argument("--quiet", action="store_true", help="suppress the fleet log")
+    p.set_defaults(fn=_cmd_fleet)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="open/closed-loop load generator against a serve daemon or fleet",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8430)
+    p.add_argument("--loop", choices=("open", "closed"), default=None,
+                   help="arrival model (default: open when --rate is given, "
+                   "closed otherwise)")
+    p.add_argument("--rate", type=float, default=None,
+                   help="open-loop arrival rate in requests/second")
+    p.add_argument("--concurrency", type=int, default=None,
+                   help="closed-loop worker threads (default 4)")
+    p.add_argument("--duration", type=float, default=10.0,
+                   help="seconds of load to generate")
+    p.add_argument("--requests", default=None,
+                   help="replay a recorded request log (JSON) instead of "
+                   "the spec grid")
+    _add_service_grid_args(p)
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-request deadline in seconds")
+    p.add_argument("--max-retries", type=int, default=5, dest="max_retries",
+                   help="retries for retriable rejections before a request "
+                   "counts as failed")
+    p.add_argument("--label", default="",
+                   help="free-form label recorded in the report")
+    p.add_argument("--out", default=None,
+                   help="write the repro.loadgen/v1 report (JSON) here")
+    p.add_argument("--verbose", action="store_true",
+                   help="print progress to stderr")
+    p.set_defaults(fn=_cmd_loadgen)
 
     p = sub.add_parser(
         "timeline",

@@ -9,7 +9,7 @@ API, the cache layout, and the metrics schema.
 """
 
 from ..core.metrics import METRICS_SCHEMA, RunMetrics
-from .cache import CachedRun, ResultCache, default_cache_dir
+from .cache import CachedRun, ResultCache, default_cache_dir, partition_cache_dir
 from .runner import RunResult, SweepResult, execute_spec, run_cached, run_observed, sweep
 from .spec import CACHE_VERSION, ProgramSpec, RunSpec, SchedulerSpec
 
@@ -19,6 +19,7 @@ __all__ = [
     "CachedRun",
     "ResultCache",
     "default_cache_dir",
+    "partition_cache_dir",
     "RunResult",
     "SweepResult",
     "execute_spec",

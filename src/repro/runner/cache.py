@@ -30,7 +30,7 @@ from ..core.metrics import RunMetrics
 from ..trace.events import Trace
 from ..trace.textio import load_trace, save_trace
 
-__all__ = ["CachedRun", "ResultCache", "default_cache_dir"]
+__all__ = ["CachedRun", "ResultCache", "default_cache_dir", "partition_cache_dir"]
 
 _TRACE = "trace.txt"
 _METRICS = "metrics.json"
@@ -40,6 +40,20 @@ _SPEC = "spec.json"
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE`` or ``.repro_cache`` in the working directory."""
     return Path(os.environ.get("REPRO_CACHE", ".repro_cache"))
+
+
+def partition_cache_dir(root: Union[str, Path], shard_id: Union[int, str]) -> Path:
+    """The cache partition one fleet shard owns: ``<root>/shard-<id>``.
+
+    The fleet router consistent-hashes ``cache_key`` across shards, so each
+    shard only ever sees its own slice of the keyspace; giving every shard a
+    disjoint subdirectory keeps the partitions honest (no cross-shard
+    directory contention, per-shard eviction/inspection stays trivial) while
+    the entries inside remain ordinary :class:`ResultCache` entries that any
+    offline ``repro sweep`` could also have produced.
+    """
+    name = f"shard-{shard_id:02d}" if isinstance(shard_id, int) else f"shard-{shard_id}"
+    return Path(root) / name
 
 
 @dataclass(frozen=True)

@@ -1,8 +1,8 @@
-"""Simulation-as-a-service: the ``repro serve`` daemon and its client.
+"""Simulation-as-a-service: daemon, client, sharded fleet, load generator.
 
 Every other entry point in this repository launches a fresh process per
-prediction; this package keeps one process resident and turns simulation
-into a queryable service (the serving shape the ROADMAP asks for):
+prediction; this package keeps processes resident and turns simulation into
+a queryable, scalable service (the serving shape the ROADMAP asks for):
 
 * :mod:`~repro.service.protocol` — the JSON wire format: request/response
   documents, error codes, and the schema tag;
@@ -13,16 +13,28 @@ into a queryable service (the serving shape the ROADMAP asks for):
   retry-after hint), per-request deadlines wired into the stall-watchdog
   machinery, and graceful draining;
 * :mod:`~repro.service.server` — the stdlib ``http.server`` front end
-  (``repro serve``), including the SIGTERM drain protocol;
+  (``repro serve``), including the SIGTERM drain protocol and the shared
+  :class:`HttpFront` lifecycle the router reuses;
 * :mod:`~repro.service.client` — the stdlib ``http.client`` consumer
   (``repro client``) plus :func:`sweep_via_service` for fanning a sweep
-  out over a running daemon.
+  out over a running daemon;
+* :mod:`~repro.service.ring` — :class:`HashRing`, the stable
+  consistent-hash map from ``cache_key`` to shard;
+* :mod:`~repro.service.router` — :class:`RouterService` /
+  :class:`ReproRouter`, the fleet front end: key-affine forwarding,
+  fleet-level admission control, shard mark-down with bounded retry to the
+  rehash successor, batch fan-out, health/stats aggregation;
+* :mod:`~repro.service.fleet` — the ``repro fleet`` supervisor: N shard
+  daemons (each its own process over its own cache partition) behind one
+  router, with whole-fleet SIGTERM drain;
+* :mod:`~repro.service.loadgen` — the ``repro loadgen`` open/closed-loop
+  load generator and its ``repro.loadgen/v1`` report.
 
 No dependency beyond the standard library is introduced: transport is
 ``http.server`` / ``http.client``, payloads are JSON.
 """
 
-from .client import ServiceClient, sweep_via_service  # noqa: F401
+from .client import ServiceClient, http_json_request, sweep_via_service  # noqa: F401
 from .core import (  # noqa: F401
     ServedResult,
     ServiceClosed,
@@ -30,8 +42,11 @@ from .core import (  # noqa: F401
     ServiceOverloaded,
     ServiceStats,
     ServiceTimeout,
+    ServiceUnavailable,
     SimulationService,
 )
+from .fleet import Fleet, FleetError, ShardProcess, run_fleet  # noqa: F401
+from .loadgen import LOADGEN_SCHEMA, load_request_log, run_loadgen  # noqa: F401
 from .protocol import (  # noqa: F401
     ERROR_CODES,
     SERVICE_SCHEMA,
@@ -39,10 +54,13 @@ from .protocol import (  # noqa: F401
     error_document,
     response_document,
 )
-from .server import ReproServer, serve  # noqa: F401
+from .ring import HashRing, NoLiveShard  # noqa: F401
+from .router import ReproRouter, RouterService, ShardAddress  # noqa: F401
+from .server import HttpFront, ReproServer, serve  # noqa: F401
 
 __all__ = [
     "SERVICE_SCHEMA",
+    "LOADGEN_SCHEMA",
     "ERROR_CODES",
     "RunRequest",
     "error_document",
@@ -54,8 +72,22 @@ __all__ = [
     "ServiceOverloaded",
     "ServiceTimeout",
     "ServiceClosed",
+    "ServiceUnavailable",
+    "HttpFront",
     "ReproServer",
     "serve",
     "ServiceClient",
+    "http_json_request",
     "sweep_via_service",
+    "HashRing",
+    "NoLiveShard",
+    "RouterService",
+    "ReproRouter",
+    "ShardAddress",
+    "Fleet",
+    "FleetError",
+    "ShardProcess",
+    "run_fleet",
+    "load_request_log",
+    "run_loadgen",
 ]

@@ -21,16 +21,61 @@ from http.client import HTTPConnection
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..runner.spec import RunSpec
-from .core import ServiceClosed, ServiceError, ServiceOverloaded, ServiceTimeout
+from .core import (
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceTimeout,
+    ServiceUnavailable,
+)
 from .protocol import SERVICE_SCHEMA, RunRequest
 
-__all__ = ["ServiceClient", "sweep_via_service"]
+__all__ = ["ServiceClient", "http_json_request", "sweep_via_service"]
 
 _ERROR_TYPES = {
     "overloaded": ServiceOverloaded,
     "draining": ServiceClosed,
     "timeout": ServiceTimeout,
+    "unavailable": ServiceUnavailable,
 }
+
+
+def http_json_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[Dict[str, Any]] = None,
+    *,
+    timeout_s: Optional[float] = None,
+) -> Tuple[int, Dict[str, Any]]:
+    """One JSON round trip over a fresh connection: ``(status, document)``.
+
+    The shared transport primitive of :class:`ServiceClient`, the fleet
+    router's shard forwarding, and the load generator.  Raises ``OSError``
+    on transport failure (connect refused, reset, socket timeout) and
+    :class:`ServiceError` when the peer answers with something that is not
+    JSON; interpreting the document is the caller's business.
+    """
+    conn = HTTPConnection(host, port, timeout=timeout_s)
+    try:
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body, sort_keys=True, default=str).encode()
+            headers = {"Content-Type": "application/json"}
+        conn.request(method, path, body=payload, headers=headers)
+        resp = conn.getresponse()
+        raw = resp.read()
+        try:
+            doc = json.loads(raw.decode()) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"non-JSON response (HTTP {resp.status}): {raw[:200]!r}"
+            ) from exc
+        return resp.status, doc
+    finally:
+        conn.close()
 
 
 def _error_from_document(doc: Dict[str, Any]) -> ServiceError:
@@ -86,25 +131,9 @@ class ServiceClient:
         # deadline so the service's own timeout error arrives as a document
         # rather than as a dropped connection.
         sock_timeout = self.connect_timeout_s + (timeout_s if timeout_s else 0.0) + 5.0
-        conn = HTTPConnection(self.host, self.port, timeout=sock_timeout)
-        try:
-            payload = None
-            headers = {}
-            if body is not None:
-                payload = json.dumps(body, sort_keys=True, default=str).encode()
-                headers = {"Content-Type": "application/json"}
-            conn.request(method, path, body=payload, headers=headers)
-            resp = conn.getresponse()
-            raw = resp.read()
-            try:
-                doc = json.loads(raw.decode()) if raw else {}
-            except json.JSONDecodeError as exc:
-                raise ServiceError(
-                    f"non-JSON response (HTTP {resp.status}): {raw[:200]!r}"
-                ) from exc
-            return resp.status, doc
-        finally:
-            conn.close()
+        return http_json_request(
+            self.host, self.port, method, path, body, timeout_s=sock_timeout
+        )
 
     def _call(
         self,

@@ -54,6 +54,7 @@ __all__ = [
     "ServiceOverloaded",
     "ServiceTimeout",
     "ServiceClosed",
+    "ServiceUnavailable",
     "ServiceStats",
     "SimulationService",
 ]
@@ -95,6 +96,17 @@ class ServiceClosed(ServiceError):
     """The service is draining (or closed) and admits no new work."""
 
     code = "draining"
+    retriable = True
+
+
+class ServiceUnavailable(ServiceError):
+    """No shard that could serve the request is reachable (fleet router).
+
+    Retriable: mark-down is temporary — downed shards are re-probed and the
+    ring reroutes around them, so a later attempt typically lands.
+    """
+
+    code = "unavailable"
     retriable = True
 
 

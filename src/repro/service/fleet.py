@@ -1,0 +1,380 @@
+"""The fleet supervisor: N shard daemons behind one router (``repro fleet``).
+
+PARSIR's one-runner-per-processor layout, applied to serving: each shard is
+a full ``repro serve`` daemon in its own *process* (its own GIL, worker
+pool, admission control, and :func:`~repro.runner.cache.partition_cache_dir`
+cache partition), and the router in the supervisor process consistent-hashes
+``cache_key`` across them.  Because shards are reached over the same
+HTTP/JSON wire protocol clients already speak, nothing here cares that they
+happen to be local children — pointing a :class:`ShardAddress` at another
+host is the multi-host story and requires no protocol change.
+
+Startup choreography::
+
+    fleet.start()
+      spawn shard i:  repro serve --port 0 --cache-dir <cache>/shard-0i
+        │   stdout → "listening on 127.0.0.1:<port>"  (parsed, bounded wait)
+        │   stderr → <log-dir>/shard-0i.log           (kept for post-mortems)
+      build RouterService over the announced addresses
+      bind the router socket, write the state file, print the fleet's own
+      "listening on <host>:<port>" readiness line to stdout
+
+The state file (``--state-file``) records the router address and every
+shard's pid/port as JSON — the CI fleet lane uses it to kill a specific
+shard and to health-poll without parsing logs.
+
+Shutdown choreography (SIGTERM → exit 0): the router drains first (new work
+refused with a retriable 503, in-flight forwards finish), then each live
+shard receives SIGTERM and runs its own drain; the supervisor waits for
+them all and exits 0 only if every shard that was still alive terminated
+cleanly.  A shard that died *earlier* (crash, kill — the router has already
+marked it down and rerouted its keys) is reported but does not dirty the
+exit status: losing a shard is a degraded state the fleet is designed to
+survive, not a supervisor failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Dict, List, Optional, Union
+
+from ..runner.cache import partition_cache_dir
+from .router import ReproRouter, RouterService, ShardAddress
+
+__all__ = ["FleetError", "ShardProcess", "Fleet", "run_fleet"]
+
+_READY_PREFIX = "listening on "
+
+
+class FleetError(RuntimeError):
+    """Fleet startup failed (a shard died or never announced readiness)."""
+
+
+@dataclass
+class ShardProcess:
+    """One spawned shard daemon and where it announced itself."""
+
+    shard_id: str
+    process: subprocess.Popen
+    host: str
+    port: int
+    log_path: Optional[Path]
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    def address(self) -> ShardAddress:
+        return ShardAddress(self.shard_id, self.host, self.port)
+
+
+def _parse_ready_line(line: str) -> Optional[tuple]:
+    """``listening on <host>:<port>`` → (host, port), else ``None``."""
+    line = line.strip()
+    if not line.startswith(_READY_PREFIX):
+        return None
+    host, _, port = line[len(_READY_PREFIX) :].rpartition(":")
+    if not host or not port.isdigit():
+        return None
+    return host, int(port)
+
+
+def _read_ready(stdout: IO[str], timeout_s: float) -> Optional[tuple]:
+    """Read lines until a readiness line appears, bounded by ``timeout_s``.
+
+    ``readline`` on a pipe has no timeout of its own, so the read runs on a
+    helper thread and the caller only waits ``timeout_s`` for it; a shard
+    that wedges before binding its socket fails startup instead of hanging
+    the supervisor.
+    """
+    found: List[tuple] = []
+
+    def scan() -> None:
+        for line in stdout:
+            parsed = _parse_ready_line(line)
+            if parsed is not None:
+                found.append(parsed)
+                return
+
+    thread = threading.Thread(target=scan, name="repro-fleet-ready", daemon=True)
+    thread.start()
+    thread.join(timeout_s)
+    return found[0] if found else None
+
+
+class Fleet:
+    """Spawn shards, route over them, drain everything on SIGTERM."""
+
+    def __init__(
+        self,
+        *,
+        shards: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 8430,
+        cache_dir: Union[str, Path, None] = None,
+        shard_workers: int = 2,
+        max_pending: int = 16,
+        max_inflight: int = 32,
+        retries: int = 2,
+        revive_after_s: float = 5.0,
+        default_timeout_s: Optional[float] = None,
+        vnodes: int = 64,
+        log_dir: Union[str, Path, None] = None,
+        state_file: Union[str, Path, None] = None,
+        ready_timeout_s: float = 30.0,
+        stop_timeout_s: float = 30.0,
+        log=None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("a fleet needs at least one shard")
+        self.n_shards = shards
+        self.host = host
+        self.port = port
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.shard_workers = shard_workers
+        self.max_pending = max_pending
+        self.max_inflight = max_inflight
+        self.retries = retries
+        self.revive_after_s = revive_after_s
+        self.default_timeout_s = default_timeout_s
+        self.vnodes = vnodes
+        self.log_dir = Path(log_dir) if log_dir is not None else None
+        self.state_file = Path(state_file) if state_file is not None else None
+        self.ready_timeout_s = ready_timeout_s
+        self.stop_timeout_s = stop_timeout_s
+        self._log = log
+        self.shard_procs: List[ShardProcess] = []
+        self.router: Optional[RouterService] = None
+        self.front: Optional[ReproRouter] = None
+        self._log_handles: List[IO[str]] = []
+
+    def _say(self, msg: str) -> None:
+        if self._log is not None:
+            self._log(msg)
+
+    # -- spawning ----------------------------------------------------------
+    def _shard_command(self, shard_id: str) -> List[str]:
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            self.host,
+            "--port",
+            "0",
+            "--workers",
+            str(self.shard_workers),
+            "--max-pending",
+            str(self.max_pending),
+        ]
+        if self.default_timeout_s is not None:
+            cmd += ["--timeout", str(self.default_timeout_s)]
+        if self.cache_dir is not None:
+            cmd += ["--cache-dir", str(partition_cache_dir(self.cache_dir, int(shard_id)))]
+        else:
+            cmd += ["--no-cache"]
+        return cmd
+
+    def _spawn_shard(self, shard_id: str) -> ShardProcess:
+        log_path = None
+        if self.log_dir is not None:
+            self.log_dir.mkdir(parents=True, exist_ok=True)
+            log_path = self.log_dir / f"shard-{shard_id}.log"
+            stderr: Union[IO[str], int] = open(log_path, "w")
+            self._log_handles.append(stderr)
+        else:
+            stderr = subprocess.DEVNULL
+        env = dict(os.environ)
+        # Children must import this very checkout even when `repro` is not
+        # installed into the interpreter (tests, bare PYTHONPATH=src runs).
+        src_dir = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = src_dir + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            self._shard_command(shard_id),
+            stdout=subprocess.PIPE,
+            stderr=stderr,
+            text=True,
+            env=env,
+        )
+        ready = _read_ready(process.stdout, self.ready_timeout_s)
+        if ready is None:
+            process.kill()
+            where = f"; see {log_path}" if log_path is not None else ""
+            raise FleetError(
+                f"shard {shard_id} (pid {process.pid}) never announced readiness "
+                f"within {self.ready_timeout_s}s{where}"
+            )
+        host, port = ready
+        return ShardProcess(shard_id, process, host, port, log_path)
+
+    def start(self) -> "Fleet":
+        """Spawn every shard, build the router, bind the front-end socket."""
+        try:
+            for i in range(self.n_shards):
+                shard = self._spawn_shard(str(i))
+                self.shard_procs.append(shard)
+                self._say(
+                    f"shard {shard.shard_id} ready on {shard.host}:{shard.port} "
+                    f"(pid {shard.pid})"
+                )
+        except (FleetError, OSError):
+            self.stop_shards()
+            raise
+        self.router = RouterService(
+            [s.address() for s in self.shard_procs],
+            vnodes=self.vnodes,
+            max_inflight=self.max_inflight,
+            retries=self.retries,
+            revive_after_s=self.revive_after_s,
+            default_timeout_s=self.default_timeout_s,
+            log=self._log,
+        )
+        self.front = ReproRouter(self.router, self.host, self.port, log=self._log)
+        self.write_state()
+        return self
+
+    def write_state(self) -> Optional[Path]:
+        """Publish the fleet topology (router address, shard pids/ports)."""
+        if self.state_file is None or self.front is None:
+            return None
+        host, port = self.front.address
+        doc = {
+            "schema": "repro.fleet/v1",
+            "router": {"host": host, "port": port, "pid": os.getpid()},
+            "shards": [
+                {"id": s.shard_id, "pid": s.pid, "host": s.host, "port": s.port,
+                 "log": str(s.log_path) if s.log_path else None}
+                for s in self.shard_procs
+            ],
+        }
+        self.state_file.parent.mkdir(parents=True, exist_ok=True)
+        self.state_file.write_text(json.dumps(doc, sort_keys=True, indent=2) + "\n")
+        return self.state_file
+
+    # -- shutdown ----------------------------------------------------------
+    def stop_shards(self) -> int:
+        """SIGTERM every live shard, wait for the drains; non-zero = dirty.
+
+        Returns the number of shards that were alive at drain time but did
+        not exit cleanly (0 is the happy path).  Shards that already died
+        earlier are logged and skipped — the router has long rerouted their
+        keys, and their demise is a survived fault, not a shutdown failure.
+        """
+        dirty = 0
+        live: List[ShardProcess] = []
+        for shard in self.shard_procs:
+            code = shard.process.poll()
+            if code is not None:
+                self._say(
+                    f"shard {shard.shard_id} (pid {shard.pid}) already exited "
+                    f"with {code} — keys were rerouted"
+                )
+                continue
+            try:
+                shard.process.send_signal(signal.SIGTERM)
+            except OSError:
+                continue
+            live.append(shard)
+        deadline = time.monotonic() + self.stop_timeout_s
+        for shard in live:
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                code = shard.process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                self._say(f"shard {shard.shard_id} ignored SIGTERM; killing")
+                shard.process.kill()
+                shard.process.wait(timeout=10)
+                dirty += 1
+                continue
+            if code != 0:
+                self._say(f"shard {shard.shard_id} exited with {code} during drain")
+                dirty += 1
+            else:
+                self._say(f"shard {shard.shard_id} drained and exited 0")
+        for handle in self._log_handles:
+            try:
+                handle.close()
+            except OSError:
+                pass
+        self._log_handles.clear()
+        for shard in self.shard_procs:
+            if shard.process.stdout is not None:
+                shard.process.stdout.close()
+        return dirty
+
+    def run(self) -> int:
+        """``repro fleet``: serve until a drain signal, then stop the shards.
+
+        Returns the process exit status: 0 after a clean whole-fleet drain.
+        """
+        self.start()
+        assert self.front is not None
+        self.front.install_signal_handlers()
+        host, port = self.front.address
+        print(f"listening on {host}:{port}", flush=True)
+        self._say(
+            f"repro fleet: router on http://{host}:{port} over "
+            f"{len(self.shard_procs)} shard(s) "
+            f"{[f'{s.host}:{s.port}' for s in self.shard_procs]} "
+            "— SIGTERM drains the whole fleet"
+        )
+        self.front.serve_forever()  # returns once drained + socket closed
+        dirty = self.stop_shards()
+        self._say(
+            "repro fleet: drained and stopped"
+            if dirty == 0
+            else f"repro fleet: stopped, {dirty} shard(s) exited dirty"
+        )
+        return 0 if dirty == 0 else 1
+
+    # -- test/embedding conveniences --------------------------------------
+    def addresses(self) -> Dict[str, ShardAddress]:
+        return {s.shard_id: s.address() for s in self.shard_procs}
+
+
+def run_fleet(
+    *,
+    shards: int = 2,
+    host: str = "127.0.0.1",
+    port: int = 8430,
+    cache_dir: Union[str, Path, None] = None,
+    shard_workers: int = 2,
+    max_pending: int = 16,
+    max_inflight: int = 32,
+    retries: int = 2,
+    revive_after_s: float = 5.0,
+    default_timeout_s: Optional[float] = None,
+    vnodes: int = 64,
+    log_dir: Union[str, Path, None] = None,
+    state_file: Union[str, Path, None] = None,
+    log=print,
+) -> int:
+    """Body of ``repro fleet``: build, serve, drain; returns the exit code."""
+    fleet = Fleet(
+        shards=shards,
+        host=host,
+        port=port,
+        cache_dir=cache_dir,
+        shard_workers=shard_workers,
+        max_pending=max_pending,
+        max_inflight=max_inflight,
+        retries=retries,
+        revive_after_s=revive_after_s,
+        default_timeout_s=default_timeout_s,
+        vnodes=vnodes,
+        log_dir=log_dir,
+        state_file=state_file,
+        log=log,
+    )
+    return fleet.run()

@@ -1,0 +1,373 @@
+"""Load generator for a live service or fleet (``repro loadgen``).
+
+Replays a trace of request documents — a spec grid built on the command
+line, or a recorded request log — against one HTTP endpoint (a ``repro
+serve`` daemon or a ``repro fleet`` router; both speak the same protocol)
+and measures what the *client* experiences: throughput, latency quantiles,
+backpressure rate, and (against a router) how evenly the keyspace spread
+across the shards.
+
+Two driving disciplines, the classic pair:
+
+* **closed loop** (``concurrency`` workers, back-to-back): each worker
+  issues its next request the moment the previous one finishes — load
+  self-limits to what the service can absorb, which measures *capacity*.
+* **open loop** (``rate`` requests/second): arrivals follow a fixed
+  schedule regardless of completions — the honest way to measure latency
+  under a target load, since a slow service cannot slow the arrival of new
+  work.  When the service falls behind, the schedule lag is reported
+  (``max_schedule_lag_s``) rather than silently absorbed, so coordinated
+  omission is visible in the report.
+
+Each request is retried on *retriable* rejections (429/503/504) with the
+server's own ``Retry-After`` hint, exactly like :class:`ServiceClient`;
+every 429 observation is still counted, so the report separates "the
+service pushed back and the client rode it out" (``observed_429``) from
+"the request ultimately failed" (``failed``).  The JSON report is tagged
+``repro.loadgen/v1`` (schema documented in ``docs/API.md``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import threading
+import time
+from collections import Counter
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .client import http_json_request
+from .protocol import ERROR_CODES, SERVICE_SCHEMA, RunRequest
+
+__all__ = ["LOADGEN_SCHEMA", "load_request_log", "percentile", "run_loadgen", "summarize"]
+
+#: Schema tag of the loadgen report document.
+LOADGEN_SCHEMA = "repro.loadgen/v1"
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 1]) of pre-sorted values."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def load_request_log(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read a recorded request log: a JSON list of request documents.
+
+    Accepts three shapes: a bare list of ``repro.service/v1`` request
+    documents, ``{"requests": [...]}`` (the ``/v1/batch`` body), or a
+    ``repro.client_sweep/v1`` responses file (``repro client
+    --metrics-out``) whose per-response ``spec`` entries are replayed.
+    Every document is validated before the run starts — a malformed trace
+    fails fast, not ten seconds into the measurement.
+    """
+    import json
+
+    doc = json.loads(Path(path).read_text())
+    if isinstance(doc, dict) and doc.get("schema") == "repro.client_sweep/v1":
+        raw = [{"schema": SERVICE_SCHEMA, "spec": r["spec"]} for r in doc["responses"]]
+    elif isinstance(doc, dict) and isinstance(doc.get("requests"), list):
+        raw = doc["requests"]
+    elif isinstance(doc, list):
+        raw = doc
+    else:
+        raise ValueError(
+            f"{path}: expected a list of request documents, a batch body, "
+            "or a repro.client_sweep/v1 file"
+        )
+    if not raw:
+        raise ValueError(f"{path}: the request log is empty")
+    return [RunRequest.from_document(item).to_document() for item in raw]
+
+
+class _Recorder:
+    """Thread-safe accumulation of per-request outcomes."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.latencies: List[float] = []
+        self.statuses: Counter = Counter()
+        self.observed_429 = 0
+        self.retries = 0
+        self.transport_errors = 0
+        self.max_schedule_lag_s = 0.0
+
+    def record(
+        self,
+        latency_s: float,
+        outcome: str,
+        *,
+        n_429: int,
+        retries: int,
+        transport_errors: int,
+        schedule_lag_s: float = 0.0,
+    ) -> None:
+        with self.lock:
+            self.latencies.append(latency_s)
+            self.statuses[outcome] += 1
+            self.observed_429 += n_429
+            self.retries += retries
+            self.transport_errors += transport_errors
+            self.max_schedule_lag_s = max(self.max_schedule_lag_s, schedule_lag_s)
+
+
+def _issue_one(
+    host: str,
+    port: int,
+    doc: Dict[str, Any],
+    *,
+    timeout_s: Optional[float],
+    max_retries: int,
+    backoff_s: float,
+    sleep: Callable[[float], None],
+) -> Tuple[float, str, int, int, int]:
+    """One logical request with retriable back-off.
+
+    Returns ``(latency_s, outcome, n_429, retries, transport_errors)`` where
+    ``outcome`` is ``"ok"`` or the final error code.  Transport failures are
+    retried like 503s: against a fleet they mean a shard died mid-failover
+    or the router is restarting, both of which heal.
+    """
+    sock_timeout = 10.0 + (timeout_s if timeout_s else 0.0) + 5.0
+    t0 = time.perf_counter()
+    n_429 = retries = transport_errors = 0
+    attempt = 0
+    while True:
+        outcome = "failed"
+        retry_after: Optional[float] = None
+        retriable = False
+        try:
+            status, out = http_json_request(
+                host, port, "POST", "/v1/run", doc, timeout_s=sock_timeout
+            )
+            if status < 400 and out.get("ok", False):
+                return time.perf_counter() - t0, "ok", n_429, retries, transport_errors
+            outcome = out.get("error", "failed")
+            if status == 429:
+                n_429 += 1
+            retriable = bool(ERROR_CODES.get(outcome, {}).get("retriable", False))
+            retry_after = out.get("retry_after_s")
+        except OSError:
+            transport_errors += 1
+            outcome = "transport"
+            retriable = True
+        if not retriable or attempt >= max_retries:
+            return time.perf_counter() - t0, outcome, n_429, retries, transport_errors
+        pause = retry_after if retry_after is not None else min(2.0, backoff_s * (2**attempt))
+        sleep(max(0.0, float(pause)))
+        retries += 1
+        attempt += 1
+
+
+def _per_shard_delta(before: Any, after: Any) -> Optional[Dict[str, Any]]:
+    """Router-side routed-count delta per shard → balance report, or None."""
+    if not (isinstance(before, dict) and isinstance(after, dict)):
+        return None
+    b, a = before.get("per_shard"), after.get("per_shard")
+    if not (isinstance(b, dict) and isinstance(a, dict)):
+        return None  # a plain serve daemon: no shard breakdown to report
+    deltas = {
+        sid: int(a[sid].get("routed", 0)) - int(b.get(sid, {}).get("routed", 0))
+        for sid in a
+    }
+    total = sum(deltas.values())
+    return {
+        sid: {
+            "requests": n,
+            "fraction": round(n / total, 4) if total else 0.0,
+        }
+        for sid, n in sorted(deltas.items())
+    }
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    docs: Sequence[Dict[str, Any]],
+    *,
+    loop: str = "open",
+    duration_s: float = 10.0,
+    rate: Optional[float] = None,
+    concurrency: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    max_retries: int = 5,
+    backoff_s: float = 0.05,
+    label: str = "",
+    sleep: Callable[[float], None] = time.sleep,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Drive the endpoint for ``duration_s``; return the report document.
+
+    ``docs`` is the request trace, cycled round-robin.  ``loop="open"``
+    needs ``rate`` (requests/second; ``concurrency`` then sizes the issuing
+    pool, default enough to cover rate × a 2 s stall).  ``loop="closed"``
+    needs ``concurrency`` (default 4) and ignores ``rate``.
+    """
+    from concurrent.futures import ThreadPoolExecutor, wait
+
+    if not docs:
+        raise ValueError("loadgen needs at least one request document")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    if loop not in ("open", "closed"):
+        raise ValueError(f"unknown loop discipline {loop!r}; choose open/closed")
+    if loop == "open" and (rate is None or rate <= 0):
+        raise ValueError("open-loop load needs a positive rate")
+    if concurrency is not None and concurrency < 1:
+        raise ValueError("concurrency must be at least 1")
+    if loop == "open":
+        workers = concurrency if concurrency is not None else min(128, max(8, int(rate * 2)))
+    else:
+        workers = concurrency if concurrency is not None else 4
+
+    recorder = _Recorder()
+    _, stats_before = _try_stats(host, port)
+    trace = itertools.cycle(docs)
+    t_start = time.perf_counter()
+    t_end = t_start + duration_s
+
+    if loop == "open":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = []
+            i = 0
+            while True:
+                scheduled = t_start + i / rate
+                now = time.perf_counter()
+                if scheduled >= t_end:
+                    break
+                if scheduled > now:
+                    sleep(scheduled - now)
+                lag = max(0.0, time.perf_counter() - scheduled)
+                futures.append(
+                    pool.submit(_issue_scheduled, host, port, next(trace), lag, recorder,
+                                timeout_s, max_retries, backoff_s, sleep)
+                )
+                i += 1
+                if progress is not None and i % max(1, int(rate)) == 0:
+                    progress(f"loadgen: {i} issued, {len(recorder.latencies)} done")
+            wait(futures)
+    else:
+
+        def closed_worker() -> None:
+            while time.perf_counter() < t_end:
+                with recorder.lock:
+                    doc = next(trace)
+                result = _issue_one(
+                    host, port, doc, timeout_s=timeout_s,
+                    max_retries=max_retries, backoff_s=backoff_s, sleep=sleep,
+                )
+                recorder.record(
+                    result[0], result[1], n_429=result[2],
+                    retries=result[3], transport_errors=result[4],
+                )
+
+        threads = [
+            threading.Thread(target=closed_worker, name=f"repro-loadgen-{w}")
+            for w in range(workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    wall_s = time.perf_counter() - t_start
+    _, stats_after = _try_stats(host, port)
+
+    latencies = sorted(recorder.latencies)
+    n = len(latencies)
+    n_ok = recorder.statuses.get("ok", 0)
+    n_failed = n - n_ok
+    report: Dict[str, Any] = {
+        "schema": LOADGEN_SCHEMA,
+        "label": label,
+        "target": f"{host}:{port}",
+        "loop": loop,
+        "rate_target": rate,
+        "concurrency": workers,
+        "duration_s": round(wall_s, 3),
+        "trace_size": len(docs),
+        "requests": n,
+        "ok": n_ok,
+        "failed": n_failed,
+        "error_rate": round(n_failed / n, 6) if n else None,
+        "status_counts": dict(sorted(recorder.statuses.items())),
+        "observed_429": recorder.observed_429,
+        "rate_429": round(recorder.observed_429 / n, 6) if n else None,
+        "retries": recorder.retries,
+        "transport_errors": recorder.transport_errors,
+        "achieved_rps": round(n / wall_s, 3) if wall_s > 0 else None,
+        "max_schedule_lag_s": round(recorder.max_schedule_lag_s, 6),
+        "latency_s": None
+        if not latencies
+        else {
+            "mean": round(sum(latencies) / n, 6),
+            "p50": round(percentile(latencies, 0.50), 6),
+            "p95": round(percentile(latencies, 0.95), 6),
+            "p99": round(percentile(latencies, 0.99), 6),
+            "max": round(latencies[-1], 6),
+        },
+        "per_shard": _per_shard_delta(stats_before, stats_after),
+    }
+    return report
+
+
+def _issue_scheduled(
+    host: str,
+    port: int,
+    doc: Dict[str, Any],
+    schedule_lag_s: float,
+    recorder: _Recorder,
+    timeout_s: Optional[float],
+    max_retries: int,
+    backoff_s: float,
+    sleep: Callable[[float], None],
+) -> None:
+    result = _issue_one(
+        host, port, doc, timeout_s=timeout_s,
+        max_retries=max_retries, backoff_s=backoff_s, sleep=sleep,
+    )
+    recorder.record(
+        result[0], result[1], n_429=result[2], retries=result[3],
+        transport_errors=result[4], schedule_lag_s=schedule_lag_s,
+    )
+
+
+def _try_stats(host: str, port: int) -> Tuple[int, Optional[Dict[str, Any]]]:
+    """Best-effort ``/v1/stats`` snapshot (None when unreachable)."""
+    try:
+        return http_json_request(host, port, "GET", "/v1/stats", timeout_s=10.0)
+    except Exception:
+        return 0, None
+
+
+def summarize(report: Dict[str, Any]) -> str:
+    """Human one-screen rendering of a loadgen report."""
+    lines = [
+        f"loadgen [{report['loop']}] against {report['target']}"
+        + (f" rate={report['rate_target']}/s" if report.get("rate_target") else "")
+        + f" concurrency={report['concurrency']} duration={report['duration_s']}s",
+        f"  requests {report['requests']}  ok {report['ok']}  "
+        f"failed {report['failed']}  achieved {report['achieved_rps']}/s",
+        f"  backpressure: {report['observed_429']} x 429 "
+        f"({report['rate_429']}), {report['retries']} retries, "
+        f"{report['transport_errors']} transport errors",
+    ]
+    lat = report.get("latency_s")
+    if lat:
+        lines.append(
+            f"  latency p50 {lat['p50'] * 1000:.1f}ms  p95 {lat['p95'] * 1000:.1f}ms  "
+            f"p99 {lat['p99'] * 1000:.1f}ms  max {lat['max'] * 1000:.1f}ms"
+        )
+    shards = report.get("per_shard")
+    if shards:
+        split = "  ".join(
+            f"shard {sid}: {v['requests']} ({v['fraction'] * 100:.1f}%)"
+            for sid, v in shards.items()
+        )
+        lines.append(f"  balance: {split}")
+    return "\n".join(lines)

@@ -54,21 +54,27 @@ __all__ = [
 SERVICE_SCHEMA = "repro.service/v1"
 
 #: Error codes a response may carry; ``retriable`` drives client back-off.
+#: ``unavailable`` is emitted by the fleet router when every shard that could
+#: own a key is marked down — retriable, because shards revive and mark-down
+#: is re-probed.
 ERROR_CODES = {
     "bad_request": {"retriable": False},
     "overloaded": {"retriable": True},
     "draining": {"retriable": True},
     "timeout": {"retriable": True},
+    "unavailable": {"retriable": True},
     "failed": {"retriable": False},
 }
 
 #: HTTP status the bundled server uses for each error code (429-style
-#: backpressure, 503 while draining, 504 for an expired deadline).
+#: backpressure, 503 while draining or no shard is reachable, 504 for an
+#: expired deadline).
 HTTP_STATUS = {
     "bad_request": 400,
     "overloaded": 429,
     "draining": 503,
     "timeout": 504,
+    "unavailable": 503,
     "failed": 500,
 }
 

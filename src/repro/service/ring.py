@@ -1,0 +1,114 @@
+"""Consistent hashing: the key→shard map of the ``repro fleet`` router.
+
+A :class:`HashRing` places ``vnodes`` virtual points per shard on a 64-bit
+ring (BLAKE2b of ``"<shard>#<replica>"`` — a *stable* hash, deliberately not
+Python's randomized ``hash()``) and routes a key to the first point at or
+clockwise after the key's own hash.  Two properties fall out of this
+construction and are what the fleet relies on:
+
+* **Determinism.**  The ring is a pure function of its membership: any two
+  processes that agree on the shard ids agree on every routing decision, so
+  the router can be restarted (or rebuilt on another host) without remapping
+  anything.
+* **Minimal disruption.**  Excluding a shard (mark-down, or removing it
+  outright) only remaps keys that shard owned — every other key's walk never
+  encounters the excluded points.  Adding a shard symmetrically steals only
+  ~1/N of the keyspace.  ``route(key, exclude={dead})`` is therefore exactly
+  the "rehashed successor" a router needs for failover retry: identical to
+  the normal answer unless the dead shard owned the key.
+
+Virtual nodes keep the partition sizes balanced: with ``vnodes=64`` the
+per-shard share of the keyspace concentrates near 1/N (a handful of percent
+of skew) instead of the wild variance of one point per shard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple, Union
+
+__all__ = ["HashRing", "NoLiveShard"]
+
+
+class NoLiveShard(LookupError):
+    """Every shard on the ring is excluded (or the ring is empty)."""
+
+
+def _point(label: str) -> int:
+    """Stable 64-bit ring position of a label."""
+    return int.from_bytes(hashlib.blake2b(label.encode(), digest_size=8).digest(), "big")
+
+
+class HashRing:
+    """A stable consistent-hash ring with virtual nodes.
+
+    Shard ids are opaque strings; keys are arbitrary strings (the fleet uses
+    ``RunSpec.cache_key()``).  Membership edits rebuild the point list — they
+    are rare control-plane events; :meth:`route` is the hot path and is a
+    binary search plus a short clockwise walk.
+    """
+
+    def __init__(self, shards: Iterable[str] = (), *, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be at least 1")
+        self.vnodes = vnodes
+        self._shards: Set[str] = set()
+        self._points: List[Tuple[int, str]] = []
+        for shard in shards:
+            self.add(shard)
+
+    # -- membership --------------------------------------------------------
+    def add(self, shard: str) -> None:
+        if not shard:
+            raise ValueError("shard id must be a non-empty string")
+        if shard in self._shards:
+            raise ValueError(f"shard {shard!r} is already on the ring")
+        self._shards.add(shard)
+        self._points.extend((_point(f"{shard}#{i}"), shard) for i in range(self.vnodes))
+        self._points.sort()
+
+    def remove(self, shard: str) -> None:
+        if shard not in self._shards:
+            raise ValueError(f"shard {shard!r} is not on the ring")
+        self._shards.remove(shard)
+        self._points = [p for p in self._points if p[1] != shard]
+
+    @property
+    def shards(self) -> FrozenSet[str]:
+        return frozenset(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self._shards
+
+    # -- routing -----------------------------------------------------------
+    def route(
+        self, key: str, *, exclude: Union[Set[str], FrozenSet[str], Sequence[str]] = ()
+    ) -> str:
+        """The shard owning ``key``, skipping any ``exclude``\\ d shards.
+
+        With an empty ``exclude`` this is the key's home shard; with the home
+        shard excluded it is the rehash successor — the shard that inherits
+        the key under mark-down.  Raises :class:`NoLiveShard` when no
+        eligible shard remains.
+        """
+        excluded = set(exclude)
+        if not self._shards - excluded:
+            raise NoLiveShard(f"no live shard for key {key!r}")
+        points = self._points
+        idx = bisect_right(points, (_point(key), ""))
+        for offset in range(len(points)):
+            shard = points[(idx + offset) % len(points)][1]
+            if shard not in excluded:
+                return shard
+        raise NoLiveShard(f"no live shard for key {key!r}")  # pragma: no cover
+
+    def spread(self, keys: Iterable[str]) -> dict:
+        """Shard → key-count histogram (balance diagnostics, tests)."""
+        counts: dict = {shard: 0 for shard in self._shards}
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts

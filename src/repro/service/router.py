@@ -1,0 +1,627 @@
+"""The fleet front end: consistent-hash routing over N shard daemons.
+
+:class:`RouterService` owns a :class:`~repro.service.ring.HashRing` over the
+shard ids and forwards the ``repro.service/v1`` documents it receives to the
+shard that owns each request's ``cache_key`` — so identical specs always
+land on the same shard and the shard's single-flight coalescing keeps
+working fleet-wide.  :class:`ReproRouter` is the same stdlib HTTP front end
+``repro serve`` uses, pointed at a router instead of a local service; a
+router is therefore indistinguishable from a big ``repro serve`` daemon to
+any existing client.
+
+Responsibilities beyond plain forwarding:
+
+* **Fleet admission control.**  The router tracks its own in-flight
+  forwards per shard and rejects with 429 + ``Retry-After`` *before*
+  opening an upstream connection once a shard has ``max_inflight`` requests
+  outstanding.  The hint propagates from the shards themselves: every 429 a
+  shard returns updates that shard's last hint, and a router-side rejection
+  quotes the largest live hint (the hottest shard) so clients back off far
+  enough for the whole fleet, not just one process.
+* **Mark-down + bounded retry.**  A transport failure (refused, reset,
+  closed mid-request) marks the shard down and re-routes the request to the
+  ring's rehash successor — at most ``retries`` extra hops.  Runs are
+  content-addressed and cache publication is atomic, so replaying a
+  possibly-half-executed request on another shard is always safe.  Downed
+  shards re-enter routing after ``revive_after_s``: the next forward is the
+  probe, and a failure simply re-marks them.
+* **Fan-out endpoints.**  ``/v1/batch`` splits by owning shard, forwards
+  the per-shard sub-batches concurrently, and reassembles responses in
+  request order; ``/v1/health`` and ``/v1/stats`` aggregate every shard
+  plus the router's own counters.
+* **Drain choreography.**  ``drain()`` refuses new work (retriable 503)
+  and waits for in-flight forwards; the fleet supervisor then terminates
+  the shards, so a SIGTERM to the fleet empties the whole pipeline before
+  any process exits.
+
+A shard timeout (socket deadline passed while the shard computes) is *not*
+mark-down: the shard is alive, the run is still executing and will publish
+to its cache, so the client gets the same retriable ``timeout`` document a
+single daemon would produce.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .client import http_json_request
+from .protocol import HTTP_STATUS, SERVICE_SCHEMA, RunRequest, error_document
+from .ring import HashRing, NoLiveShard
+from .server import HttpFront, JsonHttpHandler
+
+__all__ = ["ShardAddress", "RouterService", "ReproRouter"]
+
+#: Counters summed across shard stats documents into the fleet totals.
+_SUMMED_SHARD_COUNTERS = (
+    "requests",
+    "executed",
+    "coalesced",
+    "cache_hits",
+    "rejected_overload",
+    "rejected_closed",
+    "timeouts",
+    "failures",
+    "in_flight",
+)
+
+
+@dataclass(frozen=True)
+class ShardAddress:
+    """Where one shard daemon listens."""
+
+    shard_id: str
+    host: str
+    port: int
+
+
+class _Shard:
+    """Router-side view of one shard: address, health, and load accounting."""
+
+    __slots__ = (
+        "address",
+        "down_since",
+        "inflight",
+        "routed",
+        "transport_errors",
+        "last_retry_hint",
+    )
+
+    def __init__(self, address: ShardAddress) -> None:
+        self.address = address
+        self.down_since: Optional[float] = None
+        self.inflight = 0
+        self.routed = 0
+        self.transport_errors = 0
+        self.last_retry_hint: Optional[float] = None
+
+
+@dataclass
+class RouterStats:
+    """Monotonic router-side counters (the shards keep their own)."""
+
+    requests: int = 0
+    routed: int = 0
+    retried: int = 0
+    rejected_inflight: int = 0
+    rejected_draining: int = 0
+    unavailable: int = 0
+    marked_down: int = 0
+    revived: int = 0
+    batches: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc = dict(self.__dict__)
+        doc.pop("extra")
+        return doc
+
+
+class RouterService:
+    """Consistent-hash request router over a set of shard daemons.
+
+    ``shards`` fixes the ring membership for the router's lifetime (mark
+    down/revive changes *eligibility*, never the ring positions, so a
+    revived shard gets exactly its old keys back).  The object is
+    transport-agnostic like :class:`SimulationService`: the HTTP layer calls
+    :meth:`handle_run` / :meth:`handle_batch` / the document getters, and
+    tests can drive it directly against in-process shard servers.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[ShardAddress],
+        *,
+        vnodes: int = 64,
+        max_inflight: int = 32,
+        retries: int = 2,
+        revive_after_s: float = 5.0,
+        connect_timeout_s: float = 10.0,
+        default_timeout_s: Optional[float] = None,
+        log=None,
+    ) -> None:
+        if not shards:
+            raise ValueError("a fleet needs at least one shard")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        ids = [s.shard_id for s in shards]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate shard ids in {ids}")
+        self._shards: Dict[str, _Shard] = {s.shard_id: _Shard(s) for s in shards}
+        self._ring = HashRing(ids, vnodes=vnodes)
+        self.max_inflight = max_inflight
+        self.retries = retries
+        self.revive_after_s = revive_after_s
+        self.connect_timeout_s = connect_timeout_s
+        self.default_timeout_s = default_timeout_s
+        self._log = log
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._open = 0  # in-flight upstream forwards (drain barrier)
+        self._draining = False
+        self._closed = False
+        self._stats = RouterStats()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(4, 2 * len(shards)), thread_name_prefix="repro-router"
+        )
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def shard_ids(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._shards))
+
+    def shard_for(self, key: str) -> str:
+        """The key's home shard, ignoring health (pure ring lookup)."""
+        return self._ring.route(key)
+
+    # -- mark-down ---------------------------------------------------------
+    def _excluded(self, now: float) -> set:
+        """Shards currently ineligible: down and inside the revive window.
+
+        A shard *past* the window is eligible again — the next forward to it
+        is the revival probe, and an :class:`OSError` there just re-marks it.
+        """
+        return {
+            sid
+            for sid, shard in self._shards.items()
+            if shard.down_since is not None and now - shard.down_since < self.revive_after_s
+        }
+
+    def _mark_down(self, sid: str, why: BaseException) -> None:
+        with self._lock:
+            shard = self._shards[sid]
+            shard.transport_errors += 1
+            if shard.down_since is None:
+                self._stats.marked_down += 1
+            shard.down_since = time.monotonic()
+        if self._log is not None:
+            self._log(f"shard {sid} marked down: {type(why).__name__}: {why}")
+
+    def _mark_up(self, sid: str) -> None:
+        with self._lock:
+            shard = self._shards[sid]
+            if shard.down_since is not None:
+                shard.down_since = None
+                self._stats.revived += 1
+                if self._log is not None:
+                    self._log(f"shard {sid} revived")
+
+    def _hottest_hint(self) -> float:
+        hints = [
+            s.last_retry_hint for s in self._shards.values() if s.last_retry_hint is not None
+        ]
+        return max(hints) if hints else 0.25
+
+    # -- forwarding --------------------------------------------------------
+    def _post(
+        self, sid: str, path: str, body: Dict[str, Any], timeout_s: Optional[float]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One upstream POST; socket deadline padded past the run deadline."""
+        shard = self._shards[sid]
+        sock_timeout = (
+            self.connect_timeout_s + timeout_s + 5.0 if timeout_s is not None else None
+        )
+        return http_json_request(
+            shard.address.host,
+            shard.address.port,
+            "POST",
+            path,
+            body,
+            timeout_s=sock_timeout,
+        )
+
+    def handle_run(self, doc: Any) -> Tuple[int, Dict[str, Any], Optional[float]]:
+        """Route one ``/v1/run`` document: (status, document, retry-after)."""
+        try:
+            request = RunRequest.from_document(doc)
+        except ValueError as exc:
+            return HTTP_STATUS["bad_request"], error_document("bad_request", str(exc)), None
+        key = request.spec.cache_key()
+        timeout_s = (
+            request.timeout_s if request.timeout_s is not None else self.default_timeout_s
+        )
+        with self._lock:
+            self._stats.requests += 1
+        tried: set = set()
+        attempts = 0
+        while True:
+            now = time.monotonic()
+            with self._lock:
+                if self._draining or self._closed:
+                    self._stats.rejected_draining += 1
+                    hint = self._hottest_hint()
+                    return (
+                        HTTP_STATUS["draining"],
+                        error_document(
+                            "draining",
+                            "fleet is draining and admits no new work",
+                            retry_after_s=hint,
+                        ),
+                        hint,
+                    )
+                try:
+                    sid = self._ring.route(key, exclude=tried | self._excluded(now))
+                except NoLiveShard:
+                    self._stats.unavailable += 1
+                    hint = max(self.revive_after_s, self._hottest_hint())
+                    return (
+                        HTTP_STATUS["unavailable"],
+                        error_document(
+                            "unavailable",
+                            f"no live shard for key {key[:16]}… "
+                            f"({len(tried)} marked down this request)",
+                            retry_after_s=hint,
+                        ),
+                        hint,
+                    )
+                shard = self._shards[sid]
+                if shard.inflight >= self.max_inflight:
+                    self._stats.rejected_inflight += 1
+                    hint = self._hottest_hint()
+                    return (
+                        HTTP_STATUS["overloaded"],
+                        error_document(
+                            "overloaded",
+                            f"shard {sid} has {shard.inflight} forwards in flight "
+                            f"(router limit {self.max_inflight}); retry later",
+                            retry_after_s=hint,
+                        ),
+                        hint,
+                    )
+                shard.inflight += 1
+                self._open += 1
+            try:
+                status, out = self._post(sid, "/v1/run", doc, timeout_s)
+            except TimeoutError:
+                # The shard is alive but slow: same retriable contract as a
+                # single daemon's deadline expiry — no mark-down, no retry
+                # (the run continues shard-side and will publish).
+                return (
+                    HTTP_STATUS["timeout"],
+                    error_document(
+                        "timeout",
+                        f"shard {sid} exceeded the {timeout_s}s deadline; "
+                        "the run continues shard-side and will publish to its cache",
+                        retry_after_s=timeout_s,
+                    ),
+                    timeout_s,
+                )
+            except OSError as exc:
+                self._mark_down(sid, exc)
+                tried.add(sid)
+                attempts += 1
+                if attempts > self.retries:
+                    with self._lock:
+                        self._stats.unavailable += 1
+                    hint = self.revive_after_s
+                    return (
+                        HTTP_STATUS["unavailable"],
+                        error_document(
+                            "unavailable",
+                            f"{attempts} shard(s) failed for this key "
+                            f"(last: shard {sid}: {exc}); retry later",
+                            retry_after_s=hint,
+                        ),
+                        hint,
+                    )
+                with self._lock:
+                    self._stats.retried += 1
+                continue
+            finally:
+                with self._lock:
+                    shard.inflight -= 1
+                    self._open -= 1
+                    self._idle.notify_all()
+            self._mark_up(sid)
+            retry_after = out.get("retry_after_s") if isinstance(out, dict) else None
+            with self._lock:
+                shard.routed += 1
+                self._stats.routed += 1
+                if status == HTTP_STATUS["overloaded"] and retry_after is not None:
+                    shard.last_retry_hint = float(retry_after)
+            return status, out, retry_after
+
+    # -- batch fan-out -----------------------------------------------------
+    def handle_batch(self, doc: Any) -> Tuple[int, Dict[str, Any], Optional[float]]:
+        """Split a batch by owning shard, forward concurrently, reassemble."""
+        requests = doc.get("requests") if isinstance(doc, dict) else None
+        if not isinstance(requests, list):
+            return (
+                HTTP_STATUS["bad_request"],
+                error_document("bad_request", "batch body needs a 'requests' list"),
+                None,
+            )
+        with self._lock:
+            self._stats.batches += 1
+            if self._draining or self._closed:
+                self._stats.rejected_draining += 1
+                hint = self._hottest_hint()
+                return (
+                    HTTP_STATUS["draining"],
+                    error_document(
+                        "draining",
+                        "fleet is draining and admits no new work",
+                        retry_after_s=hint,
+                    ),
+                    hint,
+                )
+        responses: List[Optional[Dict[str, Any]]] = [None] * len(requests)
+        pending: List[Tuple[int, str, Any]] = []  # (index, key, raw document)
+        for i, item in enumerate(requests):
+            try:
+                pending.append((i, RunRequest.from_document(item).spec.cache_key(), item))
+            except ValueError as exc:
+                responses[i] = error_document("bad_request", str(exc))
+
+        rounds = 0
+        while pending and rounds <= self.retries:
+            now = time.monotonic()
+            groups: Dict[str, List[Tuple[int, str, Any]]] = {}
+            leftover: List[Tuple[int, str, Any]] = []
+            with self._lock:
+                excluded = self._excluded(now)
+            for entry in pending:
+                try:
+                    groups.setdefault(
+                        self._ring.route(entry[1], exclude=excluded), []
+                    ).append(entry)
+                except NoLiveShard:
+                    leftover.append(entry)
+            with self._lock:
+                for sid in groups:
+                    self._shards[sid].inflight += 1
+                    self._open += 1
+            futures = {
+                self._pool.submit(
+                    self._post,
+                    sid,
+                    "/v1/batch",
+                    {"schema": SERVICE_SCHEMA, "requests": [e[2] for e in entries]},
+                    self.default_timeout_s,
+                ): (sid, entries)
+                for sid, entries in groups.items()
+            }
+            retry_next: List[Tuple[int, str, Any]] = leftover
+            for future, (sid, entries) in futures.items():
+                try:
+                    _, out = future.result()
+                    shard_responses = out.get("responses", []) if isinstance(out, dict) else []
+                    for entry, resp in zip(entries, shard_responses):
+                        responses[entry[0]] = resp
+                    for entry in entries[len(shard_responses) :]:
+                        retry_next.append(entry)  # truncated reply: retry those
+                    self._mark_up(sid)
+                    with self._lock:
+                        self._shards[sid].routed += len(entries)
+                        self._stats.routed += len(entries)
+                except (TimeoutError, OSError) as exc:
+                    if not isinstance(exc, TimeoutError):
+                        self._mark_down(sid, exc)
+                    retry_next.extend(entries)
+                finally:
+                    with self._lock:
+                        self._shards[sid].inflight -= 1
+                        self._open -= 1
+                        self._idle.notify_all()
+            if retry_next and rounds < self.retries:
+                with self._lock:
+                    self._stats.retried += len(retry_next)
+            pending = retry_next
+            rounds += 1
+        for i, key, _item in pending:
+            with self._lock:
+                self._stats.unavailable += 1
+            responses[i] = error_document(
+                "unavailable",
+                f"no live shard reached for key {key[:16]}… after {rounds} round(s)",
+                retry_after_s=self.revive_after_s,
+            )
+        return 200, {"schema": SERVICE_SCHEMA, "ok": True, "responses": responses}, None
+
+    # -- aggregation -------------------------------------------------------
+    def _get(self, sid: str, path: str) -> Tuple[int, Dict[str, Any]]:
+        shard = self._shards[sid]
+        return http_json_request(
+            shard.address.host,
+            shard.address.port,
+            "GET",
+            path,
+            timeout_s=self.connect_timeout_s,
+        )
+
+    def _poll_shards(self, path: str) -> Dict[str, Any]:
+        """GET ``path`` from every shard concurrently: sid → doc | OSError."""
+        futures = {sid: self._pool.submit(self._get, sid, path) for sid in self._shards}
+        polled: Dict[str, Any] = {}
+        for sid, future in futures.items():
+            try:
+                polled[sid] = future.result()[1]
+                self._mark_up(sid)
+            except Exception as exc:  # a poll must degrade, never raise
+                polled[sid] = exc
+                if isinstance(exc, OSError) and not isinstance(exc, TimeoutError):
+                    self._mark_down(sid, exc)
+        return polled
+
+    def health_document(self) -> Tuple[int, Dict[str, Any]]:
+        """Aggregate fleet health: serving / degraded / draining."""
+        polled = self._poll_shards("/v1/health")
+        shards_doc: Dict[str, Any] = {}
+        up = 0
+        for sid in sorted(polled):
+            doc = polled[sid]
+            if isinstance(doc, dict):
+                shards_doc[sid] = {"ok": doc.get("ok", False), "status": doc.get("status")}
+                up += 1 if doc.get("ok", False) else 0
+            else:
+                shards_doc[sid] = {"ok": False, "status": f"unreachable: {doc}"}
+        draining = self._draining or self._closed
+        ok = not draining and up > 0
+        status = "draining" if draining else ("serving" if up == len(polled) else "degraded")
+        return (
+            200 if ok else 503,
+            {
+                "schema": SERVICE_SCHEMA,
+                "ok": ok,
+                "status": status,
+                "role": "router",
+                "shards_up": up,
+                "shards_total": len(polled),
+                "shards": shards_doc,
+            },
+        )
+
+    def stats_document(self) -> Dict[str, Any]:
+        """Fleet-wide counters: summed shard totals + per-shard breakdown."""
+        polled = self._poll_shards("/v1/stats")
+        totals = {name: 0 for name in _SUMMED_SHARD_COUNTERS}
+        per_shard: Dict[str, Any] = {}
+        up = 0
+        with self._lock:
+            router = self._stats.to_dict()
+            snapshot = {
+                sid: {
+                    "host": shard.address.host,
+                    "port": shard.address.port,
+                    "up": shard.down_since is None,
+                    "inflight": shard.inflight,
+                    "routed": shard.routed,
+                    "transport_errors": shard.transport_errors,
+                    "last_retry_after_s": shard.last_retry_hint,
+                }
+                for sid, shard in self._shards.items()
+            }
+            router["draining"] = self._draining or self._closed
+        for sid in sorted(polled):
+            doc = polled[sid]
+            entry = snapshot[sid]
+            if isinstance(doc, dict):
+                up += 1
+                entry["service"] = {
+                    k: v for k, v in doc.items() if k not in ("schema", "ok")
+                }
+                for name in _SUMMED_SHARD_COUNTERS:
+                    value = doc.get(name)
+                    if isinstance(value, (int, float)) and not isinstance(value, bool):
+                        totals[name] += value
+            else:
+                entry["up"] = False
+                entry["service"] = None
+                entry["error"] = str(doc)
+            per_shard[sid] = entry
+        return {
+            "schema": SERVICE_SCHEMA,
+            "ok": True,
+            "role": "router",
+            "shards_total": len(per_shard),
+            "shards_up": up,
+            "router": router,
+            "totals": totals,
+            "per_shard": per_shard,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+    def drain(self, timeout_s: Optional[float] = None) -> bool:
+        """Refuse new work; wait for in-flight forwards.  Idempotent."""
+        with self._idle:
+            self._draining = True
+            deadline = None if timeout_s is None else time.monotonic() + timeout_s
+            while self._open > 0:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+            return True
+
+    def close(self, timeout_s: Optional[float] = None) -> bool:
+        drained = self.drain(timeout_s)
+        with self._lock:
+            if self._closed:
+                return drained
+            self._closed = True
+        self._pool.shutdown(wait=drained)
+        return drained
+
+    def __enter__(self) -> "RouterService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _RouterHandler(JsonHttpHandler):
+    server_version = "repro-router/1"
+
+    @property
+    def router(self) -> RouterService:
+        return self.app
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        if self.path == "/v1/health":
+            status, doc = self.router.health_document()
+            self._send_json(status, doc)
+        elif self.path == "/v1/stats":
+            self._send_json(200, self.router.stats_document())
+        else:
+            self._send_error_doc("bad_request", f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        try:
+            doc = self._read_document()
+        except ValueError as exc:  # JSONDecodeError subclasses ValueError
+            self._send_error_doc("bad_request", f"unreadable request: {exc}")
+            return
+        if self.path == "/v1/run":
+            status, out, retry_after = self.router.handle_run(doc)
+        elif self.path == "/v1/batch":
+            status, out, retry_after = self.router.handle_batch(doc)
+        else:
+            self._send_error_doc("bad_request", f"unknown path {self.path!r}")
+            return
+        self._send_json(status, out, retry_after_s=retry_after)
+
+
+class ReproRouter(HttpFront):
+    """One :class:`RouterService` behind the shared HTTP front end."""
+
+    handler_class = _RouterHandler
+    thread_name = "repro-router-accept"
+
+    def __init__(
+        self,
+        router: RouterService,
+        host: str = "127.0.0.1",
+        port: int = 8430,
+        *,
+        log=None,
+    ) -> None:
+        super().__init__(router, host, port, log=log)
+        self.router = router

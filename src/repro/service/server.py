@@ -21,6 +21,12 @@ for in-flight requests to finish and then stops the accept loop; the
 ``block_on_close`` join guarantees every handler thread has flushed its
 response before the process exits.  The handler itself must not block — it
 runs inside ``serve_forever`` and calling ``shutdown()`` there deadlocks.
+
+The socket/lifecycle machinery lives in :class:`HttpFront` and the JSON
+handler plumbing in :class:`JsonHttpHandler`, shared with the fleet router
+(:mod:`~repro.service.router`): both daemons speak the same wire protocol
+and honour the same drain choreography, they only differ in what a request
+*does* (execute locally vs. forward to a shard).
 """
 
 from __future__ import annotations
@@ -34,19 +40,21 @@ from typing import Any, Dict, Optional, Tuple
 from .core import ServiceError, SimulationService
 from .protocol import HTTP_STATUS, SERVICE_SCHEMA, error_document, response_document
 
-__all__ = ["ReproServer", "serve"]
+__all__ = ["HttpFront", "JsonHttpHandler", "ReproServer", "serve"]
 
 _MAX_BODY = 16 * 1024 * 1024  # a request is a spec document, not a payload
 
 
-class _Handler(BaseHTTPRequestHandler):
+class JsonHttpHandler(BaseHTTPRequestHandler):
+    """JSON-document plumbing shared by the serve and router handlers."""
+
     protocol_version = "HTTP/1.1"
     server_version = "repro-serve/1"
 
     # -- plumbing ----------------------------------------------------------
     @property
-    def service(self) -> SimulationService:
-        return self.server.service  # type: ignore[attr-defined]
+    def app(self) -> Any:
+        return self.server.app  # type: ignore[attr-defined]
 
     def log_message(self, fmt: str, *args) -> None:
         log = getattr(self.server, "log", None)  # type: ignore[attr-defined]
@@ -79,6 +87,12 @@ class _Handler(BaseHTTPRequestHandler):
         if length > _MAX_BODY:
             raise ValueError(f"request body of {length} bytes exceeds {_MAX_BODY}")
         return json.loads(self.rfile.read(length).decode())
+
+
+class _Handler(JsonHttpHandler):
+    @property
+    def service(self) -> SimulationService:
+        return self.app
 
     # -- GET ---------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
@@ -143,25 +157,31 @@ class _HTTPServer(ThreadingHTTPServer):
     allow_reuse_address = True
 
 
-class ReproServer:
-    """One service bound to one listening socket, with the drain protocol.
+class HttpFront:
+    """One app bound to one listening socket, with the drain protocol.
 
-    ``port=0`` binds an ephemeral port (tests); read it back from
-    :attr:`address`.  :meth:`start` runs the accept loop on a background
-    thread, :meth:`serve_forever` runs it in the caller (the CLI path).
+    The app is anything exposing ``drain(timeout_s)`` and ``close()`` —
+    a :class:`SimulationService` here, a
+    :class:`~repro.service.router.RouterService` in the fleet front end.
+    ``port=0`` binds an ephemeral port; read it back from :attr:`address`.
+    :meth:`start` runs the accept loop on a background thread,
+    :meth:`serve_forever` runs it in the caller (the CLI path).
     """
+
+    handler_class: type = JsonHttpHandler
+    thread_name = "repro-http-accept"
 
     def __init__(
         self,
-        service: SimulationService,
+        app: Any,
         host: str = "127.0.0.1",
         port: int = 8425,
         *,
         log=None,
     ) -> None:
-        self.service = service
-        self._httpd = _HTTPServer((host, port), _Handler)
-        self._httpd.service = service  # type: ignore[attr-defined]
+        self.app = app
+        self._httpd = _HTTPServer((host, port), self.handler_class)
+        self._httpd.app = app  # type: ignore[attr-defined]
         self._httpd.log = log  # type: ignore[attr-defined]
         self._log = log
         self._thread: Optional[threading.Thread] = None
@@ -179,12 +199,12 @@ class ReproServer:
             self._httpd.serve_forever(poll_interval=0.1)
         finally:
             self._httpd.server_close()  # joins handler threads
-            self.service.close()
+            self.app.close()
 
-    def start(self) -> "ReproServer":
+    def start(self) -> "HttpFront":
         """Run the accept loop on a daemon thread (test harness path)."""
         self._thread = threading.Thread(
-            target=self.serve_forever, name="repro-serve-accept", daemon=True
+            target=self.serve_forever, name=self.thread_name, daemon=True
         )
         self._thread.start()
         return self
@@ -204,7 +224,7 @@ class ReproServer:
         def _drain_then_stop() -> None:
             if self._log is not None:
                 self._log("draining: refusing new work, waiting for in-flight runs")
-            self.service.drain(drain_timeout_s)
+            self.app.drain(drain_timeout_s)
             self._httpd.shutdown()
 
         threading.Thread(target=_drain_then_stop, name="repro-serve-drain").start()
@@ -222,6 +242,24 @@ class ReproServer:
             signal.signal(sig, lambda _sig, _frm: self.shutdown())
 
 
+class ReproServer(HttpFront):
+    """One :class:`SimulationService` behind the HTTP front end."""
+
+    handler_class = _Handler
+    thread_name = "repro-serve-accept"
+
+    def __init__(
+        self,
+        service: SimulationService,
+        host: str = "127.0.0.1",
+        port: int = 8425,
+        *,
+        log=None,
+    ) -> None:
+        super().__init__(service, host, port, log=log)
+        self.service = service
+
+
 def serve(
     *,
     host: str = "127.0.0.1",
@@ -237,6 +275,11 @@ def serve(
 
     This is the body of ``repro serve``; it returns only after a drain
     signal has been honoured (in-flight runs finished, socket closed).
+    Once the socket is bound a machine-parseable readiness line —
+    ``listening on <host>:<port>`` — is printed to **stdout** (always, even
+    with logging suppressed): with ``--port 0`` this is the only place the
+    chosen ephemeral port is announced, and scripts/fleet supervisors parse
+    it instead of polling a hardcoded port.
     """
     service = SimulationService(
         workers=workers,
@@ -247,8 +290,9 @@ def serve(
     )
     server = ReproServer(service, host, port, log=log)
     server.install_signal_handlers()
+    bound_host, bound_port = server.address
+    print(f"listening on {bound_host}:{bound_port}", flush=True)
     if log is not None:
-        bound_host, bound_port = server.address
         log(
             f"repro serve: listening on http://{bound_host}:{bound_port} "
             f"(workers={workers}, max_pending={max_pending}"

@@ -1,0 +1,139 @@
+"""Property tests of the consistent-hash ring behind the fleet router.
+
+The fleet's correctness rests on three ring properties: routing is a pure
+function of membership (so any two routers agree), every key lands on a
+live shard, and excluding/removing a shard remaps *only* that shard's keys
+(so failover retry and mark-down disturb nothing else).  Hypothesis
+explores those over arbitrary shard sets and key sets; the unit tests pin
+the exact edge cases (single shard, empty ring, bogus membership edits).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import HashRing, NoLiveShard
+
+shard_ids = st.lists(
+    st.text(
+        alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+        min_size=1,
+        max_size=12,
+    ),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+keys = st.lists(st.text(min_size=0, max_size=40), min_size=1, max_size=60)
+
+
+class TestRingProperties:
+    @given(shards=shard_ids, key_set=keys)
+    @settings(max_examples=50, deadline=None)
+    def test_routing_is_deterministic_across_instances(self, shards, key_set):
+        """Two rings built from the same membership agree on every key."""
+        a = HashRing(shards, vnodes=16)
+        b = HashRing(reversed(shards), vnodes=16)  # insertion order is irrelevant
+        for key in key_set:
+            assert a.route(key) == b.route(key)
+
+    @given(shards=shard_ids, key_set=keys)
+    @settings(max_examples=50, deadline=None)
+    def test_every_key_maps_to_a_member_shard(self, shards, key_set):
+        ring = HashRing(shards, vnodes=16)
+        for key in key_set:
+            assert ring.route(key) in ring.shards
+
+    @given(shards=shard_ids, key_set=keys, victim_idx=st.integers(min_value=0))
+    @settings(max_examples=50, deadline=None)
+    def test_removal_remaps_only_the_dead_shards_keys(
+        self, shards, key_set, victim_idx
+    ):
+        """Keys not owned by the removed shard keep their home."""
+        ring = HashRing(shards, vnodes=16)
+        victim = shards[victim_idx % len(shards)]
+        before = {key: ring.route(key) for key in key_set}
+
+        survivor = HashRing(shards, vnodes=16)
+        survivor.remove(victim)
+        for key, home in before.items():
+            if home == victim:
+                if len(shards) > 1:
+                    assert survivor.route(key) != victim
+            else:
+                assert survivor.route(key) == home
+
+    @given(shards=shard_ids, key_set=keys, victim_idx=st.integers(min_value=0))
+    @settings(max_examples=50, deadline=None)
+    def test_exclusion_equals_removal(self, shards, key_set, victim_idx):
+        """route(exclude={s}) is exactly the ring rebuilt without s.
+
+        This identity is what lets the router fail over without touching
+        the ring: the retry target after mark-down equals the steady-state
+        owner once the shard is gone.
+        """
+        if len(shards) < 2:
+            return
+        ring = HashRing(shards, vnodes=16)
+        victim = shards[victim_idx % len(shards)]
+        rebuilt = HashRing([s for s in shards if s != victim], vnodes=16)
+        for key in key_set:
+            assert ring.route(key, exclude={victim}) == rebuilt.route(key)
+
+    @given(shards=shard_ids)
+    @settings(max_examples=30, deadline=None)
+    def test_addition_steals_only_from_existing_shards(self, shards):
+        """Adding a shard never moves a key between two old shards."""
+        newcomer = "newcomer-shard"
+        if newcomer in shards:
+            return
+        key_set = [f"key-{i}" for i in range(200)]
+        ring = HashRing(shards, vnodes=16)
+        before = {key: ring.route(key) for key in key_set}
+        ring.add(newcomer)
+        for key in key_set:
+            after = ring.route(key)
+            assert after in (before[key], newcomer)
+
+
+class TestRingUnits:
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.route(f"k{i}") == "only" for i in range(50))
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(NoLiveShard):
+            HashRing().route("anything")
+
+    def test_excluding_every_shard_raises(self):
+        ring = HashRing(["a", "b"])
+        with pytest.raises(NoLiveShard):
+            ring.route("key", exclude={"a", "b"})
+
+    def test_membership_edits_are_validated(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.add("a")
+        with pytest.raises(ValueError):
+            ring.add("")
+        with pytest.raises(ValueError):
+            ring.remove("ghost")
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+    def test_container_protocol(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring) == 2
+        assert "a" in ring and "ghost" not in ring
+        ring.remove("a")
+        assert len(ring) == 1 and "a" not in ring
+
+    def test_virtual_nodes_balance_the_keyspace(self):
+        """With vnodes, 4 shards each own a sane share of 4000 keys."""
+        ring = HashRing([f"s{i}" for i in range(4)], vnodes=64)
+        spread = ring.spread(f"key-{i}" for i in range(4000))
+        assert sum(spread.values()) == 4000
+        for count in spread.values():
+            assert 0.12 * 4000 < count < 0.40 * 4000

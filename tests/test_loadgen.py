@@ -1,0 +1,182 @@
+"""Tests of the load generator: statistics, trace loading, live loops.
+
+The percentile and trace-loading logic is pinned with plain unit tests;
+the two driving disciplines then run for real — short bursts against an
+in-process :class:`ReproServer` with an instant injected ``run_fn`` — and
+the report document is checked field by field.  Retry behaviour is
+exercised against a draining service (retriable 503s) and a dead port
+(transport errors).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import (
+    LOADGEN_SCHEMA,
+    ReproServer,
+    RunRequest,
+    SimulationService,
+    load_request_log,
+    run_loadgen,
+)
+from repro.service.loadgen import percentile, summarize
+
+from .test_router import fake_run
+from .test_service import make_spec
+
+
+@pytest.fixture
+def live(request):
+    """An instant-run server; yields (host, port)."""
+    svc = SimulationService(workers=4, max_pending=16, run_fn=fake_run)
+    server = ReproServer(svc, port=0)
+    server.start()
+    yield server.address
+
+    server.shutdown(drain_timeout_s=5)
+    server.wait_closed(5)
+
+
+def trace(n: int = 4) -> list:
+    return [RunRequest(spec=make_spec(seed=s)).to_document() for s in range(n)]
+
+
+class TestPercentile:
+    def test_nearest_rank_on_known_sample(self):
+        values = [float(v) for v in range(1, 101)]  # 1..100
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.95) == 95.0
+        assert percentile(values, 0.99) == 99.0
+        assert percentile(values, 1.0) == 100.0
+        assert percentile(values, 0.0) == 1.0
+
+    def test_single_value_is_every_percentile(self):
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestRequestLog:
+    def test_bare_list_roundtrip(self, tmp_path):
+        path = tmp_path / "log.json"
+        path.write_text(json.dumps(trace(3)))
+        docs = load_request_log(path)
+        assert len(docs) == 3
+        assert all(RunRequest.from_document(d) for d in docs)
+
+    def test_batch_body_shape(self, tmp_path):
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps({"requests": trace(2)}))
+        assert len(load_request_log(path)) == 2
+
+    def test_client_sweep_file_shape(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        responses = [
+            {"spec": make_spec(seed=s).to_dict(), "ok": True} for s in range(2)
+        ]
+        path.write_text(
+            json.dumps({"schema": "repro.client_sweep/v1", "responses": responses})
+        )
+        assert len(load_request_log(path)) == 2
+
+    def test_rejects_malformed_traces(self, tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text("[]")
+        with pytest.raises(ValueError, match="empty"):
+            load_request_log(empty)
+        bad_doc = tmp_path / "bad.json"
+        bad_doc.write_text(json.dumps([{"spec": {}}]))
+        with pytest.raises(ValueError):
+            load_request_log(bad_doc)
+        not_a_trace = tmp_path / "scalar.json"
+        not_a_trace.write_text("42")
+        with pytest.raises(ValueError):
+            load_request_log(not_a_trace)
+
+
+class TestRunLoadgen:
+    def test_open_loop_report(self, live):
+        host, port = live
+        report = run_loadgen(
+            host, port, trace(), loop="open", rate=40.0, duration_s=0.5
+        )
+        assert report["schema"] == LOADGEN_SCHEMA
+        assert report["loop"] == "open" and report["rate_target"] == 40.0
+        # the schedule fixes the request count: rate x duration
+        assert report["requests"] == 20
+        assert report["failed"] == 0 and report["error_rate"] == 0.0
+        assert report["status_counts"] == {"ok": 20}
+        lat = report["latency_s"]
+        assert lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+        assert report["per_shard"] is None  # plain daemon: no shard breakdown
+
+    def test_closed_loop_report(self, live):
+        host, port = live
+        report = run_loadgen(
+            host, port, trace(), loop="closed", concurrency=2, duration_s=0.3
+        )
+        assert report["loop"] == "closed" and report["concurrency"] == 2
+        assert report["requests"] > 0 and report["failed"] == 0
+        assert report["achieved_rps"] > 0
+
+    def test_retries_ride_out_draining_then_fail(self, live):
+        """Retriable 503s are retried; exhaustion counts as failed."""
+        host, port = live
+        # a second service on its own port, already draining
+        svc = SimulationService(workers=1, run_fn=fake_run)
+        server = ReproServer(svc, port=0)
+        server.start()
+        try:
+            svc.drain(timeout_s=5)
+            dhost, dport = server.address
+            report = run_loadgen(
+                dhost, dport, trace(1), loop="closed", concurrency=1,
+                duration_s=0.2, max_retries=1, backoff_s=0.01,
+                sleep=lambda s: None,
+            )
+            assert report["failed"] == report["requests"] > 0
+            assert report["retries"] >= 1
+            assert report["status_counts"].get("draining", 0) > 0
+        finally:
+            server.shutdown(drain_timeout_s=5)
+            server.wait_closed(5)
+
+    def test_transport_errors_are_counted(self):
+        """A dead port yields transport failures, not a crash."""
+        report = run_loadgen(
+            "127.0.0.1", 1, trace(1), loop="closed", concurrency=1,
+            duration_s=0.05, max_retries=0, backoff_s=0.01, sleep=lambda s: None,
+        )
+        assert report["requests"] > 0
+        assert report["failed"] == report["requests"]
+        assert report["transport_errors"] >= report["requests"]
+        assert report["status_counts"].get("transport", 0) > 0
+
+    def test_validates_arguments(self, live):
+        host, port = live
+        with pytest.raises(ValueError, match="at least one"):
+            run_loadgen(host, port, [], loop="closed", duration_s=0.1)
+        with pytest.raises(ValueError, match="rate"):
+            run_loadgen(host, port, trace(1), loop="open", duration_s=0.1)
+        with pytest.raises(ValueError, match="loop"):
+            run_loadgen(host, port, trace(1), loop="sideways", duration_s=0.1)
+        with pytest.raises(ValueError, match="duration"):
+            run_loadgen(host, port, trace(1), loop="closed", duration_s=0.0)
+
+    def test_summary_renders_every_section(self, live):
+        host, port = live
+        report = run_loadgen(
+            host, port, trace(), loop="open", rate=20.0, duration_s=0.3
+        )
+        text = summarize(report)
+        assert "loadgen [open]" in text
+        assert "latency p50" in text
+        assert "requests" in text

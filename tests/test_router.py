@@ -1,0 +1,406 @@
+"""Tests of the fleet router: affinity, admission, failover, aggregation.
+
+Real shards are expensive, so these tests stand up *in-process* shard
+daemons — each a :class:`ReproServer` over a :class:`SimulationService`
+with an injected ``run_fn`` — and point a :class:`RouterService` at their
+ephemeral ports.  That exercises the full HTTP forwarding path (real
+sockets on both hops) while keeping every run instant and deterministic.
+Failover is tested by actually shutting a shard's listener down.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service import (
+    ReproRouter,
+    ReproServer,
+    RouterService,
+    RunRequest,
+    ServiceClient,
+    ServiceOverloaded,
+    ServiceUnavailable,
+    ShardAddress,
+    SimulationService,
+)
+from repro.service.client import http_json_request
+from repro.service.protocol import SERVICE_SCHEMA
+
+from .test_service import Gate, fake_result, make_spec
+
+
+def fake_run(request: RunRequest):
+    """An instant injected run_fn (run_fn receives the whole request)."""
+    return fake_result(request.spec)
+
+
+class ShardHarness:
+    """N in-process shard daemons plus a router over them."""
+
+    def __init__(self, n: int, run_fn=fake_run, *, workers: int = 4, **router_kwargs):
+        self.services = []
+        self.servers = []
+        self._stopped = set()
+        addresses = []
+        for i in range(n):
+            svc = SimulationService(workers=workers, max_pending=8, run_fn=run_fn)
+            server = ReproServer(svc, port=0)
+            server.start()
+            self.services.append(svc)
+            self.servers.append(server)
+            host, port = server.address
+            addresses.append(ShardAddress(str(i), host, port))
+        self.router = RouterService(addresses, **router_kwargs)
+
+    def stop_shard(self, i: int) -> None:
+        if i in self._stopped:
+            return
+        self._stopped.add(i)
+        self.servers[i].shutdown(drain_timeout_s=5)
+        self.servers[i].wait_closed(5)
+
+    def close(self) -> None:
+        self.router.close(timeout_s=5)
+        for i in range(len(self.servers)):
+            self.stop_shard(i)
+
+
+@pytest.fixture
+def harness(request):
+    built = []
+
+    def build(n: int = 2, run_fn=fake_run, **kwargs) -> ShardHarness:
+        h = ShardHarness(n, run_fn, **kwargs)
+        built.append(h)
+        return h
+
+    yield build
+    for h in built:
+        h.close()
+
+
+def run_doc(seed: int = 0, nt: int = 4, **kwargs) -> dict:
+    return RunRequest(spec=make_spec(seed=seed, nt=nt), **kwargs).to_document()
+
+
+class TestForwarding:
+    def test_routes_to_the_keys_home_shard(self, harness):
+        h = harness(3)
+        for seed in range(12):
+            doc = run_doc(seed=seed)
+            home = h.router.shard_for(make_spec(seed=seed).cache_key())
+            status, out, _ = h.router.handle_run(doc)
+            assert status == 200 and out["ok"]
+            stats = h.router.stats_document()
+            assert stats["per_shard"][home]["routed"] >= 1
+
+    def test_identical_specs_always_hit_the_same_shard(self, harness):
+        h = harness(3)
+        for _ in range(5):
+            status, out, _ = h.router.handle_run(run_doc(seed=7))
+            assert status == 200 and out["ok"]
+        routed = [
+            s["routed"] for s in h.router.stats_document()["per_shard"].values()
+        ]
+        assert sorted(routed) == [0, 0, 5]
+
+    def test_single_flight_survives_the_router_hop(self, harness):
+        """Concurrent identical requests coalesce on the owning shard."""
+        gate = Gate()
+        h = harness(2, run_fn=gate)
+        results = []
+
+        def issue():
+            results.append(h.router.handle_run(run_doc(seed=1)))
+
+        threads = [threading.Thread(target=issue) for _ in range(4)]
+        for t in threads:
+            t.start()
+        from .test_service import wait_until
+
+        # Hold the gate until all three duplicates have joined the first
+        # request's flight; releasing earlier lets a straggler arrive after
+        # the run completes and start a fresh one.
+        wait_until(lambda: gate.started() >= 1)
+        wait_until(lambda: sum(s.stats().coalesced for s in h.services) == 3)
+        gate.release.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert all(status == 200 and out["ok"] for status, out, _ in results)
+        coalesced = sum(out.get("coalesced", False) for _, out, _ in results)
+        assert gate.started() == 1 and coalesced == 3
+
+    def test_bad_request_is_rejected_without_forwarding(self, harness):
+        h = harness(1)
+        status, out, _ = h.router.handle_run({"schema": SERVICE_SCHEMA, "spec": {}})
+        assert status == 400 and out["error"] == "bad_request"
+        assert h.router.stats_document()["router"]["routed"] == 0
+
+
+class TestAdmission:
+    def test_router_side_inflight_cap_rejects_with_hint(self, harness):
+        """The router 429s before opening an upstream connection."""
+        gate = Gate()
+        h = harness(1, run_fn=gate, max_inflight=2)
+        outcomes = []
+        threads = [
+            threading.Thread(
+                target=lambda s: outcomes.append(h.router.handle_run(run_doc(seed=s))),
+                args=(seed,),
+            )
+            for seed in range(2)
+        ]
+        from .test_service import wait_until
+
+        for t in threads:
+            t.start()
+        wait_until(
+            lambda: h.router.stats_document()["per_shard"]["0"]["inflight"] == 2
+        )
+        status, out, retry_after = h.router.handle_run(run_doc(seed=99))
+        assert status == 429 and out["error"] == "overloaded"
+        assert out["retry_after_s"] is not None and retry_after is not None
+        gate.release.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert h.router.stats_document()["router"]["rejected_inflight"] >= 1
+
+    def test_shard_retry_hint_propagates_to_router_rejections(self, harness):
+        """A shard's own 429 hint becomes the router's quoted Retry-After."""
+        gate = Gate()
+        # shard admits 1 distinct spec (workers=1, max_pending=1): the second
+        # distinct spec draws a genuine shard-side 429 whose hint the router
+        # must record and quote later.
+        h = harness(1, run_fn=gate, workers=1, max_inflight=2)
+        h.services[0].max_pending = 1
+        t = threading.Thread(target=lambda: h.router.handle_run(run_doc(seed=0)))
+        t.start()
+        from .test_service import wait_until
+
+        wait_until(lambda: gate.started() == 1)
+        status, out, _ = h.router.handle_run(run_doc(seed=1))
+        assert status == 429
+        shard_hint = out["retry_after_s"]
+        assert shard_hint is not None
+        stats = h.router.stats_document()
+        assert stats["per_shard"]["0"]["last_retry_after_s"] == pytest.approx(shard_hint)
+        # now trip the *router-side* cap: a duplicate of the gated spec
+        # coalesces shard-side (admission-free) and blocks, holding the
+        # router's second in-flight slot; the next request must be rejected
+        # by the router itself, quoting the recorded shard hint.
+        t2 = threading.Thread(target=lambda: h.router.handle_run(run_doc(seed=0)))
+        t2.start()
+        wait_until(
+            lambda: h.router.stats_document()["per_shard"]["0"]["inflight"] >= 2
+        )
+        status, out, retry_after = h.router.handle_run(run_doc(seed=3))
+        assert status == 429
+        assert retry_after == pytest.approx(shard_hint)
+        gate.release.set()
+        t.join(timeout=10)
+        t2.join(timeout=10)
+
+
+class TestFailover:
+    def test_dead_shard_is_marked_down_and_request_rehashed(self, harness):
+        h = harness(3, revive_after_s=60.0)
+        # find a seed owned by shard "0", then kill shard 0
+        seed = next(
+            s for s in range(100) if h.router.shard_for(make_spec(seed=s).cache_key()) == "0"
+        )
+        h.stop_shard(0)
+        status, out, _ = h.router.handle_run(run_doc(seed=seed))
+        assert status == 200 and out["ok"]
+        stats = h.router.stats_document()
+        assert stats["per_shard"]["0"]["up"] is False
+        assert stats["router"]["marked_down"] == 1
+        assert stats["router"]["retried"] >= 1
+        # successor matches the ring's exclusion answer
+        successor = h.router._ring.route(make_spec(seed=seed).cache_key(), exclude={"0"})
+        assert stats["per_shard"][successor]["routed"] >= 1
+
+    def test_all_shards_dead_yields_retriable_unavailable(self, harness):
+        h = harness(2, retries=3, revive_after_s=60.0)
+        h.stop_shard(0)
+        h.stop_shard(1)
+        status, out, retry_after = h.router.handle_run(run_doc(seed=0))
+        assert status == 503 and out["error"] == "unavailable"
+        assert retry_after is not None
+
+    def test_down_shard_revives_after_the_window(self, harness):
+        h = harness(2, revive_after_s=0.05)
+        seed = next(
+            s for s in range(100) if h.router.shard_for(make_spec(seed=s).cache_key()) == "0"
+        )
+        h.stop_shard(0)
+        status, _, _ = h.router.handle_run(run_doc(seed=seed))
+        assert status == 200
+        assert h.router.stats_document()["per_shard"]["0"]["up"] is False
+        # restart a listener on the *same* port so the probe can succeed
+        import time
+
+        host, port = self.restart_shard(h, 0)
+        time.sleep(0.06)  # past the revive window: next forward is the probe
+        status, out, _ = h.router.handle_run(run_doc(seed=seed))
+        assert status == 200 and out["ok"]
+        stats = h.router.stats_document()
+        assert stats["per_shard"]["0"]["up"] is True
+        assert stats["router"]["revived"] >= 1
+
+    @staticmethod
+    def restart_shard(h: ShardHarness, i: int) -> tuple:
+        host, port = h.servers[i].address
+        svc = SimulationService(workers=2, max_pending=8, run_fn=fake_run)
+        server = ReproServer(svc, host=host, port=port)
+        server.start()
+        h.services[i] = svc
+        h.servers[i] = server
+        h._stopped.discard(i)
+        return host, port
+
+
+class TestBatch:
+    def test_batch_fans_out_and_preserves_order(self, harness):
+        h = harness(3)
+        items = [run_doc(seed=s) for s in range(9)]
+        status, out, _ = h.router.handle_batch(
+            {"schema": SERVICE_SCHEMA, "requests": items}
+        )
+        assert status == 200 and out["ok"]
+        assert len(out["responses"]) == 9
+        for seed, resp in enumerate(out["responses"]):
+            assert resp["ok"], resp
+            assert resp["trace"] == f"fake-trace-{seed}\n"
+        spread = {
+            sid: s["routed"] for sid, s in h.router.stats_document()["per_shard"].items()
+        }
+        assert sum(spread.values()) == 9 and sum(1 for v in spread.values() if v) >= 2
+
+    def test_batch_retries_items_from_a_dead_shard(self, harness):
+        h = harness(2, revive_after_s=60.0)
+        h.stop_shard(0)
+        items = [run_doc(seed=s) for s in range(6)]
+        status, out, _ = h.router.handle_batch(
+            {"schema": SERVICE_SCHEMA, "requests": items}
+        )
+        assert status == 200
+        assert all(resp["ok"] for resp in out["responses"])
+        assert h.router.stats_document()["per_shard"]["1"]["routed"] == 6
+
+    def test_batch_rejects_malformed_envelope_and_items(self, harness):
+        h = harness(1)
+        status, out, _ = h.router.handle_batch({"schema": SERVICE_SCHEMA})
+        assert status == 400
+        status, out, _ = h.router.handle_batch(
+            {"schema": SERVICE_SCHEMA, "requests": [run_doc(seed=0), {"spec": {}}]}
+        )
+        assert status == 200
+        assert out["responses"][0]["ok"]
+        assert out["responses"][1]["error"] == "bad_request"
+
+
+class TestAggregation:
+    def test_health_serving_then_degraded(self, harness):
+        h = harness(2, revive_after_s=60.0)
+        status, doc = h.router.health_document()
+        assert status == 200 and doc["status"] == "serving"
+        assert doc["shards_up"] == 2 and doc["role"] == "router"
+        h.stop_shard(1)
+        status, doc = h.router.health_document()
+        assert doc["status"] == "degraded" and doc["shards_up"] == 1
+        assert doc["shards"]["1"]["ok"] is False
+
+    def test_stats_sums_shard_counters(self, harness):
+        h = harness(2)
+        for seed in range(8):
+            h.router.handle_run(run_doc(seed=seed))
+        stats = h.router.stats_document()
+        assert stats["totals"]["requests"] == 8
+        assert stats["totals"]["executed"] == 8
+        assert stats["router"]["routed"] == 8
+        per_shard_requests = sum(
+            s["service"]["requests"] for s in stats["per_shard"].values()
+        )
+        assert per_shard_requests == stats["totals"]["requests"]
+
+    def test_drain_refuses_new_work(self, harness):
+        h = harness(1)
+        assert h.router.drain(timeout_s=5) is True
+        status, out, retry_after = h.router.handle_run(run_doc(seed=0))
+        assert status == 503 and out["error"] == "draining"
+        assert retry_after is not None
+        status, out, _ = h.router.handle_batch(
+            {"schema": SERVICE_SCHEMA, "requests": [run_doc(seed=0)]}
+        )
+        assert status == 503 and out["error"] == "draining"
+
+
+class TestRouterHttpFront:
+    """The router behind real HTTP: existing clients can't tell it apart."""
+
+    def test_service_client_speaks_to_a_router(self, harness):
+        h = harness(2)
+        front = ReproRouter(h.router, port=0)
+        front.start()
+        try:
+            host, port = front.address
+            client = ServiceClient(host, port)
+            doc = client.run(make_spec(seed=5))
+            assert doc["ok"] and doc["trace"] == "fake-trace-5\n"
+            health = client.health()
+            assert health["role"] == "router" and health["ok"]
+            stats = client.stats()
+            assert stats["router"]["routed"] == 1
+            batch = client.batch([RunRequest(spec=make_spec(seed=s)) for s in range(4)])
+            assert all(d["ok"] for d in batch)
+        finally:
+            front.shutdown(drain_timeout_s=5)
+            front.wait_closed(5)
+
+    def test_client_retries_unavailable_and_eventually_fails(self, harness):
+        h = harness(1, retries=0, revive_after_s=60.0)
+        front = ReproRouter(h.router, port=0)
+        front.start()
+        try:
+            host, port = front.address
+            h.stop_shard(0)
+            client = ServiceClient(host, port, max_retries=1, backoff_s=0.01)
+            with pytest.raises(ServiceUnavailable) as excinfo:
+                client.run(make_spec(seed=0))
+            assert excinfo.value.retriable
+        finally:
+            front.shutdown(drain_timeout_s=5)
+            front.wait_closed(5)
+
+    def test_unknown_paths_are_400(self, harness):
+        h = harness(1)
+        front = ReproRouter(h.router, port=0)
+        front.start()
+        try:
+            host, port = front.address
+            status, doc = http_json_request(host, port, "GET", "/v1/nope")
+            assert status == 400 and doc["error"] == "bad_request"
+            status, doc = http_json_request(host, port, "POST", "/v1/nope", {})
+            assert status == 400
+        finally:
+            front.shutdown(drain_timeout_s=5)
+            front.wait_closed(5)
+
+
+class TestValidation:
+    def test_constructor_rejects_bad_config(self):
+        addr = ShardAddress("0", "127.0.0.1", 1)
+        with pytest.raises(ValueError):
+            RouterService([])
+        with pytest.raises(ValueError):
+            RouterService([addr], max_inflight=0)
+        with pytest.raises(ValueError):
+            RouterService([addr], retries=-1)
+        with pytest.raises(ValueError):
+            RouterService([addr, ShardAddress("0", "127.0.0.1", 2)])
+
+    def test_overloaded_error_class_is_retriable(self):
+        assert ServiceOverloaded("x").retriable
+        assert ServiceUnavailable("x").retriable
