@@ -121,13 +121,19 @@ def _make_teq_push_pop(n: int):
     return setup
 
 
-def _make_dispatch_loop(n_tasks: int, n_workers: int):
+def _make_dispatch_loop(n_tasks: int, n_workers: int, engine_mode: str = "serialized"):
     def setup():
         program = _independent_program(n_tasks)
         models = KernelModelSet(
             models={"DGEMM": LognormalModel(mu_log=-9.0, sigma_log=0.05)},
             family="lognormal",
         )
+        cells = None
+        if engine_mode != "serialized":
+            from ..core.cells import plan_cells
+            from ..machine.topology import get_machine
+
+            cells = plan_cells(get_machine("magny_cours_48"), n_workers)
 
         def fn() -> Optional[int]:
             from ..core.metrics import RunMetrics
@@ -141,6 +147,8 @@ def _make_dispatch_loop(n_tasks: int, n_workers: int):
                 SimulationBackend(models),
                 seed=0,
                 metrics=metrics,
+                engine_mode=engine_mode,
+                cells=cells,
             )
             engine.run()
             return metrics.events_processed
@@ -188,22 +196,46 @@ def _make_hazard_tracking(nt: int):
 
 
 # -- macro benchmarks -------------------------------------------------------
-def _make_simulate(algorithm: str, nt: int, scheduler: str, n_workers: int):
+def _make_simulate(
+    algorithm: str,
+    nt: int,
+    scheduler: str,
+    n_workers: int,
+    engine_mode: str = "serialized",
+):
     def setup():
         program = _GENERATORS[algorithm](nt, 200)
         models = synthetic_models(program)
+        # A partition needs a topology; the serialized default passes none
+        # so the timed region is byte-for-byte the historical benchmark.
+        machine = None if engine_mode == "serialized" else "magny_cours_48"
 
         def fn() -> None:
             sched = make_scheduler(scheduler, n_workers)
-            simulate(program, sched, models, seed=1234)
+            simulate(
+                program,
+                sched,
+                models,
+                seed=1234,
+                engine_mode=engine_mode,
+                machine=machine,
+            )
 
         return fn, len(program)
 
     return setup
 
 
-def default_suite(*, quick: bool = False, workers: int = 48) -> List[BenchSpec]:
-    """The standard suite: four micro benchmarks plus the macro grid."""
+def default_suite(
+    *, quick: bool = False, workers: int = 48, engine_mode: str = "serialized"
+) -> List[BenchSpec]:
+    """The standard suite: the micro benchmarks plus the macro grid.
+
+    ``engine_mode`` selects the event-engine mode for the *macro* benchmarks
+    (``repro bench --engine-mode``); the micro suite always carries both a
+    serialized and a multicell dispatch-loop entry so the two loops can be
+    compared inside a single report.
+    """
     micro_scale = 1 if quick else 4
     macro_repeats = 3 if quick else 5
     specs = [
@@ -220,6 +252,18 @@ def default_suite(*, quick: bool = False, workers: int = 48) -> List[BenchSpec]:
             unit="events/s",
             make=_make_dispatch_loop(4_000 * micro_scale, 16),
             params={"n_tasks": 4_000 * micro_scale, "n_workers": 16},
+        ),
+        BenchSpec(
+            name="micro/dispatch-loop-multicell",
+            group="micro",
+            unit="events/s",
+            make=_make_dispatch_loop(4_000 * micro_scale, 16, engine_mode="multicell"),
+            params={
+                "n_tasks": 4_000 * micro_scale,
+                "n_workers": 16,
+                "engine_mode": "multicell",
+                "machine": "magny_cours_48",
+            },
         ),
         BenchSpec(
             name="micro/duration-sampling",
@@ -244,13 +288,16 @@ def default_suite(*, quick: bool = False, workers: int = 48) -> List[BenchSpec]:
                     name=f"macro/simulate/{algorithm}-nt{nt}/{scheduler}",
                     group="macro",
                     unit="tasks/s",
-                    make=_make_simulate(algorithm, nt, scheduler, workers),
+                    make=_make_simulate(
+                        algorithm, nt, scheduler, workers, engine_mode=engine_mode
+                    ),
                     repeats=macro_repeats,
                     params={
                         "algorithm": algorithm,
                         "nt": nt,
                         "scheduler": scheduler,
                         "n_workers": workers,
+                        "engine_mode": engine_mode,
                     },
                 )
             )

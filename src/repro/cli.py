@@ -59,6 +59,7 @@ from importlib import metadata as _importlib_metadata
 from typing import Callable, Dict, Optional, Sequence
 
 from .algorithms import cholesky_program, lu_program, qr_program
+from .core.cells import ENGINE_MODES, default_engine_mode
 from .core.simulator import run_real, validate
 from .dag import build_dag, dag_stats, write_dot
 from .experiments import (
@@ -107,6 +108,20 @@ def _scheduler(args):
     if getattr(args, "window", None):
         kwargs["window"] = args.window
     return make_scheduler(args.scheduler, args.workers, **kwargs)
+
+
+def _add_engine_mode_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--engine-mode", choices=ENGINE_MODES, default=None,
+                   dest="engine_mode",
+                   help="event-loop realisation: serialized (single queue), "
+                   "multicell (one thread per machine-socket cell), or auto "
+                   "(multicell when the partition is exploitable); default "
+                   "$REPRO_ENGINE_MODE or serialized")
+
+
+def _engine_mode(args) -> str:
+    mode = getattr(args, "engine_mode", None)
+    return default_engine_mode() if mode is None else mode
 
 
 def _add_problem_args(p: argparse.ArgumentParser, *, with_sched: bool = True) -> None:
@@ -176,7 +191,8 @@ def _cmd_run(args) -> int:
 
         metrics = RunMetrics()
     trace = run_real(
-        _program(args), _scheduler(args), machine, seed=args.seed, metrics=metrics
+        _program(args), _scheduler(args), machine, seed=args.seed, metrics=metrics,
+        engine_mode=_engine_mode(args),
     )
     trace.validate()
     if args.metrics_out:
@@ -266,6 +282,7 @@ def _cmd_sweep(args) -> int:
                             machine=args.machine,
                             seed=seed * 1000 + nt,
                             mode="real",
+                            engine_mode=_engine_mode(args),
                         )
                     )
                 if args.mode in ("simulated", "validate"):
@@ -280,6 +297,7 @@ def _cmd_sweep(args) -> int:
                             cal_nt=args.cal_nt,
                             cal_seed=seed,
                             family=args.family,
+                            engine_mode=_engine_mode(args),
                         )
                     )
                 points.append((name, nt, seed, idx))
@@ -519,17 +537,11 @@ def _cmd_client(args) -> int:
         )
     )
     if args.metrics_out:
-        from pathlib import Path
+        from .service import write_client_sweep
 
-        path = Path(args.metrics_out)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        out = {
-            "schema": "repro.client_sweep/v1",
-            "responses": [
-                {"spec": spec.to_dict(), **doc} for spec, doc in zip(specs, docs)
-            ],
-        }
-        path.write_text(json.dumps(out, sort_keys=True, indent=2, default=str) + "\n")
+        # Strict serialisation: a spec that would not survive replay
+        # validation fails here instead of producing a poisoned log.
+        path = write_client_sweep(args.metrics_out, specs, docs)
         print(f"wrote {path}")
     if failures:
         print(f"{failures}/{len(specs)} requests failed", file=sys.stderr)
@@ -622,7 +634,9 @@ def _cmd_bench(args) -> int:
     if args.repeats is not None and args.repeats < 1:
         print("--repeats must be at least 1", file=sys.stderr)
         return 2
-    specs = default_suite(quick=args.quick, workers=args.workers)
+    specs = default_suite(
+        quick=args.quick, workers=args.workers, engine_mode=_engine_mode(args)
+    )
     if args.repeats is not None:
         for spec in specs:
             spec.repeats = args.repeats
@@ -693,6 +707,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="one real run on the machine model")
     _add_problem_args(p)
+    _add_engine_mode_arg(p)
     p.add_argument("--svg", default=None)
     p.add_argument("--gantt", action="store_true")
     p.add_argument("--gantt-width", type=int, default=100, dest="gantt_width")
@@ -744,6 +759,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--probe-dir", default=None, dest="probe_dir",
                    help="attach a recording probe to every run and write "
                    "timeline artifacts (Perfetto/series/attribution) here")
+    _add_engine_mode_arg(p)
     p.add_argument("--verbose", action="store_true",
                    help="print per-run progress to stderr")
     p.set_defaults(fn=_cmd_sweep)
@@ -803,6 +819,7 @@ def build_parser() -> argparse.ArgumentParser:
                    "(1 - this) x baseline")
     p.add_argument("--verbose", action="store_true",
                    help="print per-benchmark progress to stderr")
+    _add_engine_mode_arg(p)
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser(

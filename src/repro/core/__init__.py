@@ -1,5 +1,6 @@
 """Simulator core: task model, clock, TEQ, backends, and the high-level API."""
 
+from .cells import ENGINE_MODES, CellPlan, default_engine_mode, plan_cells, plan_for_run
 from .clock import SimClock
 from .faults import FaultPlan, FaultState
 from .metrics import METRICS_SCHEMA, RunMetrics
@@ -15,6 +16,11 @@ from .watchdog import (
 )
 
 __all__ = [
+    "ENGINE_MODES",
+    "CellPlan",
+    "default_engine_mode",
+    "plan_cells",
+    "plan_for_run",
     "SimClock",
     "FaultPlan",
     "FaultState",

@@ -1,0 +1,229 @@
+"""Cell partitioning of the machine model for the parallel event engine.
+
+The paper parallelizes simulation by reusing the scheduler's own worker
+threads; the partitioned engine goes one step further and parallelizes the
+*event engine* in the style of conservative parallel discrete-event
+simulation (PARSIR's per-processor PDES design, Simics' ``serialized`` /
+``subsystem`` / ``multicore`` threading modes).  The machine model is cut
+into **cells** at the natural per-socket boundary of the Magny-Cours
+topology: every worker belongs to exactly one cell, each cell owns its own
+event queue and clock, and cells advance under conservative synchronization
+with null-message-style horizon updates bounded by a **lookahead** derived
+from the minimum time in which one cell can affect another.
+
+Three engine modes hang off this module's :data:`ENGINE_MODES` switch:
+
+``serialized``
+    The classic single-queue event loop — byte-identical to the golden
+    trace digests, and the default everywhere.
+``multicell``
+    One thread per cell over per-cell event queues.  Requires an
+    exploitable partition (at least two cells); raises otherwise.
+``auto``
+    ``multicell`` when the machine topology yields an exploitable
+    partition, ``serialized`` otherwise (single-socket machines, runs with
+    no machine model at all).  The fallback reason is recorded in
+    ``RunMetrics.extra``.
+
+Because the superscalar runtimes keep *shared* scheduler state (one ready
+queue, one idle-worker pool, one insertion window), any event may touch
+state visible to every cell — the safe inter-cell lookahead for state
+interaction is therefore zero, and the conservative protocol degenerates
+to processing events in global ``(time, sequence)`` order.  That makes
+``multicell`` runs deterministic and trace-identical to ``serialized``
+runs by construction; the computed lookahead still bounds how far an
+*idle* cell's clock may be advanced by horizon updates, and is reported
+for diagnostics.  See ``docs/API.md`` ("Partitioned engine") for the full
+semantics.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..machine.topology import Machine
+
+__all__ = [
+    "ENGINE_MODES",
+    "CellPlan",
+    "backend_duration_floor",
+    "compute_lookahead",
+    "default_engine_mode",
+    "plan_cells",
+    "plan_for_run",
+    "resolve_engine_mode",
+]
+
+#: The three engine modes, in documentation order.
+ENGINE_MODES: Tuple[str, ...] = ("serialized", "multicell", "auto")
+
+#: Environment override for the default engine mode (used by the CI matrix
+#: to run the whole suite under another mode without touching every call).
+_ENV_VAR = "REPRO_ENGINE_MODE"
+
+
+def default_engine_mode() -> str:
+    """``$REPRO_ENGINE_MODE`` if set (validated), else ``"serialized"``."""
+    mode = os.environ.get(_ENV_VAR, "serialized")
+    if mode not in ENGINE_MODES:
+        raise ValueError(
+            f"{_ENV_VAR}={mode!r} is not a valid engine mode; "
+            f"expected one of {ENGINE_MODES}"
+        )
+    return mode
+
+
+@dataclass(frozen=True, slots=True)
+class CellPlan:
+    """A concrete partition of one run's workers into cells.
+
+    Attributes
+    ----------
+    n_cells:
+        Number of cells (distinct sockets hosting at least one worker).
+    cell_of_worker:
+        Worker index → cell id, dense 0..n_cells-1 in socket order.
+    sockets:
+        Cell id → the machine socket that cell models (for reporting).
+    """
+
+    n_cells: int
+    cell_of_worker: Tuple[int, ...]
+    sockets: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.n_cells < 1:
+            raise ValueError("a cell plan needs at least one cell")
+        if len(self.sockets) != self.n_cells:
+            raise ValueError("sockets must name exactly one socket per cell")
+        if not self.cell_of_worker:
+            raise ValueError("a cell plan needs at least one worker")
+        if any(not 0 <= c < self.n_cells for c in self.cell_of_worker):
+            raise ValueError("cell_of_worker references an unknown cell")
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.cell_of_worker)
+
+    @property
+    def exploitable(self) -> bool:
+        """Can the multicell engine do anything a single queue cannot?"""
+        return self.n_cells >= 2
+
+    def workers_in(self, cell: int) -> Tuple[int, ...]:
+        return tuple(w for w, c in enumerate(self.cell_of_worker) if c == cell)
+
+    def to_dict(self) -> dict:
+        return {
+            "n_cells": self.n_cells,
+            "cell_of_worker": list(self.cell_of_worker),
+            "sockets": list(self.sockets),
+        }
+
+
+def plan_cells(machine: "Machine", n_workers: int) -> CellPlan:
+    """Partition ``n_workers`` workers along ``machine``'s socket boundaries.
+
+    Workers occupy cores ``0..n_workers-1`` in order (the same placement the
+    machine backend models), so the partition is simply each worker's socket,
+    re-numbered densely.  Raises when the machine cannot seat the workers —
+    callers running in ``auto`` mode catch this and fall back to serialized.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be positive")
+    if n_workers > machine.n_cores:
+        raise ValueError(
+            f"machine {machine.name!r} has {machine.n_cores} cores but the "
+            f"run wants {n_workers} workers — no per-socket partition exists"
+        )
+    sockets_in_use: list = []
+    cell_ids = []
+    for worker in range(n_workers):
+        socket = machine.socket_of(worker)
+        if socket not in sockets_in_use:
+            sockets_in_use.append(socket)
+        cell_ids.append(sockets_in_use.index(socket))
+    return CellPlan(
+        n_cells=len(sockets_in_use),
+        cell_of_worker=tuple(cell_ids),
+        sockets=tuple(sockets_in_use),
+    )
+
+
+def backend_duration_floor(backend: object) -> float:
+    """A conservative lower bound on any duration ``backend`` can produce.
+
+    Backends may advertise one via a ``duration_floor()`` method; without it
+    the floor is 0.0 (lognormal/gamma models have support down to zero, and
+    zero is always safe for a conservative protocol).
+    """
+    floor_fn = getattr(backend, "duration_floor", None)
+    if floor_fn is None:
+        return 0.0
+    floor = float(floor_fn())
+    if floor < 0.0:
+        raise ValueError(f"backend advertised a negative duration floor {floor!r}")
+    return floor
+
+
+def compute_lookahead(
+    insert_cost: float, dispatch_overhead: float, duration_floor: float
+) -> float:
+    """Minimum virtual time in which one cell can affect another.
+
+    A cross-cell effect is, at the soonest, either the master inserting a
+    new task (``insert_cost`` ahead of its clock) or a task dispatched to
+    another cell's worker completing there (``dispatch_overhead`` plus the
+    smallest kernel duration the backend can draw).  The smaller of the two
+    bounds the null-message horizon.
+    """
+    return min(insert_cost, dispatch_overhead + duration_floor)
+
+
+def plan_for_run(
+    engine_mode: str, machine: Optional["Machine"], n_workers: int
+) -> Optional[CellPlan]:
+    """The :class:`CellPlan` a run should hand the engine, or ``None``.
+
+    ``serialized`` never partitions; ``auto`` tolerates any obstacle (no
+    machine model, oversubscribed machine) and returns ``None`` so the
+    engine falls back; ``multicell`` propagates the failure because the
+    caller demanded a partition.
+    """
+    if engine_mode not in ENGINE_MODES:
+        raise ValueError(f"unknown engine mode {engine_mode!r}; expected one of {ENGINE_MODES}")
+    if engine_mode == "serialized" or machine is None:
+        return None
+    try:
+        return plan_cells(machine, n_workers)
+    except ValueError:
+        if engine_mode == "multicell":
+            raise
+        return None
+
+
+def resolve_engine_mode(
+    mode: str, plan: Optional[CellPlan]
+) -> Tuple[str, Optional[CellPlan], Optional[str]]:
+    """Resolve a requested mode against an (optional) cell plan.
+
+    Returns ``(effective_mode, plan_or_None, fallback_reason_or_None)``.
+    ``multicell`` with no exploitable partition raises; ``auto`` falls back
+    to ``serialized`` and says why.
+    """
+    if mode not in ENGINE_MODES:
+        raise ValueError(f"unknown engine mode {mode!r}; expected one of {ENGINE_MODES}")
+    if mode == "serialized":
+        return "serialized", None, None
+    if plan is None:
+        reason = "no machine topology to partition"
+    elif not plan.exploitable:
+        reason = f"partition has a single cell ({plan.n_workers} workers on one socket)"
+    else:
+        return "multicell", plan, None
+    if mode == "multicell":
+        raise ValueError(f"engine_mode='multicell' needs an exploitable partition: {reason}")
+    return "serialized", None, reason

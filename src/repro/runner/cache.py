@@ -51,8 +51,21 @@ def partition_cache_dir(root: Union[str, Path], shard_id: Union[int, str]) -> Pa
     directory contention, per-shard eviction/inspection stays trivial) while
     the entries inside remain ordinary :class:`ResultCache` entries that any
     offline ``repro sweep`` could also have produced.
+
+    Numeric ids are normalised (zero-padded to two digits, wider ids kept
+    as-is) whether they arrive as ``int`` or ``str``, so the same logical
+    shard addressed as ``5`` or ``"5"`` maps to one partition; non-numeric
+    string ids are used verbatim.
     """
-    name = f"shard-{shard_id:02d}" if isinstance(shard_id, int) else f"shard-{shard_id}"
+    if isinstance(shard_id, bool):
+        raise TypeError("shard_id must be an int or str, not bool")
+    if isinstance(shard_id, int) or (isinstance(shard_id, str) and shard_id.isdigit()):
+        numeric = int(shard_id)
+        if numeric < 0:
+            raise ValueError(f"numeric shard ids must be non-negative, got {numeric}")
+        name = f"shard-{numeric:02d}"
+    else:
+        name = f"shard-{shard_id}"
     return Path(root) / name
 
 

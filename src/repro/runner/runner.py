@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..core.cells import plan_for_run
 from ..core.metrics import RunMetrics
 from ..core.simbackend import SimulationBackend
 from ..kernels.timing import KernelModelSet
@@ -93,9 +94,11 @@ def execute_spec(
         )
     else:
         scheduler = spec.scheduler.build()
+        cells = plan_for_run(spec.engine_mode, machine, scheduler.n_workers)
         trace = scheduler.run(
             program, backend, seed=spec.seed, trace_meta=trace_meta,
             metrics=metrics, probe=probe,
+            engine_mode=spec.engine_mode, cells=cells,
         )
     metrics.extra.update(
         {
@@ -107,6 +110,7 @@ def execute_spec(
             "seed": spec.seed,
             "mode": spec.mode,
             "runtime": spec.runtime,
+            "engine_mode": spec.engine_mode,
         }
     )
     return trace, metrics

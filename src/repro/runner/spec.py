@@ -23,6 +23,7 @@ from dataclasses import asdict, dataclass, replace
 from typing import Any, Dict, Optional
 
 from ..algorithms import cholesky_program, lu_program, qr_program
+from ..core.cells import ENGINE_MODES
 from ..core.task import Program
 from ..core.watchdog import STALL_POLICIES, StallPolicy
 from ..schedulers import make_scheduler
@@ -172,6 +173,12 @@ class RunSpec:
     family: str = "lognormal"
     warmup: bool = True  # apply the machine's warm-up penalty in sim
 
+    # -- event-loop realisation (engine runtime only) ----------------------
+    #: serialized | multicell | auto — see :mod:`repro.core.cells`.  Every
+    #: mode produces the same trace, so ``serialized`` (the default) is
+    #: normalised out of the cache key.
+    engine_mode: str = "serialized"
+
     def __post_init__(self) -> None:
         if self.mode not in ("real", "simulated"):
             raise ValueError(f"unknown mode {self.mode!r}; choose real/simulated")
@@ -179,6 +186,15 @@ class RunSpec:
             raise ValueError("simulated runs need cal_nt (calibration problem size)")
         if self.runtime not in RUNTIMES:
             raise ValueError(f"unknown runtime {self.runtime!r}; choose from {RUNTIMES}")
+        if self.engine_mode not in ENGINE_MODES:
+            raise ValueError(
+                f"unknown engine_mode {self.engine_mode!r}; choose from {ENGINE_MODES}"
+            )
+        if self.runtime == "threaded" and self.engine_mode != "serialized":
+            raise ValueError(
+                "the threaded runtime has no partitioned event loop; "
+                "engine_mode must stay 'serialized' with runtime='threaded'"
+            )
         if self.runtime == "threaded":
             from ..core.threaded import RACE_GUARDS  # deferred: heavy module
 
@@ -259,5 +275,10 @@ class RunSpec:
         doc.pop("on_stall", None)
         if self.runtime != "threaded":
             doc.pop("guard", None)
+        # The default serialized loop is normalised out so pre-existing keys
+        # survive; non-default modes stay in — traces agree by construction,
+        # but the recorded metrics (per-cell counters, wall time) differ.
+        if self.engine_mode == "serialized":
+            doc.pop("engine_mode", None)
         canon = json.dumps(doc, sort_keys=True, default=str)
         return hashlib.sha256(canon.encode()).hexdigest()

@@ -180,6 +180,8 @@ class SchedulerBase:
         trace_meta: Optional[Dict[str, object]] = None,
         metrics: Optional["RunMetrics"] = None,
         probe: Optional[object] = None,
+        engine_mode: str = "serialized",
+        cells: Optional[object] = None,
     ) -> "Trace":
         """Execute ``program`` against ``backend`` and return the trace.
 
@@ -189,7 +191,11 @@ class SchedulerBase:
         collects the run's :class:`~repro.core.metrics.RunMetrics` counters.
         ``probe``, when given and enabled, receives the scheduler-internal
         event stream (see :mod:`repro.obs.probe`); probes observe only and
-        never change the trace.
+        never change the trace.  ``engine_mode`` selects the event-loop
+        realisation (``serialized``/``multicell``/``auto``, see
+        :mod:`repro.core.cells`); ``cells`` is the
+        :class:`~repro.core.cells.CellPlan` partitioning the workers, needed
+        for the multicell modes.  Every mode produces the same trace.
         """
         from .engine import Engine  # local import to avoid a cycle
 
@@ -201,6 +207,8 @@ class SchedulerBase:
             trace_meta=trace_meta,
             metrics=metrics,
             probe=probe,
+            engine_mode=engine_mode,
+            cells=cells,
         )
         return engine.run()
 

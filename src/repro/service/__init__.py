@@ -34,7 +34,14 @@ No dependency beyond the standard library is introduced: transport is
 ``http.server`` / ``http.client``, payloads are JSON.
 """
 
-from .client import ServiceClient, http_json_request, sweep_via_service  # noqa: F401
+from .client import (  # noqa: F401
+    CLIENT_SWEEP_SCHEMA,
+    ServiceClient,
+    client_sweep_document,
+    http_json_request,
+    sweep_via_service,
+    write_client_sweep,
+)
 from .core import (  # noqa: F401
     ServedResult,
     ServiceClosed,
@@ -77,8 +84,11 @@ __all__ = [
     "ReproServer",
     "serve",
     "ServiceClient",
+    "CLIENT_SWEEP_SCHEMA",
+    "client_sweep_document",
     "http_json_request",
     "sweep_via_service",
+    "write_client_sweep",
     "HashRing",
     "NoLiveShard",
     "RouterService",

@@ -30,7 +30,18 @@ from .core import (
 )
 from .protocol import SERVICE_SCHEMA, RunRequest
 
-__all__ = ["ServiceClient", "http_json_request", "sweep_via_service"]
+__all__ = [
+    "CLIENT_SWEEP_SCHEMA",
+    "ServiceClient",
+    "client_sweep_document",
+    "http_json_request",
+    "sweep_via_service",
+    "write_client_sweep",
+]
+
+#: Schema tag of the ``repro client --metrics-out`` responses file, which
+#: :func:`repro.service.loadgen.load_request_log` replays.
+CLIENT_SWEEP_SCHEMA = "repro.client_sweep/v1"
 
 _ERROR_TYPES = {
     "overloaded": ServiceOverloaded,
@@ -236,3 +247,47 @@ def sweep_via_service(
 
     with ThreadPoolExecutor(max_workers=min(jobs, max(1, len(specs)))) as pool:
         return list(pool.map(one, enumerate(specs)))
+
+
+def client_sweep_document(
+    specs: Sequence[RunSpec], docs: Sequence[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """The ``repro.client_sweep/v1`` document for a finished client sweep."""
+    if len(specs) != len(docs):
+        raise ValueError(
+            f"{len(specs)} specs but {len(docs)} response documents — "
+            "a client sweep pairs them one-to-one"
+        )
+    return {
+        "schema": CLIENT_SWEEP_SCHEMA,
+        "responses": [
+            {"spec": spec.to_dict(), **doc} for spec, doc in zip(specs, docs)
+        ],
+    }
+
+
+def write_client_sweep(
+    path: Union[str, "Path"], specs: Sequence[RunSpec], docs: Sequence[Dict[str, Any]]
+) -> "Path":
+    """Write a client-sweep responses file that is guaranteed to replay.
+
+    Serialisation is *strict*: no ``default=`` fallback, so a spec or
+    response carrying a non-JSON-native value (a numpy scalar seed, a Path)
+    raises here — at write time, with a clear message — instead of silently
+    stringifying into a file whose specs fail ``RunRequest.from_document``
+    validation when ``repro loadgen`` replays it.
+    """
+    from pathlib import Path
+
+    doc = client_sweep_document(specs, docs)
+    try:
+        text = json.dumps(doc, sort_keys=True, indent=2)
+    except TypeError as exc:
+        raise TypeError(
+            f"client sweep document is not strictly JSON-serialisable ({exc}); "
+            "refusing to write a replay log that would fail validation"
+        ) from exc
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(text + "\n")
+    return out

@@ -37,7 +37,7 @@ from collections import Counter
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from .client import http_json_request
+from .client import CLIENT_SWEEP_SCHEMA, http_json_request
 from .protocol import ERROR_CODES, SERVICE_SCHEMA, RunRequest
 
 __all__ = ["LOADGEN_SCHEMA", "load_request_log", "percentile", "run_loadgen", "summarize"]
@@ -65,12 +65,40 @@ def load_request_log(path: Union[str, Path]) -> List[Dict[str, Any]]:
     --metrics-out``) whose per-response ``spec`` entries are replayed.
     Every document is validated before the run starts — a malformed trace
     fails fast, not ten seconds into the measurement.
+
+    Client-sweep files can legitimately contain error documents with no
+    usable ``spec`` (``sweep_via_service`` records failures in-slot, and
+    hand-trimmed logs drop fields): those entries are skipped with a
+    warning counting them, and only a file with *no* replayable entry is an
+    error.
     """
     import json
+    import warnings
 
     doc = json.loads(Path(path).read_text())
-    if isinstance(doc, dict) and doc.get("schema") == "repro.client_sweep/v1":
-        raw = [{"schema": SERVICE_SCHEMA, "spec": r["spec"]} for r in doc["responses"]]
+    if isinstance(doc, dict) and doc.get("schema") == CLIENT_SWEEP_SCHEMA:
+        responses = doc.get("responses")
+        if not isinstance(responses, list):
+            raise ValueError(f"{path}: client_sweep file without a responses list")
+        raw = []
+        dropped = 0
+        for r in responses:
+            spec = r.get("spec") if isinstance(r, dict) else None
+            if isinstance(spec, dict):
+                raw.append({"schema": SERVICE_SCHEMA, "spec": spec})
+            else:
+                dropped += 1
+        if dropped:
+            if not raw:
+                raise ValueError(
+                    f"{path}: none of the {dropped} client_sweep responses "
+                    "carries a replayable spec"
+                )
+            warnings.warn(
+                f"{path}: skipped {dropped} of {len(responses)} client_sweep "
+                "responses without a replayable spec (error documents?)",
+                stacklevel=2,
+            )
     elif isinstance(doc, dict) and isinstance(doc.get("requests"), list):
         raw = doc["requests"]
     elif isinstance(doc, list):
@@ -312,6 +340,11 @@ def run_loadgen(
             "max": round(latencies[-1], 6),
         },
         "per_shard": _per_shard_delta(stats_before, stats_after),
+        # The router's own keyspace-balance diagnostic (marked-down shards
+        # excluded), so a degraded run records the distribution it measured.
+        "ring_balance": stats_after.get("ring")
+        if isinstance(stats_after, dict)
+        else None,
     }
     return report
 

@@ -106,9 +106,24 @@ class HashRing:
                 return shard
         raise NoLiveShard(f"no live shard for key {key!r}")  # pragma: no cover
 
-    def spread(self, keys: Iterable[str]) -> dict:
-        """Shard → key-count histogram (balance diagnostics, tests)."""
-        counts: dict = {shard: 0 for shard in self._shards}
+    def spread(
+        self,
+        keys: Iterable[str],
+        *,
+        exclude: Union[Set[str], FrozenSet[str], Sequence[str]] = (),
+    ) -> dict:
+        """Shard → key-count histogram (balance diagnostics, tests).
+
+        ``exclude`` mirrors :meth:`route`: excluded shards are dropped from
+        the histogram and their keys counted against the rehash successors,
+        so degraded-fleet diagnostics report the distribution the marked-down
+        ring actually serves — identical to ``spread`` of a ring rebuilt
+        without the excluded shards.
+        """
+        excluded = set(exclude)
+        counts: dict = {shard: 0 for shard in self._shards - excluded}
+        if not counts:
+            raise NoLiveShard("no live shard to spread keys over")
         for key in keys:
-            counts[self.route(key)] += 1
+            counts[self.route(key, exclude=excluded)] += 1
         return counts

@@ -507,6 +507,7 @@ class RouterService:
         up = 0
         with self._lock:
             router = self._stats.to_dict()
+            excluded = self._excluded(time.monotonic())
             snapshot = {
                 sid: {
                     "host": shard.address.host,
@@ -537,6 +538,15 @@ class RouterService:
                 entry["service"] = None
                 entry["error"] = str(doc)
             per_shard[sid] = entry
+        # Keyspace balance of the ring *as currently served*: marked-down
+        # shards are excluded, so their slices count against the rehash
+        # successors actually absorbing the traffic.
+        try:
+            balance = self._ring.spread(
+                (f"balance-{i}" for i in range(512)), exclude=excluded
+            )
+        except NoLiveShard:
+            balance = {}
         return {
             "schema": SERVICE_SCHEMA,
             "ok": True,
@@ -546,6 +556,11 @@ class RouterService:
             "router": router,
             "totals": totals,
             "per_shard": per_shard,
+            "ring": {
+                "vnodes": self._ring.vnodes,
+                "excluded": sorted(excluded),
+                "balance": balance,
+            },
         }
 
     # -- lifecycle ---------------------------------------------------------

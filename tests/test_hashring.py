@@ -82,6 +82,23 @@ class TestRingProperties:
         for key in key_set:
             assert ring.route(key, exclude={victim}) == rebuilt.route(key)
 
+    @given(shards=shard_ids, key_set=keys, victim_idx=st.integers(min_value=0))
+    @settings(max_examples=50, deadline=None)
+    def test_spread_exclusion_equals_removal(self, shards, key_set, victim_idx):
+        """spread(keys, exclude={s}) equals spread over the ring rebuilt
+        without s — the same identity route() guarantees, lifted to the
+        balance histogram the router's stats endpoint reports.
+        """
+        if len(shards) < 2:
+            return
+        ring = HashRing(shards, vnodes=16)
+        victim = shards[victim_idx % len(shards)]
+        rebuilt = HashRing([s for s in shards if s != victim], vnodes=16)
+        got = ring.spread(key_set, exclude={victim})
+        assert got == rebuilt.spread(key_set)
+        assert victim not in got
+        assert sum(got.values()) == len(key_set)
+
     @given(shards=shard_ids)
     @settings(max_examples=30, deadline=None)
     def test_addition_steals_only_from_existing_shards(self, shards):
@@ -129,6 +146,11 @@ class TestRingUnits:
         assert "a" in ring and "ghost" not in ring
         ring.remove("a")
         assert len(ring) == 1 and "a" not in ring
+
+    def test_spread_excluding_every_shard_raises(self):
+        ring = HashRing(["a", "b"])
+        with pytest.raises(NoLiveShard):
+            ring.spread(["key"], exclude={"a", "b"})
 
     def test_virtual_nodes_balance_the_keyspace(self):
         """With vnodes, 4 shards each own a sane share of 4000 keys."""

@@ -87,6 +87,70 @@ class TestRequestLog:
         )
         assert len(load_request_log(path)) == 2
 
+    def test_error_documents_are_skipped_with_a_warning(self, tmp_path):
+        # Regression: an in-slot error document (sweep_via_service records
+        # failures without a spec) used to crash the loader with a bare
+        # KeyError instead of being skipped.
+        path = tmp_path / "sweep.json"
+        responses = [
+            {"spec": make_spec(seed=0).to_dict(), "ok": True},
+            {"ok": False, "error": "timeout", "message": "deadline exceeded"},
+            {"spec": make_spec(seed=1).to_dict(), "ok": True},
+            {"ok": False, "error": "overloaded", "spec": None},
+        ]
+        path.write_text(
+            json.dumps({"schema": "repro.client_sweep/v1", "responses": responses})
+        )
+        with pytest.warns(UserWarning, match="skipped 2 of 4"):
+            docs = load_request_log(path)
+        assert len(docs) == 2
+
+    def test_sweep_with_no_replayable_spec_fails_fast(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": "repro.client_sweep/v1",
+                    "responses": [{"ok": False, "error": "timeout"}],
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="replayable spec"):
+            load_request_log(path)
+
+    def test_sweep_without_responses_list_rejected(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({"schema": "repro.client_sweep/v1"}))
+        with pytest.raises(ValueError, match="responses"):
+            load_request_log(path)
+
+    def test_written_sweep_replays_through_the_loader(self, tmp_path):
+        # Regression: ``repro client --metrics-out`` used to serialize with
+        # ``default=str``, producing files whose specs failed validation at
+        # replay.  The strict writer must produce a loadable file.
+        from repro.service import write_client_sweep
+
+        specs = [make_spec(seed=s) for s in range(3)]
+        docs = [{"ok": True, "cached": False} for _ in specs]
+        out = write_client_sweep(tmp_path / "sweep.json", specs, docs)
+        loaded = load_request_log(out)
+        assert len(loaded) == 3
+        assert [d["spec"]["seed"] for d in loaded] == [0, 1, 2]
+
+    def test_writer_refuses_non_json_native_values(self, tmp_path):
+        # The old ``default=str`` path would have silently stringified this.
+        from pathlib import Path as _P
+
+        from repro.service import client_sweep_document, write_client_sweep
+
+        specs = [make_spec(seed=0)]
+        docs = [{"ok": True, "artifact": _P("/tmp/x")}]
+        with pytest.raises(TypeError, match="not strictly JSON-serialisable"):
+            write_client_sweep(tmp_path / "sweep.json", specs, docs)
+        assert not (tmp_path / "sweep.json").exists()
+        with pytest.raises(ValueError, match="one-to-one"):
+            client_sweep_document(specs, [])
+
     def test_rejects_malformed_traces(self, tmp_path):
         empty = tmp_path / "empty.json"
         empty.write_text("[]")

@@ -1,0 +1,412 @@
+"""Tests for the cell-partitioned parallel event engine.
+
+The headline guarantee under test: every engine mode produces the *same
+trace*.  ``serialized`` must stay byte-identical to the golden digests in
+``tests/data/preopt_trace_digests.json`` (with and without a probe
+attached), and ``multicell`` must reproduce those same bytes over per-cell
+event queues — the conservative protocol degenerates to global-order
+processing because the superscalar runtimes share scheduler state, so the
+equivalence is exact, not merely statistical.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import cholesky_program, qr_program
+from repro.bench import synthetic_models
+from repro.core.cells import (
+    ENGINE_MODES,
+    CellPlan,
+    backend_duration_floor,
+    compute_lookahead,
+    default_engine_mode,
+    plan_cells,
+    plan_for_run,
+    resolve_engine_mode,
+)
+from repro.core.metrics import RunMetrics
+from repro.core.simulator import run_real, simulate
+from repro.core.task import Program
+from repro.machine.topology import get_machine
+from repro.obs import RecordingProbe, build_series, trace_event_document
+from repro.obs.probe import CELL_ADVANCE
+from repro.runner import ProgramSpec, RunSpec, SchedulerSpec, execute_spec
+from repro.schedulers import make_scheduler
+from repro.trace.textio import dumps_trace
+
+DATA = Path(__file__).parent / "data"
+SCHEDULERS = ("quark", "starpu", "ompss")
+
+
+def _digest(trace) -> str:
+    return hashlib.sha256(dumps_trace(trace).encode()).hexdigest()
+
+
+# -- cell planning ----------------------------------------------------------
+class TestCellPlanning:
+    def test_magny_cours_16_workers_splits_at_the_socket(self):
+        plan = plan_cells(get_machine("magny_cours_48"), 16)
+        assert plan.n_cells == 2
+        assert plan.cell_of_worker == (0,) * 12 + (1,) * 4
+        assert plan.sockets == (0, 1)
+        assert plan.exploitable
+        assert plan.workers_in(1) == (12, 13, 14, 15)
+
+    def test_full_machine_uses_every_socket(self):
+        machine = get_machine("magny_cours_48")
+        plan = plan_cells(machine, machine.n_cores)
+        assert plan.n_cells == machine.n_sockets
+        assert plan.n_workers == machine.n_cores
+
+    def test_single_socket_plan_is_not_exploitable(self):
+        plan = plan_cells(get_machine("magny_cours_48"), 4)
+        assert plan.n_cells == 1
+        assert not plan.exploitable
+
+    def test_oversubscribed_machine_raises(self):
+        with pytest.raises(ValueError, match="no per-socket partition"):
+            plan_cells(get_machine("uniform_4"), 16)
+        with pytest.raises(ValueError, match="positive"):
+            plan_cells(get_machine("uniform_4"), 0)
+
+    def test_cell_plan_validation(self):
+        with pytest.raises(ValueError, match="at least one cell"):
+            CellPlan(n_cells=0, cell_of_worker=(), sockets=())
+        with pytest.raises(ValueError, match="one socket per cell"):
+            CellPlan(n_cells=2, cell_of_worker=(0, 1), sockets=(0,))
+        with pytest.raises(ValueError, match="at least one worker"):
+            CellPlan(n_cells=1, cell_of_worker=(), sockets=(0,))
+        with pytest.raises(ValueError, match="unknown cell"):
+            CellPlan(n_cells=1, cell_of_worker=(0, 1), sockets=(0,))
+
+    def test_to_dict_round_trips_the_layout(self):
+        plan = plan_cells(get_machine("magny_cours_48"), 13)
+        doc = plan.to_dict()
+        assert doc == {
+            "n_cells": 2,
+            "cell_of_worker": [0] * 12 + [1],
+            "sockets": [0, 1],
+        }
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_plan_for_run_modes(self):
+        machine = get_machine("magny_cours_48")
+        assert plan_for_run("serialized", machine, 16) is None
+        assert plan_for_run("auto", None, 16) is None
+        assert plan_for_run("auto", get_machine("uniform_4"), 16) is None
+        assert plan_for_run("multicell", machine, 16).n_cells == 2
+        with pytest.raises(ValueError, match="no per-socket partition"):
+            plan_for_run("multicell", get_machine("uniform_4"), 16)
+        with pytest.raises(ValueError, match="unknown engine mode"):
+            plan_for_run("parallel", machine, 16)
+
+    def test_resolve_engine_mode(self):
+        plan = plan_cells(get_machine("magny_cours_48"), 16)
+        assert resolve_engine_mode("serialized", plan) == ("serialized", None, None)
+        assert resolve_engine_mode("multicell", plan) == ("multicell", plan, None)
+        effective, got, reason = resolve_engine_mode("auto", None)
+        assert (effective, got) == ("serialized", None)
+        assert "no machine topology" in reason
+        single = plan_cells(get_machine("magny_cours_48"), 4)
+        effective, got, reason = resolve_engine_mode("auto", single)
+        assert (effective, got) == ("serialized", None)
+        assert "single cell" in reason
+        with pytest.raises(ValueError, match="exploitable partition"):
+            resolve_engine_mode("multicell", single)
+
+    def test_lookahead_rule(self):
+        # min(insert_cost, dispatch_overhead + duration_floor)
+        assert compute_lookahead(1.5e-6, 2e-6, 0.0) == 1.5e-6
+        assert compute_lookahead(5e-6, 1e-6, 1e-6) == 2e-6
+
+    def test_backend_duration_floor(self):
+        class Bare:
+            pass
+
+        class Advertises:
+            def duration_floor(self):
+                return 3e-6
+
+        class Broken:
+            def duration_floor(self):
+                return -1.0
+
+        assert backend_duration_floor(Bare()) == 0.0
+        assert backend_duration_floor(Advertises()) == 3e-6
+        with pytest.raises(ValueError, match="negative duration floor"):
+            backend_duration_floor(Broken())
+
+    def test_default_engine_mode_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE_MODE", raising=False)
+        assert default_engine_mode() == "serialized"
+        for mode in ENGINE_MODES:
+            monkeypatch.setenv("REPRO_ENGINE_MODE", mode)
+            assert default_engine_mode() == mode
+        monkeypatch.setenv("REPRO_ENGINE_MODE", "turbo")
+        with pytest.raises(ValueError, match="REPRO_ENGINE_MODE"):
+            default_engine_mode()
+
+
+# -- golden equivalence -----------------------------------------------------
+class TestGoldenEquivalence:
+    """The acceptance gate: every mode reproduces the golden digests."""
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_multicell_matches_golden_digests(self, scheduler):
+        digests = json.loads((DATA / "preopt_trace_digests.json").read_text())["digests"]
+        for algorithm, gen in (("cholesky", cholesky_program), ("qr", qr_program)):
+            program = gen(8, 200)
+            models = synthetic_models(program)
+            sim_trace = simulate(
+                program,
+                make_scheduler(scheduler, 16),
+                models,
+                seed=1234,
+                warmup_penalty=1e-3,
+                engine_mode="multicell",
+                machine="magny_cours_48",
+            )
+            assert _digest(sim_trace) == digests[f"sim/{algorithm}/{scheduler}/nt8"], (
+                f"multicell simulated trace drifted: {algorithm}/{scheduler}"
+            )
+            real_trace = run_real(
+                program,
+                make_scheduler(scheduler, 16),
+                "magny_cours_48",
+                seed=77,
+                engine_mode="multicell",
+            )
+            assert _digest(real_trace) == digests[f"real/{algorithm}/{scheduler}/nt8"], (
+                f"multicell real-mode trace drifted: {algorithm}/{scheduler}"
+            )
+
+    @pytest.mark.parametrize("engine_mode", ["serialized", "multicell"])
+    def test_probe_never_perturbs_the_golden_trace(self, engine_mode):
+        digests = json.loads((DATA / "preopt_trace_digests.json").read_text())["digests"]
+        program = cholesky_program(8, 200)
+        models = synthetic_models(program)
+        trace = simulate(
+            program,
+            make_scheduler("quark", 16),
+            models,
+            seed=1234,
+            warmup_penalty=1e-3,
+            engine_mode=engine_mode,
+            machine="magny_cours_48",
+            probe=RecordingProbe(),
+        )
+        assert _digest(trace) == digests["sim/cholesky/quark/nt8"]
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_metrics_equivalent_across_modes(self, scheduler):
+        program = cholesky_program(8, 200)
+        models = synthetic_models(program)
+        collected = {}
+        for mode in ("serialized", "multicell"):
+            metrics = RunMetrics()
+            simulate(
+                program,
+                make_scheduler(scheduler, 16),
+                models,
+                seed=1234,
+                warmup_penalty=1e-3,
+                engine_mode=mode,
+                machine="magny_cours_48",
+                metrics=metrics,
+            )
+            collected[mode] = metrics
+        a, b = collected["serialized"], collected["multicell"]
+        assert a.events_processed == b.events_processed
+        assert a.heap_pushes == b.heap_pushes
+        assert a.peak_heap_depth == b.peak_heap_depth
+        engine = b.extra["engine"]
+        assert engine["mode"] == engine["effective"] == "multicell"
+        assert engine["cells"]["n_cells"] == 2
+        assert sum(engine["cell_events"]) == b.events_processed
+        assert engine["lookahead_s"] > 0.0
+        # The serialized run's metrics document is unchanged by the feature.
+        assert "engine" not in a.extra
+
+
+# -- differential (Hypothesis) ----------------------------------------------
+@st.composite
+def _random_programs(draw):
+    """Small random task DAGs with genuine RAW/WAR/WAW hazard structure."""
+    n_refs = draw(st.integers(min_value=2, max_value=6))
+    n_tasks = draw(st.integers(min_value=1, max_value=25))
+    program = Program("hypothesis")
+    refs = [program.registry.alloc("R", 64, key=("R", i)) for i in range(n_refs)]
+    for _ in range(n_tasks):
+        kernel = draw(st.sampled_from(["DGEMM", "DTRSM", "DSYRK"]))
+        w = draw(st.integers(min_value=0, max_value=n_refs - 1))
+        reads = draw(
+            st.lists(st.integers(min_value=0, max_value=n_refs - 1), max_size=3)
+        )
+        accesses = [refs[w].write()] + [refs[r].read() for r in set(reads) - {w}]
+        program.add_task(kernel, accesses, flops=1.0)
+    return program
+
+
+class TestDifferential:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        program=_random_programs(),
+        scheduler=st.sampled_from(SCHEDULERS),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n_workers=st.sampled_from([13, 16, 24, 48]),
+    )
+    def test_multicell_trace_identical_to_serialized(
+        self, program, scheduler, seed, n_workers
+    ):
+        models = synthetic_models(program)
+        traces = {}
+        for mode in ("serialized", "multicell"):
+            traces[mode] = simulate(
+                program,
+                make_scheduler(scheduler, n_workers),
+                models,
+                seed=seed,
+                engine_mode=mode,
+                machine="magny_cours_48",
+            )
+        assert dumps_trace(traces["serialized"]) == dumps_trace(traces["multicell"])
+
+
+# -- mode selection, fallback, spec plumbing --------------------------------
+def _spec(**kwargs):
+    return RunSpec(
+        program=ProgramSpec("cholesky", 4, 100),
+        scheduler=SchedulerSpec("quark", 16),
+        machine="magny_cours_48",
+        seed=0,
+        mode="real",
+        **kwargs,
+    )
+
+
+class TestModeSelection:
+    def test_auto_falls_back_on_single_socket(self):
+        program = cholesky_program(4, 100)
+        metrics = RunMetrics()
+        run_real(
+            program,
+            make_scheduler("quark", 4),
+            "uniform_4",
+            seed=0,
+            metrics=metrics,
+            engine_mode="auto",
+        )
+        engine = metrics.extra["engine"]
+        assert engine["mode"] == "auto"
+        assert engine["effective"] == "serialized"
+        assert "single cell" in engine["fallback_reason"]
+
+    def test_forced_multicell_on_single_socket_raises(self):
+        program = cholesky_program(4, 100)
+        with pytest.raises(ValueError, match="exploitable partition"):
+            run_real(
+                program,
+                make_scheduler("quark", 4),
+                "uniform_4",
+                seed=0,
+                engine_mode="multicell",
+            )
+
+    def test_spec_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="engine_mode"):
+            _spec(engine_mode="turbo")
+
+    def test_threaded_runtime_keeps_serialized_engine(self):
+        with pytest.raises(ValueError, match="threaded"):
+            RunSpec(
+                program=ProgramSpec("cholesky", 4, 100),
+                scheduler=SchedulerSpec("quark", 16),
+                machine="magny_cours_48",
+                seed=0,
+                mode="simulated",
+                cal_nt=4,
+                runtime="threaded",
+                engine_mode="multicell",
+            )
+
+    def test_cache_key_backward_compatible(self):
+        # Documents written before the engine_mode field existed must keep
+        # hashing to the same key as today's serialized default.
+        spec = _spec()
+        doc = spec.to_dict()
+        assert doc.pop("engine_mode") == "serialized"
+        assert RunSpec.from_dict(doc).cache_key() == spec.cache_key()
+        assert _spec(engine_mode="serialized").cache_key() == spec.cache_key()
+        # Non-default modes keep distinct entries: the metrics differ.
+        assert _spec(engine_mode="auto").cache_key() != spec.cache_key()
+        assert _spec(engine_mode="multicell").cache_key() != _spec(
+            engine_mode="auto"
+        ).cache_key()
+
+    def test_execute_spec_records_mode_and_matches_serialized(self):
+        trace_serial, _ = execute_spec(_spec())
+        trace_multi, metrics = execute_spec(_spec(engine_mode="multicell"))
+        assert dumps_trace(trace_serial) == dumps_trace(trace_multi)
+        assert metrics.extra["engine_mode"] == "multicell"
+        assert metrics.extra["engine"]["effective"] == "multicell"
+
+
+# -- observability ----------------------------------------------------------
+class TestCellObservability:
+    def _probed_run(self):
+        program = cholesky_program(6, 100)
+        models = synthetic_models(program)
+        probe = RecordingProbe()
+        trace = simulate(
+            program,
+            make_scheduler("quark", 16),
+            models,
+            seed=7,
+            engine_mode="multicell",
+            machine="magny_cours_48",
+            probe=probe,
+        )
+        return trace, probe
+
+    def test_probe_carries_cell_advances(self):
+        _, probe = self._probed_run()
+        advances = [e for e in probe.sorted_events() if e.kind == CELL_ADVANCE]
+        assert advances
+        assert {e.worker for e in advances} == {0, 1}
+        assert all(e.value >= 0.0 for e in advances)
+
+    def test_series_gains_per_cell_depth_tracks(self):
+        _, probe = self._probed_run()
+        series = build_series(probe)
+        assert "cell0_depth" in series
+        assert "cell1_depth" in series
+        assert series["cell0_depth"].times
+
+    def test_perfetto_export_gains_cell_lanes(self):
+        trace, probe = self._probed_run()
+        doc = trace_event_document(trace, probe)
+        events = doc["traceEvents"]
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e.get("ph") == "M" and e.get("name") == "process_name"
+        }
+        assert "cells" in names
+        lanes = [e for e in events if e.get("cat") == "cell"]
+        assert lanes
+        assert {e["tid"] for e in lanes} <= {0, 1}
+        for e in lanes:
+            assert e["ph"] == "i"
+            assert "ts" in e and "pid" in e and "name" in e
+
+    def test_serialized_run_emits_no_cell_events(self):
+        program = cholesky_program(4, 100)
+        models = synthetic_models(program)
+        probe = RecordingProbe()
+        simulate(program, make_scheduler("quark", 16), models, seed=7, probe=probe)
+        assert not [e for e in probe.sorted_events() if e.kind == CELL_ADVANCE]

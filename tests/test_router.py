@@ -325,6 +325,31 @@ class TestAggregation:
         )
         assert per_shard_requests == stats["totals"]["requests"]
 
+    def test_stats_report_ring_balance(self, harness):
+        h = harness(3)
+        stats = h.router.stats_document()
+        ring = stats["ring"]
+        assert ring["vnodes"] >= 1
+        assert ring["excluded"] == []
+        assert set(ring["balance"]) == {"0", "1", "2"}
+        assert sum(ring["balance"].values()) == 512
+
+    def test_ring_balance_excludes_marked_down_shards(self, harness):
+        # The balance diagnostic must use the same exclusion the forwarding
+        # path uses, so a degraded fleet reports the distribution it is
+        # actually serving.
+        h = harness(2, revive_after_s=60.0)
+        seed = next(
+            s for s in range(100) if h.router.shard_for(make_spec(seed=s).cache_key()) == "0"
+        )
+        h.stop_shard(0)
+        status, _, _ = h.router.handle_run(run_doc(seed=seed))
+        assert status == 200
+        ring = h.router.stats_document()["ring"]
+        assert ring["excluded"] == ["0"]
+        assert set(ring["balance"]) == {"1"}
+        assert sum(ring["balance"].values()) == 512
+
     def test_drain_refuses_new_work(self, harness):
         h = harness(1)
         assert h.router.drain(timeout_s=5) is True

@@ -14,6 +14,7 @@ from repro.runner import (
     RunSpec,
     SchedulerSpec,
     execute_spec,
+    partition_cache_dir,
     run_cached,
     sweep,
 )
@@ -101,6 +102,28 @@ class TestSpecs:
         policy = spec.stall_policy()
         assert policy.timeout_s == 7.5
         assert policy.on_stall == "recover"
+
+
+class TestPartitionNaming:
+    def test_int_and_str_ids_map_to_one_partition(self, tmp_path):
+        # Regression: `5` used to format as shard-05 but `"5"` as shard-5,
+        # silently splitting one logical shard into two disjoint partitions.
+        assert partition_cache_dir(tmp_path, 5) == partition_cache_dir(tmp_path, "5")
+        assert partition_cache_dir(tmp_path, 5).name == "shard-05"
+        assert partition_cache_dir(tmp_path, "05") == partition_cache_dir(tmp_path, 5)
+
+    def test_wide_ids_agree_without_truncation(self, tmp_path):
+        assert partition_cache_dir(tmp_path, 123) == partition_cache_dir(tmp_path, "123")
+        assert partition_cache_dir(tmp_path, 123).name == "shard-123"
+
+    def test_non_numeric_string_ids_used_verbatim(self, tmp_path):
+        assert partition_cache_dir(tmp_path, "canary").name == "shard-canary"
+
+    def test_invalid_ids_rejected(self, tmp_path):
+        with pytest.raises(TypeError, match="bool"):
+            partition_cache_dir(tmp_path, True)
+        with pytest.raises(ValueError, match="non-negative"):
+            partition_cache_dir(tmp_path, -1)
 
 
 class TestCache:
