@@ -6,15 +6,23 @@
   duration sampling, hazard tracking) and macro (end-to-end ``simulate()``)
   benchmark suite;
 * :mod:`repro.bench.compare` — baseline comparison backing the CI
-  ``bench-gate`` job.
+  ``bench-gate`` job;
+* :mod:`repro.bench.trend` — append-only run history and the markdown
+  delta table behind the CI ``bench-trend`` step.
 """
 
 from .compare import BenchDelta, BenchGateResult, compare_reports
 from .harness import BENCH_SCHEMA, BenchReport, BenchResult, environment_metadata, run_benchmark
 from .suites import BenchSpec, default_suite, run_suite, synthetic_models
+from .trend import TREND_SCHEMA, append_history, history_entry, load_history, trend_table
 
 __all__ = [
     "BENCH_SCHEMA",
+    "TREND_SCHEMA",
+    "append_history",
+    "history_entry",
+    "load_history",
+    "trend_table",
     "BenchReport",
     "BenchResult",
     "BenchSpec",

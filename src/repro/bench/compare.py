@@ -6,9 +6,12 @@ when its fresh throughput falls below ``(1 - max_regression)`` times the
 baseline; the gate's exit status is the number of regressed benchmarks
 (clamped by the CLI to 1), so one slow hot path fails the PR.
 
-Benchmarks present on only one side never fail the gate — a renamed or new
-benchmark should be a review conversation, not a red build — but they are
-listed so the drift is visible.  The baseline's environment block is echoed
+New benchmarks (fresh-only) never fail the gate — a new benchmark should be
+a review conversation, not a red build — but baseline benchmarks *missing*
+from the fresh report do fail it: a truncated or crashed bench run must not
+read as "no regressions".  Gates over a deliberately filtered run pass the
+same ``--only`` patterns here so out-of-scope baseline suites are not
+counted as missing.  The baseline's environment block is echoed
 next to the fresh one because cross-machine throughput ratios are noise:
 refresh the baseline (``repro bench --out benchmarks/baseline_bench.json``)
 whenever the reference machine changes.
@@ -16,8 +19,9 @@ whenever the reference machine changes.
 
 from __future__ import annotations
 
+import fnmatch
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from .harness import BenchReport
 
@@ -62,8 +66,13 @@ class BenchGateResult:
         return [d for d in self.deltas if d.ratio is not None and d.ratio < floor]
 
     @property
+    def missing(self) -> List[BenchDelta]:
+        """Baseline benchmarks absent from the fresh report (gate failures)."""
+        return [d for d in self.deltas if d.status == "missing"]
+
+    @property
     def ok(self) -> bool:
-        return not self.regressions
+        return not self.regressions and not self.missing
 
     def table(self) -> str:
         header = (
@@ -76,7 +85,8 @@ class BenchGateResult:
             base = f"{d.baseline_ops_per_s:,.0f}" if d.baseline_ops_per_s else "-"
             fresh = f"{d.fresh_ops_per_s:,.0f}" if d.fresh_ops_per_s is not None else "-"
             if d.ratio is None:
-                ratio, status = "-", d.status
+                ratio = "-"
+                status = "MISSING" if d.status == "missing" else d.status
             else:
                 ratio = f"{d.ratio:.2f}x"
                 status = "REGRESSED" if d.ratio < floor else "ok"
@@ -85,6 +95,12 @@ class BenchGateResult:
             f"gate: {len(self.regressions)} regression(s) beyond "
             f"{self.max_regression:.0%} of {len(self.deltas)} benchmark(s)"
         )
+        if self.missing:
+            names = ", ".join(d.name for d in self.missing)
+            lines.append(
+                f"gate: {len(self.missing)} baseline benchmark(s) missing from "
+                f"the fresh report (truncated run?): {names}"
+            )
         return "\n".join(lines)
 
 
@@ -93,12 +109,25 @@ def compare_reports(
     fresh: BenchReport,
     *,
     max_regression: float = 0.30,
+    only: Optional[Sequence[str]] = None,
 ) -> BenchGateResult:
-    """Diff ``fresh`` against ``baseline`` benchmark-by-benchmark."""
+    """Diff ``fresh`` against ``baseline`` benchmark-by-benchmark.
+
+    ``only`` takes the same glob patterns as the suite filter; baseline
+    benchmarks outside the patterns are dropped from the diff so a scoped
+    ``repro bench --only ... --compare ...`` run does not report every
+    unselected suite as missing.
+    """
     if not 0.0 < max_regression < 1.0:
         raise ValueError("max_regression must be in (0, 1)")
     base_by: Dict[str, object] = baseline.by_name()
     fresh_by: Dict[str, object] = fresh.by_name()
+    if only is not None:
+        base_by = {
+            name: r
+            for name, r in base_by.items()
+            if any(fnmatch.fnmatch(name, pat) for pat in only)
+        }
     deltas: List[BenchDelta] = []
     for name in sorted(set(base_by) | set(fresh_by)):
         b = base_by.get(name)

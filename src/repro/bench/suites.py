@@ -121,7 +121,12 @@ def _make_teq_push_pop(n: int):
     return setup
 
 
-def _make_dispatch_loop(n_tasks: int, n_workers: int, engine_mode: str = "serialized"):
+def _make_dispatch_loop(
+    n_tasks: int,
+    n_workers: int,
+    engine_mode: str = "serialized",
+    engine_backend: str = "object",
+):
     def setup():
         program = _independent_program(n_tasks)
         models = KernelModelSet(
@@ -138,10 +143,12 @@ def _make_dispatch_loop(n_tasks: int, n_workers: int, engine_mode: str = "serial
         def fn() -> Optional[int]:
             from ..core.metrics import RunMetrics
             from ..core.simbackend import SimulationBackend
+            from ..schedulers.array_engine import ArrayEngine
             from ..schedulers.engine import Engine
 
             metrics = RunMetrics()
-            engine = Engine(
+            engine_cls = ArrayEngine if engine_backend == "array" else Engine
+            engine = engine_cls(
                 make_scheduler("quark", n_workers),
                 program,
                 SimulationBackend(models),
@@ -227,14 +234,21 @@ def _make_simulate(
 
 
 def default_suite(
-    *, quick: bool = False, workers: int = 48, engine_mode: str = "serialized"
+    *,
+    quick: bool = False,
+    workers: int = 48,
+    engine_mode: str = "serialized",
+    engine_backend: str = "object",
 ) -> List[BenchSpec]:
     """The standard suite: the micro benchmarks plus the macro grid.
 
     ``engine_mode`` selects the event-engine mode for the *macro* benchmarks
-    (``repro bench --engine-mode``); the micro suite always carries both a
-    serialized and a multicell dispatch-loop entry so the two loops can be
-    compared inside a single report.
+    (``repro bench --engine-mode``); the micro suite always carries a
+    serialized, a multicell, and an array-backend dispatch-loop entry so the
+    three loops can be compared inside a single report.  ``engine_backend``
+    (``repro bench --engine-backend``) likewise applies to the plain
+    ``micro/dispatch-loop`` entry only — ``micro/dispatch-loop-array`` pins
+    the array core so it is covered regardless of the flag.
     """
     micro_scale = 1 if quick else 4
     macro_repeats = 3 if quick else 5
@@ -250,8 +264,25 @@ def default_suite(
             name="micro/dispatch-loop",
             group="micro",
             unit="events/s",
-            make=_make_dispatch_loop(4_000 * micro_scale, 16),
-            params={"n_tasks": 4_000 * micro_scale, "n_workers": 16},
+            make=_make_dispatch_loop(
+                4_000 * micro_scale, 16, engine_backend=engine_backend
+            ),
+            params={
+                "n_tasks": 4_000 * micro_scale,
+                "n_workers": 16,
+                "engine_backend": engine_backend,
+            },
+        ),
+        BenchSpec(
+            name="micro/dispatch-loop-array",
+            group="micro",
+            unit="events/s",
+            make=_make_dispatch_loop(4_000 * micro_scale, 16, engine_backend="array"),
+            params={
+                "n_tasks": 4_000 * micro_scale,
+                "n_workers": 16,
+                "engine_backend": "array",
+            },
         ),
         BenchSpec(
             name="micro/dispatch-loop-multicell",

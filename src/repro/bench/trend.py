@@ -1,0 +1,130 @@
+"""Benchmark trend tracking: append-only history plus delta summaries.
+
+The CI ``bench-trend`` step keeps a ``bench-history.jsonl`` file alive
+across builds (restored from the actions cache, re-uploaded as an
+artifact).  Each line is one benchmark run boiled down to the numbers a
+trend needs — per-suite throughput plus just enough provenance (label,
+timestamp, python/platform/cpu) to explain a jump.  The step then renders
+a markdown per-suite delta table of the fresh report against the most
+recent comparable history entry, which CI posts to the job summary.
+
+History is deliberately forgiving on read: a corrupted or foreign line
+(cache truncation mid-write, an older schema) is skipped, not fatal — a
+trend report must never fail the build the way the regression *gate*
+does.  Appends are schema-tagged so future format changes can coexist in
+one file.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .harness import BenchReport
+
+__all__ = [
+    "TREND_SCHEMA",
+    "append_history",
+    "load_history",
+    "history_entry",
+    "trend_table",
+]
+
+#: Schema tag stamped onto every history line.
+TREND_SCHEMA = "repro.bench.trend/v1"
+
+#: Environment keys worth carrying into the history (full env blocks are in
+#: the BENCH_*.json artifacts; the trend only needs comparability hints).
+_ENV_KEYS = ("python", "platform", "cpu_count")
+
+
+def history_entry(
+    report: BenchReport, *, meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Boil ``report`` down to one JSONL history line (as a dict)."""
+    return {
+        "schema": TREND_SCHEMA,
+        "time": time.time(),
+        "label": report.label,
+        "env": {k: report.env.get(k) for k in _ENV_KEYS},
+        "meta": dict(meta or {}),
+        "results": {
+            r.name: {"ops_per_s": r.ops_per_s, "unit": r.unit}
+            for r in report.results
+        },
+    }
+
+
+def append_history(
+    report: BenchReport,
+    path: Union[str, Path],
+    *,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Append ``report`` to the JSONL history at ``path``; return the entry."""
+    entry = history_entry(report, meta=meta)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_history(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read the JSONL history, skipping unreadable or foreign-schema lines."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries: List[Dict[str, Any]] = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(entry, dict) and entry.get("schema") == TREND_SCHEMA:
+            entries.append(entry)
+    return entries
+
+
+def _fmt(value: Optional[float]) -> str:
+    return f"{value:,.0f}" if value is not None else "-"
+
+
+def trend_table(
+    history: List[Dict[str, Any]], report: BenchReport
+) -> str:
+    """Markdown per-suite delta table: fresh report vs the last history run.
+
+    With an empty history the table still renders (previous column shows
+    ``-``) so the very first CI run produces a readable summary.
+    """
+    previous: Dict[str, Any] = history[-1]["results"] if history else {}
+    lines = [
+        "| benchmark | previous | current | delta |",
+        "|---|---:|---:|---:|",
+    ]
+    names = sorted(set(previous) | {r.name for r in report.results})
+    fresh_by = report.by_name()
+    for name in names:
+        prev = previous.get(name, {}).get("ops_per_s")
+        fresh = fresh_by.get(name)
+        cur = fresh.ops_per_s if fresh is not None else None
+        unit = fresh.unit if fresh is not None else previous.get(name, {}).get("unit", "")
+        if prev and cur is not None:
+            delta = f"{(cur / prev - 1.0):+.1%}"
+        elif cur is not None:
+            delta = "new"
+        else:
+            delta = "gone"
+        lines.append(
+            f"| {name} | {_fmt(prev)} | {_fmt(cur)} {unit} | {delta} |"
+        )
+    runs = len(history) + 1
+    lines.append("")
+    lines.append(f"_{runs} run(s) in history after this one._")
+    return "\n".join(lines)

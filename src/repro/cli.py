@@ -24,7 +24,11 @@ Commands
 ``bench``
     Micro/macro benchmark suite over the simulation hot paths; writes a
     schema-tagged ``BENCH_*.json`` report and optionally gates against a
-    committed baseline (exit status 1 on regression).
+    committed baseline (exit status 1 on regression or on baseline suites
+    missing from the fresh report).
+``bench-trend``
+    Append a benchmark report to the cross-build JSONL history and emit a
+    markdown per-suite delta table (the CI job-summary trend step).
 ``timeline``
     One observed run with a recording probe attached: exports the Chrome
     ``trace_event`` JSON (open at https://ui.perfetto.dev), the virtual-time
@@ -56,10 +60,12 @@ from __future__ import annotations
 import argparse
 import sys
 from importlib import metadata as _importlib_metadata
+from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence
 
 from .algorithms import cholesky_program, lu_program, qr_program
 from .core.cells import ENGINE_MODES, default_engine_mode
+from .core.soa import ENGINE_BACKENDS, default_engine_backend
 from .core.simulator import run_real, validate
 from .dag import build_dag, dag_stats, write_dot
 from .experiments import (
@@ -122,6 +128,19 @@ def _add_engine_mode_arg(p: argparse.ArgumentParser) -> None:
 def _engine_mode(args) -> str:
     mode = getattr(args, "engine_mode", None)
     return default_engine_mode() if mode is None else mode
+
+
+def _add_engine_backend_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--engine-backend", choices=ENGINE_BACKENDS, default=None,
+                   dest="engine_backend",
+                   help="engine implementation: object (per-task-node event "
+                   "loop) or array (SoA core, byte-identical traces); "
+                   "default $REPRO_ENGINE_BACKEND or object")
+
+
+def _engine_backend(args) -> str:
+    backend = getattr(args, "engine_backend", None)
+    return default_engine_backend() if backend is None else backend
 
 
 def _add_problem_args(p: argparse.ArgumentParser, *, with_sched: bool = True) -> None:
@@ -192,7 +211,7 @@ def _cmd_run(args) -> int:
         metrics = RunMetrics()
     trace = run_real(
         _program(args), _scheduler(args), machine, seed=args.seed, metrics=metrics,
-        engine_mode=_engine_mode(args),
+        engine_mode=_engine_mode(args), engine_backend=_engine_backend(args),
     )
     trace.validate()
     if args.metrics_out:
@@ -283,6 +302,7 @@ def _cmd_sweep(args) -> int:
                             seed=seed * 1000 + nt,
                             mode="real",
                             engine_mode=_engine_mode(args),
+                            engine_backend=_engine_backend(args),
                         )
                     )
                 if args.mode in ("simulated", "validate"):
@@ -298,6 +318,7 @@ def _cmd_sweep(args) -> int:
                             cal_seed=seed,
                             family=args.family,
                             engine_mode=_engine_mode(args),
+                            engine_backend=_engine_backend(args),
                         )
                     )
                 points.append((name, nt, seed, idx))
@@ -635,7 +656,8 @@ def _cmd_bench(args) -> int:
         print("--repeats must be at least 1", file=sys.stderr)
         return 2
     specs = default_suite(
-        quick=args.quick, workers=args.workers, engine_mode=_engine_mode(args)
+        quick=args.quick, workers=args.workers, engine_mode=_engine_mode(args),
+        engine_backend=_engine_backend(args),
     )
     if args.repeats is not None:
         for spec in specs:
@@ -651,11 +673,44 @@ def _cmd_bench(args) -> int:
         print(f"wrote {report.write_json(args.out)}")
     if args.compare:
         baseline = BenchReport.read_json(args.compare)
-        gate = compare_reports(baseline, report, max_regression=args.max_regression)
+        gate = compare_reports(
+            baseline, report, max_regression=args.max_regression, only=args.only
+        )
         print()
         print(gate.table())
         if not gate.ok:
             return 1
+    return 0
+
+
+def _cmd_bench_trend(args) -> int:
+    from .bench.harness import BenchReport
+    from .bench.trend import append_history, load_history, trend_table
+
+    try:
+        report = BenchReport.read_json(args.report)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read report {args.report}: {exc}", file=sys.stderr)
+        return 2
+    history = load_history(args.history)
+    table = trend_table(history, report)
+    meta = {}
+    for item in args.meta or []:
+        key, sep, value = item.partition("=")
+        if not sep:
+            print(f"--meta takes key=value pairs, got {item!r}", file=sys.stderr)
+            return 2
+        meta[key] = value
+    append_history(report, args.history, meta=meta)
+    if args.summary:
+        path = Path(args.summary)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a") as fh:
+            fh.write(table + "\n")
+        print(f"appended trend table to {path}")
+    else:
+        print(table)
+    print(f"history: {len(history) + 1} run(s) in {args.history}")
     return 0
 
 
@@ -708,6 +763,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="one real run on the machine model")
     _add_problem_args(p)
     _add_engine_mode_arg(p)
+    _add_engine_backend_arg(p)
     p.add_argument("--svg", default=None)
     p.add_argument("--gantt", action="store_true")
     p.add_argument("--gantt-width", type=int, default=100, dest="gantt_width")
@@ -760,6 +816,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="attach a recording probe to every run and write "
                    "timeline artifacts (Perfetto/series/attribution) here")
     _add_engine_mode_arg(p)
+    _add_engine_backend_arg(p)
     p.add_argument("--verbose", action="store_true",
                    help="print per-run progress to stderr")
     p.set_defaults(fn=_cmd_sweep)
@@ -820,7 +877,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="print per-benchmark progress to stderr")
     _add_engine_mode_arg(p)
+    _add_engine_backend_arg(p)
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "bench-trend",
+        help="append a BENCH_*.json report to the run history and print "
+        "a markdown per-suite delta table vs the previous run",
+    )
+    p.add_argument("--report", required=True,
+                   help="fresh BENCH_*.json report to record")
+    p.add_argument("--history", required=True,
+                   help="JSONL history file (appended; created if absent)")
+    p.add_argument("--summary", default=None,
+                   help="append the markdown table here (e.g. "
+                   "$GITHUB_STEP_SUMMARY) instead of stdout")
+    p.add_argument("--meta", nargs="*", default=None, metavar="KEY=VALUE",
+                   help="provenance recorded with the history entry "
+                   "(e.g. commit=$GITHUB_SHA branch=$GITHUB_REF_NAME)")
+    p.set_defaults(fn=_cmd_bench_trend)
 
     p = sub.add_parser(
         "serve",

@@ -2,6 +2,7 @@
 
 from .cells import ENGINE_MODES, CellPlan, default_engine_mode, plan_cells, plan_for_run
 from .clock import SimClock
+from .soa import ENGINE_BACKENDS, CalendarQueue, SoAProgram, default_engine_backend
 from .faults import FaultPlan, FaultState
 from .metrics import METRICS_SCHEMA, RunMetrics
 from .simbackend import HeterogeneousSimulationBackend, SimulationBackend
@@ -17,6 +18,10 @@ from .watchdog import (
 
 __all__ = [
     "ENGINE_MODES",
+    "ENGINE_BACKENDS",
+    "CalendarQueue",
+    "SoAProgram",
+    "default_engine_backend",
     "CellPlan",
     "default_engine_mode",
     "plan_cells",

@@ -39,6 +39,7 @@ def run_real(
     metrics: Optional[RunMetrics] = None,
     probe=None,
     engine_mode: str = "serialized",
+    engine_backend: Optional[str] = None,
 ) -> Trace:
     """A ground-truth run: scheduler + machine-model durations.
 
@@ -46,13 +47,16 @@ def run_real(
     the scheduler-internal event stream (:mod:`repro.obs`).  Neither changes
     the trace, and neither does ``engine_mode`` — the partitioned engine
     (:mod:`repro.core.cells`) cuts the machine along its socket boundaries
-    but processes events in the same global order.
+    but processes events in the same global order, and neither does
+    ``engine_backend`` — ``"array"`` runs the identical simulation on the
+    SoA core (``None`` defers to ``$REPRO_ENGINE_BACKEND``).
     """
     backend = machine if isinstance(machine, MachineBackend) else MachineBackend(machine)
     cells = plan_for_run(engine_mode, backend.machine, scheduler.n_workers)
     return scheduler.run(
         program, backend, seed=seed, trace_meta={"mode": "real"},
         metrics=metrics, probe=probe, engine_mode=engine_mode, cells=cells,
+        engine_backend=engine_backend,
     )
 
 
@@ -67,6 +71,7 @@ def simulate(
     probe=None,
     engine_mode: str = "serialized",
     machine: Optional[Union[Machine, str]] = None,
+    engine_backend: Optional[str] = None,
 ) -> Trace:
     """A simulated run: scheduler + timing-model durations (paper §V).
 
@@ -77,7 +82,10 @@ def simulate(
     ``machine`` supplies the topology the partitioned engine cuts into
     cells when ``engine_mode`` is not ``serialized``; without one, ``auto``
     falls back to the serialized loop (a simulated run does not otherwise
-    need a machine model).  Every mode produces the same trace.
+    need a machine model).  ``engine_backend`` selects the engine
+    implementation (``"object"``/``"array"``; ``None`` defers to
+    ``$REPRO_ENGINE_BACKEND``).  Every mode and backend produces the same
+    trace.
     """
     backend = SimulationBackend(models, warmup_penalty=warmup_penalty)
     topo = get_machine(machine) if isinstance(machine, str) else machine
@@ -85,6 +93,7 @@ def simulate(
     return scheduler.run(
         program, backend, seed=seed, trace_meta={"mode": "simulated"},
         metrics=metrics, probe=probe, engine_mode=engine_mode, cells=cells,
+        engine_backend=engine_backend,
     )
 
 

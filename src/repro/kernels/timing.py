@@ -23,14 +23,31 @@ from typing import Dict, Iterable, Mapping, Sequence
 
 import numpy as np
 
-from .distributions import DurationModel, best_fit, fit_family
+from .distributions import (
+    _DURATION_FLOOR,
+    ConstantModel,
+    DurationModel,
+    LognormalModel,
+    NormalModel,
+    best_fit,
+    fit_family,
+)
 
 __all__ = [
     "trim_warmup_outliers",
     "KernelModelSet",
     "DirectSampler",
     "BatchedNormalSampler",
+    "SWEEP_CONST",
+    "SWEEP_NORMAL",
+    "SWEEP_LOGNORMAL",
 ]
+
+# Sweep-transform kinds for whole-run vectorized sampling (see
+# KernelModelSet.sweep_transforms).
+SWEEP_CONST = 0
+SWEEP_NORMAL = 1
+SWEEP_LOGNORMAL = 2
 
 
 class DirectSampler:
@@ -218,6 +235,40 @@ class KernelModelSet:
         break draw-sequence equivalence, so such sets fall back wholesale.
         """
         return all(m.rng_use in ("normal", "none") for m in self.models.values())
+
+    def sweep_transforms(self):
+        """Closed-form per-kernel transforms for whole-run vectorized sampling.
+
+        :class:`BatchedNormalSampler` amortises generator dispatch into
+        512-draw blocks but still pays one Python call per draw.  The array
+        engine goes further: it pre-draws the *entire run's* standard-normal
+        stream in one ``standard_normal(n)`` call and applies a scalar
+        transform per dispatch.  This method supplies those transforms —
+        ``{kernel: (kind, a, b)}`` where ``kind`` is :data:`SWEEP_CONST`
+        (duration ``a``, consumes no variate), :data:`SWEEP_NORMAL`
+        (``max(a + b*z, floor)``) or :data:`SWEEP_LOGNORMAL`
+        (``max(exp(a + b*z), floor)``), each consuming exactly one variate —
+        matching ``from_standard_normal`` / ``ConstantModel.sample``
+        bit-for-bit, floor included.
+
+        Returns ``None`` unless every model is exactly a
+        :class:`~repro.kernels.distributions.ConstantModel`,
+        :class:`~repro.kernels.distributions.NormalModel` or
+        :class:`~repro.kernels.distributions.LognormalModel` (subclasses may
+        override the arithmetic, so they disqualify the fast path and fall
+        back to per-call sampling).
+        """
+        out = {}
+        for kernel, model in self.models.items():
+            if type(model) is ConstantModel:
+                out[kernel] = (SWEEP_CONST, max(float(model.value), _DURATION_FLOOR), 0.0)
+            elif type(model) is NormalModel:
+                out[kernel] = (SWEEP_NORMAL, float(model.mu), float(model.sigma))
+            elif type(model) is LognormalModel:
+                out[kernel] = (SWEEP_LOGNORMAL, float(model.mu_log), float(model.sigma_log))
+            else:
+                return None
+        return out
 
     def make_sampler(self, rng: np.random.Generator, *, batched: bool = True):
         """A draw-per-kernel sampler bound to ``rng``.

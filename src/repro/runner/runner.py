@@ -99,6 +99,7 @@ def execute_spec(
             program, backend, seed=spec.seed, trace_meta=trace_meta,
             metrics=metrics, probe=probe,
             engine_mode=spec.engine_mode, cells=cells,
+            engine_backend=spec.engine_backend,
         )
     metrics.extra.update(
         {

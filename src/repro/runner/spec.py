@@ -24,6 +24,7 @@ from typing import Any, Dict, Optional
 
 from ..algorithms import cholesky_program, lu_program, qr_program
 from ..core.cells import ENGINE_MODES
+from ..core.soa import ENGINE_BACKENDS
 from ..core.task import Program
 from ..core.watchdog import STALL_POLICIES, StallPolicy
 from ..schedulers import make_scheduler
@@ -179,6 +180,13 @@ class RunSpec:
     #: normalised out of the cache key.
     engine_mode: str = "serialized"
 
+    #: object | array — the engine implementation (:mod:`repro.core.soa`).
+    #: Both produce byte-identical traces, so ``object`` (the default) is
+    #: normalised out of the cache key and pre-existing caches survive;
+    #: ``array`` stays in because the recorded metrics (wall time, fallback
+    #: provenance) differ.
+    engine_backend: str = "object"
+
     def __post_init__(self) -> None:
         if self.mode not in ("real", "simulated"):
             raise ValueError(f"unknown mode {self.mode!r}; choose real/simulated")
@@ -190,10 +198,20 @@ class RunSpec:
             raise ValueError(
                 f"unknown engine_mode {self.engine_mode!r}; choose from {ENGINE_MODES}"
             )
+        if self.engine_backend not in ENGINE_BACKENDS:
+            raise ValueError(
+                f"unknown engine_backend {self.engine_backend!r}; "
+                f"choose from {ENGINE_BACKENDS}"
+            )
         if self.runtime == "threaded" and self.engine_mode != "serialized":
             raise ValueError(
                 "the threaded runtime has no partitioned event loop; "
                 "engine_mode must stay 'serialized' with runtime='threaded'"
+            )
+        if self.runtime == "threaded" and self.engine_backend != "object":
+            raise ValueError(
+                "the threaded runtime has no array-native event loop; "
+                "engine_backend must stay 'object' with runtime='threaded'"
             )
         if self.runtime == "threaded":
             from ..core.threaded import RACE_GUARDS  # deferred: heavy module
@@ -280,5 +298,9 @@ class RunSpec:
         # but the recorded metrics (per-cell counters, wall time) differ.
         if self.engine_mode == "serialized":
             doc.pop("engine_mode", None)
+        # Same normalisation for the engine implementation: the default
+        # object backend drops out so existing caches stay valid.
+        if self.engine_backend == "object":
+            doc.pop("engine_backend", None)
         canon = json.dumps(doc, sort_keys=True, default=str)
         return hashlib.sha256(canon.encode()).hexdigest()

@@ -1,5 +1,6 @@
 """Superscalar scheduler runtimes: QUARK-, StarPU-, and OmpSs-like."""
 
+from .array_engine import ArrayEngine, array_backend_unsupported
 from .base import Backend, SchedulerBase, TaskNode, TaskState
 from .engine import Engine
 from .ompss import OmpSsScheduler, TaskContext, task
@@ -15,6 +16,8 @@ from .starpu import STARPU_POLICIES, Codelet, StarPUScheduler
 from .taskdep import Dependence, HazardKind, HazardTracker
 
 __all__ = [
+    "ArrayEngine",
+    "array_backend_unsupported",
     "Backend",
     "SchedulerBase",
     "TaskNode",

@@ -1,0 +1,45 @@
+"""Pure-Python hot-loop kernels for the array engine.
+
+A Cython twin of this module lives in ``_array_kernels.pyx``; when a
+compiled extension (``repro.schedulers._array_kernels_c``) has been built
+it is preferred, otherwise these implementations are used as-is.  Both
+variants must stay behaviourally identical — the array engine's trace
+byte-identity guarantee covers whichever one is loaded.  See
+``docs/API.md`` ("Array-native core") for the build recipe.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["USING_COMPILED", "release_successors"]
+
+#: True when the loaded implementation is the compiled extension.
+USING_COMPILED = False
+
+
+def release_successors(
+    succ_ids: List[int],
+    deps_left: List[int],
+    state: List[int],
+    lo: int,
+    hi: int,
+) -> List[int]:
+    """Decrement dependency counts for one finished task's successors.
+
+    ``succ_ids[lo:hi]`` is the finished task's CSR successor slice in
+    ascending task id.  Every successor's count drops by one — including
+    not-yet-inserted ones, whose insertion-time outstanding count is read
+    from ``deps_left`` — and successors that reach zero while WAITING
+    (state 1) flip to READY (state 2) and are returned in slice order,
+    which is the order the object engine pushes them ready.
+    """
+    out: List[int] = []
+    for i in range(lo, hi):
+        s = succ_ids[i]
+        d = deps_left[s] - 1
+        deps_left[s] = d
+        if d == 0 and state[s] == 1:
+            state[s] = 2
+            out.append(s)
+    return out

@@ -1,0 +1,33 @@
+# cython: language_level=3, boundscheck=False, wraparound=False
+"""Compiled twin of ``_array_kernels.py`` (optional speed-up).
+
+Build it in place with Cython available::
+
+    cythonize -i src/repro/schedulers/_array_kernels.pyx \
+        && mv src/repro/schedulers/_array_kernels.*.so \
+              src/repro/schedulers/_array_kernels_c.so
+
+The array engine imports ``repro.schedulers._array_kernels_c`` when it
+exists and silently falls back to the pure-Python module otherwise; no
+toolchain is required to run the simulator.  Keep this file semantically
+identical to ``_array_kernels.py`` — trace byte-identity covers both.
+"""
+
+__all__ = ["USING_COMPILED", "release_successors"]
+
+USING_COMPILED = True
+
+
+def release_successors(list succ_ids, list deps_left, list state, Py_ssize_t lo, Py_ssize_t hi):
+    """See ``_array_kernels.release_successors`` — identical semantics."""
+    cdef list out = []
+    cdef Py_ssize_t i
+    cdef long s, d
+    for i in range(lo, hi):
+        s = succ_ids[i]
+        d = deps_left[s] - 1
+        deps_left[s] = d
+        if d == 0 and state[s] == 1:
+            state[s] = 2
+            out.append(s)
+    return out

@@ -182,6 +182,7 @@ class SchedulerBase:
         probe: Optional[object] = None,
         engine_mode: str = "serialized",
         cells: Optional[object] = None,
+        engine_backend: Optional[str] = None,
     ) -> "Trace":
         """Execute ``program`` against ``backend`` and return the trace.
 
@@ -195,8 +196,52 @@ class SchedulerBase:
         realisation (``serialized``/``multicell``/``auto``, see
         :mod:`repro.core.cells`); ``cells`` is the
         :class:`~repro.core.cells.CellPlan` partitioning the workers, needed
-        for the multicell modes.  Every mode produces the same trace.
+        for the multicell modes.  ``engine_backend`` selects the engine
+        *implementation* — ``"object"`` (per-task-node event loop) or
+        ``"array"`` (the SoA core of
+        :mod:`repro.schedulers.array_engine`); ``None`` defers to
+        :func:`repro.core.soa.default_engine_backend` (the
+        ``REPRO_ENGINE_BACKEND`` environment variable).  A configuration
+        the array core cannot replicate byte-for-byte falls back to the
+        object engine, recording the reason under
+        ``metrics.extra["engine_backend"]``.  Every mode and backend
+        produces the same trace.
         """
+        from ..core.soa import ENGINE_BACKENDS, default_engine_backend
+
+        if engine_backend is None:
+            engine_backend = default_engine_backend()
+        elif engine_backend not in ENGINE_BACKENDS:
+            raise ValueError(
+                f"unknown engine backend {engine_backend!r}; "
+                f"expected one of {ENGINE_BACKENDS}"
+            )
+        if engine_backend == "array":
+            from .array_engine import ArrayEngine, array_backend_unsupported
+
+            reason = array_backend_unsupported(self, engine_mode)
+            if reason is None:
+                engine = ArrayEngine(
+                    self,
+                    program,
+                    backend,
+                    seed=seed,
+                    trace_meta=trace_meta,
+                    metrics=metrics,
+                    probe=probe,
+                    engine_mode=engine_mode,
+                    cells=cells,
+                )
+                if metrics is not None:
+                    metrics.extra["engine_backend"] = {"requested": "array", "used": "array"}
+                return engine.run()
+            if metrics is not None:
+                metrics.extra["engine_backend"] = {
+                    "requested": "array",
+                    "used": "object",
+                    "fallback_reason": reason,
+                }
+
         from .engine import Engine  # local import to avoid a cycle
 
         engine = Engine(

@@ -11,9 +11,9 @@ needs: makespan, per-worker rows, utilisation, per-kernel duration samples
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["TraceEvent", "Trace"]
+__all__ = ["TraceEvent", "Trace", "ColumnTrace"]
 
 
 @dataclass(frozen=True, order=True, slots=True)
@@ -211,3 +211,109 @@ class Trace:
             f"Trace({len(self._events)} events, {self.n_workers} workers, "
             f"makespan={self.makespan:.6f}s)"
         )
+
+
+class ColumnTrace(Trace):
+    """A :class:`Trace` backed by parallel columns, materialised lazily.
+
+    The array engine records executions as four parallel scalars per event
+    (worker, task id, start, end) plus per-task lookup tables — the SoA
+    shape of its run state.  Building a :class:`TraceEvent` object per task
+    costs more than the engine's entire per-event budget, so this subclass
+    defers it: the columns are converted to event objects on the first read
+    of any event-level query (serialisation, makespan, rows, ...).  A run
+    whose trace is reduced to metrics and discarded — the common case in
+    parameter sweeps — never pays for materialisation at all.
+
+    Once materialised (or appended to via :meth:`Trace.record` /
+    :meth:`Trace.add`, which force materialisation first), the instance
+    behaves exactly like an eagerly-built :class:`Trace`; the event list is
+    identical object-for-object to what the object engine would have
+    recorded, so serialised traces stay byte-identical.
+    """
+
+    _cols = None
+
+    def __init__(
+        self,
+        n_workers: int,
+        meta: Optional[Dict[str, object]] = None,
+        *,
+        col_workers: Sequence[int] = (),
+        col_task_ids: Sequence[int] = (),
+        col_starts: Sequence[float] = (),
+        col_ends: Sequence[float] = (),
+        kernel_names: Sequence[str] = (),
+        kernel_ids: Sequence[int] = (),
+        labels: Sequence[str] = (),
+        widths: Sequence[int] = (),
+    ) -> None:
+        super().__init__(n_workers=n_workers, meta=meta)
+        self._cols = (
+            col_workers,
+            col_task_ids,
+            col_starts,
+            col_ends,
+            kernel_names,
+            kernel_ids,
+            labels,
+            widths,
+        )
+
+    @property
+    def _events(self) -> List[TraceEvent]:
+        cols = self._cols
+        if cols is not None:
+            self._cols = None
+            workers, task_ids, starts, ends, names, kids, labels, widths = cols
+            out = self._events_list
+            append = out.append
+            # int()/float() are no-ops for native scalars and normalise the
+            # numpy scalars that array-backed columns yield, so serialised
+            # traces never depend on the column storage type.
+            for i in range(len(task_ids)):
+                tid = int(task_ids[i])
+                append(
+                    TraceEvent(
+                        start=float(starts[i]),
+                        end=float(ends[i]),
+                        worker=int(workers[i]),
+                        task_id=tid,
+                        kernel=names[kids[tid]],
+                        label=labels[tid],
+                        width=int(widths[tid]),
+                    )
+                )
+        return self._events_list
+
+    @_events.setter
+    def _events(self, value: List[TraceEvent]) -> None:
+        self._events_list = value
+
+    # Reductions over raw columns: the common "run, reduce, discard" path
+    # (benchmarks, sweeps) reads only these, so it never materialises.
+    @property
+    def start_time(self) -> float:
+        cols = self._cols
+        if cols is not None:
+            starts = cols[2]
+            return float(min(starts)) if len(starts) else 0.0
+        return min((e.start for e in self._events), default=0.0)
+
+    @property
+    def makespan(self) -> float:
+        cols = self._cols
+        if cols is not None:
+            ends = cols[3]
+            if not len(ends):
+                return 0.0
+            return float(max(ends)) - float(min(cols[2]))
+        if not self._events:
+            return 0.0
+        return max(e.end for e in self._events) - self.start_time
+
+    def __len__(self) -> int:
+        cols = self._cols
+        if cols is not None:
+            return len(cols[1])
+        return len(self._events_list)

@@ -234,13 +234,39 @@ class TestBenchGate:
         )
         assert gate.ok
 
-    def test_one_sided_benchmarks_never_fail(self):
+    def test_new_benchmarks_never_fail(self):
         gate = compare_reports(
-            self._report({"old": 100.0}), self._report({"new": 1.0}), max_regression=0.30
+            self._report({"a": 100.0}),
+            self._report({"a": 100.0, "new": 1.0}),
+            max_regression=0.30,
         )
         assert gate.ok
         statuses = {d.name: d.status for d in gate.deltas}
-        assert statuses == {"old": "missing", "new": "new"}
+        assert statuses == {"a": "compared", "new": "new"}
+
+    def test_truncated_fresh_report_fails_gate(self):
+        # A fresh report missing a baseline suite (crashed/truncated bench
+        # run) must fail the gate by name, not silently pass.
+        gate = compare_reports(
+            self._report({"a": 100.0, "b": 100.0}),
+            self._report({"a": 100.0}),
+            max_regression=0.30,
+        )
+        assert not gate.ok
+        assert [d.name for d in gate.missing] == ["b"]
+        assert not gate.regressions
+        table = gate.table()
+        assert "MISSING" in table
+        assert "b" in table.splitlines()[-1]
+
+    def test_only_scopes_missing_check(self):
+        # Baseline suites outside the --only patterns are intentionally
+        # unselected, not missing.
+        baseline = self._report({"micro/x": 100.0, "macro/y": 100.0})
+        fresh = self._report({"micro/x": 100.0})
+        gate = compare_reports(baseline, fresh, max_regression=0.30, only=["micro/*"])
+        assert gate.ok
+        assert [d.name for d in gate.deltas] == ["micro/x"]
 
     def test_threshold_validated(self):
         report = self._report({"a": 1.0})
@@ -303,3 +329,145 @@ class TestBenchCli:
         from repro.cli import main
 
         assert main(["bench", "--quick", "--only", "zzz/*"]) == 2
+
+
+class TestSweepTransforms:
+    def test_kinds_and_parameters(self):
+        from repro.kernels.timing import SWEEP_CONST, SWEEP_LOGNORMAL, SWEEP_NORMAL
+
+        transforms = _normal_models().sweep_transforms()
+        assert transforms["A"] == (SWEEP_LOGNORMAL, -9.0, 0.1)
+        assert transforms["B"] == (SWEEP_NORMAL, 2e-4, 1e-5)
+        kind, a, b = transforms["C"]
+        assert (kind, a, b) == (SWEEP_CONST, 5e-5, 0.0)
+
+    def test_transforms_match_from_standard_normal_bitwise(self):
+        import math
+
+        from repro.kernels.timing import SWEEP_CONST, SWEEP_LOGNORMAL, SWEEP_NORMAL
+
+        models = _normal_models()
+        transforms = models.sweep_transforms()
+        zs = np.random.default_rng(9).standard_normal(256)
+        for kernel, model in models.models.items():
+            kind, a, b = transforms[kernel]
+            for z in zs:
+                z = float(z)
+                if kind == SWEEP_CONST:
+                    expected = model.sample(np.random.default_rng(0))
+                    assert a == expected
+                    continue
+                d = a + b * z
+                if kind == SWEEP_LOGNORMAL:
+                    d = math.exp(d)
+                d = max(d, 1e-9)
+                assert d == model.from_standard_normal(z), (kernel, z)
+
+    def test_unsupported_model_disqualifies(self):
+        with_gamma = KernelModelSet(
+            models={"A": GammaModel(shape=2.0, scale=1e-4)}, family="gamma"
+        )
+        assert with_gamma.sweep_transforms() is None
+
+    def test_subclass_disqualifies(self):
+        class Tweaked(LognormalModel):
+            def from_standard_normal(self, z: float) -> float:
+                return 1.0
+
+        subclassed = KernelModelSet(
+            models={"A": Tweaked(mu_log=-9.0, sigma_log=0.1)}, family="lognormal"
+        )
+        assert subclassed.sweep_transforms() is None
+
+
+class TestBenchTrend:
+    def _report(self, throughput, label="run"):
+        report = BenchReport(label=label)
+        for name, ops_per_s in throughput.items():
+            report.add(
+                BenchResult(
+                    name=name, group="micro", ops=1, unit="events/s", repeats=1,
+                    wall_s=1.0, ops_per_s=ops_per_s, mean_wall_s=1.0, all_wall_s=[1.0],
+                )
+            )
+        return report
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        from repro.bench import TREND_SCHEMA, append_history, load_history
+
+        history = tmp_path / "hist.jsonl"
+        entry = append_history(
+            self._report({"micro/x": 100.0}), history, meta={"commit": "abc"}
+        )
+        append_history(self._report({"micro/x": 120.0}), history)
+        assert entry["schema"] == TREND_SCHEMA
+        assert entry["meta"] == {"commit": "abc"}
+        loaded = load_history(history)
+        assert len(loaded) == 2
+        assert loaded[0]["results"]["micro/x"]["ops_per_s"] == 100.0
+        assert loaded[1]["results"]["micro/x"]["ops_per_s"] == 120.0
+
+    def test_load_skips_corrupt_and_foreign_lines(self, tmp_path):
+        from repro.bench import append_history, load_history
+
+        history = tmp_path / "hist.jsonl"
+        append_history(self._report({"micro/x": 100.0}), history)
+        with history.open("a") as fh:
+            fh.write("{truncated\n")
+            fh.write('{"schema": "something.else/v9"}\n')
+            fh.write("[1, 2, 3]\n")
+        append_history(self._report({"micro/x": 110.0}), history)
+        loaded = load_history(history)
+        assert [e["results"]["micro/x"]["ops_per_s"] for e in loaded] == [100.0, 110.0]
+
+    def test_missing_history_is_empty(self, tmp_path):
+        from repro.bench import load_history
+
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+    def test_trend_table_deltas(self, tmp_path):
+        from repro.bench import append_history, load_history, trend_table
+
+        history = tmp_path / "hist.jsonl"
+        append_history(self._report({"micro/x": 100.0, "micro/gone": 50.0}), history)
+        fresh = self._report({"micro/x": 150.0, "micro/new": 10.0})
+        table = trend_table(load_history(history), fresh)
+        lines = {line.split(" | ")[0].strip("| "): line for line in table.splitlines()}
+        assert "+50.0%" in lines["micro/x"]
+        assert "| new |" in lines["micro/new"]
+        assert "| gone |" in lines["micro/gone"]
+
+    def test_trend_table_with_empty_history(self):
+        from repro.bench import trend_table
+
+        table = trend_table([], self._report({"micro/x": 100.0}))
+        assert "| micro/x | - | 100 events/s | new |" in table
+
+    def test_bench_trend_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        report_path = tmp_path / "BENCH.json"
+        self._report({"micro/x": 100.0}).write_json(report_path)
+        history = tmp_path / "hist.jsonl"
+        summary = tmp_path / "summary.md"
+        assert main(
+            ["bench-trend", "--report", str(report_path),
+             "--history", str(history), "--meta", "commit=abc"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "| micro/x |" in out
+        assert "1 run(s)" in out
+        # Second run writes the table to the summary file instead.
+        assert main(
+            ["bench-trend", "--report", str(report_path),
+             "--history", str(history), "--summary", str(summary)]
+        ) == 0
+        assert "+0.0%" in summary.read_text()
+        assert main(
+            ["bench-trend", "--report", str(tmp_path / "nope.json"),
+             "--history", str(history)]
+        ) == 2
+        assert main(
+            ["bench-trend", "--report", str(report_path),
+             "--history", str(history), "--meta", "notakv"]
+        ) == 2

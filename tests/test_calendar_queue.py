@@ -1,0 +1,152 @@
+"""Invariant tests for the array engine's calendar queue.
+
+Mirror of ``tests/test_teq_invariants.py`` for the future-event set that
+replaces the binary heap inside :class:`repro.schedulers.array_engine`:
+whatever the interleaving of pushes and pops — including pushes into the
+past, many-tie traffic, and populations that cross the grow/shrink resize
+thresholds — events leave in ``(time, push sequence)`` order, exactly the
+``(t, seq)`` heap discipline the object engine uses.  That discipline is
+what makes array-engine traces byte-identical, so these tests drive the
+queue against a mirror heap at every step.
+"""
+
+import heapq
+
+import numpy as np
+import pytest
+
+from repro.core.soa import CalendarQueue
+
+
+def _drain(q: CalendarQueue):
+    out = []
+    while len(q):
+        out.append(q.pop())
+    return out
+
+
+class TestOrdering:
+    def test_pops_in_time_then_fifo_order(self):
+        q = CalendarQueue()
+        rng = np.random.default_rng(42)
+        reference = []  # mirror heap: (t, seq, payload)
+        seq = 0
+        popped = []
+        # Interleave 800 operations: 60% pushes (integer times force many
+        # ties), 40% pops checked against the mirror at the moment they
+        # happen.
+        for _ in range(800):
+            if reference and rng.random() < 0.4:
+                t, _, payload = heapq.heappop(reference)
+                assert q.front() == (t, payload)
+                assert q.pop() == (t, payload)
+                popped.append((t, payload))
+            else:
+                t = float(rng.integers(0, 50))
+                q.push(t, seq)
+                heapq.heappush(reference, (t, seq, seq))
+                seq += 1
+        drained = _drain(q)
+        times = [t for t, _ in drained]
+        assert times == sorted(times)
+        popped.extend(drained)
+        assert len(popped) == seq
+        # Ties pop in push order across the whole run.
+        seen_at = {}
+        for t, payload in popped:
+            if t in seen_at:
+                assert payload > seen_at[t], "FIFO tie-break violated"
+            seen_at[t] = payload
+
+    def test_push_into_the_past_rewinds_the_scan(self):
+        # Grow the calendar to several buckets around late times, then push
+        # an earlier event: the lap scan must rewind and still pop it first.
+        q = CalendarQueue(grow_threshold=4)
+        for i in range(32):
+            q.push(100.0 + i, i)
+        assert q.n_buckets > 1
+        q.pop()  # advances the scan cursor to t=100
+        q.push(1.5, 999)
+        assert q.pop() == (1.5, 999)
+        remaining = [t for t, _ in _drain(q)]
+        assert remaining == sorted(remaining)
+
+    def test_front_matches_pop_without_removal(self):
+        q = CalendarQueue()
+        rng = np.random.default_rng(7)
+        for payload in range(200):
+            q.push(float(rng.random()), payload)
+        while len(q):
+            head = q.front()
+            assert len(q) == len(q.snapshot())
+            assert q.pop() == head
+
+    def test_snapshot_is_pop_order(self):
+        q = CalendarQueue(grow_threshold=4)
+        rng = np.random.default_rng(11)
+        for payload in range(100):
+            q.push(float(rng.integers(0, 10)), payload)
+        assert q.snapshot() == _drain(q)
+
+
+class TestResize:
+    def test_grow_and_shrink_preserve_contents(self):
+        q = CalendarQueue(grow_threshold=8)
+        rng = np.random.default_rng(3)
+        expected = []
+        for payload in range(500):
+            t = float(rng.random() * 1e-3)
+            q.push(t, payload)
+            expected.append((t, payload))
+        assert q.n_buckets > 1  # grew past the threshold
+        # Drain halfway: the population collapse must shrink the calendar
+        # back toward a single bucket without losing or reordering events.
+        out = [q.pop() for _ in range(400)]
+        assert q.n_buckets < 500
+        out.extend(_drain(q))
+        expected.sort(key=lambda e: (e[0], e[1]))
+        assert out == expected
+        assert q.n_buckets == 1
+
+    def test_all_equal_times_survive_resize(self):
+        # Degenerate span: every event at the same instant must not divide
+        # the bucket width to zero, and must drain in push order.
+        q = CalendarQueue(grow_threshold=4)
+        for payload in range(64):
+            q.push(5.0, payload)
+        assert _drain(q) == [(5.0, p) for p in range(64)]
+
+    def test_huge_time_span(self):
+        q = CalendarQueue(grow_threshold=4)
+        times = [1e-9, 1.0, 1e6, 3.5e-7, 2e6, 0.25, 7e-9]
+        for payload, t in enumerate(times):
+            q.push(t, payload)
+        drained = _drain(q)
+        assert [t for t, _ in drained] == sorted(times)
+
+
+class TestValidation:
+    def test_constructor_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="n_buckets"):
+            CalendarQueue(n_buckets=0)
+        with pytest.raises(ValueError, match="widths must be positive"):
+            CalendarQueue(bucket_width=0.0)
+        with pytest.raises(ValueError, match="grow_threshold"):
+            CalendarQueue(grow_threshold=1)
+
+    def test_non_finite_times_rejected(self):
+        q = CalendarQueue()
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="finite"):
+                q.push(bad, 0)
+
+    def test_empty_pop_and_front_raise(self):
+        q = CalendarQueue()
+        with pytest.raises(IndexError):
+            q.pop()
+        with pytest.raises(IndexError):
+            q.front()
+        q.push(1.0, 1)
+        q.pop()
+        with pytest.raises(IndexError):
+            q.pop()
