@@ -49,8 +49,9 @@ Commands
 ``loadgen``
     Open- or closed-loop load generator: replay a spec grid (or a recorded
     request log) against a live ``serve`` daemon or ``fleet`` router and
-    report throughput, latency quantiles, 429 rate, and per-shard balance
-    as a ``repro.loadgen/v1`` JSON document.
+    report throughput, latency quantiles (client-side and scraped from the
+    server's ``/metrics`` histograms), 429 rate, and per-shard balance as a
+    ``repro.loadgen/v2`` JSON document.
 
 Every command is pure offline computation on the bundled machine models.
 """
@@ -475,6 +476,8 @@ def _cmd_serve(args) -> int:
         probe_dir=args.probe_dir,
         default_timeout_s=args.timeout,
         log=log,
+        log_json=args.log_json,
+        shard_id=args.shard_id,
     )
     return 0
 
@@ -595,6 +598,7 @@ def _cmd_fleet(args) -> int:
         log_dir=args.log_dir,
         state_file=args.state_file,
         log=log,
+        log_json=args.log_json,
     )
 
 
@@ -633,6 +637,7 @@ def _cmd_loadgen(args) -> int:
         max_retries=args.max_retries,
         label=args.label,
         progress=progress,
+        trace_out=args.trace_out,
     )
     print(summarize(report))
     if args.out:
@@ -919,6 +924,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="serve without a shared on-disk cache")
     p.add_argument("--probe-dir", default=None, dest="probe_dir",
                    help="enable timeline=true requests: artifacts land here")
+    p.add_argument("--log-json", default=None, dest="log_json",
+                   help="structured JSON access log (one line per request, "
+                   "with trace id / route / status / latency)")
+    p.add_argument("--shard-id", default=None, dest="shard_id",
+                   help="telemetry component name suffix when this daemon "
+                   "is a fleet shard (set by repro fleet)")
     p.add_argument("--quiet", action="store_true", help="suppress the serve log")
     p.set_defaults(fn=_cmd_serve)
 
@@ -983,6 +994,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--state-file", default=None, dest="state_file",
                    help="write the repro.fleet/v1 topology document "
                    "(router + shard pids/ports) here")
+    p.add_argument("--log-json", default=None, dest="log_json",
+                   help="router JSON access log; each shard logs beside it "
+                   "as <stem>-shard-<id>.jsonl")
     p.add_argument("--quiet", action="store_true", help="suppress the fleet log")
     p.set_defaults(fn=_cmd_fleet)
 
@@ -1013,7 +1027,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--label", default="",
                    help="free-form label recorded in the report")
     p.add_argument("--out", default=None,
-                   help="write the repro.loadgen/v1 report (JSON) here")
+                   help="write the repro.loadgen/v2 report (JSON) here")
+    p.add_argument("--trace-out", default=None, dest="trace_out",
+                   help="issue one traced request and write its spans as a "
+                   "Perfetto trace-event file here")
     p.add_argument("--verbose", action="store_true",
                    help="print progress to stderr")
     p.set_defaults(fn=_cmd_loadgen)

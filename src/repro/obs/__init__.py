@@ -17,7 +17,11 @@ The package splits observation from interpretation:
   spans, and counter tracks;
 * :mod:`~repro.obs.timeline` — one-call artifact export bundling all of the
   above (what ``repro timeline`` and the sweep/stress ``--probe-dir`` flags
-  write).
+  write);
+* :mod:`~repro.obs.telemetry` — the *serving* stack's counterpart: a
+  Prometheus-text metrics registry (with its own strict exposition
+  re-parser), request-trace contexts and spans propagated
+  client → router → shard, and the structured JSON access logger.
 
 Probes observe and never perturb: with no probe attached every hook site
 costs a single ``is not None`` check, and traces produced with a recording
@@ -46,8 +50,27 @@ from .attribution import (  # noqa: F401
 from .perfetto import (  # noqa: F401
     load_trace_event,
     loads_trace_event,
+    service_span_events,
+    service_trace_event_document,
     trace_event_document,
     write_trace_event,
+)
+from .telemetry import (  # noqa: F401
+    METRICS_CONTENT_TYPE,
+    PARENT_HEADER,
+    TRACE_HEADER,
+    Exposition,
+    JsonLogger,
+    MetricsError,
+    MetricsRegistry,
+    ServiceTelemetry,
+    Span,
+    TraceContext,
+    histogram_quantile,
+    merge_expositions,
+    new_span_id,
+    new_trace_id,
+    parse_exposition,
 )
 from .series import (  # noqa: F401
     SERIES_SCHEMA,
@@ -74,9 +97,26 @@ __all__ = [
     "attribute_waits",
     "stall_episodes",
     "trace_event_document",
+    "service_span_events",
+    "service_trace_event_document",
     "write_trace_event",
     "loads_trace_event",
     "load_trace_event",
     "TimelineArtifacts",
     "export_timeline",
+    "METRICS_CONTENT_TYPE",
+    "TRACE_HEADER",
+    "PARENT_HEADER",
+    "MetricsError",
+    "MetricsRegistry",
+    "Exposition",
+    "ServiceTelemetry",
+    "Span",
+    "TraceContext",
+    "JsonLogger",
+    "histogram_quantile",
+    "merge_expositions",
+    "new_span_id",
+    "new_trace_id",
+    "parse_exposition",
 ]

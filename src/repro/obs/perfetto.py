@@ -38,16 +38,22 @@ from .series import TimeSeriesSet, build_series
 
 __all__ = [
     "trace_event_document",
+    "service_span_events",
+    "service_trace_event_document",
     "write_trace_event",
     "load_trace_event",
     "loads_trace_event",
 ]
 
-#: pid of the worker-lanes process, the scheduler-internals process, and the
-#: partitioned-engine cells process (present only for multicell streams).
+#: pid of the worker-lanes process, the scheduler-internals process, the
+#: partitioned-engine cells process (present only for multicell streams),
+#: and the service-request process (traced fleet requests).  The pid spaces
+#: are disjoint so service spans and a simulation timeline can merge into
+#: one document without lane collisions.
 _PID_WORKERS = 1
 _PID_SCHED = 2
 _PID_CELLS = 3
+_PID_SERVICE = 4
 
 #: tids inside the scheduler process.
 _TID_WINDOW = 0
@@ -200,6 +206,74 @@ def trace_event_document(
             "n_tasks": len(trace),
         },
     }
+
+
+def service_span_events(spans: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Render service span documents as ``trace_event`` complete events.
+
+    ``spans`` are :meth:`repro.obs.telemetry.Span.to_dict` documents — the
+    ``"spans"`` list a traced service response carries.  Each component
+    (``router``, ``shard-0``, …) becomes one thread lane in a dedicated
+    "service" process; timestamps are rebased so the earliest span starts at
+    0, putting a fleet request on the same visual origin as the virtual-time
+    simulation lanes it may share a document with.
+    """
+    if not spans:
+        return []
+    docs = [s.to_dict() if hasattr(s, "to_dict") else s for s in spans]
+    components = sorted({str(s.get("component") or "service") for s in docs})
+    tids = {c: i for i, c in enumerate(components)}
+    origin = min(float(s["start_s"]) for s in docs)
+    events = [_meta(_PID_SERVICE, None, "process_name", "service")]
+    for c in components:
+        events.append(_meta(_PID_SERVICE, tids[c], "thread_name", c))
+    for s in docs:
+        attrs = s.get("attrs")
+        args: Dict[str, Any] = dict(attrs) if isinstance(attrs, dict) else {}
+        for key in ("trace_id", "span_id", "parent_id"):
+            if s.get(key):
+                args[key] = s[key]
+        events.append(
+            {
+                "name": str(s["name"]),
+                "cat": "service",
+                "ph": "X",
+                "ts": max(0.0, float(s["start_s"]) - origin) * _US,
+                "dur": max(0.0, float(s["duration_s"])) * _US,
+                "pid": _PID_SERVICE,
+                "tid": tids[str(s.get("component") or "service")],
+                "args": args,
+            }
+        )
+    return events
+
+
+def service_trace_event_document(
+    spans: List[Dict[str, Any]], *, base: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """A ``trace_event`` document for traced service request spans.
+
+    ``base`` may be an existing trace_event document (typically a simulation
+    timeline from :func:`trace_event_document`) whose events and metadata
+    are carried over — the mixed document renders the fleet request *and*
+    the run it triggered in one Perfetto UI.  Output passes
+    :func:`loads_trace_event`.
+    """
+    events: List[Dict[str, Any]] = []
+    other: Dict[str, Any] = {"exporter": "repro.obs.perfetto/v1"}
+    if base is not None:
+        if not isinstance(base, dict) or not isinstance(base.get("traceEvents"), list):
+            raise ValueError("base is not a trace_event document")
+        events.extend(base["traceEvents"])
+        if isinstance(base.get("otherData"), dict):
+            other.update(base["otherData"])
+    events.extend(service_span_events(spans))
+    docs = [s.to_dict() if hasattr(s, "to_dict") else s for s in spans]
+    other["service_spans"] = len(docs)
+    trace_ids = sorted({s["trace_id"] for s in docs if s.get("trace_id")})
+    if trace_ids:
+        other["trace_ids"] = trace_ids
+    return {"traceEvents": events, "displayTimeUnit": "ms", "otherData": other}
 
 
 def write_trace_event(

@@ -1,0 +1,958 @@
+"""Service-side telemetry: metrics registry, request tracing, structured logs.
+
+The simulation runtimes got their observability layer in :mod:`repro.obs`
+(probes, wait attribution, Perfetto export); this module gives the *serving*
+stack — ``repro serve``, the fleet router, loadgen — the matching three
+pillars, stdlib-only:
+
+* **Metrics.**  :class:`MetricsRegistry` holds counters, gauges, and
+  fixed-bucket histograms and renders them in the Prometheus text exposition
+  format (version 0.0.4), which both daemons expose as ``GET /metrics``.
+  :func:`parse_exposition` is the registry's own *strict* re-parser — the
+  same discipline as ``obs.perfetto``'s validating loader: CI and the tests
+  round-trip every rendered page through it, and the fleet router uses it to
+  validate shard scrapes before re-labelling them with ``shard="<id>"``
+  (:func:`merge_expositions`) into one fleet-wide page.
+* **Tracing.**  :class:`TraceContext` travels in the
+  ``X-Repro-Trace-Id`` / ``X-Repro-Parent-Span`` headers
+  (client → router → shard); each component records :class:`Span` values
+  (route/forward on the router, admission/wait/cache-lookup/run on the
+  shard) which ride back in the response document and render through
+  :func:`repro.obs.perfetto.service_trace_event_document` in the same
+  Chrome-trace UI as a simulation timeline.
+* **Structured logs.**  :class:`JsonLogger` appends one JSON object per
+  event; :class:`ServiceTelemetry` wires it as the HTTP access log
+  (``--log-json``), replacing the former blanket log suppression.
+
+Cost discipline matches PR4's probes: with telemetry disabled every hook
+site in the service hot path is a single ``is not None`` check; span
+recording additionally requires the *request* to carry a trace header, so
+an enabled-but-untraced fleet only pays a few dictionary increments per
+request.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+import time
+import uuid
+from bisect import bisect_left
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "METRICS_CONTENT_TYPE",
+    "PARENT_HEADER",
+    "TRACE_HEADER",
+    "Counter",
+    "Exposition",
+    "Gauge",
+    "Histogram",
+    "JsonLogger",
+    "MetricFamily",
+    "MetricSample",
+    "MetricsError",
+    "MetricsRegistry",
+    "ServiceTelemetry",
+    "Span",
+    "TraceContext",
+    "histogram_quantile",
+    "merge_expositions",
+    "new_span_id",
+    "new_trace_id",
+    "parse_exposition",
+    "route_label",
+]
+
+#: Content type of a ``GET /metrics`` response (text exposition format).
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Latency histogram bounds in seconds — sub-millisecond cache hits up to
+#: multi-second cold simulation runs, roughly geometric.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: Routes kept as distinct label values; anything else collapses to
+#: ``"other"`` so a path-scanning client cannot explode series cardinality.
+KNOWN_ROUTES = ("/v1/run", "/v1/batch", "/v1/health", "/v1/stats", "/metrics")
+
+
+def route_label(path: str) -> str:
+    """Normalise a request path into a bounded ``route`` label value."""
+    return path if path in KNOWN_ROUTES else "other"
+
+
+class MetricsError(ValueError):
+    """A metric definition, exposition page, or merge violated the format."""
+
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name or ""):
+        raise MetricsError(f"invalid metric name {name!r}")
+    return name
+
+
+def _fmt_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    f = float(value)
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _label_string(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(
+        f'{n}="{_escape_label(str(v))}"' for n, v in zip(names, values)
+    )
+    return "{" + inner + "}"
+
+
+class _Instrument:
+    """One metric family registered in a :class:`MetricsRegistry`."""
+
+    kind = "untyped"
+    __slots__ = ("name", "help", "labelnames", "_series", "_lock")
+
+    def __init__(
+        self, name: str, help_text: str, labelnames: Sequence[str], lock: threading.Lock
+    ) -> None:
+        self.name = _check_name(name)
+        self.help = help_text
+        for ln in labelnames:
+            if not _LABEL_NAME_RE.match(ln):
+                raise MetricsError(f"invalid label name {ln!r} on {name}")
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self._series: Dict[Tuple[str, ...], Any] = {}
+        self._lock = lock
+
+    def _key(self, labels: Mapping[str, Any]) -> Tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise MetricsError(
+                f"{self.name} takes labels {list(self.labelnames)}, got {sorted(labels)}"
+            )
+        return tuple(str(labels[n]) for n in self.labelnames)
+
+
+class Counter(_Instrument):
+    kind = "counter"
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise MetricsError(f"counter {self.name} cannot decrease")
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+
+class Gauge(_Instrument):
+    kind = "gauge"
+    __slots__ = ()
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket histogram; exposed as cumulative ``_bucket`` samples."""
+
+    kind = "histogram"
+    __slots__ = ("buckets",)
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        lock: threading.Lock,
+        buckets: Sequence[float],
+    ) -> None:
+        super().__init__(name, help_text, labelnames, lock)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(not math.isfinite(b) for b in bounds):
+            raise MetricsError(f"{name}: buckets must be finite and non-empty")
+        if list(bounds) != sorted(set(bounds)):
+            raise MetricsError(f"{name}: buckets must be strictly increasing")
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        idx = bisect_left(self.buckets, float(value))
+        with self._lock:
+            entry = self._series.get(key)
+            if entry is None:
+                entry = [[0] * (len(self.buckets) + 1), 0.0]
+                self._series[key] = entry
+            entry[0][idx] += 1
+            entry[1] += float(value)
+
+    def snapshot(self, **labels: Any) -> Optional[Tuple[List[int], float]]:
+        """``(per-bucket counts incl. +Inf, sum)`` for one series, or None."""
+        key = self._key(labels)
+        with self._lock:
+            entry = self._series.get(key)
+            return (list(entry[0]), float(entry[1])) if entry is not None else None
+
+
+class MetricsRegistry:
+    """A process-local set of instruments rendered as one exposition page.
+
+    Getter methods are idempotent: asking again for the same name with the
+    same kind and label set returns the existing instrument (so components
+    sharing a registry can declare their metrics independently), while a
+    conflicting redefinition raises :class:`MetricsError`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def _register(self, inst: _Instrument) -> _Instrument:
+        with self._lock:
+            existing = self._instruments.get(inst.name)
+            if existing is None:
+                # Zero-label instruments pre-create their single series so
+                # the sample renders (and deltas work) before any traffic.
+                if not inst.labelnames and not isinstance(inst, Histogram):
+                    inst._series[()] = 0.0
+                self._instruments[inst.name] = inst
+                return inst
+            if (
+                existing.kind != inst.kind
+                or existing.labelnames != inst.labelnames
+                or (
+                    isinstance(existing, Histogram)
+                    and isinstance(inst, Histogram)
+                    and existing.buckets != inst.buckets
+                )
+            ):
+                raise MetricsError(
+                    f"metric {inst.name} already registered as {existing.kind}"
+                    f"{list(existing.labelnames)}"
+                )
+            return existing
+
+    def counter(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._register(Counter(name, help_text, labelnames, self._lock))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help_text: str, labelnames: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge(name, help_text, labelnames, self._lock))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        *,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._register(  # type: ignore[return-value]
+            Histogram(name, help_text, labelnames, self._lock, buckets)
+        )
+
+    def render(self) -> str:
+        """The exposition page; guaranteed to re-parse strictly."""
+        lines: List[str] = []
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+            for name, inst in instruments:
+                lines.append(f"# HELP {name} {_escape_help(inst.help)}")
+                lines.append(f"# TYPE {name} {inst.kind}")
+                for key in sorted(inst._series):
+                    entry = inst._series[key]
+                    if isinstance(inst, Histogram):
+                        cumulative = 0
+                        for bound, count in zip(
+                            (*inst.buckets, math.inf), entry[0]
+                        ):
+                            cumulative += count
+                            labels = _label_string(
+                                (*inst.labelnames, "le"), (*key, _fmt_value(bound))
+                            )
+                            lines.append(
+                                f"{name}_bucket{labels} {_fmt_value(cumulative)}"
+                            )
+                        base = _label_string(inst.labelnames, key)
+                        lines.append(f"{name}_sum{base} {_fmt_value(entry[1])}")
+                        lines.append(f"{name}_count{base} {_fmt_value(cumulative)}")
+                    else:
+                        labels = _label_string(inst.labelnames, key)
+                        lines.append(f"{name}{labels} {_fmt_value(entry)}")
+        return "\n".join(lines) + "\n"
+
+
+# -- exposition parsing ------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"  # metric name
+    r"(?:\{(.*)\})?"  # optional label body
+    r"\s+(\S+)"  # value
+    r"(?:\s+(-?\d+))?"  # optional timestamp (accepted, ignored)
+    r"\s*$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_PARSED_TYPES = ("counter", "gauge", "histogram", "untyped")
+
+
+def _unescape_label(raw: str) -> str:
+    return raw.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+
+
+@dataclass
+class MetricSample:
+    """One exposition line: sample name, label set, value."""
+
+    name: str
+    labels: Dict[str, str]
+    value: float
+
+
+@dataclass
+class MetricFamily:
+    """One ``# TYPE`` family and its samples, in page order."""
+
+    name: str
+    type: str
+    help: Optional[str] = None
+    samples: List[MetricSample] = field(default_factory=list)
+
+
+def _parse_labels(body: str, where: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(body):
+        m = _LABEL_PAIR_RE.match(body, i)
+        if m is None:
+            raise MetricsError(f"{where}: malformed label body at {body[i:]!r}")
+        lname = m.group(1)
+        if lname in labels:
+            raise MetricsError(f"{where}: duplicate label {lname!r}")
+        labels[lname] = _unescape_label(m.group(2))
+        i = m.end()
+        if i < len(body):
+            if body[i] != ",":
+                raise MetricsError(f"{where}: expected ',' between labels")
+            i += 1
+    return labels
+
+
+def _parse_value(raw: str, where: str) -> float:
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise MetricsError(f"{where}: unparseable value {raw!r}") from exc
+
+
+class Exposition:
+    """A strictly parsed exposition page (see :func:`parse_exposition`)."""
+
+    def __init__(self, families: Dict[str, MetricFamily]) -> None:
+        self.families = families
+
+    @staticmethod
+    def _matches(
+        sample: MetricSample,
+        labels: Optional[Mapping[str, str]],
+        without: Sequence[str],
+    ) -> bool:
+        if any(w in sample.labels for w in without):
+            return False
+        if labels:
+            return all(sample.labels.get(k) == str(v) for k, v in labels.items())
+        return True
+
+    def _family_samples(self, sample_name: str) -> List[MetricSample]:
+        for fam in self.families.values():
+            found = [s for s in fam.samples if s.name == sample_name]
+            if found:
+                return found
+        return []
+
+    def total(
+        self,
+        sample_name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        *,
+        without: Sequence[str] = (),
+    ) -> float:
+        """Sum of samples named ``sample_name`` whose labels ⊇ ``labels``.
+
+        ``without`` names labels whose mere *presence* excludes a sample —
+        e.g. ``without=("shard",)`` keeps a router's own series while
+        dropping the per-shard re-labelled copies it aggregates.
+        """
+        return sum(
+            s.value
+            for s in self._family_samples(sample_name)
+            if self._matches(s, labels, without)
+        )
+
+    def histogram(
+        self,
+        family_name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        *,
+        without: Sequence[str] = (),
+    ) -> Optional[Dict[str, Any]]:
+        """Matching histogram series merged: cumulative buckets, sum, count.
+
+        Returns ``{"buckets": {le: cumulative}, "sum": s, "count": n}`` or
+        ``None`` when the family is absent or nothing matches.  Cumulative
+        histograms are mergeable by addition, so matching multiple label
+        sets (several routes, several shards) aggregates them correctly.
+        """
+        fam = self.families.get(family_name)
+        if fam is None or fam.type != "histogram":
+            return None
+        without = tuple(without)
+        buckets: Dict[float, float] = {}
+        total = summed = 0.0
+        matched = False
+        for s in fam.samples:
+            probe = MetricSample(
+                s.name, {k: v for k, v in s.labels.items() if k != "le"}, s.value
+            )
+            if not self._matches(probe, labels, without):
+                continue
+            if s.name == family_name + "_bucket":
+                le = _parse_value(s.labels["le"], family_name)
+                buckets[le] = buckets.get(le, 0.0) + s.value
+                matched = True
+            elif s.name == family_name + "_count":
+                total += s.value
+            elif s.name == family_name + "_sum":
+                summed += s.value
+        if not matched:
+            return None
+        return {"buckets": buckets, "sum": summed, "count": total}
+
+
+def _family_for_sample(
+    families: Dict[str, MetricFamily], sample_name: str, where: str
+) -> Tuple[MetricFamily, bool]:
+    """Resolve which declared family a sample belongs to.
+
+    Returns ``(family, is_histogram_child)``; strict — a sample with no
+    preceding ``# TYPE`` declaration is an error.
+    """
+    fam = families.get(sample_name)
+    if fam is not None:
+        if fam.type == "histogram":
+            raise MetricsError(
+                f"{where}: histogram {sample_name} exposes only "
+                "_bucket/_sum/_count samples"
+            )
+        return fam, False
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = families.get(sample_name[: -len(suffix)])
+            if base is not None and base.type == "histogram":
+                return base, True
+    raise MetricsError(f"{where}: sample {sample_name!r} has no # TYPE declaration")
+
+
+def _validate_histograms(families: Dict[str, MetricFamily]) -> None:
+    for fam in families.values():
+        if fam.type != "histogram":
+            continue
+        groups: Dict[Tuple[Tuple[str, str], ...], Dict[str, Any]] = {}
+        for s in fam.samples:
+            key = tuple(sorted((k, v) for k, v in s.labels.items() if k != "le"))
+            g = groups.setdefault(key, {"buckets": [], "sum": None, "count": None})
+            if s.name == fam.name + "_bucket":
+                if "le" not in s.labels:
+                    raise MetricsError(f"{fam.name}: _bucket sample without le label")
+                g["buckets"].append((_parse_value(s.labels["le"], fam.name), s.value))
+            elif s.name == fam.name + "_sum":
+                g["sum"] = s.value
+            elif s.name == fam.name + "_count":
+                g["count"] = s.value
+        for key, g in groups.items():
+            where = f"{fam.name}{dict(key)}"
+            if not g["buckets"]:
+                raise MetricsError(f"{where}: histogram series without buckets")
+            ordered = sorted(g["buckets"])
+            cumulative = [v for _, v in ordered]
+            if any(b > a for a, b in zip(cumulative[1:], cumulative)):
+                raise MetricsError(f"{where}: bucket counts are not cumulative")
+            if ordered[-1][0] != math.inf:
+                raise MetricsError(f"{where}: histogram without an le=\"+Inf\" bucket")
+            if g["count"] is None or g["sum"] is None:
+                raise MetricsError(f"{where}: histogram without _count/_sum")
+            if g["count"] != ordered[-1][1]:
+                raise MetricsError(
+                    f"{where}: _count {g['count']} != +Inf bucket {ordered[-1][1]}"
+                )
+
+
+def parse_exposition(text: str) -> Exposition:
+    """Strictly parse a Prometheus text exposition page.
+
+    Beyond line syntax this enforces the structural invariants consumers
+    rely on: every sample is declared by a preceding ``# TYPE``; histogram
+    samples are limited to ``_bucket``/``_sum``/``_count`` with an ``le``
+    label on buckets; per-series bucket counts are cumulative, carry an
+    ``le="+Inf"`` bound, and agree with ``_count``; no duplicate series.
+    Raises :class:`MetricsError` naming the first offending line.
+    """
+    families: Dict[str, MetricFamily] = {}
+    seen: set = set()
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.rstrip()
+        where = f"line {lineno}"
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            keyword = parts[1] if len(parts) > 1 else ""
+            if keyword == "TYPE":
+                if len(parts) != 4:
+                    raise MetricsError(f"{where}: malformed # TYPE line")
+                name, mtype = parts[2], parts[3].strip()
+                _check_name(name)
+                if mtype not in _PARSED_TYPES:
+                    raise MetricsError(f"{where}: unknown metric type {mtype!r}")
+                fam = families.get(name)
+                if fam is not None:
+                    if fam.type != "untyped" or fam.samples:
+                        raise MetricsError(f"{where}: duplicate # TYPE for {name}")
+                    fam.type = mtype
+                else:
+                    families[name] = MetricFamily(name, mtype)
+            elif keyword == "HELP":
+                if len(parts) < 3:
+                    raise MetricsError(f"{where}: malformed # HELP line")
+                name = parts[2]
+                _check_name(name)
+                help_text = parts[3] if len(parts) > 3 else ""
+                fam = families.get(name)
+                if fam is None:
+                    families[name] = MetricFamily(name, "untyped", help=help_text)
+                elif fam.help is None:
+                    fam.help = help_text
+                else:
+                    raise MetricsError(f"{where}: duplicate # HELP for {name}")
+            # Any other '#' line is a comment, skipped per the format.
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise MetricsError(f"{where}: unparseable sample line {line!r}")
+        sample_name, label_body, value_raw = m.group(1), m.group(2), m.group(3)
+        labels = _parse_labels(label_body, where) if label_body else {}
+        value = _parse_value(value_raw, where)
+        fam, _ = _family_for_sample(families, sample_name, where)
+        series_key = (sample_name, tuple(sorted(labels.items())))
+        if series_key in seen:
+            raise MetricsError(f"{where}: duplicate series {sample_name}{labels}")
+        seen.add(series_key)
+        fam.samples.append(MetricSample(sample_name, labels, value))
+    _validate_histograms(families)
+    return Exposition(families)
+
+
+def merge_expositions(
+    parts: Sequence[Tuple[Exposition, Mapping[str, str]]]
+) -> str:
+    """Merge parsed pages into one, re-labelling each part's samples.
+
+    ``parts`` pairs an :class:`Exposition` with extra labels stamped onto
+    every one of its samples — the fleet router passes ``{"shard": sid}``
+    per shard page and ``{}`` for its own.  Families merge by name (type
+    conflicts and colliding series raise); the output re-parses strictly.
+    """
+    merged: Dict[str, MetricFamily] = {}
+    seen: set = set()
+    for expo, extra in parts:
+        extra = dict(extra)
+        for fam in expo.families.values():
+            out = merged.get(fam.name)
+            if out is None:
+                out = MetricFamily(fam.name, fam.type, help=fam.help)
+                merged[fam.name] = out
+            elif out.type != fam.type:
+                raise MetricsError(
+                    f"cannot merge {fam.name}: {out.type} vs {fam.type}"
+                )
+            for s in fam.samples:
+                labels = {**s.labels, **extra}
+                series_key = (s.name, tuple(sorted(labels.items())))
+                if series_key in seen:
+                    raise MetricsError(f"merge collision on {s.name}{labels}")
+                seen.add(series_key)
+                out.samples.append(MetricSample(s.name, labels, s.value))
+    lines: List[str] = []
+    for name in sorted(merged):
+        fam = merged[name]
+        if fam.help is not None:
+            lines.append(f"# HELP {name} {_escape_help(fam.help)}")
+        lines.append(f"# TYPE {name} {fam.type}")
+        for s in fam.samples:
+            names = tuple(s.labels)
+            values = tuple(s.labels[n] for n in names)
+            lines.append(f"{s.name}{_label_string(names, values)} {_fmt_value(s.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def histogram_quantile(
+    buckets: Mapping[float, float], q: float
+) -> Optional[float]:
+    """Prometheus-style quantile estimate from cumulative ``le → count``.
+
+    Linear interpolation inside the bucket that crosses the target rank
+    (observations assumed uniform within a bucket, lower bound 0); a rank
+    landing in the ``+Inf`` bucket reports the largest finite bound, which
+    understates — exactly as ``histogram_quantile()`` in PromQL does.
+    Returns ``None`` for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    if math.inf not in buckets:
+        raise MetricsError("histogram buckets carry no +Inf bound")
+    total = buckets[math.inf]
+    if total <= 0:
+        return None
+    rank = q * total
+    prev_le = 0.0
+    prev_cum = 0.0
+    finite = sorted(le for le in buckets if math.isfinite(le))
+    for le in finite:
+        cum = buckets[le]
+        if cum >= rank:
+            if cum <= prev_cum:
+                return le
+            fraction = (rank - prev_cum) / (cum - prev_cum)
+            return prev_le + (le - prev_le) * max(0.0, min(1.0, fraction))
+        prev_le, prev_cum = le, cum
+    return finite[-1] if finite else None
+
+
+# -- request tracing ---------------------------------------------------------
+
+#: Trace-context propagation headers (client → router → shard).
+TRACE_HEADER = "X-Repro-Trace-Id"
+PARENT_HEADER = "X-Repro-Parent-Span"
+
+_ID_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id."""
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-char span id."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated pair: which trace, and which span is the parent."""
+
+    trace_id: str
+    parent_span: Optional[str] = None
+
+    @classmethod
+    def from_headers(cls, headers: Mapping[str, str]) -> Optional["TraceContext"]:
+        """Extract a context from HTTP headers; garbage degrades to None.
+
+        An invalid trace id disables tracing for the request rather than
+        failing it — telemetry must never turn a good request into a 400.
+        """
+        raw = headers.get(TRACE_HEADER)
+        if not raw or not _ID_RE.match(raw):
+            return None
+        parent = headers.get(PARENT_HEADER)
+        if parent is not None and not _ID_RE.match(parent):
+            parent = None
+        return cls(trace_id=raw, parent_span=parent)
+
+    def headers(self) -> Dict[str, str]:
+        out = {TRACE_HEADER: self.trace_id}
+        if self.parent_span:
+            out[PARENT_HEADER] = self.parent_span
+        return out
+
+    def child(self, span_id: str) -> "TraceContext":
+        """The context to forward downstream: same trace, new parent."""
+        return TraceContext(trace_id=self.trace_id, parent_span=span_id)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One timed operation inside a traced request.
+
+    ``start_s`` is epoch wall-clock seconds (durations are measured on the
+    monotonic clock by the recorders).  Spans recorded inside a shared
+    flight are created *unbound* (no trace id) and bound per requester via
+    :meth:`bound`, since several traced requests may join one execution.
+    """
+
+    name: str
+    component: str
+    start_s: float
+    duration_s: float
+    span_id: str
+    trace_id: Optional[str] = None
+    parent_id: Optional[str] = None
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    def bound(self, trace_id: str, parent_id: Optional[str] = None) -> "Span":
+        """A copy attached to ``trace_id``; existing ids are never clobbered."""
+        return replace(
+            self,
+            trace_id=self.trace_id or trace_id,
+            parent_id=self.parent_id or parent_id,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "component": self.component,
+            "start_s": round(float(self.start_s), 6),
+            "duration_s": round(max(0.0, float(self.duration_s)), 6),
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "Span":
+        """Parse a span document; raises ``ValueError`` on any defect."""
+        if not isinstance(doc, Mapping):
+            raise ValueError(f"span must be an object, got {type(doc).__name__}")
+        for key in ("name", "component", "span_id"):
+            if not isinstance(doc.get(key), str) or not doc[key]:
+                raise ValueError(f"span needs a non-empty string {key!r}")
+        for key in ("start_s", "duration_s"):
+            v = doc.get(key)
+            if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+                raise ValueError(f"span {key!r} must be a non-negative number")
+        for key in ("trace_id", "parent_id"):
+            v = doc.get(key)
+            if v is not None and not isinstance(v, str):
+                raise ValueError(f"span {key!r} must be a string or null")
+        attrs = doc.get("attrs", {})
+        if not isinstance(attrs, Mapping):
+            raise ValueError("span 'attrs' must be an object")
+        return cls(
+            name=doc["name"],
+            component=doc["component"],
+            start_s=float(doc["start_s"]),
+            duration_s=float(doc["duration_s"]),
+            span_id=doc["span_id"],
+            trace_id=doc.get("trace_id"),
+            parent_id=doc.get("parent_id"),
+            attrs=dict(attrs),
+        )
+
+
+# -- structured logging ------------------------------------------------------
+
+
+class JsonLogger:
+    """Append-only structured log: one JSON object per line, flushed.
+
+    ``target`` is a path (opened in append mode, parents created) or any
+    writable text stream.  Thread-safe; a failing write is swallowed —
+    logging must never take the serving path down with it.
+    """
+
+    def __init__(self, target: Union[str, Path, Any]) -> None:
+        self._lock = threading.Lock()
+        if hasattr(target, "write"):
+            self.path: Optional[Path] = None
+            self._fh = target
+            self._owns = False
+        else:
+            self.path = Path(target)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+            self._owns = True
+
+    def log(self, event: str, **fields: Any) -> None:
+        doc: Dict[str, Any] = {"ts": round(time.time(), 6), "event": event}
+        doc.update(fields)
+        # default=str: an exotic field value degrades to its repr instead of
+        # raising mid-request.
+        line = json.dumps(doc, sort_keys=True, default=str)
+        try:
+            with self._lock:
+                self._fh.write(line + "\n")
+                self._fh.flush()
+        except (OSError, ValueError):
+            pass
+
+    def close(self) -> None:
+        if self._owns:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+
+
+# -- the per-daemon bundle ---------------------------------------------------
+
+
+class ServiceTelemetry:
+    """One daemon's registry + pre-created instruments + access log.
+
+    ``component`` names the emitting process in spans and log lines
+    (``"serve"``, ``"shard-0"``, ``"router"``).  ``access_log`` is a path /
+    stream wired into a :class:`JsonLogger`, or ``None`` to log nothing.
+    The shared HTTP front end calls :meth:`record_http` once per request;
+    the service/router objects update the domain instruments directly.
+    """
+
+    def __init__(
+        self,
+        component: str = "serve",
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        access_log: Union[str, Path, JsonLogger, Any, None] = None,
+    ) -> None:
+        self.component = component
+        self.registry = registry if registry is not None else MetricsRegistry()
+        if access_log is None or isinstance(access_log, JsonLogger):
+            self.access_log: Optional[JsonLogger] = access_log
+        else:
+            self.access_log = JsonLogger(access_log)
+        r = self.registry
+        self.requests = r.counter(
+            "repro_requests_total",
+            "HTTP requests handled, by route, method, and status.",
+            ("route", "method", "status"),
+        )
+        self.latency = r.histogram(
+            "repro_request_latency_seconds",
+            "Wall-clock request handling latency by route.",
+            ("route",),
+        )
+        self.rejected = r.counter(
+            "repro_rejected_total",
+            "Requests rejected by admission control, by reason.",
+            ("reason",),
+        )
+        self.coalesced = r.counter(
+            "repro_coalesced_total",
+            "Requests that joined an already-running identical flight.",
+        )
+        self.cache_hits = r.counter(
+            "repro_cache_hits_total",
+            "Executions answered from the content-addressed result cache.",
+        )
+        self.runs = r.counter(
+            "repro_runs_total",
+            "Flight executions finished, by outcome.",
+            ("outcome",),
+        )
+        self.run_seconds = r.histogram(
+            "repro_run_seconds",
+            "Flight wall time from admission to completion.",
+        )
+        self.queue_wait = r.histogram(
+            "repro_queue_wait_seconds",
+            "Time an admitted request waited before its run started.",
+        )
+
+    def record_http(
+        self,
+        *,
+        route: str,
+        method: str,
+        status: int,
+        latency_s: float,
+        trace_id: Optional[str] = None,
+        client: Optional[str] = None,
+        extra: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Count one handled HTTP request and emit its access-log line."""
+        self.requests.inc(route=route, method=method, status=str(int(status)))
+        self.latency.observe(latency_s, route=route)
+        log = self.access_log
+        if log is not None:
+            fields: Dict[str, Any] = {
+                "component": self.component,
+                "route": route,
+                "method": method,
+                "status": int(status),
+                "latency_ms": round(latency_s * 1000.0, 3),
+                "trace_id": trace_id,
+            }
+            if client:
+                fields["client"] = client
+            if extra:
+                fields.update(extra)
+            log.log("request", **fields)
+
+    def server_log(self, message: str, *, client: Optional[str] = None) -> bool:
+        """Route an ``http.server`` log line into the structured log.
+
+        Returns ``True`` when a line was written — the HTTP handler falls
+        back to its plain logger otherwise.
+        """
+        log = self.access_log
+        if log is None:
+            return False
+        fields: Dict[str, Any] = {"component": self.component, "message": message}
+        if client:
+            fields["client"] = client
+        log.log("http.server", **fields)
+        return True
+
+    def close(self) -> None:
+        if self.access_log is not None:
+            self.access_log.close()

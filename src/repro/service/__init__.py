@@ -28,10 +28,15 @@ a queryable, scalable service (the serving shape the ROADMAP asks for):
   daemons (each its own process over its own cache partition) behind one
   router, with whole-fleet SIGTERM drain;
 * :mod:`~repro.service.loadgen` — the ``repro loadgen`` open/closed-loop
-  load generator and its ``repro.loadgen/v1`` report.
+  load generator and its ``repro.loadgen/v2`` report.
 
-No dependency beyond the standard library is introduced: transport is
-``http.server`` / ``http.client``, payloads are JSON.
+Telemetry (from :mod:`repro.obs.telemetry`) threads through the whole
+stack: every daemon serves Prometheus-text metrics on ``GET /metrics``
+(the router aggregates its shards' pages under a ``shard`` label), an
+``X-Repro-Trace-Id`` request header collects router/shard/run spans into
+the response document, and ``--log-json`` writes structured JSON access
+logs.  No dependency beyond the standard library is introduced: transport
+is ``http.server`` / ``http.client``, payloads are JSON.
 """
 
 from .client import (  # noqa: F401
@@ -39,6 +44,7 @@ from .client import (  # noqa: F401
     ServiceClient,
     client_sweep_document,
     http_json_request,
+    http_text_request,
     sweep_via_service,
     write_client_sweep,
 )
@@ -87,6 +93,7 @@ __all__ = [
     "CLIENT_SWEEP_SCHEMA",
     "client_sweep_document",
     "http_json_request",
+    "http_text_request",
     "sweep_via_service",
     "write_client_sweep",
     "HashRing",

@@ -20,6 +20,7 @@ import time
 from http.client import HTTPConnection
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..obs.telemetry import TRACE_HEADER, new_trace_id
 from ..runner.spec import RunSpec
 from .core import (
     ServiceClosed,
@@ -35,6 +36,7 @@ __all__ = [
     "ServiceClient",
     "client_sweep_document",
     "http_json_request",
+    "http_text_request",
     "sweep_via_service",
     "write_client_sweep",
 ]
@@ -59,6 +61,7 @@ def http_json_request(
     body: Optional[Dict[str, Any]] = None,
     *,
     timeout_s: Optional[float] = None,
+    headers: Optional[Dict[str, str]] = None,
 ) -> Tuple[int, Dict[str, Any]]:
     """One JSON round trip over a fresh connection: ``(status, document)``.
 
@@ -66,16 +69,20 @@ def http_json_request(
     router's shard forwarding, and the load generator.  Raises ``OSError``
     on transport failure (connect refused, reset, socket timeout) and
     :class:`ServiceError` when the peer answers with something that is not
-    JSON; interpreting the document is the caller's business.
+    JSON; interpreting the document is the caller's business.  ``headers``
+    merge over the defaults — trace propagation travels here, never in the
+    (strictly validated) body.
     """
     conn = HTTPConnection(host, port, timeout=timeout_s)
     try:
         payload = None
-        headers = {}
+        send_headers: Dict[str, str] = {}
         if body is not None:
             payload = json.dumps(body, sort_keys=True, default=str).encode()
-            headers = {"Content-Type": "application/json"}
-        conn.request(method, path, body=payload, headers=headers)
+            send_headers = {"Content-Type": "application/json"}
+        if headers:
+            send_headers.update(headers)
+        conn.request(method, path, body=payload, headers=send_headers)
         resp = conn.getresponse()
         raw = resp.read()
         try:
@@ -85,6 +92,31 @@ def http_json_request(
                 f"non-JSON response (HTTP {resp.status}): {raw[:200]!r}"
             ) from exc
         return resp.status, doc
+    finally:
+        conn.close()
+
+
+def http_text_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    *,
+    timeout_s: Optional[float] = None,
+    headers: Optional[Dict[str, str]] = None,
+) -> Tuple[int, str]:
+    """One plain-text round trip: ``(status, body text)``.
+
+    The transport for ``GET /metrics`` (Prometheus exposition is text, not
+    JSON) — the router's fleet-wide scrape and the load generator's
+    before/after snapshots both go through here.  Raises ``OSError`` on
+    transport failure; undecodable bytes are replaced, never raised.
+    """
+    conn = HTTPConnection(host, port, timeout=timeout_s)
+    try:
+        conn.request(method, path, headers=headers or {})
+        resp = conn.getresponse()
+        return resp.status, resp.read().decode("utf-8", "replace")
     finally:
         conn.close()
 
@@ -137,13 +169,15 @@ class ServiceClient:
         body: Optional[Dict[str, Any]] = None,
         *,
         timeout_s: Optional[float] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, Any]]:
         # The socket must outlive the server-side run: pad the request
         # deadline so the service's own timeout error arrives as a document
         # rather than as a dropped connection.
         sock_timeout = self.connect_timeout_s + (timeout_s if timeout_s else 0.0) + 5.0
         return http_json_request(
-            self.host, self.port, method, path, body, timeout_s=sock_timeout
+            self.host, self.port, method, path, body, timeout_s=sock_timeout,
+            headers=headers,
         )
 
     def _call(
@@ -153,11 +187,14 @@ class ServiceClient:
         body: Optional[Dict[str, Any]] = None,
         *,
         timeout_s: Optional[float] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Dict[str, Any]:
         """One endpoint call with retriable-error back-off."""
         attempt = 0
         while True:
-            status, doc = self._request(method, path, body, timeout_s=timeout_s)
+            status, doc = self._request(
+                method, path, body, timeout_s=timeout_s, headers=headers
+            )
             if status < 400 and doc.get("ok", False):
                 return doc
             error = _error_from_document(doc)
@@ -176,12 +213,27 @@ class ServiceClient:
         *,
         timeline: bool = False,
         timeout_s: Optional[float] = None,
+        trace: Union[bool, str, None] = False,
     ) -> Dict[str, Any]:
-        """Serve one spec; returns the success document (trace + metrics)."""
+        """Serve one spec; returns the success document (trace + metrics).
+
+        ``trace=True`` stamps a fresh ``X-Repro-Trace-Id`` on the request
+        (``trace="<id>"`` reuses a caller-chosen id); against a
+        telemetry-enabled daemon the response document then carries a
+        ``"spans"`` list covering router routing, shard admission, and run
+        execution, all sharing that trace id.
+        """
         if isinstance(spec, dict):
             spec = RunSpec.from_dict(spec)
         request = RunRequest(spec=spec, timeline=timeline, timeout_s=timeout_s)
-        return self._call("POST", "/v1/run", request.to_document(), timeout_s=timeout_s)
+        headers = None
+        if trace:
+            trace_id = trace if isinstance(trace, str) else new_trace_id()
+            headers = {TRACE_HEADER: trace_id}
+        return self._call(
+            "POST", "/v1/run", request.to_document(), timeout_s=timeout_s,
+            headers=headers,
+        )
 
     def batch(self, requests: Sequence[RunRequest]) -> List[Dict[str, Any]]:
         """One ``/v1/batch`` round-trip; per-item success/error documents."""

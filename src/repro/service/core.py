@@ -44,6 +44,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple, Union
 
+from ..obs.telemetry import ServiceTelemetry, Span, TraceContext, new_span_id
 from ..runner.cache import ResultCache
 from ..runner.runner import RunResult, run_cached
 from .protocol import RunRequest
@@ -112,12 +113,18 @@ class ServiceUnavailable(ServiceError):
 
 @dataclass(frozen=True)
 class ServedResult:
-    """One request's outcome: the run result plus serving-side accounting."""
+    """One request's outcome: the run result plus serving-side accounting.
+
+    ``spans`` is non-empty only for traced requests against a telemetry-
+    enabled service: the admission/wait/run/cache-lookup span records bound
+    to the request's trace id, ready for the response document.
+    """
 
     result: RunResult
     coalesced: bool
     queue_wait_s: float
     artifacts: Tuple[Path, ...] = ()
+    spans: Tuple[Span, ...] = ()
 
 
 @dataclass
@@ -143,9 +150,15 @@ class ServiceStats:
 
 
 class _Flight:
-    """One in-flight execution that any number of requests may join."""
+    """One in-flight execution that any number of requests may join.
 
-    __slots__ = ("done", "result", "artifacts", "error", "started_at")
+    ``traced`` is set when the *creating* request carried a trace context;
+    the executor then records its spans into ``spans`` (unbound — each
+    joining requester binds copies to its own trace id).  Only the executor
+    thread writes ``spans``, and readers wait on ``done`` first.
+    """
+
+    __slots__ = ("done", "result", "artifacts", "error", "started_at", "spans", "traced")
 
     def __init__(self) -> None:
         self.done = threading.Event()
@@ -153,6 +166,8 @@ class _Flight:
         self.artifacts: Tuple[Path, ...] = ()
         self.error: Optional[BaseException] = None
         self.started_at = time.perf_counter()
+        self.spans: list = []
+        self.traced = False
 
 
 #: An injectable execution function: request → result (+ artifact paths).
@@ -172,6 +187,10 @@ class SimulationService:
     ``run_fn`` overrides the execution function for tests; it receives the
     (deadline-adjusted) request and returns a :class:`RunResult`, optionally
     paired with a sequence of artifact paths.
+
+    ``telemetry`` (a :class:`~repro.obs.telemetry.ServiceTelemetry`) turns
+    on metrics and span recording; ``None`` keeps the PR4 probe discipline —
+    every telemetry hook in the request path is one ``is not None`` check.
     """
 
     def __init__(
@@ -183,6 +202,7 @@ class SimulationService:
         probe_dir: Union[str, Path, None] = None,
         default_timeout_s: Optional[float] = None,
         run_fn: Optional[RunFn] = None,
+        telemetry: Optional[ServiceTelemetry] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -205,9 +225,36 @@ class SimulationService:
         self._closed = False
         self._stats = ServiceStats()
         self._recent_wall: deque = deque(maxlen=32)
+        self._telemetry = telemetry
+        # Executor-thread span sink: _execute points it at the flight's span
+        # list so _default_run can record the cache-lookup span without the
+        # request plumbing knowing about probes.
+        self._span_sink = threading.local()
+
+    @property
+    def telemetry(self) -> Optional[ServiceTelemetry]:
+        return self._telemetry
 
     # -- execution ---------------------------------------------------------
     def _default_run(self, request: RunRequest) -> Tuple[RunResult, Tuple[Path, ...]]:
+        sink = getattr(self._span_sink, "sink", None)
+        if sink is not None and self.cache is not None and not request.timeline:
+            # Traced request: time the cache probe explicitly.  run_cached
+            # repeats the get(); a content-addressed read-mostly cache makes
+            # the double lookup cheap, and only traced requests pay it.
+            t_wall, t0 = time.time(), time.perf_counter()
+            hit = self.cache.get(request.spec.cache_key())
+            sink.append(
+                Span(
+                    name="shard.cache_lookup",
+                    component=self._telemetry.component,
+                    start_s=t_wall,
+                    duration_s=time.perf_counter() - t0,
+                    span_id=new_span_id(),
+                    parent_id=getattr(self._span_sink, "parent", None),
+                    attrs={"hit": hit is not None},
+                )
+            )
         if request.timeline and self.probe_dir is not None:
             from ..obs.probe import RecordingProbe
             from ..obs.timeline import export_timeline
@@ -249,6 +296,14 @@ class SimulationService:
         self, flight: _Flight, request: RunRequest, key: Tuple[str, bool]
     ) -> None:
         t0 = time.perf_counter()
+        tel = self._telemetry
+        traced = tel is not None and flight.traced
+        run_span_id: Optional[str] = None
+        if traced:
+            run_span_id = new_span_id()
+            t_wall = time.time()
+            self._span_sink.sink = flight.spans
+            self._span_sink.parent = run_span_id
         try:
             out = self._run_fn(request)
             if isinstance(out, tuple):
@@ -265,6 +320,33 @@ class SimulationService:
         except BaseException as exc:  # propagated to every waiter
             flight.error = exc
         finally:
+            if traced:
+                self._span_sink.sink = None
+                attrs: Dict[str, Any] = {
+                    "key": key[0][:16],
+                    "timeline": key[1],
+                    "queue_wait_s": round(max(0.0, t0 - flight.started_at), 6),
+                }
+                if flight.error is not None:
+                    attrs["error"] = type(flight.error).__name__
+                else:
+                    attrs["cache_hit"] = bool(
+                        flight.result is not None and flight.result.cached
+                    )
+                    if flight.artifacts:
+                        # Links the traced request to the probe artifacts its
+                        # run exported (timeline=true requests).
+                        attrs["artifacts"] = [str(p) for p in flight.artifacts]
+                flight.spans.append(
+                    Span(
+                        name="shard.run",
+                        component=tel.component,
+                        start_s=t_wall,
+                        duration_s=time.perf_counter() - t0,
+                        span_id=run_span_id,
+                        attrs=attrs,
+                    )
+                )
             with self._lock:
                 self._flights.pop(key, None)
                 if flight.error is None:
@@ -274,6 +356,14 @@ class SimulationService:
                     self._recent_wall.append(time.perf_counter() - flight.started_at)
                 else:
                     self._stats.failures += 1
+            if tel is not None:
+                if flight.error is None:
+                    tel.runs.inc(outcome="ok")
+                    if flight.result is not None and flight.result.cached:
+                        tel.cache_hits.inc()
+                    tel.run_seconds.observe(time.perf_counter() - flight.started_at)
+                else:
+                    tel.runs.inc(outcome="error")
             flight.done.set()
 
     # -- admission ---------------------------------------------------------
@@ -285,21 +375,35 @@ class SimulationService:
         backlog = max(1, len(self._flights) - self.workers + 1)
         return max(0.05, wall * backlog / max(1, self.workers))
 
-    def submit(self, request: RunRequest) -> ServedResult:
+    def submit(
+        self, request: RunRequest, trace: Optional[TraceContext] = None
+    ) -> ServedResult:
         """Serve one request, blocking until its flight completes.
+
+        ``trace`` (requires telemetry) makes the request *traced*: span
+        records for admission, the flight wait, the cache lookup, and the
+        run itself come back on the :class:`ServedResult`, bound to the
+        context's trace id.
 
         Raises :class:`ServiceClosed` while draining,
         :class:`ServiceOverloaded` when ``max_pending`` distinct flights are
         already admitted, :class:`ServiceTimeout` when the effective deadline
         passes first, and :class:`ServiceError` when the run itself fails.
         """
+        tel = self._telemetry
+        if tel is None:
+            trace = None
         request, timeout_s = self._with_deadline(request)
         key = (request.spec.cache_key(), request.timeline)
+        spans: Optional[list] = [] if trace is not None else None
+        t_wall = time.time() if spans is not None else 0.0
         t_submit = time.perf_counter()
         with self._lock:
             self._stats.requests += 1
             if self._draining or self._closed:
                 self._stats.rejected_closed += 1
+                if tel is not None:
+                    tel.rejected.inc(reason="draining")
                 raise ServiceClosed(
                     "service is draining and admits no new work",
                     retry_after_s=self._retry_after(),
@@ -308,20 +412,54 @@ class SimulationService:
             coalesced = flight is not None
             if coalesced:
                 self._stats.coalesced += 1
+                if tel is not None:
+                    tel.coalesced.inc()
             else:
                 if len(self._flights) >= self.max_pending:
                     self._stats.rejected_overload += 1
+                    if tel is not None:
+                        tel.rejected.inc(reason="overloaded")
                     raise ServiceOverloaded(
                         f"{len(self._flights)} flights pending "
                         f"(limit {self.max_pending}); retry later",
                         retry_after_s=self._retry_after(),
                     )
                 flight = _Flight()
+                if spans is not None:
+                    flight.traced = True
                 self._flights[key] = flight
                 self._pool.submit(self._execute, flight, request, key)
-        if not flight.done.wait(timeout_s):
+        if spans is not None:
+            spans.append(
+                Span(
+                    name="shard.admission",
+                    component=tel.component,
+                    start_s=t_wall,
+                    duration_s=time.perf_counter() - t_submit,
+                    span_id=new_span_id(),
+                    attrs={"coalesced": coalesced},
+                )
+            )
+            t_wait_wall, t_wait = time.time(), time.perf_counter()
+        completed = flight.done.wait(timeout_s)
+        if spans is not None:
+            # The single-flight join: how long this requester waited on the
+            # (possibly shared) execution.
+            spans.append(
+                Span(
+                    name="shard.wait",
+                    component=tel.component,
+                    start_s=t_wait_wall,
+                    duration_s=time.perf_counter() - t_wait,
+                    span_id=new_span_id(),
+                    attrs={"joined_flight": coalesced, "completed": completed},
+                )
+            )
+        if not completed:
             with self._lock:
                 self._stats.timeouts += 1
+            if tel is not None:
+                tel.rejected.inc(reason="timeout")
             raise ServiceTimeout(
                 f"deadline of {timeout_s}s passed; the run continues server-side "
                 "and will publish to the cache",
@@ -334,18 +472,32 @@ class SimulationService:
                 f"run failed: {type(flight.error).__name__}: {flight.error}"
             ) from flight.error
         assert flight.result is not None
+        queue_wait_s = (
+            time.perf_counter() - t_submit
+            if coalesced
+            else max(0.0, flight.started_at - t_submit)
+        )
+        if tel is not None:
+            tel.queue_wait.observe(queue_wait_s)
+        out_spans: Tuple[Span, ...] = ()
+        if spans is not None:
+            spans.extend(flight.spans)
+            out_spans = tuple(
+                s.bound(trace.trace_id, trace.parent_span) for s in spans
+            )
         return ServedResult(
             result=flight.result,
             coalesced=coalesced,
-            queue_wait_s=time.perf_counter() - t_submit
-            if coalesced
-            else max(0.0, flight.started_at - t_submit),
+            queue_wait_s=queue_wait_s,
             artifacts=flight.artifacts,
+            spans=out_spans,
         )
 
-    def submit_document(self, doc: Any) -> ServedResult:
+    def submit_document(
+        self, doc: Any, trace: Optional[TraceContext] = None
+    ) -> ServedResult:
         """Parse-and-serve convenience; ``ValueError`` on a malformed doc."""
-        return self.submit(RunRequest.from_document(doc))
+        return self.submit(RunRequest.from_document(doc), trace=trace)
 
     # -- lifecycle ---------------------------------------------------------
     def drain(self, timeout_s: Optional[float] = None) -> bool:

@@ -46,6 +46,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, Dict, List, Optional, Union
 
+from ..obs.telemetry import ServiceTelemetry
 from ..runner.cache import partition_cache_dir
 from .router import ReproRouter, RouterService, ShardAddress
 
@@ -132,6 +133,7 @@ class Fleet:
         ready_timeout_s: float = 30.0,
         stop_timeout_s: float = 30.0,
         log=None,
+        log_json: Union[str, Path, None] = None,
     ) -> None:
         if shards < 1:
             raise ValueError("a fleet needs at least one shard")
@@ -151,6 +153,7 @@ class Fleet:
         self.ready_timeout_s = ready_timeout_s
         self.stop_timeout_s = stop_timeout_s
         self._log = log
+        self.log_json = Path(log_json) if log_json is not None else None
         self.shard_procs: List[ShardProcess] = []
         self.router: Optional[RouterService] = None
         self.front: Optional[ReproRouter] = None
@@ -182,6 +185,15 @@ class Fleet:
             cmd += ["--cache-dir", str(partition_cache_dir(self.cache_dir, int(shard_id)))]
         else:
             cmd += ["--no-cache"]
+        cmd += ["--shard-id", shard_id]
+        if self.log_json is not None:
+            # Sibling files next to the router's access log: one JSON-lines
+            # stream per process, no cross-process interleaving to untangle.
+            suffix = self.log_json.suffix or ".jsonl"
+            shard_log = self.log_json.with_name(
+                f"{self.log_json.stem}-shard-{shard_id}{suffix}"
+            )
+            cmd += ["--log-json", str(shard_log)]
         return cmd
 
     def _spawn_shard(self, shard_id: str) -> ShardProcess:
@@ -231,6 +243,7 @@ class Fleet:
         except (FleetError, OSError):
             self.stop_shards()
             raise
+        telemetry = ServiceTelemetry("router", access_log=self.log_json)
         self.router = RouterService(
             [s.address() for s in self.shard_procs],
             vnodes=self.vnodes,
@@ -239,8 +252,11 @@ class Fleet:
             revive_after_s=self.revive_after_s,
             default_timeout_s=self.default_timeout_s,
             log=self._log,
+            telemetry=telemetry,
         )
-        self.front = ReproRouter(self.router, self.host, self.port, log=self._log)
+        self.front = ReproRouter(
+            self.router, self.host, self.port, log=self._log, telemetry=telemetry
+        )
         self.write_state()
         return self
 
@@ -359,6 +375,7 @@ def run_fleet(
     log_dir: Union[str, Path, None] = None,
     state_file: Union[str, Path, None] = None,
     log=print,
+    log_json: Union[str, Path, None] = None,
 ) -> int:
     """Body of ``repro fleet``: build, serve, drain; returns the exit code."""
     fleet = Fleet(
@@ -376,5 +393,6 @@ def run_fleet(
         log_dir=log_dir,
         state_file=state_file,
         log=log,
+        log_json=log_json,
     )
     return fleet.run()

@@ -24,12 +24,17 @@ server's own ``Retry-After`` hint, exactly like :class:`ServiceClient`;
 every 429 observation is still counted, so the report separates "the
 service pushed back and the client rode it out" (``observed_429``) from
 "the request ultimately failed" (``failed``).  The JSON report is tagged
-``repro.loadgen/v1`` (schema documented in ``docs/API.md``).
+``repro.loadgen/v2`` (schema documented in ``docs/API.md``; v2 extends v1
+with the server-side view: ``GET /metrics`` is scraped before and after
+the run, histogram-derived percentiles land in ``server_histogram``, and
+``skew_p99_s`` records how much of the client-observed tail the server
+never saw — queueing, transport, and retry time).
 """
 
 from __future__ import annotations
 
 import itertools
+import json
 import math
 import threading
 import time
@@ -37,13 +42,21 @@ from collections import Counter
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from .client import CLIENT_SWEEP_SCHEMA, http_json_request
+from ..obs.perfetto import loads_trace_event, service_trace_event_document
+from ..obs.telemetry import (
+    TRACE_HEADER,
+    Exposition,
+    histogram_quantile,
+    new_trace_id,
+    parse_exposition,
+)
+from .client import CLIENT_SWEEP_SCHEMA, http_json_request, http_text_request
 from .protocol import ERROR_CODES, SERVICE_SCHEMA, RunRequest
 
 __all__ = ["LOADGEN_SCHEMA", "load_request_log", "percentile", "run_loadgen", "summarize"]
 
 #: Schema tag of the loadgen report document.
-LOADGEN_SCHEMA = "repro.loadgen/v1"
+LOADGEN_SCHEMA = "repro.loadgen/v2"
 
 
 def percentile(sorted_values: Sequence[float], q: float) -> float:
@@ -72,7 +85,6 @@ def load_request_log(path: Union[str, Path]) -> List[Dict[str, Any]]:
     warning counting them, and only a file with *no* replayable entry is an
     error.
     """
-    import json
     import warnings
 
     doc = json.loads(Path(path).read_text())
@@ -228,6 +240,7 @@ def run_loadgen(
     label: str = "",
     sleep: Callable[[float], None] = time.sleep,
     progress: Optional[Callable[[str], None]] = None,
+    trace_out: Union[str, Path, None] = None,
 ) -> Dict[str, Any]:
     """Drive the endpoint for ``duration_s``; return the report document.
 
@@ -235,6 +248,15 @@ def run_loadgen(
     needs ``rate`` (requests/second; ``concurrency`` then sizes the issuing
     pool, default enough to cover rate × a 2 s stall).  ``loop="closed"``
     needs ``concurrency`` (default 4) and ignores ``rate``.
+
+    ``GET /metrics`` is scraped before and after the measured window (best
+    effort — a pre-telemetry daemon just reports ``server_histogram:
+    null``); the delta between the two snapshots yields the server-side
+    latency percentiles and the ``repro_requests_total`` delta the CI lane
+    cross-checks against the client-side count.  ``trace_out`` additionally
+    issues one *traced* request — before the first scrape, so it never
+    perturbs the deltas — and writes its spans as a validated Perfetto
+    trace-event file.
     """
     from concurrent.futures import ThreadPoolExecutor, wait
 
@@ -254,6 +276,12 @@ def run_loadgen(
         workers = concurrency if concurrency is not None else 4
 
     recorder = _Recorder()
+    request_trace = (
+        _issue_traced(host, port, docs[0], trace_out, timeout_s)
+        if trace_out is not None
+        else None
+    )
+    metrics_before = _scrape_metrics(host, port)
     _, stats_before = _try_stats(host, port)
     trace = itertools.cycle(docs)
     t_start = time.perf_counter()
@@ -290,8 +318,11 @@ def run_loadgen(
                     max_retries=max_retries, backoff_s=backoff_s, sleep=sleep,
                 )
                 recorder.record(
-                    result[0], result[1], n_429=result[2],
-                    retries=result[3], transport_errors=result[4],
+                    result[0],
+                    result[1],
+                    n_429=result[2],
+                    retries=result[3],
+                    transport_errors=result[4],
                 )
 
         threads = [
@@ -305,6 +336,23 @@ def run_loadgen(
 
     wall_s = time.perf_counter() - t_start
     _, stats_after = _try_stats(host, port)
+    # The server bumps its request counter *after* the response bytes go
+    # out, so the last responses we received may not be counted yet when we
+    # scrape.  Poll briefly until the delta catches up with the attempts we
+    # know we issued (requests + retries − transport errors); an overshoot
+    # is left for the caller's invariant checks to flag.
+    expected_delta = len(recorder.latencies) + recorder.retries - recorder.transport_errors
+    deadline = time.monotonic() + 5.0
+    while True:
+        metrics_after = _scrape_metrics(host, port)
+        server_histogram, server_requests_delta = _server_view(metrics_before, metrics_after)
+        if metrics_before is None or metrics_after is None:
+            break
+        if server_requests_delta is None or server_requests_delta >= expected_delta:
+            break
+        if time.monotonic() >= deadline:
+            break
+        sleep(0.02)
 
     latencies = sorted(recorder.latencies)
     n = len(latencies)
@@ -345,7 +393,16 @@ def run_loadgen(
         "ring_balance": stats_after.get("ring")
         if isinstance(stats_after, dict)
         else None,
+        "server_histogram": server_histogram,
+        "server_requests_delta": server_requests_delta,
+        "request_trace": request_trace,
     }
+    lat = report["latency_s"]
+    report["skew_p99_s"] = (
+        round(lat["p99"] - server_histogram["p99"], 6)
+        if lat and server_histogram and server_histogram.get("p99") is not None
+        else None
+    )
     return report
 
 
@@ -378,6 +435,106 @@ def _try_stats(host: str, port: int) -> Tuple[int, Optional[Dict[str, Any]]]:
         return 0, None
 
 
+def _scrape_metrics(host: str, port: int) -> Optional[Exposition]:
+    """Best-effort strict-parsed ``GET /metrics`` snapshot (None on any miss)."""
+    try:
+        status, text = http_text_request(host, port, "GET", "/metrics", timeout_s=10.0)
+        if status != 200:
+            return None
+        return parse_exposition(text)
+    except Exception:
+        return None
+
+
+# Server-side view of the measured window: only the target's own /v1/run
+# series (``without shard`` drops the per-shard copies a router re-labels
+# into its page — counting those too would double every request).
+_RUN_FILTER = {"labels": {"route": "/v1/run"}, "without": ("shard",)}
+
+
+def _server_view(
+    before: Optional[Exposition], after: Optional[Exposition]
+) -> Tuple[Optional[Dict[str, Any]], Optional[int]]:
+    """Histogram + request-counter deltas between two ``/metrics`` scrapes.
+
+    Returns ``(server_histogram, server_requests_delta)``.  Cumulative
+    Prometheus series subtract cleanly, so the delta is exactly the
+    requests the server completed during the measured window; a missing
+    *before* scrape degrades to since-process-start totals rather than
+    nothing (the counters start at zero with the daemon).
+    """
+    if after is None:
+        return None, None
+    hist_after = after.histogram("repro_request_latency_seconds", **_RUN_FILTER)
+    if hist_after is None:
+        return None, None
+    hist_before = (
+        before.histogram("repro_request_latency_seconds", **_RUN_FILTER)
+        if before is not None
+        else None
+    )
+    buckets = {
+        le: cum - (hist_before["buckets"].get(le, 0.0) if hist_before else 0.0)
+        for le, cum in hist_after["buckets"].items()
+    }
+    count = int(buckets.get(math.inf, 0.0))
+    histogram = {
+        "count": count,
+        "sum_s": round(
+            hist_after["sum"] - (hist_before["sum"] if hist_before else 0.0), 6
+        ),
+    }
+    for name, q in (("p50", 0.50), ("p90", 0.90), ("p99", 0.99)):
+        quantile = histogram_quantile(buckets, q) if count > 0 else None
+        histogram[name] = round(quantile, 6) if quantile is not None else None
+    requests_after = after.total("repro_requests_total", **_RUN_FILTER)
+    requests_before = (
+        before.total("repro_requests_total", **_RUN_FILTER) if before is not None else 0.0
+    )
+    return histogram, int(requests_after - requests_before)
+
+
+def _issue_traced(
+    host: str,
+    port: int,
+    doc: Dict[str, Any],
+    out_path: Union[str, Path],
+    timeout_s: Optional[float],
+) -> Dict[str, Any]:
+    """One traced request → a validated Perfetto trace-event file.
+
+    Issued *before* the pre-run metrics scrape so the extra request sits in
+    the "before" snapshot and cancels out of every delta.  Failures degrade
+    into an ``{"ok": false, "reason": ...}`` stanza — a load run against a
+    pre-telemetry daemon still measures, it just cannot trace.
+    """
+    trace_id = new_trace_id()
+    sock_timeout = 10.0 + (timeout_s if timeout_s else 0.0) + 5.0
+    try:
+        status, out = http_json_request(
+            host, port, "POST", "/v1/run", doc,
+            timeout_s=sock_timeout, headers={TRACE_HEADER: trace_id},
+        )
+    except OSError as exc:
+        return {"ok": False, "trace_id": trace_id, "reason": f"transport: {exc}"}
+    if status >= 400 or not isinstance(out, dict) or not out.get("ok", False):
+        return {"ok": False, "trace_id": trace_id, "reason": f"request failed ({status})"}
+    spans = out.get("spans")
+    if not spans:
+        return {
+            "ok": False,
+            "trace_id": trace_id,
+            "reason": "response carries no spans (telemetry disabled on the target?)",
+        }
+    trace_doc = service_trace_event_document(spans)
+    text = json.dumps(trace_doc, sort_keys=True)
+    loads_trace_event(text)  # the file must round-trip its own validator
+    path = Path(out_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text + "\n")
+    return {"ok": True, "trace_id": trace_id, "path": str(path), "spans": len(spans)}
+
+
 def summarize(report: Dict[str, Any]) -> str:
     """Human one-screen rendering of a loadgen report."""
     lines = [
@@ -396,6 +553,18 @@ def summarize(report: Dict[str, Any]) -> str:
             f"  latency p50 {lat['p50'] * 1000:.1f}ms  p95 {lat['p95'] * 1000:.1f}ms  "
             f"p99 {lat['p99'] * 1000:.1f}ms  max {lat['max'] * 1000:.1f}ms"
         )
+    server = report.get("server_histogram")
+    if server:
+        parts = [
+            f"{name} {server[name] * 1000:.1f}ms"
+            for name in ("p50", "p90", "p99")
+            if server.get(name) is not None
+        ]
+        skew = report.get("skew_p99_s")
+        lines.append(
+            f"  server ({server['count']} reqs): " + "  ".join(parts)
+            + (f"  client-skew p99 {skew * 1000:+.1f}ms" if skew is not None else "")
+        )
     shards = report.get("per_shard")
     if shards:
         split = "  ".join(
@@ -403,4 +572,12 @@ def summarize(report: Dict[str, Any]) -> str:
             for sid, v in shards.items()
         )
         lines.append(f"  balance: {split}")
+    trace = report.get("request_trace")
+    if trace:
+        lines.append(
+            f"  trace {trace['trace_id'][:12]}…: "
+            + (f"{trace['spans']} spans → {trace['path']}"
+               if trace.get("ok")
+               else f"not captured ({trace.get('reason')})")
+        )
     return "\n".join(lines)

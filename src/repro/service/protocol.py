@@ -19,7 +19,8 @@ Success response::
      "key": "<cache key>", "cached": false, "coalesced": false,
      "wall_s": 0.12, "queue_wait_s": 0.01,
      "trace": "<plain-text trace>", "metrics": {...RunMetrics.to_dict()...},
-     "artifacts": ["..."] | null}
+     "artifacts": ["..."] | null,
+     "spans": [...]}              # traced requests only (X-Repro-Trace-Id)
 
 Error response (the HTTP layer mirrors ``code`` onto a status)::
 
@@ -126,8 +127,14 @@ class RunRequest:
 
 
 def response_document(served) -> Dict[str, Any]:
-    """Success document for one :class:`~repro.service.core.ServedResult`."""
-    return {
+    """Success document for one :class:`~repro.service.core.ServedResult`.
+
+    A traced request (one that carried an ``X-Repro-Trace-Id`` header
+    against a telemetry-enabled daemon) additionally gets a ``"spans"``
+    list of span documents; untraced responses omit the key entirely, so
+    the wire format is unchanged for existing clients.
+    """
+    doc = {
         "schema": SERVICE_SCHEMA,
         "ok": True,
         "key": served.result.key,
@@ -139,6 +146,10 @@ def response_document(served) -> Dict[str, Any]:
         "metrics": served.result.metrics.to_dict(),
         "artifacts": [str(p) for p in served.artifacts] if served.artifacts else None,
     }
+    spans = getattr(served, "spans", ())
+    if spans:
+        doc["spans"] = [s.to_dict() for s in spans]
+    return doc
 
 
 def error_document(

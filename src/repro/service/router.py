@@ -48,7 +48,15 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from .client import http_json_request
+from ..obs.telemetry import (
+    ServiceTelemetry,
+    Span,
+    TraceContext,
+    merge_expositions,
+    new_span_id,
+    parse_exposition,
+)
+from .client import http_json_request, http_text_request
 from .protocol import HTTP_STATUS, SERVICE_SCHEMA, RunRequest, error_document
 from .ring import HashRing, NoLiveShard
 from .server import HttpFront, JsonHttpHandler
@@ -142,6 +150,7 @@ class RouterService:
         connect_timeout_s: float = 10.0,
         default_timeout_s: Optional[float] = None,
         log=None,
+        telemetry: Optional[ServiceTelemetry] = None,
     ) -> None:
         if not shards:
             raise ValueError("a fleet needs at least one shard")
@@ -169,6 +178,38 @@ class RouterService:
         self._pool = ThreadPoolExecutor(
             max_workers=max(4, 2 * len(shards)), thread_name_prefix="repro-router"
         )
+        self._telemetry = telemetry
+        if telemetry is not None:
+            reg = telemetry.registry
+            self._m_forwards = reg.counter(
+                "repro_router_forwards_total",
+                "Upstream forwards by shard and outcome",
+                labelnames=("shard", "outcome"),
+            )
+            self._m_retries = reg.counter(
+                "repro_router_retries_total", "Requests re-routed after a transport failure"
+            )
+            self._m_marked_down = reg.counter(
+                "repro_router_marked_down_total",
+                "Mark-down transitions per shard",
+                labelnames=("shard",),
+            )
+            self._m_shard_up = reg.gauge(
+                "repro_router_shard_up",
+                "1 while the shard is routable, 0 while marked down",
+                labelnames=("shard",),
+            )
+            self._m_scrape_errors = reg.counter(
+                "repro_router_scrape_errors_total",
+                "Shard /metrics scrapes that failed or did not parse",
+                labelnames=("shard",),
+            )
+            for sid in self._shards:
+                self._m_shard_up.set(1.0, shard=sid)
+
+    @property
+    def telemetry(self) -> Optional[ServiceTelemetry]:
+        return self._telemetry
 
     # -- introspection -----------------------------------------------------
     @property
@@ -199,20 +240,28 @@ class RouterService:
         with self._lock:
             shard = self._shards[sid]
             shard.transport_errors += 1
-            if shard.down_since is None:
+            transition = shard.down_since is None
+            if transition:
                 self._stats.marked_down += 1
             shard.down_since = time.monotonic()
+        if self._telemetry is not None:
+            self._m_shard_up.set(0.0, shard=sid)
+            if transition:
+                self._m_marked_down.inc(shard=sid)
         if self._log is not None:
             self._log(f"shard {sid} marked down: {type(why).__name__}: {why}")
 
     def _mark_up(self, sid: str) -> None:
         with self._lock:
             shard = self._shards[sid]
-            if shard.down_since is not None:
+            revived = shard.down_since is not None
+            if revived:
                 shard.down_since = None
                 self._stats.revived += 1
                 if self._log is not None:
                     self._log(f"shard {sid} revived")
+        if revived and self._telemetry is not None:
+            self._m_shard_up.set(1.0, shard=sid)
 
     def _hottest_hint(self) -> float:
         hints = [
@@ -222,7 +271,12 @@ class RouterService:
 
     # -- forwarding --------------------------------------------------------
     def _post(
-        self, sid: str, path: str, body: Dict[str, Any], timeout_s: Optional[float]
+        self,
+        sid: str,
+        path: str,
+        body: Dict[str, Any],
+        timeout_s: Optional[float],
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, Any]]:
         """One upstream POST; socket deadline padded past the run deadline."""
         shard = self._shards[sid]
@@ -236,14 +290,45 @@ class RouterService:
             path,
             body,
             timeout_s=sock_timeout,
+            headers=headers,
         )
 
-    def handle_run(self, doc: Any) -> Tuple[int, Dict[str, Any], Optional[float]]:
-        """Route one ``/v1/run`` document: (status, document, retry-after)."""
+    def handle_run(
+        self, doc: Any, trace: Optional[TraceContext] = None
+    ) -> Tuple[int, Dict[str, Any], Optional[float]]:
+        """Route one ``/v1/run`` document: (status, document, retry-after).
+
+        A traced request (``trace`` set, telemetry attached) gets router
+        spans — one ``router.route`` admission span plus one
+        ``router.forward`` span per upstream attempt — appended to the
+        response document's ``"spans"`` list after whatever spans the shard
+        already returned.  The trace context is re-parented onto each
+        forward span before the upstream hop, so shard spans nest under the
+        forward that produced them in the merged trace.
+        """
+        tel = self._telemetry
+        if tel is None:
+            trace = None
+        spans: Optional[List[Span]] = [] if trace is not None else None
+        t_entry = time.time()
+        route_span_pending = spans is not None
+
+        def _finish(
+            status: int, out: Any, retry_after: Optional[float]
+        ) -> Tuple[int, Dict[str, Any], Optional[float]]:
+            if spans and isinstance(out, dict):
+                out = dict(out)
+                out["spans"] = list(out.get("spans", ())) + [
+                    s.bound(trace.trace_id, trace.parent_span).to_dict() for s in spans
+                ]
+            return status, out, retry_after
+
         try:
             request = RunRequest.from_document(doc)
         except ValueError as exc:
-            return HTTP_STATUS["bad_request"], error_document("bad_request", str(exc)), None
+            return _finish(
+                HTTP_STATUS["bad_request"], error_document("bad_request", str(exc)), None
+            )
         key = request.spec.cache_key()
         timeout_s = (
             request.timeout_s if request.timeout_s is not None else self.default_timeout_s
@@ -258,7 +343,7 @@ class RouterService:
                 if self._draining or self._closed:
                     self._stats.rejected_draining += 1
                     hint = self._hottest_hint()
-                    return (
+                    return _finish(
                         HTTP_STATUS["draining"],
                         error_document(
                             "draining",
@@ -272,7 +357,7 @@ class RouterService:
                 except NoLiveShard:
                     self._stats.unavailable += 1
                     hint = max(self.revive_after_s, self._hottest_hint())
-                    return (
+                    return _finish(
                         HTTP_STATUS["unavailable"],
                         error_document(
                             "unavailable",
@@ -286,7 +371,7 @@ class RouterService:
                 if shard.inflight >= self.max_inflight:
                     self._stats.rejected_inflight += 1
                     hint = self._hottest_hint()
-                    return (
+                    return _finish(
                         HTTP_STATUS["overloaded"],
                         error_document(
                             "overloaded",
@@ -298,13 +383,42 @@ class RouterService:
                     )
                 shard.inflight += 1
                 self._open += 1
+            if route_span_pending:
+                # Entry → first admitted forward: ring lookup + admission.
+                spans.append(
+                    Span(
+                        name="router.route",
+                        component=tel.component,
+                        start_s=t_entry,
+                        duration_s=time.time() - t_entry,
+                        span_id=new_span_id(),
+                        attrs={"shard": sid, "excluded": len(tried)},
+                    )
+                )
+                route_span_pending = False
+            fwd_span_id = new_span_id() if spans is not None else None
+            headers = trace.child(fwd_span_id).headers() if spans is not None else None
+            t_fwd = time.time()
             try:
-                status, out = self._post(sid, "/v1/run", doc, timeout_s)
+                status, out = self._post(sid, "/v1/run", doc, timeout_s, headers=headers)
             except TimeoutError:
                 # The shard is alive but slow: same retriable contract as a
                 # single daemon's deadline expiry — no mark-down, no retry
                 # (the run continues shard-side and will publish).
-                return (
+                if tel is not None:
+                    self._m_forwards.inc(shard=sid, outcome="timeout")
+                if spans is not None:
+                    spans.append(
+                        Span(
+                            name="router.forward",
+                            component=tel.component,
+                            start_s=t_fwd,
+                            duration_s=time.time() - t_fwd,
+                            span_id=fwd_span_id,
+                            attrs={"shard": sid, "attempt": attempts, "outcome": "timeout"},
+                        )
+                    )
+                return _finish(
                     HTTP_STATUS["timeout"],
                     error_document(
                         "timeout",
@@ -315,6 +429,23 @@ class RouterService:
                     timeout_s,
                 )
             except OSError as exc:
+                if tel is not None:
+                    self._m_forwards.inc(shard=sid, outcome="transport_error")
+                if spans is not None:
+                    spans.append(
+                        Span(
+                            name="router.forward",
+                            component=tel.component,
+                            start_s=t_fwd,
+                            duration_s=time.time() - t_fwd,
+                            span_id=fwd_span_id,
+                            attrs={
+                                "shard": sid,
+                                "attempt": attempts,
+                                "outcome": "transport_error",
+                            },
+                        )
+                    )
                 self._mark_down(sid, exc)
                 tried.add(sid)
                 attempts += 1
@@ -322,7 +453,7 @@ class RouterService:
                     with self._lock:
                         self._stats.unavailable += 1
                     hint = self.revive_after_s
-                    return (
+                    return _finish(
                         HTTP_STATUS["unavailable"],
                         error_document(
                             "unavailable",
@@ -334,12 +465,29 @@ class RouterService:
                     )
                 with self._lock:
                     self._stats.retried += 1
+                if tel is not None:
+                    self._m_retries.inc()
                 continue
             finally:
                 with self._lock:
                     shard.inflight -= 1
                     self._open -= 1
                     self._idle.notify_all()
+            if tel is not None:
+                self._m_forwards.inc(
+                    shard=sid, outcome="ok" if status == 200 else f"http_{status}"
+                )
+            if spans is not None:
+                spans.append(
+                    Span(
+                        name="router.forward",
+                        component=tel.component,
+                        start_s=t_fwd,
+                        duration_s=time.time() - t_fwd,
+                        span_id=fwd_span_id,
+                        attrs={"shard": sid, "attempt": attempts, "status": status},
+                    )
+                )
             self._mark_up(sid)
             retry_after = out.get("retry_after_s") if isinstance(out, dict) else None
             with self._lock:
@@ -347,11 +495,17 @@ class RouterService:
                 self._stats.routed += 1
                 if status == HTTP_STATUS["overloaded"] and retry_after is not None:
                     shard.last_retry_hint = float(retry_after)
-            return status, out, retry_after
+            return _finish(status, out, retry_after)
 
     # -- batch fan-out -----------------------------------------------------
-    def handle_batch(self, doc: Any) -> Tuple[int, Dict[str, Any], Optional[float]]:
-        """Split a batch by owning shard, forward concurrently, reassemble."""
+    def handle_batch(
+        self, doc: Any, trace: Optional[TraceContext] = None
+    ) -> Tuple[int, Dict[str, Any], Optional[float]]:
+        """Split a batch by owning shard, forward concurrently, reassemble.
+
+        Batches are not traced: ``trace`` is accepted for handler symmetry
+        but span recording is per-``/v1/run``-request only.
+        """
         requests = doc.get("requests") if isinstance(doc, dict) else None
         if not isinstance(requests, list):
             return (
@@ -456,6 +610,50 @@ class RouterService:
             path,
             timeout_s=self.connect_timeout_s,
         )
+
+    def _get_text(self, sid: str, path: str) -> Tuple[int, str]:
+        shard = self._shards[sid]
+        return http_text_request(
+            shard.address.host,
+            shard.address.port,
+            "GET",
+            path,
+            timeout_s=self.connect_timeout_s,
+        )
+
+    def metrics_text(self) -> str:
+        """One exposition page for the whole fleet.
+
+        Scrapes every shard's ``/metrics`` concurrently, re-validates each
+        page under the strict parser, stamps a ``shard="<id>"`` label onto
+        every shard series, and merges them with the router's own registry
+        (whose series stay unlabelled — scrape consumers separate the two
+        by the presence of the ``shard`` label).  A shard whose scrape
+        fails or does not parse is *skipped* — counted in
+        ``repro_router_scrape_errors_total`` but never marked down, because
+        a metrics defect is not a routing defect.
+        """
+        tel = self._telemetry
+        if tel is None:
+            raise RuntimeError("router has no telemetry attached")
+        futures = {
+            sid: self._pool.submit(self._get_text, sid, "/metrics") for sid in self._shards
+        }
+        parts = []
+        for sid in sorted(futures):
+            try:
+                status, text = futures[sid].result()
+                if status != 200:
+                    raise ValueError(f"shard {sid} /metrics returned HTTP {status}")
+                parts.append((parse_exposition(text), {"shard": sid}))
+            except Exception as exc:  # scrape must degrade, never 500 the page
+                self._m_scrape_errors.inc(shard=sid)
+                if self._log is not None:
+                    self._log(f"shard {sid} /metrics scrape failed: {exc}")
+        # Render the router's own registry last so this scrape's own
+        # failures are already reflected on the page it returns.
+        parts.insert(0, (parse_exposition(tel.registry.render()), {}))
+        return merge_expositions(parts)
 
     def _poll_shards(self, path: str) -> Dict[str, Any]:
         """GET ``path`` from every shard concurrently: sid → doc | OSError."""
@@ -599,25 +797,27 @@ class _RouterHandler(JsonHttpHandler):
     def router(self) -> RouterService:
         return self.app
 
-    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+    def handle_GET(self) -> None:
         if self.path == "/v1/health":
             status, doc = self.router.health_document()
             self._send_json(status, doc)
         elif self.path == "/v1/stats":
             self._send_json(200, self.router.stats_document())
+        elif self.path == "/metrics":
+            self._send_metrics(self.router)
         else:
             self._send_error_doc("bad_request", f"unknown path {self.path!r}")
 
-    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+    def handle_POST(self) -> None:
         try:
             doc = self._read_document()
         except ValueError as exc:  # JSONDecodeError subclasses ValueError
             self._send_error_doc("bad_request", f"unreadable request: {exc}")
             return
         if self.path == "/v1/run":
-            status, out, retry_after = self.router.handle_run(doc)
+            status, out, retry_after = self.router.handle_run(doc, trace=self.trace_ctx)
         elif self.path == "/v1/batch":
-            status, out, retry_after = self.router.handle_batch(doc)
+            status, out, retry_after = self.router.handle_batch(doc, trace=self.trace_ctx)
         else:
             self._send_error_doc("bad_request", f"unknown path {self.path!r}")
             return
@@ -637,6 +837,7 @@ class ReproRouter(HttpFront):
         port: int = 8430,
         *,
         log=None,
+        telemetry: Optional[ServiceTelemetry] = None,
     ) -> None:
-        super().__init__(router, host, port, log=log)
+        super().__init__(router, host, port, log=log, telemetry=telemetry)
         self.router = router

@@ -34,9 +34,16 @@ from __future__ import annotations
 import json
 import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
+from ..obs.telemetry import (
+    METRICS_CONTENT_TYPE,
+    ServiceTelemetry,
+    TraceContext,
+    route_label,
+)
 from .core import ServiceError, SimulationService
 from .protocol import HTTP_STATUS, SERVICE_SCHEMA, error_document, response_document
 
@@ -46,20 +53,76 @@ _MAX_BODY = 16 * 1024 * 1024  # a request is a spec document, not a payload
 
 
 class JsonHttpHandler(BaseHTTPRequestHandler):
-    """JSON-document plumbing shared by the serve and router handlers."""
+    """JSON-document plumbing shared by the serve and router handlers.
+
+    ``do_GET``/``do_POST`` are thin instrumentation wrappers: they pull the
+    request's :class:`TraceContext` out of the headers, dispatch to the
+    subclass hooks ``handle_GET``/``handle_POST``, and record the request
+    (counter + latency histogram + access-log line) against the server's
+    :class:`ServiceTelemetry` — when one is attached; without telemetry the
+    wrapper cost is a single ``is not None`` check per request.
+    """
 
     protocol_version = "HTTP/1.1"
     server_version = "repro-serve/1"
+
+    _status: Optional[int] = None
+    trace_ctx: Optional[TraceContext] = None
 
     # -- plumbing ----------------------------------------------------------
     @property
     def app(self) -> Any:
         return self.server.app  # type: ignore[attr-defined]
 
+    @property
+    def telemetry(self) -> Optional[ServiceTelemetry]:
+        return getattr(self.server, "telemetry", None)
+
     def log_message(self, fmt: str, *args) -> None:
+        # http.server lines (request lines, handler tracebacks) go to the
+        # structured access log when one is configured — no more blanket
+        # suppression — and otherwise to the plain serve log, if any.
+        tel = self.telemetry
+        if tel is not None and tel.server_log(fmt % args, client=self.address_string()):
+            return
         log = getattr(self.server, "log", None)  # type: ignore[attr-defined]
         if log is not None:
             log(f"{self.address_string()} {fmt % args}")
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        tel = self.telemetry
+        if tel is None:
+            getattr(self, f"handle_{method}")()
+            return
+        self._status = None
+        self._log_extra: Dict[str, Any] = {}
+        self.trace_ctx = TraceContext.from_headers(self.headers)
+        t0 = time.perf_counter()
+        try:
+            getattr(self, f"handle_{method}")()
+        finally:
+            if self._status is not None:
+                tel.record_http(
+                    route=route_label(self.path.partition("?")[0]),
+                    method=method,
+                    status=self._status,
+                    latency_s=time.perf_counter() - t0,
+                    trace_id=self.trace_ctx.trace_id if self.trace_ctx else None,
+                    client=self.address_string(),
+                    extra=self._log_extra,
+                )
+
+    def handle_GET(self) -> None:
+        self._send_error_doc("bad_request", f"unknown path {self.path!r}")
+
+    def handle_POST(self) -> None:
+        self._send_error_doc("bad_request", f"unknown path {self.path!r}")
 
     def _send_json(
         self, status: int, doc: Dict[str, Any], *, retry_after_s: Optional[float] = None
@@ -72,6 +135,29 @@ class JsonHttpHandler(BaseHTTPRequestHandler):
             self.send_header("Retry-After", f"{max(0.0, retry_after_s):.3f}")
         self.end_headers()
         self.wfile.write(body)
+        self._status = status
+        if isinstance(doc, dict):
+            # Disposition for the access-log line, read off the response
+            # document itself so serve and router handlers need no bespoke
+            # bookkeeping.
+            extra = self.__dict__.setdefault("_log_extra", {})
+            if "cached" in doc:
+                extra["cache_hit"] = bool(doc["cached"])
+            if "coalesced" in doc:
+                extra["coalesced"] = bool(doc["coalesced"])
+            if doc.get("ok") is False and doc.get("error"):
+                extra["error"] = doc["error"]
+
+    def _send_text(
+        self, status: int, text: str, *, content_type: str = "text/plain; charset=utf-8"
+    ) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self._status = status
 
     def _send_error_doc(self, code: str, message: str, retry_after_s=None) -> None:
         self._send_json(
@@ -79,6 +165,20 @@ class JsonHttpHandler(BaseHTTPRequestHandler):
             error_document(code, message, retry_after_s=retry_after_s),
             retry_after_s=retry_after_s,
         )
+
+    def _send_metrics(self, telemetry_owner: Any) -> None:
+        """``GET /metrics``: the exposition page, or 404-ish without telemetry."""
+        tel = getattr(telemetry_owner, "telemetry", None)
+        if tel is None:
+            self._send_error_doc(
+                "bad_request", "telemetry is not enabled on this daemon"
+            )
+            return
+        if hasattr(telemetry_owner, "metrics_text"):
+            text = telemetry_owner.metrics_text()
+        else:
+            text = tel.registry.render()
+        self._send_text(200, text, content_type=METRICS_CONTENT_TYPE)
 
     def _read_document(self) -> Any:
         length = int(self.headers.get("Content-Length", 0) or 0)
@@ -95,7 +195,7 @@ class _Handler(JsonHttpHandler):
         return self.app
 
     # -- GET ---------------------------------------------------------------
-    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+    def handle_GET(self) -> None:
         if self.path == "/v1/health":
             draining = self.service.stats().draining
             self._send_json(
@@ -110,6 +210,8 @@ class _Handler(JsonHttpHandler):
             self._send_json(
                 200, {"schema": SERVICE_SCHEMA, "ok": True, **self.service.stats().to_dict()}
             )
+        elif self.path == "/metrics":
+            self._send_metrics(self.service)
         else:
             self._send_error_doc("bad_request", f"unknown path {self.path!r}")
 
@@ -117,7 +219,7 @@ class _Handler(JsonHttpHandler):
     def _serve_one(self, doc: Any) -> Tuple[int, Dict[str, Any], Optional[float]]:
         """One request document → (status, response document, retry-after)."""
         try:
-            served = self.service.submit_document(doc)
+            served = self.service.submit_document(doc, trace=self.trace_ctx)
         except ValueError as exc:
             return HTTP_STATUS["bad_request"], error_document("bad_request", str(exc)), None
         except ServiceError as exc:
@@ -128,7 +230,7 @@ class _Handler(JsonHttpHandler):
             )
         return 200, response_document(served), None
 
-    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+    def handle_POST(self) -> None:
         try:
             doc = self._read_document()
         except (ValueError, json.JSONDecodeError) as exc:
@@ -178,11 +280,14 @@ class HttpFront:
         port: int = 8425,
         *,
         log=None,
+        telemetry: Optional[ServiceTelemetry] = None,
     ) -> None:
         self.app = app
+        self.telemetry = telemetry
         self._httpd = _HTTPServer((host, port), self.handler_class)
         self._httpd.app = app  # type: ignore[attr-defined]
         self._httpd.log = log  # type: ignore[attr-defined]
+        self._httpd.telemetry = telemetry  # type: ignore[attr-defined]
         self._log = log
         self._thread: Optional[threading.Thread] = None
         self._shutdown_started = threading.Event()
@@ -200,6 +305,8 @@ class HttpFront:
         finally:
             self._httpd.server_close()  # joins handler threads
             self.app.close()
+            if self.telemetry is not None:
+                self.telemetry.close()
 
     def start(self) -> "HttpFront":
         """Run the accept loop on a daemon thread (test harness path)."""
@@ -255,8 +362,9 @@ class ReproServer(HttpFront):
         port: int = 8425,
         *,
         log=None,
+        telemetry: Optional[ServiceTelemetry] = None,
     ) -> None:
-        super().__init__(service, host, port, log=log)
+        super().__init__(service, host, port, log=log, telemetry=telemetry)
         self.service = service
 
 
@@ -270,6 +378,8 @@ def serve(
     probe_dir=None,
     default_timeout_s: Optional[float] = None,
     log=print,
+    log_json=None,
+    shard_id: Optional[str] = None,
 ) -> None:
     """Build a service + server, wire the signals, and serve until drained.
 
@@ -280,15 +390,25 @@ def serve(
     with logging suppressed): with ``--port 0`` this is the only place the
     chosen ephemeral port is announced, and scripts/fleet supervisors parse
     it instead of polling a hardcoded port.
+
+    The daemon always carries a :class:`ServiceTelemetry` (metrics on
+    ``GET /metrics``, trace headers honoured); ``log_json`` additionally
+    routes per-request access-log lines — and the ``http.server`` lines the
+    stdlib would otherwise print — to a JSON-lines file.  ``shard_id``
+    names the telemetry component (``shard-<id>`` under a fleet,
+    ``serve`` standalone) so merged traces attribute spans correctly.
     """
+    component = f"shard-{shard_id}" if shard_id else "serve"
+    telemetry = ServiceTelemetry(component, access_log=log_json)
     service = SimulationService(
         workers=workers,
         max_pending=max_pending,
         cache=cache,
         probe_dir=probe_dir,
         default_timeout_s=default_timeout_s,
+        telemetry=telemetry,
     )
-    server = ReproServer(service, host, port, log=log)
+    server = ReproServer(service, host, port, log=log, telemetry=telemetry)
     server.install_signal_handlers()
     bound_host, bound_port = server.address
     print(f"listening on {bound_host}:{bound_port}", flush=True)

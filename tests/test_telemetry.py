@@ -1,0 +1,696 @@
+"""Tests for fleet-wide telemetry.
+
+Unit layers: the metrics registry and its strict Prometheus-text re-parser,
+histogram quantile estimation, exposition merging, trace contexts + spans,
+the structured JSON access logger, and the Perfetto service-span export.
+
+End-to-end: in-process shard daemons behind an in-process router — all
+telemetry-enabled — driven over real sockets, asserting that one trace id
+spans router routing, shard admission, and run execution; that ``/metrics``
+pages parse strictly and their histogram counts match the request counters;
+and that the ``repro.loadgen/v2`` report's server-side view is consistent
+with the client-side one.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs.perfetto import (
+    loads_trace_event,
+    service_span_events,
+    service_trace_event_document,
+    trace_event_document,
+)
+from repro.obs.telemetry import (
+    PARENT_HEADER,
+    TRACE_HEADER,
+    JsonLogger,
+    MetricsError,
+    MetricsRegistry,
+    ServiceTelemetry,
+    Span,
+    TraceContext,
+    histogram_quantile,
+    merge_expositions,
+    new_span_id,
+    new_trace_id,
+    parse_exposition,
+    route_label,
+)
+from repro.service import (
+    ReproRouter,
+    ReproServer,
+    RouterService,
+    RunRequest,
+    ServiceClient,
+    ShardAddress,
+    SimulationService,
+)
+from repro.service.client import http_json_request, http_text_request
+from repro.service.loadgen import run_loadgen, summarize
+
+from .test_service import fake_result, make_spec, wait_until
+
+
+# ---------------------------------------------------------------------------
+# metrics registry + exposition round trip
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_and_gauge_render_and_reparse(self):
+        reg = MetricsRegistry()
+        c = reg.counter("jobs_total", "Jobs.", ("kind",))
+        g = reg.gauge("depth", "Queue depth.")
+        c.inc(kind="a")
+        c.inc(2, kind="b")
+        g.set(7.5)
+        expo = parse_exposition(reg.render())
+        assert expo.total("jobs_total") == 3.0
+        assert expo.total("jobs_total", labels={"kind": "b"}) == 2.0
+        assert expo.total("depth") == 7.5
+
+    def test_instrument_getters_are_idempotent_but_conflicts_raise(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "X.")
+        assert reg.counter("x_total", "X.") is a
+        with pytest.raises(MetricsError):
+            reg.gauge("x_total", "X as a gauge.")
+        with pytest.raises(MetricsError):
+            reg.counter("x_total", "X.", ("other",))
+
+    def test_wrong_label_set_raises(self):
+        reg = MetricsRegistry()
+        c = reg.counter("y_total", "Y.", ("route",))
+        with pytest.raises(MetricsError):
+            c.inc()
+        with pytest.raises(MetricsError):
+            c.inc(route="/a", extra="nope")
+
+    def test_histogram_buckets_are_cumulative_and_inf_matches_count(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", "Latency.", buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.05, 0.5, 5.0):
+            h.observe(v)
+        expo = parse_exposition(reg.render())
+        hist = expo.histogram("lat_seconds")
+        assert hist["count"] == 5
+        assert hist["buckets"][0.01] == 1
+        assert hist["buckets"][0.1] == 3
+        assert hist["buckets"][1.0] == 4
+        assert hist["buckets"][math.inf] == 5
+        assert hist["sum"] == pytest.approx(5.605)
+
+    def test_le_boundary_is_inclusive(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("b_seconds", "B.", buckets=(0.1, 1.0))
+        h.observe(0.1)
+        snap = parse_exposition(reg.render()).histogram("b_seconds")
+        assert snap["buckets"][0.1] == 1
+
+
+class TestExpositionParser:
+    def test_sample_without_declaration_is_rejected(self):
+        with pytest.raises(MetricsError):
+            parse_exposition("undeclared_total 1\n")
+
+    def test_malformed_label_body_is_rejected(self):
+        page = "# TYPE a_total counter\na_total{route=/v1/run} 1\n"
+        with pytest.raises(MetricsError):
+            parse_exposition(page)
+
+    def test_histogram_inf_bucket_must_match_count(self):
+        page = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 1\n'
+            'h_bucket{le="+Inf"} 2\n'
+            "h_sum 1.0\n"
+            "h_count 3\n"
+        )
+        with pytest.raises(MetricsError):
+            parse_exposition(page)
+
+    def test_non_cumulative_histogram_is_rejected(self):
+        page = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 5\n'
+            'h_bucket{le="2.0"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 1.0\n"
+            "h_count 5\n"
+        )
+        with pytest.raises(MetricsError):
+            parse_exposition(page)
+
+    def test_duplicate_series_is_rejected(self):
+        page = "# TYPE a_total counter\na_total 1\na_total 2\n"
+        with pytest.raises(MetricsError):
+            parse_exposition(page)
+
+    def test_comments_and_timestamps_are_tolerated(self):
+        page = (
+            "# just a comment\n"
+            "# TYPE a_total counter\n"
+            "# HELP a_total With a timestamped sample.\n"
+            'a_total{k="v"} 3 1712000000000\n'
+        )
+        expo = parse_exposition(page)
+        assert expo.total("a_total") == 3.0
+
+    def test_registry_render_always_reparses(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("weird_total", 'Help with a \\ backslash and "quotes".', ("k",))
+        counter.inc(k='va"l\\ue')
+        expo = parse_exposition(reg.render())
+        assert expo.total("weird_total") == 1.0
+
+
+class TestHistogramQuantile:
+    def test_linear_interpolation_inside_the_crossing_bucket(self):
+        # 10 observations uniform in (0, 1]: rank 5 crosses the 1.0 bucket.
+        buckets = {1.0: 10.0, math.inf: 10.0}
+        assert histogram_quantile(buckets, 0.5) == pytest.approx(0.5)
+
+    def test_rank_in_inf_bucket_reports_largest_finite_bound(self):
+        buckets = {0.1: 0.0, 1.0: 1.0, math.inf: 10.0}
+        assert histogram_quantile(buckets, 0.99) == 1.0
+
+    def test_empty_histogram_is_none(self):
+        assert histogram_quantile({1.0: 0.0, math.inf: 0.0}, 0.5) is None
+
+    def test_missing_inf_bucket_raises(self):
+        with pytest.raises(MetricsError):
+            histogram_quantile({1.0: 3.0}, 0.5)
+
+
+class TestMergeExpositions:
+    def _page(self, n: float) -> str:
+        reg = MetricsRegistry()
+        reg.counter("repro_requests_total", "Reqs.", ("route",)).inc(n, route="/v1/run")
+        return reg.render()
+
+    def test_shard_labels_disambiguate_identical_pages(self):
+        parts = [
+            (parse_exposition(self._page(1)), {"shard": "0"}),
+            (parse_exposition(self._page(2)), {"shard": "1"}),
+        ]
+        merged = parse_exposition(merge_expositions(parts))
+        assert merged.total("repro_requests_total") == 3.0
+        assert merged.total("repro_requests_total", labels={"shard": "1"}) == 2.0
+
+    def test_colliding_series_raise(self):
+        parts = [
+            (parse_exposition(self._page(1)), {}),
+            (parse_exposition(self._page(2)), {}),
+        ]
+        with pytest.raises(MetricsError):
+            merge_expositions(parts)
+
+
+class TestRouteLabel:
+    KNOWN = ["/v1/run", "/v1/batch", "/v1/health", "/v1/stats", "/metrics"]
+
+    @pytest.mark.parametrize("path", KNOWN)
+    def test_known_routes_pass_through(self, path):
+        assert route_label(path) == path
+
+    def test_unknown_route_collapses_to_other(self):
+        # Unbounded label cardinality would make the registry a DoS vector.
+        assert route_label("/v1/run/../../etc/passwd") == "other"
+        assert route_label("/favicon.ico") == "other"
+
+
+# ---------------------------------------------------------------------------
+# trace contexts, spans, logging
+# ---------------------------------------------------------------------------
+
+
+class TestTraceContext:
+    def test_headers_round_trip(self):
+        ctx = TraceContext(trace_id=new_trace_id(), parent_span=new_span_id())
+        back = TraceContext.from_headers(ctx.headers())
+        assert back == ctx
+
+    def test_absent_header_is_untraced(self):
+        assert TraceContext.from_headers({}) is None
+
+    def test_garbage_header_degrades_to_untraced(self):
+        # A hostile or broken client must never be able to 400 a request
+        # (or poison a log line) through the trace header.
+        for bad in ("spaces in id", "x" * 65, "", "id\nwith\nnewlines", "emojis🎉"):
+            assert TraceContext.from_headers({TRACE_HEADER: bad}) is None
+
+    def test_child_reparents_onto_the_given_span(self):
+        ctx = TraceContext(trace_id="t" * 32, parent_span=None)
+        child = ctx.child("f" * 16)
+        assert child.trace_id == ctx.trace_id
+        assert child.headers()[PARENT_HEADER] == "f" * 16
+
+
+class TestSpan:
+    def test_to_dict_from_dict_round_trip(self):
+        span = Span(
+            name="shard.run",
+            component="shard-0",
+            start_s=100.5,
+            duration_s=0.25,
+            span_id=new_span_id(),
+            trace_id=new_trace_id(),
+            attrs={"key": "abc"},
+        )
+        assert Span.from_dict(span.to_dict()) == span
+
+    def test_bound_fills_but_never_clobbers(self):
+        span = Span(name="a", component="c", start_s=1.0, duration_s=0.1, span_id="s" * 16)
+        bound = span.bound("t" * 32, "p" * 16)
+        assert bound.trace_id == "t" * 32 and bound.parent_id == "p" * 16
+        again = bound.bound("u" * 32, "q" * 16)
+        assert again.trace_id == "t" * 32 and again.parent_id == "p" * 16
+
+    def test_from_dict_rejects_malformed_documents(self):
+        span = Span(name="a", component="c", start_s=1.0, duration_s=0.1, span_id="s" * 16)
+        good = span.to_dict()
+        for mutate in (
+            lambda d: d.pop("name"),
+            lambda d: d.update(duration_s="fast"),
+            lambda d: d.update(span_id=42),
+        ):
+            doc = dict(good)
+            mutate(doc)
+            with pytest.raises(ValueError):
+                Span.from_dict(doc)
+
+
+class TestJsonLogger:
+    def test_writes_one_json_line_per_event(self, tmp_path):
+        path = tmp_path / "logs" / "access.jsonl"
+        logger = JsonLogger(path)
+        logger.log("request", route="/v1/run", status=200)
+        logger.log("http.server", message="GET /v1/run HTTP/1.1 200")
+        logger.close()
+        lines = [json.loads(x) for x in path.read_text().splitlines()]
+        assert [x["event"] for x in lines] == ["request", "http.server"]
+        assert lines[0]["route"] == "/v1/run" and "ts" in lines[0]
+
+    def test_stream_target_and_thread_safety(self):
+        stream = io.StringIO()
+        logger = JsonLogger(stream)
+        threads = [threading.Thread(target=lambda i=i: logger.log("e", n=i)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 8
+        assert {json.loads(x)["n"] for x in lines} == set(range(8))
+
+
+class TestServiceTelemetry:
+    def test_record_http_counts_and_logs(self):
+        stream = io.StringIO()
+        tel = ServiceTelemetry("serve", access_log=stream)
+        tel.record_http(
+            route="/v1/run",
+            method="POST",
+            status=200,
+            latency_s=0.012,
+            trace_id="t" * 32,
+            client="127.0.0.1",
+            extra={"cache_hit": True},
+        )
+        expo = parse_exposition(tel.registry.render())
+        assert expo.total("repro_requests_total", labels={"status": "200"}) == 1.0
+        hist = expo.histogram("repro_request_latency_seconds", labels={"route": "/v1/run"})
+        assert hist["count"] == 1
+        line = json.loads(stream.getvalue())
+        assert line["event"] == "request" and line["trace_id"] == "t" * 32
+        assert line["cache_hit"] is True and line["latency_ms"] == 12.0
+
+    def test_server_log_reports_whether_it_wrote(self):
+        assert ServiceTelemetry("serve").server_log("GET / 200") is False
+        tel = ServiceTelemetry("serve", access_log=io.StringIO())
+        assert tel.server_log("GET / 200") is True
+
+
+# ---------------------------------------------------------------------------
+# Perfetto export of service spans
+# ---------------------------------------------------------------------------
+
+
+def _request_spans(trace_id: str):
+    t0 = 1000.0
+
+    def mk(name, comp, start, dur, **attrs):
+        return Span(
+            name=name,
+            component=comp,
+            start_s=start,
+            duration_s=dur,
+            span_id=new_span_id(),
+            trace_id=trace_id,
+            attrs=attrs,
+        )
+
+    return [
+        mk("router.route", "router", t0, 0.001, shard="1"),
+        mk("router.forward", "router", t0 + 0.001, 0.050, shard="1", status=200),
+        mk("shard.admission", "shard-1", t0 + 0.002, 0.0005, coalesced=False),
+        mk("shard.run", "shard-1", t0 + 0.003, 0.040, key="abcd"),
+    ]
+
+
+class TestPerfettoServiceSpans:
+    def test_document_validates_and_lanes_by_component(self):
+        trace_id = new_trace_id()
+        doc = service_trace_event_document(_request_spans(trace_id))
+        loads_trace_event(json.dumps(doc, sort_keys=True))
+        lanes = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {"router", "shard-1"} <= lanes
+        assert doc["otherData"]["trace_ids"] == [trace_id]
+        assert doc["otherData"]["service_spans"] == 4
+
+    def test_accepts_span_objects_and_dicts_alike(self):
+        spans = _request_spans(new_trace_id())
+        a = service_span_events(spans)
+        b = service_span_events([s.to_dict() for s in spans])
+        assert a == b
+
+    def test_timestamps_rebase_to_the_earliest_span(self):
+        doc = service_trace_event_document(_request_spans(new_trace_id()))
+        starts = [e["ts"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert min(starts) == 0
+
+    def test_mixed_simulation_and_service_document(self):
+        from repro.algorithms import cholesky_program
+        from repro.core.simulator import run_real
+        from repro.schedulers import make_scheduler
+
+        trace = run_real(
+            cholesky_program(4, 100), make_scheduler("quark", 2), "uniform_4", seed=1
+        )
+        base = trace_event_document(trace)
+        mixed = service_trace_event_document(_request_spans(new_trace_id()), base=base)
+        loads_trace_event(json.dumps(mixed, sort_keys=True))
+        pids = {e["pid"] for e in mixed["traceEvents"]}
+        assert 1 in pids and 4 in pids  # worker lanes and service lanes coexist
+        assert len(mixed["traceEvents"]) > len(base["traceEvents"])
+
+    def test_base_must_be_a_trace_event_document(self):
+        with pytest.raises(ValueError, match="trace_event"):
+            service_trace_event_document(_request_spans(new_trace_id()), base={"nope": True})
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: traced requests and metrics across router → shard → run
+# ---------------------------------------------------------------------------
+
+
+def fake_run(request: RunRequest):
+    return fake_result(request.spec)
+
+
+class TelemetryHarness:
+    """Telemetry-enabled in-process fleet: N shard daemons + a router."""
+
+    def __init__(self, n: int = 2, *, access_log=None, run_fn=fake_run):
+        self.servers = []
+        self.services = []
+        addresses = []
+        for i in range(n):
+            tel = ServiceTelemetry(f"shard-{i}")
+            svc = SimulationService(workers=2, max_pending=8, run_fn=run_fn, telemetry=tel)
+            server = ReproServer(svc, port=0, telemetry=tel).start()
+            self.services.append(svc)
+            self.servers.append(server)
+            host, port = server.address
+            addresses.append(ShardAddress(str(i), host, port))
+        self.telemetry = ServiceTelemetry("router", access_log=access_log)
+        self.router = RouterService(addresses, telemetry=self.telemetry)
+        self.front = ReproRouter(self.router, port=0, telemetry=self.telemetry).start()
+        self.host, self.port = self.front.address
+        self.shard_addresses = addresses
+
+    def close(self):
+        self.front.shutdown(drain_timeout_s=5)
+        self.front.wait_closed(5)
+        for server in self.servers:
+            server.shutdown(drain_timeout_s=5)
+            server.wait_closed(5)
+
+
+@pytest.fixture
+def fleet(request):
+    built = []
+
+    def build(**kwargs) -> TelemetryHarness:
+        h = TelemetryHarness(**kwargs)
+        built.append(h)
+        return h
+
+    yield build
+    for h in built:
+        h.close()
+
+
+class TestEndToEndTracing:
+    def test_one_trace_id_spans_router_shard_and_run(self, fleet):
+        h = fleet()
+        client = ServiceClient(h.host, h.port)
+        doc = client.run(make_spec(seed=5), trace=True)
+        assert doc["ok"]
+        spans = doc["spans"]
+        assert len({s["trace_id"] for s in spans}) == 1
+        by_name = {s["name"]: s for s in spans}
+        expected = {"router.route", "router.forward", "shard.admission", "shard.wait", "shard.run"}
+        assert expected <= set(by_name)
+        assert by_name["router.forward"]["component"] == "router"
+        assert by_name["shard.run"]["component"].startswith("shard-")
+        # Shard spans nest under the router's forward hop.
+        fwd = by_name["router.forward"]["span_id"]
+        assert by_name["shard.admission"]["parent_id"] == fwd
+        assert by_name["shard.run"]["parent_id"] == fwd
+
+    def test_untraced_request_carries_no_spans(self, fleet):
+        h = fleet()
+        doc = ServiceClient(h.host, h.port).run(make_spec(seed=6))
+        assert doc["ok"] and "spans" not in doc
+
+    def test_caller_chosen_trace_id_is_honoured(self, fleet):
+        h = fleet()
+        trace_id = new_trace_id()
+        doc = ServiceClient(h.host, h.port).run(make_spec(seed=7), trace=trace_id)
+        assert {s["trace_id"] for s in doc["spans"]} == {trace_id}
+
+    def test_garbage_trace_header_degrades_to_untraced(self, fleet):
+        h = fleet()
+        body = RunRequest(spec=make_spec(seed=8)).to_document()
+        status, out = http_json_request(
+            h.host,
+            h.port,
+            "POST",
+            "/v1/run",
+            body,
+            timeout_s=30,
+            headers={TRACE_HEADER: "not a valid id!!"},
+        )
+        assert status == 200 and out["ok"] and "spans" not in out
+
+    def test_direct_shard_request_traces_without_a_router(self, fleet):
+        h = fleet(n=1)
+        addr = h.shard_addresses[0]
+        doc = ServiceClient(addr.host, addr.port).run(make_spec(seed=9), trace=True)
+        names = {s["name"] for s in doc["spans"]}
+        assert {"shard.admission", "shard.wait", "shard.run"} <= names
+        assert not any(n.startswith("router.") for n in names)
+
+    def test_traced_response_round_trips_the_perfetto_loader(self, fleet):
+        h = fleet()
+        doc = ServiceClient(h.host, h.port).run(make_spec(seed=10), trace=True)
+        trace_doc = service_trace_event_document(doc["spans"])
+        loads_trace_event(json.dumps(trace_doc, sort_keys=True))
+
+
+class TestMetricsEndpoints:
+    def test_shard_page_parses_and_histogram_matches_counter(self, fleet):
+        h = fleet(n=1)
+        client = ServiceClient(h.host, h.port)
+        for seed in range(3):
+            assert client.run(make_spec(seed=seed))["ok"]
+        addr = h.shard_addresses[0]
+
+        def scrape():
+            status, text = http_text_request(addr.host, addr.port, "GET", "/metrics")
+            assert status == 200
+            return parse_exposition(text)  # strict: TYPE lines, label syntax, invariants
+
+        def run_total() -> float:
+            return scrape().total("repro_requests_total", labels={"route": "/v1/run"})
+
+        # Counters are bumped after the response goes out; poll to 3.
+        wait_until(lambda: run_total() == 3.0)
+        expo = scrape()
+        run_requests = expo.total("repro_requests_total", labels={"route": "/v1/run"})
+        hist = expo.histogram("repro_request_latency_seconds", labels={"route": "/v1/run"})
+        assert hist["buckets"][math.inf] == hist["count"] == run_requests
+        assert expo.total("repro_runs_total", labels={"outcome": "ok"}) == 3.0
+
+    def test_router_page_aggregates_shards_under_a_shard_label(self, fleet):
+        h = fleet()
+        client = ServiceClient(h.host, h.port)
+        for seed in range(4):
+            assert client.run(make_spec(seed=seed))["ok"]
+        def scrape():
+            status, text = http_text_request(h.host, h.port, "GET", "/metrics")
+            assert status == 200
+            return parse_exposition(text)
+
+        def own_total() -> float:
+            labels = {"route": "/v1/run"}
+            return scrape().total("repro_requests_total", labels=labels, without=("shard",))
+
+        wait_until(lambda: own_total() == 4.0)
+        expo = scrape()
+        own = expo.total("repro_requests_total", labels={"route": "/v1/run"}, without=("shard",))
+        assert own == 4.0
+        # Every router-forwarded request landed on some shard's relabelled
+        # series; shard pages were scraped after the forwards completed.
+        sharded = sum(
+            expo.total("repro_requests_total", labels={"route": "/v1/run", "shard": sid})
+            for sid in ("0", "1")
+        )
+        assert sharded == 4.0
+        assert expo.total("repro_router_forwards_total", labels={"outcome": "ok"}) == 4.0
+        assert expo.total("repro_router_shard_up") == 2.0
+
+    def test_router_content_type_is_prometheus_text(self, fleet):
+        import http.client
+
+        h = fleet(n=1)
+        conn = http.client.HTTPConnection(h.host, h.port, timeout=10)
+        try:
+            conn.request("GET", "/metrics")
+            resp = conn.getresponse()
+            assert resp.status == 200
+            assert "text/plain" in resp.headers["Content-Type"]
+            assert "version=0.0.4" in resp.headers["Content-Type"]
+            resp.read()
+        finally:
+            conn.close()
+
+    def test_scrape_failure_degrades_and_is_counted(self, fleet):
+        h = fleet()
+        h.servers[0].shutdown(drain_timeout_s=5)
+        h.servers[0].wait_closed(5)
+        status, text = http_text_request(h.host, h.port, "GET", "/metrics")
+        assert status == 200  # the page degrades, it never 500s
+        expo = parse_exposition(text)
+        assert expo.total("repro_router_scrape_errors_total", labels={"shard": "0"}) >= 1
+        # The live shard's series still made it onto the page.
+        assert expo.total("repro_requests_total", labels={"shard": "1"}) >= 0
+
+
+class TestAccessLog:
+    def test_request_lines_carry_trace_and_disposition(self, fleet, tmp_path):
+        log_path = tmp_path / "router-access.jsonl"
+        h = fleet(access_log=log_path)
+        client = ServiceClient(h.host, h.port)
+        traced = client.run(make_spec(seed=11), trace=True)
+        client.run(make_spec(seed=11))  # cache/coalesce path, untraced
+
+        def run_lines_logged() -> bool:
+            # The access-log line is written after the response bytes go out,
+            # so the client can get here first — poll until both lines land.
+            return log_path.exists() and log_path.read_text().count('"/v1/run"') >= 2
+
+        wait_until(run_lines_logged)
+        lines = [json.loads(x) for x in log_path.read_text().splitlines()]
+        requests = [x for x in lines if x["event"] == "request"]
+        run_lines = [x for x in requests if x["route"] == "/v1/run"]
+        assert len(run_lines) == 2
+        traced_line = next(x for x in run_lines if x["trace_id"] is not None)
+        assert traced_line["trace_id"] == traced["spans"][0]["trace_id"]
+        assert traced_line["status"] == 200 and traced_line["latency_ms"] > 0
+        assert all(x["component"] == "router" for x in run_lines)
+        assert {"cache_hit", "coalesced"} <= set(run_lines[0])
+
+    def test_http_server_lines_route_into_the_structured_log(self):
+        stream = io.StringIO()
+        tel = ServiceTelemetry("shard-0", access_log=stream)
+        svc = SimulationService(workers=1, run_fn=fake_run, telemetry=tel)
+        server = ReproServer(svc, port=0, telemetry=tel).start()
+        try:
+            host, port = server.address
+            status, _ = http_json_request(
+                host,
+                port,
+                "POST",
+                "/v1/run",
+                RunRequest(spec=make_spec(seed=12)).to_document(),
+                timeout_s=30,
+            )
+            assert status == 200
+            wait_until(lambda: '"request"' in stream.getvalue())
+        finally:
+            server.shutdown(drain_timeout_s=5)
+            server.wait_closed(5)
+        events = [json.loads(x)["event"] for x in stream.getvalue().splitlines()]
+        # The stdlib's per-request line lands as http.server, not on stderr.
+        assert "http.server" in events and "request" in events
+
+
+class TestLoadgenV2:
+    def test_report_carries_the_server_side_view(self, fleet, tmp_path):
+        h = fleet()
+        docs = [RunRequest(spec=make_spec(seed=s)).to_document() for s in range(4)]
+        trace_path = tmp_path / "request.perfetto.json"
+        report = run_loadgen(
+            h.host,
+            h.port,
+            docs,
+            loop="closed",
+            duration_s=0.5,
+            concurrency=2,
+            trace_out=trace_path,
+        )
+        assert report["schema"] == "repro.loadgen/v2"
+        server = report["server_histogram"]
+        assert server is not None and server["count"] > 0
+        # The deltas must reconcile exactly with the client-side count:
+        # every issued attempt (first tries + retries) minus the attempts
+        # that never reached the server.
+        assert report["server_requests_delta"] == (
+            report["requests"] + report["retries"] - report["transport_errors"]
+        )
+        assert report["skew_p99_s"] is not None
+        trace = report["request_trace"]
+        assert trace["ok"] and trace["trace_id"]
+        loads_trace_event(trace_path.read_text())
+        rendered = summarize(report)
+        assert "server (" in rendered and "trace " in rendered
+
+    def test_pre_telemetry_target_degrades_gracefully(self):
+        # A daemon with no telemetry (direct SimulationService construction)
+        # still load-tests; the server-side stanzas are just null.
+        svc = SimulationService(workers=2, run_fn=fake_run)
+        server = ReproServer(svc, port=0).start()
+        try:
+            host, port = server.address
+            docs = [RunRequest(spec=make_spec(seed=0)).to_document()]
+            report = run_loadgen(host, port, docs, loop="closed", duration_s=0.3, concurrency=1)
+        finally:
+            server.shutdown(drain_timeout_s=5)
+            server.wait_closed(5)
+        assert report["requests"] > 0
+        assert report["server_histogram"] is None
+        assert report["server_requests_delta"] is None
+        assert report["skew_p99_s"] is None
