@@ -202,6 +202,36 @@ def _make_hazard_tracking(nt: int):
     return setup
 
 
+def _make_calib_fit(n_samples: int):
+    def setup():
+        import numpy as np
+
+        from ..calib import fit_from_samples
+
+        # Per-kernel sample sets with distinct shapes so every candidate
+        # family (incl. the EM mixture and the KDE) does real work.
+        rng = np.random.default_rng(42)
+        half = n_samples // 2
+        samples = {
+            "DGEMM": np.exp(rng.normal(-6.0, 0.1, n_samples)),  # lognormal
+            "DSYRK": np.concatenate(  # bimodal -> mixture/KDE path
+                [
+                    np.exp(rng.normal(-7.0, 0.08, half)),
+                    np.exp(rng.normal(-5.5, 0.08, n_samples - half)),
+                ]
+            ),
+            "DTRSM": rng.gamma(30.0, 1e-4, n_samples),  # gamma-ish
+            "DPOTRF": rng.normal(2e-3, 1e-4, n_samples),  # normal
+        }
+
+        def fn() -> None:
+            fit_from_samples(samples)
+
+        return fn, len(samples)
+
+    return setup
+
+
 # -- macro benchmarks -------------------------------------------------------
 def _make_simulate(
     algorithm: str,
@@ -302,6 +332,14 @@ def default_suite(
             unit="draws/s",
             make=_make_duration_sampling(50_000 * micro_scale),
             params={"n_draws": 50_000 * micro_scale},
+        ),
+        BenchSpec(
+            name="micro/calib-fit",
+            group="micro",
+            unit="fits/s",
+            make=_make_calib_fit(100 * micro_scale),
+            repeats=3,
+            params={"n_samples": 100 * micro_scale, "n_kernels": 4},
         ),
         BenchSpec(
             name="micro/hazard-tracking",

@@ -1,0 +1,44 @@
+"""Calibration: fit per-kernel duration models from probe artifacts.
+
+Turns the per-task timing artifacts observed sweeps already publish
+(``--probe-dir``) into a versioned ``repro.calib/v1`` document that
+:class:`~repro.kernels.timing.KernelModelSet` loads as a drop-in model set
+(``RunSpec.calibration`` / ``repro sweep --calibration``).
+
+* :mod:`repro.calib.document` — the ``repro.calib/v1`` schema: per-kernel
+  fitted family + parameters + goodness-of-fit scores, loadable and
+  content-addressable.
+* :mod:`repro.calib.fit` — the fitting pipeline: candidate families per
+  kernel (including the log-normal mixture and KDE), AIC/BIC selection
+  behind a Kolmogorov-Smirnov gate.
+"""
+
+from .document import (  # noqa: F401
+    CALIB_SCHEMA,
+    CalibrationDocument,
+    KernelFit,
+    calibration_digest,
+    load_calibration,
+)
+from .fit import (  # noqa: F401
+    DEFAULT_FAMILIES,
+    collect_probe_samples,
+    fit_from_probe_dir,
+    fit_from_samples,
+    fit_kernel,
+    ks_threshold,
+)
+
+__all__ = [
+    "CALIB_SCHEMA",
+    "CalibrationDocument",
+    "KernelFit",
+    "calibration_digest",
+    "load_calibration",
+    "DEFAULT_FAMILIES",
+    "collect_probe_samples",
+    "fit_from_probe_dir",
+    "fit_from_samples",
+    "fit_kernel",
+    "ks_threshold",
+]

@@ -1,0 +1,183 @@
+"""The ``repro.calib/v1`` calibration document.
+
+A calibration document is the durable, versioned record of one fitting run:
+for every kernel class, the selected family, its parameters, the sample count
+behind the fit, the goodness-of-fit scores of every candidate, and enough
+provenance to trace the fit back to the probe artifacts it came from.
+
+The document is pure JSON so it can ride through CI artifact uploads, and it
+is content-addressable: :meth:`CalibrationDocument.digest` hashes the
+canonical serialization, which is what :meth:`~repro.runner.spec.RunSpec`
+folds into the cache key (the *content* of the calibration decides cache
+identity, never the file path).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+from ..kernels.distributions import MODEL_FAMILIES, DurationModel, model_from_params
+from ..kernels.timing import KernelModelSet
+
+__all__ = [
+    "CALIB_SCHEMA",
+    "KernelFit",
+    "CalibrationDocument",
+    "load_calibration",
+    "calibration_digest",
+]
+
+CALIB_SCHEMA = "repro.calib/v1"
+
+
+@dataclass(frozen=True)
+class KernelFit:
+    """One kernel's selected model plus the audit trail of the selection."""
+
+    kernel: str
+    family: str
+    params: Dict[str, object]
+    n_samples: int
+    selected_by: str  #: "aic" | "bic" | "fallback_kde" | "too_few_samples"
+    ks_statistic: float
+    ks_threshold: float
+    ks_pass: bool
+    #: per-candidate scores: [{family, aic, bic, ks, ks_pass}, ...]
+    candidates: List[Dict[str, object]] = field(default_factory=list)
+
+    def to_model(self) -> DurationModel:
+        return model_from_params(self.family, self.params)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "family": self.family,
+            "params": self.params,
+            "n_samples": self.n_samples,
+            "selected_by": self.selected_by,
+            "ks_statistic": self.ks_statistic,
+            "ks_threshold": self.ks_threshold,
+            "ks_pass": self.ks_pass,
+            "candidates": self.candidates,
+        }
+
+    @classmethod
+    def from_dict(cls, kernel: str, doc: Mapping[str, object]) -> "KernelFit":
+        family = str(doc["family"])
+        if family not in MODEL_FAMILIES:
+            raise ValueError(f"kernel {kernel!r}: unknown model family {family!r}")
+        return cls(
+            kernel=kernel,
+            family=family,
+            params=dict(doc["params"]),
+            n_samples=int(doc["n_samples"]),
+            selected_by=str(doc["selected_by"]),
+            ks_statistic=float(doc["ks_statistic"]),
+            ks_threshold=float(doc["ks_threshold"]),
+            ks_pass=bool(doc["ks_pass"]),
+            candidates=[dict(c) for c in doc.get("candidates", [])],
+        )
+
+
+@dataclass(frozen=True)
+class CalibrationDocument:
+    """A full ``repro.calib/v1`` document: one :class:`KernelFit` per kernel."""
+
+    kernels: Dict[str, KernelFit]
+    criterion: str = "aic"
+    ks_alpha: float = 0.05
+    families: tuple = ()
+    provenance: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.kernels:
+            raise ValueError("calibration document must cover at least one kernel")
+        for kernel, fit in self.kernels.items():
+            if fit.kernel != kernel:
+                raise ValueError(f"kernel-fit mismatch: {kernel!r} vs {fit.kernel!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": CALIB_SCHEMA,
+            "criterion": self.criterion,
+            "ks_alpha": self.ks_alpha,
+            "families": list(self.families),
+            "provenance": self.provenance,
+            "kernels": {k: self.kernels[k].to_dict() for k in sorted(self.kernels)},
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, object]) -> "CalibrationDocument":
+        schema = doc.get("schema")
+        if schema != CALIB_SCHEMA:
+            raise ValueError(
+                f"not a calibration document: schema {schema!r} (expected {CALIB_SCHEMA!r})"
+            )
+        kernels_doc = doc.get("kernels")
+        if not isinstance(kernels_doc, Mapping) or not kernels_doc:
+            raise ValueError("calibration document has no kernels")
+        kernels = {
+            str(k): KernelFit.from_dict(str(k), v) for k, v in kernels_doc.items()
+        }
+        return cls(
+            kernels=kernels,
+            criterion=str(doc.get("criterion", "aic")),
+            ks_alpha=float(doc.get("ks_alpha", 0.05)),
+            families=tuple(doc.get("families", ())),
+            provenance=dict(doc.get("provenance", {})),
+        )
+
+    def dumps(self) -> str:
+        """Canonical serialization (sorted keys, fixed separators)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical serialization — the cache-key identity."""
+        return hashlib.sha256(self.dumps().encode()).hexdigest()
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    def to_model_set(self) -> KernelModelSet:
+        """Materialize the document as a drop-in :class:`KernelModelSet`."""
+        return KernelModelSet(
+            models={k: fit.to_model() for k, fit in self.kernels.items()},
+            family="calibrated",
+            sample_counts={k: fit.n_samples for k, fit in self.kernels.items()},
+        )
+
+    def summary(self) -> str:
+        """One line per kernel: family, selection route, scores."""
+        rows = []
+        for kernel in sorted(self.kernels):
+            f = self.kernels[kernel]
+            gate = "pass" if f.ks_pass else "FAIL"
+            rows.append(
+                f"{kernel:<14s} {f.family:<18s} n={f.n_samples:<5d} "
+                f"ks={f.ks_statistic:.4f}/{f.ks_threshold:.4f} ({gate}) "
+                f"via {f.selected_by}"
+            )
+        return "\n".join(rows)
+
+
+def load_calibration(path: Union[str, Path]) -> CalibrationDocument:
+    """Load and validate a ``repro.calib/v1`` document from disk."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise FileNotFoundError(f"calibration document not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"calibration document {path} is not valid JSON: {exc}") from None
+    return CalibrationDocument.from_dict(doc)
+
+
+def calibration_digest(path: Union[str, Path]) -> str:
+    """Content digest of the document at ``path`` (see :meth:`digest`)."""
+    return load_calibration(path).digest()

@@ -1,0 +1,284 @@
+"""Fitting pipeline: probe artifacts → candidate fits → ``repro.calib/v1``.
+
+Family-selection rule (documented in docs/API.md):
+
+1. warm-up outliers are trimmed per kernel
+   (:func:`~repro.kernels.timing.trim_warmup_outliers`);
+2. kernels with fewer than ``min_samples`` post-trim samples get a
+   :class:`~repro.kernels.distributions.ConstantModel` at the sample mean
+   (``selected_by == "too_few_samples"``);
+3. every requested family is fitted and scored (AIC, BIC, KS);
+4. the KS gate keeps candidates with
+   ``D <= sqrt(-ln(alpha/2)/2) / sqrt(n)`` (the asymptotic one-sample
+   critical value; 1.358/sqrt(n) at alpha=0.05);
+5. among *parametric* gate-passers the lowest AIC (or BIC) wins — the
+   nonparametric families (kde, empirical) are excluded from this round
+   because their ``n_params == 0`` makes them trivially win any likelihood
+   criterion;
+6. if no parametric family passes the gate, the KDE is selected when
+   requested (``selected_by == "fallback_kde"``), else the best-scoring
+   parametric family wins anyway (``selected_by == "no_gate_pass"``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..kernels.distributions import (
+    ConstantModel,
+    DurationModel,
+    fit_family,
+    model_to_params,
+)
+from ..kernels.timing import trim_warmup_outliers
+from ..obs.samples import KERNEL_SAMPLES_SCHEMA
+from .document import CALIB_SCHEMA, CalibrationDocument, KernelFit
+
+__all__ = [
+    "DEFAULT_FAMILIES",
+    "ks_threshold",
+    "fit_kernel",
+    "fit_from_samples",
+    "collect_probe_samples",
+    "fit_from_probe_dir",
+]
+
+#: Candidate families fitted per kernel unless overridden.
+DEFAULT_FAMILIES = ("normal", "gamma", "lognormal", "lognormal_mixture", "kde")
+
+#: Families excluded from the AIC/BIC round (they win trivially at n_params=0).
+_NONPARAMETRIC = ("kde", "empirical")
+
+
+def ks_threshold(n: int, alpha: float = 0.05) -> float:
+    """Asymptotic one-sample KS critical value ``c(alpha)/sqrt(n)``.
+
+    ``c(alpha) = sqrt(-ln(alpha/2)/2)`` — 1.358 at the default alpha=0.05.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    return math.sqrt(-math.log(alpha / 2.0) / 2.0) / math.sqrt(n)
+
+
+def fit_kernel(
+    kernel: str,
+    samples: Sequence[float],
+    *,
+    families: Sequence[str] = DEFAULT_FAMILIES,
+    criterion: str = "aic",
+    ks_alpha: float = 0.05,
+    min_samples: int = 8,
+    trim_warmup: bool = True,
+) -> KernelFit:
+    """Fit candidate families to one kernel's samples and select the winner."""
+    if criterion not in ("aic", "bic"):
+        raise ValueError(f"unknown criterion {criterion!r}; use 'aic' or 'bic'")
+    if not families:
+        raise ValueError("at least one candidate family is required")
+    arr = np.asarray(samples, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError(f"no samples for kernel {kernel!r}")
+    if trim_warmup and arr.size >= 4:
+        arr = trim_warmup_outliers(arr)
+    n = int(arr.size)
+    threshold = ks_threshold(max(n, 1), ks_alpha)
+
+    if n < min_samples:
+        model = ConstantModel.fit(arr)
+        return KernelFit(
+            kernel=kernel,
+            family=model.family,
+            params=model_to_params(model),
+            n_samples=n,
+            selected_by="too_few_samples",
+            ks_statistic=float(model.ks_statistic(arr)),
+            ks_threshold=threshold,
+            ks_pass=bool(model.ks_statistic(arr) <= threshold),
+            candidates=[],
+        )
+
+    fits: Dict[str, DurationModel] = {}
+    scores: List[Dict[str, object]] = []
+    for family in families:
+        model = fit_family(family, arr)
+        ks = float(model.ks_statistic(arr))
+        fits[family] = model
+        scores.append(
+            {
+                "family": family,
+                "aic": float(model.aic(arr)),
+                "bic": float(model.bic(arr)),
+                "ks": ks,
+                "ks_pass": bool(ks <= threshold),
+            }
+        )
+    by_family = {s["family"]: s for s in scores}
+
+    parametric = [s for s in scores if s["family"] not in _NONPARAMETRIC]
+    passers = [s for s in parametric if s["ks_pass"]]
+    if passers:
+        winner = min(passers, key=lambda s: s[criterion])
+        selected_by = criterion
+    elif "kde" in fits:
+        winner = by_family["kde"]
+        selected_by = "fallback_kde"
+    elif parametric:
+        winner = min(parametric, key=lambda s: s[criterion])
+        selected_by = "no_gate_pass"
+    else:
+        # Only nonparametric families were requested: lowest KS wins.
+        winner = min(scores, key=lambda s: s["ks"])
+        selected_by = "ks"
+    family = str(winner["family"])
+    model = fits[family]
+    return KernelFit(
+        kernel=kernel,
+        family=family,
+        params=model_to_params(model),
+        n_samples=n,
+        selected_by=selected_by,
+        ks_statistic=float(winner["ks"]),
+        ks_threshold=threshold,
+        ks_pass=bool(winner["ks_pass"]),
+        candidates=scores,
+    )
+
+
+def fit_from_samples(
+    samples: Mapping[str, Sequence[float]],
+    *,
+    families: Sequence[str] = DEFAULT_FAMILIES,
+    criterion: str = "aic",
+    ks_alpha: float = 0.05,
+    min_samples: int = 8,
+    trim_warmup: bool = True,
+    provenance: Optional[Mapping[str, object]] = None,
+) -> CalibrationDocument:
+    """Fit every kernel in ``samples`` and assemble the document."""
+    if not samples:
+        raise ValueError("no kernel samples to fit")
+    kernels = {
+        kernel: fit_kernel(
+            kernel,
+            samples[kernel],
+            families=families,
+            criterion=criterion,
+            ks_alpha=ks_alpha,
+            min_samples=min_samples,
+            trim_warmup=trim_warmup,
+        )
+        for kernel in sorted(samples)
+    }
+    return CalibrationDocument(
+        kernels=kernels,
+        criterion=criterion,
+        ks_alpha=ks_alpha,
+        families=tuple(families),
+        provenance=dict(provenance or {}),
+    )
+
+
+def _samples_from_samples_doc(doc: Mapping[str, object]) -> Dict[str, List[float]]:
+    out: Dict[str, List[float]] = {}
+    for kernel, values in doc.get("samples", {}).items():
+        out.setdefault(str(kernel), []).extend(float(v) for v in values)
+    return out
+
+
+def _samples_from_attribution_doc(doc: Mapping[str, object]) -> Dict[str, List[float]]:
+    out: Dict[str, List[float]] = {}
+    for task in doc.get("tasks", []):
+        kernel = task.get("kernel")
+        start, end = task.get("start_t"), task.get("end_t")
+        if kernel is None or start is None or end is None:
+            continue
+        duration = float(end) - float(start)
+        if duration > 0.0:
+            out.setdefault(str(kernel), []).append(duration)
+    return out
+
+
+def collect_probe_samples(
+    probe_dir: Union[str, Path],
+) -> Tuple[Dict[str, List[float]], Dict[str, object]]:
+    """Merge per-kernel samples from every probe artifact in ``probe_dir``.
+
+    Prefers ``*.samples.json`` (``repro.kernel_samples/v1``, warm-up already
+    dropped); falls back to reconstructing durations from
+    ``*.attribution.json`` for probe directories that predate the samples
+    artifact.  Returns ``(samples, provenance)`` where provenance records the
+    files used and skipped.
+    """
+    probe_dir = Path(probe_dir)
+    if not probe_dir.is_dir():
+        raise FileNotFoundError(f"probe directory not found: {probe_dir}")
+
+    used: List[str] = []
+    skipped: List[str] = []
+    merged: Dict[str, List[float]] = {}
+    source = "samples"
+    sample_files = sorted(probe_dir.glob("*.samples.json"))
+    if not sample_files:
+        source = "attribution"
+        sample_files = sorted(probe_dir.glob("*.attribution.json"))
+    for path in sample_files:
+        try:
+            doc = json.loads(path.read_text())
+            if source == "samples":
+                if doc.get("schema") != KERNEL_SAMPLES_SCHEMA:
+                    raise ValueError(f"unexpected schema {doc.get('schema')!r}")
+                part = _samples_from_samples_doc(doc)
+            else:
+                part = _samples_from_attribution_doc(doc)
+        except (ValueError, KeyError, TypeError):
+            skipped.append(path.name)
+            continue
+        if not part:
+            skipped.append(path.name)
+            continue
+        used.append(path.name)
+        for kernel, values in part.items():
+            merged.setdefault(kernel, []).extend(values)
+    if not merged:
+        raise ValueError(
+            f"no usable timing artifacts in {probe_dir} "
+            f"(looked for *.samples.json / *.attribution.json; "
+            f"skipped {len(skipped)} unusable files)"
+        )
+    provenance = {
+        "probe_dir": str(probe_dir),
+        "source": source,
+        "files_used": used,
+        "files_skipped": skipped,
+    }
+    return merged, provenance
+
+
+def fit_from_probe_dir(
+    probe_dir: Union[str, Path],
+    *,
+    families: Sequence[str] = DEFAULT_FAMILIES,
+    criterion: str = "aic",
+    ks_alpha: float = 0.05,
+    min_samples: int = 8,
+    trim_warmup: bool = True,
+) -> CalibrationDocument:
+    """End-to-end: probe artifacts in ``probe_dir`` → ``repro.calib/v1``."""
+    samples, provenance = collect_probe_samples(probe_dir)
+    provenance["schema_out"] = CALIB_SCHEMA
+    return fit_from_samples(
+        samples,
+        families=families,
+        criterion=criterion,
+        ks_alpha=ks_alpha,
+        min_samples=min_samples,
+        trim_warmup=trim_warmup,
+        provenance=provenance,
+    )

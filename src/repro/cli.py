@@ -17,6 +17,18 @@ Commands
 ``sweep``
     Run a (scheduler x size x seed) grid through the parallel runner with
     result caching; export per-run metrics JSON.
+``calibrate``
+    Fit per-kernel duration models from a probe directory's timing
+    artifacts; select families via AIC/BIC + KS gate; emit a versioned
+    ``repro.calib/v1`` document (feed back via ``sweep --calibration``).
+``recommend``
+    Rank every scheduler x policy candidate by simulated makespan under a
+    calibrated model set and recommend the winner; optionally validate
+    against exhaustive real runs.
+``portfolio``
+    Portfolio validation experiment: recommendations vs. exhaustive sweeps
+    over an (algorithm x size) grid, reporting top-1 accuracy, regret, and
+    prediction error with CI-gateable thresholds.
 ``stress``
     Randomized stress sweep of the threaded runtime: programs x race
     guards x worker counts, optionally with injected faults, every trace
@@ -65,6 +77,7 @@ from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence
 
 from .algorithms import cholesky_program, lu_program, qr_program
+from .calib import DEFAULT_FAMILIES as _CALIB_DEFAULT_FAMILIES
 from .core.cells import ENGINE_MODES, default_engine_mode
 from .core.soa import ENGINE_BACKENDS, default_engine_backend
 from .core.simulator import run_real, validate
@@ -318,6 +331,7 @@ def _cmd_sweep(args) -> int:
                             cal_nt=args.cal_nt,
                             cal_seed=seed,
                             family=args.family,
+                            calibration=args.calibration,
                             engine_mode=_engine_mode(args),
                             engine_backend=_engine_backend(args),
                         )
@@ -361,6 +375,133 @@ def _cmd_sweep(args) -> int:
     print(outcome.summary())
     if args.metrics_out:
         print(f"wrote {outcome.write_metrics(args.metrics_out)}")
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from .calib import fit_from_probe_dir
+
+    try:
+        doc = fit_from_probe_dir(
+            args.probe_dir,
+            families=tuple(args.families),
+            criterion=args.criterion,
+            ks_alpha=args.ks_alpha,
+            min_samples=args.min_samples,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(doc.summary())
+    print(f"digest {doc.digest()}")
+    if args.out:
+        print(f"wrote {doc.write(args.out)}")
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    import json
+
+    from .calib import fit_from_samples, load_calibration
+    from .machine import collect_samples
+    from .portfolio import candidate_scheduler_spec, default_candidates, recommend
+
+    machine = get_machine(args.machine)
+    n_cores = args.workers if args.workers else machine.n_cores
+    program = _program(args)
+
+    if args.calibration:
+        try:
+            document = load_calibration(args.calibration)
+        except (FileNotFoundError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        cal_source = f"document {args.calibration}"
+    else:
+        # No document supplied: refit from one real run of the calibration
+        # problem under QUARK (the ``simulate`` command's recipe, routed
+        # through the calib fitting pipeline instead of ``calibrate``).
+        cal_program = _program(args, nt=args.cal_nt)
+        cal_sched = experiment_scheduler_spec("quark", n_cores=n_cores).build()
+        cal_trace = run_real(cal_program, cal_sched, machine, seed=args.seed)
+        samples = collect_samples(cal_trace, drop_first_per_worker=True)
+        document = fit_from_samples(
+            samples,
+            provenance={"source": "recommend", "cal_nt": args.cal_nt,
+                        "machine": args.machine, "seed": args.seed},
+        )
+        cal_source = f"refit from quark run (cal_nt={args.cal_nt})"
+
+    rec = recommend(
+        program,
+        machine,
+        document.to_model_set(),
+        n_cores=n_cores,
+        seed=args.seed + 1,
+        n_sims=args.sims,
+    )
+    print(f"portfolio for {args.algorithm} nt={args.nt} on {args.machine} "
+          f"({n_cores} cores), calibration: {cal_source}")
+    print(rec.table())
+
+    status = 0
+    if args.validate:
+        measured = {}
+        for candidate in default_candidates():
+            sched = candidate_scheduler_spec(candidate, n_cores).build()
+            trace = run_real(program, sched, machine, seed=args.seed)
+            measured[candidate.label] = float(trace.makespan)
+        true_best = min(sorted(measured), key=lambda lb: measured[lb])
+        hit = true_best == rec.best.candidate.label
+        regret = (measured[rec.best.candidate.label] - measured[true_best]) / measured[
+            true_best
+        ]
+        print(f"measured best: {true_best} ({measured[true_best]:.6f}s) -- "
+              f"{'HIT' if hit else 'MISS'}, regret {regret * 100:.2f}%")
+        status = 0 if hit else 1
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(rec.to_document(), sort_keys=True, indent=2) + "\n")
+        print(f"wrote {path}")
+    return status
+
+
+def _cmd_portfolio(args) -> int:
+    import json
+
+    from .experiments import SWEEP_NTS, portfolio_experiment
+
+    kwargs = {}
+    if args.full:
+        kwargs = {"machine": "magny_cours_48", "nts": tuple(SWEEP_NTS[:3])}
+    if args.machine:
+        kwargs["machine"] = args.machine
+    if args.nts:
+        kwargs["nts"] = tuple(args.nts)
+    if args.algorithms:
+        kwargs["algorithms"] = tuple(args.algorithms)
+    report = portfolio_experiment(seed=args.seed, **kwargs)
+    print(report.report())
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(report.to_document(), sort_keys=True, indent=2) + "\n"
+        )
+        print(f"wrote {path}")
+    ok = report.top1_accuracy >= args.min_accuracy and (
+        report.mean_prediction_error <= args.max_error
+    )
+    if not ok:
+        print(
+            f"below target: top-1 {report.top1_accuracy * 100:.0f}% "
+            f"(need >= {args.min_accuracy * 100:.0f}%), prediction error "
+            f"{report.mean_prediction_error * 100:.2f}% "
+            f"(need <= {args.max_error * 100:.0f}%)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -809,6 +950,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cores per scheduler (master included where applicable)")
     p.add_argument("--cal-nt", type=int, default=CAL_NT, dest="cal_nt")
     p.add_argument("--family", default="lognormal")
+    p.add_argument("--calibration", default=None,
+                   help="repro.calib/v1 document for simulated runs (replaces "
+                   "the cal-nt/family calibration recipe; see 'repro calibrate')")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the sweep fan-out")
     p.add_argument("--cache-dir", default=None, dest="cache_dir",
@@ -825,6 +969,72 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="print per-run progress to stderr")
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser(
+        "calibrate",
+        help="fit per-kernel duration models from probe artifacts "
+        "(repro.calib/v1 document)",
+    )
+    p.add_argument("--probe-dir", required=True, dest="probe_dir",
+                   help="directory of timeline artifacts (*.samples.json / "
+                   "*.attribution.json), e.g. a sweep's --probe-dir")
+    p.add_argument("--out", default=None,
+                   help="write the calibration document (JSON) here")
+    p.add_argument("--families", nargs="+",
+                   default=list(_CALIB_DEFAULT_FAMILIES),
+                   help="candidate model families to fit per kernel")
+    p.add_argument("--criterion", choices=("aic", "bic"), default="aic",
+                   help="information criterion for family selection")
+    p.add_argument("--ks-alpha", type=float, default=0.05, dest="ks_alpha",
+                   help="KS-gate significance level")
+    p.add_argument("--min-samples", type=int, default=8, dest="min_samples",
+                   help="below this many samples a kernel gets a constant model")
+    p.set_defaults(fn=_cmd_calibrate)
+
+    p = sub.add_parser(
+        "recommend",
+        help="rank scheduler x policy candidates by simulated makespan",
+    )
+    _add_problem_args(p, with_sched=False)
+    p.add_argument("--machine", default="magny_cours_48")
+    p.add_argument("--workers", type=int, default=None,
+                   help="cores to schedule on (default: the whole machine)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--calibration", default=None,
+                   help="repro.calib/v1 document; default refits from a real "
+                   "quark run of the --cal-nt problem")
+    p.add_argument("--cal-nt", type=int, default=CAL_NT, dest="cal_nt",
+                   help="calibration problem size when no --calibration given")
+    p.add_argument("--sims", type=int, default=3,
+                   help="simulation seeds averaged per candidate")
+    p.add_argument("--validate", action="store_true",
+                   help="also run every candidate for real and report whether "
+                   "the recommendation matches the measured argmin (exit 1 on "
+                   "a miss)")
+    p.add_argument("--out", default=None,
+                   help="write the repro.portfolio/v1 recommendation here")
+    p.set_defaults(fn=_cmd_recommend)
+
+    p = sub.add_parser(
+        "portfolio",
+        help="validate portfolio recommendations against exhaustive real sweeps",
+    )
+    p.add_argument("--algorithms", nargs="+", choices=sorted(_GENERATORS),
+                   default=None, help="default: cholesky qr")
+    p.add_argument("--nts", type=int, nargs="+", default=None,
+                   help="tiles-per-side grid points (default: 4 8)")
+    p.add_argument("--machine", default=None,
+                   help="default: uniform_4 (quick), magny_cours_48 with --full")
+    p.add_argument("--full", action="store_true",
+                   help="paper-grade grid: magny_cours_48, first three sweep sizes")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--min-accuracy", type=float, default=0.8, dest="min_accuracy",
+                   help="top-1 accuracy gate (exit 1 below this)")
+    p.add_argument("--max-error", type=float, default=0.05, dest="max_error",
+                   help="mean prediction-error gate (exit 1 above this)")
+    p.add_argument("--out", default=None,
+                   help="write the repro.portfolio_validation/v1 report here")
+    p.set_defaults(fn=_cmd_portfolio)
 
     p = sub.add_parser(
         "stress",

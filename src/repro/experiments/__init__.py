@@ -28,6 +28,7 @@ from .performance import (
     performance_figure,
     performance_sweep,
 )
+from .portfolio import PortfolioPoint, PortfolioReport, portfolio_experiment
 from .race import race_experiment, run_scenario
 from .reporting import artifact_dir, format_table, write_artifact
 from .speedup import speedup_experiment
@@ -60,6 +61,9 @@ __all__ = [
     "figure_table",
     "performance_figure",
     "performance_sweep",
+    "PortfolioPoint",
+    "PortfolioReport",
+    "portfolio_experiment",
     "race_experiment",
     "run_scenario",
     "artifact_dir",

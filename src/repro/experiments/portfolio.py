@@ -1,0 +1,240 @@
+"""Portfolio validation: recommendations vs. exhaustive sweeps.
+
+For every grid point (algorithm × problem size) the experiment:
+
+1. runs every scheduler×policy candidate for real (machine-model backend) —
+   the exhaustive sweep whose argmin is the ground-truth winner;
+2. refits a calibration document from one of those runs' own trace through
+   the :mod:`repro.calib` pipeline (the probe-artifact path, minus the
+   filesystem);
+3. ranks the candidates by simulated makespan under the calibrated models
+   (:func:`repro.portfolio.recommend`);
+4. scores the recommendation: top-1 hit, **regret** (how much slower the
+   recommended candidate's *measured* makespan is than the true optimum),
+   and the paper's prediction-error metric
+   ``|simulated - measured| / measured`` per candidate (<5% target, §VI-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..calib import DEFAULT_FAMILIES, fit_from_samples
+from ..core.simulator import run_real
+from ..machine import collect_samples, get_machine
+from ..portfolio import Candidate, default_candidates, candidate_scheduler_spec, recommend
+from .config import TILE_SIZE
+from .reporting import format_table
+
+__all__ = ["PortfolioPoint", "PortfolioReport", "portfolio_experiment"]
+
+
+@dataclass(frozen=True)
+class PortfolioPoint:
+    """One grid point's measured truth vs. predicted ranking."""
+
+    algorithm: str
+    nt: int
+    measured_s: Dict[str, float]  # candidate label -> real makespan
+    predicted_s: Dict[str, float]  # candidate label -> simulated makespan
+    true_best: str
+    predicted_best: str
+
+    @property
+    def top1_hit(self) -> bool:
+        return self.predicted_best == self.true_best
+
+    @property
+    def regret(self) -> float:
+        """Relative measured-makespan cost of following the recommendation."""
+        optimum = self.measured_s[self.true_best]
+        chosen = self.measured_s[self.predicted_best]
+        return (chosen - optimum) / optimum if optimum > 0 else 0.0
+
+    @property
+    def prediction_errors(self) -> Dict[str, float]:
+        """Per-candidate ``|simulated - measured| / measured``."""
+        return {
+            label: abs(self.predicted_s[label] - measured) / measured
+            for label, measured in self.measured_s.items()
+            if measured > 0
+        }
+
+    @property
+    def mean_prediction_error(self) -> float:
+        errors = self.prediction_errors
+        return sum(errors.values()) / len(errors) if errors else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "nt": self.nt,
+            "measured_s": dict(self.measured_s),
+            "predicted_s": dict(self.predicted_s),
+            "true_best": self.true_best,
+            "predicted_best": self.predicted_best,
+            "top1_hit": self.top1_hit,
+            "regret": self.regret,
+            "mean_prediction_error": self.mean_prediction_error,
+        }
+
+
+@dataclass(frozen=True)
+class PortfolioReport:
+    """Aggregate scores over the validation grid."""
+
+    machine: str
+    n_cores: int
+    points: Tuple[PortfolioPoint, ...]
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def top1_accuracy(self) -> float:
+        return sum(1 for p in self.points if p.top1_hit) / len(self.points)
+
+    @property
+    def mean_regret(self) -> float:
+        return sum(p.regret for p in self.points) / len(self.points)
+
+    @property
+    def mean_prediction_error(self) -> float:
+        return sum(p.mean_prediction_error for p in self.points) / len(self.points)
+
+    def report(self) -> str:
+        rows = [
+            [
+                f"{p.algorithm} nt={p.nt}",
+                p.true_best,
+                p.predicted_best,
+                "hit" if p.top1_hit else "MISS",
+                f"{p.regret * 100:.2f}%",
+                f"{p.mean_prediction_error * 100:.2f}%",
+            ]
+            for p in self.points
+        ]
+        table = format_table(
+            ["point", "true best", "predicted", "top-1", "regret", "pred err"], rows
+        )
+        return (
+            f"portfolio validation on {self.machine} ({self.n_cores} cores)\n"
+            f"{table}\n"
+            f"top-1 accuracy {self.top1_accuracy * 100:.0f}%  "
+            f"mean regret {self.mean_regret * 100:.2f}%  "
+            f"mean prediction error {self.mean_prediction_error * 100:.2f}%"
+        )
+
+    def to_document(self) -> Dict[str, object]:
+        return {
+            "schema": "repro.portfolio_validation/v1",
+            "machine": self.machine,
+            "n_cores": self.n_cores,
+            "top1_accuracy": self.top1_accuracy,
+            "mean_regret": self.mean_regret,
+            "mean_prediction_error": self.mean_prediction_error,
+            "points": [p.to_dict() for p in self.points],
+            "meta": dict(self.meta),
+        }
+
+
+def portfolio_experiment(
+    *,
+    algorithms: Sequence[str] = ("cholesky", "qr"),
+    nts: Sequence[int] = (4, 8),
+    nb: int = TILE_SIZE,
+    machine: str = "uniform_4",
+    n_cores: Optional[int] = None,
+    seed: int = 0,
+    candidates: Sequence[Candidate] = (),
+    families: Sequence[str] = DEFAULT_FAMILIES,
+    calibration_candidate: str = "quark",
+    n_real: int = 1,
+) -> PortfolioReport:
+    """Validate portfolio recommendations against exhaustive real sweeps.
+
+    The calibration trace for each point is ``calibration_candidate``'s own
+    real run — already paid for by the exhaustive sweep, and the closest
+    analogue of refitting from a run's probe artifacts.  ``n_real`` averages
+    each candidate's *measured* makespan over that many real-run seeds: on
+    noisy machines the single-seed argmin is itself a lottery between
+    near-tied candidates, so the ground truth needs the same stabilisation
+    the oracle's ``n_sims`` gives the prediction.  The defaults are
+    smoke-sized; the full paper-grade grid is
+    ``machine="magny_cours_48", nts=SWEEP_NTS[:4]`` (slow).
+    """
+    from ..runner.spec import ProgramSpec  # deferred: avoid import cycles
+
+    machine_obj = get_machine(machine)
+    if n_cores is None:
+        n_cores = machine_obj.n_cores
+    if n_real < 1:
+        raise ValueError("n_real must be at least 1")
+    cands = tuple(candidates) or default_candidates()
+    labels = [c.label for c in cands]
+    if calibration_candidate not in [c.scheduler for c in cands]:
+        raise ValueError(
+            f"calibration candidate {calibration_candidate!r} is not in the portfolio"
+        )
+
+    points: List[PortfolioPoint] = []
+    for algorithm in algorithms:
+        for nt in nts:
+            program = ProgramSpec(algorithm=algorithm, nt=nt, nb=nb).build()
+            measured: Dict[str, float] = {}
+            cal_trace = None
+            for candidate in cands:
+                total = 0.0
+                for s in range(n_real):
+                    scheduler = candidate_scheduler_spec(candidate, n_cores).build()
+                    trace = run_real(program, scheduler, machine_obj, seed=seed + s)
+                    total += float(trace.makespan)
+                    if cal_trace is None and candidate.scheduler == calibration_candidate:
+                        cal_trace = trace
+                measured[candidate.label] = total / n_real
+            samples = collect_samples(cal_trace, drop_first_per_worker=True)
+            document = fit_from_samples(
+                samples,
+                families=families,
+                provenance={
+                    "source": "portfolio_experiment",
+                    "algorithm": algorithm,
+                    "nt": nt,
+                    "machine": machine,
+                    "seed": seed,
+                },
+            )
+            rec = recommend(
+                program,
+                machine_obj,
+                document.to_model_set(),
+                candidates=cands,
+                n_cores=n_cores,
+                seed=seed + 1,  # sim seed != real seed: prediction, not replay
+            )
+            predicted = {p.candidate.label: p.makespan_s for p in rec.predictions}
+            true_best = min(labels, key=lambda lb: (measured[lb], lb))
+            points.append(
+                PortfolioPoint(
+                    algorithm=algorithm,
+                    nt=nt,
+                    measured_s=measured,
+                    predicted_s=predicted,
+                    true_best=true_best,
+                    predicted_best=rec.best.candidate.label,
+                )
+            )
+    return PortfolioReport(
+        machine=machine,
+        n_cores=n_cores,
+        points=tuple(points),
+        meta={
+            "algorithms": list(algorithms),
+            "nts": list(nts),
+            "nb": nb,
+            "seed": seed,
+            "candidates": labels,
+            "families": list(families),
+            "calibration_candidate": calibration_candidate,
+            "n_real": n_real,
+        },
+    )

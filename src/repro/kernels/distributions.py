@@ -24,10 +24,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import ClassVar, Dict, Sequence, Type
+from typing import ClassVar, Dict, Mapping, Sequence, Tuple, Type
 
 import numpy as np
-from scipy import stats
+from scipy import special, stats
 
 __all__ = [
     "DurationModel",
@@ -36,11 +36,15 @@ __all__ = [
     "NormalModel",
     "GammaModel",
     "LognormalModel",
+    "LognormalMixtureModel",
+    "KDEModel",
     "EmpiricalModel",
     "MODEL_FAMILIES",
     "fit_family",
     "fit_all_families",
     "best_fit",
+    "model_to_params",
+    "model_from_params",
 ]
 
 #: No simulated duration may be shorter than this (1 nanosecond).
@@ -109,17 +113,39 @@ class DurationModel:
         """Akaike information criterion (lower is better)."""
         return 2.0 * self.n_params - 2.0 * self.loglik(samples)
 
+    def bic(self, samples: Sequence[float]) -> float:
+        """Bayesian information criterion (lower is better)."""
+        arr = _as_samples(samples)
+        return self.n_params * math.log(arr.size) - 2.0 * self.loglik(arr)
+
     def cdf(self, x: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
+    def cdf_left(self, x: np.ndarray) -> np.ndarray:
+        """Left limit ``F(x-)`` of the model CDF.
+
+        Equals :meth:`cdf` for continuous families (the default); models
+        whose CDF has jumps (constant, empirical) override it so that
+        :meth:`ks_statistic` treats the jump correctly.
+        """
+        return self.cdf(x)
+
     def ks_statistic(self, samples: Sequence[float]) -> float:
-        """Kolmogorov-Smirnov distance between the model and the sample."""
+        """Kolmogorov-Smirnov distance between the model and the sample.
+
+        Uses the one-sample statistic written with the CDF's left limit,
+        ``D = max(max_i(i/n - F(x_i)), max_i(F(x_i-) - (i-1)/n), 0)``, which
+        coincides with the usual formula for continuous ``F`` but is also
+        correct for discontinuous models — a point mass fitted on constant
+        samples scores ``D = 0`` rather than a spurious ``1``.
+        """
         arr = np.sort(_as_samples(samples))
         n = arr.size
-        model_cdf = self.cdf(arr)
         upper = np.arange(1, n + 1) / n
         lower = np.arange(0, n) / n
-        return float(max(np.max(np.abs(model_cdf - upper)), np.max(np.abs(model_cdf - lower))))
+        right = self.cdf(arr)
+        left = self.cdf_left(arr)
+        return float(max(np.max(upper - right), np.max(left - lower), 0.0))
 
     def _clamp(self, value: float) -> float:
         return max(float(value), _DURATION_FLOOR)
@@ -153,6 +179,9 @@ class ConstantModel(DurationModel):
 
     def cdf(self, x: np.ndarray) -> np.ndarray:
         return (np.asarray(x, dtype=float) >= self.value).astype(float)
+
+    def cdf_left(self, x: np.ndarray) -> np.ndarray:
+        return (np.asarray(x, dtype=float) > self.value).astype(float)
 
     @property
     def mean(self) -> float:
@@ -355,6 +384,10 @@ class EmpiricalModel(DurationModel):
         xs = np.sort(self.samples_)
         return np.searchsorted(xs, np.asarray(x, dtype=float), side="right") / xs.size
 
+    def cdf_left(self, x: np.ndarray) -> np.ndarray:
+        xs = np.sort(self.samples_)
+        return np.searchsorted(xs, np.asarray(x, dtype=float), side="left") / xs.size
+
     @property
     def mean(self) -> float:
         return float(np.mean(self.samples_))
@@ -364,6 +397,274 @@ class EmpiricalModel(DurationModel):
         return float(np.std(self.samples_, ddof=1)) if self.samples_.size > 1 else 0.0
 
 
+def _norm_cdf_scalar(z: float) -> float:
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+def _bisect_quantile(cdf_scalar, q: float, lo: float, hi: float) -> float:
+    """Deterministic bisection for the q-quantile of a continuous CDF.
+
+    ``lo``/``hi`` must bracket the quantile.  Pure double-precision
+    arithmetic with a fixed iteration schedule, so the result is a
+    reproducible function of its inputs — no RNG, no platform-dependent
+    solver state.  Monotone in ``q`` up to the convergence tolerance.
+    """
+    if hi <= lo:
+        return lo
+    for _ in range(128):
+        mid = 0.5 * (lo + hi)
+        if cdf_scalar(mid) < q:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= 1e-15 * max(abs(hi), 1.0):
+            break
+    return 0.5 * (lo + hi)
+
+
+@dataclass
+class LognormalMixtureModel(DurationModel):
+    """K-component log-normal mixture fitted by EM (borg-style runtime model).
+
+    The EM runs on the log-durations (a Gaussian mixture in log space) with a
+    deterministic quantile-split initialisation — no RNG anywhere in the fit,
+    so refitting the same samples always yields the same parameters.
+    Components are stored sorted by ``mu_log`` for a canonical ordering.
+
+    Sampling is inverse-CDF: one uniform variate per draw mapped through
+    :meth:`ppf` (deterministic bisection), so the draw sequence is a pure
+    function of the generator state and monotone in the uniform input.
+    ``rng_use`` stays ``"other"`` — the batched-normal fast path cannot drive
+    this model, which routes mixture model sets through
+    :class:`~repro.kernels.timing.DirectSampler` on both engines and keeps
+    object/array byte-identity by construction.
+    """
+
+    weights: Tuple[float, ...]
+    mus_log: Tuple[float, ...]
+    sigmas_log: Tuple[float, ...]
+    family: ClassVar[str] = "lognormal_mixture"
+    rng_use: ClassVar[str] = "other"
+
+    @property
+    def n_params(self) -> int:  # type: ignore[override]
+        # K weights (K-1 free) + K means + K sigmas.
+        return 3 * len(self.weights) - 1
+
+    @classmethod
+    def fit(
+        cls,
+        samples: Sequence[float],
+        *,
+        k: int = 2,
+        max_iter: int = 200,
+        tol: float = 1e-10,
+    ) -> "LognormalMixtureModel":
+        arr = _as_samples(samples)
+        logs = np.log(arr)
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        spread = float(np.std(logs))
+        if arr.size < 2 * k or spread < 1e-12:
+            # Too few / degenerate samples for a K-way split: single component.
+            single = LognormalModel.fit(arr)
+            return cls(
+                weights=(1.0,), mus_log=(single.mu_log,), sigmas_log=(single.sigma_log,)
+            )
+        # Deterministic init: split the sorted log-samples into k quantile
+        # chunks; each chunk seeds one component.
+        order = np.sort(logs)
+        chunks = np.array_split(order, k)
+        sigma_floor = max(spread * 1e-4, 1e-9)
+        mus = np.array([float(np.mean(c)) for c in chunks])
+        sigmas = np.array([max(float(np.std(c)), sigma_floor) for c in chunks])
+        weights = np.full(k, 1.0 / k)
+        prev_ll = -np.inf
+        for _ in range(max_iter):
+            # E-step: responsibilities from log-densities (stable via logsumexp).
+            z = (logs[:, None] - mus[None, :]) / sigmas[None, :]
+            log_dens = (
+                np.log(weights)[None, :]
+                - np.log(sigmas)[None, :]
+                - 0.5 * math.log(2.0 * math.pi)
+                - 0.5 * z * z
+            )
+            norm = np.max(log_dens, axis=1, keepdims=True)
+            probs = np.exp(log_dens - norm)
+            total = np.sum(probs, axis=1, keepdims=True)
+            resp = probs / total
+            ll = float(np.sum(np.log(total)) + np.sum(norm))
+            # M-step.
+            counts = np.sum(resp, axis=0)
+            if np.any(counts < 1e-9):
+                break  # a component died; keep the previous parameters
+            weights = counts / logs.size
+            mus = resp.T @ logs / counts
+            var = resp.T @ (logs**2) / counts - mus**2
+            sigmas = np.maximum(np.sqrt(np.maximum(var, 0.0)), sigma_floor)
+            if abs(ll - prev_ll) <= tol * max(abs(ll), 1.0):
+                break
+            prev_ll = ll
+        idx = np.argsort(mus, kind="stable")
+        return cls(
+            weights=tuple(float(w) for w in weights[idx]),
+            mus_log=tuple(float(m) for m in mus[idx]),
+            sigmas_log=tuple(float(s) for s in sigmas[idx]),
+        )
+
+    def _cdf_scalar(self, x: float) -> float:
+        if x <= 0.0:
+            return 0.0
+        lx = math.log(x)
+        return sum(
+            w * _norm_cdf_scalar((lx - m) / s)
+            for w, m, s in zip(self.weights, self.mus_log, self.sigmas_log)
+        )
+
+    def ppf(self, q: float) -> float:
+        """Deterministic inverse CDF (quantile function)."""
+        q = min(max(float(q), 1e-12), 1.0 - 1e-12)
+        z = float(stats.norm.ppf(q))
+        # The mixture quantile lies between the smallest and largest
+        # per-component quantiles, giving an exact bracket for bisection.
+        comp = [
+            math.exp(m + s * z) for m, s in zip(self.mus_log, self.sigmas_log)
+        ]
+        return _bisect_quantile(self._cdf_scalar, q, min(comp), max(comp))
+
+    def from_uniform(self, u: float) -> float:
+        """Map one uniform variate to a duration (monotone in ``u``)."""
+        return self._clamp(self.ppf(u))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        # Exactly one uniform per draw: inverse-CDF keeps the generator
+        # consumption identical across engines and repeat runs.
+        return self.from_uniform(rng.random())
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        xs = np.asarray(x, dtype=float)
+        out = np.zeros_like(xs)
+        for w, m, s in zip(self.weights, self.mus_log, self.sigmas_log):
+            out += w * stats.lognorm.pdf(xs, s=s, scale=math.exp(m))
+        return out
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        xs = np.asarray(x, dtype=float)
+        out = np.zeros_like(xs)
+        for w, m, s in zip(self.weights, self.mus_log, self.sigmas_log):
+            out += w * stats.lognorm.cdf(xs, s=s, scale=math.exp(m))
+        return out
+
+    @property
+    def mean(self) -> float:
+        return sum(
+            w * math.exp(m + 0.5 * s * s)
+            for w, m, s in zip(self.weights, self.mus_log, self.sigmas_log)
+        )
+
+    @property
+    def std(self) -> float:
+        second = sum(
+            w * math.exp(2.0 * m + 2.0 * s * s)
+            for w, m, s in zip(self.weights, self.mus_log, self.sigmas_log)
+        )
+        return math.sqrt(max(second - self.mean**2, 0.0))
+
+
+@dataclass
+class KDEModel(DurationModel):
+    """Gaussian kernel-density estimate as a first-class samplable model.
+
+    Promotes the KDE that :class:`EmpiricalModel` only used for plotting into
+    a model with a proper CDF and a deterministic inverse-CDF sampler.  The
+    bandwidth follows Scott's rule (what ``scipy.stats.gaussian_kde``
+    defaults to in one dimension) but is computed directly, which also fixes
+    the latent crash ``gaussian_kde`` has on singleton or constant sample
+    arrays (``LinAlgError``/``ValueError``): those degenerate inputs get
+    ``bandwidth == 0`` and the model degrades to a point mass at the mean.
+    """
+
+    samples_: np.ndarray
+    bandwidth: float
+    family: ClassVar[str] = "kde"
+    n_params: ClassVar[int] = 0
+    rng_use: ClassVar[str] = "other"
+
+    @classmethod
+    def fit(cls, samples: Sequence[float]) -> "KDEModel":
+        arr = np.sort(_as_samples(samples))
+        if arr.size < 2:
+            return cls(samples_=arr.copy(), bandwidth=0.0)
+        spread = float(np.std(arr, ddof=1))
+        # np.std of a constant array returns ~1e-19 instead of exactly 0.0
+        # (floating-point cancellation), so the zero test must be relative.
+        if spread <= abs(float(np.mean(arr))) * 1e-12:
+            return cls(samples_=arr.copy(), bandwidth=0.0)
+        # Scott's rule in 1-D: h = sigma * n^(-1/5).
+        return cls(samples_=arr.copy(), bandwidth=spread * arr.size ** (-1.0 / 5.0))
+
+    @property
+    def degenerate(self) -> bool:
+        return self.bandwidth == 0.0
+
+    def _cdf_scalar(self, x: float) -> float:
+        if self.degenerate:
+            return 1.0 if x >= float(self.samples_[0]) else 0.0
+        z = (x - self.samples_) / self.bandwidth
+        return float(np.mean(special.ndtr(z)))
+
+    def ppf(self, q: float) -> float:
+        """Deterministic inverse CDF (quantile function)."""
+        if self.degenerate:
+            return float(np.mean(self.samples_))
+        q = min(max(float(q), 1e-12), 1.0 - 1e-12)
+        z = float(stats.norm.ppf(q))
+        # Equal-bandwidth mixture: the quantile is bracketed by shifting the
+        # extreme data points by the same z.
+        lo = float(self.samples_[0]) + self.bandwidth * z
+        hi = float(self.samples_[-1]) + self.bandwidth * z
+        return _bisect_quantile(self._cdf_scalar, q, lo, hi)
+
+    def from_uniform(self, u: float) -> float:
+        """Map one uniform variate to a duration (monotone in ``u``)."""
+        return self._clamp(self.ppf(u))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.from_uniform(rng.random())
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        if self.degenerate:
+            return ConstantModel(float(np.mean(self.samples_))).pdf(x)
+        xs = np.asarray(x, dtype=float)
+        z = (np.atleast_1d(xs)[:, None] - self.samples_[None, :]) / self.bandwidth
+        dens = np.mean(
+            np.exp(-0.5 * z * z) / (self.bandwidth * math.sqrt(2.0 * math.pi)), axis=1
+        )
+        return dens.reshape(np.shape(xs)) if np.ndim(xs) else float(dens[0])
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        xs = np.asarray(x, dtype=float)
+        if self.degenerate:
+            return (xs >= float(self.samples_[0])).astype(float)
+        z = (np.atleast_1d(xs)[:, None] - self.samples_[None, :]) / self.bandwidth
+        vals = np.mean(stats.norm.cdf(z), axis=1)
+        return vals.reshape(np.shape(xs)) if np.ndim(xs) else float(vals[0])
+
+    def cdf_left(self, x: np.ndarray) -> np.ndarray:
+        if self.degenerate:
+            return (np.asarray(x, dtype=float) > float(self.samples_[0])).astype(float)
+        return self.cdf(x)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples_))
+
+    @property
+    def std(self) -> float:
+        # Mixture-of-normals variance: sample variance plus bandwidth^2.
+        return math.sqrt(float(np.var(self.samples_)) + self.bandwidth**2)
+
+
 #: Registry of model families by name, in the order the paper discusses them.
 MODEL_FAMILIES: Dict[str, Type[DurationModel]] = {
     "constant": ConstantModel,
@@ -371,6 +672,8 @@ MODEL_FAMILIES: Dict[str, Type[DurationModel]] = {
     "normal": NormalModel,
     "gamma": GammaModel,
     "lognormal": LognormalModel,
+    "lognormal_mixture": LognormalMixtureModel,
+    "kde": KDEModel,
     "empirical": EmpiricalModel,
 }
 
@@ -417,3 +720,68 @@ def best_fit(
     else:
         raise ValueError(f"unknown criterion {criterion!r}")
     return min(fits.values(), key=score)
+
+
+# -- parameter (de)serialization for calibration documents ------------------
+def model_to_params(model: DurationModel) -> Dict[str, object]:
+    """JSON-serializable parameters of a fitted model.
+
+    Round-trips through :func:`model_from_params`:
+    ``model_from_params(m.family, model_to_params(m))`` reconstructs a model
+    that samples bit-identically to ``m``.
+    """
+    if isinstance(model, ConstantModel):
+        return {"value": model.value}
+    if isinstance(model, UniformModel):
+        return {"lo": model.lo, "hi": model.hi}
+    if isinstance(model, NormalModel):
+        return {"mu": model.mu, "sigma": model.sigma}
+    if isinstance(model, GammaModel):
+        return {"shape": model.shape, "scale": model.scale}
+    if isinstance(model, LognormalMixtureModel):
+        return {
+            "weights": list(model.weights),
+            "mus_log": list(model.mus_log),
+            "sigmas_log": list(model.sigmas_log),
+        }
+    if isinstance(model, LognormalModel):
+        return {"mu_log": model.mu_log, "sigma_log": model.sigma_log}
+    if isinstance(model, KDEModel):
+        return {"samples": model.samples_.tolist(), "bandwidth": model.bandwidth}
+    if isinstance(model, EmpiricalModel):
+        return {"samples": model.samples_.tolist()}
+    raise TypeError(f"cannot serialize model family {model.family!r}")
+
+
+def model_from_params(family: str, params: Mapping[str, object]) -> DurationModel:
+    """Reconstruct a model from :func:`model_to_params` output."""
+    p = dict(params)
+    try:
+        if family == "constant":
+            return ConstantModel(value=float(p["value"]))
+        if family == "uniform":
+            return UniformModel(lo=float(p["lo"]), hi=float(p["hi"]))
+        if family == "normal":
+            return NormalModel(mu=float(p["mu"]), sigma=float(p["sigma"]))
+        if family == "gamma":
+            return GammaModel(shape=float(p["shape"]), scale=float(p["scale"]))
+        if family == "lognormal":
+            return LognormalModel(mu_log=float(p["mu_log"]), sigma_log=float(p["sigma_log"]))
+        if family == "lognormal_mixture":
+            return LognormalMixtureModel(
+                weights=tuple(float(w) for w in p["weights"]),
+                mus_log=tuple(float(m) for m in p["mus_log"]),
+                sigmas_log=tuple(float(s) for s in p["sigmas_log"]),
+            )
+        if family == "kde":
+            return KDEModel(
+                samples_=np.asarray(p["samples"], dtype=float),
+                bandwidth=float(p["bandwidth"]),
+            )
+        if family == "empirical":
+            return EmpiricalModel(samples_=np.asarray(p["samples"], dtype=float))
+    except KeyError as exc:
+        raise ValueError(f"missing parameter {exc} for family {family!r}") from None
+    raise KeyError(
+        f"unknown model family {family!r}; choose from {sorted(MODEL_FAMILIES)}"
+    )

@@ -1,0 +1,73 @@
+"""Per-kernel duration samples as a publishable artifact.
+
+``<prefix>.samples.json`` (schema ``repro.kernel_samples/v1``) is the
+calibration-facing slice of an observed run: for every kernel class, the raw
+duration samples harvested from the trace with each worker's first task
+dropped (the MKL-style warm-up outlier the paper neutralises before fitting,
+mirroring :func:`repro.machine.calibration.collect_samples`).
+
+:func:`repro.calib.fit.fit_from_probe_dir` ingests these documents directly;
+the per-task ``attribution.json`` remains usable as a fallback for probe
+directories written before this artifact existed.
+
+Computed purely from the recorded trace — no scheduler/runtime imports, per
+the obs-layer rule.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+__all__ = ["KERNEL_SAMPLES_SCHEMA", "kernel_samples_document", "write_kernel_samples"]
+
+KERNEL_SAMPLES_SCHEMA = "repro.kernel_samples/v1"
+
+
+def kernel_samples_document(
+    trace,
+    *,
+    drop_first_per_worker: bool = True,
+    meta: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Build the ``repro.kernel_samples/v1`` document for one trace.
+
+    ``meta`` (algorithm, nt, machine, ...) is embedded verbatim so a
+    calibration fit can report its provenance.
+    """
+    skip = set()
+    if drop_first_per_worker:
+        for worker in range(trace.n_workers):
+            events = trace.worker_events(worker)
+            if events:
+                skip.add(events[0].task_id)
+    samples: Dict[str, List[float]] = {}
+    for e in sorted(trace.events):
+        if e.task_id in skip:
+            continue
+        samples.setdefault(e.kernel, []).append(float(e.duration))
+    return {
+        "schema": KERNEL_SAMPLES_SCHEMA,
+        "drop_first_per_worker": bool(drop_first_per_worker),
+        "n_tasks": len(trace.events),
+        "n_dropped": len(skip),
+        "meta": dict(meta or {}),
+        "samples": {kernel: samples[kernel] for kernel in sorted(samples)},
+    }
+
+
+def write_kernel_samples(
+    path: Union[str, Path],
+    trace,
+    *,
+    drop_first_per_worker: bool = True,
+    meta: Optional[Mapping[str, object]] = None,
+) -> Path:
+    """Write :func:`kernel_samples_document` to ``path`` and return it."""
+    path = Path(path)
+    doc = kernel_samples_document(
+        trace, drop_first_per_worker=drop_first_per_worker, meta=meta
+    )
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path

@@ -11,6 +11,9 @@ into the full artifact set the ``repro timeline`` CLI and the sweep/stress
 ``<prefix>.series.json``                  virtual-time counter series
 ``<prefix>.series.csv``                   same series, long-format CSV
 ``<prefix>.attribution.json``             per-task wait attribution
+``<prefix>.samples.json``                 per-kernel duration samples
+                                          (``repro.kernel_samples/v1``, the
+                                          ``repro calibrate`` input)
 ``<prefix>.metrics.json``                 RunMetrics counters (when given)
 ========================================  =====================================
 
@@ -28,6 +31,7 @@ from typing import Optional, Union
 from .attribution import AttributionReport, attribute_waits
 from .perfetto import write_trace_event
 from .probe import RecordingProbe
+from .samples import write_kernel_samples
 from .series import TimeSeriesSet, build_series
 
 __all__ = ["TimelineArtifacts", "export_timeline"]
@@ -41,13 +45,20 @@ class TimelineArtifacts:
     series_json: Path
     series_csv: Path
     attribution_json: Path
+    samples_json: Path
     metrics_json: Optional[Path]
     series: TimeSeriesSet
     report: AttributionReport
 
     def paths(self) -> tuple:
         """All written paths, in a stable order (metrics last, if any)."""
-        out = [self.perfetto, self.series_json, self.series_csv, self.attribution_json]
+        out = [
+            self.perfetto,
+            self.series_json,
+            self.series_csv,
+            self.attribution_json,
+            self.samples_json,
+        ]
         if self.metrics_json is not None:
             out.append(self.metrics_json)
         return tuple(out)
@@ -79,6 +90,10 @@ def export_timeline(
     series_json = series.write_json(out_dir / f"{prefix}.series.json")
     series_csv = series.write_csv(out_dir / f"{prefix}.series.csv")
     attribution_json = report.write_json(out_dir / f"{prefix}.attribution.json")
+    meta = dict(getattr(metrics, "extra", None) or {})
+    samples_json = write_kernel_samples(
+        out_dir / f"{prefix}.samples.json", trace, meta=meta
+    )
     metrics_json = None
     if metrics is not None:
         metrics_json = metrics.write_json(out_dir / f"{prefix}.metrics.json")
@@ -88,6 +103,7 @@ def export_timeline(
         series_json=series_json,
         series_csv=series_csv,
         attribution_json=attribution_json,
+        samples_json=samples_json,
         metrics_json=metrics_json,
         series=series,
         report=report,

@@ -1,0 +1,44 @@
+"""Scheduler portfolio selection: predict the winning scheduler per instance.
+
+The paper validates its simulator by matching predicted to measured
+makespans; this layer *uses* those predictions the way borg uses its runtime
+models — as a decision procedure.  Given a program, a machine, and a
+calibrated model set (:mod:`repro.calib`), the portfolio ranks
+scheduler×policy candidates by simulated makespan and recommends the winner.
+
+* :mod:`repro.portfolio.features` — structural features of a program
+  (task/edge counts, CSR critical-path estimate, width/depth) for reporting
+  and for the optional fitted regressor.
+* :mod:`repro.portfolio.predictor` — the candidate set, the simulate-based
+  oracle, the recommendation document, and a least-squares regressor fitted
+  on sweep history for cheap re-ranking without simulation.
+"""
+
+from .features import ProgramFeatures, extract_features  # noqa: F401
+from .predictor import (  # noqa: F401
+    PORTFOLIO_SCHEMA,
+    Candidate,
+    MakespanRegressor,
+    Prediction,
+    Recommendation,
+    candidate_scheduler_spec,
+    default_candidates,
+    fit_regressor,
+    predict_makespans,
+    recommend,
+)
+
+__all__ = [
+    "ProgramFeatures",
+    "extract_features",
+    "PORTFOLIO_SCHEMA",
+    "Candidate",
+    "Prediction",
+    "Recommendation",
+    "MakespanRegressor",
+    "candidate_scheduler_spec",
+    "default_candidates",
+    "fit_regressor",
+    "predict_makespans",
+    "recommend",
+]

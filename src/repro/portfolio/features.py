@@ -1,0 +1,137 @@
+"""Structural features of a task program for portfolio decisions.
+
+Everything is computed from the :class:`~repro.core.soa.SoAProgram` CSR
+arrays in one forward pass — hazards only ever point backwards in stream
+order (successors have strictly higher task ids), so a single ascending scan
+settles each task's earliest finish time and DAG level before any of its
+successors is visited.
+
+Durations come from a fitted :class:`~repro.kernels.timing.KernelModelSet`
+when one is supplied (per-kernel means), else every task counts 1.0 — the
+unit-cost critical path, a purely structural measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.soa import SoAProgram
+
+__all__ = ["ProgramFeatures", "extract_features"]
+
+
+@dataclass(frozen=True)
+class ProgramFeatures:
+    """One program's structural profile, plus duration-weighted estimates.
+
+    ``critical_path_s`` is the longest duration-weighted path through the
+    DAG; ``total_work_s`` the serial sum; ``ideal_makespan_s`` the classic
+    lower bound ``max(critical_path, total_work / n_workers)``;
+    ``avg_parallelism`` the ratio ``total_work / critical_path``.  ``depth``
+    counts DAG levels (hops), ``max_level_width`` the largest antichain of a
+    level decomposition — the structural analogue of machine saturation.
+    """
+
+    n_tasks: int
+    n_edges: int
+    depth: int
+    max_level_width: int
+    n_workers: int
+    critical_path_s: float
+    total_work_s: float
+    ideal_makespan_s: float
+    avg_parallelism: float
+    kernel_counts: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "n_tasks": self.n_tasks,
+            "n_edges": self.n_edges,
+            "depth": self.depth,
+            "max_level_width": self.max_level_width,
+            "n_workers": self.n_workers,
+            "critical_path_s": self.critical_path_s,
+            "total_work_s": self.total_work_s,
+            "ideal_makespan_s": self.ideal_makespan_s,
+            "avg_parallelism": self.avg_parallelism,
+            "kernel_counts": dict(self.kernel_counts),
+        }
+
+    def to_vector(self) -> List[float]:
+        """Numeric feature vector (kernel counts appended in name order)."""
+        vec = [
+            float(self.n_tasks),
+            float(self.n_edges),
+            float(self.depth),
+            float(self.max_level_width),
+            float(self.n_workers),
+            self.critical_path_s,
+            self.total_work_s,
+            self.ideal_makespan_s,
+            self.avg_parallelism,
+        ]
+        vec.extend(float(self.kernel_counts[k]) for k in sorted(self.kernel_counts))
+        return vec
+
+
+def extract_features(
+    program,
+    *,
+    models=None,
+    n_workers: int = 1,
+) -> ProgramFeatures:
+    """Compute :class:`ProgramFeatures` for ``program``.
+
+    ``models`` is an optional :class:`~repro.kernels.timing.KernelModelSet`
+    supplying per-kernel mean durations; without one, unit costs are used.
+    ``n_workers`` only affects ``ideal_makespan_s`` (and is recorded).
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be positive")
+    soa = SoAProgram.for_program(program)
+    n = soa.n_tasks
+    if n == 0:
+        raise ValueError("cannot extract features from an empty program")
+
+    if models is not None:
+        kernel_means = np.array(
+            [float(models.mean_duration(name)) for name in soa.kernel_names]
+        )
+    else:
+        kernel_means = np.ones(len(soa.kernel_names))
+    durations = kernel_means[soa.kernel_ids]
+
+    finish = durations.copy()  # earliest finish; preds settle before succs
+    level = np.zeros(n, dtype=np.int64)
+    indptr, indices = soa.succ_indptr, soa.succ_indices
+    for tid in range(n):
+        f = finish[tid]
+        hop = level[tid] + 1
+        for s in indices[indptr[tid] : indptr[tid + 1]]:
+            if f + durations[s] > finish[s]:
+                finish[s] = f + durations[s]
+            if hop > level[s]:
+                level[s] = hop
+
+    counts: Dict[str, int] = {}
+    for kid, name in enumerate(soa.kernel_names):
+        counts[name] = int(np.sum(soa.kernel_ids == kid))
+    total_work = float(np.sum(durations))
+    critical_path = float(np.max(finish))
+    level_widths = np.bincount(level)
+
+    return ProgramFeatures(
+        n_tasks=n,
+        n_edges=int(soa.succ_indices.size),
+        depth=int(np.max(level)) + 1,
+        max_level_width=int(np.max(level_widths)),
+        n_workers=n_workers,
+        critical_path_s=critical_path,
+        total_work_s=total_work,
+        ideal_makespan_s=max(critical_path, total_work / n_workers),
+        avg_parallelism=total_work / critical_path,
+        kernel_counts=counts,
+    )

@@ -1,0 +1,336 @@
+"""Rank scheduler×policy candidates by predicted makespan.
+
+Two predictors, cheapest-sufficient first:
+
+* the **simulate-based oracle** — run the discrete-event simulator once per
+  candidate under the calibrated models and rank by simulated makespan.
+  This is the paper's own validation loop turned into a decision procedure:
+  a simulated run is ~10^3-10^4x cheaper than the real one, so simulating
+  every candidate is affordable;
+* an optional **fitted regressor** — least-squares over
+  (:class:`~repro.portfolio.features.ProgramFeatures` vector → makespan)
+  pairs harvested from sweep history (``repro.sweep_metrics/v1``
+  documents), for settings where even one simulation per candidate is too
+  much.  It reuses the same candidate labels so the two predictors are
+  interchangeable in :func:`recommend`-style ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.simulator import simulate
+from ..machine import get_machine
+from ..runner.spec import SchedulerSpec
+from .features import ProgramFeatures, extract_features
+
+__all__ = [
+    "PORTFOLIO_SCHEMA",
+    "Candidate",
+    "Prediction",
+    "Recommendation",
+    "MakespanRegressor",
+    "default_candidates",
+    "candidate_scheduler_spec",
+    "predict_makespans",
+    "recommend",
+    "fit_regressor",
+]
+
+PORTFOLIO_SCHEMA = "repro.portfolio/v1"
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One scheduler×policy point of the portfolio."""
+
+    scheduler: str  # quark | starpu | ompss
+    policy: Optional[str] = None  # StarPU only
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in ("quark", "starpu", "ompss"):
+            raise KeyError(
+                f"unknown scheduler {self.scheduler!r}; choose quark/starpu/ompss"
+            )
+        if self.policy is not None and self.scheduler != "starpu":
+            raise ValueError(f"{self.scheduler} takes no policy")
+
+    @property
+    def label(self) -> str:
+        return self.scheduler if self.policy is None else f"{self.scheduler}/{self.policy}"
+
+    @classmethod
+    def from_label(cls, label: str) -> "Candidate":
+        scheduler, _, policy = label.partition("/")
+        return cls(scheduler=scheduler, policy=policy or None)
+
+
+def default_candidates() -> Tuple[Candidate, ...]:
+    """The full portfolio: the paper's three schedulers, StarPU per policy."""
+    return (
+        Candidate("quark"),
+        Candidate("starpu", "eager"),
+        Candidate("starpu", "prio"),
+        Candidate("starpu", "ws"),
+        Candidate("starpu", "dmda"),
+        Candidate("ompss"),
+    )
+
+
+def candidate_scheduler_spec(candidate: Candidate, n_cores: int) -> SchedulerSpec:
+    """Scheduler spec for ``candidate`` on an ``n_cores`` machine.
+
+    Follows the experiment convention
+    (:func:`~repro.experiments.config.experiment_scheduler_spec`): QUARK's
+    master doubles as a worker so it gets every core; StarPU and OmpSs keep
+    a dedicated submission thread.
+    """
+    if n_cores < 2:
+        raise ValueError("portfolio candidates need at least 2 cores")
+    if candidate.scheduler == "quark":
+        return SchedulerSpec("quark", n_cores)
+    if candidate.scheduler == "starpu":
+        return SchedulerSpec(
+            "starpu", n_cores - 1, policy=candidate.policy or "eager"
+        )
+    return SchedulerSpec("ompss", n_cores - 1)
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One candidate's predicted makespan."""
+
+    candidate: Candidate
+    makespan_s: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scheduler": self.candidate.scheduler,
+            "policy": self.candidate.policy,
+            "label": self.candidate.label,
+            "makespan_s": self.makespan_s,
+        }
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Ranked portfolio predictions for one program×machine instance."""
+
+    machine: str
+    n_cores: int
+    seed: int
+    predictor: str  # "simulate" | "regressor"
+    features: ProgramFeatures
+    predictions: Tuple[Prediction, ...]  # sorted by makespan ascending
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def best(self) -> Prediction:
+        return self.predictions[0]
+
+    def table(self) -> str:
+        """One line per candidate, winner first."""
+        best = self.best.makespan_s
+        rows = []
+        for i, p in enumerate(self.predictions):
+            marker = "->" if i == 0 else "  "
+            rel = p.makespan_s / best if best > 0 else float("inf")
+            rows.append(
+                f"{marker} {p.candidate.label:<14s} {p.makespan_s:.6f}s  ({rel:.3f}x)"
+            )
+        return "\n".join(rows)
+
+    def to_document(self) -> Dict[str, object]:
+        return {
+            "schema": PORTFOLIO_SCHEMA,
+            "machine": self.machine,
+            "n_cores": self.n_cores,
+            "seed": self.seed,
+            "predictor": self.predictor,
+            "best": self.best.to_dict(),
+            "predictions": [p.to_dict() for p in self.predictions],
+            "features": self.features.to_dict(),
+            "meta": dict(self.meta),
+        }
+
+
+def predict_makespans(
+    program,
+    machine,
+    models,
+    *,
+    candidates: Sequence[Candidate] = (),
+    n_cores: Optional[int] = None,
+    seed: int = 0,
+    warmup: bool = True,
+    n_sims: int = 1,
+) -> List[Prediction]:
+    """Simulate every candidate and return per-candidate makespans.
+
+    ``machine`` is a preset name or :class:`~repro.machine.topology.Machine`;
+    ``models`` the calibrated :class:`~repro.kernels.timing.KernelModelSet`.
+    ``n_cores`` defaults to the machine's core count.  ``n_sims`` averages
+    each candidate's makespan over that many simulation seeds (``seed`` ..
+    ``seed + n_sims - 1``): near-tied candidates otherwise flip rank on
+    single-draw sampling noise, and a 3-seed average already stabilises the
+    top-1 pick at a few milliseconds per extra seed.
+    """
+    machine = get_machine(machine) if isinstance(machine, str) else machine
+    if n_cores is None:
+        n_cores = machine.n_cores
+    if n_sims < 1:
+        raise ValueError("n_sims must be at least 1")
+    cands = tuple(candidates) or default_candidates()
+    out = []
+    for candidate in cands:
+        total = 0.0
+        for s in range(n_sims):
+            scheduler = candidate_scheduler_spec(candidate, n_cores).build()
+            trace = simulate(
+                program,
+                scheduler,
+                models,
+                seed=seed + s,
+                warmup_penalty=machine.warmup_penalty if warmup else 0.0,
+            )
+            total += float(trace.makespan)
+        out.append(Prediction(candidate=candidate, makespan_s=total / n_sims))
+    return out
+
+
+def recommend(
+    program,
+    machine,
+    models,
+    *,
+    candidates: Sequence[Candidate] = (),
+    n_cores: Optional[int] = None,
+    seed: int = 0,
+    warmup: bool = True,
+    n_sims: int = 3,
+    meta: Optional[Mapping[str, object]] = None,
+) -> Recommendation:
+    """Rank the portfolio for ``program`` on ``machine`` (simulate oracle)."""
+    machine_obj = get_machine(machine) if isinstance(machine, str) else machine
+    if n_cores is None:
+        n_cores = machine_obj.n_cores
+    predictions = predict_makespans(
+        program,
+        machine_obj,
+        models,
+        candidates=candidates,
+        n_cores=n_cores,
+        seed=seed,
+        warmup=warmup,
+        n_sims=n_sims,
+    )
+    ranked = tuple(sorted(predictions, key=lambda p: (p.makespan_s, p.candidate.label)))
+    features = extract_features(program, models=models, n_workers=n_cores)
+    return Recommendation(
+        machine=getattr(machine_obj, "name", str(machine)),
+        n_cores=n_cores,
+        seed=seed,
+        predictor="simulate",
+        features=features,
+        predictions=ranked,
+        meta=dict(meta or {}),
+    )
+
+
+class MakespanRegressor:
+    """Per-candidate linear makespan model over program feature vectors.
+
+    ``fit`` solves one least-squares problem per candidate label on
+    ``[1, features...] @ w = makespan``; ``predict`` ranks candidates for a
+    new feature vector.  This is the "optional fitted regressor over sweep
+    history": far cruder than the simulate oracle, but it answers in
+    microseconds from nothing but structure.
+    """
+
+    def __init__(self) -> None:
+        self._weights: Dict[str, np.ndarray] = {}
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._weights))
+
+    def fit(self, rows: Sequence[Tuple[str, Sequence[float], float]]) -> "MakespanRegressor":
+        """``rows`` are ``(candidate_label, feature_vector, makespan_s)``."""
+        by_label: Dict[str, List[Tuple[Sequence[float], float]]] = {}
+        for label, vec, makespan in rows:
+            by_label.setdefault(str(label), []).append((vec, float(makespan)))
+        if not by_label:
+            raise ValueError("no training rows")
+        for label, pairs in by_label.items():
+            x = np.array([[1.0, *vec] for vec, _ in pairs])
+            y = np.array([m for _, m in pairs])
+            w, *_ = np.linalg.lstsq(x, y, rcond=None)
+            self._weights[label] = w
+        return self
+
+    def predict(self, label: str, features: Sequence[float]) -> float:
+        try:
+            w = self._weights[label]
+        except KeyError:
+            raise KeyError(
+                f"no fitted model for candidate {label!r}; fitted: {self.labels}"
+            ) from None
+        x = np.array([1.0, *features])
+        if x.size != w.size:
+            raise ValueError(
+                f"feature vector length {x.size - 1} does not match "
+                f"training length {w.size - 1}"
+            )
+        return float(x @ w)
+
+    def rank(self, features: Sequence[float]) -> List[Prediction]:
+        """All fitted candidates ranked by predicted makespan."""
+        preds = [
+            Prediction(
+                candidate=Candidate.from_label(label),
+                makespan_s=self.predict(label, features),
+            )
+            for label in self.labels
+        ]
+        return sorted(preds, key=lambda p: (p.makespan_s, p.candidate.label))
+
+
+def fit_regressor(
+    history: Mapping[str, object],
+    *,
+    models=None,
+) -> MakespanRegressor:
+    """Fit a :class:`MakespanRegressor` from a sweep-metrics document.
+
+    ``history`` is a ``repro.sweep_metrics/v1`` document
+    (:meth:`~repro.runner.runner.SweepResult.metrics_document`); each run
+    contributes one ``(candidate, features(program), makespan)`` row.
+    ``models`` optionally weights the feature extraction.
+    """
+    runs = history.get("runs", [])
+    rows: List[Tuple[str, Sequence[float], float]] = []
+    for run in runs:
+        spec = run.get("spec", {})
+        program_doc = spec.get("program", {})
+        sched = spec.get("scheduler", {})
+        metrics = run.get("metrics", {})
+        makespan = metrics.get("makespan")
+        if not program_doc or not sched or makespan is None:
+            continue
+        from ..runner.spec import ProgramSpec
+
+        program = ProgramSpec.from_dict(program_doc).build()
+        candidate = Candidate(
+            scheduler=str(sched["name"]),
+            policy=sched.get("policy") if sched.get("name") == "starpu" else None,
+        )
+        features = extract_features(
+            program, models=models, n_workers=int(sched.get("n_workers", 1))
+        )
+        rows.append((candidate.label, features.to_vector(), float(makespan)))
+    if not rows:
+        raise ValueError("sweep history contains no usable (spec, makespan) rows")
+    return MakespanRegressor().fit(rows)

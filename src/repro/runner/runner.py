@@ -63,15 +63,22 @@ def execute_spec(
         trace_meta: Dict[str, object] = {"mode": "real"}
         models = None
     else:
-        cal = run_cached(spec.calibration_spec(), cache)
-        samples = collect_samples(
-            cal.load_trace(), drop_first_per_worker=spec.cal_drop_first
-        )
-        if not samples:
-            raise ValueError("calibration run produced no samples (empty program?)")
-        models = KernelModelSet.from_samples(
-            samples, family=spec.family, trim_warmup=spec.cal_trim
-        )
+        if spec.calibration is not None:
+            # A pre-fitted repro.calib/v1 document replaces the in-line
+            # calibration recipe: no calibration run, cached or otherwise.
+            from ..calib.document import load_calibration
+
+            models = load_calibration(spec.calibration).to_model_set()
+        else:
+            cal = run_cached(spec.calibration_spec(), cache)
+            samples = collect_samples(
+                cal.load_trace(), drop_first_per_worker=spec.cal_drop_first
+            )
+            if not samples:
+                raise ValueError("calibration run produced no samples (empty program?)")
+            models = KernelModelSet.from_samples(
+                samples, family=spec.family, trim_warmup=spec.cal_trim
+            )
         backend = SimulationBackend(
             models, warmup_penalty=machine.warmup_penalty if spec.warmup else 0.0
         )

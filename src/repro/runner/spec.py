@@ -174,6 +174,14 @@ class RunSpec:
     family: str = "lognormal"
     warmup: bool = True  # apply the machine's warm-up penalty in sim
 
+    #: Path to a ``repro.calib/v1`` document.  When set (simulated mode
+    #: only), the fitted models in the document replace the in-line
+    #: calibration recipe above — no calibration run happens and the
+    #: ``cal_*``/``family`` fields become inert.  Cache identity uses the
+    #: document's *content* digest, never the path; ``None`` is normalised
+    #: out of the cache key so pre-existing caches survive.
+    calibration: Optional[str] = None
+
     # -- event-loop realisation (engine runtime only) ----------------------
     #: serialized | multicell | auto — see :mod:`repro.core.cells`.  Every
     #: mode produces the same trace, so ``serialized`` (the default) is
@@ -190,8 +198,13 @@ class RunSpec:
     def __post_init__(self) -> None:
         if self.mode not in ("real", "simulated"):
             raise ValueError(f"unknown mode {self.mode!r}; choose real/simulated")
-        if self.mode == "simulated" and self.cal_nt is None:
-            raise ValueError("simulated runs need cal_nt (calibration problem size)")
+        if self.calibration is not None and self.mode != "simulated":
+            raise ValueError("calibration documents only apply to simulated runs")
+        if self.mode == "simulated" and self.cal_nt is None and self.calibration is None:
+            raise ValueError(
+                "simulated runs need cal_nt (calibration problem size) "
+                "or a calibration document"
+            )
         if self.runtime not in RUNTIMES:
             raise ValueError(f"unknown runtime {self.runtime!r}; choose from {RUNTIMES}")
         if self.engine_mode not in ENGINE_MODES:
@@ -241,6 +254,10 @@ class RunSpec:
         """The real run whose trace calibrates this simulated run."""
         if self.mode != "simulated":
             raise ValueError("only simulated runs have a calibration spec")
+        if self.calibration is not None:
+            raise ValueError(
+                "this spec loads a calibration document; no calibration run exists"
+            )
         return RunSpec(
             program=replace(self.program, nt=self.cal_nt),
             scheduler=self.cal_scheduler if self.cal_scheduler is not None else self.scheduler,
@@ -275,7 +292,21 @@ class RunSpec:
         doc = self.to_dict()
         doc["cache_version"] = CACHE_VERSION
         doc["program_digest"] = self.program.content_digest()
-        if self.mode == "simulated":
+        if self.mode == "simulated" and self.calibration is not None:
+            # The document's content is the identity: the same fitted models
+            # under a renamed/moved file hit the same cache entry, and a
+            # refit document at the same path misses as it must.  The in-line
+            # calibration recipe is inert here, so it drops out (``warmup``
+            # stays — it still shapes the simulation).
+            from ..calib.document import load_calibration  # deferred: keeps spec light
+
+            doc["calibration"] = load_calibration(self.calibration).digest()
+            for k in (
+                "cal_nt", "cal_seed", "cal_scheduler", "cal_drop_first",
+                "cal_trim", "family",
+            ):
+                doc.pop(k, None)
+        elif self.mode == "simulated":
             cal = self.calibration_spec()
             doc["cal_program_digest"] = cal.program.content_digest()
         else:
@@ -286,6 +317,10 @@ class RunSpec:
                 "cal_trim", "family", "warmup",
             ):
                 doc.pop(k, None)
+        # No document attached: normalise the field out entirely so every
+        # pre-calibration cache key (and cache entry) stays valid.
+        if self.calibration is None:
+            doc.pop("calibration", None)
         # The stall watchdog never alters a successful trace, and the race
         # guard only matters on the threaded runtime: normalise both so
         # inert knobs never split identical runs.

@@ -388,3 +388,79 @@ class TestColumnTrace:
             assert type(e.worker) is int
             assert type(e.start) is float
             assert type(e.end) is float
+
+
+# -- calibrated model sets (repro.calib) ------------------------------------
+class TestCalibratedModels:
+    """The calibration layer must not break the headline byte-identity.
+
+    Mixture/KDE models sample via one inverse-CDF draw per task
+    (``rng_use == "other"``), which keeps the calibrated model set
+    non-batchable — both engines fall back to the per-call DirectSampler,
+    so byte identity has to hold with no engine-side special cases.
+    """
+
+    @pytest.fixture(scope="class")
+    def calibrated(self):
+        from repro.calib import fit_from_samples
+        from repro.machine import collect_samples
+
+        program = cholesky_program(6, 200)
+        trace = run_real(
+            program, make_scheduler("quark", 16), "magny_cours_48", seed=3
+        )
+        document = fit_from_samples(collect_samples(trace))
+        return program, document
+
+    def test_refit_selects_nontrivial_families(self, calibrated):
+        _, document = calibrated
+        models = document.to_model_set()
+        assert models.family == "calibrated"
+        # Noisy-machine samples must not all collapse to constants, and the
+        # set must refuse batch sampling (that is what keeps the engines on
+        # the shared per-call path).
+        assert any(f.family != "constant" for f in document.kernels.values())
+        assert not models.batchable
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_array_identical_to_object_under_calibration(
+        self, calibrated, scheduler, core_variant
+    ):
+        program, document = calibrated
+        traces = {}
+        for backend in ENGINE_BACKENDS:
+            traces[backend] = simulate(
+                program,
+                make_scheduler(scheduler, 16),
+                document.to_model_set(),
+                seed=99,
+                warmup_penalty=1e-3,
+                engine_backend=backend,
+            )
+        assert dumps_trace(traces["object"]) == dumps_trace(traces["array"])
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_refit_reproduces_makespan_within_5_percent(self, scheduler):
+        # The differential claim behind ``sweep --calibration``: models
+        # refit from a run's own samples must predict that workload's
+        # makespan inside the paper's 5% accuracy band, on every scheduler.
+        from repro.calib import fit_from_samples
+        from repro.machine import collect_samples, get_machine
+
+        machine = get_machine("magny_cours_48")
+        program = cholesky_program(8, 200)
+        real = run_real(program, make_scheduler(scheduler, 16), machine, seed=11)
+        models = fit_from_samples(collect_samples(real)).to_model_set()
+        sims = [
+            simulate(
+                program,
+                make_scheduler(scheduler, 16),
+                models,
+                seed=12 + s,
+                warmup_penalty=machine.warmup_penalty,
+            ).makespan
+            for s in range(3)  # mean-of-3, like the portfolio oracle
+        ]
+        sim = sum(sims) / len(sims)
+        err = abs(sim - real.makespan) / real.makespan
+        assert err < 0.05, f"{scheduler}: calibrated sim off by {err * 100:.2f}%"

@@ -1,0 +1,354 @@
+"""Property/differential/regression tests for the calibration layer.
+
+The load-bearing guarantees:
+
+* the log-normal mixture EM is deterministic and recovers well-separated
+  components; fitted models survive a ``model_to_params`` →
+  ``model_from_params`` round trip bit-for-bit;
+* the inverse-CDF samplers (mixture, KDE) are bit-deterministic functions
+  of the RNG stream, consume exactly one uniform per draw, and are
+  monotone in the uniform — the properties the array engine's
+  byte-identity rests on;
+* the KS gate rejects single-family fits on bimodal data and routes
+  selection to the mixture (or the KDE fallback);
+* degenerate sample arrays (empty / singleton / constant) have pinned
+  behavior instead of latent crashes;
+* the ``repro.calib/v1`` document is content-addressed: the digest is a
+  function of the fitted models, never the file path, and the RunSpec
+  cache key folds it in exactly when a document is attached.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calib import (
+    CALIB_SCHEMA,
+    CalibrationDocument,
+    DEFAULT_FAMILIES,
+    fit_from_probe_dir,
+    fit_from_samples,
+    fit_kernel,
+    ks_threshold,
+    load_calibration,
+)
+from repro.kernels.distributions import (
+    EmpiricalModel,
+    KDEModel,
+    LognormalMixtureModel,
+    MODEL_FAMILIES,
+    model_from_params,
+    model_to_params,
+)
+
+pytestmark = pytest.mark.calib
+
+
+def _mixture_samples(n, *, w=0.5, mu1=-7.0, mu2=-5.0, sigma=0.08, seed=0):
+    """Draws from a well-separated 2-component log-normal mixture."""
+    rng = np.random.default_rng(seed)
+    k = rng.random(n) < w
+    logs = np.where(
+        k,
+        rng.normal(mu1, sigma, size=n),
+        rng.normal(mu2, sigma, size=n),
+    )
+    return np.exp(logs)
+
+
+# -- mixture EM: determinism, convergence, round trip ------------------------
+class TestMixtureFit:
+    def test_em_recovers_separated_components(self):
+        samples = _mixture_samples(600, w=0.4, seed=3)
+        model = LognormalMixtureModel.fit(samples, k=2)
+        assert len(model.weights) == 2
+        # Components come out canonically sorted by mu_log.
+        assert model.mus_log[0] < model.mus_log[1]
+        assert model.mus_log[0] == pytest.approx(-7.0, abs=0.05)
+        assert model.mus_log[1] == pytest.approx(-5.0, abs=0.05)
+        assert model.weights[0] == pytest.approx(0.4, abs=0.06)
+
+    def test_em_is_deterministic(self):
+        samples = _mixture_samples(300, seed=11)
+        a = LognormalMixtureModel.fit(samples, k=2)
+        b = LognormalMixtureModel.fit(samples, k=2)
+        assert a.weights == b.weights
+        assert a.mus_log == b.mus_log
+        assert a.sigmas_log == b.sigmas_log
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        w=st.floats(0.2, 0.8),
+        gap=st.floats(1.5, 3.0),
+    )
+    def test_em_converges_on_two_component_data(self, seed, w, gap):
+        samples = _mixture_samples(400, w=w, mu1=-7.0, mu2=-7.0 + gap, seed=seed)
+        model = LognormalMixtureModel.fit(samples, k=2)
+        # Mixture mean must track the sample mean, and the fit must beat (or
+        # tie) the single log-normal on its own training data.
+        assert model.mean == pytest.approx(float(np.mean(samples)), rel=0.15)
+        single = MODEL_FAMILIES["lognormal"].fit(samples)
+        assert model.loglik(samples) >= single.loglik(samples) - 1e-6
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_params_round_trip_is_exact(self, seed):
+        samples = _mixture_samples(200, seed=seed)
+        model = LognormalMixtureModel.fit(samples, k=2)
+        clone = model_from_params(model.family, model_to_params(model))
+        assert clone == model
+        for q in (0.01, 0.25, 0.5, 0.75, 0.99):
+            assert clone.ppf(q) == model.ppf(q)
+
+    def test_single_component_fallback(self):
+        # Too few samples for k=2 → one component, never a crash.
+        model = LognormalMixtureModel.fit([1e-3, 2e-3, 1.5e-3], k=2)
+        assert len(model.weights) == 1
+        assert model.weights[0] == 1.0
+
+
+# -- inverse-CDF samplers: bit-determinism and monotonicity ------------------
+class TestInverseCdfSampler:
+    @pytest.fixture(params=["mixture", "kde"])
+    def model(self, request):
+        samples = _mixture_samples(120, seed=5)
+        if request.param == "mixture":
+            return LognormalMixtureModel.fit(samples, k=2)
+        return KDEModel.fit(samples)
+
+    def test_sampler_is_bit_deterministic(self, model):
+        a = [model.sample(np.random.default_rng(99)) for _ in range(50)]
+        b = [model.sample(np.random.default_rng(99)) for _ in range(50)]
+        assert a == b  # exact float equality, not approx
+
+    def test_one_uniform_per_draw(self, model):
+        # sample() must consume exactly rng.random() once per draw: the
+        # stream of samples equals from_uniform applied to the uniform
+        # stream.  The array engine's byte-identity depends on this.
+        rng = np.random.default_rng(7)
+        drawn = [model.sample(rng) for _ in range(20)]
+        expected = [model.from_uniform(u) for u in np.random.default_rng(7).random(20)]
+        assert drawn == expected
+
+    def test_from_uniform_is_monotone(self, model):
+        us = np.linspace(1e-6, 1.0 - 1e-6, 200)
+        xs = [model.from_uniform(u) for u in us]
+        assert all(b >= a for a, b in zip(xs, xs[1:]))
+
+    def test_ppf_inverts_cdf(self, model):
+        for q in (0.05, 0.3, 0.5, 0.7, 0.95):
+            x = model.ppf(q)
+            assert float(model.cdf(np.array([x]))[0]) == pytest.approx(q, abs=1e-9)
+
+
+# -- KS gate -----------------------------------------------------------------
+class TestKsGate:
+    def test_threshold_formula(self):
+        assert ks_threshold(100) == pytest.approx(
+            math.sqrt(-math.log(0.025) / 2.0) / 10.0
+        )
+        with pytest.raises(ValueError):
+            ks_threshold(0)
+        with pytest.raises(ValueError):
+            ks_threshold(100, alpha=1.5)
+
+    def test_gate_rejects_single_families_on_bimodal_data(self):
+        samples = _mixture_samples(400, seed=21)
+        fit = fit_kernel("DGEMM", samples, families=DEFAULT_FAMILIES)
+        by_family = {c["family"]: c for c in fit.candidates}
+        assert not by_family["normal"]["ks_pass"]
+        assert not by_family["lognormal"]["ks_pass"]
+        assert fit.family in ("lognormal_mixture", "kde")
+        assert fit.ks_pass
+
+    def test_unimodal_lognormal_picks_a_parametric_family(self):
+        rng = np.random.default_rng(4)
+        samples = np.exp(rng.normal(-6.0, 0.1, size=400))
+        fit = fit_kernel("DTRSM", samples, families=DEFAULT_FAMILIES)
+        assert fit.family not in ("kde", "empirical")
+        assert fit.selected_by == "aic"
+        assert fit.ks_pass
+
+    def test_too_few_samples_goes_constant(self):
+        fit = fit_kernel("DSYRK", [1e-3, 2e-3], min_samples=8)
+        assert fit.family == "constant"
+        assert fit.selected_by == "too_few_samples"
+
+
+# -- degenerate sample arrays (regression pins) ------------------------------
+class TestDegenerateSamples:
+    @pytest.mark.parametrize(
+        "cls", [EmpiricalModel, KDEModel, LognormalMixtureModel]
+    )
+    def test_empty_rejected(self, cls):
+        with pytest.raises(ValueError):
+            cls.fit([])
+
+    @pytest.mark.parametrize("values", [[2e-3], [1e-3] * 10])
+    def test_singleton_and_constant_become_point_masses(self, values):
+        v = values[0]
+        for cls in (EmpiricalModel, KDEModel):
+            model = cls.fit(values)
+            assert model.mean == pytest.approx(v)
+            assert model.std == pytest.approx(0.0, abs=1e-15)
+            assert model.ks_statistic(values) == 0.0
+            rng = np.random.default_rng(0)
+            drawn = [model.sample(rng) for _ in range(5)]
+            # Point mass: every draw is the same value (up to the one-ulp
+            # difference between np.mean of a constant array and the value).
+            assert len(set(drawn)) == 1
+            assert drawn[0] == pytest.approx(v, rel=1e-12)
+
+    def test_constant_kde_is_degenerate_despite_float_rounding(self):
+        # np.std of a constant array returns ~1e-19, not 0.0; the fit must
+        # still take the degenerate branch (this was a latent KS=0.5 bug).
+        model = KDEModel.fit([1e-3] * 10)
+        assert model.degenerate
+        assert model.bandwidth == 0.0
+        assert float(model.cdf(np.array([1e-3]))[0]) == 1.0
+        assert float(model.cdf_left(np.array([1e-3]))[0]) == 0.0
+
+    def test_constant_mixture_collapses_to_one_component(self):
+        model = LognormalMixtureModel.fit([1e-3] * 10, k=2)
+        assert model.weights == (1.0,)
+        assert model.mean == pytest.approx(1e-3, rel=1e-9)
+
+
+# -- document: schema, digest, model-set round trip --------------------------
+class TestCalibrationDocument:
+    @pytest.fixture
+    def document(self):
+        return fit_from_samples(
+            {
+                "DGEMM": _mixture_samples(200, seed=1),
+                "DTRSM": np.exp(np.random.default_rng(2).normal(-6, 0.1, 300)),
+                "DPOTRF": [1e-3, 1.1e-3],  # too few → constant
+            },
+            provenance={"source": "test"},
+        )
+
+    def test_round_trip_preserves_digest(self, document):
+        clone = CalibrationDocument.from_dict(
+            json.loads(json.dumps(document.to_dict()))
+        )
+        assert clone.digest() == document.digest()
+
+    def test_digest_is_path_independent(self, document, tmp_path):
+        a = document.write(tmp_path / "a" / "cal.json")
+        b = document.write(tmp_path / "b" / "renamed.json")
+        assert load_calibration(a).digest() == load_calibration(b).digest()
+        assert load_calibration(a).digest() == document.digest()
+
+    def test_schema_is_versioned_and_validated(self, document):
+        doc = document.to_dict()
+        assert doc["schema"] == CALIB_SCHEMA
+        doc["schema"] = "repro.calib/v0"
+        with pytest.raises(ValueError, match="not a calibration document"):
+            CalibrationDocument.from_dict(doc)
+        with pytest.raises(ValueError, match="no kernels"):
+            CalibrationDocument.from_dict({"schema": CALIB_SCHEMA, "kernels": {}})
+
+    def test_load_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_calibration(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_calibration(bad)
+
+    def test_to_model_set_is_drop_in(self, document):
+        models = document.to_model_set()
+        assert models.family == "calibrated"
+        for kernel in ("DGEMM", "DTRSM", "DPOTRF"):
+            assert models.mean_duration(kernel) > 0.0
+        # Mixture/KDE models consume the RNG out of stream order, so the
+        # set must refuse batch sampling (keeps both engines on the
+        # per-call DirectSampler → byte identity for free).
+        assert not models.batchable
+
+
+# -- probe-artifact ingestion ------------------------------------------------
+class TestProbeDirFit:
+    def test_fit_from_probe_dir_end_to_end(self, tmp_path, quiet_machine):
+        from repro.algorithms import cholesky_program
+        from repro.core.simulator import run_real
+        from repro.obs import RecordingProbe
+        from repro.obs.timeline import export_timeline
+        from repro.schedulers import make_scheduler
+
+        for seed in (0, 1):
+            probe = RecordingProbe()
+            trace = run_real(
+                cholesky_program(5, 100),
+                make_scheduler("quark", 4),
+                quiet_machine,
+                seed=seed,
+                probe=probe,
+            )
+            export_timeline(tmp_path, trace, probe, prefix=f"run{seed}")
+
+        document = fit_from_probe_dir(tmp_path)
+        assert set(document.kernels) == {"DPOTRF", "DTRSM", "DSYRK", "DGEMM"}
+        assert document.provenance["source"] == "samples"
+        assert len(document.provenance["files_used"]) == 2
+        for fit in document.kernels.values():
+            assert fit.n_samples >= 1
+
+    def test_empty_probe_dir_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no usable timing artifacts"):
+            fit_from_probe_dir(tmp_path)
+        with pytest.raises(FileNotFoundError):
+            fit_from_probe_dir(tmp_path / "nope")
+
+
+# -- RunSpec cache-key semantics ---------------------------------------------
+class TestCacheKeyPins:
+    @pytest.fixture
+    def cal_path(self, tmp_path):
+        document = fit_from_samples({"DGEMM": _mixture_samples(100, seed=9)})
+        return document.write(tmp_path / "cal.json")
+
+    def _spec(self, **kwargs):
+        from repro.runner import ProgramSpec, RunSpec, SchedulerSpec
+
+        base = dict(
+            program=ProgramSpec("cholesky", 4, 100),
+            scheduler=SchedulerSpec("quark", 4),
+            machine="uniform_4",
+            seed=0,
+            mode="simulated",
+            cal_nt=4,
+        )
+        base.update(kwargs)
+        return RunSpec(**base)
+
+    def test_no_document_keeps_historical_key(self, cal_path):
+        # calibration=None must normalise out of the key entirely.
+        assert self._spec().cache_key() == self._spec(calibration=None).cache_key()
+
+    def test_document_content_is_the_identity(self, cal_path, tmp_path):
+        moved = tmp_path / "elsewhere" / "renamed.json"
+        moved.parent.mkdir()
+        moved.write_text(cal_path.read_text())
+        assert (
+            self._spec(calibration=str(cal_path)).cache_key()
+            == self._spec(calibration=str(moved)).cache_key()
+        )
+        assert (
+            self._spec(calibration=str(cal_path)).cache_key()
+            != self._spec().cache_key()
+        )
+
+    def test_inline_recipe_is_inert_under_a_document(self, cal_path):
+        a = self._spec(calibration=str(cal_path), cal_nt=4, family="lognormal")
+        b = self._spec(calibration=str(cal_path), cal_nt=12, family="gamma")
+        assert a.cache_key() == b.cache_key()
+
+    def test_calibration_requires_simulated_mode(self, cal_path):
+        with pytest.raises(ValueError, match="simulated"):
+            self._spec(mode="real", calibration=str(cal_path))

@@ -20,12 +20,15 @@ from repro.kernels.distributions import (
     fit_family,
 )
 
-RNG = np.random.default_rng(7)
 PARAMETRIC = ("normal", "gamma", "lognormal")
 
 
-def _samples(n=500, mean=1e-3, cv=0.1):
-    return np.abs(RNG.normal(mean, cv * mean, size=n)) + 1e-9
+def _samples(n=500, mean=1e-3, cv=0.1, seed=7):
+    # A fresh generator per call keeps every test's samples independent of
+    # execution order (a shared module-level stream shifts whenever a family
+    # is added to MODEL_FAMILIES, which several tests parametrize over).
+    rng = np.random.default_rng(seed)
+    return np.abs(rng.normal(mean, cv * mean, size=n)) + 1e-9
 
 
 class TestFitInterface:
@@ -42,6 +45,8 @@ class TestFitInterface:
         model = fit_family(family, samples)
         if family == "lognormal":
             tol = 0.05  # geometric vs arithmetic mean gap at cv=0.1 is tiny
+        elif family == "uniform":
+            tol = 0.06  # midrange estimator: extremes sit ~3 sigma out
         else:
             tol = 0.02
         assert model.mean == pytest.approx(float(np.mean(samples)), rel=tol)

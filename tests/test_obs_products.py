@@ -223,16 +223,22 @@ class TestExportTimeline:
         art = export_timeline(tmp_path, trace, probe, metrics=metrics)
         for path in art.paths():
             assert path.exists(), path
-        assert len(art.paths()) == 5
+        assert len(art.paths()) == 6
         load_trace_event(art.perfetto)
         series_doc = json.loads(art.series_json.read_text())
         assert series_doc["peaks"]["ready_depth"] == metrics.peak_ready_depth
         attribution = json.loads(art.attribution_json.read_text())
         assert attribution["n_tasks"] == len(trace)
+        samples_doc = json.loads(art.samples_json.read_text())
+        assert samples_doc["schema"] == "repro.kernel_samples/v1"
+        # drop-first-per-worker: samples + dropped accounts for every task
+        n_kept = sum(len(v) for v in samples_doc["samples"].values())
+        assert n_kept + samples_doc["n_dropped"] == len(trace)
+        assert all(d > 0 for v in samples_doc["samples"].values() for d in v)
 
     def test_metrics_optional(self, tmp_path):
         trace, probe, _ = _observed_run()
         art = export_timeline(tmp_path, trace, probe, prefix="p")
         assert art.metrics_json is None
-        assert len(art.paths()) == 4
+        assert len(art.paths()) == 5
         assert art.perfetto.name == "p.perfetto.json"
